@@ -1,0 +1,20 @@
+//! Build script: runs the template-driven IDL compiler over
+//! `idl/media.idl` with the `rust` backend, proving end-to-end that
+//! generated code compiles and runs (the integration tests include the
+//! output from `OUT_DIR`).
+
+use std::path::PathBuf;
+
+fn main() {
+    println!("cargo:rerun-if-changed=idl/media.idl");
+    let idl = std::fs::read_to_string("idl/media.idl").expect("read idl/media.idl");
+    let files = heidl_codegen::compile("rust", &idl, "media")
+        .unwrap_or_else(|e| panic!("heidlc failed on idl/media.idl: {e}"));
+    let out_dir = PathBuf::from(std::env::var("OUT_DIR").expect("OUT_DIR"));
+    files.write_to(&out_dir).expect("write generated code");
+    assert!(
+        files.file("media.rs").is_some(),
+        "rust backend should emit media.rs, got {:?}",
+        files.names()
+    );
+}

@@ -1,0 +1,99 @@
+//! E1 + E9: skeleton dispatch strategies.
+//!
+//! Paper §2: string-comparison dispatch "can be very expensive for
+//! interfaces with a large number of methods with long names"; nested
+//! comparisons (Flick) or a hash table are faster. E9 adds the §3.1
+//! recursive dispatch walk across inheritance-chain depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heidl_bench::{method_names, NameStyle};
+use heidl_rmi::{
+    DispatchKind, DispatchOutcome, MethodTable, RmiResult, Skeleton, SkeletonBase,
+};
+use heidl_wire::{Decoder, Encoder};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_dispatch_lookup");
+    group.sample_size(60);
+    for style in NameStyle::ALL {
+        for &n in &[4usize, 16, 64, 256] {
+            let names = method_names(n, style);
+            // Worst case for the linear scan: the last declared method;
+            // every strategy looks up the same name for comparability.
+            let target = names.last().unwrap().clone();
+            for kind in DispatchKind::ALL {
+                let table = MethodTable::new(kind, names.clone());
+                let label = format!("{}/{}-methods/{}", table.strategy_name(), n, style.label());
+                group.bench_with_input(BenchmarkId::from_parameter(label), &table, |b, table| {
+                    b.iter(|| black_box(table.find(black_box(&target))));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+/// A minimal skeleton layer for the chain-depth walk.
+struct Layer {
+    base: SkeletonBase,
+}
+
+impl Skeleton for Layer {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        if self.base.find(method).is_some() {
+            return Ok(DispatchOutcome::Handled);
+        }
+        self.base.dispatch_parents(method, args, reply)
+    }
+}
+
+fn chain(depth: usize) -> Arc<dyn Skeleton> {
+    let mut skel: Arc<dyn Skeleton> = Arc::new(Layer {
+        base: SkeletonBase::new("IDL:Root:1.0", DispatchKind::Hash, ["deepest"], vec![]),
+    });
+    for i in 0..depth {
+        skel = Arc::new(Layer {
+            base: SkeletonBase::new(
+                format!("IDL:L{i}:1.0"),
+                DispatchKind::Hash,
+                [format!("own{i}")],
+                vec![skel],
+            ),
+        });
+    }
+    skel
+}
+
+fn bench_inheritance_walk(c: &mut Criterion) {
+    use heidl_wire::Protocol as _;
+    let mut group = c.benchmark_group("e9_inheritance_chain");
+    group.sample_size(60);
+    let protocol = heidl_wire::TextProtocol;
+    for &depth in &[1usize, 2, 4, 8] {
+        let skel = chain(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &skel, |b, skel| {
+            b.iter(|| {
+                let mut args = protocol.decoder(Vec::new()).unwrap();
+                let mut reply = protocol.encoder();
+                black_box(
+                    skel.dispatch(black_box("deepest"), args.as_mut(), reply.as_mut()).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_inheritance_walk);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E2: marshaling cost, text protocol vs CDR binary.
+//!
+//! Paper §2: marshaling is "typically associated with format conversions
+//! and copying"; general-purpose protocols "are often expensive to use
+//! because they are designed for generality", while "for many
+//! applications, a simple protocol or messaging format may suffice".
+//! The bench measures encode and decode separately per payload kind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heidl_bench::{rng, Payload};
+use heidl_wire::{CdrProtocol, Protocol, TextProtocol};
+use std::hint::black_box;
+
+fn protocols() -> Vec<Box<dyn Protocol>> {
+    vec![Box::new(TextProtocol), Box::new(CdrProtocol)]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_encode");
+    group.sample_size(60);
+    for p in protocols() {
+        for payload in Payload::ALL {
+            let label = format!("{}/{}", p.name(), payload.label());
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                let mut r = rng(11);
+                b.iter(|| {
+                    let mut enc = p.encoder();
+                    payload.encode(enc.as_mut(), &mut r);
+                    black_box(enc.finish())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_decode");
+    group.sample_size(60);
+    for p in protocols() {
+        for payload in Payload::ALL {
+            let mut r = rng(11);
+            let mut enc = p.encoder();
+            payload.encode(enc.as_mut(), &mut r);
+            let body = enc.finish();
+            let label = format!("{}/{}", p.name(), payload.label());
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    let mut dec = p.decoder(body.clone()).unwrap();
+                    payload.decode(dec.as_mut());
+                    black_box(dec.at_end())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_usc_plan(c: &mut Criterion) {
+    use heidl_wire::{
+        plan::encode_interpretive, CdrEncoder, CdrStructPlan, Encoder as _, FieldKind, PlanValue,
+    };
+    let mut group = c.benchmark_group("e10_usc_marshal_plan");
+    group.sample_size(60);
+
+    // A realistic fixed struct: mixed field sizes force alignment work.
+    let kinds: Vec<FieldKind> = (0..16)
+        .map(|i| match i % 4 {
+            0 => FieldKind::Octet,
+            1 => FieldKind::Long,
+            2 => FieldKind::Double,
+            _ => FieldKind::Short,
+        })
+        .collect();
+    let values: Vec<PlanValue> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, k)| match k {
+            FieldKind::Octet => PlanValue::Octet(i as u8),
+            FieldKind::Long => PlanValue::Long(i as i32 * 7),
+            FieldKind::Double => PlanValue::Double(i as f64 * 0.5),
+            _ => PlanValue::Short(i as i16),
+        })
+        .collect();
+    let plan = CdrStructPlan::compile(&kinds);
+
+    group.bench_function("interpretive_cdr_encoder", |b| {
+        b.iter(|| {
+            let mut enc = CdrEncoder::new();
+            encode_interpretive(black_box(&values), &mut enc);
+            black_box(enc.finish())
+        })
+    });
+    group.bench_function("compiled_plan", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            plan.encode(black_box(&values), &mut out);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_usc_plan);
+criterion_main!(benches);

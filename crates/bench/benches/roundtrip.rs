@@ -1,0 +1,256 @@
+//! E3 + E5 + protocol end-to-end: remote call latency over TCP loopback.
+//!
+//! * E3 — connection caching: calls with the pool reusing one connection
+//!   vs opening a fresh TCP connection per call (§3.1).
+//! * E5 — `incopy` pass-by-value (one round trip carrying state) vs
+//!   pass-by-reference where the server calls back N times (§3.1; the
+//!   Java-RMI-style semantics the paper cites).
+//! * text vs CDR protocol for the same logical call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heidl_rmi::{
+    marshal_reference, marshal_value, unmarshal_incopy, DispatchKind, DispatchOutcome,
+    IncopyArg, ObjectRef, Orb, RmiResult, Skeleton, SkeletonBase, ValueSerialize,
+};
+use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// An echo skeleton: `ping` takes and returns one long.
+struct EchoSkel {
+    base: SkeletonBase,
+}
+
+impl EchoSkel {
+    fn new() -> Arc<dyn Skeleton> {
+        Arc::new(EchoSkel {
+            base: SkeletonBase::new("IDL:Bench/Echo:1.0", DispatchKind::Hash, ["ping"], vec![]),
+        })
+    }
+}
+
+impl Skeleton for EchoSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let v = args.get_long()?;
+                reply.put_long(v);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn ping(orb: &Orb, objref: &ObjectRef) -> i32 {
+    let mut call = orb.call(objref, "ping");
+    call.args().put_long(7);
+    let mut reply = orb.invoke(call).unwrap();
+    reply.results().get_long().unwrap()
+}
+
+fn bench_connection_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_connection_cache");
+    group.sample_size(30);
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(EchoSkel::new()).unwrap();
+
+    orb.connections().set_caching(true);
+    ping(&orb, &objref); // warm the cache
+    group.bench_function("cached", |b| b.iter(|| black_box(ping(&orb, &objref))));
+
+    orb.connections().set_caching(false);
+    group.bench_function("fresh-connection-per-call", |b| {
+        b.iter(|| black_box(ping(&orb, &objref)))
+    });
+    orb.connections().set_caching(true);
+    group.finish();
+    orb.shutdown();
+}
+
+fn bench_protocols_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_call_protocols");
+    group.sample_size(30);
+    let protos: [Arc<dyn Protocol>; 2] = [Arc::new(TextProtocol), Arc::new(CdrProtocol)];
+    for proto in protos {
+        let name = proto.name();
+        let orb = Orb::with_protocol(proto);
+        orb.serve("127.0.0.1:0").unwrap();
+        let objref = orb.export(EchoSkel::new()).unwrap();
+        ping(&orb, &objref);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(ping(&orb, &objref)))
+        });
+        orb.shutdown();
+    }
+    group.finish();
+}
+
+// ---- E5: incopy value vs reference + callbacks -------------------------
+
+/// The value type a client may pass `incopy`.
+struct Blob {
+    fields: Vec<i32>,
+}
+
+impl ValueSerialize for Blob {
+    fn value_type_id(&self) -> &str {
+        "IDL:Bench/Blob:1.0"
+    }
+
+    fn marshal_state(&self, enc: &mut dyn Encoder) {
+        enc.put_len(self.fields.len() as u32);
+        for f in &self.fields {
+            enc.put_long(*f);
+        }
+    }
+}
+
+/// A client-side data source the server reads field-by-field when the
+/// argument was passed by reference.
+struct SourceSkel {
+    base: SkeletonBase,
+}
+
+impl Skeleton for SourceSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let idx = args.get_long()?;
+                reply.put_long(idx * 3);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+/// The server-side consumer: `consume` takes an incopy arg plus the field
+/// count; by-reference arguments trigger one callback per field.
+struct ConsumerSkel {
+    base: SkeletonBase,
+    orb: Orb,
+}
+
+impl Skeleton for ConsumerSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let fields = args.get_long()?;
+                let arg = unmarshal_incopy(args, self.orb.values())?;
+                let total: i64 = match arg {
+                    IncopyArg::Value(v) => {
+                        let blob: Vec<i32> = *v.downcast().expect("blob fields");
+                        blob.iter().map(|&f| f as i64).sum()
+                    }
+                    IncopyArg::Reference(objref) => {
+                        // Java-RMI-style remote reads: one callback per field.
+                        let mut total = 0i64;
+                        for i in 0..fields {
+                            let mut call = self.orb.call(&objref, "field");
+                            call.args().put_long(i);
+                            let mut reply = self.orb.invoke(call)?;
+                            total += reply.results().get_long()? as i64;
+                        }
+                        total
+                    }
+                };
+                reply.put_longlong(total);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn bench_incopy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_incopy_vs_reference");
+    group.sample_size(30);
+
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    orb.values().register("IDL:Bench/Blob:1.0", |dec| {
+        let n = dec.get_len()?;
+        let mut fields = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            fields.push(dec.get_long()?);
+        }
+        Ok(Box::new(fields))
+    });
+    let consumer = orb
+        .export(Arc::new(ConsumerSkel {
+            base: SkeletonBase::new(
+                "IDL:Bench/Consumer:1.0",
+                DispatchKind::Hash,
+                ["consume"],
+                vec![],
+            ),
+            orb: orb.clone(),
+        }))
+        .unwrap();
+    let source = orb
+        .export(Arc::new(SourceSkel {
+            base: SkeletonBase::new(
+                "IDL:Bench/Source:1.0",
+                DispatchKind::Hash,
+                ["field"],
+                vec![],
+            ),
+        }))
+        .unwrap();
+
+    for &fields in &[1i32, 4, 16] {
+        let blob = Blob { fields: (0..fields).map(|i| i * 3).collect() };
+        group.bench_function(BenchmarkId::new("by-value", fields), |b| {
+            b.iter(|| {
+                let mut call = orb.call(&consumer, "consume");
+                call.args().put_long(fields);
+                marshal_value(&blob, call.args());
+                let mut reply = orb.invoke(call).unwrap();
+                black_box(reply.results().get_longlong().unwrap())
+            })
+        });
+        group.bench_function(BenchmarkId::new("by-reference-callbacks", fields), |b| {
+            b.iter(|| {
+                let mut call = orb.call(&consumer, "consume");
+                call.args().put_long(fields);
+                marshal_reference(&source, call.args());
+                let mut reply = orb.invoke(call).unwrap();
+                black_box(reply.results().get_longlong().unwrap())
+            })
+        });
+    }
+    group.finish();
+    orb.shutdown();
+}
+
+criterion_group!(benches, bench_connection_cache, bench_protocols_end_to_end, bench_incopy);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Synthetic workloads, standing in for the unavailable Heidi application
+//! (see DESIGN.md substitution notes): interface shapes, method-name
+//! distributions, and marshaling payloads.
+
+use heidl_wire::{Decoder, Encoder, Protocol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Method-name styles for dispatch experiments: the paper singles out
+/// "interfaces with a large number of methods with long names" as the
+/// string-comparison worst case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameStyle {
+    /// Short distinct names (`m0`, `m1`, ...).
+    Short,
+    /// Long names sharing a 32-character prefix — maximal strcmp work.
+    LongSharedPrefix,
+}
+
+impl NameStyle {
+    /// All styles.
+    pub const ALL: [NameStyle; 2] = [NameStyle::Short, NameStyle::LongSharedPrefix];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NameStyle::Short => "short",
+            NameStyle::LongSharedPrefix => "long-shared-prefix",
+        }
+    }
+}
+
+/// Generates `n` method names in the given style.
+pub fn method_names(n: usize, style: NameStyle) -> Vec<String> {
+    (0..n)
+        .map(|i| match style {
+            NameStyle::Short => format!("m{i}"),
+            NameStyle::LongSharedPrefix => {
+                format!("configure_media_stream_endpoint_quality_of_service_{i:04}")
+            }
+        })
+        .collect()
+}
+
+/// Generates an IDL interface with `n` void methods (one long parameter
+/// each) for compiler-throughput experiments.
+pub fn interface_idl(n: usize, style: NameStyle) -> String {
+    let mut s = String::from("module Bench {\n  interface Target {\n");
+    for name in method_names(n, style) {
+        s.push_str(&format!("    void {name}(in long v);\n"));
+    }
+    s.push_str("  };\n};\n");
+    s
+}
+
+/// Generates a module with `interfaces` interfaces of `methods` methods
+/// each — the E6 compiler-scaling workload.
+pub fn module_idl(interfaces: usize, methods: usize) -> String {
+    let mut s = String::from("module Scale {\n");
+    for i in 0..interfaces {
+        s.push_str(&format!("  interface I{i} {{\n"));
+        for m in 0..methods {
+            s.push_str(&format!("    void m{m}(in long a, in string b);\n"));
+        }
+        s.push_str(&format!("    readonly attribute long at{i};\n"));
+        s.push_str("  };\n");
+    }
+    s.push_str("};\n");
+    s
+}
+
+/// A marshaling payload kind for E2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Sixteen longs.
+    Longs,
+    /// A 16-byte string.
+    SmallString,
+    /// A 1 KiB string.
+    LargeString,
+    /// `sequence<long>` with 256 elements.
+    LongSequence,
+    /// A struct-like mix: begin { string, 4 longs, double, bool } end.
+    Mixed,
+}
+
+impl Payload {
+    /// All payload kinds.
+    pub const ALL: [Payload; 5] = [
+        Payload::Longs,
+        Payload::SmallString,
+        Payload::LargeString,
+        Payload::LongSequence,
+        Payload::Mixed,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Payload::Longs => "16 longs",
+            Payload::SmallString => "string 16B",
+            Payload::LargeString => "string 1KiB",
+            Payload::LongSequence => "seq<long> x256",
+            Payload::Mixed => "mixed struct",
+        }
+    }
+
+    /// Encodes one instance of the payload.
+    pub fn encode(self, enc: &mut dyn Encoder, rng: &mut StdRng) {
+        match self {
+            Payload::Longs => {
+                for _ in 0..16 {
+                    enc.put_long(rng.gen());
+                }
+            }
+            Payload::SmallString => enc.put_string(&ascii_string(rng, 16)),
+            Payload::LargeString => enc.put_string(&ascii_string(rng, 1024)),
+            Payload::LongSequence => {
+                enc.put_len(256);
+                for _ in 0..256 {
+                    enc.put_long(rng.gen());
+                }
+            }
+            Payload::Mixed => {
+                enc.begin();
+                enc.put_string(&ascii_string(rng, 24));
+                for _ in 0..4 {
+                    enc.put_long(rng.gen());
+                }
+                enc.put_double(rng.gen());
+                enc.put_bool(rng.gen());
+                enc.end();
+            }
+        }
+    }
+
+    /// Decodes (and discards) one instance, validating as it goes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input — benches should fail loudly.
+    pub fn decode(self, dec: &mut dyn Decoder) {
+        match self {
+            Payload::Longs => {
+                for _ in 0..16 {
+                    dec.get_long().unwrap();
+                }
+            }
+            Payload::SmallString | Payload::LargeString => {
+                dec.get_string().unwrap();
+            }
+            Payload::LongSequence => {
+                let n = dec.get_len().unwrap();
+                for _ in 0..n {
+                    dec.get_long().unwrap();
+                }
+            }
+            Payload::Mixed => {
+                dec.begin().unwrap();
+                dec.get_string().unwrap();
+                for _ in 0..4 {
+                    dec.get_long().unwrap();
+                }
+                dec.get_double().unwrap();
+                dec.get_bool().unwrap();
+                dec.end().unwrap();
+            }
+        }
+    }
+
+    /// Encoded size under `protocol`, for byte-efficiency comparisons.
+    pub fn encoded_size(self, protocol: &dyn Protocol, seed: u64) -> usize {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut enc = protocol.encoder();
+        self.encode(enc.as_mut(), &mut rng);
+        enc.finish().len()
+    }
+}
+
+/// Deterministic printable-ASCII string.
+pub fn ascii_string(rng: &mut StdRng, len: usize) -> String {
+    (0..len).map(|_| rng.gen_range(b' '..=b'~') as char).collect()
+}
+
+/// A deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heidl_wire::{CdrProtocol, TextProtocol};
+
+    #[test]
+    fn method_names_are_distinct() {
+        for style in NameStyle::ALL {
+            let names = method_names(64, style);
+            let mut unique: Vec<&String> = names.iter().collect();
+            unique.dedup();
+            assert_eq!(unique.len(), 64, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn long_names_share_a_prefix() {
+        let names = method_names(4, NameStyle::LongSharedPrefix);
+        assert!(names[0].len() > 40);
+        assert_eq!(names[0][..40], names[3][..40]);
+    }
+
+    #[test]
+    fn interface_idl_parses_and_builds() {
+        for style in NameStyle::ALL {
+            let idl = interface_idl(32, style);
+            let spec = heidl_idl::parse(&idl).unwrap();
+            heidl_est::build(&spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn module_idl_scales() {
+        let idl = module_idl(20, 5);
+        let spec = heidl_idl::parse(&idl).unwrap();
+        let est = heidl_est::build(&spec).unwrap();
+        assert_eq!(est.descendants_of_kind(est.root(), "Interface").len(), 20);
+    }
+
+    #[test]
+    fn payloads_roundtrip_on_both_protocols() {
+        let protocols: [&dyn Protocol; 2] = [&TextProtocol, &CdrProtocol];
+        for p in protocols {
+            for payload in Payload::ALL {
+                let mut r = rng(7);
+                let mut enc = p.encoder();
+                payload.encode(enc.as_mut(), &mut r);
+                let body = enc.finish();
+                let mut dec = p.decoder(body).unwrap();
+                payload.decode(dec.as_mut());
+                assert!(dec.at_end(), "{payload:?} on {}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_sizes_are_deterministic() {
+        let a = Payload::Mixed.encoded_size(&TextProtocol, 3);
+        let b = Payload::Mixed.encoded_size(&TextProtocol, 3);
+        assert_eq!(a, b);
+    }
+}

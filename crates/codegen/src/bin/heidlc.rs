@@ -1,0 +1,227 @@
+//! `heidlc` — the template-driven IDL compiler, command-line front end.
+//!
+//! ```text
+//! heidlc <file.idl> [--backend NAME] [--out DIR] [--emit files|est|idl]
+//! heidlc --list-backends
+//! ```
+//!
+//! Without `--out`, generated files print to stdout with `==> name <==`
+//! separators. `--emit est` dumps the executable EST script (the paper's
+//! Fig 8 Perl-program analog); `--emit idl` pretty-prints the parsed
+//! specification back to canonical IDL.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    input: Option<PathBuf>,
+    backend: String,
+    out: Option<PathBuf>,
+    emit: String,
+    list_backends: bool,
+    /// User-supplied template files (repeatable); when present the
+    /// backend contributes only its map functions (`--maps`).
+    templates: Vec<PathBuf>,
+    /// Interface Repository directory (paper §5): with an input file the
+    /// EST is stored there after compilation; with `--from-ir` generation
+    /// reads the stored EST instead of IDL source.
+    ir: Option<PathBuf>,
+    /// Unit name to generate from the repository.
+    from_ir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        backend: "heidi-cpp".to_owned(),
+        out: None,
+        emit: "files".to_owned(),
+        list_backends: false,
+        templates: Vec::new(),
+        ir: None,
+        from_ir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" | "-b" | "--maps" => {
+                args.backend = it.next().ok_or("--backend requires a name")?;
+            }
+            "--template" | "-t" => {
+                args.templates
+                    .push(PathBuf::from(it.next().ok_or("--template requires a file")?));
+            }
+            "--ir" => {
+                args.ir = Some(PathBuf::from(it.next().ok_or("--ir requires a directory")?));
+            }
+            "--from-ir" => {
+                args.from_ir = Some(it.next().ok_or("--from-ir requires a unit name")?);
+            }
+            "--out" | "-o" => {
+                args.out = Some(PathBuf::from(it.next().ok_or("--out requires a directory")?));
+            }
+            "--emit" => {
+                args.emit = it.next().ok_or("--emit requires files|est|idl")?;
+            }
+            "--list-backends" => args.list_backends = true,
+            "--help" | "-h" => {
+                return Err(USAGE.to_owned());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"));
+            }
+            other => {
+                if args.input.replace(PathBuf::from(other)).is_some() {
+                    return Err("only one input file is supported".to_owned());
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: heidlc <file.idl> [--backend NAME] [--out DIR] [--emit files|est|idl|check]
+       heidlc <file.idl> --template FILE.tmpl [--template ...] [--maps NAME]
+       heidlc <file.idl> --ir DIR            (also store the EST in the repository)
+       heidlc --from-ir UNIT --ir DIR [--backend NAME] [--out DIR]
+       heidlc --list-backends
+
+With --template, the named backend contributes only its map functions
+(default heidi-cpp); generation is driven entirely by your templates —
+the paper's customization workflow. --ir/--from-ir use a persistent
+Interface Repository of stored ESTs (paper 5).";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    if args.list_backends {
+        for b in heidl_codegen::BACKENDS {
+            println!("{:<10} {}", b.name, b.description);
+        }
+        return Ok(());
+    }
+
+    // Resolve the EST and unit name: either from IDL source or from a
+    // stored repository unit (paper §5's distributed-development flow).
+    let (est, stem) = match (&args.input, &args.from_ir) {
+        (Some(_), Some(_)) => {
+            return Err("give either an input file or --from-ir, not both".to_owned());
+        }
+        (None, Some(unit)) => {
+            let dir = args.ir.clone().ok_or("--from-ir requires --ir DIR")?;
+            let repo =
+                heidl_est::InterfaceRepository::open(dir).map_err(|e| e.to_string())?;
+            let est = repo.load(unit).map_err(|e| e.to_string())?;
+            (est, unit.clone())
+        }
+        (Some(input), None) => {
+            let source = std::fs::read_to_string(input)
+                .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+            let stem = input
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("out")
+                .to_owned();
+            if args.emit == "idl" {
+                let spec = heidl_idl::parse(&source).map_err(|e| e.render(&source))?;
+                print!("{}", heidl_idl::print(&spec));
+                return Ok(());
+            }
+            let spec = heidl_idl::parse(&source).map_err(|e| e.render(&source))?;
+            if args.emit == "check" {
+                // Print ALL semantic diagnostics (build() stops at the first).
+                let diagnostics = heidl_est::validate(&spec);
+                if diagnostics.is_empty() {
+                    println!("{}: ok", input.display());
+                    return Ok(());
+                }
+                let mut out = String::new();
+                for d in &diagnostics {
+                    out.push_str(&format!("{}: {}: {}\n", input.display(), d.span().start, d.message()));
+                }
+                return Err(out.trim_end().to_owned());
+            }
+            let est = heidl_est::build(&spec).map_err(|e| e.to_string())?;
+            if let Some(dir) = &args.ir {
+                let repo = heidl_est::InterfaceRepository::open(dir.clone())
+                    .map_err(|e| e.to_string())?;
+                repo.store(&stem, &est).map_err(|e| e.to_string())?;
+                eprintln!("stored unit `{stem}` in {}", dir.display());
+            }
+            (est, stem)
+        }
+        (None, None) => return Err(USAGE.to_owned()),
+    };
+
+    match args.emit.as_str() {
+        "idl" => Err("--emit idl requires an IDL input file".to_owned()),
+        "check" => Err("--emit check requires an IDL input file".to_owned()),
+        "est" => {
+            print!("{}", heidl_est::script::encode(&est));
+            Ok(())
+        }
+        "files" => {
+            let compiler = if args.templates.is_empty() {
+                heidl_codegen::Compiler::new(&args.backend).map_err(|e| e.to_string())?
+            } else {
+                let mut templates = Vec::new();
+                for path in &args.templates {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                    let name = path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or("template")
+                        .to_owned();
+                    templates.push((name, text));
+                }
+                // `@include x` resolves to `x` or `x.tmpl` next to the
+                // first --template file.
+                let include_dir = args.templates[0]
+                    .parent()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."));
+                let loader = move |name: &str| {
+                    std::fs::read_to_string(include_dir.join(name))
+                        .or_else(|_| {
+                            std::fs::read_to_string(include_dir.join(format!("{name}.tmpl")))
+                        })
+                        .ok()
+                };
+                heidl_codegen::Compiler::from_templates_with_includes(
+                    &templates,
+                    &args.backend,
+                    &loader,
+                )
+                .map_err(|e| e.to_string())?
+            };
+            let files = compiler.generate(&est, &stem).map_err(|e| e.to_string())?;
+            match args.out {
+                Some(dir) => {
+                    files.write_to(&dir).map_err(|e| e.to_string())?;
+                    for name in files.names() {
+                        println!("{}", dir.join(name).display());
+                    }
+                }
+                None => {
+                    for (name, content) in files.iter() {
+                        println!("==> {name} <==");
+                        println!("{content}");
+                    }
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown --emit mode `{other}`\n{USAGE}")),
+    }
+}

@@ -1,0 +1,103 @@
+//! Unified compiler-driver errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure along the parse → EST → template pipeline.
+#[derive(Debug)]
+pub enum CodegenError {
+    /// IDL lexing/parsing failed.
+    Parse(heidl_idl::ParseError),
+    /// EST building failed (unresolved names, bad constants).
+    Build(heidl_est::BuildError),
+    /// A template did not compile.
+    Template(heidl_template::CompileError),
+    /// A template failed while running against the EST.
+    Run {
+        /// Which backend template failed (e.g. `interface.tmpl`).
+        template: String,
+        /// The underlying run error.
+        source: heidl_template::RunError,
+    },
+    /// No backend registered under the requested name.
+    UnknownBackend {
+        /// The requested name.
+        name: String,
+        /// Names that do exist.
+        available: Vec<String>,
+    },
+    /// File I/O failed (CLI paths).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Parse(e) => write!(f, "parse error: {e}"),
+            CodegenError::Build(e) => write!(f, "semantic error: {e}"),
+            CodegenError::Template(e) => write!(f, "template error: {e}"),
+            CodegenError::Run { template, source } => {
+                write!(f, "generation error in {template}: {source}")
+            }
+            CodegenError::UnknownBackend { name, available } => {
+                write!(f, "unknown backend `{name}`; available: {}", available.join(", "))
+            }
+            CodegenError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for CodegenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodegenError::Parse(e) => Some(e),
+            CodegenError::Build(e) => Some(e),
+            CodegenError::Template(e) => Some(e),
+            CodegenError::Run { source, .. } => Some(source),
+            CodegenError::Io(e) => Some(e),
+            CodegenError::UnknownBackend { .. } => None,
+        }
+    }
+}
+
+impl From<heidl_idl::ParseError> for CodegenError {
+    fn from(e: heidl_idl::ParseError) -> Self {
+        CodegenError::Parse(e)
+    }
+}
+
+impl From<heidl_est::BuildError> for CodegenError {
+    fn from(e: heidl_est::BuildError) -> Self {
+        CodegenError::Build(e)
+    }
+}
+
+impl From<heidl_template::CompileError> for CodegenError {
+    fn from(e: heidl_template::CompileError) -> Self {
+        CodegenError::Template(e)
+    }
+}
+
+impl From<std::io::Error> for CodegenError {
+    fn from(e: std::io::Error) -> Self {
+        CodegenError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CodegenError::UnknownBackend {
+            name: "cobol".into(),
+            available: vec!["heidi-cpp".into(), "tcl".into()],
+        };
+        assert!(e.to_string().contains("cobol"));
+        assert!(e.to_string().contains("heidi-cpp"));
+        let e: CodegenError = heidl_idl::parse("interface {").unwrap_err().into();
+        assert!(e.to_string().starts_with("parse error"));
+        assert!(e.source().is_some());
+    }
+}

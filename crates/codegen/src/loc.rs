@@ -1,0 +1,38 @@
+//! Line-of-code accounting for experiment E7 (generated-code footprint,
+//! the 700-line tcl ORB claim, minimal-ORB template output size).
+
+/// Non-blank line count.
+pub fn count(text: &str) -> usize {
+    text.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Non-blank, non-comment line count. `comment_prefixes` are the
+/// line-comment markers of the target language (`//`, `#`, ...).
+pub fn count_code(text: &str, comment_prefixes: &[&str]) -> usize {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !comment_prefixes.iter().any(|p| l.starts_with(p)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_skips_blank_lines() {
+        assert_eq!(count("a\n\n  \nb\n"), 2);
+        assert_eq!(count(""), 0);
+    }
+
+    #[test]
+    fn count_code_skips_comments() {
+        let src = "# c\ncode\n  // also comment\nmore\n\n";
+        assert_eq!(count_code(src, &["#", "//"]), 2);
+    }
+
+    #[test]
+    fn mid_line_comments_still_count() {
+        assert_eq!(count_code("x = 1  # trailing\n", &["#"]), 1);
+    }
+}

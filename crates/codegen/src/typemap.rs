@@ -1,0 +1,90 @@
+//! Table 1 of the paper: IDL → C++ type mappings, prescribed vs alternate.
+//!
+//! The table is data, used three ways: by the map functions of the two C++
+//! backends, by the `experiments t1` printer that regenerates the table,
+//! and by golden tests pinning the mapping.
+
+/// One row of the type-mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeMapping {
+    /// The IDL type keyword (descriptor category for primitives).
+    pub idl: &'static str,
+    /// The CORBA-prescribed C++ type (Table 1, middle column).
+    pub prescribed_cpp: &'static str,
+    /// The alternate (HeidiRMI) C++ mapping (Table 1, right column).
+    pub alternate_cpp: &'static str,
+}
+
+/// The full primitive-type mapping table. The first three rows are
+/// verbatim Table 1; the rest complete the IDL primitive set in the same
+/// style.
+pub const TABLE1: &[TypeMapping] = &[
+    TypeMapping { idl: "long", prescribed_cpp: "CORBA::Long", alternate_cpp: "long" },
+    TypeMapping { idl: "boolean", prescribed_cpp: "CORBA::Boolean", alternate_cpp: "XBool" },
+    TypeMapping { idl: "float", prescribed_cpp: "CORBA::Float", alternate_cpp: "float" },
+    TypeMapping { idl: "double", prescribed_cpp: "CORBA::Double", alternate_cpp: "double" },
+    TypeMapping { idl: "short", prescribed_cpp: "CORBA::Short", alternate_cpp: "short" },
+    TypeMapping {
+        idl: "ushort",
+        prescribed_cpp: "CORBA::UShort",
+        alternate_cpp: "unsigned short",
+    },
+    TypeMapping { idl: "ulong", prescribed_cpp: "CORBA::ULong", alternate_cpp: "unsigned long" },
+    TypeMapping {
+        idl: "longlong",
+        prescribed_cpp: "CORBA::LongLong",
+        alternate_cpp: "long long",
+    },
+    TypeMapping {
+        idl: "ulonglong",
+        prescribed_cpp: "CORBA::ULongLong",
+        alternate_cpp: "unsigned long long",
+    },
+    TypeMapping { idl: "char", prescribed_cpp: "CORBA::Char", alternate_cpp: "char" },
+    TypeMapping { idl: "octet", prescribed_cpp: "CORBA::Octet", alternate_cpp: "unsigned char" },
+    TypeMapping { idl: "string", prescribed_cpp: "char*", alternate_cpp: "const char*" },
+    TypeMapping { idl: "any", prescribed_cpp: "CORBA::Any", alternate_cpp: "HdValue*" },
+    TypeMapping { idl: "void", prescribed_cpp: "void", alternate_cpp: "void" },
+];
+
+/// Looks up the CORBA-prescribed C++ type for an IDL primitive keyword.
+pub fn prescribed(idl: &str) -> Option<&'static str> {
+    TABLE1.iter().find(|m| m.idl == idl).map(|m| m.prescribed_cpp)
+}
+
+/// Looks up the alternate (HeidiRMI) C++ type for an IDL primitive keyword.
+pub fn alternate(idl: &str) -> Option<&'static str> {
+    TABLE1.iter().find(|m| m.idl == idl).map(|m| m.alternate_cpp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_verbatim_rows() {
+        // The three rows the paper prints, exactly.
+        assert_eq!(prescribed("long"), Some("CORBA::Long"));
+        assert_eq!(alternate("long"), Some("long"));
+        assert_eq!(prescribed("boolean"), Some("CORBA::Boolean"));
+        assert_eq!(alternate("boolean"), Some("XBool"));
+        assert_eq!(prescribed("float"), Some("CORBA::Float"));
+        assert_eq!(alternate("float"), Some("float"));
+    }
+
+    #[test]
+    fn unknown_type_is_none() {
+        assert_eq!(prescribed("widget"), None);
+        assert_eq!(alternate(""), None);
+    }
+
+    #[test]
+    fn table_covers_all_primitive_categories() {
+        for cat in [
+            "boolean", "char", "octet", "short", "ushort", "long", "ulong", "longlong",
+            "ulonglong", "float", "double", "any", "void", "string",
+        ] {
+            assert!(prescribed(cat).is_some(), "missing {cat}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Integration tests driving the `heidlc` binary itself: exit codes,
+//! stdout/stderr shapes, file emission, the IR workflow, and custom
+//! templates — the tool a downstream user actually runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn heidlc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_heidlc"))
+        .args(args)
+        .output()
+        .expect("spawn heidlc")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("heidlc-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_idl(dir: &PathBuf, name: &str, text: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, text).unwrap();
+    p
+}
+
+const IDL: &str = "module M { interface Greeter { string greet(in string name); }; };";
+
+#[test]
+fn list_backends_prints_all_five() {
+    let out = heidlc(&["--list-backends"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for b in ["heidi-cpp", "corba-cpp", "java", "tcl", "rust"] {
+        assert!(text.contains(b), "{text}");
+    }
+}
+
+#[test]
+fn generates_files_to_stdout_and_to_dir() {
+    let dir = tmpdir("gen");
+    let idl = write_idl(&dir, "g.idl", IDL);
+
+    let out = heidlc(&[idl.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("==> HdGreeter.hh <=="), "{text}");
+
+    let gen = dir.join("out");
+    let out = heidlc(&[idl.to_str().unwrap(), "--out", gen.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(gen.join("HdGreeter.hh").exists());
+    assert!(gen.join("HdGreeter_stub.hh").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn emit_est_prints_the_fig8_script() {
+    let dir = tmpdir("est");
+    let idl = write_idl(&dir, "g.idl", IDL);
+    let out = heidlc(&[idl.to_str().unwrap(), "--emit", "est"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# IDL:M/Greeter:1.0"), "{text}");
+    assert!(text.contains("new "), "{text}");
+    // The printed script must itself decode.
+    heidl_est::script::decode(&text).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn emit_check_reports_diagnostics_and_fails() {
+    let dir = tmpdir("check");
+    let bad = write_idl(&dir, "bad.idl", "interface I { oneway long f(); void f(); };");
+    let out = heidlc(&[bad.to_str().unwrap(), "--emit", "check"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("must return void"), "{text}");
+    assert!(text.contains("duplicate member"), "{text}");
+
+    let good = write_idl(&dir, "good.idl", IDL);
+    let out = heidlc(&[good.to_str().unwrap(), "--emit", "check"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("ok"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parse_errors_render_with_caret() {
+    let dir = tmpdir("parse");
+    let bad = write_idl(&dir, "syntax.idl", "interface {\n");
+    let out = heidlc(&[bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains('^'), "caret diagnostic expected: {text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_backend_lists_alternatives() {
+    let dir = tmpdir("badbackend");
+    let idl = write_idl(&dir, "g.idl", IDL);
+    let out = heidlc(&[idl.to_str().unwrap(), "--backend", "cobol"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("cobol") && text.contains("heidi-cpp"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ir_store_then_generate_from_ir() {
+    let dir = tmpdir("ir");
+    let idl = write_idl(&dir, "g.idl", IDL);
+    let ir = dir.join("repo");
+
+    // Compile + store.
+    let out = heidlc(&[
+        idl.to_str().unwrap(),
+        "--ir",
+        ir.to_str().unwrap(),
+        "--out",
+        dir.join("gen1").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ir.join("g.estp").exists());
+
+    // Later: generate Java from the stored EST, no IDL source involved.
+    let out = heidlc(&[
+        "--from-ir",
+        "g",
+        "--ir",
+        ir.to_str().unwrap(),
+        "--backend",
+        "java",
+        "--out",
+        dir.join("gen2").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("gen2/Greeter.java").exists());
+
+    // Unknown unit fails cleanly.
+    let out = heidlc(&["--from-ir", "nope", "--ir", ir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no unit `nope`"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn custom_template_with_include() {
+    let dir = tmpdir("tmpl");
+    let idl = write_idl(&dir, "g.idl", IDL);
+    std::fs::write(dir.join("banner.tmpl"), "@# partial\n# generated file\n").unwrap();
+    std::fs::write(
+        dir.join("main.tmpl"),
+        "@foreach interfaceList\n@openfile ${localName}.txt\n@include banner\niface ${localName}\n@end interfaceList\n",
+    )
+    .unwrap();
+    let out = heidlc(&[
+        idl.to_str().unwrap(),
+        "--template",
+        dir.join("main.tmpl").to_str().unwrap(),
+        "--out",
+        dir.join("gen").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(dir.join("gen/Greeter.txt")).unwrap();
+    assert!(text.contains("# generated file"), "{text}");
+    assert!(text.contains("iface Greeter"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn emit_idl_pretty_prints() {
+    let dir = tmpdir("pp");
+    let idl = write_idl(&dir, "g.idl", "module M{interface X{void f(in long a=3);};};");
+    let out = heidlc(&[idl.to_str().unwrap(), "--emit", "idl"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("void f(in long a = 3);"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,702 @@
+//! AST → EST builder: the "generic parser output" half of the paper's
+//! two-stage compiler (Fig 6).
+//!
+//! The builder resolves every name against the [`SymbolTable`], computes
+//! repository IDs (`IDL:Heidi/A:1.0`), and attaches the properties the
+//! template engine consumes. Source order of members is preserved in the
+//! child vector; *grouping* (Fig 7) is provided by the EST's kind-filtered
+//! list queries.
+
+use crate::node::{Est, NodeId, PropValue};
+use crate::symbols::{Symbol, SymbolTable};
+use crate::types::{describe, flat_name};
+use heidl_idl::ast::*;
+use heidl_idl::expr::{self, ConstValue, NameResolver};
+use heidl_idl::span::Span;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while building the EST (unresolved names, mostly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildError {
+    message: String,
+    span: Span,
+}
+
+impl BuildError {
+    fn new(message: impl Into<String>, span: Span) -> Self {
+        BuildError { message: message.into(), span }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the IDL source the problem lies.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span.start, self.message)
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builds the EST for a parsed specification.
+///
+/// ```
+/// let spec = heidl_idl::parse(heidl_idl::FIG3_IDL)?;
+/// let est = heidl_est::build(&spec)?;
+/// let a = est.find("Interface", "A").unwrap();
+/// assert_eq!(est.prop(a, "repoId").unwrap().as_text(), "IDL:Heidi/A:1.0");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] when the specification is semantically
+/// ill-formed (see [`check::validate`](crate::check::validate) for the
+/// enforced rules — the first diagnostic is returned), when a referenced
+/// name does not resolve, or when a constant expression cannot be
+/// evaluated.
+pub fn build(spec: &Specification) -> Result<Est, BuildError> {
+    if let Some(first) = crate::check::validate(spec).into_iter().next() {
+        return Err(BuildError::new(first.message().to_owned(), first.span()));
+    }
+    let table = SymbolTable::build(spec);
+    let mut b = Builder {
+        est: Est::new(),
+        table,
+        scope: Vec::new(),
+        bases: HashMap::new(),
+    };
+    b.collect_bases(&spec.definitions);
+    let root = b.est.root();
+    b.definitions(&spec.definitions, root)?;
+    Ok(b.est)
+}
+
+struct Builder {
+    est: Est,
+    table: SymbolTable,
+    scope: Vec<String>,
+    /// Interface flat name → direct base flat names (for flattening).
+    bases: HashMap<String, Vec<String>>,
+}
+
+impl Builder {
+    fn repo_id(&self, name: &str) -> String {
+        let mut path = self.scope.clone();
+        path.push(name.to_owned());
+        format!("IDL:{}:1.0", path.join("/"))
+    }
+
+    fn flat(&self, name: &str) -> String {
+        let mut path = self.scope.clone();
+        path.push(name.to_owned());
+        flat_name(&path)
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        let mut path = self.scope.clone();
+        path.push(name.to_owned());
+        path.join("::")
+    }
+
+    /// Pre-pass: record every interface's direct bases as flat names so
+    /// interfaces can later expose a transitively flattened base list.
+    fn collect_bases(&mut self, defs: &[Definition]) {
+        for def in defs {
+            match def {
+                Definition::Module(m) => {
+                    self.scope.push(m.name.text.clone());
+                    self.collect_bases(&m.definitions);
+                    self.scope.pop();
+                }
+                Definition::Interface(i) => {
+                    let scoped = self.scoped(&i.name.text);
+                    let direct: Vec<String> = i
+                        .bases
+                        .iter()
+                        .filter_map(|b| {
+                            self.table
+                                .resolve(b, &self.scope)
+                                .map(|(path, _)| path.join("::"))
+                        })
+                        .collect();
+                    self.bases.insert(scoped, direct);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Depth-first, left-to-right transitive bases with duplicates removed
+    /// (the order the paper prescribes for multi-inheritance dispatch).
+    fn flattened_bases(&self, scoped: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.flatten_into(scoped, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, scoped: &str, out: &mut Vec<String>) {
+        if let Some(direct) = self.bases.get(scoped) {
+            for b in direct {
+                if !out.contains(b) {
+                    out.push(b.clone());
+                    self.flatten_into(b, out);
+                }
+            }
+        }
+    }
+
+    fn resolve_flat(&self, name: &ScopedName) -> Result<String, BuildError> {
+        self.table
+            .resolve(name, &self.scope)
+            .map(|(path, _)| flat_name(&path))
+            .ok_or_else(|| BuildError::new(format!("unresolved name `{name}`"), name.span))
+    }
+
+    fn resolve_scoped(&self, name: &ScopedName) -> Result<String, BuildError> {
+        self.table
+            .resolve(name, &self.scope)
+            .map(|(path, _)| path.join("::"))
+            .ok_or_else(|| BuildError::new(format!("unresolved name `{name}`"), name.span))
+    }
+
+    fn type_props(
+        &mut self,
+        node: NodeId,
+        desc_key: &str,
+        ty: &Type,
+        span: Span,
+    ) -> Result<(), BuildError> {
+        let info = describe(ty, &self.table, &self.scope)
+            .map_err(|e| BuildError::new(e.to_string(), span))?;
+        self.est.add_prop(node, desc_key, info.desc);
+        self.est.add_prop(node, "type", info.category);
+        self.est.add_prop(node, "typeName", info.type_name);
+        self.est.add_prop(node, "IsVariable", info.is_variable);
+        Ok(())
+    }
+
+    /// Canonical text of a constant expression: `"0"`, `"TRUE"`, `"'c'"`,
+    /// `"\"s\""`, `"enum:Heidi_Start"`, `"0.5"`.
+    fn const_text(&self, e: &ConstExpr, span: Span) -> Result<String, BuildError> {
+        let resolver = Resolver { table: &self.table, scope: &self.scope };
+        let v = expr::eval(e, &resolver).map_err(|m| BuildError::new(m, span))?;
+        Ok(match v {
+            ConstValue::Int(v) => v.to_string(),
+            ConstValue::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    format!("{v:.1}")
+                } else {
+                    v.to_string()
+                }
+            }
+            ConstValue::Bool(true) => "TRUE".to_owned(),
+            ConstValue::Bool(false) => "FALSE".to_owned(),
+            ConstValue::Char(c) => format!("'{c}'"),
+            ConstValue::Str(s) => format!("\"{s}\""),
+            ConstValue::Enum(n) => n,
+        })
+    }
+
+    fn definitions(&mut self, defs: &[Definition], parent: NodeId) -> Result<(), BuildError> {
+        for def in defs {
+            match def {
+                Definition::Module(m) => self.module(m, parent)?,
+                Definition::Interface(i) => self.interface(i, parent)?,
+                Definition::ForwardInterface(fwd) => {
+                    let n = self.est.add_node(fwd.name.text.clone(), "Forward", parent);
+                    self.est.add_prop(n, "forwardName", self.scoped(&fwd.name.text));
+                    self.est.add_prop(n, "repoId", self.repo_id(&fwd.name.text));
+                }
+                Definition::TypeDef(t) => self.typedef(t, parent)?,
+                Definition::Struct(s) => {
+                    let n = self.est.add_node(s.name.text.clone(), "Struct", parent);
+                    self.est.add_prop(n, "structName", self.scoped(&s.name.text));
+                    self.est.add_prop(n, "repoId", self.repo_id(&s.name.text));
+                    self.est.add_prop(n, "IsVariable", true);
+                    self.fields(&s.members, n, s.span)?;
+                }
+                Definition::Union(u) => self.union(u, parent)?,
+                Definition::Enum(e) => {
+                    let n = self.est.add_node(e.name.text.clone(), "Enum", parent);
+                    self.est.add_prop(n, "enumName", self.scoped(&e.name.text));
+                    self.est.add_prop(n, "repoId", self.repo_id(&e.name.text));
+                    let members: Vec<String> =
+                        e.enumerators.iter().map(|m| m.text.clone()).collect();
+                    self.est.add_prop(n, "members", PropValue::List(members));
+                    // One child per enumerator so templates can iterate
+                    // `enumMemberList` with per-member values.
+                    for (i, en) in e.enumerators.iter().enumerate() {
+                        let m = self.est.add_node(en.text.clone(), "EnumMember", n);
+                        self.est.add_prop(m, "memberName", en.text.clone());
+                        self.est.add_prop(m, "memberValue", i as i64);
+                    }
+                }
+                Definition::Const(c) => {
+                    let n = self.est.add_node(c.name.text.clone(), "Const", parent);
+                    self.est.add_prop(n, "constName", self.scoped(&c.name.text));
+                    self.est.add_prop(n, "repoId", self.repo_id(&c.name.text));
+                    self.type_props(n, "constType", &c.ty, c.span)?;
+                    let value = self.const_text(&c.value, c.span)?;
+                    self.est.add_prop(n, "value", value);
+                }
+                Definition::Exception(e) => {
+                    let n = self.est.add_node(e.name.text.clone(), "Exception", parent);
+                    self.est.add_prop(n, "exceptionName", self.scoped(&e.name.text));
+                    self.est.add_prop(n, "repoId", self.repo_id(&e.name.text));
+                    self.fields(&e.members, n, e.span)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn module(&mut self, m: &Module, parent: NodeId) -> Result<(), BuildError> {
+        let n = self.est.add_node(m.name.text.clone(), "Module", parent);
+        self.est.add_prop(n, "moduleName", self.scoped(&m.name.text));
+        self.est.add_prop(n, "repoId", self.repo_id(&m.name.text));
+        self.scope.push(m.name.text.clone());
+        let r = self.definitions(&m.definitions, n);
+        self.scope.pop();
+        r
+    }
+
+    fn interface(&mut self, i: &Interface, parent: NodeId) -> Result<(), BuildError> {
+        let n = self.est.add_node(i.name.text.clone(), "Interface", parent);
+        let scoped = self.scoped(&i.name.text);
+        self.est.add_prop(n, "interfaceName", scoped.clone());
+        self.est.add_prop(n, "flatName", self.flat(&i.name.text));
+        self.est.add_prop(n, "localName", i.name.text.clone());
+        self.est.add_prop(n, "scopedName", scoped.clone());
+        self.est.add_prop(n, "repoId", self.repo_id(&i.name.text));
+        self.est.add_prop(n, "hasBases", !i.bases.is_empty());
+        // Fig 8: the first base is recorded as `Parent` (flat spelling,
+        // exactly as the paper's generated Perl shows); empty without bases
+        // so templates can test it.
+        match i.bases.first() {
+            Some(first) => {
+                let base_flat = self.resolve_flat(first)?;
+                self.est.add_prop(n, "Parent", base_flat);
+            }
+            None => self.est.add_prop(n, "Parent", ""),
+        }
+        for base in &i.bases {
+            let base_scoped = self.resolve_scoped(base)?;
+            let b = self.est.add_node(base.last().to_owned(), "Inherit", n);
+            self.est.add_prop(b, "inheritedName", base_scoped);
+            self.est.add_prop(b, "scopedName", base.to_string());
+        }
+        let flattened = self.flattened_bases(&scoped);
+        self.est.add_prop(n, "flattenedBases", PropValue::List(flattened));
+
+        let iface_repo_prefix = {
+            let mut path = self.scope.clone();
+            path.push(i.name.text.clone());
+            path.join("/")
+        };
+        for m in &i.members {
+            match m {
+                Member::Operation(op) => self.operation(op, n, &iface_repo_prefix)?,
+                Member::Attribute(a) => {
+                    let an = self.est.add_node(a.name.text.clone(), "Attribute", n);
+                    self.est.add_prop(an, "attributeName", a.name.text.clone());
+                    self.est.add_prop(
+                        an,
+                        "attributeQualifier",
+                        if a.readonly { "readonly" } else { "" },
+                    );
+                    self.est.add_prop(
+                        an,
+                        "repoId",
+                        format!("IDL:{}/{}:1.0", iface_repo_prefix, a.name.text),
+                    );
+                    self.type_props(an, "attributeType", &a.ty, a.span)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn operation(
+        &mut self,
+        op: &Operation,
+        parent: NodeId,
+        iface_repo_prefix: &str,
+    ) -> Result<(), BuildError> {
+        let n = self.est.add_node(op.name.text.clone(), "Operation", parent);
+        self.est.add_prop(n, "methodName", op.name.text.clone());
+        self.est.add_prop(n, "oneway", op.oneway);
+        self.est
+            .add_prop(n, "repoId", format!("IDL:{}/{}:1.0", iface_repo_prefix, op.name.text));
+        let info = describe(&op.return_type, &self.table, &self.scope)
+            .map_err(|e| BuildError::new(e.to_string(), op.span))?;
+        self.est.add_prop(n, "returnType", info.desc);
+        self.est.add_prop(n, "type", info.category);
+        self.est.add_prop(n, "typeName", info.type_name);
+        self.est.add_prop(n, "paramCount", op.params.len() as i64);
+        let names: Vec<String> = op.params.iter().map(|p| p.name.text.clone()).collect();
+        self.est.add_prop(n, "paramNames", PropValue::List(names));
+        for (pos, p) in op.params.iter().enumerate() {
+            let pn = self.est.add_node(p.name.text.clone(), "Param", n);
+            self.est.add_prop(pn, "paramName", p.name.text.clone());
+            // Fig 8 calls the direction property `getType`.
+            self.est.add_prop(pn, "getType", p.direction.as_str());
+            self.est.add_prop(pn, "direction", p.direction.as_str());
+            self.est.add_prop(pn, "position", pos as i64);
+            self.type_props(pn, "paramType", &p.ty, op.span)?;
+            let default = match &p.default {
+                Some(e) => self.const_text(e, op.span)?,
+                None => String::new(),
+            };
+            self.est.add_prop(pn, "defaultParam", default);
+        }
+        for r in &op.raises {
+            let scoped = self.resolve_scoped(r)?;
+            let rn = self.est.add_node(r.last().to_owned(), "Raises", n);
+            self.est.add_prop(rn, "raisesName", scoped);
+            self.est.add_prop(rn, "scopedName", r.to_string());
+        }
+        Ok(())
+    }
+
+    fn typedef(&mut self, t: &TypeDef, parent: NodeId) -> Result<(), BuildError> {
+        let n = self.est.add_node(t.name.text.clone(), "Alias", parent);
+        self.est.add_prop(n, "aliasName", self.scoped(&t.name.text));
+        self.est.add_prop(n, "repoId", self.repo_id(&t.name.text));
+        let info = describe(&t.ty, &self.table, &self.scope)
+            .map_err(|e| BuildError::new(e.to_string(), t.span))?;
+        // Fig 8: `AddProp("type", "sequence")` on the alias itself.
+        self.est.add_prop(n, "type", info.category.clone());
+        self.est.add_prop(n, "typeName", info.type_name.clone());
+        self.est.add_prop(n, "aliasedType", info.desc.clone());
+        self.est.add_prop(n, "IsVariable", info.is_variable);
+        let dims: Vec<String> = t.array_dims.iter().map(|d| d.to_string()).collect();
+        self.est.add_prop(n, "arrayDims", PropValue::List(dims));
+        // Fig 8: a sequence alias carries an anonymous Sequence child node
+        // describing the element type.
+        if let Type::Sequence(elem, bound) = &t.ty {
+            let sn = self.est.add_node("", "Sequence", n);
+            let einfo = describe(elem, &self.table, &self.scope)
+                .map_err(|e| BuildError::new(e.to_string(), t.span))?;
+            self.est.add_prop(sn, "type", einfo.category);
+            self.est.add_prop(sn, "typeName", einfo.type_name);
+            self.est.add_prop(sn, "elemType", einfo.desc);
+            self.est.add_prop(sn, "IsVariable", einfo.is_variable);
+            if let Some(b) = bound {
+                self.est.add_prop(sn, "bound", *b as i64);
+            }
+        }
+        Ok(())
+    }
+
+    fn union(&mut self, u: &UnionDef, parent: NodeId) -> Result<(), BuildError> {
+        let n = self.est.add_node(u.name.text.clone(), "Union", parent);
+        self.est.add_prop(n, "unionName", self.scoped(&u.name.text));
+        self.est.add_prop(n, "repoId", self.repo_id(&u.name.text));
+        self.est.add_prop(n, "IsVariable", true);
+        self.type_props(n, "switchType", &u.discriminator, u.span)?;
+        for case in &u.cases {
+            let cn = self.est.add_node(case.name.text.clone(), "Case", n);
+            self.est.add_prop(cn, "caseName", case.name.text.clone());
+            self.type_props(cn, "caseType", &case.ty, u.span)?;
+            let labels: Vec<String> = case
+                .labels
+                .iter()
+                .map(|l| match l {
+                    CaseLabel::Default => Ok("default".to_owned()),
+                    CaseLabel::Expr(e) => self.const_text(e, u.span),
+                })
+                .collect::<Result<_, _>>()?;
+            self.est.add_prop(cn, "labels", PropValue::List(labels));
+        }
+        Ok(())
+    }
+
+    fn fields(
+        &mut self,
+        members: &[StructMember],
+        parent: NodeId,
+        span: Span,
+    ) -> Result<(), BuildError> {
+        for f in members {
+            let fnode = self.est.add_node(f.name.text.clone(), "Field", parent);
+            self.est.add_prop(fnode, "fieldName", f.name.text.clone());
+            self.type_props(fnode, "fieldType", &f.ty, span)?;
+            let dims: Vec<String> = f.array_dims.iter().map(|d| d.to_string()).collect();
+            self.est.add_prop(fnode, "arrayDims", PropValue::List(dims));
+        }
+        Ok(())
+    }
+}
+
+/// Resolves names in constant expressions against the symbol table.
+struct Resolver<'a> {
+    table: &'a SymbolTable,
+    scope: &'a [String],
+}
+
+impl NameResolver for Resolver<'_> {
+    fn resolve(&self, name: &ScopedName) -> Option<ConstValue> {
+        let (path, sym) = self.table.resolve(name, self.scope)?;
+        match sym {
+            Symbol::Enumerator(value_path) => {
+                Some(ConstValue::Enum(format!("enum:{}", value_path.join("::"))))
+            }
+            Symbol::Const(e) => {
+                // Evaluate the constant's own expression in its enclosing
+                // scope so nested named constants resolve correctly.
+                let enclosing = &path[..path.len() - 1];
+                let inner = Resolver { table: self.table, scope: enclosing };
+                expr::eval(e, &inner).ok()
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heidl_idl::parse;
+
+    fn fig3_est() -> Est {
+        build(&parse(heidl_idl::FIG3_IDL).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fig8_module_and_repo_ids() {
+        let est = fig3_est();
+        let m = est.find("Module", "Heidi").unwrap();
+        assert_eq!(est.prop(m, "repoId").unwrap().as_text(), "IDL:Heidi:1.0");
+        let a = est.find("Interface", "A").unwrap();
+        assert_eq!(est.prop(a, "repoId").unwrap().as_text(), "IDL:Heidi/A:1.0");
+        let f = est
+            .children_of_kind(a, "Operation")
+            .into_iter()
+            .find(|&o| est.node(o).name == "f")
+            .unwrap();
+        assert_eq!(est.prop(f, "repoId").unwrap().as_text(), "IDL:Heidi/A/f:1.0");
+    }
+
+    #[test]
+    fn fig8_enum_members_prop() {
+        let est = fig3_est();
+        let e = est.find("Enum", "Status").unwrap();
+        assert_eq!(
+            est.prop(e, "members").unwrap(),
+            PropValue::List(vec!["Start".into(), "Stop".into()])
+        );
+        assert_eq!(est.prop(e, "enumName").unwrap().as_text(), "Heidi::Status");
+    }
+
+    #[test]
+    fn fig8_sequence_alias_child() {
+        let est = fig3_est();
+        let alias = est.find("Alias", "SSequence").unwrap();
+        assert_eq!(est.prop(alias, "type").unwrap().as_text(), "sequence");
+        let seqs = est.children_of_kind(alias, "Sequence");
+        assert_eq!(seqs.len(), 1);
+        let s = seqs[0];
+        assert_eq!(est.prop(s, "type").unwrap().as_text(), "objref");
+        assert_eq!(est.prop(s, "typeName").unwrap().as_text(), "Heidi_S");
+        assert_eq!(est.prop(s, "IsVariable").unwrap(), PropValue::Bool(true));
+    }
+
+    #[test]
+    fn fig8_interface_parent_prop() {
+        let est = fig3_est();
+        let a = est.find("Interface", "A").unwrap();
+        assert_eq!(est.prop(a, "Parent").unwrap().as_text(), "Heidi_S");
+    }
+
+    #[test]
+    fn fig8_param_props() {
+        let est = fig3_est();
+        let a = est.find("Interface", "A").unwrap();
+        let f = est
+            .children_of_kind(a, "Operation")
+            .into_iter()
+            .find(|&o| est.node(o).name == "f")
+            .unwrap();
+        let params = est.children_of_kind(f, "Param");
+        assert_eq!(params.len(), 1);
+        let p = params[0];
+        assert_eq!(est.prop(p, "type").unwrap().as_text(), "objref");
+        assert_eq!(est.prop(p, "typeName").unwrap().as_text(), "Heidi_A");
+        assert_eq!(est.prop(p, "getType").unwrap().as_text(), "in");
+    }
+
+    #[test]
+    fn fig7_grouping_attribute_between_methods() {
+        // In Fig 3 the `button` attribute sits between methods q and s;
+        // the EST's grouped lists keep methods contiguous.
+        let est = fig3_est();
+        let a = est.find("Interface", "A").unwrap();
+        let methods: Vec<String> = est
+            .children_of_kind(a, "Operation")
+            .into_iter()
+            .map(|o| est.node(o).name.clone())
+            .collect();
+        assert_eq!(methods, ["f", "g", "p", "q", "s", "t"]);
+        let attrs: Vec<String> = est
+            .children_of_kind(a, "Attribute")
+            .into_iter()
+            .map(|o| est.node(o).name.clone())
+            .collect();
+        assert_eq!(attrs, ["button"]);
+    }
+
+    #[test]
+    fn default_params_canonicalize() {
+        let est = fig3_est();
+        let a = est.find("Interface", "A").unwrap();
+        let defaults: Vec<(String, String)> = est
+            .children_of_kind(a, "Operation")
+            .into_iter()
+            .flat_map(|o| est.children_of_kind(o, "Param"))
+            .map(|p| {
+                (
+                    est.node(p).name.clone(),
+                    est.prop(p, "defaultParam").unwrap().as_text(),
+                )
+            })
+            .collect();
+        let get = |name: &str| {
+            defaults.iter().find(|(n, _)| n == name).map(|(_, d)| d.clone()).unwrap()
+        };
+        assert_eq!(get("a"), "");
+        assert_eq!(get("l"), "0");
+        assert_eq!(get("b"), "TRUE");
+        // q's parameter default `Heidi::Start` resolves to the enumerator.
+        let q_default = defaults.iter().filter(|(n, _)| n == "s").map(|(_, d)| d.clone()).collect::<Vec<_>>();
+        assert!(q_default.contains(&"enum:Heidi::Start".to_owned()), "{q_default:?}");
+    }
+
+    #[test]
+    fn incopy_direction_prop() {
+        let est = fig3_est();
+        let a = est.find("Interface", "A").unwrap();
+        let g = est
+            .children_of_kind(a, "Operation")
+            .into_iter()
+            .find(|&o| est.node(o).name == "g")
+            .unwrap();
+        let p = est.children_of_kind(g, "Param")[0];
+        assert_eq!(est.prop(p, "getType").unwrap().as_text(), "incopy");
+    }
+
+    #[test]
+    fn readonly_attribute_qualifier() {
+        let est = fig3_est();
+        let a = est.find("Interface", "A").unwrap();
+        let attr = est.children_of_kind(a, "Attribute")[0];
+        assert_eq!(est.prop(attr, "attributeQualifier").unwrap().as_text(), "readonly");
+        assert_eq!(est.prop(attr, "type").unwrap().as_text(), "enum");
+        assert_eq!(est.prop(attr, "typeName").unwrap().as_text(), "Heidi_Status");
+    }
+
+    #[test]
+    fn flattened_bases_are_transitive_and_deduped() {
+        let src = r#"
+            interface A {};
+            interface B : A {};
+            interface C : A {};
+            interface D : B, C {};
+        "#;
+        let est = build(&parse(src).unwrap()).unwrap();
+        let d = est.find("Interface", "D").unwrap();
+        let PropValue::List(bases) = est.prop(d, "flattenedBases").unwrap() else { panic!() };
+        assert_eq!(bases, ["B", "A", "C"]);
+        let inherits = est.children_of_kind(d, "Inherit");
+        assert_eq!(inherits.len(), 2, "direct bases only");
+    }
+
+    #[test]
+    fn unresolved_base_is_an_error() {
+        let err = build(&parse("interface A : Missing {};").unwrap()).unwrap_err();
+        assert!(err.message().contains("Missing"), "{err}");
+    }
+
+    #[test]
+    fn unresolved_param_type_is_an_error() {
+        let err = build(&parse("interface A { void f(in Nope x); };").unwrap()).unwrap_err();
+        assert!(err.message().contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn const_value_inlining() {
+        let src = "const long BASE = 40; const long MAX = BASE + 2; \
+                   interface I { void f(in long x = MAX); };";
+        let est = build(&parse(src).unwrap()).unwrap();
+        let c = est.find("Const", "MAX").unwrap();
+        assert_eq!(est.prop(c, "value").unwrap().as_text(), "42");
+        let i = est.find("Interface", "I").unwrap();
+        let f = est.children_of_kind(i, "Operation")[0];
+        let p = est.children_of_kind(f, "Param")[0];
+        assert_eq!(est.prop(p, "defaultParam").unwrap().as_text(), "42");
+    }
+
+    #[test]
+    fn exception_and_raises() {
+        let src = "exception Broken { string why; }; \
+                   interface I { void f() raises (Broken); };";
+        let est = build(&parse(src).unwrap()).unwrap();
+        let e = est.find("Exception", "Broken").unwrap();
+        let fields = est.children_of_kind(e, "Field");
+        assert_eq!(fields.len(), 1);
+        assert_eq!(est.prop(fields[0], "type").unwrap().as_text(), "string");
+        let i = est.find("Interface", "I").unwrap();
+        let f = est.children_of_kind(i, "Operation")[0];
+        let raises = est.children_of_kind(f, "Raises");
+        assert_eq!(raises.len(), 1);
+        assert_eq!(est.prop(raises[0], "raisesName").unwrap().as_text(), "Broken");
+    }
+
+    #[test]
+    fn union_cases_and_labels() {
+        let src = "enum E { X, Y }; union U switch (E) { case X: long a; default: float b; };";
+        let est = build(&parse(src).unwrap()).unwrap();
+        let u = est.find("Union", "U").unwrap();
+        assert_eq!(est.prop(u, "switchType").unwrap().as_text(), "enum:E");
+        let cases = est.children_of_kind(u, "Case");
+        assert_eq!(cases.len(), 2);
+        assert_eq!(
+            est.prop(cases[0], "labels").unwrap(),
+            PropValue::List(vec!["enum:X".into()])
+        );
+        assert_eq!(
+            est.prop(cases[1], "labels").unwrap(),
+            PropValue::List(vec!["default".into()])
+        );
+    }
+
+    #[test]
+    fn oneway_prop() {
+        let est = build(&parse("interface I { oneway void ping(); };").unwrap()).unwrap();
+        let i = est.find("Interface", "I").unwrap();
+        let op = est.children_of_kind(i, "Operation")[0];
+        assert_eq!(est.prop(op, "oneway").unwrap(), PropValue::Bool(true));
+    }
+
+    #[test]
+    fn struct_fields_with_arrays() {
+        let est = build(&parse("struct P { long xs[4]; string name; };").unwrap()).unwrap();
+        let p = est.find("Struct", "P").unwrap();
+        let fields = est.children_of_kind(p, "Field");
+        assert_eq!(
+            est.prop(fields[0], "arrayDims").unwrap(),
+            PropValue::List(vec!["4".into()])
+        );
+        assert_eq!(est.prop(fields[1], "type").unwrap().as_text(), "string");
+    }
+}

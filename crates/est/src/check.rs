@@ -1,0 +1,526 @@
+//! Semantic validation: the well-formedness rules an IDL compiler
+//! enforces before code generation.
+//!
+//! [`validate`] returns *all* diagnostics (not just the first), each with
+//! a source span. [`build`](crate::build()) runs it first, so no
+//! ill-formed specification ever reaches the EST or the templates.
+//!
+//! Enforced rules:
+//!
+//! * names are unique within a scope (modules merge in real IDL; we keep
+//!   the paper-era one-shot model and reject redefinition);
+//! * interface members (operations + attributes) and parameters are
+//!   uniquely named; enumerators are unique;
+//! * inheritance names resolve to interfaces and form no cycles;
+//! * `oneway` operations return `void`, have no `out`/`inout` parameters
+//!   and no `raises` clause (OMG rules — a oneway has no reply to carry
+//!   results or exceptions);
+//! * default parameter values trail non-defaulted parameters (the C++
+//!   rule the HeidiRMI mapping inherits, §3.1);
+//! * `raises` names resolve to exceptions;
+//! * union case labels are unique and the discriminator is an integral,
+//!   boolean, char or enum type.
+
+use crate::symbols::{Symbol, SymbolTable};
+use heidl_idl::ast::*;
+use heidl_idl::span::Span;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One semantic diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticError {
+    message: String,
+    span: Span,
+}
+
+impl SemanticError {
+    fn new(message: impl Into<String>, span: Span) -> Self {
+        SemanticError { message: message.into(), span }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the problem lies.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+/// Validates `spec`, returning every diagnostic found.
+pub fn validate(spec: &Specification) -> Vec<SemanticError> {
+    let table = SymbolTable::build(spec);
+    let mut checker = Checker {
+        table,
+        scope: Vec::new(),
+        errors: Vec::new(),
+        bases: HashMap::new(),
+    };
+    checker.collect_bases(&spec.definitions);
+    checker.definitions(&spec.definitions);
+    checker.errors
+}
+
+struct Checker {
+    table: SymbolTable,
+    scope: Vec<String>,
+    errors: Vec<SemanticError>,
+    /// Interface path → resolved direct base paths, for cycle detection.
+    bases: HashMap<Vec<String>, Vec<Vec<String>>>,
+}
+
+impl Checker {
+    fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.errors.push(SemanticError::new(message, span));
+    }
+
+    fn definitions(&mut self, defs: &[Definition]) {
+        // Unique names per scope. Forward declarations may coexist with
+        // the interface definition of the same name (that is their job);
+        // everything else redefined is an error.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Class {
+            InterfaceDef,
+            InterfaceFwd,
+            Other,
+        }
+        let mut seen: HashMap<&str, Class> = HashMap::new();
+        for def in defs {
+            let name = def.name().text.as_str();
+            let class = match def {
+                Definition::Interface(_) => Class::InterfaceDef,
+                Definition::ForwardInterface(_) => Class::InterfaceFwd,
+                _ => Class::Other,
+            };
+            match seen.get(name).copied() {
+                None => {
+                    seen.insert(name, class);
+                }
+                // Forward declarations combine freely with each other and
+                // with at most one real definition.
+                Some(Class::InterfaceFwd) if class != Class::Other => {
+                    seen.insert(name, class);
+                }
+                Some(Class::InterfaceDef) if class == Class::InterfaceFwd => {}
+                Some(_) => {
+                    self.error(format!("duplicate definition of `{name}`"), def.name().span);
+                }
+            }
+            match def {
+                Definition::Module(m) => {
+                    self.scope.push(m.name.text.clone());
+                    self.definitions(&m.definitions);
+                    self.scope.pop();
+                }
+                Definition::Interface(i) => self.interface(i),
+                Definition::Enum(e) => self.enum_def(e),
+                Definition::Union(u) => self.union_def(u),
+                Definition::Struct(s) => self.fields(&s.members, "struct", s.span),
+                Definition::Exception(e) => self.fields(&e.members, "exception", e.span),
+                _ => {}
+            }
+        }
+    }
+
+    fn fields(&mut self, members: &[StructMember], what: &str, span: Span) {
+        let mut seen = HashSet::new();
+        for m in members {
+            if !seen.insert(m.name.text.as_str()) {
+                self.error(
+                    format!("duplicate {what} field `{}`", m.name.text),
+                    m.name.span,
+                );
+            }
+        }
+        if members.is_empty() && what == "struct" {
+            self.error("struct has no fields", span);
+        }
+    }
+
+    fn enum_def(&mut self, e: &EnumDef) {
+        let mut seen = HashSet::new();
+        for member in &e.enumerators {
+            if !seen.insert(member.text.as_str()) {
+                self.error(format!("duplicate enumerator `{}`", member.text), member.span);
+            }
+        }
+    }
+
+    fn interface(&mut self, i: &Interface) {
+        // Bases must be interfaces; the closure must be acyclic.
+        for base in &i.bases {
+            match self.table.resolve(base, &self.scope) {
+                Some((_, Symbol::Interface)) => {}
+                Some(_) => {
+                    self.error(format!("`{base}` is not an interface"), base.span);
+                }
+                None => self.error(format!("unresolved base interface `{base}`"), base.span),
+            }
+        }
+        if self.has_inheritance_cycle(i) {
+            self.error(
+                format!("interface `{}` inherits from itself (directly or transitively)", i.name),
+                i.name.span,
+            );
+        }
+
+        let mut members = HashSet::new();
+        for m in &i.members {
+            match m {
+                Member::Operation(op) => {
+                    if !members.insert(op.name.text.clone()) {
+                        self.error(
+                            format!("duplicate member `{}` in interface `{}`", op.name, i.name),
+                            op.name.span,
+                        );
+                    }
+                    self.operation(op);
+                }
+                Member::Attribute(a) => {
+                    if !members.insert(a.name.text.clone()) {
+                        self.error(
+                            format!("duplicate member `{}` in interface `{}`", a.name, i.name),
+                            a.name.span,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-pass: record every interface's resolved direct base paths.
+    fn collect_bases(&mut self, defs: &[Definition]) {
+        for def in defs {
+            match def {
+                Definition::Module(m) => {
+                    self.scope.push(m.name.text.clone());
+                    self.collect_bases(&m.definitions);
+                    self.scope.pop();
+                }
+                Definition::Interface(i) => {
+                    let mut own = self.scope.clone();
+                    own.push(i.name.text.clone());
+                    let direct: Vec<Vec<String>> = i
+                        .bases
+                        .iter()
+                        .filter_map(|b| match self.table.resolve(b, &self.scope) {
+                            Some((path, Symbol::Interface)) => Some(path),
+                            _ => None,
+                        })
+                        .collect();
+                    self.bases.insert(own, direct);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// DFS over the resolved base graph: reaching the interface's own
+    /// path again is a cycle (covers direct, mutual and longer cycles).
+    fn has_inheritance_cycle(&self, i: &Interface) -> bool {
+        let mut own = self.scope.clone();
+        own.push(i.name.text.clone());
+        let mut visited: HashSet<&[String]> = HashSet::new();
+        let mut stack: Vec<&Vec<String>> =
+            self.bases.get(&own).map(|b| b.iter().collect()).unwrap_or_default();
+        while let Some(path) = stack.pop() {
+            if *path == own {
+                return true;
+            }
+            if !visited.insert(path.as_slice()) {
+                continue;
+            }
+            if let Some(next) = self.bases.get(path) {
+                stack.extend(next.iter());
+            }
+        }
+        false
+    }
+
+    fn operation(&mut self, op: &Operation) {
+        if op.oneway {
+            if op.return_type != Type::Void {
+                self.error(
+                    format!("oneway operation `{}` must return void", op.name),
+                    op.span,
+                );
+            }
+            if op
+                .params
+                .iter()
+                .any(|p| matches!(p.direction, Direction::Out | Direction::InOut))
+            {
+                self.error(
+                    format!("oneway operation `{}` cannot have out/inout parameters", op.name),
+                    op.span,
+                );
+            }
+            if !op.raises.is_empty() {
+                self.error(
+                    format!("oneway operation `{}` cannot raise exceptions", op.name),
+                    op.span,
+                );
+            }
+        }
+
+        let mut seen = HashSet::new();
+        let mut defaults_started = false;
+        for p in &op.params {
+            if !seen.insert(p.name.text.as_str()) {
+                self.error(
+                    format!("duplicate parameter `{}` in operation `{}`", p.name, op.name),
+                    p.name.span,
+                );
+            }
+            // The C++ trailing-default rule, inherited by the mapping.
+            if p.default.is_some() {
+                defaults_started = true;
+                if !matches!(p.direction, Direction::In | Direction::Incopy) {
+                    self.error(
+                        format!(
+                            "parameter `{}` of `{}`: only in/incopy parameters may take defaults",
+                            p.name, op.name
+                        ),
+                        p.name.span,
+                    );
+                }
+            } else if defaults_started {
+                self.error(
+                    format!(
+                        "parameter `{}` of `{}` follows a defaulted parameter and must also have a default",
+                        p.name, op.name
+                    ),
+                    p.name.span,
+                );
+            }
+        }
+
+        for r in &op.raises {
+            match self.table.resolve(r, &self.scope) {
+                Some((_, Symbol::Exception)) => {}
+                Some(_) => self.error(format!("`{r}` is not an exception"), r.span),
+                None => self.error(format!("unresolved exception `{r}`"), r.span),
+            }
+        }
+    }
+
+    fn union_def(&mut self, u: &UnionDef) {
+        // Discriminator: integral, boolean, char, or enum.
+        let ok = match &u.discriminator {
+            Type::Boolean
+            | Type::Char
+            | Type::Short
+            | Type::UShort
+            | Type::Long
+            | Type::ULong
+            | Type::LongLong
+            | Type::ULongLong => true,
+            Type::Named(n) => matches!(
+                self.table.resolve_transparent(n, &self.scope),
+                Some((_, Symbol::Enum))
+            ),
+            _ => false,
+        };
+        if !ok {
+            self.error(
+                format!(
+                    "union `{}` discriminator must be an integral, boolean, char or enum type",
+                    u.name
+                ),
+                u.span,
+            );
+        }
+
+        let mut labels = HashSet::new();
+        let mut default_seen = false;
+        let mut arm_names = HashSet::new();
+        for case in &u.cases {
+            if !arm_names.insert(case.name.text.as_str()) {
+                self.error(format!("duplicate union arm `{}`", case.name), case.name.span);
+            }
+            for label in &case.labels {
+                match label {
+                    CaseLabel::Default => {
+                        if default_seen {
+                            self.error(
+                                format!("union `{}` has multiple default labels", u.name),
+                                u.span,
+                            );
+                        }
+                        default_seen = true;
+                    }
+                    CaseLabel::Expr(e) => {
+                        let key = e.to_string();
+                        if !labels.insert(key.clone()) {
+                            self.error(
+                                format!("duplicate case label `{key}` in union `{}`", u.name),
+                                u.span,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heidl_idl::parse;
+
+    fn errors(src: &str) -> Vec<String> {
+        validate(&parse(src).unwrap()).into_iter().map(|e| e.message().to_owned()).collect()
+    }
+
+    fn assert_clean(src: &str) {
+        let errs = errors(src);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    fn assert_error(src: &str, needle: &str) {
+        let errs = errors(src);
+        assert!(
+            errs.iter().any(|e| e.contains(needle)),
+            "expected `{needle}` in {errs:?}"
+        );
+    }
+
+    #[test]
+    fn fig3_is_clean() {
+        assert_clean(heidl_idl::FIG3_IDL);
+    }
+
+    #[test]
+    fn duplicate_definitions_in_scope() {
+        assert_error("interface A {}; interface A {};", "duplicate definition of `A`");
+        assert_error("enum E { X }; struct E { long a; };", "duplicate definition of `E`");
+        // But forward + definition is legal:
+        assert_clean("interface S; interface S {};");
+        // And the same name in different modules is legal:
+        assert_clean("module M1 { interface A {}; }; module M2 { interface A {}; };");
+    }
+
+    #[test]
+    fn duplicate_members_and_params() {
+        assert_error("interface I { void f(); void f(); };", "duplicate member `f`");
+        assert_error(
+            "interface I { void f(); attribute long f; };",
+            "duplicate member `f`",
+        );
+        assert_error("interface I { void f(in long a, in long a); };", "duplicate parameter `a`");
+        assert_error("enum E { X, X };", "duplicate enumerator `X`");
+        assert_error("struct S { long a; long a; };", "duplicate struct field `a`");
+    }
+
+    #[test]
+    fn oneway_rules() {
+        assert_error("interface I { oneway long f(); };", "must return void");
+        assert_error("interface I { oneway void f(out long x); };", "out/inout");
+        assert_error(
+            "exception E { long c; }; interface I { oneway void f() raises (E); };",
+            "cannot raise",
+        );
+        assert_clean("interface I { oneway void f(in long x); };");
+    }
+
+    #[test]
+    fn trailing_default_rule() {
+        assert_error(
+            "interface I { void f(in long a = 1, in long b); };",
+            "must also have a default",
+        );
+        assert_clean("interface I { void f(in long a, in long b = 1); };");
+        assert_error(
+            "interface I { void f(out long a = 1); };",
+            "only in/incopy parameters may take defaults",
+        );
+    }
+
+    #[test]
+    fn raises_must_name_exceptions() {
+        assert_error(
+            "interface E {}; interface I { void f() raises (E); };",
+            "is not an exception",
+        );
+        assert_error("interface I { void f() raises (Nope); };", "unresolved exception");
+        assert_clean("exception E { long code; }; interface I { void f() raises (E); };");
+    }
+
+    #[test]
+    fn bases_must_be_interfaces_and_acyclic() {
+        assert_error("enum E { X }; interface I : E {};", "is not an interface");
+        assert_error("interface A : A {};", "inherits from itself");
+        assert_clean("interface A {}; interface B : A {};");
+    }
+
+    #[test]
+    fn mutual_and_long_inheritance_cycles() {
+        let errs = errors("interface A : B {}; interface B : A {};");
+        assert_eq!(
+            errs.iter().filter(|e| e.contains("inherits from itself")).count(),
+            2,
+            "{errs:?}"
+        );
+        assert_error(
+            "interface A : C {}; interface B : A {}; interface C : B {};",
+            "inherits from itself",
+        );
+        // Diamonds are NOT cycles.
+        assert_clean(
+            "interface Root {}; interface L : Root {}; interface R : Root {}; interface D : L, R {};",
+        );
+    }
+
+    #[test]
+    fn build_rejects_invalid_specs() {
+        let err = crate::build(&parse("interface I { oneway long f(); };").unwrap()).unwrap_err();
+        assert!(err.message().contains("must return void"), "{err}");
+        let err = crate::build(&parse("interface A : A {};").unwrap()).unwrap_err();
+        assert!(err.message().contains("inherits from itself"), "{err}");
+    }
+
+    #[test]
+    fn union_rules() {
+        assert_error(
+            "union U switch (float) { case 1: long a; };",
+            "discriminator must be",
+        );
+        assert_error(
+            "union U switch (long) { case 1: long a; case 1: long b; };",
+            "duplicate case label",
+        );
+        assert_error(
+            "union U switch (long) { default: long a; default: long b; };",
+            "multiple default labels",
+        );
+        assert_error(
+            "union U switch (long) { case 1: long a; case 2: long a; };",
+            "duplicate union arm",
+        );
+        assert_clean("enum E { X, Y }; union U switch (E) { case X: long a; default: float b; };");
+        assert_clean("union U switch (boolean) { case TRUE: long a; };");
+    }
+
+    #[test]
+    fn empty_struct_is_flagged() {
+        assert_error("struct S {};", "no fields");
+    }
+
+    #[test]
+    fn multiple_errors_are_all_reported() {
+        let errs = errors("interface I { void f(); void f(); oneway long g(); };");
+        assert!(errs.len() >= 2, "{errs:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # heidl-est — the Enhanced Syntax Tree
+//!
+//! The middle stage of the template-driven IDL compiler from Welling & Ott
+//! (Middleware 2000, §4): a parse tree *"organized so that similar elements
+//! are grouped together"*. Interfaces expose their operations, attributes
+//! and inherited bases as separate lists regardless of source interleaving
+//! (Fig 7), which is what makes a template's `@foreach methodList`
+//! exhaustive.
+//!
+//! The crate provides:
+//!
+//! * [`Est`] / [`EstNode`] — the arena-based property-bag tree, mirroring
+//!   the paper's `Ast::New` / `AddProp` API (Fig 8);
+//! * [`build()`] — AST → EST with name resolution, repository IDs and type
+//!   descriptors;
+//! * [`script`] — the executable textual EST encoding (the Perl-program
+//!   analog of Fig 8) with [`script::encode`] / [`script::decode`];
+//! * [`lists`] — the `fooList` naming convention used by templates.
+//!
+//! ```
+//! let spec = heidl_idl::parse(heidl_idl::FIG3_IDL)?;
+//! let est = heidl_est::build(&spec)?;
+//! let a = est.find("Interface", "A").unwrap();
+//! // Members grouped by kind, not source order (Fig 7):
+//! assert_eq!(est.children_of_kind(a, "Operation").len(), 6);
+//! assert_eq!(est.children_of_kind(a, "Attribute").len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod check;
+pub mod lists;
+pub mod node;
+pub mod repository;
+pub mod script;
+pub mod symbols;
+pub mod types;
+
+pub use build::{build, BuildError};
+pub use check::{validate, SemanticError};
+pub use node::{Est, EstNode, NodeId, PropValue};
+pub use repository::{InterfaceRepository, RepoError};
+pub use symbols::{Symbol, SymbolTable};
+pub use types::{describe, flat_name, TypeDesc, TypeInfo};

@@ -1,0 +1,97 @@
+//! List-name ↔ node-kind mapping for templates.
+//!
+//! The paper's templates iterate named lists — `@foreach interfaceList`,
+//! `@foreach methodList`, `@foreach paramList` (Fig 9) — which the EST
+//! serves by filtering children on node kind. This module is the naming
+//! convention glue.
+
+/// Maps a template list name (e.g. `"methodList"`) to the EST node kind it
+/// enumerates (e.g. `"Operation"`).
+///
+/// Unknown names ending in `List` fall back to the capitalized stem, so
+/// project-specific node kinds work without registry changes:
+/// `"widgetList"` → `"Widget"`.
+pub fn kind_for_list(list: &str) -> Option<String> {
+    let known = match list {
+        "moduleList" => "Module",
+        "interfaceList" => "Interface",
+        "forwardList" => "Forward",
+        "methodList" | "operationList" => "Operation",
+        "attributeList" => "Attribute",
+        "paramList" | "parameterList" => "Param",
+        "inheritedList" => "Inherit",
+        "raisesList" => "Raises",
+        "enumList" => "Enum",
+        "aliasList" | "typedefList" => "Alias",
+        "structList" => "Struct",
+        "fieldList" | "memberList" => "Field",
+        "unionList" => "Union",
+        "caseList" => "Case",
+        "constList" => "Const",
+        "exceptionList" => "Exception",
+        "sequenceList" => "Sequence",
+        _ => "",
+    };
+    if !known.is_empty() {
+        return Some(known.to_owned());
+    }
+    let stem = list.strip_suffix("List")?;
+    let mut chars = stem.chars();
+    let first = chars.next()?;
+    Some(first.to_uppercase().collect::<String>() + chars.as_str())
+}
+
+/// Whether a list should search *recursively through modules* when iterated
+/// from a container node. True for all top-level definition kinds; member
+/// kinds (operations, params, fields, ...) only ever iterate direct
+/// children.
+pub fn is_container_list(kind: &str) -> bool {
+    matches!(
+        kind,
+        "Module"
+            | "Interface"
+            | "Forward"
+            | "Enum"
+            | "Alias"
+            | "Struct"
+            | "Union"
+            | "Const"
+            | "Exception"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_lists_map() {
+        assert_eq!(kind_for_list("interfaceList").unwrap(), "Interface");
+        assert_eq!(kind_for_list("methodList").unwrap(), "Operation");
+        assert_eq!(kind_for_list("paramList").unwrap(), "Param");
+        assert_eq!(kind_for_list("parameterList").unwrap(), "Param");
+        assert_eq!(kind_for_list("inheritedList").unwrap(), "Inherit");
+        assert_eq!(kind_for_list("memberList").unwrap(), "Field");
+    }
+
+    #[test]
+    fn fallback_capitalizes_stem() {
+        assert_eq!(kind_for_list("widgetList").unwrap(), "Widget");
+        assert_eq!(kind_for_list("caseList").unwrap(), "Case");
+    }
+
+    #[test]
+    fn non_list_names_are_none() {
+        assert_eq!(kind_for_list("interfaces"), None);
+        assert_eq!(kind_for_list("List"), None);
+        assert_eq!(kind_for_list(""), None);
+    }
+
+    #[test]
+    fn container_kinds() {
+        assert!(is_container_list("Interface"));
+        assert!(is_container_list("Enum"));
+        assert!(!is_container_list("Operation"));
+        assert!(!is_container_list("Param"));
+    }
+}

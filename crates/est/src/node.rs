@@ -1,0 +1,357 @@
+//! The Enhanced Syntax Tree node model.
+//!
+//! An EST (paper §4.1, Fig 7) is a parse tree reorganized so that *similar
+//! elements are grouped together*: all the operations of an interface form
+//! one list, all the attributes another, regardless of how they interleave
+//! in the IDL source. Nodes are property bags — the paper's Perl encoding
+//! (`Ast::New(name, kind, parent)` + `AddProp`) maps directly onto
+//! [`Est::add_node`] and [`Est::add_prop`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a node within an [`Est`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A property value attached to an EST node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropValue {
+    /// A string property (the common case; the paper's props are strings).
+    Str(String),
+    /// An integer property.
+    Int(i64),
+    /// A boolean property (e.g. `IsVariable`).
+    Bool(bool),
+    /// A list of strings (e.g. an enum's `members`).
+    List(Vec<String>),
+}
+
+impl PropValue {
+    /// The value rendered as template-substitutable text.
+    ///
+    /// Lists join with `", "`; booleans render as `true`/`false` to match
+    /// the paper's Fig 8 (`AddProp("IsVariable", true)`).
+    pub fn as_text(&self) -> String {
+        match self {
+            PropValue::Str(s) => s.clone(),
+            PropValue::Int(v) => v.to_string(),
+            PropValue::Bool(v) => v.to_string(),
+            PropValue::List(items) => items.join(", "),
+        }
+    }
+
+    /// Borrows the string content when this is a [`PropValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(s: &str) -> Self {
+        PropValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for PropValue {
+    fn from(s: String) -> Self {
+        PropValue::Str(s)
+    }
+}
+
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+
+/// One node of the EST: a named, kinded property bag with ordered children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstNode {
+    /// The node's name (an interface/operation/param name; may be empty for
+    /// anonymous nodes such as inline sequence types).
+    pub name: String,
+    /// The node kind, e.g. `"Interface"`, `"Operation"`, `"Param"`.
+    pub kind: String,
+    /// Properties, ordered by key for deterministic encoding.
+    pub props: BTreeMap<String, PropValue>,
+    /// Children in insertion order. Grouped access goes through
+    /// [`Est::children_of_kind`].
+    pub children: Vec<NodeId>,
+    /// The parent node, `None` only for the root.
+    pub parent: Option<NodeId>,
+}
+
+/// An Enhanced Syntax Tree: an arena of [`EstNode`]s with a single root.
+///
+/// ```
+/// use heidl_est::{Est, PropValue};
+///
+/// let mut est = Est::new();
+/// let root = est.root();
+/// let m = est.add_node("Heidi", "Module", root);
+/// let i = est.add_node("A", "Interface", m);
+/// est.add_prop(i, "Parent", "Heidi_S");
+/// assert_eq!(est.children_of_kind(m, "Interface"), vec![i]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Est {
+    nodes: Vec<EstNode>,
+}
+
+impl Est {
+    /// Creates an EST containing only a `Root` node.
+    pub fn new() -> Self {
+        Est {
+            nodes: vec![EstNode {
+                name: "Root".to_owned(),
+                kind: "Root".to_owned(),
+                props: BTreeMap::new(),
+                children: Vec::new(),
+                parent: None,
+            }],
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Adds a node under `parent`, mirroring the paper's
+    /// `Ast::New(name, kind, parent)`.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        parent: NodeId,
+    ) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("EST larger than u32::MAX nodes"));
+        self.nodes.push(EstNode {
+            name: name.into(),
+            kind: kind.into(),
+            props: BTreeMap::new(),
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Attaches a property, mirroring the paper's `AddProp`.
+    /// Overwrites any existing property of the same key.
+    pub fn add_prop(&mut self, node: NodeId, key: impl Into<String>, value: impl Into<PropValue>) {
+        self.nodes[node.index()].props.insert(key.into(), value.into());
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, id: NodeId) -> &EstNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Iterates over all `(id, node)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &EstNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Looks up a property on a node.
+    ///
+    /// Two *virtual* properties always resolve: `name` and `kind`, unless
+    /// shadowed by an explicit property of the same key.
+    pub fn prop(&self, node: NodeId, key: &str) -> Option<PropValue> {
+        let n = self.node(node);
+        if let Some(v) = n.props.get(key) {
+            return Some(v.clone());
+        }
+        match key {
+            "name" => Some(PropValue::Str(n.name.clone())),
+            "kind" => Some(PropValue::Str(n.kind.clone())),
+            _ => None,
+        }
+    }
+
+    /// The *grouped* child list: direct children of `node` with kind `kind`,
+    /// in source order. This is the paper's Fig 7 invariant — attributes and
+    /// operations interleaved in IDL come back as separate, contiguous lists.
+    pub fn children_of_kind(&self, node: NodeId, kind: &str) -> Vec<NodeId> {
+        self.node(node)
+            .children
+            .iter()
+            .copied()
+            .filter(|c| self.node(*c).kind == kind)
+            .collect()
+    }
+
+    /// Like [`Est::children_of_kind`], but when `node` is a container
+    /// (`Root` or `Module`) the search descends through nested modules.
+    ///
+    /// This is what lets a template say `@foreach interfaceList` at the top
+    /// level and visit every interface in every module (paper Fig 9).
+    pub fn descendants_of_kind(&self, node: NodeId, kind: &str) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.collect_descendants(node, kind, &mut out);
+        out
+    }
+
+    fn collect_descendants(&self, node: NodeId, kind: &str, out: &mut Vec<NodeId>) {
+        for &c in &self.node(node).children {
+            let child = self.node(c);
+            if child.kind == kind {
+                out.push(c);
+            }
+            if child.kind == "Module" {
+                self.collect_descendants(c, kind, out);
+            }
+        }
+    }
+
+    /// Finds the first descendant (depth-first) with the given kind and name.
+    pub fn find(&self, kind: &str, name: &str) -> Option<NodeId> {
+        self.iter().find(|(_, n)| n.kind == kind && n.name == name).map(|(id, _)| id)
+    }
+}
+
+impl Default for Est {
+    fn default() -> Self {
+        Est::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Est, NodeId, NodeId) {
+        let mut est = Est::new();
+        let root = est.root();
+        let m = est.add_node("Heidi", "Module", root);
+        let i = est.add_node("A", "Interface", m);
+        (est, m, i)
+    }
+
+    #[test]
+    fn root_exists_and_is_empty() {
+        let est = Est::new();
+        assert!(est.is_empty());
+        assert_eq!(est.node(est.root()).kind, "Root");
+        assert_eq!(est.node(est.root()).parent, None);
+    }
+
+    #[test]
+    fn add_node_links_parent_and_child() {
+        let (est, m, i) = sample();
+        assert_eq!(est.node(i).parent, Some(m));
+        assert_eq!(est.node(m).children, vec![i]);
+        assert_eq!(est.len(), 3);
+        assert!(!est.is_empty());
+    }
+
+    #[test]
+    fn props_overwrite_and_resolve() {
+        let (mut est, _, i) = sample();
+        est.add_prop(i, "Parent", "Heidi_S");
+        est.add_prop(i, "Parent", "Heidi_T");
+        assert_eq!(est.prop(i, "Parent"), Some(PropValue::Str("Heidi_T".into())));
+        assert_eq!(est.prop(i, "missing"), None);
+    }
+
+    #[test]
+    fn virtual_name_and_kind_props() {
+        let (est, m, i) = sample();
+        assert_eq!(est.prop(m, "name").unwrap().as_text(), "Heidi");
+        assert_eq!(est.prop(i, "kind").unwrap().as_text(), "Interface");
+    }
+
+    #[test]
+    fn explicit_prop_shadows_virtual() {
+        let (mut est, _, i) = sample();
+        est.add_prop(i, "name", "Mapped");
+        assert_eq!(est.prop(i, "name").unwrap().as_text(), "Mapped");
+    }
+
+    #[test]
+    fn children_of_kind_groups_interleaved_members() {
+        let (mut est, _, i) = sample();
+        // Interleave like Fig 3: q, button (attribute), s.
+        est.add_node("q", "Operation", i);
+        est.add_node("button", "Attribute", i);
+        est.add_node("s", "Operation", i);
+        let ops: Vec<_> =
+            est.children_of_kind(i, "Operation").iter().map(|&o| est.node(o).name.clone()).collect();
+        assert_eq!(ops, ["q", "s"]);
+        let attrs = est.children_of_kind(i, "Attribute");
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(est.node(attrs[0]).name, "button");
+    }
+
+    #[test]
+    fn descendants_descend_through_modules_only() {
+        let mut est = Est::new();
+        let root = est.root();
+        let m1 = est.add_node("M1", "Module", root);
+        let m2 = est.add_node("M2", "Module", m1);
+        let i1 = est.add_node("I1", "Interface", m1);
+        let i2 = est.add_node("I2", "Interface", m2);
+        // An interface nested *inside an interface node* is not a thing the
+        // builder produces, but make sure we don't descend into non-modules.
+        est.add_node("Op", "Operation", i1);
+        assert_eq!(est.descendants_of_kind(root, "Interface"), vec![i2, i1]);
+        assert_eq!(est.descendants_of_kind(root, "Operation"), Vec::<NodeId>::new());
+        assert_eq!(est.descendants_of_kind(m1, "Interface"), vec![i2, i1]);
+    }
+
+    #[test]
+    fn find_locates_by_kind_and_name() {
+        let (est, _, i) = sample();
+        assert_eq!(est.find("Interface", "A"), Some(i));
+        assert_eq!(est.find("Interface", "B"), None);
+        assert_eq!(est.find("Module", "A"), None);
+    }
+
+    #[test]
+    fn prop_value_text_rendering() {
+        assert_eq!(PropValue::Str("x".into()).as_text(), "x");
+        assert_eq!(PropValue::Int(-3).as_text(), "-3");
+        assert_eq!(PropValue::Bool(true).as_text(), "true");
+        assert_eq!(PropValue::List(vec!["Start".into(), "Stop".into()]).as_text(), "Start, Stop");
+        assert_eq!(PropValue::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(PropValue::Int(1).as_str(), None);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(Est::new().root().to_string(), "n0");
+    }
+}

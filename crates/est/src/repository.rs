@@ -1,0 +1,289 @@
+//! A persistent Interface Repository storing ESTs.
+//!
+//! Paper §5: the OmniBroker compiler "stores an abstract representation
+//! of the IDL source in a possibly persistent global *Interface
+//! Repository* (IR) in support of a distributed development environment.
+//! The code-generation stage then queries the IR ... the IR could be
+//! modified to store the EST instead of the parse tree." This module is
+//! that modified IR: compilation units are stored as executable EST
+//! scripts (Fig 8) under a directory, so code generation can run later,
+//! elsewhere, without the IDL source.
+
+use crate::node::Est;
+use crate::script::{self, ScriptError};
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File extension for stored EST scripts.
+const EXT: &str = "estp";
+
+/// Errors from repository operations.
+#[derive(Debug)]
+pub enum RepoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A stored script failed to decode (corruption, version skew).
+    Corrupt {
+        /// The unit whose script failed.
+        unit: String,
+        /// The decode error.
+        source: ScriptError,
+    },
+    /// The requested unit does not exist.
+    NotFound {
+        /// The missing unit name.
+        unit: String,
+    },
+    /// A unit name that would escape the repository directory.
+    BadName {
+        /// The offending name.
+        unit: String,
+    },
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::Io(e) => write!(f, "repository i/o error: {e}"),
+            RepoError::Corrupt { unit, source } => {
+                write!(f, "stored unit `{unit}` is corrupt: {source}")
+            }
+            RepoError::NotFound { unit } => write!(f, "no unit `{unit}` in the repository"),
+            RepoError::BadName { unit } => {
+                write!(f, "invalid unit name `{unit}` (must be a bare name)")
+            }
+        }
+    }
+}
+
+impl Error for RepoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RepoError::Io(e) => Some(e),
+            RepoError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RepoError {
+    fn from(e: io::Error) -> Self {
+        RepoError::Io(e)
+    }
+}
+
+/// A directory of stored ESTs, one per compilation unit.
+#[derive(Debug, Clone)]
+pub struct InterfaceRepository {
+    root: PathBuf,
+}
+
+impl InterfaceRepository {
+    /// Opens (creating if needed) a repository at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<InterfaceRepository, RepoError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(InterfaceRepository { root })
+    }
+
+    /// The repository directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, unit: &str) -> Result<PathBuf, RepoError> {
+        let valid = !unit.is_empty()
+            && unit
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.');
+        if !valid || unit.contains("..") {
+            return Err(RepoError::BadName { unit: unit.to_owned() });
+        }
+        Ok(self.root.join(format!("{unit}.{EXT}")))
+    }
+
+    /// Stores (or replaces) a compilation unit's EST.
+    ///
+    /// # Errors
+    ///
+    /// Bad unit names and filesystem failures.
+    pub fn store(&self, unit: &str, est: &Est) -> Result<(), RepoError> {
+        let path = self.path_for(unit)?;
+        std::fs::write(path, script::encode(est))?;
+        Ok(())
+    }
+
+    /// Loads a unit's EST by executing its stored script.
+    ///
+    /// # Errors
+    ///
+    /// [`RepoError::NotFound`] for unknown units, [`RepoError::Corrupt`]
+    /// for undecodable scripts.
+    pub fn load(&self, unit: &str) -> Result<Est, RepoError> {
+        let path = self.path_for(unit)?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(RepoError::NotFound { unit: unit.to_owned() });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        script::decode(&text)
+            .map_err(|source| RepoError::Corrupt { unit: unit.to_owned(), source })
+    }
+
+    /// Removes a unit; `Ok(false)` when it did not exist.
+    ///
+    /// # Errors
+    ///
+    /// Bad unit names and filesystem failures.
+    pub fn remove(&self, unit: &str) -> Result<bool, RepoError> {
+        let path = self.path_for(unit)?;
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists stored unit names, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn units(&self) -> Result<Vec<String>, RepoError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(EXT) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    out.push(stem.to_owned());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Finds the unit defining the interface with the given repository id
+    /// (e.g. `IDL:Heidi/A:1.0`), searching all stored units.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures and corrupt units encountered during the scan.
+    pub fn find_interface(&self, repo_id: &str) -> Result<Option<(String, Est)>, RepoError> {
+        for unit in self.units()? {
+            let est = self.load(&unit)?;
+            let hit = est.iter().any(|(id, n)| {
+                n.kind == "Interface"
+                    && est.prop(id, "repoId").map(|p| p.as_text()) == Some(repo_id.to_owned())
+            });
+            if hit {
+                return Ok(Some((unit, est)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use heidl_idl::parse;
+
+    fn temp_repo(tag: &str) -> InterfaceRepository {
+        let dir = std::env::temp_dir().join(format!("heidl-ir-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        InterfaceRepository::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let repo = temp_repo("roundtrip");
+        let est = build(&parse(heidl_idl::FIG3_IDL).unwrap()).unwrap();
+        repo.store("A", &est).unwrap();
+        let loaded = repo.load("A").unwrap();
+        assert!(script::same_shape(&est, &loaded));
+        std::fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn units_listed_sorted_and_removable() {
+        let repo = temp_repo("units");
+        let est = build(&parse("interface X {};").unwrap()).unwrap();
+        repo.store("zeta", &est).unwrap();
+        repo.store("alpha", &est).unwrap();
+        assert_eq!(repo.units().unwrap(), ["alpha", "zeta"]);
+        assert!(repo.remove("zeta").unwrap());
+        assert!(!repo.remove("zeta").unwrap(), "second remove is a no-op");
+        assert_eq!(repo.units().unwrap(), ["alpha"]);
+        std::fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn load_missing_unit_is_not_found() {
+        let repo = temp_repo("missing");
+        assert!(matches!(repo.load("nope"), Err(RepoError::NotFound { .. })));
+        std::fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_unit_is_reported_with_name() {
+        let repo = temp_repo("corrupt");
+        std::fs::write(repo.root().join("bad.estp"), "new broken").unwrap();
+        let err = repo.load("bad").unwrap_err();
+        let RepoError::Corrupt { unit, .. } = err else { panic!("{err}") };
+        assert_eq!(unit, "bad");
+        std::fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn bad_unit_names_are_rejected() {
+        let repo = temp_repo("names");
+        let est = Est::new();
+        for bad in ["../evil", "a/b", "", "a b"] {
+            assert!(
+                matches!(repo.store(bad, &est), Err(RepoError::BadName { .. })),
+                "`{bad}` should be rejected"
+            );
+        }
+        std::fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn find_interface_by_repo_id() {
+        let repo = temp_repo("find");
+        let a = build(&parse(heidl_idl::FIG3_IDL).unwrap()).unwrap();
+        let b = build(&parse("module M { interface Other {}; };").unwrap()).unwrap();
+        repo.store("a_unit", &a).unwrap();
+        repo.store("b_unit", &b).unwrap();
+        let (unit, est) = repo.find_interface("IDL:Heidi/A:1.0").unwrap().unwrap();
+        assert_eq!(unit, "a_unit");
+        assert!(est.find("Interface", "A").is_some());
+        let (unit, _) = repo.find_interface("IDL:M/Other:1.0").unwrap().unwrap();
+        assert_eq!(unit, "b_unit");
+        assert!(repo.find_interface("IDL:Nope:1.0").unwrap().is_none());
+        std::fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn store_replaces_existing_unit() {
+        let repo = temp_repo("replace");
+        let v1 = build(&parse("interface V1 {};").unwrap()).unwrap();
+        let v2 = build(&parse("interface V2 {};").unwrap()).unwrap();
+        repo.store("u", &v1).unwrap();
+        repo.store("u", &v2).unwrap();
+        let loaded = repo.load("u").unwrap();
+        assert!(loaded.find("Interface", "V2").is_some());
+        assert!(loaded.find("Interface", "V1").is_none());
+        std::fs::remove_dir_all(repo.root()).unwrap();
+    }
+}

@@ -1,0 +1,496 @@
+//! The *EST script*: an executable textual encoding of the EST.
+//!
+//! The paper's prototype (Fig 8) emits a **Perl program** that rebuilds the
+//! EST inside the interpreter (`Ast::New(...)`, `AddProp(...)`), arguing
+//! that "evaluating a perl program that directly rebuilds the EST ... is
+//! certainly more efficient than parsing an external representation". Our
+//! analog is a line-oriented command program with exactly those two
+//! operations:
+//!
+//! ```text
+//! # IDL:Heidi/A:1.0
+//! new n2 Interface "A" n1
+//! prop n2 Parent str "Heidi_S"
+//! prop n2 members list "Start","Stop"
+//! ```
+//!
+//! [`encode`] renders a program; [`decode`] "executes" it to rebuild the
+//! [`Est`]. Experiment E6 benchmarks decode against a full IDL re-parse.
+
+use crate::node::{Est, EstNode, NodeId, PropValue};
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// An error produced while decoding an EST script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError {
+    /// 1-based line number of the offending command.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "script line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ScriptError {}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the EST as a script program (the Fig 8 analog).
+///
+/// Nodes appear in creation order, each `new` followed by its `prop` lines,
+/// with the repository ID echoed as a comment when present (as the paper's
+/// generated Perl does).
+pub fn encode(est: &Est) -> String {
+    let mut out = String::new();
+    for (id, node) in est.iter() {
+        // decode() creates the root implicitly, but its properties (if
+        // any) still need emitting.
+        if id != est.root() {
+            if let Some(repo) = node.props.get("repoId") {
+                let _ = writeln!(out, "# {}", repo.as_text());
+            }
+            let parent = node.parent.expect("non-root nodes have parents");
+            let _ = writeln!(out, "new {id} {} {} {parent}", node.kind, quote(&node.name));
+        }
+        for (key, value) in &node.props {
+            let (ty, rendered) = match value {
+                PropValue::Str(s) => ("str", quote(s)),
+                PropValue::Int(v) => ("int", v.to_string()),
+                PropValue::Bool(v) => ("bool", v.to_string()),
+                PropValue::List(items) => {
+                    let joined: Vec<String> = items.iter().map(|i| quote(i)).collect();
+                    ("list", joined.join(","))
+                }
+            };
+            let _ = writeln!(out, "prop {id} {key} {ty} {rendered}");
+        }
+    }
+    out
+}
+
+/// Executes a script program, rebuilding the EST.
+///
+/// Decoding is the paper's "evaluate a program that directly rebuilds the
+/// EST" step and must beat a full IDL re-parse (experiment E6), so the
+/// hot path is allocation-free until a value string is actually built:
+/// node ids are numeric indices into a dense table, operands are borrowed
+/// slices, and error construction is deferred.
+///
+/// # Errors
+///
+/// Returns a [`ScriptError`] with the line number on malformed commands,
+/// undefined node references, or bad literals.
+pub fn decode(script: &str) -> Result<Est, ScriptError> {
+    let mut est = Est::new();
+    // Script ids are "n<index>" in creation order; bind them densely.
+    let mut ids: Vec<Option<NodeId>> = vec![Some(est.root())];
+
+    let lookup = |ids: &[Option<NodeId>], token: &str, line: usize| -> Result<NodeId, ScriptError> {
+        let idx: usize = token
+            .strip_prefix('n')
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| ScriptError { line, message: format!("bad node id `{token}`") })?;
+        ids.get(idx).copied().flatten().ok_or_else(|| ScriptError {
+            line,
+            message: format!("undefined node `{token}`"),
+        })
+    };
+
+    for (i, raw) in script.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim_ascii();
+        if line.is_empty() || line.as_bytes()[0] == b'#' {
+            continue;
+        }
+        let mut parts = Operands::new(line);
+        let cmd = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
+        match cmd {
+            "new" => {
+                let id = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let idx: usize = id
+                    .strip_prefix('n')
+                    .and_then(|d| d.parse().ok())
+                    .ok_or_else(|| ScriptError {
+                        line: line_no,
+                        message: format!("bad node id `{id}`"),
+                    })?;
+                let kind = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let name =
+                    parts.quoted().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let parent_tok =
+                    parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let parent = lookup(&ids, parent_tok, line_no)?;
+                let node = est.add_node(name, kind, parent);
+                if ids.len() <= idx {
+                    ids.resize(idx + 1, None);
+                }
+                ids[idx] = Some(node);
+            }
+            "prop" => {
+                let id = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let node = lookup(&ids, id, line_no)?;
+                let key = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let ty = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let value = match ty {
+                    "str" => PropValue::Str(
+                        parts.quoted().map_err(|m| ScriptError { line: line_no, message: m })?,
+                    ),
+                    "int" => PropValue::Int(
+                        parts
+                            .word()
+                            .map_err(|m| ScriptError { line: line_no, message: m })?
+                            .parse()
+                            .map_err(|e| ScriptError {
+                                line: line_no,
+                                message: format!("bad int literal: {e}"),
+                            })?,
+                    ),
+                    "bool" => match parts
+                        .word()
+                        .map_err(|m| ScriptError { line: line_no, message: m })?
+                    {
+                        "true" => PropValue::Bool(true),
+                        "false" => PropValue::Bool(false),
+                        other => {
+                            return Err(ScriptError {
+                                line: line_no,
+                                message: format!("bad bool literal `{other}`"),
+                            });
+                        }
+                    },
+                    "list" => {
+                        let mut items = Vec::new();
+                        if !parts.at_end() {
+                            loop {
+                                items.push(parts.quoted().map_err(|m| ScriptError {
+                                    line: line_no,
+                                    message: m,
+                                })?);
+                                if !parts.eat(',') {
+                                    break;
+                                }
+                            }
+                        }
+                        PropValue::List(items)
+                    }
+                    other => {
+                        return Err(ScriptError {
+                            line: line_no,
+                            message: format!("unknown property type `{other}`"),
+                        });
+                    }
+                };
+                est.add_prop(node, key.to_owned(), value);
+            }
+            other => {
+                return Err(ScriptError {
+                    line: line_no,
+                    message: format!("unknown command `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(est)
+}
+
+/// A tiny zero-copy operand scanner over one command line.
+struct Operands<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Operands<'a> {
+    fn new(rest: &'a str) -> Self {
+        Operands { rest: rest.trim_ascii_start() }
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    fn word(&mut self) -> Result<&'a str, String> {
+        if self.rest.is_empty() {
+            return Err("missing operand".to_owned());
+        }
+        let end = self.rest.find(' ').unwrap_or(self.rest.len());
+        let (w, rest) = self.rest.split_at(end);
+        self.rest = rest.trim_ascii_start();
+        Ok(w)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if let Some(rest) = self.rest.strip_prefix(c) {
+            self.rest = rest.trim_ascii_start();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String, String> {
+        let rest = self
+            .rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected quoted string at `{}`", self.rest))?;
+        // Fast path: no escapes before the closing quote.
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => {
+                    let out = rest[..i].to_owned();
+                    self.rest = rest[i + 1..].trim_ascii_start();
+                    return Ok(out);
+                }
+                b'\\' => break,
+                _ => i += 1,
+            }
+        }
+        // Slow path with escapes.
+        let mut out = String::new();
+        out.push_str(&rest[..i]);
+        let mut chars = rest[i..].char_indices();
+        while let Some((j, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = rest[i + j + 1..].trim_ascii_start();
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, e)) => out.push(e),
+                    None => return Err("dangling escape".to_owned()),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated quoted string".to_owned())
+    }
+}
+
+/// A *recorded program* that rebuilds an EST through direct API calls —
+/// the faithful analog of the paper's generated Perl once it has been
+/// compiled by the interpreter. The paper's §4.1 claim is exactly that
+/// "evaluating a perl program that directly rebuilds the EST ... is
+/// certainly more efficient than parsing an external representation of
+/// the EST": [`Replay::run`] vs [`decode`] in experiment E6.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    ops: Vec<ReplayOp>,
+}
+
+#[derive(Debug, Clone)]
+enum ReplayOp {
+    New { name: String, kind: String, parent: u32 },
+    Prop { node: u32, key: String, value: PropValue },
+}
+
+impl Replay {
+    /// Records the instruction sequence that recreates `est`.
+    pub fn record(est: &Est) -> Replay {
+        let mut ops = Vec::new();
+        for (id, node) in est.iter() {
+            if id != est.root() {
+                let parent = node.parent.expect("non-root nodes have parents");
+                ops.push(ReplayOp::New {
+                    name: node.name.clone(),
+                    kind: node.kind.clone(),
+                    parent: parent.index() as u32,
+                });
+            }
+            for (key, value) in &node.props {
+                ops.push(ReplayOp::Prop {
+                    node: id.index() as u32,
+                    key: key.clone(),
+                    value: value.clone(),
+                });
+            }
+        }
+        Replay { ops }
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Executes the program, rebuilding the EST.
+    pub fn run(&self) -> Est {
+        let mut est = Est::new();
+        let mut ids: Vec<NodeId> = vec![est.root()];
+        for op in &self.ops {
+            match op {
+                ReplayOp::New { name, kind, parent } => {
+                    let node =
+                        est.add_node(name.clone(), kind.clone(), ids[*parent as usize]);
+                    ids.push(node);
+                }
+                ReplayOp::Prop { node, key, value } => {
+                    est.add_prop(ids[*node as usize], key.clone(), value.clone());
+                }
+            }
+        }
+        est
+    }
+}
+
+/// Structural equality of two ESTs ignoring node-id numbering: same tree
+/// shape, names, kinds and props.
+pub fn same_shape(a: &Est, b: &Est) -> bool {
+    fn node_eq(a: &Est, b: &Est, an: NodeId, bn: NodeId) -> bool {
+        let (na, nb): (&EstNode, &EstNode) = (a.node(an), b.node(bn));
+        na.name == nb.name
+            && na.kind == nb.kind
+            && na.props == nb.props
+            && na.children.len() == nb.children.len()
+            && na
+                .children
+                .iter()
+                .zip(&nb.children)
+                .all(|(&ca, &cb)| node_eq(a, b, ca, cb))
+    }
+    node_eq(a, b, a.root(), b.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use heidl_idl::parse;
+
+    #[test]
+    fn fig8_roundtrip_for_fig3() {
+        let est = build(&parse(heidl_idl::FIG3_IDL).unwrap()).unwrap();
+        let script = encode(&est);
+        // The script contains the paper's comment convention.
+        assert!(script.contains("# IDL:Heidi/A:1.0"), "{script}");
+        assert!(script.contains("new "), "{script}");
+        let rebuilt = decode(&script).unwrap();
+        assert!(same_shape(&est, &rebuilt));
+    }
+
+    #[test]
+    fn decode_reports_line_numbers() {
+        let err = decode("new n1 Module \"M\" n0\nbogus command\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn decode_rejects_undefined_parent() {
+        let err = decode("new n5 Interface \"A\" n99\n").unwrap_err();
+        assert!(err.message.contains("undefined node `n99`"), "{err}");
+        let err = decode("new n5 Interface \"A\" nope\n").unwrap_err();
+        assert!(err.message.contains("bad node id"), "{err}");
+    }
+
+    #[test]
+    fn replay_rebuilds_identically() {
+        let est = build(&parse(heidl_idl::FIG3_IDL).unwrap()).unwrap();
+        let replay = Replay::record(&est);
+        assert!(!replay.is_empty());
+        let rebuilt = replay.run();
+        assert!(same_shape(&est, &rebuilt));
+        assert_eq!(rebuilt.len(), est.len());
+    }
+
+    #[test]
+    fn decode_rejects_bad_literals() {
+        let base = "new n1 Module \"M\" n0\n";
+        assert!(decode(&format!("{base}prop n1 x int notanint\n")).is_err());
+        assert!(decode(&format!("{base}prop n1 x bool maybe\n")).is_err());
+        assert!(decode(&format!("{base}prop n1 x blob \"v\"\n")).is_err());
+        assert!(decode(&format!("{base}prop n9 x str \"v\"\n")).is_err());
+    }
+
+    #[test]
+    fn quoting_survives_special_characters() {
+        let mut est = Est::new();
+        let root = est.root();
+        let n = est.add_node("we\"ird\\name\n", "Struct", root);
+        est.add_prop(n, "value", "line1\nline2 \"quoted\"");
+        est.add_prop(n, "items", PropValue::List(vec!["a,b".into(), "c\"d".into()]));
+        let script = encode(&est);
+        let rebuilt = decode(&script).unwrap();
+        assert!(same_shape(&est, &rebuilt), "{script}");
+    }
+
+    #[test]
+    fn empty_list_prop_roundtrips() {
+        let mut est = Est::new();
+        let root = est.root();
+        let n = est.add_node("E", "Enum", root);
+        est.add_prop(n, "members", PropValue::List(vec![]));
+        let rebuilt = decode(&encode(&est)).unwrap();
+        assert!(same_shape(&est, &rebuilt));
+    }
+
+    #[test]
+    fn int_and_bool_props_roundtrip() {
+        let mut est = Est::new();
+        let root = est.root();
+        let n = est.add_node("x", "Param", root);
+        est.add_prop(n, "position", 3i64);
+        est.add_prop(n, "IsVariable", true);
+        est.add_prop(n, "negative", -7i64);
+        let rebuilt = decode(&encode(&est)).unwrap();
+        assert!(same_shape(&est, &rebuilt));
+    }
+
+    #[test]
+    fn root_properties_survive_the_roundtrip() {
+        // Regression: encode() used to skip the root node wholesale,
+        // dropping its properties (found by proptest).
+        let mut est = Est::new();
+        let root = est.root();
+        est.add_prop(root, "file", "A.idl");
+        let rebuilt = decode(&encode(&est)).unwrap();
+        assert!(same_shape(&est, &rebuilt));
+        assert_eq!(rebuilt.prop(rebuilt.root(), "file").unwrap().as_text(), "A.idl");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let est = decode("# a comment\n\n  \nnew n1 Module \"M\" n0\n").unwrap();
+        assert_eq!(est.len(), 2);
+    }
+
+    #[test]
+    fn same_shape_detects_differences() {
+        let mut a = Est::new();
+        let ra = a.root();
+        a.add_node("A", "Interface", ra);
+        let mut b = Est::new();
+        let rb = b.root();
+        b.add_node("B", "Interface", rb);
+        assert!(!same_shape(&a, &b));
+        let mut c = Est::new();
+        let rc = c.root();
+        c.add_node("A", "Interface", rc);
+        assert!(same_shape(&a, &c));
+    }
+}

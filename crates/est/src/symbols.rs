@@ -1,0 +1,245 @@
+//! Symbol table: resolves scoped names to the kind of entity they denote.
+//!
+//! The EST builder needs to know whether `Heidi::S` names an interface (an
+//! *object reference* in the paper's terminology, `type = "objref"`), an
+//! enum, a struct, an alias, or an enumerator — the generated props differ.
+//! Resolution follows IDL scoping: a name is searched from the innermost
+//! enclosing scope outwards, and enumerators are injected into the scope
+//! *enclosing* their enum (which is why `Heidi::Start` resolves in Fig 3).
+
+use heidl_idl::ast::{ConstExpr, Definition, ScopedName, Specification};
+use std::collections::HashMap;
+
+/// What a resolved name denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Symbol {
+    /// An interface (or forward-declared interface): an object reference.
+    Interface,
+    /// An enum type.
+    Enum,
+    /// An enumerator; carries the absolute path of its value, e.g.
+    /// `["Heidi", "Start"]`.
+    Enumerator(Vec<String>),
+    /// A struct type.
+    Struct,
+    /// A union type.
+    Union,
+    /// A typedef; carries the aliased type for transparent resolution.
+    Alias(heidl_idl::ast::Type),
+    /// A constant; carries its (unevaluated) value expression.
+    Const(ConstExpr),
+    /// An exception type.
+    Exception,
+    /// A module.
+    Module,
+}
+
+/// A symbol table over one IDL specification.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Absolute path (e.g. `["Heidi", "A"]`) → symbol.
+    entries: HashMap<Vec<String>, Symbol>,
+}
+
+impl SymbolTable {
+    /// Builds the table by walking `spec`.
+    pub fn build(spec: &Specification) -> Self {
+        let mut table = SymbolTable::default();
+        let mut scope = Vec::new();
+        table.collect(&spec.definitions, &mut scope);
+        table
+    }
+
+    fn insert(&mut self, scope: &[String], name: &str, sym: Symbol) {
+        let mut path = scope.to_vec();
+        path.push(name.to_owned());
+        self.entries.insert(path, sym);
+    }
+
+    fn collect(&mut self, defs: &[Definition], scope: &mut Vec<String>) {
+        for def in defs {
+            match def {
+                Definition::Module(m) => {
+                    self.insert(scope, &m.name.text, Symbol::Module);
+                    scope.push(m.name.text.clone());
+                    self.collect(&m.definitions, scope);
+                    scope.pop();
+                }
+                Definition::Interface(i) => {
+                    self.insert(scope, &i.name.text, Symbol::Interface);
+                }
+                Definition::ForwardInterface(f) => {
+                    self.insert(scope, &f.name.text, Symbol::Interface);
+                }
+                Definition::TypeDef(t) => {
+                    self.insert(scope, &t.name.text, Symbol::Alias(t.ty.clone()));
+                }
+                Definition::Struct(s) => {
+                    self.insert(scope, &s.name.text, Symbol::Struct);
+                }
+                Definition::Union(u) => {
+                    self.insert(scope, &u.name.text, Symbol::Union);
+                }
+                Definition::Enum(e) => {
+                    self.insert(scope, &e.name.text, Symbol::Enum);
+                    // Enumerators are injected into the enclosing scope.
+                    for en in &e.enumerators {
+                        let mut value_path = scope.clone();
+                        value_path.push(en.text.clone());
+                        self.insert(scope, &en.text, Symbol::Enumerator(value_path));
+                    }
+                }
+                Definition::Const(c) => {
+                    self.insert(scope, &c.name.text, Symbol::Const(c.value.clone()));
+                }
+                Definition::Exception(e) => {
+                    self.insert(scope, &e.name.text, Symbol::Exception);
+                }
+            }
+        }
+    }
+
+    /// Resolves `name` as used from within `scope` (innermost last).
+    ///
+    /// Returns the symbol together with its absolute path. Absolute names
+    /// (`::A::B`) skip the outward search.
+    pub fn resolve(&self, name: &ScopedName, scope: &[String]) -> Option<(Vec<String>, &Symbol)> {
+        let parts: Vec<String> = name.parts.iter().map(|p| p.text.clone()).collect();
+        if name.absolute {
+            return self.entries.get(&parts).map(|s| (parts.clone(), s));
+        }
+        // Search enclosing scopes from innermost to outermost, then global.
+        for depth in (0..=scope.len()).rev() {
+            let mut candidate: Vec<String> = scope[..depth].to_vec();
+            candidate.extend(parts.iter().cloned());
+            if let Some(sym) = self.entries.get(&candidate) {
+                return Some((candidate, sym));
+            }
+        }
+        None
+    }
+
+    /// Resolves through aliases until a non-alias symbol (or the final
+    /// aliased primitive type) is reached.
+    ///
+    /// Returns `None` when `name` is entirely unknown.
+    pub fn resolve_transparent(
+        &self,
+        name: &ScopedName,
+        scope: &[String],
+    ) -> Option<(Vec<String>, Symbol)> {
+        let (path, sym) = self.resolve(name, scope)?;
+        if let Symbol::Alias(ty) = sym {
+            if let heidl_idl::ast::Type::Named(inner) = ty {
+                // The alias target is resolved in the scope where the alias
+                // itself lives (its enclosing scope = path minus last part).
+                let enclosing = &path[..path.len() - 1];
+                if let Some(r) = self.resolve_transparent(inner, enclosing) {
+                    return Some(r);
+                }
+            }
+        }
+        Some((path, sym.clone()))
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no symbols were collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heidl_idl::parse;
+
+    fn table(src: &str) -> SymbolTable {
+        SymbolTable::build(&parse(src).unwrap())
+    }
+
+    fn name(parts: &[&str]) -> ScopedName {
+        ScopedName::from_parts(parts.iter().copied())
+    }
+
+    #[test]
+    fn fig3_symbols_resolve() {
+        let t = table(heidl_idl::FIG3_IDL);
+        let scope = vec!["Heidi".to_owned()];
+        let (path, sym) = t.resolve(&name(&["A"]), &scope).unwrap();
+        assert_eq!(path, ["Heidi", "A"]);
+        assert_eq!(*sym, Symbol::Interface);
+        let (_, sym) = t.resolve(&name(&["Status"]), &scope).unwrap();
+        assert_eq!(*sym, Symbol::Enum);
+        let (_, sym) = t.resolve(&name(&["SSequence"]), &scope).unwrap();
+        assert!(matches!(sym, Symbol::Alias(_)));
+    }
+
+    #[test]
+    fn enumerators_live_in_enclosing_scope() {
+        let t = table(heidl_idl::FIG3_IDL);
+        // `Heidi::Start` resolves from the global scope...
+        let (path, sym) = t.resolve(&name(&["Heidi", "Start"]), &[]).unwrap();
+        assert_eq!(path, ["Heidi", "Start"]);
+        assert!(matches!(sym, Symbol::Enumerator(p) if p == &["Heidi", "Start"]));
+        // ...and `Start` resolves from inside the module.
+        let scope = vec!["Heidi".to_owned()];
+        assert!(t.resolve(&name(&["Start"]), &scope).is_some());
+        // But not from the global scope unqualified.
+        assert!(t.resolve(&name(&["Start"]), &[]).is_none());
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        let t = table("interface X; module M { interface X; interface U { void f(in X x); }; };");
+        let scope = vec!["M".to_owned()];
+        let (path, _) = t.resolve(&name(&["X"]), &scope).unwrap();
+        assert_eq!(path, ["M", "X"], "inner X wins");
+        let mut abs = name(&["X"]);
+        abs.absolute = true;
+        let (path, _) = t.resolve(&abs, &scope).unwrap();
+        assert_eq!(path, ["X"], "absolute name skips scope search");
+    }
+
+    #[test]
+    fn alias_resolves_transparently() {
+        let t = table(
+            "module M { interface I; typedef I J; typedef J K; typedef sequence<long> L; };",
+        );
+        let scope = vec!["M".to_owned()];
+        let (path, sym) = t.resolve_transparent(&name(&["K"]), &scope).unwrap();
+        assert_eq!(path, ["M", "I"]);
+        assert_eq!(sym, Symbol::Interface);
+        // A sequence alias stays an alias (there is no named target).
+        let (path, sym) = t.resolve_transparent(&name(&["L"]), &scope).unwrap();
+        assert_eq!(path, ["M", "L"]);
+        assert!(matches!(sym, Symbol::Alias(_)));
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let t = table("module M { interface I {}; };");
+        assert!(t.resolve(&name(&["Nope"]), &[]).is_none());
+        assert!(t.resolve_transparent(&name(&["M", "Nope"]), &[]).is_none());
+    }
+
+    #[test]
+    fn consts_carry_their_expression() {
+        let t = table("const long MAX = 42;");
+        let (_, sym) = t.resolve(&name(&["MAX"]), &[]).unwrap();
+        let Symbol::Const(e) = sym else { panic!() };
+        assert_eq!(heidl_idl::expr::eval_i64(e).unwrap(), 42);
+    }
+
+    #[test]
+    fn table_len_counts_everything() {
+        let t = table("module M { enum E { A, B }; };");
+        // M, M::E, M::A, M::B
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+}

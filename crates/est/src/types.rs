@@ -1,0 +1,418 @@
+//! Type descriptors: the single-string encoding of IDL types stored in EST
+//! properties.
+//!
+//! The paper's EST stores, per typed entity, a `type` property (a category
+//! such as `"objref"` or `"sequence"`) and a `typeName` property (the flat
+//! name, e.g. `"Heidi_S"`) — see Fig 8. Template map functions, however,
+//! receive a *single* string (`-map paramType CPP::MapType`). The descriptor
+//! is that string: a compact grammar carrying category, name and bounds:
+//!
+//! ```text
+//! long | boolean | ... | any                  primitives
+//! string | string<8>                          strings
+//! objref:Heidi::S                             interface reference
+//! enum:Heidi::Status                          enum type
+//! struct:M::Point | union:M::U | except:M::E  aggregates
+//! alias:M::Meters | valias:Heidi::SSequence   typedef (fixed / variable target)
+//! sequence<objref:Heidi::S> | sequence<long,4>
+//! ```
+//!
+//! Descriptor names are `::`-scoped so map functions can split them
+//! unambiguously (module and member names may themselves contain `_`).
+//! The *`typeName` property* on EST nodes keeps the paper's flat
+//! `Heidi_S` spelling for Fig 8 parity. Aliases carry their target's
+//! variability in the category (`alias` = fixed-size target, `valias` =
+//! variable) because language mappings differ on exactly that — Fig 3 maps
+//! the sequence alias to `HdSSequence*` but would map a `typedef long`
+//! by value.
+//!
+//! Descriptors are parseable ([`TypeDesc::parse`]) so language backends can
+//! destructure nested sequences.
+
+use crate::symbols::{Symbol, SymbolTable};
+use heidl_idl::ast::{ScopedName, Type};
+use std::fmt;
+
+/// A parsed type descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeDesc {
+    /// A primitive or `any`, identified by keyword (e.g. `"long"`).
+    Primitive(String),
+    /// `string` with optional bound.
+    String(Option<u64>),
+    /// A named type: category (`objref`, `enum`, `struct`, `union`,
+    /// `except`, `alias`) and the flat name.
+    Named(String, String),
+    /// A sequence of an element descriptor with optional bound.
+    Sequence(Box<TypeDesc>, Option<u64>),
+}
+
+impl TypeDesc {
+    /// Parses a descriptor string produced by [`describe`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn parse(s: &str) -> Option<TypeDesc> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("sequence<") {
+            let inner = rest.strip_suffix('>')?;
+            // A bound is a trailing `,N` at nesting depth zero.
+            let mut depth = 0usize;
+            let mut split = None;
+            for (i, c) in inner.char_indices() {
+                match c {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => split = Some(i),
+                    _ => {}
+                }
+            }
+            return match split {
+                Some(i) => {
+                    let elem = TypeDesc::parse(&inner[..i])?;
+                    let bound: u64 = inner[i + 1..].trim().parse().ok()?;
+                    Some(TypeDesc::Sequence(Box::new(elem), Some(bound)))
+                }
+                None => Some(TypeDesc::Sequence(Box::new(TypeDesc::parse(inner)?), None)),
+            };
+        }
+        if s == "string" {
+            return Some(TypeDesc::String(None));
+        }
+        if let Some(rest) = s.strip_prefix("string<") {
+            let n: u64 = rest.strip_suffix('>')?.trim().parse().ok()?;
+            return Some(TypeDesc::String(Some(n)));
+        }
+        if let Some((cat, name)) = s.split_once(':') {
+            if name.is_empty() || cat.is_empty() || name.starts_with(':') {
+                return None;
+            }
+            return Some(TypeDesc::Named(cat.to_owned(), name.to_owned()));
+        }
+        match s {
+            "void" | "boolean" | "char" | "octet" | "short" | "ushort" | "long" | "ulong"
+            | "longlong" | "ulonglong" | "float" | "double" | "any" => {
+                Some(TypeDesc::Primitive(s.to_owned()))
+            }
+            _ => None,
+        }
+    }
+
+    /// The category keyword: the first word of the descriptor (`"long"`,
+    /// `"string"`, `"sequence"`, `"objref"`, ...). This is what the paper's
+    /// `type` property holds.
+    pub fn category(&self) -> &str {
+        match self {
+            TypeDesc::Primitive(p) => p,
+            TypeDesc::String(_) => "string",
+            TypeDesc::Named(cat, _) => cat,
+            TypeDesc::Sequence(..) => "sequence",
+        }
+    }
+
+    /// The `::`-scoped type name for named types, empty otherwise. (The
+    /// paper's flat `typeName` property is separate — see [`TypeInfo`].)
+    pub fn type_name(&self) -> &str {
+        match self {
+            TypeDesc::Named(_, name) => name,
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for TypeDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeDesc::Primitive(p) => f.write_str(p),
+            TypeDesc::String(None) => f.write_str("string"),
+            TypeDesc::String(Some(n)) => write!(f, "string<{n}>"),
+            TypeDesc::Named(cat, name) => write!(f, "{cat}:{name}"),
+            TypeDesc::Sequence(elem, None) => write!(f, "sequence<{elem}>"),
+            TypeDesc::Sequence(elem, Some(n)) => write!(f, "sequence<{elem},{n}>"),
+        }
+    }
+}
+
+/// Information derived from an IDL type for EST properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeInfo {
+    /// The full descriptor string.
+    pub desc: String,
+    /// The category (the paper's `type` property).
+    pub category: String,
+    /// The flat name for named types (the paper's `typeName`), else empty.
+    pub type_name: String,
+    /// The paper's `IsVariable`: true when the marshaled size is not fixed.
+    pub is_variable: bool,
+}
+
+/// Joins an absolute symbol path into the paper's flat name (`Heidi_S`).
+pub fn flat_name(path: &[String]) -> String {
+    path.join("_")
+}
+
+/// The error type for descriptor derivation: an unresolved name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnresolvedName(pub String);
+
+impl fmt::Display for UnresolvedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unresolved type name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnresolvedName {}
+
+/// Derives the [`TypeInfo`] of `ty` as used from within `scope`.
+///
+/// # Errors
+///
+/// Returns [`UnresolvedName`] when a scoped name does not resolve — the
+/// paper's compiler would likewise reject IDL referencing unknown types.
+pub fn describe(
+    ty: &Type,
+    table: &SymbolTable,
+    scope: &[String],
+) -> Result<TypeInfo, UnresolvedName> {
+    Ok(match ty {
+        Type::Void => simple("void", false),
+        Type::Boolean => simple("boolean", false),
+        Type::Char => simple("char", false),
+        Type::Octet => simple("octet", false),
+        Type::Short => simple("short", false),
+        Type::UShort => simple("ushort", false),
+        Type::Long => simple("long", false),
+        Type::ULong => simple("ulong", false),
+        Type::LongLong => simple("longlong", false),
+        Type::ULongLong => simple("ulonglong", false),
+        Type::Float => simple("float", false),
+        Type::Double => simple("double", false),
+        Type::Any => simple("any", true),
+        Type::String(None) => TypeInfo {
+            desc: "string".into(),
+            category: "string".into(),
+            type_name: String::new(),
+            is_variable: true,
+        },
+        Type::String(Some(n)) => TypeInfo {
+            desc: format!("string<{n}>"),
+            category: "string".into(),
+            type_name: String::new(),
+            is_variable: true,
+        },
+        Type::Sequence(elem, bound) => {
+            let e = describe(elem, table, scope)?;
+            let desc = match bound {
+                Some(n) => format!("sequence<{},{n}>", e.desc),
+                None => format!("sequence<{}>", e.desc),
+            };
+            TypeInfo {
+                desc,
+                category: "sequence".into(),
+                type_name: e.type_name,
+                is_variable: true,
+            }
+        }
+        Type::Named(name) => describe_named(name, table, scope)?,
+    })
+}
+
+fn simple(kw: &str, is_variable: bool) -> TypeInfo {
+    TypeInfo {
+        desc: kw.to_owned(),
+        category: kw.to_owned(),
+        type_name: String::new(),
+        is_variable,
+    }
+}
+
+fn describe_named(
+    name: &ScopedName,
+    table: &SymbolTable,
+    scope: &[String],
+) -> Result<TypeInfo, UnresolvedName> {
+    let (path, sym) =
+        table.resolve(name, scope).ok_or_else(|| UnresolvedName(name.to_string()))?;
+    let flat = flat_name(&path);
+    let scoped = path.join("::");
+    let (category, is_variable) = match sym {
+        Symbol::Interface => ("objref", true),
+        Symbol::Enum => ("enum", false),
+        Symbol::Struct => ("struct", true),
+        Symbol::Union => ("union", true),
+        Symbol::Exception => ("except", true),
+        Symbol::Alias(_) => {
+            // The alias's own name is kept in the descriptor (backends map
+            // it to the typedef'd name), but variability follows the
+            // target and is exposed in the category: `alias` vs `valias`.
+            let var = table
+                .resolve_transparent(name, scope)
+                .map(|(p, s)| match s {
+                    Symbol::Interface | Symbol::Struct | Symbol::Union | Symbol::Exception => true,
+                    Symbol::Alias(t) => alias_target_variable(&t, table, &p),
+                    _ => false,
+                })
+                .unwrap_or(true);
+            let category = if var { "valias" } else { "alias" };
+            return Ok(TypeInfo {
+                desc: format!("{category}:{scoped}"),
+                category: category.into(),
+                type_name: flat,
+                is_variable: var,
+            });
+        }
+        Symbol::Enumerator(_) | Symbol::Const(_) | Symbol::Module => {
+            return Err(UnresolvedName(format!("`{name}` is not a type")));
+        }
+    };
+    Ok(TypeInfo {
+        desc: format!("{category}:{scoped}"),
+        category: category.into(),
+        type_name: flat,
+        is_variable,
+    })
+}
+
+/// Variability of a terminal alias target (scope = the alias's own path).
+fn alias_target_variable(ty: &Type, table: &SymbolTable, alias_path: &[String]) -> bool {
+    let enclosing = &alias_path[..alias_path.len().saturating_sub(1)];
+    describe(ty, table, enclosing).map(|i| i.is_variable).unwrap_or(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heidl_idl::ast::Type;
+    use heidl_idl::parse;
+
+    fn setup() -> SymbolTable {
+        SymbolTable::build(&parse(heidl_idl::FIG3_IDL).unwrap())
+    }
+
+    fn scope() -> Vec<String> {
+        vec!["Heidi".to_owned()]
+    }
+
+    #[test]
+    fn primitives_describe_as_keywords() {
+        let t = setup();
+        let info = describe(&Type::Long, &t, &scope()).unwrap();
+        assert_eq!(info.desc, "long");
+        assert_eq!(info.category, "long");
+        assert!(!info.is_variable);
+        assert!(info.type_name.is_empty());
+    }
+
+    #[test]
+    fn interface_reference_is_objref() {
+        let t = setup();
+        let ty = Type::Named(ScopedName::from_parts(["S"]));
+        let info = describe(&ty, &t, &scope()).unwrap();
+        assert_eq!(info.desc, "objref:Heidi::S");
+        assert_eq!(info.category, "objref");
+        assert_eq!(info.type_name, "Heidi_S");
+        assert!(info.is_variable);
+    }
+
+    #[test]
+    fn enum_reference() {
+        let t = setup();
+        let ty = Type::Named(ScopedName::from_parts(["Status"]));
+        let info = describe(&ty, &t, &scope()).unwrap();
+        assert_eq!(info.desc, "enum:Heidi::Status");
+        assert!(!info.is_variable);
+    }
+
+    #[test]
+    fn sequence_of_objref_matches_fig8() {
+        // Fig 8: the SSequence alias has a Sequence child with
+        // type="objref", typeName="Heidi_S", IsVariable=true.
+        let t = setup();
+        let ty = Type::Sequence(Box::new(Type::Named(ScopedName::from_parts(["S"]))), None);
+        let info = describe(&ty, &t, &scope()).unwrap();
+        assert_eq!(info.desc, "sequence<objref:Heidi::S>");
+        assert_eq!(info.category, "sequence");
+        assert_eq!(info.type_name, "Heidi_S");
+        assert!(info.is_variable);
+    }
+
+    #[test]
+    fn alias_reference_keeps_alias_name() {
+        let t = setup();
+        let ty = Type::Named(ScopedName::from_parts(["SSequence"]));
+        let info = describe(&ty, &t, &scope()).unwrap();
+        assert_eq!(info.desc, "valias:Heidi::SSequence");
+        assert!(info.is_variable, "sequence alias is variable");
+    }
+
+    #[test]
+    fn alias_of_fixed_type_is_fixed() {
+        let t = SymbolTable::build(&parse("typedef long Meters; typedef Meters Depth;").unwrap());
+        let ty = Type::Named(ScopedName::from_parts(["Depth"]));
+        let info = describe(&ty, &t, &[]).unwrap();
+        assert_eq!(info.desc, "alias:Depth");
+        assert!(!info.is_variable);
+    }
+
+    #[test]
+    fn unresolved_name_is_an_error() {
+        let t = setup();
+        let ty = Type::Named(ScopedName::from_parts(["Nope"]));
+        let err = describe(&ty, &t, &scope()).unwrap_err();
+        assert!(err.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn value_name_is_not_a_type() {
+        let t = setup();
+        // `Start` is an enumerator, not a type.
+        let ty = Type::Named(ScopedName::from_parts(["Start"]));
+        assert!(describe(&ty, &t, &scope()).is_err());
+    }
+
+    #[test]
+    fn descriptor_parse_roundtrip() {
+        for s in [
+            "long",
+            "void",
+            "string",
+            "string<8>",
+            "objref:Heidi::S",
+            "enum:Heidi::Status",
+            "alias:M::Meters",
+            "valias:Heidi::SSequence",
+            "sequence<objref:Heidi::S>",
+            "sequence<long,4>",
+            "sequence<sequence<string<8>>,2>",
+        ] {
+            let d = TypeDesc::parse(s).unwrap_or_else(|| panic!("parse {s}"));
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn descriptor_parse_rejects_garbage() {
+        assert_eq!(TypeDesc::parse("wat"), None);
+        assert_eq!(TypeDesc::parse("sequence<"), None);
+        assert_eq!(TypeDesc::parse("string<x>"), None);
+        assert_eq!(TypeDesc::parse(":name"), None);
+        assert_eq!(TypeDesc::parse("objref:"), None);
+    }
+
+    #[test]
+    fn nested_sequence_bound_belongs_to_outer() {
+        let d = TypeDesc::parse("sequence<sequence<long,2>,4>").unwrap();
+        let TypeDesc::Sequence(inner, Some(4)) = d else { panic!() };
+        let TypeDesc::Sequence(elem, Some(2)) = *inner else { panic!() };
+        assert_eq!(*elem, TypeDesc::Primitive("long".into()));
+    }
+
+    #[test]
+    fn category_and_type_name_accessors() {
+        let d = TypeDesc::parse("objref:Heidi::S").unwrap();
+        assert_eq!(d.category(), "objref");
+        assert_eq!(d.type_name(), "Heidi::S");
+        let d = TypeDesc::parse("sequence<long>").unwrap();
+        assert_eq!(d.category(), "sequence");
+        assert_eq!(d.type_name(), "");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the EST arena and its script/replay encodings over
+//! *arbitrary* trees (not just IDL-derived ones): whatever an alternate
+//! front end builds, the Fig 8 machinery must round-trip it.
+
+use heidl_est::script::{decode, encode, same_shape, Replay};
+use heidl_est::{Est, NodeId, PropValue};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Add a node under the parent chosen by `parent_pick % existing`.
+    New { name: String, kind: String, parent_pick: usize },
+    /// Add a property to the node chosen by `node_pick % existing`.
+    Prop { node_pick: usize, key: String, value: PropVal },
+}
+
+#[derive(Debug, Clone)]
+enum PropVal {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+fn tricky_string() -> impl Strategy<Value = String> {
+    // Quotes, backslashes, newlines, commas, unicode: everything the
+    // quoting layer must survive.
+    proptest::string::string_regex("[ -~\\n\"\\\\,«é✓]{0,16}").unwrap()
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (tricky_string(), "[A-Za-z]{1,10}", any::<usize>()).prop_map(
+            |(name, kind, parent_pick)| Op::New { name, kind, parent_pick }
+        ),
+        (
+            any::<usize>(),
+            "[A-Za-z][A-Za-z0-9]{0,10}",
+            prop_oneof![
+                tricky_string().prop_map(PropVal::Str),
+                any::<i64>().prop_map(PropVal::Int),
+                any::<bool>().prop_map(PropVal::Bool),
+                proptest::collection::vec(tricky_string(), 0..4).prop_map(PropVal::List),
+            ]
+        )
+            .prop_map(|(node_pick, key, value)| Op::Prop { node_pick, key, value }),
+    ]
+}
+
+fn build_est(ops: &[Op]) -> Est {
+    let mut est = Est::new();
+    let mut nodes: Vec<NodeId> = vec![est.root()];
+    for op in ops {
+        match op {
+            Op::New { name, kind, parent_pick } => {
+                let parent = nodes[parent_pick % nodes.len()];
+                let id = est.add_node(name.clone(), kind.clone(), parent);
+                nodes.push(id);
+            }
+            Op::Prop { node_pick, key, value } => {
+                let node = nodes[node_pick % nodes.len()];
+                let v: PropValue = match value {
+                    PropVal::Str(s) => PropValue::Str(s.clone()),
+                    PropVal::Int(i) => PropValue::Int(*i),
+                    PropVal::Bool(b) => PropValue::Bool(*b),
+                    PropVal::List(items) => PropValue::List(items.clone()),
+                };
+                est.add_prop(node, key.clone(), v);
+            }
+        }
+    }
+    est
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn script_roundtrips_arbitrary_trees(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let est = build_est(&ops);
+        let text = encode(&est);
+        let rebuilt = decode(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- script ---\n{text}")))?;
+        prop_assert!(same_shape(&est, &rebuilt));
+        prop_assert_eq!(rebuilt.len(), est.len());
+    }
+
+    #[test]
+    fn replay_roundtrips_arbitrary_trees(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let est = build_est(&ops);
+        let rebuilt = Replay::record(&est).run();
+        prop_assert!(same_shape(&est, &rebuilt));
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_text(text in "[ -~\\n]{0,400}") {
+        let _ = decode(&text);
+    }
+
+    #[test]
+    fn grouped_lists_partition_children(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        // For every node: the union of children_of_kind over all child
+        // kinds equals the child list, order preserved within a kind.
+        let est = build_est(&ops);
+        for (id, node) in est.iter() {
+            let mut kinds: Vec<&str> = node.children.iter().map(|&c| est.node(c).kind.as_str()).collect();
+            kinds.sort_unstable();
+            kinds.dedup();
+            let mut total = 0usize;
+            for kind in kinds {
+                let group = est.children_of_kind(id, kind);
+                total += group.len();
+                // Order within the group preserves child order.
+                let positions: Vec<usize> = group
+                    .iter()
+                    .map(|g| node.children.iter().position(|c| c == g).unwrap())
+                    .collect();
+                prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            }
+            prop_assert_eq!(total, node.children.len());
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! Abstract syntax tree for the OMG IDL subset with HeidiRMI extensions.
+//!
+//! The tree intentionally preserves *source order* of interface members:
+//! the [EST](https://docs.rs/heidl-est) stage is where members get grouped
+//! by kind (the paper's Fig 7 transformation), not the parser.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The identifier text.
+    pub text: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier (spans default for synthesized nodes).
+    pub fn new(text: impl Into<String>) -> Self {
+        Ident { text: text.into(), span: Span::default() }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A possibly-qualified name such as `Heidi::Start` or `::Heidi::A`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopedName {
+    /// True when the name begins with `::` (file-scope absolute).
+    pub absolute: bool,
+    /// Name components, outermost first.
+    pub parts: Vec<Ident>,
+    /// Source location of the whole name.
+    pub span: Span,
+}
+
+impl ScopedName {
+    /// Builds a scoped name from parts, for synthesized nodes and tests.
+    pub fn from_parts<I, S>(parts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ScopedName {
+            absolute: false,
+            parts: parts.into_iter().map(|p| Ident::new(p)).collect(),
+            span: Span::default(),
+        }
+    }
+
+    /// The final (unqualified) component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name has no parts, which the parser never produces.
+    pub fn last(&self) -> &str {
+        &self.parts.last().expect("scoped name has at least one part").text
+    }
+
+    /// Joins the components with `sep`, e.g. `"::"` or `"/"`.
+    pub fn join(&self, sep: &str) -> String {
+        self.parts.iter().map(|p| p.text.as_str()).collect::<Vec<_>>().join(sep)
+    }
+}
+
+impl fmt::Display for ScopedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            f.write_str("::")?;
+        }
+        f.write_str(&self.join("::"))
+    }
+}
+
+/// An IDL type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// `void`, valid only as an operation return type.
+    Void,
+    /// `boolean`
+    Boolean,
+    /// `char`
+    Char,
+    /// `octet`
+    Octet,
+    /// `short`
+    Short,
+    /// `unsigned short`
+    UShort,
+    /// `long`
+    Long,
+    /// `unsigned long`
+    ULong,
+    /// `long long`
+    LongLong,
+    /// `unsigned long long`
+    ULongLong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `any`
+    Any,
+    /// `string` or bounded `string<N>`
+    String(Option<u64>),
+    /// `sequence<T>` or bounded `sequence<T, N>`
+    Sequence(Box<Type>, Option<u64>),
+    /// A user-defined type referenced by name.
+    Named(ScopedName),
+}
+
+impl Type {
+    /// True for the primitive (fixed-size scalar) types.
+    pub fn is_primitive(&self) -> bool {
+        matches!(
+            self,
+            Type::Boolean
+                | Type::Char
+                | Type::Octet
+                | Type::Short
+                | Type::UShort
+                | Type::Long
+                | Type::ULong
+                | Type::LongLong
+                | Type::ULongLong
+                | Type::Float
+                | Type::Double
+        )
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Boolean => f.write_str("boolean"),
+            Type::Char => f.write_str("char"),
+            Type::Octet => f.write_str("octet"),
+            Type::Short => f.write_str("short"),
+            Type::UShort => f.write_str("unsigned short"),
+            Type::Long => f.write_str("long"),
+            Type::ULong => f.write_str("unsigned long"),
+            Type::LongLong => f.write_str("long long"),
+            Type::ULongLong => f.write_str("unsigned long long"),
+            Type::Float => f.write_str("float"),
+            Type::Double => f.write_str("double"),
+            Type::Any => f.write_str("any"),
+            Type::String(None) => f.write_str("string"),
+            Type::String(Some(n)) => write!(f, "string<{n}>"),
+            Type::Sequence(t, None) => write!(f, "sequence<{t}>"),
+            Type::Sequence(t, Some(n)) => write!(f, "sequence<{t}, {n}>"),
+            Type::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Unary operators in constant expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `+`
+    Plus,
+    /// `~`
+    Not,
+}
+
+/// Binary operators in constant expressions, lowest precedence first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&`
+    And,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinOp {
+    /// The source spelling of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::And => "&",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// A constant expression (used by `const`, default parameters, union labels).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// Character literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// Reference to a named constant or enumerator, e.g. `Heidi::Start`.
+    Named(ScopedName),
+    /// Unary operation.
+    Unary(UnaryOp, Box<ConstExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<ConstExpr>, Box<ConstExpr>),
+}
+
+impl fmt::Display for ConstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstExpr::Int(v) => write!(f, "{v}"),
+            ConstExpr::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            ConstExpr::Bool(true) => f.write_str("TRUE"),
+            ConstExpr::Bool(false) => f.write_str("FALSE"),
+            ConstExpr::Char(c) => write!(f, "'{}'", c.escape_default()),
+            ConstExpr::Str(s) => write!(f, "\"{}\"", s.escape_default()),
+            ConstExpr::Named(n) => write!(f, "{n}"),
+            ConstExpr::Unary(op, e) => {
+                let sym = match op {
+                    UnaryOp::Neg => "-",
+                    UnaryOp::Plus => "+",
+                    UnaryOp::Not => "~",
+                };
+                write!(f, "{sym}({e})")
+            }
+            ConstExpr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.as_str()),
+        }
+    }
+}
+
+/// Parameter passing direction; `Incopy` is the HeidiRMI extension (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `in` — caller to callee.
+    In,
+    /// `out` — callee to caller.
+    Out,
+    /// `inout` — both directions.
+    InOut,
+    /// `incopy` — pass-by-value: object references are copied across the
+    /// interface when the referent is serializable (paper §3.1).
+    Incopy,
+}
+
+impl Direction {
+    /// The IDL keyword for the direction.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::In => "in",
+            Direction::Out => "out",
+            Direction::InOut => "inout",
+            Direction::Incopy => "incopy",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An operation parameter.
+///
+/// `default` is the HeidiRMI default-parameter extension: `void p(in long l = 0);`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Passing direction.
+    pub direction: Direction,
+    /// Declared type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: Ident,
+    /// Optional default value (HeidiRMI extension).
+    pub default: Option<ConstExpr>,
+}
+
+/// An interface operation (method).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operation {
+    /// True for `oneway` operations.
+    pub oneway: bool,
+    /// Return type ([`Type::Void`] for `void`).
+    pub return_type: Type,
+    /// Operation name.
+    pub name: Ident,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Exceptions listed in the `raises(...)` clause.
+    pub raises: Vec<ScopedName>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An interface attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// True for `readonly attribute`.
+    pub readonly: bool,
+    /// Attribute type.
+    pub ty: Type,
+    /// Attribute name.
+    pub name: Ident,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An interface member, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Member {
+    /// An operation.
+    Operation(Operation),
+    /// An attribute.
+    Attribute(Attribute),
+}
+
+/// An `interface` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: Ident,
+    /// Base interfaces, in declaration order.
+    pub bases: Vec<ScopedName>,
+    /// Members in source order (attributes and operations may interleave).
+    pub members: Vec<Member>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Interface {
+    /// Iterates over just the operations, preserving source order.
+    pub fn operations(&self) -> impl Iterator<Item = &Operation> {
+        self.members.iter().filter_map(|m| match m {
+            Member::Operation(op) => Some(op),
+            Member::Attribute(_) => None,
+        })
+    }
+
+    /// Iterates over just the attributes, preserving source order.
+    pub fn attributes(&self) -> impl Iterator<Item = &Attribute> {
+        self.members.iter().filter_map(|m| match m {
+            Member::Attribute(a) => Some(a),
+            Member::Operation(_) => None,
+        })
+    }
+}
+
+/// A forward interface declaration: `interface S;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardInterface {
+    /// Declared name.
+    pub name: Ident,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `typedef`, possibly with array dimensions on the declarator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Aliased type.
+    pub ty: Type,
+    /// New name.
+    pub name: Ident,
+    /// Array dimensions, e.g. `typedef long Grid[3][4]` → `[3, 4]`.
+    pub array_dims: Vec<u64>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A field inside a `struct` or `exception`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructMember {
+    /// Field type.
+    pub ty: Type,
+    /// Field name.
+    pub name: Ident,
+    /// Array dimensions on the declarator.
+    pub array_dims: Vec<u64>,
+}
+
+/// A `struct` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: Ident,
+    /// Fields in order.
+    pub members: Vec<StructMember>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A case label in a `union`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseLabel {
+    /// `case <const-expr>:`
+    Expr(ConstExpr),
+    /// `default:`
+    Default,
+}
+
+/// One arm of a `union`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionCase {
+    /// One or more labels guarding this arm.
+    pub labels: Vec<CaseLabel>,
+    /// Arm type.
+    pub ty: Type,
+    /// Arm name.
+    pub name: Ident,
+}
+
+/// A discriminated `union` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionDef {
+    /// Union name.
+    pub name: Ident,
+    /// Discriminator type.
+    pub discriminator: Type,
+    /// Arms in order.
+    pub cases: Vec<UnionCase>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An `enum` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: Ident,
+    /// Enumerators in order.
+    pub enumerators: Vec<Ident>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `const` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// Constant type.
+    pub ty: Type,
+    /// Constant name.
+    pub name: Ident,
+    /// Value expression.
+    pub value: ConstExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An `exception` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptionDef {
+    /// Exception name.
+    pub name: Ident,
+    /// Fields in order.
+    pub members: Vec<StructMember>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `module` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: Ident,
+    /// Nested definitions in order.
+    pub definitions: Vec<Definition>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Any top-level or module-level definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Definition {
+    /// `module M { ... };`
+    Module(Module),
+    /// `interface A : S { ... };`
+    Interface(Interface),
+    /// `interface S;`
+    ForwardInterface(ForwardInterface),
+    /// `typedef ...;`
+    TypeDef(TypeDef),
+    /// `struct ...;`
+    Struct(StructDef),
+    /// `union ... switch (...) { ... };`
+    Union(UnionDef),
+    /// `enum ...;`
+    Enum(EnumDef),
+    /// `const ...;`
+    Const(ConstDef),
+    /// `exception ...;`
+    Exception(ExceptionDef),
+}
+
+impl Definition {
+    /// The defined name (for forward declarations, the declared name).
+    pub fn name(&self) -> &Ident {
+        match self {
+            Definition::Module(d) => &d.name,
+            Definition::Interface(d) => &d.name,
+            Definition::ForwardInterface(d) => &d.name,
+            Definition::TypeDef(d) => &d.name,
+            Definition::Struct(d) => &d.name,
+            Definition::Union(d) => &d.name,
+            Definition::Enum(d) => &d.name,
+            Definition::Const(d) => &d.name,
+            Definition::Exception(d) => &d.name,
+        }
+    }
+}
+
+/// A complete parsed IDL source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Specification {
+    /// Top-level definitions in order.
+    pub definitions: Vec<Definition>,
+}
+
+impl Specification {
+    /// Depth-first iteration over every interface in the specification.
+    pub fn interfaces(&self) -> Vec<&Interface> {
+        fn walk<'a>(defs: &'a [Definition], out: &mut Vec<&'a Interface>) {
+            for d in defs {
+                match d {
+                    Definition::Interface(i) => out.push(i),
+                    Definition::Module(m) => walk(&m.definitions, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.definitions, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_name_display() {
+        let n = ScopedName::from_parts(["Heidi", "A"]);
+        assert_eq!(n.to_string(), "Heidi::A");
+        assert_eq!(n.last(), "A");
+        assert_eq!(n.join("/"), "Heidi/A");
+    }
+
+    #[test]
+    fn absolute_scoped_name_display() {
+        let mut n = ScopedName::from_parts(["Heidi", "A"]);
+        n.absolute = true;
+        assert_eq!(n.to_string(), "::Heidi::A");
+    }
+
+    #[test]
+    fn type_display_round_trips_spelling() {
+        assert_eq!(Type::Sequence(Box::new(Type::Long), None).to_string(), "sequence<long>");
+        assert_eq!(Type::Sequence(Box::new(Type::Char), Some(8)).to_string(), "sequence<char, 8>");
+        assert_eq!(Type::String(Some(16)).to_string(), "string<16>");
+        assert_eq!(Type::UShort.to_string(), "unsigned short");
+    }
+
+    #[test]
+    fn primitive_classification() {
+        assert!(Type::Long.is_primitive());
+        assert!(Type::Boolean.is_primitive());
+        assert!(!Type::String(None).is_primitive());
+        assert!(!Type::Any.is_primitive());
+        assert!(!Type::Named(ScopedName::from_parts(["A"])).is_primitive());
+    }
+
+    #[test]
+    fn const_expr_display() {
+        let e = ConstExpr::Binary(
+            BinOp::Add,
+            Box::new(ConstExpr::Int(1)),
+            Box::new(ConstExpr::Unary(UnaryOp::Neg, Box::new(ConstExpr::Int(2)))),
+        );
+        assert_eq!(e.to_string(), "(1 + -(2))");
+        assert_eq!(ConstExpr::Bool(true).to_string(), "TRUE");
+        assert_eq!(ConstExpr::Float(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn interface_member_filters() {
+        let iface = Interface {
+            name: Ident::new("A"),
+            bases: vec![],
+            members: vec![
+                Member::Operation(Operation {
+                    oneway: false,
+                    return_type: Type::Void,
+                    name: Ident::new("f"),
+                    params: vec![],
+                    raises: vec![],
+                    span: Span::default(),
+                }),
+                Member::Attribute(Attribute {
+                    readonly: true,
+                    ty: Type::Long,
+                    name: Ident::new("button"),
+                    span: Span::default(),
+                }),
+                Member::Operation(Operation {
+                    oneway: false,
+                    return_type: Type::Void,
+                    name: Ident::new("g"),
+                    params: vec![],
+                    raises: vec![],
+                    span: Span::default(),
+                }),
+            ],
+            span: Span::default(),
+        };
+        let ops: Vec<_> = iface.operations().map(|o| o.name.text.as_str()).collect();
+        assert_eq!(ops, ["f", "g"]);
+        let attrs: Vec<_> = iface.attributes().map(|a| a.name.text.as_str()).collect();
+        assert_eq!(attrs, ["button"]);
+    }
+
+    #[test]
+    fn specification_interfaces_walks_modules() {
+        let spec = Specification {
+            definitions: vec![Definition::Module(Module {
+                name: Ident::new("Heidi"),
+                definitions: vec![Definition::Interface(Interface {
+                    name: Ident::new("A"),
+                    bases: vec![],
+                    members: vec![],
+                    span: Span::default(),
+                })],
+                span: Span::default(),
+            })],
+        };
+        let names: Vec<_> = spec.interfaces().iter().map(|i| i.name.text.clone()).collect();
+        assert_eq!(names, ["A"]);
+    }
+
+    #[test]
+    fn direction_spellings() {
+        assert_eq!(Direction::Incopy.as_str(), "incopy");
+        assert_eq!(Direction::InOut.as_str(), "inout");
+    }
+}

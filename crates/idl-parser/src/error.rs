@@ -1,0 +1,89 @@
+//! Parse diagnostics.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing IDL source.
+///
+/// Carries the [`Span`] of the offending source so callers can render a
+/// caret diagnostic with [`ParseError::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+
+    /// The human-readable message, lowercase, without location.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders a two-line caret diagnostic against the original source.
+    ///
+    /// ```
+    /// # use heidl_idl::parse;
+    /// let err = parse("interface A {").unwrap_err();
+    /// let rendered = err.render("interface A {");
+    /// assert!(rendered.contains('^'));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let line_no = self.span.start.line as usize;
+        let line = source.lines().nth(line_no.saturating_sub(1)).unwrap_or("");
+        let col = self.span.start.col as usize;
+        let caret = " ".repeat(col.saturating_sub(1)) + "^";
+        format!("error at {}: {}\n  | {}\n  | {}", self.span.start, self.message, line, caret)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span.start, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Convenience alias for parse results.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::new("unexpected `;`", Span::point(Pos::new(2, 5, 14)));
+        assert_eq!(e.to_string(), "2:5: unexpected `;`");
+    }
+
+    #[test]
+    fn render_points_caret_at_column() {
+        let src = "module M {\n  badtok\n};";
+        let e = ParseError::new("unexpected identifier", Span::point(Pos::new(2, 3, 13)));
+        let r = e.render(src);
+        assert!(r.contains("  badtok"), "{r}");
+        let caret_line = r.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some(4 + 2), "{r}");
+    }
+
+    #[test]
+    fn render_handles_out_of_range_line() {
+        let e = ParseError::new("eof", Span::point(Pos::new(99, 1, 1000)));
+        // Must not panic; falls back to an empty source line.
+        let r = e.render("one line");
+        assert!(r.contains("eof"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Constant-expression evaluation.
+//!
+//! IDL constant expressions appear in `const` definitions, bounds, union
+//! labels and (HeidiRMI extension) default parameter values. Evaluation of
+//! named constants requires a resolver, because `Heidi::Start` may refer to
+//! an enumerator or another constant; callers that have built an EST supply
+//! one, while purely syntactic callers use [`eval_i64`] which rejects names.
+
+use crate::ast::{BinOp, ConstExpr, ScopedName, UnaryOp};
+use std::fmt;
+
+/// A fully evaluated constant value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstValue {
+    /// Any integer type.
+    Int(i64),
+    /// `float` / `double`.
+    Float(f64),
+    /// `boolean`.
+    Bool(bool),
+    /// `char`.
+    Char(char),
+    /// `string`.
+    Str(String),
+    /// An enumerator, kept symbolic (its scoped name).
+    Enum(String),
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstValue::Int(v) => write!(f, "{v}"),
+            ConstValue::Float(v) => write!(f, "{v}"),
+            ConstValue::Bool(true) => f.write_str("TRUE"),
+            ConstValue::Bool(false) => f.write_str("FALSE"),
+            ConstValue::Char(c) => write!(f, "'{c}'"),
+            ConstValue::Str(s) => write!(f, "\"{s}\""),
+            ConstValue::Enum(n) => f.write_str(n),
+        }
+    }
+}
+
+/// Resolves scoped names inside constant expressions.
+pub trait NameResolver {
+    /// Resolves `name` to a value, or `None` when unknown.
+    fn resolve(&self, name: &ScopedName) -> Option<ConstValue>;
+}
+
+/// A resolver that knows no names; any [`ConstExpr::Named`] fails.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNames;
+
+impl NameResolver for NoNames {
+    fn resolve(&self, _name: &ScopedName) -> Option<ConstValue> {
+        None
+    }
+}
+
+/// Evaluates `expr` with `resolver` for named constants.
+///
+/// # Errors
+///
+/// Returns a message on type mismatches (e.g. `1 + TRUE`), division by zero,
+/// overflow, or unresolvable names.
+pub fn eval(expr: &ConstExpr, resolver: &dyn NameResolver) -> Result<ConstValue, String> {
+    match expr {
+        ConstExpr::Int(v) => Ok(ConstValue::Int(*v)),
+        ConstExpr::Float(v) => Ok(ConstValue::Float(*v)),
+        ConstExpr::Bool(v) => Ok(ConstValue::Bool(*v)),
+        ConstExpr::Char(c) => Ok(ConstValue::Char(*c)),
+        ConstExpr::Str(s) => Ok(ConstValue::Str(s.clone())),
+        ConstExpr::Named(n) => {
+            resolver.resolve(n).ok_or_else(|| format!("unresolved name `{n}`"))
+        }
+        ConstExpr::Unary(op, e) => {
+            let v = eval(e, resolver)?;
+            match (op, v) {
+                (UnaryOp::Neg, ConstValue::Int(v)) => v
+                    .checked_neg()
+                    .map(ConstValue::Int)
+                    .ok_or_else(|| "integer overflow in negation".to_owned()),
+                (UnaryOp::Neg, ConstValue::Float(v)) => Ok(ConstValue::Float(-v)),
+                (UnaryOp::Plus, v @ (ConstValue::Int(_) | ConstValue::Float(_))) => Ok(v),
+                (UnaryOp::Not, ConstValue::Int(v)) => Ok(ConstValue::Int(!v)),
+                (op, v) => Err(format!("invalid operand {v} for unary {op:?}")),
+            }
+        }
+        ConstExpr::Binary(op, a, b) => {
+            let a = eval(a, resolver)?;
+            let b = eval(b, resolver)?;
+            eval_binary(*op, a, b)
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, a: ConstValue, b: ConstValue) -> Result<ConstValue, String> {
+    use ConstValue::{Float, Int};
+    match (a, b) {
+        (Int(a), Int(b)) => {
+            let r = match op {
+                BinOp::Or => Some(a | b),
+                BinOp::Xor => Some(a ^ b),
+                BinOp::And => Some(a & b),
+                BinOp::Shl => {
+                    let sh = u32::try_from(b).map_err(|_| "negative shift".to_owned())?;
+                    a.checked_shl(sh)
+                }
+                BinOp::Shr => {
+                    let sh = u32::try_from(b).map_err(|_| "negative shift".to_owned())?;
+                    a.checked_shr(sh)
+                }
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err("division by zero".to_owned());
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err("modulo by zero".to_owned());
+                    }
+                    a.checked_rem(b)
+                }
+            };
+            r.map(Int).ok_or_else(|| format!("integer overflow in `{}`", op.as_str()))
+        }
+        (Float(a), Float(b)) => {
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                other => {
+                    return Err(format!(
+                        "operator `{}` is not defined for floats",
+                        other.as_str()
+                    ));
+                }
+            };
+            Ok(Float(r))
+        }
+        // Mixed int/float promotes to float for arithmetic, as C does.
+        (Int(a), Float(b)) => eval_binary(op, Float(a as f64), Float(b)),
+        (Float(a), Int(b)) => eval_binary(op, Float(a), Float(b as f64)),
+        (a, b) => Err(format!("invalid operands {a} and {b} for `{}`", op.as_str())),
+    }
+}
+
+/// Evaluates a purely numeric expression (no named constants) to `i64`.
+///
+/// # Errors
+///
+/// As for [`eval`], plus an error for non-integer results.
+pub fn eval_i64(expr: &ConstExpr) -> Result<i64, String> {
+    match eval(expr, &NoNames)? {
+        ConstValue::Int(v) => Ok(v),
+        other => Err(format!("expected an integer, got {other}")),
+    }
+}
+
+/// Evaluates a purely numeric expression to a non-negative bound.
+///
+/// # Errors
+///
+/// As for [`eval_i64`], plus an error for negative values.
+pub fn eval_u64(expr: &ConstExpr) -> Result<u64, String> {
+    let v = eval_i64(expr)?;
+    u64::try_from(v).map_err(|_| format!("bound must be non-negative, got {v}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ConstExpr as E;
+
+    fn bin(op: BinOp, a: E, b: E) -> E {
+        E::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(eval_i64(&bin(BinOp::Add, E::Int(2), E::Int(3))).unwrap(), 5);
+        assert_eq!(eval_i64(&bin(BinOp::Mul, E::Int(4), E::Int(-3))).unwrap(), -12);
+        assert_eq!(eval_i64(&bin(BinOp::Mod, E::Int(7), E::Int(3))).unwrap(), 1);
+        assert_eq!(eval_i64(&bin(BinOp::Shl, E::Int(1), E::Int(10))).unwrap(), 1024);
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let err = eval_i64(&bin(BinOp::Div, E::Int(1), E::Int(0))).unwrap_err();
+        assert!(err.contains("division by zero"));
+        let err = eval_i64(&bin(BinOp::Mod, E::Int(1), E::Int(0))).unwrap_err();
+        assert!(err.contains("modulo by zero"));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let err = eval_i64(&bin(BinOp::Add, E::Int(i64::MAX), E::Int(1))).unwrap_err();
+        assert!(err.contains("overflow"));
+        let err = eval(&E::Unary(UnaryOp::Neg, Box::new(E::Int(i64::MIN))), &NoNames).unwrap_err();
+        assert!(err.contains("overflow"));
+    }
+
+    #[test]
+    fn float_arithmetic_and_promotion() {
+        let v = eval(&bin(BinOp::Div, E::Float(1.0), E::Int(4)), &NoNames).unwrap();
+        assert_eq!(v, ConstValue::Float(0.25));
+        let err = eval(&bin(BinOp::And, E::Float(1.0), E::Float(2.0)), &NoNames).unwrap_err();
+        assert!(err.contains("not defined for floats"));
+    }
+
+    #[test]
+    fn bitwise_not() {
+        let v = eval(&E::Unary(UnaryOp::Not, Box::new(E::Int(0))), &NoNames).unwrap();
+        assert_eq!(v, ConstValue::Int(-1));
+    }
+
+    #[test]
+    fn named_constant_needs_resolver() {
+        let name = E::Named(ScopedName::from_parts(["Heidi", "Start"]));
+        assert!(eval_i64(&name).unwrap_err().contains("unresolved"));
+
+        struct R;
+        impl NameResolver for R {
+            fn resolve(&self, name: &ScopedName) -> Option<ConstValue> {
+                (name.last() == "Start").then(|| ConstValue::Enum("Heidi::Start".into()))
+            }
+        }
+        assert_eq!(eval(&name, &R).unwrap(), ConstValue::Enum("Heidi::Start".into()));
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let err = eval(&bin(BinOp::Add, E::Int(1), E::Bool(true)), &NoNames).unwrap_err();
+        assert!(err.contains("invalid operands"));
+    }
+
+    #[test]
+    fn eval_u64_rejects_negative() {
+        let e = E::Unary(UnaryOp::Neg, Box::new(E::Int(3)));
+        assert!(eval_u64(&e).unwrap_err().contains("non-negative"));
+        assert_eq!(eval_u64(&E::Int(16)).unwrap(), 16);
+    }
+
+    #[test]
+    fn negative_shift_is_reported() {
+        let e = bin(BinOp::Shl, E::Int(1), E::Unary(UnaryOp::Neg, Box::new(E::Int(1))));
+        assert!(eval_i64(&e).unwrap_err().contains("negative shift"));
+    }
+
+    #[test]
+    fn const_value_display() {
+        assert_eq!(ConstValue::Int(-3).to_string(), "-3");
+        assert_eq!(ConstValue::Bool(true).to_string(), "TRUE");
+        assert_eq!(ConstValue::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(ConstValue::Enum("Heidi::Start".into()).to_string(), "Heidi::Start");
+    }
+}

@@ -1,0 +1,470 @@
+//! Hand-written lexer for OMG IDL with the HeidiRMI extensions.
+//!
+//! Supports `//` and `/* */` comments, `#`-directives (skipped, like an IDL
+//! compiler that has already run the preprocessor), decimal/hex/octal integer
+//! literals, float literals, character and string literals with C-style
+//! escapes, and all punctuation the parser needs (including `::`, `<<`, `>>`).
+
+use crate::error::{ParseError, ParseResult};
+use crate::span::{Pos, Span};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Tokenizes IDL `source` completely, appending a final [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input: unterminated comments or
+/// string/char literals, stray characters, or numeric literals out of range.
+pub fn lex(source: &str) -> ParseResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: Pos::START }
+    }
+
+    fn run(mut self) -> ParseResult<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, span: Span::point(start) });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                b'0'..=b'9' => self.number()?,
+                b'.' if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => self.number()?,
+                b'\'' => self.char_lit()?,
+                b'"' => self.string_lit()?,
+                _ => self.punct()?,
+            };
+            out.push(Token { kind, span: Span::new(start, self.pos) });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<u8> {
+        self.bytes.get(self.pos.offset + n).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos.offset += 1;
+        if c == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos),
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Preprocessor directives (#include, #pragma, #line): the
+                // paper's compiler consumes preprocessed IDL; we skip the line.
+                Some(b'#') if self.pos.col == 1 => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos.offset;
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos.offset];
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        let begin = self.pos.offset;
+        // Hex.
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x' | b'X')) {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos.offset;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let digits = &self.src[digits_start..self.pos.offset];
+            if digits.is_empty() {
+                return Err(ParseError::new(
+                    "hex literal requires at least one digit",
+                    Span::new(start, self.pos),
+                ));
+            }
+            let v = i64::from_str_radix(digits, 16).map_err(|_| {
+                ParseError::new("hex literal out of range", Span::new(start, self.pos))
+            })?;
+            return Ok(TokenKind::IntLit(v));
+        }
+        // Scan digits / fraction / exponent to decide int vs float.
+        let mut is_float = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && self.peek_at(1).is_none_or(|c| c != b'.') {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut n = 1;
+            if matches!(self.peek_at(1), Some(b'+' | b'-')) {
+                n = 2;
+            }
+            if self.peek_at(n).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                for _ in 0..=n {
+                    self.bump();
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = &self.src[begin..self.pos.offset];
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| {
+                ParseError::new("malformed float literal", Span::new(start, self.pos))
+            })?;
+            Ok(TokenKind::FloatLit(v))
+        } else if text.len() > 1 && text.starts_with('0') {
+            // Octal, per C/IDL convention.
+            let v = i64::from_str_radix(&text[1..], 8).map_err(|_| {
+                ParseError::new("malformed octal literal", Span::new(start, self.pos))
+            })?;
+            Ok(TokenKind::IntLit(v))
+        } else {
+            let v: i64 = text.parse().map_err(|_| {
+                ParseError::new("integer literal out of range", Span::new(start, self.pos))
+            })?;
+            Ok(TokenKind::IntLit(v))
+        }
+    }
+
+    fn escape(&mut self, start: Pos) -> ParseResult<char> {
+        let Some(c) = self.bump() else {
+            return Err(ParseError::new("unterminated escape", Span::new(start, self.pos)));
+        };
+        Ok(match c {
+            b'n' => '\n',
+            b't' => '\t',
+            b'r' => '\r',
+            b'0' => '\0',
+            b'\\' => '\\',
+            b'\'' => '\'',
+            b'"' => '"',
+            other => {
+                return Err(ParseError::new(
+                    format!("unknown escape `\\{}`", other as char),
+                    Span::new(start, self.pos),
+                ));
+            }
+        })
+    }
+
+    fn char_lit(&mut self) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => self.escape(start)?,
+            Some(b'\'') => {
+                return Err(ParseError::new("empty character literal", Span::new(start, self.pos)));
+            }
+            Some(c) => c as char,
+            None => {
+                return Err(ParseError::new(
+                    "unterminated character literal",
+                    Span::new(start, self.pos),
+                ));
+            }
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(ParseError::new(
+                "character literal must contain exactly one character",
+                Span::new(start, self.pos),
+            ));
+        }
+        Ok(TokenKind::CharLit(c))
+    }
+
+    fn string_lit(&mut self) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::StringLit(s)),
+                Some(b'\\') => s.push(self.escape(start)?),
+                Some(b'\n') | None => {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ));
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn punct(&mut self) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        let c = self.bump().expect("punct called at eof");
+        let p = match c {
+            b'{' => Punct::LBrace,
+            b'}' => Punct::RBrace,
+            b'(' => Punct::LParen,
+            b')' => Punct::RParen,
+            b'[' => Punct::LBracket,
+            b']' => Punct::RBracket,
+            b'<' if self.peek() == Some(b'<') => {
+                self.bump();
+                Punct::Shl
+            }
+            b'<' => Punct::Lt,
+            b'>' if self.peek() == Some(b'>') => {
+                self.bump();
+                Punct::Shr
+            }
+            b'>' => Punct::Gt,
+            b';' => Punct::Semi,
+            b',' => Punct::Comma,
+            b':' if self.peek() == Some(b':') => {
+                self.bump();
+                Punct::ColonColon
+            }
+            b':' => Punct::Colon,
+            b'=' => Punct::Eq,
+            b'+' => Punct::Plus,
+            b'-' => Punct::Minus,
+            b'*' => Punct::Star,
+            b'/' => Punct::Slash,
+            b'%' => Punct::Percent,
+            b'|' => Punct::Pipe,
+            b'^' => Punct::Caret,
+            b'&' => Punct::Amp,
+            b'~' => Punct::Tilde,
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(start, self.pos),
+                ));
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_interface_header() {
+        assert_eq!(
+            kinds("interface A : S {"),
+            vec![
+                TokenKind::Keyword(Keyword::Interface),
+                TokenKind::Ident("A".into()),
+                TokenKind::Punct(Punct::Colon),
+                TokenKind::Ident("S".into()),
+                TokenKind::Punct(Punct::LBrace),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn scoped_names_use_colon_colon() {
+        assert_eq!(
+            kinds("Heidi::Start"),
+            vec![
+                TokenKind::Ident("Heidi".into()),
+                TokenKind::Punct(Punct::ColonColon),
+                TokenKind::Ident("Start".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn incopy_is_a_keyword() {
+        assert_eq!(kinds("incopy")[0], TokenKind::Keyword(Keyword::Incopy));
+    }
+
+    #[test]
+    fn comments_and_preprocessor_are_skipped() {
+        let src = "#include <orb.idl>\n// line comment\n/* block\ncomment */ module";
+        assert_eq!(
+            kinds(src),
+            vec![TokenKind::Keyword(Keyword::Module), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn hash_mid_line_is_an_error() {
+        assert!(lex("module M #oops").is_err());
+    }
+
+    #[test]
+    fn integer_literal_radixes() {
+        assert_eq!(kinds("10")[0], TokenKind::IntLit(10));
+        assert_eq!(kinds("0x1F")[0], TokenKind::IntLit(31));
+        assert_eq!(kinds("017")[0], TokenKind::IntLit(15));
+        assert_eq!(kinds("0")[0], TokenKind::IntLit(0));
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("1.5")[0], TokenKind::FloatLit(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::FloatLit(2000.0));
+        assert_eq!(kinds(".25")[0], TokenKind::FloatLit(0.25));
+        assert_eq!(kinds("1.5e-2")[0], TokenKind::FloatLit(0.015));
+    }
+
+    #[test]
+    fn negative_is_separate_minus_token() {
+        assert_eq!(
+            kinds("-3"),
+            vec![TokenKind::Punct(Punct::Minus), TokenKind::IntLit(3), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn string_and_char_literals_decode_escapes() {
+        assert_eq!(kinds(r#""a\nb""#)[0], TokenKind::StringLit("a\nb".into()));
+        assert_eq!(kinds(r"'\t'")[0], TokenKind::CharLit('\t'));
+        assert_eq!(kinds("'x'")[0], TokenKind::CharLit('x'));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\nd\"").is_err(), "newline terminates string illegally");
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn shift_operators() {
+        assert_eq!(
+            kinds("1 << 2 >> 3"),
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::Punct(Punct::Shl),
+                TokenKind::IntLit(2),
+                TokenKind::Punct(Punct::Shr),
+                TokenKind::IntLit(3),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn sequence_angle_brackets_lex_individually() {
+        assert_eq!(
+            kinds("sequence<S>"),
+            vec![
+                TokenKind::Keyword(Keyword::Sequence),
+                TokenKind::Punct(Punct::Lt),
+                TokenKind::Ident("S".into()),
+                TokenKind::Punct(Punct::Gt),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("module\n  Heidi").unwrap();
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[0].span.start.col, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[1].span.start.col, 3);
+    }
+
+    #[test]
+    fn true_false_are_boolean_literals() {
+        assert_eq!(kinds("TRUE")[0], TokenKind::Keyword(Keyword::True));
+        assert_eq!(kinds("FALSE")[0], TokenKind::Keyword(Keyword::False));
+    }
+
+    #[test]
+    fn identifiers_may_contain_underscores_and_digits() {
+        assert_eq!(kinds("A_stub2")[0], TokenKind::Ident("A_stub2".into()));
+    }
+}

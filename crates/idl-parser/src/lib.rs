@@ -1,0 +1,43 @@
+//! # heidl-idl — OMG IDL parser with HeidiRMI extensions
+//!
+//! The front half of the template-driven IDL compiler from Welling & Ott,
+//! *"Customizing IDL Mappings and ORB Protocols"* (Middleware 2000): a
+//! generic IDL parser whose output feeds the Enhanced Syntax Tree (EST)
+//! builder in `heidl-est`.
+//!
+//! Besides the OMG IDL core (modules, interfaces with multiple inheritance,
+//! attributes, operations, typedefs, structs, unions, enums, constants,
+//! exceptions, bounded strings/sequences), the parser implements the two
+//! HeidiRMI syntax extensions from §3.1 of the paper:
+//!
+//! * **default parameter values** — `void p(in long l = 0);`
+//! * **`incopy`** — a pass-by-value parameter direction for object
+//!   references: `void g(incopy S s);`
+//!
+//! ## Quick start
+//!
+//! ```
+//! let spec = heidl_idl::parse(
+//!     "module Heidi { interface A { void f(in long x = 42); }; };",
+//! )?;
+//! let iface = spec.interfaces()[0];
+//! assert_eq!(iface.name.text, "A");
+//! # Ok::<(), heidl_idl::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::Specification;
+pub use error::{ParseError, ParseResult};
+pub use parser::{parse, FIG3_IDL};
+pub use pretty::print;
+pub use span::{Pos, Span};

@@ -1,0 +1,980 @@
+//! Recursive-descent parser for the OMG IDL subset with HeidiRMI extensions.
+//!
+//! The accepted grammar covers everything the paper's examples use —
+//! modules, interfaces (with multiple inheritance and forward declarations),
+//! attributes, operations (including `oneway` and `raises`), `typedef`,
+//! `struct`, `union`, `enum`, `const`, `exception`, bounded/unbounded
+//! `string` and `sequence`, plus the two HeidiRMI syntax extensions:
+//! **default parameter values** and the **`incopy`** direction (§3.1).
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Parses a complete IDL source file into a [`Specification`].
+///
+/// ```
+/// let spec = heidl_idl::parse("module M { interface A; };")?;
+/// assert_eq!(spec.definitions.len(), 1);
+/// # Ok::<(), heidl_idl::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with its source span.
+pub fn parse(source: &str) -> ParseResult<Specification> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).specification()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+    /// Set when a `>>` token has had its first `>` consumed (closing nested
+    /// sequences such as `sequence<sequence<long>>`).
+    pending_gt: bool,
+    /// Non-zero while parsing a bound inside `<...>`. There, a `>>` token is
+    /// two closing brackets, never a shift operator (as in C++ templates);
+    /// write `(a >> b)` to shift inside a bound.
+    angle_depth: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, idx: 0, pending_gt: false, angle_depth: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.peek().span)
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> ParseResult<Span> {
+        if self.peek().is_punct(p) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error_here(format!("expected `{}`, found {}", p, self.peek().kind)))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> ParseResult<Span> {
+        if self.peek().is_keyword(k) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error_here(format!("expected `{}`, found {}", k, self.peek().kind)))
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek().is_keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> ParseResult<Ident> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                let TokenKind::Ident(text) = t.kind else { unreachable!() };
+                Ok(Ident { text, span: t.span })
+            }
+            other => Err(self.error_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Consumes a closing `>`, splitting a `>>` token in half when needed.
+    fn expect_gt(&mut self) -> ParseResult<()> {
+        if self.pending_gt {
+            self.pending_gt = false;
+            self.bump();
+            return Ok(());
+        }
+        match &self.peek().kind {
+            TokenKind::Punct(Punct::Gt) => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Punct(Punct::Shr) => {
+                // Leave the token in place; the second half is consumed on
+                // the next expect_gt call.
+                self.pending_gt = true;
+                Ok(())
+            }
+            other => Err(self.error_here(format!("expected `>`, found {other}"))),
+        }
+    }
+
+    // ---- grammar productions -------------------------------------------
+
+    fn specification(&mut self) -> ParseResult<Specification> {
+        let mut definitions = Vec::new();
+        while !self.at_eof() {
+            self.definitions_into(&mut definitions)?;
+        }
+        Ok(Specification { definitions })
+    }
+
+    /// Parses one syntactic definition, which may expand to several AST
+    /// definitions (e.g. `typedef long a, b;`).
+    fn definitions_into(&mut self, out: &mut Vec<Definition>) -> ParseResult<()> {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Keyword(Keyword::Module) => out.push(Definition::Module(self.module()?)),
+            TokenKind::Keyword(Keyword::Interface) => out.push(self.interface_or_forward()?),
+            TokenKind::Keyword(Keyword::Typedef) => self.typedef_into(out)?,
+            TokenKind::Keyword(Keyword::Struct) => out.push(Definition::Struct(self.struct_def()?)),
+            TokenKind::Keyword(Keyword::Union) => out.push(Definition::Union(self.union_def()?)),
+            TokenKind::Keyword(Keyword::Enum) => out.push(Definition::Enum(self.enum_def()?)),
+            TokenKind::Keyword(Keyword::Const) => out.push(Definition::Const(self.const_def()?)),
+            TokenKind::Keyword(Keyword::Exception) => {
+                out.push(Definition::Exception(self.exception_def()?))
+            }
+            other => {
+                return Err(self.error_here(format!("expected a definition, found {other}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn module(&mut self) -> ParseResult<Module> {
+        let start = self.expect_keyword(Keyword::Module)?;
+        let name = self.ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut definitions = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("unterminated module body"));
+            }
+            self.definitions_into(&mut definitions)?;
+        }
+        self.expect_punct(Punct::RBrace)?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(Module { name, definitions, span: start.merge(end) })
+    }
+
+    fn interface_or_forward(&mut self) -> ParseResult<Definition> {
+        let start = self.expect_keyword(Keyword::Interface)?;
+        let name = self.ident()?;
+        if self.peek().is_punct(Punct::Semi) {
+            let end = self.bump().span;
+            return Ok(Definition::ForwardInterface(ForwardInterface {
+                name,
+                span: start.merge(end),
+            }));
+        }
+        let mut bases = Vec::new();
+        if self.eat_punct(Punct::Colon) {
+            loop {
+                bases.push(self.scoped_name()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::LBrace)?;
+        let mut members = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("unterminated interface body"));
+            }
+            self.member_into(&mut members)?;
+        }
+        self.expect_punct(Punct::RBrace)?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(Definition::Interface(Interface { name, bases, members, span: start.merge(end) }))
+    }
+
+    fn member_into(&mut self, out: &mut Vec<Member>) -> ParseResult<()> {
+        // Attribute: ['readonly'] 'attribute' type declarators ';'
+        if self.peek().is_keyword(Keyword::Readonly) || self.peek().is_keyword(Keyword::Attribute) {
+            let start = self.peek().span;
+            let readonly = self.eat_keyword(Keyword::Readonly);
+            self.expect_keyword(Keyword::Attribute)?;
+            let ty = self.type_spec()?;
+            loop {
+                let name = self.ident()?;
+                out.push(Member::Attribute(Attribute {
+                    readonly,
+                    ty: ty.clone(),
+                    name,
+                    span: start,
+                }));
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::Semi)?;
+            return Ok(());
+        }
+        // Operation: ['oneway'] (type | 'void') ident '(' params ')' ['raises' '(' ... ')'] ';'
+        let start = self.peek().span;
+        let oneway = self.eat_keyword(Keyword::Oneway);
+        let return_type =
+            if self.eat_keyword(Keyword::Void) { Type::Void } else { self.type_spec()? };
+        let name = self.ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.peek().is_punct(Punct::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        let mut raises = Vec::new();
+        if self.eat_keyword(Keyword::Raises) {
+            self.expect_punct(Punct::LParen)?;
+            loop {
+                raises.push(self.scoped_name()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+        let end = self.expect_punct(Punct::Semi)?;
+        out.push(Member::Operation(Operation {
+            oneway,
+            return_type,
+            name,
+            params,
+            raises,
+            span: start.merge(end),
+        }));
+        Ok(())
+    }
+
+    fn param(&mut self) -> ParseResult<Param> {
+        let direction = match &self.peek().kind {
+            TokenKind::Keyword(Keyword::In) => {
+                self.bump();
+                Direction::In
+            }
+            TokenKind::Keyword(Keyword::Out) => {
+                self.bump();
+                Direction::Out
+            }
+            TokenKind::Keyword(Keyword::Inout) => {
+                self.bump();
+                Direction::InOut
+            }
+            TokenKind::Keyword(Keyword::Incopy) => {
+                self.bump();
+                Direction::Incopy
+            }
+            other => {
+                return Err(self.error_here(format!(
+                    "expected parameter direction (`in`, `out`, `inout` or `incopy`), found {other}"
+                )));
+            }
+        };
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        // HeidiRMI extension: default parameter value.
+        let default =
+            if self.eat_punct(Punct::Eq) { Some(self.const_expr()?) } else { None };
+        Ok(Param { direction, ty, name, default })
+    }
+
+    fn typedef_into(&mut self, out: &mut Vec<Definition>) -> ParseResult<()> {
+        let start = self.expect_keyword(Keyword::Typedef)?;
+        let ty = self.type_spec()?;
+        loop {
+            let name = self.ident()?;
+            let array_dims = self.array_dims()?;
+            out.push(Definition::TypeDef(TypeDef {
+                ty: ty.clone(),
+                name,
+                array_dims,
+                span: start,
+            }));
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        Ok(())
+    }
+
+    fn array_dims(&mut self) -> ParseResult<Vec<u64>> {
+        let mut dims = Vec::new();
+        while self.eat_punct(Punct::LBracket) {
+            let expr = self.const_expr()?;
+            let n = crate::expr::eval_u64(&expr)
+                .map_err(|msg| self.error_here(format!("bad array bound: {msg}")))?;
+            dims.push(n);
+            self.expect_punct(Punct::RBracket)?;
+        }
+        Ok(dims)
+    }
+
+    fn struct_members(&mut self) -> ParseResult<Vec<StructMember>> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut members = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("unterminated struct body"));
+            }
+            let ty = self.type_spec()?;
+            loop {
+                let name = self.ident()?;
+                let array_dims = self.array_dims()?;
+                members.push(StructMember { ty: ty.clone(), name, array_dims });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::Semi)?;
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(members)
+    }
+
+    fn struct_def(&mut self) -> ParseResult<StructDef> {
+        let start = self.expect_keyword(Keyword::Struct)?;
+        let name = self.ident()?;
+        let members = self.struct_members()?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(StructDef { name, members, span: start.merge(end) })
+    }
+
+    fn exception_def(&mut self) -> ParseResult<ExceptionDef> {
+        let start = self.expect_keyword(Keyword::Exception)?;
+        let name = self.ident()?;
+        let members = self.struct_members()?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(ExceptionDef { name, members, span: start.merge(end) })
+    }
+
+    fn union_def(&mut self) -> ParseResult<UnionDef> {
+        let start = self.expect_keyword(Keyword::Union)?;
+        let name = self.ident()?;
+        self.expect_keyword(Keyword::Switch)?;
+        self.expect_punct(Punct::LParen)?;
+        let discriminator = self.type_spec()?;
+        self.expect_punct(Punct::RParen)?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut cases = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("unterminated union body"));
+            }
+            let mut labels = Vec::new();
+            loop {
+                if self.eat_keyword(Keyword::Case) {
+                    let e = self.const_expr()?;
+                    self.expect_punct(Punct::Colon)?;
+                    labels.push(CaseLabel::Expr(e));
+                } else if self.eat_keyword(Keyword::Default) {
+                    self.expect_punct(Punct::Colon)?;
+                    labels.push(CaseLabel::Default);
+                } else {
+                    break;
+                }
+            }
+            if labels.is_empty() {
+                return Err(self.error_here("expected `case` or `default` label"));
+            }
+            let ty = self.type_spec()?;
+            let arm_name = self.ident()?;
+            self.expect_punct(Punct::Semi)?;
+            cases.push(UnionCase { labels, ty, name: arm_name });
+        }
+        self.expect_punct(Punct::RBrace)?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(UnionDef { name, discriminator, cases, span: start.merge(end) })
+    }
+
+    fn enum_def(&mut self) -> ParseResult<EnumDef> {
+        let start = self.expect_keyword(Keyword::Enum)?;
+        let name = self.ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut enumerators = Vec::new();
+        loop {
+            enumerators.push(self.ident()?);
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::RBrace)?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(EnumDef { name, enumerators, span: start.merge(end) })
+    }
+
+    fn const_def(&mut self) -> ParseResult<ConstDef> {
+        let start = self.expect_keyword(Keyword::Const)?;
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        self.expect_punct(Punct::Eq)?;
+        let value = self.const_expr()?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(ConstDef { ty, name, value, span: start.merge(end) })
+    }
+
+    fn scoped_name(&mut self) -> ParseResult<ScopedName> {
+        let start = self.peek().span;
+        let absolute = self.eat_punct(Punct::ColonColon);
+        let mut parts = vec![self.ident()?];
+        while self.peek().is_punct(Punct::ColonColon) {
+            self.bump();
+            parts.push(self.ident()?);
+        }
+        let span = start.merge(parts.last().expect("at least one part").span);
+        Ok(ScopedName { absolute, parts, span })
+    }
+
+    fn type_spec(&mut self) -> ParseResult<Type> {
+        let tok = self.peek().clone();
+        let ty = match &tok.kind {
+            TokenKind::Keyword(Keyword::Boolean) => {
+                self.bump();
+                Type::Boolean
+            }
+            TokenKind::Keyword(Keyword::Char) => {
+                self.bump();
+                Type::Char
+            }
+            TokenKind::Keyword(Keyword::Octet) => {
+                self.bump();
+                Type::Octet
+            }
+            TokenKind::Keyword(Keyword::Short) => {
+                self.bump();
+                Type::Short
+            }
+            TokenKind::Keyword(Keyword::Long) => {
+                self.bump();
+                if self.eat_keyword(Keyword::Long) {
+                    Type::LongLong
+                } else {
+                    Type::Long
+                }
+            }
+            TokenKind::Keyword(Keyword::Float) => {
+                self.bump();
+                Type::Float
+            }
+            TokenKind::Keyword(Keyword::Double) => {
+                self.bump();
+                Type::Double
+            }
+            TokenKind::Keyword(Keyword::Any) => {
+                self.bump();
+                Type::Any
+            }
+            TokenKind::Keyword(Keyword::Unsigned) => {
+                self.bump();
+                if self.eat_keyword(Keyword::Short) {
+                    Type::UShort
+                } else if self.eat_keyword(Keyword::Long) {
+                    if self.eat_keyword(Keyword::Long) {
+                        Type::ULongLong
+                    } else {
+                        Type::ULong
+                    }
+                } else {
+                    return Err(
+                        self.error_here("expected `short` or `long` after `unsigned`")
+                    );
+                }
+            }
+            TokenKind::Keyword(Keyword::String) => {
+                self.bump();
+                let mut bound = None;
+                if self.eat_punct(Punct::Lt) {
+                    let e = self.bound_expr()?;
+                    bound = Some(crate::expr::eval_u64(&e).map_err(|msg| {
+                        self.error_here(format!("bad string bound: {msg}"))
+                    })?);
+                    self.expect_gt()?;
+                }
+                Type::String(bound)
+            }
+            TokenKind::Keyword(Keyword::Sequence) => {
+                self.bump();
+                self.expect_punct(Punct::Lt)?;
+                let elem = self.type_spec()?;
+                let mut bound = None;
+                if self.eat_punct(Punct::Comma) {
+                    let e = self.bound_expr()?;
+                    bound = Some(crate::expr::eval_u64(&e).map_err(|msg| {
+                        self.error_here(format!("bad sequence bound: {msg}"))
+                    })?);
+                }
+                self.expect_gt()?;
+                Type::Sequence(Box::new(elem), bound)
+            }
+            TokenKind::Ident(_) | TokenKind::Punct(Punct::ColonColon) => {
+                Type::Named(self.scoped_name()?)
+            }
+            other => return Err(self.error_here(format!("expected a type, found {other}"))),
+        };
+        Ok(ty)
+    }
+
+    // ---- constant expressions (precedence climbing) --------------------
+
+    fn const_expr(&mut self) -> ParseResult<ConstExpr> {
+        self.or_expr()
+    }
+
+    /// A constant expression used as a `string`/`sequence` bound, where `>>`
+    /// closes brackets rather than shifting.
+    fn bound_expr(&mut self) -> ParseResult<ConstExpr> {
+        self.angle_depth += 1;
+        let r = self.const_expr();
+        self.angle_depth -= 1;
+        r
+    }
+
+    fn or_expr(&mut self) -> ParseResult<ConstExpr> {
+        let mut lhs = self.xor_expr()?;
+        while self.eat_punct(Punct::Pipe) {
+            let rhs = self.xor_expr()?;
+            lhs = ConstExpr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn xor_expr(&mut self) -> ParseResult<ConstExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct(Punct::Caret) {
+            let rhs = self.and_expr()?;
+            lhs = ConstExpr::Binary(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> ParseResult<ConstExpr> {
+        let mut lhs = self.shift_expr()?;
+        while self.eat_punct(Punct::Amp) {
+            let rhs = self.shift_expr()?;
+            lhs = ConstExpr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> ParseResult<ConstExpr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Shl) {
+                BinOp::Shl
+            } else if self.angle_depth == 0 && self.eat_punct(Punct::Shr) {
+                BinOp::Shr
+            } else {
+                break;
+            };
+            let rhs = self.add_expr()?;
+            lhs = ConstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> ParseResult<ConstExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Plus) {
+                BinOp::Add
+            } else if self.eat_punct(Punct::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.mul_expr()?;
+            lhs = ConstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> ParseResult<ConstExpr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Star) {
+                BinOp::Mul
+            } else if self.eat_punct(Punct::Slash) {
+                BinOp::Div
+            } else if self.eat_punct(Punct::Percent) {
+                BinOp::Mod
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            lhs = ConstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> ParseResult<ConstExpr> {
+        if self.eat_punct(Punct::Minus) {
+            Ok(ConstExpr::Unary(UnaryOp::Neg, Box::new(self.unary_expr()?)))
+        } else if self.eat_punct(Punct::Plus) {
+            Ok(ConstExpr::Unary(UnaryOp::Plus, Box::new(self.unary_expr()?)))
+        } else if self.eat_punct(Punct::Tilde) {
+            Ok(ConstExpr::Unary(UnaryOp::Not, Box::new(self.unary_expr()?)))
+        } else {
+            self.primary_expr()
+        }
+    }
+
+    fn primary_expr(&mut self) -> ParseResult<ConstExpr> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(ConstExpr::Int(v))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(ConstExpr::Float(v))
+            }
+            TokenKind::CharLit(c) => {
+                self.bump();
+                Ok(ConstExpr::Char(c))
+            }
+            TokenKind::StringLit(ref s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(ConstExpr::Str(s))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(ConstExpr::Bool(true))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(ConstExpr::Bool(false))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                // Parentheses re-enable `>>` as a shift even inside bounds.
+                let saved = std::mem::replace(&mut self.angle_depth, 0);
+                let e = self.const_expr();
+                self.angle_depth = saved;
+                let e = e?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) | TokenKind::Punct(Punct::ColonColon) => {
+                Ok(ConstExpr::Named(self.scoped_name()?))
+            }
+            other => Err(self.error_here(format!("expected a constant expression, found {other}"))),
+        }
+    }
+}
+
+/// The example IDL from the paper's Fig 3, used across the test suite and
+/// reproduced verbatim (comments elided) so golden tests stay anchored to
+/// the paper.
+pub const FIG3_IDL: &str = r#"
+/* File A.idl */
+module Heidi {
+  // External declaration of Heidi::S
+  interface S;
+
+  // Heidi::Status
+  enum Status {Start, Stop};
+
+  // Heidi::SSequence
+  typedef sequence<S> SSequence;
+
+  // Heidi::A
+  interface A : S
+  {
+    void f(in A a);
+    void g(incopy S s);
+    void p(in long l = 0);
+    void q(in Status s = Heidi::Start);
+    readonly attribute Status button;
+    void s(in boolean b = TRUE);
+    void t(in SSequence s);
+  };
+};
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Definition {
+        let spec = parse(src).unwrap();
+        assert_eq!(spec.definitions.len(), 1, "{src}");
+        spec.definitions.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_fig3_structure() {
+        let spec = parse(FIG3_IDL).unwrap();
+        let Definition::Module(m) = &spec.definitions[0] else { panic!("expected module") };
+        assert_eq!(m.name.text, "Heidi");
+        assert_eq!(m.definitions.len(), 4);
+        assert!(matches!(m.definitions[0], Definition::ForwardInterface(_)));
+        assert!(matches!(m.definitions[1], Definition::Enum(_)));
+        assert!(matches!(m.definitions[2], Definition::TypeDef(_)));
+        let Definition::Interface(a) = &m.definitions[3] else { panic!("expected interface") };
+        assert_eq!(a.name.text, "A");
+        assert_eq!(a.bases.len(), 1);
+        assert_eq!(a.bases[0].to_string(), "S");
+        assert_eq!(a.members.len(), 7);
+        // Source order preserved: the attribute sits between q and s.
+        assert!(matches!(&a.members[4], Member::Attribute(at) if at.name.text == "button"));
+    }
+
+    #[test]
+    fn fig3_default_parameters() {
+        let spec = parse(FIG3_IDL).unwrap();
+        let iface = spec.interfaces()[0];
+        let p = iface.operations().find(|o| o.name.text == "p").unwrap();
+        assert_eq!(p.params[0].default, Some(ConstExpr::Int(0)));
+        let q = iface.operations().find(|o| o.name.text == "q").unwrap();
+        let Some(ConstExpr::Named(n)) = &q.params[0].default else { panic!("expected name") };
+        assert_eq!(n.to_string(), "Heidi::Start");
+        let s = iface.operations().find(|o| o.name.text == "s").unwrap();
+        assert_eq!(s.params[0].default, Some(ConstExpr::Bool(true)));
+        let f = iface.operations().find(|o| o.name.text == "f").unwrap();
+        assert_eq!(f.params[0].default, None);
+    }
+
+    #[test]
+    fn fig3_incopy_direction() {
+        let spec = parse(FIG3_IDL).unwrap();
+        let iface = spec.interfaces()[0];
+        let g = iface.operations().find(|o| o.name.text == "g").unwrap();
+        assert_eq!(g.params[0].direction, Direction::Incopy);
+        let f = iface.operations().find(|o| o.name.text == "f").unwrap();
+        assert_eq!(f.params[0].direction, Direction::In);
+    }
+
+    #[test]
+    fn readonly_attribute() {
+        let d = one("interface I { readonly attribute long button; };");
+        let Definition::Interface(i) = d else { panic!() };
+        let Member::Attribute(a) = &i.members[0] else { panic!() };
+        assert!(a.readonly);
+        assert_eq!(a.ty, Type::Long);
+    }
+
+    #[test]
+    fn writable_attribute_with_multiple_declarators() {
+        let d = one("interface I { attribute float x, y; };");
+        let Definition::Interface(i) = d else { panic!() };
+        assert_eq!(i.members.len(), 2);
+        let Member::Attribute(a) = &i.members[1] else { panic!() };
+        assert!(!a.readonly);
+        assert_eq!(a.name.text, "y");
+    }
+
+    #[test]
+    fn multiple_inheritance() {
+        let d = one("interface C : A, B, M::D {};");
+        let Definition::Interface(i) = d else { panic!() };
+        let bases: Vec<_> = i.bases.iter().map(|b| b.to_string()).collect();
+        assert_eq!(bases, ["A", "B", "M::D"]);
+    }
+
+    #[test]
+    fn oneway_and_raises() {
+        let d = one("interface I { oneway void ping(); long get() raises (E1, M::E2); };");
+        let Definition::Interface(i) = d else { panic!() };
+        let Member::Operation(ping) = &i.members[0] else { panic!() };
+        assert!(ping.oneway);
+        let Member::Operation(get) = &i.members[1] else { panic!() };
+        assert_eq!(get.return_type, Type::Long);
+        assert_eq!(get.raises.len(), 2);
+        assert_eq!(get.raises[1].to_string(), "M::E2");
+    }
+
+    #[test]
+    fn nested_bounded_sequence_splits_shr_after_bound() {
+        let d = one("typedef sequence<sequence<boolean, 1>> M;");
+        let Definition::TypeDef(t) = d else { panic!() };
+        let Type::Sequence(inner, None) = &t.ty else { panic!("{:?}", t.ty) };
+        assert_eq!(**inner, Type::Sequence(Box::new(Type::Boolean), Some(1)));
+    }
+
+    #[test]
+    fn shift_in_bound_requires_parens() {
+        let d = one("typedef sequence<long, (16 >> 2)> S;");
+        let Definition::TypeDef(t) = d else { panic!() };
+        assert_eq!(t.ty, Type::Sequence(Box::new(Type::Long), Some(4)));
+        // Shl is unambiguous and allowed bare.
+        let d = one("typedef sequence<long, 1 << 4> S;");
+        let Definition::TypeDef(t) = d else { panic!() };
+        assert_eq!(t.ty, Type::Sequence(Box::new(Type::Long), Some(16)));
+    }
+
+    #[test]
+    fn nested_sequences_split_shr() {
+        let d = one("typedef sequence<sequence<long>> Matrix;");
+        let Definition::TypeDef(t) = d else { panic!() };
+        let Type::Sequence(inner, None) = &t.ty else { panic!() };
+        assert_eq!(**inner, Type::Sequence(Box::new(Type::Long), None));
+    }
+
+    #[test]
+    fn bounded_sequence_and_string() {
+        let d = one("typedef sequence<octet, 16> Blob;");
+        let Definition::TypeDef(t) = d else { panic!() };
+        assert_eq!(t.ty, Type::Sequence(Box::new(Type::Octet), Some(16)));
+        let d = one("typedef string<32> Name;");
+        let Definition::TypeDef(t) = d else { panic!() };
+        assert_eq!(t.ty, Type::String(Some(32)));
+    }
+
+    #[test]
+    fn typedef_with_array_dims_and_multiple_declarators() {
+        let spec = parse("typedef long Grid[3][4], Flat;").unwrap();
+        assert_eq!(spec.definitions.len(), 2);
+        let Definition::TypeDef(g) = &spec.definitions[0] else { panic!() };
+        assert_eq!(g.array_dims, vec![3, 4]);
+        let Definition::TypeDef(f) = &spec.definitions[1] else { panic!() };
+        assert!(f.array_dims.is_empty());
+    }
+
+    #[test]
+    fn struct_union_enum_const_exception() {
+        let src = r#"
+            enum Color { Red, Green, Blue };
+            struct Point { long x; long y; };
+            union U switch (Color) {
+              case Red: long r;
+              case Green: case Blue: float gb;
+              default: boolean other;
+            };
+            const long MAX = 2 * (3 + 4);
+            exception Failed { string reason; long code; };
+        "#;
+        let spec = parse(src).unwrap();
+        assert_eq!(spec.definitions.len(), 5);
+        let Definition::Union(u) = &spec.definitions[2] else { panic!() };
+        assert_eq!(u.cases.len(), 3);
+        assert_eq!(u.cases[1].labels.len(), 2);
+        assert!(matches!(u.cases[2].labels[0], CaseLabel::Default));
+        let Definition::Const(c) = &spec.definitions[3] else { panic!() };
+        assert_eq!(crate::expr::eval_i64(&c.value).unwrap(), 14);
+    }
+
+    #[test]
+    fn unsigned_and_long_long_types() {
+        let spec =
+            parse("typedef unsigned short A; typedef unsigned long B; typedef long long C; typedef unsigned long long D;")
+                .unwrap();
+        let tys: Vec<&Type> = spec
+            .definitions
+            .iter()
+            .map(|d| match d {
+                Definition::TypeDef(t) => &t.ty,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(tys, [&Type::UShort, &Type::ULong, &Type::LongLong, &Type::ULongLong]);
+    }
+
+    #[test]
+    fn absolute_scoped_name() {
+        let d = one("interface I { void f(in ::Heidi::A a); };");
+        let Definition::Interface(i) = d else { panic!() };
+        let Member::Operation(f) = &i.members[0] else { panic!() };
+        let Type::Named(n) = &f.params[0].ty else { panic!() };
+        assert!(n.absolute);
+        assert_eq!(n.to_string(), "::Heidi::A");
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("interface A {\n  void f(;\n};").unwrap_err();
+        assert_eq!(err.span().start.line, 2);
+        assert!(err.message().contains("direction"), "{}", err.message());
+    }
+
+    #[test]
+    fn error_on_missing_semicolon_after_interface() {
+        assert!(parse("interface A {}").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_module() {
+        let err = parse("module M { interface A {};").unwrap_err();
+        assert!(err.message().contains("definition") || err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn error_on_bad_direction_keyword() {
+        assert!(parse("interface I { void f(inn long x); };").is_err());
+    }
+
+    #[test]
+    fn const_expression_precedence() {
+        let spec = parse("const long X = 1 | 2 ^ 3 & 4 << 1 + 2 * 3;").unwrap();
+        let Definition::Const(c) = &spec.definitions[0] else { panic!() };
+        // 2*3=6; 1+6=7; 4<<7=512; 3&512=0; 2^0=2; 1|2=3
+        assert_eq!(crate::expr::eval_i64(&c.value).unwrap(), 3);
+    }
+
+    #[test]
+    fn parenthesized_expression() {
+        let spec = parse("const long X = (1 + 2) * 3;").unwrap();
+        let Definition::Const(c) = &spec.definitions[0] else { panic!() };
+        assert_eq!(crate::expr::eval_i64(&c.value).unwrap(), 9);
+    }
+
+    #[test]
+    fn deeply_nested_modules() {
+        let spec = parse("module A { module B { module C { interface I {}; }; }; };").unwrap();
+        assert_eq!(spec.interfaces().len(), 1);
+    }
+
+    #[test]
+    fn empty_specification_is_ok() {
+        let spec = parse("  // nothing here\n").unwrap();
+        assert!(spec.definitions.is_empty());
+    }
+
+    #[test]
+    fn default_param_with_negative_value() {
+        let d = one("interface I { void f(in long x = -5); };");
+        let Definition::Interface(i) = d else { panic!() };
+        let Member::Operation(f) = &i.members[0] else { panic!() };
+        let e = f.params[0].default.as_ref().unwrap();
+        assert_eq!(crate::expr::eval_i64(e).unwrap(), -5);
+    }
+
+    #[test]
+    fn default_param_with_string_and_char() {
+        let d = one(r#"interface I { void f(in string s = "hi", in char c = 'x'); };"#);
+        let Definition::Interface(i) = d else { panic!() };
+        let Member::Operation(f) = &i.members[0] else { panic!() };
+        assert_eq!(f.params[0].default, Some(ConstExpr::Str("hi".into())));
+        assert_eq!(f.params[1].default, Some(ConstExpr::Char('x')));
+    }
+}

@@ -1,0 +1,224 @@
+//! Pretty-printer: AST back to canonical IDL text.
+//!
+//! Used by tooling (`heidlc --emit idl`) and by the property-based
+//! round-trip tests (`parse(print(ast)) == ast`), which pin down the parser
+//! against the printer.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole specification as canonical IDL.
+pub fn print(spec: &Specification) -> String {
+    let mut p = Printer::default();
+    for def in &spec.definitions {
+        p.definition(def);
+    }
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn definition(&mut self, def: &Definition) {
+        match def {
+            Definition::Module(m) => {
+                self.line(&format!("module {} {{", m.name));
+                self.indent += 1;
+                for d in &m.definitions {
+                    self.definition(d);
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+            Definition::Interface(i) => self.interface(i),
+            Definition::ForwardInterface(f) => self.line(&format!("interface {};", f.name)),
+            Definition::TypeDef(t) => {
+                let dims: String = t.array_dims.iter().map(|d| format!("[{d}]")).collect();
+                self.line(&format!("typedef {} {}{};", t.ty, t.name, dims));
+            }
+            Definition::Struct(s) => {
+                self.line(&format!("struct {} {{", s.name));
+                self.indent += 1;
+                for m in &s.members {
+                    self.struct_member(m);
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+            Definition::Union(u) => {
+                self.line(&format!("union {} switch ({}) {{", u.name, u.discriminator));
+                self.indent += 1;
+                for case in &u.cases {
+                    for label in &case.labels {
+                        match label {
+                            CaseLabel::Expr(e) => self.line(&format!("case {e}:")),
+                            CaseLabel::Default => self.line("default:"),
+                        }
+                    }
+                    self.indent += 1;
+                    self.line(&format!("{} {};", case.ty, case.name));
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+            Definition::Enum(e) => {
+                let names: Vec<_> = e.enumerators.iter().map(|n| n.text.clone()).collect();
+                self.line(&format!("enum {} {{{}}};", e.name, names.join(", ")));
+            }
+            Definition::Const(c) => {
+                self.line(&format!("const {} {} = {};", c.ty, c.name, c.value));
+            }
+            Definition::Exception(e) => {
+                self.line(&format!("exception {} {{", e.name));
+                self.indent += 1;
+                for m in &e.members {
+                    self.struct_member(m);
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+        }
+    }
+
+    fn struct_member(&mut self, m: &StructMember) {
+        let dims: String = m.array_dims.iter().map(|d| format!("[{d}]")).collect();
+        self.line(&format!("{} {}{};", m.ty, m.name, dims));
+    }
+
+    fn interface(&mut self, i: &Interface) {
+        let mut header = format!("interface {}", i.name);
+        if !i.bases.is_empty() {
+            let bases: Vec<_> = i.bases.iter().map(|b| b.to_string()).collect();
+            let _ = write!(header, " : {}", bases.join(", "));
+        }
+        header.push_str(" {");
+        self.line(&header);
+        self.indent += 1;
+        for m in &i.members {
+            match m {
+                Member::Operation(op) => self.operation(op),
+                Member::Attribute(a) => {
+                    let ro = if a.readonly { "readonly " } else { "" };
+                    self.line(&format!("{}attribute {} {};", ro, a.ty, a.name));
+                }
+            }
+        }
+        self.indent -= 1;
+        self.line("};");
+    }
+
+    fn operation(&mut self, op: &Operation) {
+        let mut s = String::new();
+        if op.oneway {
+            s.push_str("oneway ");
+        }
+        let _ = write!(s, "{} {}(", op.return_type, op.name);
+        let params: Vec<String> = op
+            .params
+            .iter()
+            .map(|p| {
+                let mut ps = format!("{} {} {}", p.direction, p.ty, p.name);
+                if let Some(d) = &p.default {
+                    let _ = write!(ps, " = {d}");
+                }
+                ps
+            })
+            .collect();
+        s.push_str(&params.join(", "));
+        s.push(')');
+        if !op.raises.is_empty() {
+            let names: Vec<_> = op.raises.iter().map(|r| r.to_string()).collect();
+            let _ = write!(s, " raises ({})", names.join(", "));
+        }
+        s.push(';');
+        self.line(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, FIG3_IDL};
+
+    /// Strips spans so re-parsed output can be compared structurally:
+    /// collapses every run of digits (span fields and literals alike) to `#`.
+    fn normalize(spec: &Specification) -> String {
+        let debug: String = format!("{spec:?}").split_whitespace().collect();
+        let mut out = String::with_capacity(debug.len());
+        let mut in_digits = false;
+        for c in debug.chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    out.push('#');
+                }
+                in_digits = true;
+            } else {
+                in_digits = false;
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fig3_round_trips() {
+        let spec = parse(FIG3_IDL).unwrap();
+        let printed = print(&spec);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{}\n{printed}", e.render(&printed)));
+        assert_eq!(normalize(&spec), normalize(&reparsed), "\n{printed}");
+    }
+
+    #[test]
+    fn printed_fig3_contains_extensions() {
+        let spec = parse(FIG3_IDL).unwrap();
+        let printed = print(&spec);
+        assert!(printed.contains("incopy S s"), "{printed}");
+        assert!(printed.contains("in long l = 0"), "{printed}");
+        assert!(printed.contains("in Status s = Heidi::Start"), "{printed}");
+        assert!(printed.contains("readonly attribute Status button;"), "{printed}");
+    }
+
+    #[test]
+    fn union_round_trips() {
+        let src = "union U switch (long) { case 1: long a; default: float b; };";
+        let spec = parse(src).unwrap();
+        let printed = print(&spec);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(normalize(&spec), normalize(&reparsed), "\n{printed}");
+    }
+
+    #[test]
+    fn oneway_raises_round_trips() {
+        let src = "interface I { oneway void ping(); void f(in long a) raises (E); };";
+        let spec = parse(src).unwrap();
+        let printed = print(&spec);
+        assert!(printed.contains("oneway void ping();"));
+        assert!(printed.contains("raises (E);"));
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(normalize(&spec), normalize(&reparsed));
+    }
+
+    #[test]
+    fn arrays_and_bounds_round_trip() {
+        let src = "typedef sequence<string<8>, 4> S; typedef long Grid[2][3];";
+        let spec = parse(src).unwrap();
+        let printed = print(&spec);
+        assert!(printed.contains("sequence<string<8>, 4>"), "{printed}");
+        assert!(printed.contains("Grid[2][3];"), "{printed}");
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(normalize(&spec), normalize(&reparsed));
+    }
+}

@@ -1,0 +1,127 @@
+//! Source positions and spans for diagnostics.
+//!
+//! Every token and AST node carries a [`Span`] so that errors reported by
+//! later pipeline stages (EST building, code generation) can still point at
+//! the offending IDL source.
+
+use std::fmt;
+
+/// A position in IDL source text, 1-based line and column plus byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+    /// 0-based byte offset into the source.
+    pub offset: usize,
+}
+
+impl Pos {
+    /// The start of a source file.
+    pub const START: Pos = Pos { line: 1, col: 1, offset: 0 };
+
+    /// Creates a position.
+    pub fn new(line: u32, col: u32, offset: usize) -> Self {
+        Pos { line, col, offset }
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos::START
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of IDL source text, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// First position covered by the span.
+    pub start: Pos,
+    /// Position one past the last character covered.
+    pub end: Pos,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: Pos) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: if self.start <= other.start { self.start } else { other.start },
+            end: if self.end >= other.end { self.end } else { other.end },
+        }
+    }
+
+    /// Extracts the spanned text from `source`.
+    ///
+    /// Returns an empty string if the span is out of bounds for `source`.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start.offset..self.end.offset).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display_is_line_colon_col() {
+        assert_eq!(Pos::new(3, 7, 42).to_string(), "3:7");
+    }
+
+    #[test]
+    fn pos_ordering_follows_fields() {
+        assert!(Pos::new(1, 9, 8) < Pos::new(2, 1, 10));
+        assert!(Pos::new(2, 1, 10) < Pos::new(2, 2, 11));
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(Pos::new(1, 1, 0), Pos::new(1, 5, 4));
+        let b = Span::new(Pos::new(1, 3, 2), Pos::new(2, 1, 9));
+        let m = a.merge(b);
+        assert_eq!(m.start, Pos::new(1, 1, 0));
+        assert_eq!(m.end, Pos::new(2, 1, 9));
+    }
+
+    #[test]
+    fn span_slice_extracts_text() {
+        let src = "interface A {};";
+        let sp = Span::new(Pos::new(1, 1, 0), Pos::new(1, 10, 9));
+        assert_eq!(sp.slice(src), "interface");
+    }
+
+    #[test]
+    fn span_slice_out_of_bounds_is_empty() {
+        let sp = Span::new(Pos::new(1, 1, 10), Pos::new(1, 1, 20));
+        assert_eq!(sp.slice("short"), "");
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        let sp = Span::point(Pos::new(1, 4, 3));
+        assert_eq!(sp.slice("abcdef"), "");
+        assert_eq!(sp.start, sp.end);
+    }
+}

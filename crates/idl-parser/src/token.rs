@@ -1,0 +1,328 @@
+//! Token definitions produced by the [lexer](crate::lexer).
+
+use crate::span::Span;
+use std::fmt;
+
+/// IDL keywords, including the HeidiRMI extension keyword `incopy`.
+///
+/// Each variant is named after its source spelling (see [`Keyword::as_str`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are self-describing keyword spellings
+pub enum Keyword {
+    Module,
+    Interface,
+    Typedef,
+    Struct,
+    Union,
+    Switch,
+    Case,
+    Default,
+    Enum,
+    Const,
+    Exception,
+    Raises,
+    Attribute,
+    Readonly,
+    Oneway,
+    In,
+    Out,
+    Inout,
+    /// HeidiRMI extension (§3.1): pass-by-value qualifier.
+    Incopy,
+    Void,
+    Boolean,
+    Char,
+    Octet,
+    Short,
+    Long,
+    Float,
+    Double,
+    Unsigned,
+    String,
+    Sequence,
+    Any,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling.
+    ///
+    /// Like OMG IDL, `TRUE`/`FALSE` are accepted in upper case as boolean
+    /// literals in addition to the conventional lowercase keywords.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "module" => Module,
+            "interface" => Interface,
+            "typedef" => Typedef,
+            "struct" => Struct,
+            "union" => Union,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "enum" => Enum,
+            "const" => Const,
+            "exception" => Exception,
+            "raises" => Raises,
+            "attribute" => Attribute,
+            "readonly" => Readonly,
+            "oneway" => Oneway,
+            "in" => In,
+            "out" => Out,
+            "inout" => Inout,
+            "incopy" => Incopy,
+            "void" => Void,
+            "boolean" => Boolean,
+            "char" => Char,
+            "octet" => Octet,
+            "short" => Short,
+            "long" => Long,
+            "float" => Float,
+            "double" => Double,
+            "unsigned" => Unsigned,
+            "string" => String,
+            "sequence" => Sequence,
+            "any" => Any,
+            "TRUE" => True,
+            "FALSE" => False,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Module => "module",
+            Interface => "interface",
+            Typedef => "typedef",
+            Struct => "struct",
+            Union => "union",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Enum => "enum",
+            Const => "const",
+            Exception => "exception",
+            Raises => "raises",
+            Attribute => "attribute",
+            Readonly => "readonly",
+            Oneway => "oneway",
+            In => "in",
+            Out => "out",
+            Inout => "inout",
+            Incopy => "incopy",
+            Void => "void",
+            Boolean => "boolean",
+            Char => "char",
+            Octet => "octet",
+            Short => "short",
+            Long => "long",
+            Float => "float",
+            Double => "double",
+            Unsigned => "unsigned",
+            String => "string",
+            Sequence => "sequence",
+            Any => "any",
+            True => "TRUE",
+            False => "FALSE",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `&`
+    Amp,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl Punct {
+    /// The source spelling of the punctuation token.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LBrace => "{",
+            RBrace => "}",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            Lt => "<",
+            Gt => ">",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            ColonColon => "::",
+            Eq => "=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Pipe => "|",
+            Caret => "^",
+            Amp => "&",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword such as `interface`.
+    Keyword(Keyword),
+    /// An identifier such as `Receiver`.
+    Ident(String),
+    /// An integer literal; value already decoded (supports decimal, hex, octal).
+    IntLit(i64),
+    /// A floating-point literal.
+    FloatLit(f64),
+    /// A character literal such as `'x'`.
+    CharLit(char),
+    /// A string literal with escapes decoded.
+    StringLit(String),
+    /// Punctuation.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::CharLit(c) => write!(f, "character literal `'{c}'`"),
+            TokenKind::StringLit(s) => write!(f, "string literal `\"{s}\"`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexed token: a [`TokenKind`] plus its source [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// True if this token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(k) if *k == kw)
+    }
+
+    /// True if this token is the given punctuation.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Module,
+            Keyword::Interface,
+            Keyword::Incopy,
+            Keyword::Sequence,
+            Keyword::Unsigned,
+            Keyword::True,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keyword_is_none() {
+        assert_eq!(Keyword::from_str("Receiver"), None);
+        assert_eq!(Keyword::from_str("Interface"), None, "keywords are case-sensitive");
+        assert_eq!(Keyword::from_str("true"), None, "boolean literals are upper-case in IDL");
+    }
+
+    #[test]
+    fn token_kind_display_mentions_text() {
+        assert_eq!(TokenKind::Ident("A".into()).to_string(), "identifier `A`");
+        assert_eq!(TokenKind::Punct(Punct::ColonColon).to_string(), "`::`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token { kind: TokenKind::Keyword(Keyword::In), span: Span::default() };
+        assert!(t.is_keyword(Keyword::In));
+        assert!(!t.is_keyword(Keyword::Out));
+        assert!(!t.is_punct(Punct::Semi));
+    }
+}

@@ -1,0 +1,231 @@
+//! Property test: pretty-printing any well-formed AST and re-parsing it
+//! yields a structurally identical AST (modulo spans).
+
+use heidl_idl::ast::*;
+use heidl_idl::{parse, print};
+use proptest::prelude::*;
+
+/// Collapses digit runs so differing spans (and only spans vs literals with
+/// equal digits) normalize identically on both sides.
+fn normalize(spec: &Specification) -> String {
+    let debug: String = format!("{spec:?}").split_whitespace().collect();
+    let mut out = String::with_capacity(debug.len());
+    let mut in_digits = false;
+    for c in debug.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+            }
+            in_digits = true;
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords by always prefixing with a capital letter that no IDL
+    // keyword uses (keywords are lowercase or TRUE/FALSE).
+    "[A-SU-Z][a-zA-Z0-9_]{0,8}".prop_filter("not TRUE/FALSE", |s| s != "TRUE" && s != "FALSE")
+}
+
+fn primitive_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Boolean),
+        Just(Type::Char),
+        Just(Type::Octet),
+        Just(Type::Short),
+        Just(Type::UShort),
+        Just(Type::Long),
+        Just(Type::ULong),
+        Just(Type::LongLong),
+        Just(Type::ULongLong),
+        Just(Type::Float),
+        Just(Type::Double),
+        Just(Type::Any),
+        Just(Type::String(None)),
+        (1u64..1000).prop_map(|n| Type::String(Some(n))),
+    ]
+}
+
+fn type_strategy() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        primitive_type(),
+        ident_strategy().prop_map(|n| Type::Named(ScopedName::from_parts([n]))),
+        (ident_strategy(), ident_strategy())
+            .prop_map(|(a, b)| Type::Named(ScopedName::from_parts([a, b]))),
+    ];
+    leaf.prop_recursive(3, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| Type::Sequence(Box::new(t), None)),
+            (inner, 1u64..100).prop_map(|(t, n)| Type::Sequence(Box::new(t), Some(n))),
+        ]
+    })
+}
+
+fn const_expr_strategy() -> impl Strategy<Value = ConstExpr> {
+    let leaf = prop_oneof![
+        (0i64..1_000_000).prop_map(ConstExpr::Int),
+        any::<bool>().prop_map(ConstExpr::Bool),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(ConstExpr::Str),
+        proptest::char::range('a', 'z').prop_map(ConstExpr::Char),
+        ident_strategy().prop_map(|n| ConstExpr::Named(ScopedName::from_parts([n]))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ConstExpr::Binary(
+                BinOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ConstExpr::Binary(
+                BinOp::Mul,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.prop_map(|e| ConstExpr::Unary(UnaryOp::Neg, Box::new(e))),
+        ]
+    })
+}
+
+fn param_strategy() -> impl Strategy<Value = Param> {
+    (
+        prop_oneof![
+            Just(Direction::In),
+            Just(Direction::Out),
+            Just(Direction::InOut),
+            Just(Direction::Incopy)
+        ],
+        type_strategy(),
+        ident_strategy(),
+        proptest::option::of(const_expr_strategy()),
+    )
+        .prop_map(|(direction, ty, name, default)| Param {
+            direction,
+            ty,
+            name: Ident::new(name),
+            default,
+        })
+}
+
+fn operation_strategy() -> impl Strategy<Value = Member> {
+    (
+        any::<bool>(),
+        prop_oneof![Just(Type::Void), type_strategy()],
+        ident_strategy(),
+        proptest::collection::vec(param_strategy(), 0..4),
+        proptest::collection::vec(ident_strategy(), 0..2),
+    )
+        .prop_map(|(oneway, return_type, name, params, raises)| {
+            Member::Operation(Operation {
+                // `oneway` must be void-returning to re-parse cleanly; keep
+                // the generator honest rather than filtered.
+                oneway: oneway && return_type == Type::Void,
+                return_type,
+                name: Ident::new(name),
+                params,
+                raises: raises.into_iter().map(|r| ScopedName::from_parts([r])).collect(),
+                span: Default::default(),
+            })
+        })
+}
+
+fn attribute_strategy() -> impl Strategy<Value = Member> {
+    (any::<bool>(), type_strategy(), ident_strategy()).prop_map(|(readonly, ty, name)| {
+        Member::Attribute(Attribute { readonly, ty, name: Ident::new(name), span: Default::default() })
+    })
+}
+
+fn interface_strategy() -> impl Strategy<Value = Definition> {
+    (
+        ident_strategy(),
+        proptest::collection::vec(ident_strategy(), 0..3),
+        proptest::collection::vec(prop_oneof![operation_strategy(), attribute_strategy()], 0..6),
+    )
+        .prop_map(|(name, bases, members)| {
+            Definition::Interface(Interface {
+                name: Ident::new(name),
+                bases: bases.into_iter().map(|b| ScopedName::from_parts([b])).collect(),
+                members,
+                span: Default::default(),
+            })
+        })
+}
+
+fn definition_strategy() -> impl Strategy<Value = Definition> {
+    let plain = prop_oneof![
+        interface_strategy(),
+        ident_strategy()
+            .prop_map(|n| Definition::ForwardInterface(ForwardInterface {
+                name: Ident::new(n),
+                span: Default::default()
+            })),
+        (type_strategy(), ident_strategy(), proptest::collection::vec(1u64..10, 0..3)).prop_map(
+            |(ty, name, dims)| Definition::TypeDef(TypeDef {
+                ty,
+                name: Ident::new(name),
+                array_dims: dims,
+                span: Default::default(),
+            })
+        ),
+        (ident_strategy(), proptest::collection::vec(ident_strategy(), 1..5)).prop_map(
+            |(name, mut enumerators)| {
+                enumerators.dedup();
+                Definition::Enum(EnumDef {
+                    name: Ident::new(name),
+                    enumerators: enumerators.into_iter().map(Ident::new).collect(),
+                    span: Default::default(),
+                })
+            }
+        ),
+        (type_strategy(), ident_strategy(), const_expr_strategy()).prop_map(|(ty, name, value)| {
+            Definition::Const(ConstDef { ty, name: Ident::new(name), value, span: Default::default() })
+        }),
+        (
+            ident_strategy(),
+            proptest::collection::vec((type_strategy(), ident_strategy()), 0..4)
+        )
+            .prop_map(|(name, members)| Definition::Struct(StructDef {
+                name: Ident::new(name),
+                members: members
+                    .into_iter()
+                    .map(|(ty, n)| StructMember { ty, name: Ident::new(n), array_dims: vec![] })
+                    .collect(),
+                span: Default::default(),
+            })),
+    ];
+    plain.prop_recursive(2, 12, 3, |inner| {
+        (ident_strategy(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, defs)| {
+            Definition::Module(Module {
+                name: Ident::new(name),
+                definitions: defs,
+                span: Default::default(),
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(defs in proptest::collection::vec(definition_strategy(), 0..5)) {
+        let spec = Specification { definitions: defs };
+        let printed = print(&spec);
+        let reparsed = parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{}\n---\n{printed}", e.render(&printed))))?;
+        prop_assert_eq!(normalize(&spec), normalize(&reparsed), "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_random_input(src in "[ -~\n]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_random_unicode(src in "\\PC{0,100}") {
+        let _ = heidl_idl::lexer::lex(&src);
+    }
+}

@@ -1,0 +1,334 @@
+//! The `Call` object: request/reply envelopes over any wire protocol.
+//!
+//! Paper §3.1 and Fig 4: *"When a stub method is invoked, a new `Call`
+//! object that provides the generic functionality for making a remote
+//! method call is created. The stringified object reference of the target
+//! remote object forms the header of the `Call`. After any parameters to
+//! the remote method are marshaled into the `Call` object, the `Call` is
+//! invoked."*
+//!
+//! Body layouts (protocol-agnostic, built from codec primitives only):
+//!
+//! * request: `string target-objref · string method · bool
+//!   response-expected · <args>` — the flag (as in GIOP's
+//!   `response_expected`) keeps `oneway` calls from desynchronizing the
+//!   reply stream on a cached connection;
+//! * reply:   `octet status · <results>` where status `0` = OK, or
+//!   `status != 0 · string repo-id · string detail` for exceptions
+//!   (`1` = user exception, `2` = system exception).
+
+use crate::error::{RmiError, RmiResult};
+use crate::objref::ObjectRef;
+use heidl_wire::{Decoder, Encoder, Protocol};
+
+/// Reply status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// Normal completion; results follow.
+    Ok,
+    /// A `raises(...)`-declared exception; repo id + detail follow.
+    UserException,
+    /// An ORB-level failure (unknown object/method, unmarshal error).
+    SystemException,
+}
+
+impl ReplyStatus {
+    fn code(self) -> u8 {
+        match self {
+            ReplyStatus::Ok => 0,
+            ReplyStatus::UserException => 1,
+            ReplyStatus::SystemException => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> RmiResult<Self> {
+        Ok(match c {
+            0 => ReplyStatus::Ok,
+            1 => ReplyStatus::UserException,
+            2 => ReplyStatus::SystemException,
+            other => return Err(RmiError::Protocol(format!("bad reply status {other}"))),
+        })
+    }
+}
+
+/// A client-side request under construction.
+pub struct Call {
+    target: ObjectRef,
+    method: String,
+    response_expected: bool,
+    enc: Box<dyn Encoder>,
+}
+
+impl std::fmt::Debug for Call {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Call")
+            .field("target", &self.target.to_string())
+            .field("method", &self.method)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Call {
+    /// Starts a request to `method` on `target`; the stringified reference
+    /// becomes the call header.
+    pub fn request(target: &ObjectRef, method: &str, protocol: &dyn Protocol) -> Call {
+        Call::with_response_flag(target, method, protocol, true)
+    }
+
+    /// Starts a `oneway` request: the server will not send a reply.
+    pub fn oneway(target: &ObjectRef, method: &str, protocol: &dyn Protocol) -> Call {
+        Call::with_response_flag(target, method, protocol, false)
+    }
+
+    fn with_response_flag(
+        target: &ObjectRef,
+        method: &str,
+        protocol: &dyn Protocol,
+        response_expected: bool,
+    ) -> Call {
+        let mut enc = protocol.encoder();
+        enc.put_string(&target.to_string());
+        enc.put_string(method);
+        enc.put_bool(response_expected);
+        Call { target: target.clone(), method: method.to_owned(), response_expected, enc }
+    }
+
+    /// Whether the server will reply to this call.
+    pub fn response_expected(&self) -> bool {
+        self.response_expected
+    }
+
+    /// The argument encoder: marshal parameters here, in order.
+    pub fn args(&mut self) -> &mut dyn Encoder {
+        self.enc.as_mut()
+    }
+
+    /// The target reference.
+    pub fn target(&self) -> &ObjectRef {
+        &self.target
+    }
+
+    /// The method name.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Completes the request, yielding the message body to send.
+    pub fn into_body(mut self) -> Vec<u8> {
+        self.enc.finish()
+    }
+}
+
+/// A server-side view of a received request.
+pub struct IncomingCall {
+    /// The target reference from the call header.
+    pub target: ObjectRef,
+    /// The requested method.
+    pub method: String,
+    /// False for `oneway` requests — the server must not reply.
+    pub response_expected: bool,
+    /// Decoder positioned at the first argument.
+    pub args: Box<dyn Decoder>,
+}
+
+impl std::fmt::Debug for IncomingCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncomingCall")
+            .field("target", &self.target.to_string())
+            .field("method", &self.method)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IncomingCall {
+    /// Parses a request body received from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmarshalable headers or unparsable references.
+    pub fn parse(body: Vec<u8>, protocol: &dyn Protocol) -> RmiResult<IncomingCall> {
+        let mut dec = protocol.decoder(body)?;
+        let target_text = dec.get_string()?;
+        let target: ObjectRef = target_text.parse()?;
+        let method = dec.get_string()?;
+        let response_expected = dec.get_bool()?;
+        Ok(IncomingCall { target, method, response_expected, args: dec })
+    }
+}
+
+/// A server-side reply under construction.
+pub struct ReplyBuilder {
+    enc: Box<dyn Encoder>,
+}
+
+impl std::fmt::Debug for ReplyBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplyBuilder").finish_non_exhaustive()
+    }
+}
+
+impl ReplyBuilder {
+    /// Starts a normal reply; marshal results into [`ReplyBuilder::results`].
+    pub fn ok(protocol: &dyn Protocol) -> ReplyBuilder {
+        let mut enc = protocol.encoder();
+        enc.put_octet(ReplyStatus::Ok.code());
+        ReplyBuilder { enc }
+    }
+
+    /// Builds a complete exception reply.
+    pub fn exception(
+        protocol: &dyn Protocol,
+        status: ReplyStatus,
+        repo_id: &str,
+        detail: &str,
+    ) -> Vec<u8> {
+        debug_assert_ne!(status, ReplyStatus::Ok, "exceptions need a non-OK status");
+        let mut enc = protocol.encoder();
+        enc.put_octet(status.code());
+        enc.put_string(repo_id);
+        enc.put_string(detail);
+        enc.finish()
+    }
+
+    /// The result encoder.
+    pub fn results(&mut self) -> &mut dyn Encoder {
+        self.enc.as_mut()
+    }
+
+    /// Completes the reply body.
+    pub fn into_body(mut self) -> Vec<u8> {
+        self.enc.finish()
+    }
+}
+
+/// A client-side view of a received reply.
+pub struct Reply {
+    dec: Box<dyn Decoder>,
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reply").finish_non_exhaustive()
+    }
+}
+
+impl Reply {
+    /// Parses a reply body; exception replies become [`RmiError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmarshalable bodies; remote exceptions surface as
+    /// [`RmiError::Remote`].
+    pub fn parse(body: Vec<u8>, protocol: &dyn Protocol) -> RmiResult<Reply> {
+        let mut dec = protocol.decoder(body)?;
+        let status = ReplyStatus::from_code(dec.get_octet()?)?;
+        match status {
+            ReplyStatus::Ok => Ok(Reply { dec }),
+            ReplyStatus::UserException | ReplyStatus::SystemException => {
+                let repo_id = dec.get_string()?;
+                let detail = dec.get_string()?;
+                Err(RmiError::Remote { repo_id, detail })
+            }
+        }
+    }
+
+    /// The result decoder, positioned at the first result value.
+    pub fn results(&mut self) -> &mut dyn Decoder {
+        self.dec.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objref::Endpoint;
+    use heidl_wire::{CdrProtocol, TextProtocol};
+
+    fn target() -> ObjectRef {
+        ObjectRef::new(Endpoint::new("tcp", "localhost", 1234), 42, "IDL:Heidi/A:1.0")
+    }
+
+    fn protocols() -> Vec<Box<dyn Protocol>> {
+        vec![Box::new(TextProtocol), Box::new(CdrProtocol)]
+    }
+
+    #[test]
+    fn request_roundtrip_on_both_protocols() {
+        for p in protocols() {
+            let mut call = Call::request(&target(), "p", p.as_ref());
+            call.args().put_long(7);
+            call.args().put_string("x");
+            let body = call.into_body();
+
+            let mut incoming = IncomingCall::parse(body, p.as_ref()).unwrap();
+            assert_eq!(incoming.target, target());
+            assert_eq!(incoming.method, "p");
+            assert_eq!(incoming.args.get_long().unwrap(), 7);
+            assert_eq!(incoming.args.get_string().unwrap(), "x");
+            assert!(incoming.args.at_end());
+        }
+    }
+
+    #[test]
+    fn ok_reply_roundtrip() {
+        for p in protocols() {
+            let mut rb = ReplyBuilder::ok(p.as_ref());
+            rb.results().put_long(99);
+            let body = rb.into_body();
+            let mut reply = Reply::parse(body, p.as_ref()).unwrap();
+            assert_eq!(reply.results().get_long().unwrap(), 99);
+        }
+    }
+
+    #[test]
+    fn user_exception_reply_surfaces_as_remote_error() {
+        for p in protocols() {
+            let body = ReplyBuilder::exception(
+                p.as_ref(),
+                ReplyStatus::UserException,
+                "IDL:Heidi/Broken:1.0",
+                "subsystem offline",
+            );
+            let err = Reply::parse(body, p.as_ref()).unwrap_err();
+            let RmiError::Remote { repo_id, detail } = err else { panic!("wrong error") };
+            assert_eq!(repo_id, "IDL:Heidi/Broken:1.0");
+            assert_eq!(detail, "subsystem offline");
+        }
+    }
+
+    #[test]
+    fn request_header_is_readable_on_text_protocol() {
+        let call = Call::request(&target(), "play", &TextProtocol);
+        let body = call.into_body();
+        let text = String::from_utf8(body).unwrap();
+        // Fig 4's header: the stringified reference leads the message.
+        assert!(text.starts_with("\"@tcp:localhost:1234#42#IDL:Heidi/A:1.0\" \"play\" T"), "{text}");
+    }
+
+    #[test]
+    fn bad_status_byte_is_a_protocol_error() {
+        let p = TextProtocol;
+        let mut enc = p.encoder();
+        enc.put_octet(9);
+        let err = Reply::parse(enc.finish(), &p).unwrap_err();
+        assert!(matches!(err, RmiError::Protocol(_)));
+    }
+
+    #[test]
+    fn call_accessors() {
+        let call = Call::request(&target(), "f", &TextProtocol);
+        assert_eq!(call.method(), "f");
+        assert_eq!(call.target(), &target());
+        assert!(format!("{call:?}").contains("f"));
+    }
+
+    #[test]
+    fn incoming_call_with_bad_reference_fails() {
+        let p = TextProtocol;
+        let mut enc = p.encoder();
+        enc.put_string("not-a-reference");
+        enc.put_string("m");
+        let err = IncomingCall::parse(enc.finish(), &p).unwrap_err();
+        assert!(matches!(err, RmiError::BadReference { .. }));
+    }
+}

@@ -1,0 +1,303 @@
+//! `ObjectCommunicator` and the connection cache.
+//!
+//! Paper §3.1: *"An `ObjectCommunicator` provides the abstraction of a
+//! communication channel on which individual requests can be demarcated.
+//! ... Connections are cached and reused in HeidiRMI, and only if there is
+//! no available connection is a new connection opened."*
+
+use crate::error::{RmiError, RmiResult};
+use crate::objref::Endpoint;
+use crate::transport::{TcpTransport, Transport};
+use heidl_wire::Protocol;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A message channel over a transport: framing + buffering.
+pub struct ObjectCommunicator {
+    transport: Box<dyn Transport>,
+    protocol: Arc<dyn Protocol>,
+    inbuf: Vec<u8>,
+}
+
+impl std::fmt::Debug for ObjectCommunicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectCommunicator")
+            .field("peer", &self.transport.peer())
+            .field("protocol", &self.protocol.name())
+            .field("buffered", &self.inbuf.len())
+            .finish()
+    }
+}
+
+impl ObjectCommunicator {
+    /// Wraps a transport with a protocol.
+    pub fn new(transport: Box<dyn Transport>, protocol: Arc<dyn Protocol>) -> Self {
+        ObjectCommunicator { transport, protocol, inbuf: Vec::new() }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> &Arc<dyn Protocol> {
+        &self.protocol
+    }
+
+    /// Peer description for diagnostics.
+    pub fn peer(&self) -> String {
+        self.transport.peer()
+    }
+
+    /// Sends one message body, framed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, body: &[u8]) -> RmiResult<()> {
+        let mut framed = Vec::with_capacity(body.len() + 16);
+        self.protocol.frame(body, &mut framed);
+        self.transport.send(&framed)?;
+        Ok(())
+    }
+
+    /// Receives the next complete message body, or `None` on orderly close.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and stream corruption.
+    pub fn recv(&mut self) -> RmiResult<Option<Vec<u8>>> {
+        loop {
+            if let Some(body) = self.protocol.deframe(&mut self.inbuf)? {
+                return Ok(Some(body));
+            }
+            let n = self.transport.recv_into(&mut self.inbuf)?;
+            if n == 0 {
+                if self.inbuf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(RmiError::Disconnected);
+            }
+        }
+    }
+
+    /// One request/reply round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::Disconnected`] when the channel closes before a reply.
+    pub fn round_trip(&mut self, body: &[u8]) -> RmiResult<Vec<u8>> {
+        self.send(body)?;
+        self.recv()?.ok_or(RmiError::Disconnected)
+    }
+}
+
+/// The per-address-space connection cache.
+///
+/// `checkout` hands an idle cached connection when one exists, opening a
+/// fresh one only otherwise; `checkin` returns it for reuse. Experiment E3
+/// measures exactly this cache's effect.
+#[derive(Default)]
+pub struct ConnectionPool {
+    idle: Mutex<HashMap<Endpoint, Vec<ObjectCommunicator>>>,
+    /// Total fresh connections opened (observability for tests/benches).
+    opened: std::sync::atomic::AtomicU64,
+    /// When false, checkin drops connections instead of caching them —
+    /// the "no cache" ablation arm of E3.
+    caching: std::sync::atomic::AtomicBool,
+}
+
+impl std::fmt::Debug for ConnectionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnectionPool")
+            .field("opened", &self.opened_count())
+            .field("caching", &self.caching_enabled())
+            .finish()
+    }
+}
+
+impl ConnectionPool {
+    /// Creates an empty pool with caching enabled.
+    pub fn new() -> Self {
+        let pool = ConnectionPool::default();
+        pool.caching.store(true, std::sync::atomic::Ordering::Relaxed);
+        pool
+    }
+
+    /// Enables or disables caching (E3's ablation switch).
+    pub fn set_caching(&self, on: bool) {
+        self.caching.store(on, std::sync::atomic::Ordering::Relaxed);
+        if !on {
+            self.idle.lock().clear();
+        }
+    }
+
+    /// Whether checkin keeps connections.
+    pub fn caching_enabled(&self) -> bool {
+        self.caching.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of fresh connections opened through this pool.
+    pub fn opened_count(&self) -> u64 {
+        self.opened.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Gets a connection to `endpoint`: cached if available, else fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCP connect failures.
+    pub fn checkout(
+        &self,
+        endpoint: &Endpoint,
+        protocol: &Arc<dyn Protocol>,
+    ) -> RmiResult<ObjectCommunicator> {
+        self.checkout_tracked(endpoint, protocol).map(|(comm, _)| comm)
+    }
+
+    /// Like [`ConnectionPool::checkout`], also reporting whether the
+    /// connection came from the cache — callers use this to decide
+    /// whether a failure may be a *stale* cached connection worth one
+    /// retry on a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCP connect failures.
+    pub fn checkout_tracked(
+        &self,
+        endpoint: &Endpoint,
+        protocol: &Arc<dyn Protocol>,
+    ) -> RmiResult<(ObjectCommunicator, bool)> {
+        if let Some(comm) = self.idle.lock().get_mut(endpoint).and_then(Vec::pop) {
+            return Ok((comm, true));
+        }
+        let transport = TcpTransport::connect(&endpoint.socket_addr())?;
+        self.opened.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok((ObjectCommunicator::new(Box::new(transport), Arc::clone(protocol)), false))
+    }
+
+    /// Returns a healthy connection for reuse (dropped when caching is off).
+    pub fn checkin(&self, endpoint: &Endpoint, comm: ObjectCommunicator) {
+        if self.caching_enabled() {
+            self.idle.lock().entry(endpoint.clone()).or_default().push(comm);
+        }
+    }
+
+    /// Drops all idle connections (e.g. after an endpoint restart).
+    pub fn clear(&self) {
+        self.idle.lock().clear();
+    }
+
+    /// Number of idle cached connections to `endpoint`.
+    pub fn idle_count(&self, endpoint: &Endpoint) -> usize {
+        self.idle.lock().get(endpoint).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+    use heidl_wire::{CdrProtocol, TextProtocol};
+    use std::net::TcpListener;
+
+    fn text() -> Arc<dyn Protocol> {
+        Arc::new(TextProtocol)
+    }
+
+    #[test]
+    fn send_recv_over_inproc() {
+        let (a, b) = InProcTransport::pair();
+        let mut ca = ObjectCommunicator::new(Box::new(a), text());
+        let mut cb = ObjectCommunicator::new(Box::new(b), text());
+        ca.send(b"\"m1\"").unwrap();
+        ca.send(b"\"m2\"").unwrap();
+        assert_eq!(cb.recv().unwrap().unwrap(), b"\"m1\"");
+        assert_eq!(cb.recv().unwrap().unwrap(), b"\"m2\"");
+    }
+
+    #[test]
+    fn recv_none_on_orderly_close() {
+        let (a, b) = InProcTransport::pair();
+        let mut cb = ObjectCommunicator::new(Box::new(b), text());
+        drop(a);
+        assert!(cb.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_disconnected_mid_frame() {
+        let (mut a, b) = InProcTransport::pair();
+        let mut cb = ObjectCommunicator::new(Box::new(b), Arc::new(CdrProtocol));
+        // half a GIOP header, then close
+        a.send(b"GIOP\x01").unwrap();
+        drop(a);
+        assert!(matches!(cb.recv(), Err(RmiError::Disconnected)));
+    }
+
+    #[test]
+    fn round_trip_echo() {
+        let (a, b) = InProcTransport::pair();
+        let mut ca = ObjectCommunicator::new(Box::new(a), text());
+        let mut cb = ObjectCommunicator::new(Box::new(b), text());
+        let server = std::thread::spawn(move || {
+            let msg = cb.recv().unwrap().unwrap();
+            cb.send(&msg).unwrap();
+        });
+        assert_eq!(ca.round_trip(b"\"x\"").unwrap(), b"\"x\"");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pool_reuses_connections() {
+        // An echo server that serves any number of connections.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let t = TcpTransport::from_stream(stream).unwrap();
+                    let mut c = ObjectCommunicator::new(Box::new(t), Arc::new(TextProtocol));
+                    while let Ok(Some(m)) = c.recv() {
+                        let _ = c.send(&m);
+                    }
+                });
+            }
+        });
+
+        let pool = ConnectionPool::new();
+        let ep = Endpoint::new("tcp", "127.0.0.1", port);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+
+        for _ in 0..5 {
+            let mut c = pool.checkout(&ep, &proto).unwrap();
+            assert_eq!(c.round_trip(b"\"hi\"").unwrap(), b"\"hi\"");
+            pool.checkin(&ep, c);
+        }
+        assert_eq!(pool.opened_count(), 1, "one connection reused five times");
+        assert_eq!(pool.idle_count(&ep), 1);
+
+        // With caching off, every call opens a fresh connection.
+        pool.set_caching(false);
+        for _ in 0..3 {
+            let mut c = pool.checkout(&ep, &proto).unwrap();
+            assert_eq!(c.round_trip(b"\"hi\"").unwrap(), b"\"hi\"");
+            pool.checkin(&ep, c);
+        }
+        assert_eq!(pool.opened_count(), 4);
+        assert_eq!(pool.idle_count(&ep), 0);
+    }
+
+    #[test]
+    fn checkout_failure_propagates_io_error() {
+        let pool = ConnectionPool::new();
+        // Port 1 on localhost is essentially guaranteed closed.
+        let ep = Endpoint::new("tcp", "127.0.0.1", 1);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+        assert!(matches!(pool.checkout(&ep, &proto), Err(RmiError::Io(_))));
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let (a, _b) = InProcTransport::pair();
+        let c = ObjectCommunicator::new(Box::new(a), text());
+        assert!(format!("{c:?}").contains("inproc"));
+        assert!(format!("{:?}", ConnectionPool::new()).contains("opened"));
+    }
+}

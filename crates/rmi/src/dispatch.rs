@@ -1,0 +1,298 @@
+//! Method dispatch strategies.
+//!
+//! Paper §2: *"many IDL compilers use string comparisons to implement the
+//! dispatching logic in the skeleton. Such a scheme can be very expensive
+//! for interfaces with a large number of methods with long names.
+//! Alternate schemes that utilize nested comparisons (Flick), or a
+//! hash-table can result in faster dispatching."*
+//!
+//! Four schemes live behind [`DispatchStrategy`] — the naive linear scan,
+//! a sorted binary search, length/first-byte bucketing (the shape of
+//! Flick's generated nested comparisons), and a hash table. A generated
+//! skeleton holds a [`MethodTable`] configured with one of them.
+//! Experiment E1 benchmarks them against each other across method counts
+//! and name lengths.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maps a method name to its index in the skeleton's handler table.
+pub trait DispatchStrategy: Send + Sync + fmt::Debug {
+    /// Finds the handler index for `method`, or `None`.
+    fn find(&self, method: &str) -> Option<usize>;
+
+    /// Strategy name for diagnostics and benches.
+    fn name(&self) -> &'static str;
+}
+
+/// Sequential string comparison — what "many IDL compilers" generate.
+#[derive(Debug)]
+pub struct LinearDispatch {
+    names: Vec<String>,
+}
+
+impl LinearDispatch {
+    /// Builds from method names; index = declaration position.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        LinearDispatch { names: names.into_iter().map(Into::into).collect() }
+    }
+}
+
+impl DispatchStrategy for LinearDispatch {
+    fn find(&self, method: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == method)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Nested (binary) comparison over a sorted table — Flick's scheme.
+#[derive(Debug)]
+pub struct BinaryDispatch {
+    sorted: Vec<(String, usize)>,
+}
+
+impl BinaryDispatch {
+    /// Builds from method names; index = declaration position.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut sorted: Vec<(String, usize)> =
+            names.into_iter().enumerate().map(|(i, n)| (n.into(), i)).collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        BinaryDispatch { sorted }
+    }
+}
+
+impl DispatchStrategy for BinaryDispatch {
+    fn find(&self, method: &str) -> Option<usize> {
+        self.sorted
+            .binary_search_by(|(n, _)| n.as_str().cmp(method))
+            .ok()
+            .map(|i| self.sorted[i].1)
+    }
+
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+}
+
+/// Length-then-first-byte bucketed dispatch: the shape of Flick's
+/// *generated* nested comparisons — discriminate on cheap properties
+/// (length, leading byte) before any full string compare, so most
+/// candidates are eliminated without touching the method name's body.
+#[derive(Debug)]
+pub struct BucketDispatch {
+    /// `(len, first_byte)` → candidates `(name, declaration index)`.
+    buckets: HashMap<(usize, u8), Vec<(String, usize)>>,
+}
+
+impl BucketDispatch {
+    /// Builds from method names; index = declaration position.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut buckets: HashMap<(usize, u8), Vec<(String, usize)>> = HashMap::new();
+        for (i, name) in names.into_iter().enumerate() {
+            let name = name.into();
+            let key = (name.len(), name.as_bytes().first().copied().unwrap_or(0));
+            buckets.entry(key).or_default().push((name, i));
+        }
+        BucketDispatch { buckets }
+    }
+}
+
+impl DispatchStrategy for BucketDispatch {
+    fn find(&self, method: &str) -> Option<usize> {
+        let key = (method.len(), method.as_bytes().first().copied().unwrap_or(0));
+        self.buckets
+            .get(&key)?
+            .iter()
+            .find(|(name, _)| name == method)
+            .map(|(_, i)| *i)
+    }
+
+    fn name(&self) -> &'static str {
+        "bucket"
+    }
+}
+
+/// Hash-table dispatch.
+#[derive(Debug)]
+pub struct HashDispatch {
+    map: HashMap<String, usize>,
+}
+
+impl HashDispatch {
+    /// Builds from method names; index = declaration position.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        HashDispatch {
+            map: names.into_iter().enumerate().map(|(i, n)| (n.into(), i)).collect(),
+        }
+    }
+}
+
+impl DispatchStrategy for HashDispatch {
+    fn find(&self, method: &str) -> Option<usize> {
+        self.map.get(method).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Which strategy a skeleton's [`MethodTable`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchKind {
+    /// Sequential string comparisons.
+    Linear,
+    /// Sorted-table nested comparisons.
+    Binary,
+    /// Length/first-byte buckets, then compare.
+    Bucket,
+    /// Hash table (the default).
+    #[default]
+    Hash,
+}
+
+impl DispatchKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [DispatchKind; 4] = [
+        DispatchKind::Linear,
+        DispatchKind::Binary,
+        DispatchKind::Bucket,
+        DispatchKind::Hash,
+    ];
+}
+
+/// A skeleton's method lookup table: names → handler indices via the
+/// configured strategy.
+#[derive(Debug)]
+pub struct MethodTable {
+    strategy: Box<dyn DispatchStrategy>,
+}
+
+impl MethodTable {
+    /// Builds a table over `names` with the given strategy.
+    pub fn new<I, S>(kind: DispatchKind, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let strategy: Box<dyn DispatchStrategy> = match kind {
+            DispatchKind::Linear => Box::new(LinearDispatch::new(names)),
+            DispatchKind::Binary => Box::new(BinaryDispatch::new(names)),
+            DispatchKind::Bucket => Box::new(BucketDispatch::new(names)),
+            DispatchKind::Hash => Box::new(HashDispatch::new(names)),
+        };
+        MethodTable { strategy }
+    }
+
+    /// Finds the handler index for `method`.
+    pub fn find(&self, method: &str) -> Option<usize> {
+        self.strategy.find(method)
+    }
+
+    /// The strategy name.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: [&str; 6] = ["f", "g", "p", "q", "s", "t"];
+
+    fn strategies() -> Vec<Box<dyn DispatchStrategy>> {
+        vec![
+            Box::new(LinearDispatch::new(NAMES)),
+            Box::new(BinaryDispatch::new(NAMES)),
+            Box::new(BucketDispatch::new(NAMES)),
+            Box::new(HashDispatch::new(NAMES)),
+        ]
+    }
+
+    #[test]
+    fn all_strategies_agree_on_hits() {
+        for s in strategies() {
+            for (i, name) in NAMES.iter().enumerate() {
+                assert_eq!(s.find(name), Some(i), "{} should find {name}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_misses() {
+        for s in strategies() {
+            assert_eq!(s.find("nope"), None, "{}", s.name());
+            assert_eq!(s.find(""), None, "{}", s.name());
+            // Near-miss prefixes must not match.
+            assert_eq!(s.find("ff"), None, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn binary_preserves_declaration_indices() {
+        // Indices refer to declaration order even though the table sorts.
+        let s = BinaryDispatch::new(["zulu", "alpha", "mike"]);
+        assert_eq!(s.find("zulu"), Some(0));
+        assert_eq!(s.find("alpha"), Some(1));
+        assert_eq!(s.find("mike"), Some(2));
+    }
+
+    #[test]
+    fn method_table_wraps_each_kind() {
+        for kind in DispatchKind::ALL {
+            let t = MethodTable::new(kind, NAMES);
+            assert_eq!(t.find("q"), Some(3), "{:?}", kind);
+            assert_eq!(t.find("zz"), None);
+        }
+        assert_eq!(MethodTable::new(DispatchKind::Linear, NAMES).strategy_name(), "linear");
+        assert_eq!(MethodTable::new(DispatchKind::Binary, NAMES).strategy_name(), "binary");
+        assert_eq!(MethodTable::new(DispatchKind::Bucket, NAMES).strategy_name(), "bucket");
+        assert_eq!(MethodTable::new(DispatchKind::Hash, NAMES).strategy_name(), "hash");
+    }
+
+    #[test]
+    fn default_kind_is_hash() {
+        assert_eq!(DispatchKind::default(), DispatchKind::Hash);
+    }
+
+    #[test]
+    fn empty_tables_never_match() {
+        for kind in DispatchKind::ALL {
+            let t = MethodTable::new(kind, Vec::<String>::new());
+            assert_eq!(t.find("anything"), None);
+        }
+    }
+
+    #[test]
+    fn long_names_with_shared_prefixes() {
+        // The paper's concern: long names with common prefixes stress
+        // string comparison. Correctness must hold regardless.
+        let names: Vec<String> =
+            (0..64).map(|i| format!("configure_media_stream_endpoint_{i:03}")).collect();
+        for kind in DispatchKind::ALL {
+            let t = MethodTable::new(kind, names.clone());
+            assert_eq!(t.find(&names[63]), Some(63), "{kind:?}");
+            assert_eq!(t.find("configure_media_stream_endpoint_999"), None);
+        }
+    }
+}

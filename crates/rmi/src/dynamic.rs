@@ -1,0 +1,248 @@
+//! Dynamic invocation: calling remote objects without compiled stubs.
+//!
+//! The paper's Java mapping existed so "a generic Heidi engine" could be
+//! configured "from within a Java program" (§4.2) — a client that knows
+//! method names and signatures only at run time. The text protocol makes
+//! that trivially possible over telnet (E8); this module is the
+//! programmatic equivalent, CORBA's DII in miniature:
+//!
+//! ```
+//! use heidl_rmi::dynamic::{DynCall, DynValue};
+//! # use heidl_rmi::*;
+//! # use heidl_wire::{Decoder, Encoder};
+//! # use std::sync::Arc;
+//! # struct Echo { base: SkeletonBase }
+//! # impl Skeleton for Echo {
+//! #     fn type_id(&self) -> &str { self.base.type_id() }
+//! #     fn dispatch(&self, m: &str, a: &mut dyn Decoder, r: &mut dyn Encoder)
+//! #         -> RmiResult<DispatchOutcome> {
+//! #         match self.base.find(m) {
+//! #             Some(0) => { let v = a.get_long()?; r.put_long(v * 2); Ok(DispatchOutcome::Handled) }
+//! #             _ => self.base.dispatch_parents(m, a, r),
+//! #         }
+//! #     }
+//! # }
+//! # let orb = Orb::new();
+//! # orb.serve("127.0.0.1:0")?;
+//! # let objref = orb.export(Arc::new(Echo { base: SkeletonBase::new(
+//! #     "IDL:Echo:1.0", DispatchKind::Hash, ["double"], vec![]) }))?;
+//! let mut results = DynCall::new(&orb, &objref, "double")
+//!     .arg(DynValue::Long(21))
+//!     .invoke()?;
+//! assert_eq!(results.next_long()?, 42);
+//! # orb.shutdown();
+//! # Ok::<(), heidl_rmi::RmiError>(())
+//! ```
+//!
+//! The server side needs no cooperation: dynamic calls marshal exactly
+//! what generated stubs marshal.
+
+use crate::call::Reply;
+use crate::error::{RmiError, RmiResult};
+use crate::objref::ObjectRef;
+use crate::orb::Orb;
+use heidl_wire::Encoder;
+
+/// A dynamically-typed argument or result value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynValue {
+    /// boolean
+    Bool(bool),
+    /// octet
+    Octet(u8),
+    /// char
+    Char(char),
+    /// short
+    Short(i16),
+    /// unsigned short
+    UShort(u16),
+    /// long
+    Long(i32),
+    /// unsigned long
+    ULong(u32),
+    /// long long
+    LongLong(i64),
+    /// unsigned long long
+    ULongLong(u64),
+    /// float
+    Float(f32),
+    /// double
+    Double(f64),
+    /// string
+    Str(String),
+    /// an object reference (marshaled stringified, as generated code does)
+    ObjRef(ObjectRef),
+    /// an enum value, marshaled as its discriminant
+    Enum(i32),
+    /// a sequence of values (marshaled as length + elements)
+    Seq(Vec<DynValue>),
+    /// a struct (marshaled with begin/end structuring)
+    Struct(Vec<DynValue>),
+}
+
+impl DynValue {
+    fn marshal(&self, enc: &mut dyn Encoder) {
+        match self {
+            DynValue::Bool(v) => enc.put_bool(*v),
+            DynValue::Octet(v) => enc.put_octet(*v),
+            DynValue::Char(v) => enc.put_char(*v),
+            DynValue::Short(v) => enc.put_short(*v),
+            DynValue::UShort(v) => enc.put_ushort(*v),
+            DynValue::Long(v) => enc.put_long(*v),
+            DynValue::ULong(v) => enc.put_ulong(*v),
+            DynValue::LongLong(v) => enc.put_longlong(*v),
+            DynValue::ULongLong(v) => enc.put_ulonglong(*v),
+            DynValue::Float(v) => enc.put_float(*v),
+            DynValue::Double(v) => enc.put_double(*v),
+            DynValue::Str(v) => enc.put_string(v),
+            DynValue::ObjRef(r) => enc.put_string(&r.to_string()),
+            DynValue::Enum(v) => enc.put_long(*v),
+            DynValue::Seq(items) => {
+                enc.put_len(items.len() as u32);
+                for i in items {
+                    i.marshal(enc);
+                }
+            }
+            DynValue::Struct(fields) => {
+                enc.begin();
+                for f in fields {
+                    f.marshal(enc);
+                }
+                enc.end();
+            }
+        }
+    }
+}
+
+/// A dynamic request under construction.
+#[derive(Debug)]
+pub struct DynCall<'a> {
+    orb: &'a Orb,
+    target: ObjectRef,
+    method: String,
+    args: Vec<DynValue>,
+    oneway: bool,
+}
+
+impl<'a> DynCall<'a> {
+    /// Starts a dynamic call to `method` on `target`.
+    pub fn new(orb: &'a Orb, target: &ObjectRef, method: &str) -> DynCall<'a> {
+        DynCall {
+            orb,
+            target: target.clone(),
+            method: method.to_owned(),
+            args: Vec::new(),
+            oneway: false,
+        }
+    }
+
+    /// Appends an argument.
+    #[must_use]
+    pub fn arg(mut self, value: DynValue) -> Self {
+        self.args.push(value);
+        self
+    }
+
+    /// Marks the call `oneway` (no reply).
+    #[must_use]
+    pub fn oneway(mut self) -> Self {
+        self.oneway = true;
+        self
+    }
+
+    /// Invokes the call, returning a typed-pull view of the results.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Orb::invoke`]; `oneway` calls return empty results.
+    pub fn invoke(self) -> RmiResult<DynResults> {
+        if self.oneway {
+            let mut call = self.orb.call_oneway(&self.target, &self.method);
+            for a in &self.args {
+                a.marshal(call.args());
+            }
+            self.orb.invoke_oneway(call)?;
+            return Ok(DynResults { reply: None });
+        }
+        let mut call = self.orb.call(&self.target, &self.method);
+        for a in &self.args {
+            a.marshal(call.args());
+        }
+        let reply = self.orb.invoke(call)?;
+        Ok(DynResults { reply: Some(reply) })
+    }
+}
+
+/// Typed-pull access to a dynamic call's results.
+#[derive(Debug)]
+pub struct DynResults {
+    reply: Option<Reply>,
+}
+
+impl DynResults {
+    fn dec(&mut self) -> RmiResult<&mut Reply> {
+        self.reply
+            .as_mut()
+            .ok_or_else(|| RmiError::Protocol("oneway calls return no results".to_owned()))
+    }
+
+    /// Pulls a long result.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_long(&mut self) -> RmiResult<i32> {
+        Ok(self.dec()?.results().get_long()?)
+    }
+
+    /// Pulls a string result.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_string(&mut self) -> RmiResult<String> {
+        Ok(self.dec()?.results().get_string()?)
+    }
+
+    /// Pulls a boolean result.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_bool(&mut self) -> RmiResult<bool> {
+        Ok(self.dec()?.results().get_bool()?)
+    }
+
+    /// Pulls a double result.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_double(&mut self) -> RmiResult<f64> {
+        Ok(self.dec()?.results().get_double()?)
+    }
+
+    /// Pulls an object-reference result.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_objref(&mut self) -> RmiResult<ObjectRef> {
+        self.dec()?.results().get_string()?.parse()
+    }
+
+    /// Pulls a sequence of longs.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_long_seq(&mut self) -> RmiResult<Vec<i32>> {
+        let dec = self.dec()?.results();
+        let n = dec.get_len()?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(dec.get_long()?);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,147 @@
+//! ORB runtime errors.
+
+use heidl_wire::WireError;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by the HeidiRMI runtime.
+#[derive(Debug)]
+pub enum RmiError {
+    /// Marshaling/unmarshaling failed.
+    Wire(WireError),
+    /// Transport I/O failed.
+    Io(std::io::Error),
+    /// A stringified object reference did not parse.
+    BadReference {
+        /// The offending reference text.
+        text: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The target object id is not registered in the server address space.
+    UnknownObject {
+        /// The stringified reference that missed.
+        reference: String,
+    },
+    /// No skeleton in the dispatch chain handled the method.
+    UnknownMethod {
+        /// The target's type id.
+        type_id: String,
+        /// The requested method.
+        method: String,
+    },
+    /// The remote side reported an exception.
+    Remote {
+        /// Repository id of the exception (`IDL:.../Broken:1.0`), or a
+        /// system-exception marker.
+        repo_id: String,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The connection closed before a reply arrived.
+    Disconnected,
+    /// A value type arrived with no registered factory, or a reference
+    /// arrived with no registered stub factory.
+    NoFactory {
+        /// The type id that could not be reconstructed.
+        type_id: String,
+    },
+    /// Anything else (configuration, shutdown races).
+    Protocol(String),
+}
+
+impl fmt::Display for RmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmiError::Wire(e) => write!(f, "wire error: {e}"),
+            RmiError::Io(e) => write!(f, "i/o error: {e}"),
+            RmiError::BadReference { text, detail } => {
+                write!(f, "bad object reference `{text}`: {detail}")
+            }
+            RmiError::UnknownObject { reference } => {
+                write!(f, "no such object: {reference}")
+            }
+            RmiError::UnknownMethod { type_id, method } => {
+                write!(f, "no method `{method}` on {type_id}")
+            }
+            RmiError::Remote { repo_id, detail } => {
+                write!(f, "remote exception {repo_id}: {detail}")
+            }
+            RmiError::Disconnected => write!(f, "connection closed before reply"),
+            RmiError::NoFactory { type_id } => {
+                write!(f, "no factory registered for {type_id}")
+            }
+            RmiError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl Error for RmiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RmiError::Wire(e) => Some(e),
+            RmiError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for RmiError {
+    fn from(e: WireError) -> Self {
+        RmiError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for RmiError {
+    fn from(e: std::io::Error) -> Self {
+        RmiError::Io(e)
+    }
+}
+
+/// Convenience alias for ORB results.
+pub type RmiResult<T> = Result<T, RmiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(RmiError, &str)> = vec![
+            (
+                RmiError::BadReference { text: "@x".into(), detail: "no port".into() },
+                "bad object reference",
+            ),
+            (RmiError::UnknownObject { reference: "@tcp:h:1#2#T".into() }, "no such object"),
+            (
+                RmiError::UnknownMethod { type_id: "IDL:A:1.0".into(), method: "f".into() },
+                "no method `f`",
+            ),
+            (
+                RmiError::Remote { repo_id: "IDL:E:1.0".into(), detail: "boom".into() },
+                "remote exception",
+            ),
+            (RmiError::Disconnected, "connection closed"),
+            (RmiError::NoFactory { type_id: "IDL:V:1.0".into() }, "no factory"),
+            (RmiError::Protocol("x".into()), "protocol error"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: RmiError = WireError::UnexpectedEnd { what: "long" }.into();
+        assert!(e.source().is_some());
+        let e: RmiError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(e.source().is_some());
+        assert!(RmiError::Disconnected.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RmiError>();
+    }
+}

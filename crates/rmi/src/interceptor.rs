@@ -1,0 +1,151 @@
+//! Interceptors: hooks on the invocation and dispatch paths.
+//!
+//! Paper §5 surveys this customization style: "Orbix provides *filters*
+//! that are triggered in the dispatch path, and *smart proxies* that can
+//! cache object state. Visibroker provides similar features called
+//! *interceptors* and *smart stubs*." HeidiRMI's template approach
+//! complements rather than replaces it, so the runtime exposes the same
+//! hook points: every remote call fires client-side hooks around the
+//! round trip, and every incoming request fires server-side hooks around
+//! dispatch.
+//!
+//! Smart-proxy-style caching builds directly on stubs plus these hooks —
+//! see `caching_smart_proxy` in `tests/interceptors.rs`.
+
+use crate::objref::ObjectRef;
+use std::sync::Arc;
+
+/// Where in a call's lifecycle a hook fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallPhase {
+    /// Client side, before the request is sent.
+    ClientSend,
+    /// Client side, after the reply was received (or the call failed).
+    ClientReceive,
+    /// Server side, before skeleton dispatch.
+    ServerDispatch,
+    /// Server side, after dispatch, before the reply is sent.
+    ServerReply,
+}
+
+/// Metadata about one intercepted call.
+#[derive(Debug, Clone)]
+pub struct CallInfo {
+    /// Lifecycle point.
+    pub phase: CallPhase,
+    /// The call's target.
+    pub target: ObjectRef,
+    /// The invoked method name.
+    pub method: String,
+    /// For the `*Receive`/`*Reply` phases: whether the call succeeded.
+    /// `true` during `ClientSend`/`ServerDispatch`.
+    pub ok: bool,
+}
+
+/// A filter on the invocation/dispatch path.
+///
+/// Interceptors observe; they cannot alter arguments (the paper's filters
+/// were primarily used for logging, accounting and security checks —
+/// observation covers those without complicating the marshal path).
+pub trait Interceptor: Send + Sync {
+    /// Called at each [`CallPhase`].
+    fn intercept(&self, info: &CallInfo);
+}
+
+/// An interceptor from a plain function or closure.
+pub struct FnInterceptor<F>(pub F);
+
+impl<F> Interceptor for FnInterceptor<F>
+where
+    F: Fn(&CallInfo) + Send + Sync,
+{
+    fn intercept(&self, info: &CallInfo) {
+        (self.0)(info);
+    }
+}
+
+/// The registered chain, fired in registration order.
+#[derive(Default)]
+pub(crate) struct InterceptorChain {
+    items: parking_lot::RwLock<Vec<Arc<dyn Interceptor>>>,
+}
+
+impl std::fmt::Debug for InterceptorChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InterceptorChain").field("len", &self.items.read().len()).finish()
+    }
+}
+
+impl InterceptorChain {
+    pub(crate) fn add(&self, i: Arc<dyn Interceptor>) {
+        self.items.write().push(i);
+    }
+
+    pub(crate) fn fire(&self, phase: CallPhase, target: &ObjectRef, method: &str, ok: bool) {
+        let items = self.items.read();
+        if items.is_empty() {
+            return;
+        }
+        let info = CallInfo { phase, target: target.clone(), method: method.to_owned(), ok };
+        for i in items.iter() {
+            i.intercept(&info);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objref::Endpoint;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn target() -> ObjectRef {
+        ObjectRef::new(Endpoint::new("tcp", "h", 1), 2, "IDL:T:1.0")
+    }
+
+    #[test]
+    fn chain_fires_in_order() {
+        let chain = InterceptorChain::default();
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for tag in ["first", "second"] {
+            let log = Arc::clone(&log);
+            chain.add(Arc::new(FnInterceptor(move |info: &CallInfo| {
+                log.lock().push(format!("{tag}:{:?}:{}", info.phase, info.method));
+            })));
+        }
+        chain.fire(CallPhase::ClientSend, &target(), "play", true);
+        assert_eq!(
+            *log.lock(),
+            ["first:ClientSend:play", "second:ClientSend:play"]
+        );
+    }
+
+    #[test]
+    fn empty_chain_is_free_of_allocation_side_effects() {
+        let chain = InterceptorChain::default();
+        // Must not panic or allocate CallInfo; just a smoke check.
+        chain.fire(CallPhase::ServerReply, &target(), "m", false);
+    }
+
+    #[test]
+    fn call_info_carries_outcome() {
+        let chain = InterceptorChain::default();
+        let oks = Arc::new(AtomicUsize::new(0));
+        let fails = Arc::new(AtomicUsize::new(0));
+        {
+            let oks = Arc::clone(&oks);
+            let fails = Arc::clone(&fails);
+            chain.add(Arc::new(FnInterceptor(move |info: &CallInfo| {
+                if info.ok {
+                    oks.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    fails.fetch_add(1, Ordering::SeqCst);
+                }
+            })));
+        }
+        chain.fire(CallPhase::ClientReceive, &target(), "m", true);
+        chain.fire(CallPhase::ClientReceive, &target(), "m", false);
+        assert_eq!(oks.load(Ordering::SeqCst), 1);
+        assert_eq!(fails.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! # heidl-rmi — the HeidiRMI runtime ORB
+//!
+//! A Rust implementation of HeidiRMI, the control-messaging infrastructure
+//! from Welling & Ott, *"Customizing IDL Mappings and ORB Protocols"*
+//! (Middleware 2000, §3). The runtime provides everything the paper's
+//! generated stubs and skeletons lean on:
+//!
+//! * stringified [`ObjectRef`]s — `@tcp:host:port#id#IDL:Heidi/A:1.0`;
+//! * the [`Call`] / [`Reply`] envelopes and the [`ObjectCommunicator`]
+//!   channel abstraction (Figs 4 & 5);
+//! * a thread-per-connection bootstrap-port server with recursive
+//!   [`Skeleton`] dispatch up the interface hierarchy;
+//! * pluggable [dispatch strategies](dispatch) — linear string compare,
+//!   nested/binary compare, length/first-byte bucketing, hash table (the
+//!   §2 optimization discussion);
+//! * **connection, stub and skeleton caches** with lazy skeleton creation
+//!   and a stale-cached-connection retry policy;
+//! * **`incopy` pass-by-value** via [`ValueSerialize`] and the dynamic
+//!   `HdSerializable`-style check [`RemoteObject::as_serializable`];
+//! * [interceptors](interceptor) on the invocation/dispatch paths and a
+//!   [dynamic invocation interface](dynamic) needing no compiled stubs;
+//! * swappable wire protocols (text or CDR/GIOP-lite) from `heidl-wire`.
+//!
+//! ## A complete round trip
+//!
+//! ```
+//! use heidl_rmi::{DispatchKind, DispatchOutcome, Orb, RmiResult, Skeleton, SkeletonBase};
+//! use heidl_wire::{Decoder, Encoder};
+//! use std::sync::Arc;
+//!
+//! struct EchoSkeleton {
+//!     base: SkeletonBase,
+//! }
+//!
+//! impl Skeleton for EchoSkeleton {
+//!     fn type_id(&self) -> &str {
+//!         self.base.type_id()
+//!     }
+//!     fn dispatch(
+//!         &self,
+//!         method: &str,
+//!         args: &mut dyn Decoder,
+//!         reply: &mut dyn Encoder,
+//!     ) -> RmiResult<DispatchOutcome> {
+//!         match self.base.find(method) {
+//!             Some(0) => {
+//!                 let text = args.get_string()?;
+//!                 reply.put_string(&text.to_uppercase());
+//!                 Ok(DispatchOutcome::Handled)
+//!             }
+//!             _ => self.base.dispatch_parents(method, args, reply),
+//!         }
+//!     }
+//! }
+//!
+//! let orb = Orb::new();
+//! orb.serve("127.0.0.1:0")?;
+//! let skel = Arc::new(EchoSkeleton {
+//!     base: SkeletonBase::new("IDL:Echo:1.0", DispatchKind::Hash, ["shout"], vec![]),
+//! });
+//! let objref = orb.export(skel)?;
+//!
+//! let mut call = orb.call(&objref, "shout");
+//! call.args().put_string("hello");
+//! let mut reply = orb.invoke(call)?;
+//! assert_eq!(reply.results().get_string()?, "HELLO");
+//! orb.shutdown();
+//! # Ok::<(), heidl_rmi::RmiError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod call;
+pub mod communicator;
+pub mod dispatch;
+pub mod dynamic;
+pub mod error;
+pub mod interceptor;
+pub mod objref;
+pub mod orb;
+pub mod serialize;
+mod server;
+pub mod skeleton;
+pub mod transport;
+
+pub use call::{Call, IncomingCall, Reply, ReplyBuilder, ReplyStatus};
+pub use communicator::{ConnectionPool, ObjectCommunicator};
+pub use dispatch::{DispatchKind, DispatchStrategy, MethodTable};
+pub use dynamic::{DynCall, DynResults, DynValue};
+pub use error::{RmiError, RmiResult};
+pub use interceptor::{CallInfo, CallPhase, FnInterceptor, Interceptor};
+pub use objref::{Endpoint, ObjectRef};
+pub use orb::Orb;
+pub use serialize::{
+    marshal_reference, marshal_value, unmarshal_incopy, IncopyArg, RemoteObject, ValueRegistry,
+    ValueSerialize,
+};
+pub use skeleton::{DispatchOutcome, Skeleton, SkeletonBase};
+pub use transport::{InProcTransport, TcpTransport, Transport};

@@ -1,0 +1,172 @@
+//! Stringified object references.
+//!
+//! Paper §3.1: *"An object reference is composed of three parts: the
+//! bootstrap URL, the object identifier, and the object type. ... A typical
+//! stringified object reference is
+//! `@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0`."*
+
+use crate::error::{RmiError, RmiResult};
+use std::fmt;
+use std::str::FromStr;
+
+/// The bootstrap URL part of a reference: protocol, host and port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// Protocol name (`tcp` for the text protocol, `giop` for the binary).
+    pub proto: String,
+    /// Host name or address.
+    pub host: String,
+    /// Bootstrap port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(proto: impl Into<String>, host: impl Into<String>, port: u16) -> Self {
+        Endpoint { proto: proto.into(), host: host.into(), port }
+    }
+
+    /// The `host:port` pair for socket connection.
+    pub fn socket_addr(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}:{}:{}", self.proto, self.host, self.port)
+    }
+}
+
+/// A remote object reference: endpoint + object id + type id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectRef {
+    /// Where the object's address space listens.
+    pub endpoint: Endpoint,
+    /// Unique object identifier within that address space.
+    pub object_id: u64,
+    /// Repository id of the object's most-derived interface
+    /// (`IDL:Heidi/A:1.0`) — "the type information ensures that the correct
+    /// stub and skeleton is utilized".
+    pub type_id: String,
+}
+
+impl ObjectRef {
+    /// Creates a reference.
+    pub fn new(endpoint: Endpoint, object_id: u64, type_id: impl Into<String>) -> Self {
+        ObjectRef { endpoint, object_id, type_id: type_id.into() }
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}#{}", self.endpoint, self.object_id, self.type_id)
+    }
+}
+
+impl FromStr for ObjectRef {
+    type Err = RmiError;
+
+    fn from_str(s: &str) -> RmiResult<Self> {
+        let bad = |detail: &str| RmiError::BadReference { text: s.to_owned(), detail: detail.to_owned() };
+        let rest = s.strip_prefix('@').ok_or_else(|| bad("must start with `@`"))?;
+        // Layout: proto:host:port#id#type — the type id itself contains
+        // `:` and `#`-free segments, so split on the first two `#`.
+        let mut parts = rest.splitn(3, '#');
+        let url = parts.next().ok_or_else(|| bad("missing bootstrap URL"))?;
+        let id = parts.next().ok_or_else(|| bad("missing object identifier"))?;
+        let type_id = parts.next().ok_or_else(|| bad("missing object type"))?;
+        if type_id.is_empty() {
+            return Err(bad("empty object type"));
+        }
+
+        // The URL is proto:host:port; host may not contain `:` (no IPv6
+        // literals in the paper's scheme).
+        let mut url_parts = url.splitn(3, ':');
+        let proto = url_parts.next().filter(|p| !p.is_empty()).ok_or_else(|| bad("empty protocol"))?;
+        let host = url_parts.next().filter(|h| !h.is_empty()).ok_or_else(|| bad("missing host"))?;
+        let port: u16 = url_parts
+            .next()
+            .ok_or_else(|| bad("missing port"))?
+            .parse()
+            .map_err(|e| bad(&format!("bad port: {e}")))?;
+        let object_id: u64 = id.parse().map_err(|e| bad(&format!("bad object id: {e}")))?;
+        Ok(ObjectRef {
+            endpoint: Endpoint::new(proto, host, port),
+            object_id,
+            type_id: type_id.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact example reference from the paper.
+    const PAPER_REF: &str = "@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0";
+
+    #[test]
+    fn parses_the_papers_example() {
+        let r: ObjectRef = PAPER_REF.parse().unwrap();
+        assert_eq!(r.endpoint.proto, "tcp");
+        assert_eq!(r.endpoint.host, "galaxy.nec.com");
+        assert_eq!(r.endpoint.port, 1234);
+        assert_eq!(r.object_id, 9876);
+        assert_eq!(r.type_id, "IDL:Heidi/A:1.0");
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let r: ObjectRef = PAPER_REF.parse().unwrap();
+        assert_eq!(r.to_string(), PAPER_REF);
+        let again: ObjectRef = r.to_string().parse().unwrap();
+        assert_eq!(again, r);
+    }
+
+    #[test]
+    fn endpoint_display_and_socket_addr() {
+        let e = Endpoint::new("tcp", "localhost", 9000);
+        assert_eq!(e.to_string(), "@tcp:localhost:9000");
+        assert_eq!(e.socket_addr(), "localhost:9000");
+    }
+
+    #[test]
+    fn rejects_malformed_references() {
+        for bad in [
+            "tcp:host:1#2#T",       // missing @
+            "@tcp:host:1#2",        // missing type
+            "@tcp:host:1",          // missing id and type
+            "@tcp:host#2#T",        // missing port
+            "@tcp:host:notaport#2#T",
+            "@tcp:host:1#notanid#T",
+            "@:host:1#2#T",         // empty protocol
+            "@tcp::1#2#T",          // empty host
+            "@tcp:host:1#2#",       // empty type
+        ] {
+            let r: Result<ObjectRef, _> = bad.parse();
+            assert!(r.is_err(), "should reject `{bad}`");
+            let Err(RmiError::BadReference { text, .. }) = r else {
+                panic!("wrong error kind for `{bad}`");
+            };
+            assert_eq!(text, bad);
+        }
+    }
+
+    #[test]
+    fn type_id_colons_survive() {
+        let r: ObjectRef = "@giop:h:1#2#IDL:M/X:2.3".parse().unwrap();
+        assert_eq!(r.type_id, "IDL:M/X:2.3");
+        assert_eq!(r.endpoint.proto, "giop");
+    }
+
+    #[test]
+    fn references_hash_and_compare() {
+        use std::collections::HashSet;
+        let a: ObjectRef = PAPER_REF.parse().unwrap();
+        let b: ObjectRef = PAPER_REF.parse().unwrap();
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,394 @@
+//! The ORB: object registry, client invocation path, caches.
+//!
+//! This is HeidiRMI's runtime nucleus. It owns:
+//!
+//! * the **object registry** (object id → skeleton) consulted by the
+//!   server-side dispatcher (Fig 5);
+//! * the **connection cache** used by the client-side invocation path
+//!   (Fig 4);
+//! * the **stub cache** and **lazy skeleton creation** — "the skeleton for
+//!   a particular object is only created when a reference to it is being
+//!   passed ... Both stubs and skeletons are cached in each address-space"
+//!   (§3.1);
+//! * the **value registry** for `incopy` pass-by-value.
+//!
+//! The wire protocol is pluggable per ORB instance — constructing with
+//! `heidl_wire::CdrProtocol` instead of `heidl_wire::TextProtocol` swaps
+//! every connection to the binary protocol without touching generated
+//! code.
+
+use crate::call::{Call, Reply};
+use crate::communicator::ConnectionPool;
+use crate::error::{RmiError, RmiResult};
+use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
+use crate::objref::{Endpoint, ObjectRef};
+use crate::serialize::{self, RemoteObject, ValueRegistry};
+use crate::server::ServerHandle;
+use crate::skeleton::Skeleton;
+use heidl_wire::{Encoder, Protocol, TextProtocol};
+use parking_lot::{Mutex, RwLock};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A handle to the per-address-space ORB state. Cheap to clone.
+#[derive(Clone)]
+pub struct Orb {
+    pub(crate) inner: Arc<OrbInner>,
+}
+
+pub(crate) struct OrbInner {
+    pub(crate) protocol: Arc<dyn Protocol>,
+    pub(crate) objects: RwLock<HashMap<u64, Arc<dyn Skeleton>>>,
+    next_id: AtomicU64,
+    pool: ConnectionPool,
+    values: ValueRegistry,
+    /// Stub cache: stringified reference → typed stub (as `Any`).
+    stubs: RwLock<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    /// Lazy-skeleton cache: servant identity → exported object id.
+    exported: RwLock<HashMap<usize, u64>>,
+    server: Mutex<Option<ServerHandle>>,
+    pub(crate) interceptors: InterceptorChain,
+    retries: AtomicU64,
+}
+
+impl std::fmt::Debug for Orb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orb")
+            .field("protocol", &self.inner.protocol.name())
+            .field("objects", &self.inner.objects.read().len())
+            .field("endpoint", &self.endpoint().map(|e| e.to_string()))
+            .finish()
+    }
+}
+
+impl Default for Orb {
+    fn default() -> Self {
+        Orb::new()
+    }
+}
+
+impl Orb {
+    /// Creates an ORB speaking the HeidiRMI text protocol.
+    pub fn new() -> Orb {
+        Orb::with_protocol(Arc::new(TextProtocol))
+    }
+
+    /// Creates an ORB speaking the given protocol on every connection.
+    pub fn with_protocol(protocol: Arc<dyn Protocol>) -> Orb {
+        Orb {
+            inner: Arc::new(OrbInner {
+                protocol,
+                objects: RwLock::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+                pool: ConnectionPool::new(),
+                values: ValueRegistry::new(),
+                stubs: RwLock::new(HashMap::new()),
+                exported: RwLock::new(HashMap::new()),
+                server: Mutex::new(None),
+                interceptors: InterceptorChain::default(),
+                retries: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers an interceptor (Orbix-filter style, paper §5): it fires
+    /// at every [`CallPhase`] on both the client invocation path and the
+    /// server dispatch path, in registration order.
+    pub fn add_interceptor(&self, interceptor: Arc<dyn Interceptor>) {
+        self.inner.interceptors.add(interceptor);
+    }
+
+    /// The wire protocol this ORB speaks.
+    pub fn protocol(&self) -> &Arc<dyn Protocol> {
+        &self.inner.protocol
+    }
+
+    /// The connection cache (exposed for E3's ablation and observability).
+    pub fn connections(&self) -> &ConnectionPool {
+        &self.inner.pool
+    }
+
+    /// The pass-by-value factory registry.
+    pub fn values(&self) -> &ValueRegistry {
+        &self.inner.values
+    }
+
+    // ---- server side ----------------------------------------------------
+
+    /// Starts the bootstrap port: binds `addr` (e.g. `"127.0.0.1:0"`) and
+    /// serves incoming connections on background threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, or calling it twice.
+    pub fn serve(&self, addr: &str) -> RmiResult<Endpoint> {
+        let mut guard = self.inner.server.lock();
+        if guard.is_some() {
+            return Err(RmiError::Protocol("ORB is already serving".to_owned()));
+        }
+        let handle = ServerHandle::start(addr, self.clone())?;
+        let endpoint = handle.endpoint().clone();
+        *guard = Some(handle);
+        Ok(endpoint)
+    }
+
+    /// The bootstrap endpoint, if serving.
+    pub fn endpoint(&self) -> Option<Endpoint> {
+        self.inner.server.lock().as_ref().map(|h| h.endpoint().clone())
+    }
+
+    /// Stops accepting connections. Existing connections drain naturally.
+    pub fn shutdown(&self) {
+        if let Some(handle) = self.inner.server.lock().take() {
+            handle.stop();
+        }
+    }
+
+    /// Registers a skeleton, returning its reference. Requires a running
+    /// server (the reference embeds the bootstrap endpoint).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the ORB is not serving.
+    pub fn export(&self, skeleton: Arc<dyn Skeleton>) -> RmiResult<ObjectRef> {
+        let endpoint = self.endpoint().ok_or_else(|| {
+            RmiError::Protocol("cannot export: ORB is not serving (call serve() first)".to_owned())
+        })?;
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // Fully qualified: `std::any::Any` is in scope and would otherwise
+        // capture `.type_id()` on the `Arc` itself.
+        let type_id = Skeleton::type_id(skeleton.as_ref()).to_owned();
+        self.inner.objects.write().insert(id, skeleton);
+        Ok(ObjectRef::new(endpoint, id, type_id))
+    }
+
+    /// Lazy export: creates and registers the skeleton only on first call
+    /// for this servant `identity` (use the servant's `Arc` pointer). This
+    /// is the paper's "skeleton is only created when a reference to it is
+    /// being passed", combined with the skeleton cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Orb::export`].
+    pub fn export_once(
+        &self,
+        identity: usize,
+        make: impl FnOnce() -> Arc<dyn Skeleton>,
+    ) -> RmiResult<ObjectRef> {
+        if let Some(&id) = self.inner.exported.read().get(&identity) {
+            let endpoint = self.endpoint().ok_or_else(|| {
+                RmiError::Protocol("ORB stopped serving while references are live".to_owned())
+            })?;
+            let objects = self.inner.objects.read();
+            let skel = objects.get(&id).ok_or_else(|| RmiError::Protocol(
+                "exported object vanished from the registry".to_owned(),
+            ))?;
+            return Ok(ObjectRef::new(endpoint, id, Skeleton::type_id(skel.as_ref())));
+        }
+        let objref = self.export(make())?;
+        self.inner.exported.write().insert(identity, objref.object_id);
+        Ok(objref)
+    }
+
+    /// Number of live skeletons (observability for E4's laziness tests).
+    pub fn skeleton_count(&self) -> usize {
+        self.inner.objects.read().len()
+    }
+
+    /// Removes an object from the registry. Existing references to it will
+    /// fail with [`RmiError::UnknownObject`].
+    pub fn unexport(&self, objref: &ObjectRef) {
+        self.inner.objects.write().remove(&objref.object_id);
+    }
+
+    // ---- client side ------------------------------------------------------
+
+    /// Starts a request `Call` against `target` (Fig 4 step 1).
+    pub fn call(&self, target: &ObjectRef, method: &str) -> Call {
+        Call::request(target, method, self.inner.protocol.as_ref())
+    }
+
+    /// Starts a `oneway` call: the server will not reply, so the request
+    /// carries `response_expected = false` (keeping cached connections in
+    /// sync). Send it with [`Orb::invoke_oneway`].
+    pub fn call_oneway(&self, target: &ObjectRef, method: &str) -> Call {
+        Call::oneway(target, method, self.inner.protocol.as_ref())
+    }
+
+    /// Invokes a call: connection checkout (cached), round trip, checkin,
+    /// reply parse (Fig 4 steps 2-4).
+    ///
+    /// When a *cached* connection fails before yielding a reply — the
+    /// classic stale-connection case after a server closed idle
+    /// connections — the call is retried **once** on a fresh connection.
+    /// (If the server had actually processed the request, the fresh
+    /// connect would fail too, so duplicate execution requires a server
+    /// that died mid-request *and* came back between the two attempts —
+    /// the standard at-most-once caveat.)
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, marshal failures, and remote exceptions
+    /// ([`RmiError::Remote`]).
+    pub fn invoke(&self, call: Call) -> RmiResult<Reply> {
+        self.check_protocol(call.target())?;
+        let endpoint = call.target().endpoint.clone();
+        let target = call.target().clone();
+        let method = call.method().to_owned();
+        self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
+        let body = call.into_body();
+
+        let (reply_body, comm) = match self.round_trip_with_retry(&endpoint, &body) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Broken connections were dropped, not cached.
+                self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
+                return Err(e);
+            }
+        };
+        self.inner.pool.checkin(&endpoint, comm);
+        let reply = Reply::parse(reply_body, self.inner.protocol.as_ref());
+        self.inner
+            .interceptors
+            .fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
+        reply
+    }
+
+    /// Number of stale-connection retries performed (observability).
+    pub fn retry_count(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
+    }
+
+    /// One round trip with the stale-cached-connection retry policy;
+    /// returns the reply body and the (healthy) connection for checkin.
+    fn round_trip_with_retry(
+        &self,
+        endpoint: &Endpoint,
+        body: &[u8],
+    ) -> RmiResult<(Vec<u8>, crate::communicator::ObjectCommunicator)> {
+        let (mut comm, from_cache) =
+            self.inner.pool.checkout_tracked(endpoint, &self.inner.protocol)?;
+        match comm.round_trip(body) {
+            Ok(b) => Ok((b, comm)),
+            Err(first_err) if from_cache => {
+                // The cached connection was stale; try once on a fresh one.
+                drop(comm);
+                self.inner.retries.fetch_add(1, Ordering::Relaxed);
+                match self.inner.pool.checkout_tracked(endpoint, &self.inner.protocol) {
+                    Ok((mut fresh, _)) => {
+                        let b = fresh.round_trip(body)?;
+                        Ok((b, fresh))
+                    }
+                    Err(_) => Err(first_err),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Invokes a `oneway` call: send and forget.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; also rejects calls built with [`Orb::call`]
+    /// (the server would send a reply nobody reads, desynchronizing the
+    /// cached connection).
+    pub fn invoke_oneway(&self, call: Call) -> RmiResult<()> {
+        if call.response_expected() {
+            return Err(RmiError::Protocol(
+                "invoke_oneway requires a call built with call_oneway()".to_owned(),
+            ));
+        }
+        self.check_protocol(call.target())?;
+        let endpoint = call.target().endpoint.clone();
+        self.inner.interceptors.fire(
+            CallPhase::ClientSend,
+            call.target(),
+            call.method(),
+            true,
+        );
+        let mut comm = self.inner.pool.checkout(&endpoint, &self.inner.protocol)?;
+        let body = call.into_body();
+        comm.send(&body)?;
+        self.inner.pool.checkin(&endpoint, comm);
+        Ok(())
+    }
+
+    /// A reference names the protocol its server speaks (`@tcp:...` vs
+    /// `@giop:...`); invoking it through an ORB speaking another protocol
+    /// would exchange mutually unintelligible bytes, so fail fast.
+    fn check_protocol(&self, target: &ObjectRef) -> RmiResult<()> {
+        let ours = self.inner.protocol.name();
+        if target.endpoint.proto != ours {
+            return Err(RmiError::Protocol(format!(
+                "reference speaks `{}` but this ORB speaks `{ours}`",
+                target.endpoint.proto
+            )));
+        }
+        Ok(())
+    }
+
+    // ---- stub cache -------------------------------------------------------
+
+    /// Returns the cached stub for `objref`, creating it with `make` on
+    /// first use ("both stubs and skeletons are cached in each
+    /// address-space").
+    pub fn cached_stub<T, F>(&self, objref: &ObjectRef, make: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> Arc<T>,
+    {
+        let key = objref.to_string();
+        if let Some(existing) = self.inner.stubs.read().get(&key) {
+            if let Ok(typed) = Arc::clone(existing).downcast::<T>() {
+                return typed;
+            }
+        }
+        let stub = make();
+        self.inner
+            .stubs
+            .write()
+            .insert(key, Arc::clone(&stub) as Arc<dyn Any + Send + Sync>);
+        stub
+    }
+
+    /// Number of cached stubs (observability).
+    pub fn stub_count(&self) -> usize {
+        self.inner.stubs.read().len()
+    }
+
+    // ---- incopy ----------------------------------------------------------
+
+    /// Marshals an `incopy` argument: by value when the servant is
+    /// serializable (no skeleton is ever created), by reference otherwise
+    /// (lazily exporting a skeleton built by `make_skel`).
+    ///
+    /// # Errors
+    ///
+    /// Export failures when falling back to by-reference.
+    pub fn marshal_incopy(
+        &self,
+        servant: &Arc<dyn RemoteObject>,
+        make_skel: impl FnOnce() -> Arc<dyn Skeleton>,
+        enc: &mut dyn Encoder,
+    ) -> RmiResult<()> {
+        if let Some(value) = servant.as_serializable() {
+            serialize::marshal_value(value, enc);
+            return Ok(());
+        }
+        let identity = Arc::as_ptr(servant) as *const () as usize;
+        let objref = self.export_once(identity, make_skel)?;
+        serialize::marshal_reference(&objref, enc);
+        Ok(())
+    }
+}
+
+impl Drop for OrbInner {
+    fn drop(&mut self) {
+        if let Some(handle) = self.server.get_mut().take() {
+            handle.stop();
+        }
+    }
+}

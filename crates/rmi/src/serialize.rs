@@ -1,0 +1,289 @@
+//! Pass-by-value (`incopy`) support.
+//!
+//! Paper §3.1: *"object references passed `incopy` are copied across the
+//! IDL interface, if possible. ... Whether a particular object has actually
+//! implemented the required marshaling/unmarshaling primitives is
+//! determined by testing if it implements the `HdSerializable` interface"*
+//! — Heidi's dynamic type check. Our analog is
+//! [`RemoteObject::as_serializable`], which returns `Some` only for
+//! servants that opted in by implementing [`ValueSerialize`].
+//!
+//! On the wire an `incopy` argument is a tagged union:
+//!
+//! ```text
+//! bool is_value · (string value-type-id · { state } | string objref)
+//! ```
+//!
+//! When the referent is serializable no skeleton is ever created for it —
+//! the receiving side reconstructs a *local* copy through the
+//! [`ValueRegistry`] (Java RMI's `Serializable`-but-not-`Remote`
+//! semantics, which the paper cites as the model).
+
+use crate::error::{RmiError, RmiResult};
+use heidl_wire::{Decoder, Encoder};
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Objects that can marshal their own state (the `HdSerializable` analog).
+pub trait ValueSerialize: Send + Sync {
+    /// Repository id used to find the matching factory on the peer.
+    fn value_type_id(&self) -> &str;
+
+    /// Marshals the object's state. The runtime brackets this with
+    /// `begin`/`end`.
+    fn marshal_state(&self, enc: &mut dyn Encoder);
+}
+
+/// Every servant type; the dynamic-type-check surface.
+pub trait RemoteObject: Send + Sync {
+    /// Repository id of the object's most-derived interface.
+    fn type_id(&self) -> &str;
+
+    /// Heidi's `HdSerializable` test: `Some` when this object supports
+    /// pass-by-value.
+    fn as_serializable(&self) -> Option<&dyn ValueSerialize> {
+        None
+    }
+}
+
+/// Reconstructs a value from marshaled state.
+pub type ValueFactory =
+    Arc<dyn Fn(&mut dyn Decoder) -> RmiResult<Box<dyn Any + Send>> + Send + Sync>;
+
+/// Per-address-space registry of value factories, keyed by value type id.
+#[derive(Default)]
+pub struct ValueRegistry {
+    factories: RwLock<HashMap<String, ValueFactory>>,
+}
+
+impl std::fmt::Debug for ValueRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let keys: Vec<String> = self.factories.read().keys().cloned().collect();
+        f.debug_struct("ValueRegistry").field("types", &keys).finish()
+    }
+}
+
+impl ValueRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ValueRegistry::default()
+    }
+
+    /// Registers a factory for `type_id`, replacing any previous one.
+    pub fn register<F>(&self, type_id: impl Into<String>, factory: F)
+    where
+        F: Fn(&mut dyn Decoder) -> RmiResult<Box<dyn Any + Send>> + Send + Sync + 'static,
+    {
+        self.factories.write().insert(type_id.into(), Arc::new(factory));
+    }
+
+    /// Reconstructs a value of `type_id` from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::NoFactory`] when the type was never registered; factory
+    /// errors propagate.
+    pub fn make(&self, type_id: &str, dec: &mut dyn Decoder) -> RmiResult<Box<dyn Any + Send>> {
+        let factory = self
+            .factories
+            .read()
+            .get(type_id)
+            .cloned()
+            .ok_or_else(|| RmiError::NoFactory { type_id: type_id.to_owned() })?;
+        factory(dec)
+    }
+
+    /// True when `type_id` has a factory.
+    pub fn knows(&self, type_id: &str) -> bool {
+        self.factories.read().contains_key(type_id)
+    }
+}
+
+/// Marshals a serializable value as an `incopy` argument.
+pub fn marshal_value(value: &dyn ValueSerialize, enc: &mut dyn Encoder) {
+    enc.put_bool(true); // is_value
+    enc.put_string(value.value_type_id());
+    enc.begin();
+    value.marshal_state(enc);
+    enc.end();
+}
+
+/// Marshals an object reference as the by-reference arm of `incopy` (also
+/// used for plain `in` object parameters).
+pub fn marshal_reference(objref: &crate::objref::ObjectRef, enc: &mut dyn Encoder) {
+    enc.put_bool(false); // is_value
+    enc.put_string(&objref.to_string());
+}
+
+/// The two things an `incopy` argument can unmarshal into.
+pub enum IncopyArg {
+    /// A reconstructed local copy.
+    Value(Box<dyn Any + Send>),
+    /// A remote reference (the referent was not serializable).
+    Reference(crate::objref::ObjectRef),
+}
+
+impl std::fmt::Debug for IncopyArg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncopyArg::Value(_) => f.write_str("IncopyArg::Value(..)"),
+            IncopyArg::Reference(r) => write!(f, "IncopyArg::Reference({r})"),
+        }
+    }
+}
+
+/// Unmarshals an `incopy` argument.
+///
+/// # Errors
+///
+/// Wire errors, unparsable references, and missing factories.
+pub fn unmarshal_incopy(dec: &mut dyn Decoder, values: &ValueRegistry) -> RmiResult<IncopyArg> {
+    if dec.get_bool()? {
+        let type_id = dec.get_string()?;
+        dec.begin()?;
+        let v = values.make(&type_id, dec)?;
+        dec.end()?;
+        Ok(IncopyArg::Value(v))
+    } else {
+        let text = dec.get_string()?;
+        Ok(IncopyArg::Reference(text.parse()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objref::{Endpoint, ObjectRef};
+    use heidl_wire::{CdrProtocol, Protocol, TextProtocol};
+
+    /// A Fig-3-flavoured value type: a media clip descriptor.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Clip {
+        title: String,
+        frames: i32,
+    }
+
+    impl ValueSerialize for Clip {
+        fn value_type_id(&self) -> &str {
+            "IDL:Heidi/Clip:1.0"
+        }
+
+        fn marshal_state(&self, enc: &mut dyn Encoder) {
+            enc.put_string(&self.title);
+            enc.put_long(self.frames);
+        }
+    }
+
+    struct ClipServant(Clip);
+
+    impl RemoteObject for ClipServant {
+        fn type_id(&self) -> &str {
+            "IDL:Heidi/Clip:1.0"
+        }
+
+        fn as_serializable(&self) -> Option<&dyn ValueSerialize> {
+            Some(&self.0)
+        }
+    }
+
+    struct OpaqueServant;
+
+    impl RemoteObject for OpaqueServant {
+        fn type_id(&self) -> &str {
+            "IDL:Heidi/Opaque:1.0"
+        }
+    }
+
+    fn registry() -> ValueRegistry {
+        let reg = ValueRegistry::new();
+        reg.register("IDL:Heidi/Clip:1.0", |dec| {
+            Ok(Box::new(Clip { title: dec.get_string()?, frames: dec.get_long()? }))
+        });
+        reg
+    }
+
+    #[test]
+    fn serializable_check_mirrors_hdserializable() {
+        let clip = ClipServant(Clip { title: "intro".into(), frames: 240 });
+        assert!(clip.as_serializable().is_some());
+        assert!(OpaqueServant.as_serializable().is_none(), "default is not serializable");
+    }
+
+    #[test]
+    fn value_roundtrip_on_both_protocols() {
+        let protos: [&dyn Protocol; 2] = [&TextProtocol, &CdrProtocol];
+        for p in protos {
+            let clip = Clip { title: "intro".into(), frames: 240 };
+            let mut enc = p.encoder();
+            marshal_value(&clip, enc.as_mut());
+            let body = enc.finish();
+
+            let reg = registry();
+            let mut dec = p.decoder(body).unwrap();
+            let arg = unmarshal_incopy(dec.as_mut(), &reg).unwrap();
+            let IncopyArg::Value(v) = arg else { panic!("expected value") };
+            let got: Clip = *v.downcast().unwrap();
+            assert_eq!(got, clip);
+        }
+    }
+
+    #[test]
+    fn reference_roundtrip() {
+        let objref =
+            ObjectRef::new(Endpoint::new("tcp", "localhost", 9), 5, "IDL:Heidi/Opaque:1.0");
+        let p = TextProtocol;
+        let mut enc = p.encoder();
+        marshal_reference(&objref, enc.as_mut());
+        let mut dec = p.decoder(enc.finish()).unwrap();
+        let arg = unmarshal_incopy(dec.as_mut(), &registry()).unwrap();
+        let IncopyArg::Reference(r) = arg else { panic!("expected reference") };
+        assert_eq!(r, objref);
+    }
+
+    #[test]
+    fn missing_factory_is_no_factory_error() {
+        let clip = Clip { title: "x".into(), frames: 1 };
+        let p = TextProtocol;
+        let mut enc = p.encoder();
+        marshal_value(&clip, enc.as_mut());
+        let empty = ValueRegistry::new();
+        let mut dec = p.decoder(enc.finish()).unwrap();
+        let err = unmarshal_incopy(dec.as_mut(), &empty).unwrap_err();
+        assert!(matches!(err, RmiError::NoFactory { type_id } if type_id.contains("Clip")));
+    }
+
+    #[test]
+    fn registry_knows_and_replaces() {
+        let reg = registry();
+        assert!(reg.knows("IDL:Heidi/Clip:1.0"));
+        assert!(!reg.knows("IDL:Heidi/Other:1.0"));
+        // Replace with a factory producing a constant.
+        reg.register("IDL:Heidi/Clip:1.0", |dec| {
+            let _ = dec.get_string()?;
+            let _ = dec.get_long()?;
+            Ok(Box::new(Clip { title: "replaced".into(), frames: 0 }))
+        });
+        let p = TextProtocol;
+        let mut enc = p.encoder();
+        marshal_value(&Clip { title: "orig".into(), frames: 3 }, enc.as_mut());
+        let mut dec = p.decoder(enc.finish()).unwrap();
+        let IncopyArg::Value(v) = unmarshal_incopy(dec.as_mut(), &reg).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v.downcast::<Clip>().unwrap().title, "replaced");
+        assert!(format!("{reg:?}").contains("Clip"));
+    }
+
+    #[test]
+    fn value_marshaling_is_structured_with_begin_end() {
+        // The text form shows the `{ state }` brackets the paper's begin/
+        // end structuring produces.
+        let p = TextProtocol;
+        let mut enc = p.encoder();
+        marshal_value(&Clip { title: "s".into(), frames: 2 }, enc.as_mut());
+        let text = String::from_utf8(enc.finish()).unwrap();
+        assert_eq!(text, r#"T "IDL:Heidi/Clip:1.0" { "s" 2 }"#);
+    }
+}

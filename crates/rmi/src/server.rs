@@ -1,0 +1,175 @@
+//! The bootstrap-port server: Fig 5's interaction, thread-per-connection.
+//!
+//! *"The bootstrap port in each address space serves as means to initiate a
+//! communication channel. When a client connects to the bootstrap port (1),
+//! a new `ObjectCommunicator` is wrapped around the resulting connection.
+//! ... The `ObjectCommunicator` reads in an incoming request (2) and
+//! encapsulates it in a `Call` object. The `Call` header contains the
+//! stringified object reference, whose type information and object
+//! identifier permit the selection of the appropriate `Skeleton`."*
+
+use crate::call::{IncomingCall, ReplyBuilder, ReplyStatus};
+use crate::communicator::ObjectCommunicator;
+use crate::error::{RmiError, RmiResult};
+use crate::objref::Endpoint;
+use crate::orb::Orb;
+use crate::skeleton::{DispatchOutcome, Skeleton};
+use crate::transport::TcpTransport;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running bootstrap-port server.
+pub(crate) struct ServerHandle {
+    endpoint: Endpoint,
+    running: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` and starts the accept loop.
+    pub(crate) fn start(addr: &str, orb: Orb) -> RmiResult<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let endpoint =
+            Endpoint::new(orb.protocol().name(), local.ip().to_string(), local.port());
+        let running = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&running);
+        let acceptor = std::thread::Builder::new()
+            .name(format!("heidl-accept-{}", local.port()))
+            .spawn(move || accept_loop(listener, orb, flag))
+            .map_err(RmiError::Io)?;
+        Ok(ServerHandle { endpoint, running, acceptor: Some(acceptor) })
+    }
+
+    pub(crate) fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Stops the accept loop (a self-connection unblocks `accept`).
+    pub(crate) fn stop(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Nudge the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect((self.endpoint.host.as_str(), self.endpoint.port));
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, orb: Orb, running: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(transport) = TcpTransport::from_stream(stream) else { continue };
+        // Fig 5 (1): wrap a new ObjectCommunicator around the connection.
+        let comm = ObjectCommunicator::new(Box::new(transport), Arc::clone(orb.protocol()));
+        let worker_orb = orb.clone();
+        let _ = std::thread::Builder::new()
+            .name("heidl-conn".to_owned())
+            .spawn(move || connection_loop(comm, worker_orb));
+    }
+}
+
+/// Serves one connection until the peer closes it.
+fn connection_loop(mut comm: ObjectCommunicator, orb: Orb) {
+    loop {
+        match comm.recv() {
+            Ok(Some(body)) => match handle_request(body, &orb) {
+                Some(reply) => {
+                    if comm.send(&reply).is_err() {
+                        break;
+                    }
+                }
+                None => {} // oneway: no reply on the wire
+            },
+            Ok(None) | Err(_) => break,
+        }
+    }
+}
+
+/// Fig 5 (2)-(4): decode the request, select the skeleton by object id,
+/// dispatch (recursively up the inheritance chain), and build the reply.
+/// Returns `None` for `oneway` requests, which must not be answered.
+pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb) -> Option<Vec<u8>> {
+    let protocol = Arc::clone(orb.protocol());
+    let mut incoming = match IncomingCall::parse(body, protocol.as_ref()) {
+        Ok(c) => c,
+        Err(e) => {
+            // The header did not parse, so we cannot know whether a reply
+            // is expected; send the diagnostic (a telnet user wants it).
+            return Some(ReplyBuilder::exception(
+                protocol.as_ref(),
+                ReplyStatus::SystemException,
+                "IDL:heidl/BadRequest:1.0",
+                &e.to_string(),
+            ));
+        }
+    };
+    let reply_body = dispatch_request(&mut incoming, orb, &protocol);
+    incoming.response_expected.then_some(reply_body)
+}
+
+fn dispatch_request(
+    incoming: &mut IncomingCall,
+    orb: &Orb,
+    protocol: &Arc<dyn heidl_wire::Protocol>,
+) -> Vec<u8> {
+
+    let skeleton = {
+        let objects = orb.inner.objects.read();
+        objects.get(&incoming.target.object_id).cloned()
+    };
+    let Some(skeleton) = skeleton else {
+        return ReplyBuilder::exception(
+            protocol.as_ref(),
+            ReplyStatus::SystemException,
+            "IDL:heidl/UnknownObject:1.0",
+            &RmiError::UnknownObject { reference: incoming.target.to_string() }.to_string(),
+        );
+    };
+
+    orb.inner.interceptors.fire(
+        crate::interceptor::CallPhase::ServerDispatch,
+        &incoming.target,
+        &incoming.method,
+        true,
+    );
+    let mut reply = ReplyBuilder::ok(protocol.as_ref());
+    let outcome = skeleton.dispatch(&incoming.method, incoming.args.as_mut(), reply.results());
+    orb.inner.interceptors.fire(
+        crate::interceptor::CallPhase::ServerReply,
+        &incoming.target,
+        &incoming.method,
+        matches!(outcome, Ok(DispatchOutcome::Handled)),
+    );
+    match outcome {
+        Ok(DispatchOutcome::Handled) => reply.into_body(),
+        Ok(DispatchOutcome::NotFound) => ReplyBuilder::exception(
+            protocol.as_ref(),
+            ReplyStatus::SystemException,
+            "IDL:heidl/UnknownMethod:1.0",
+            &RmiError::UnknownMethod {
+                type_id: Skeleton::type_id(skeleton.as_ref()).to_owned(),
+                method: incoming.method.clone(),
+            }
+            .to_string(),
+        ),
+        // A servant-raised exception carries its own repository id.
+        Err(RmiError::Remote { repo_id, detail }) => ReplyBuilder::exception(
+            protocol.as_ref(),
+            ReplyStatus::UserException,
+            &repo_id,
+            &detail,
+        ),
+        Err(other) => ReplyBuilder::exception(
+            protocol.as_ref(),
+            ReplyStatus::SystemException,
+            "IDL:heidl/DispatchFailed:1.0",
+            &other.to_string(),
+        ),
+    }
+}

@@ -1,0 +1,250 @@
+//! Skeletons and recursive dispatch.
+//!
+//! Paper §3.1: *"The `dispatch` method of `A_skel` first attempts to
+//! dispatch an incoming request to methods defined in the interface `A`.
+//! If this fails, then dispatching is delegated to the `dispatch` method of
+//! `S_skel`, continuing recursively up the skeleton class hierarchy. If `A`
+//! inherits from more than one interface, then dispatching is delegated to
+//! each of the corresponding skeleton super-classes in order."*
+//!
+//! Generated skeletons implement [`Skeleton`]; [`SkeletonBase`] packages
+//! the method table (with a pluggable [dispatch
+//! strategy](crate::dispatch::DispatchStrategy)) and the parent-skeleton
+//! chain so the recursive walk is one reusable function.
+
+use crate::dispatch::{DispatchKind, MethodTable};
+use crate::error::RmiResult;
+use heidl_wire::{Decoder, Encoder};
+use std::sync::Arc;
+
+/// The result of asking one skeleton (and its parents) about a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchOutcome {
+    /// A handler ran; the reply encoder holds the results.
+    Handled,
+    /// No skeleton in this chain knows the method.
+    NotFound,
+}
+
+/// A server-side skeleton: unmarshals arguments, invokes the target
+/// object, marshals results.
+pub trait Skeleton: Send + Sync {
+    /// Repository id of the interface this skeleton serves.
+    fn type_id(&self) -> &str;
+
+    /// Attempts to dispatch `method`. On [`DispatchOutcome::NotFound`] the
+    /// caller (or this skeleton itself, via its parents) keeps searching.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures and application errors abort the call; they are
+    /// reported to the client as exceptions.
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome>;
+}
+
+/// Shared plumbing for generated skeletons: a method table plus the parent
+/// chain, with the paper's recursive delegation order.
+pub struct SkeletonBase {
+    type_id: String,
+    table: MethodTable,
+    parents: Vec<Arc<dyn Skeleton>>,
+}
+
+impl std::fmt::Debug for SkeletonBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkeletonBase")
+            .field("type_id", &self.type_id)
+            .field("strategy", &self.table.strategy_name())
+            .field("parents", &self.parents.len())
+            .finish()
+    }
+}
+
+impl SkeletonBase {
+    /// Builds the base for a skeleton serving `type_id` with the given
+    /// method names (declaration order) and parent skeletons (inheritance
+    /// order).
+    pub fn new<I, S>(
+        type_id: impl Into<String>,
+        kind: DispatchKind,
+        methods: I,
+        parents: Vec<Arc<dyn Skeleton>>,
+    ) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SkeletonBase {
+            type_id: type_id.into(),
+            table: MethodTable::new(kind, methods),
+            parents,
+        }
+    }
+
+    /// The served type id.
+    pub fn type_id(&self) -> &str {
+        &self.type_id
+    }
+
+    /// Looks up `method` in this skeleton's own table.
+    pub fn find(&self, method: &str) -> Option<usize> {
+        self.table.find(method)
+    }
+
+    /// Delegates to each parent skeleton in order (the paper's
+    /// multi-inheritance rule), returning the first non-`NotFound`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first parent's dispatch error.
+    pub fn dispatch_parents(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        for parent in &self.parents {
+            match parent.dispatch(method, args, reply)? {
+                DispatchOutcome::Handled => return Ok(DispatchOutcome::Handled),
+                DispatchOutcome::NotFound => continue,
+            }
+        }
+        Ok(DispatchOutcome::NotFound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heidl_wire::{Protocol, TextProtocol};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A test skeleton that records which layer handled the call by
+    /// writing a marker long into the reply.
+    struct Layer {
+        base: SkeletonBase,
+        marker: i32,
+        calls: Arc<AtomicUsize>,
+    }
+
+    impl Skeleton for Layer {
+        fn type_id(&self) -> &str {
+            self.base.type_id()
+        }
+
+        fn dispatch(
+            &self,
+            method: &str,
+            args: &mut dyn Decoder,
+            reply: &mut dyn Encoder,
+        ) -> RmiResult<DispatchOutcome> {
+            if self.base.find(method).is_some() {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                reply.put_long(self.marker);
+                return Ok(DispatchOutcome::Handled);
+            }
+            self.base.dispatch_parents(method, args, reply)
+        }
+    }
+
+    fn layer(
+        type_id: &str,
+        methods: &[&str],
+        marker: i32,
+        parents: Vec<Arc<dyn Skeleton>>,
+    ) -> (Arc<dyn Skeleton>, Arc<AtomicUsize>) {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let skel = Arc::new(Layer {
+            base: SkeletonBase::new(
+                type_id,
+                DispatchKind::Hash,
+                methods.iter().copied(),
+                parents,
+            ),
+            marker,
+            calls: Arc::clone(&calls),
+        });
+        (skel, calls)
+    }
+
+    fn dispatch_marker(skel: &Arc<dyn Skeleton>, method: &str) -> Option<i32> {
+        let p = TextProtocol;
+        let mut args = p.decoder(Vec::new()).unwrap();
+        let mut reply = p.encoder();
+        match skel.dispatch(method, args.as_mut(), reply.as_mut()).unwrap() {
+            DispatchOutcome::Handled => {
+                let body = reply.finish();
+                let mut dec = p.decoder(body).unwrap();
+                Some(dec.get_long().unwrap())
+            }
+            DispatchOutcome::NotFound => None,
+        }
+    }
+
+    #[test]
+    fn own_methods_handled_locally() {
+        let (s, s_calls) = layer("IDL:S:1.0", &["base_op"], 1, vec![]);
+        let (a, a_calls) = layer("IDL:A:1.0", &["f", "g"], 2, vec![s]);
+        assert_eq!(dispatch_marker(&a, "f"), Some(2));
+        assert_eq!(a_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(s_calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn inherited_methods_delegate_up_the_chain() {
+        // A : S, per the paper's running example: A_skel delegates to
+        // S_skel when the method is not in A.
+        let (s, s_calls) = layer("IDL:S:1.0", &["base_op"], 1, vec![]);
+        let (a, _) = layer("IDL:A:1.0", &["f"], 2, vec![s]);
+        assert_eq!(dispatch_marker(&a, "base_op"), Some(1));
+        assert_eq!(s_calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn deep_chain_recursion() {
+        let (root, _) = layer("IDL:R:1.0", &["deepest"], 10, vec![]);
+        let mut chain: Arc<dyn Skeleton> = root;
+        for i in 0..6 {
+            let (next, _) = layer(&format!("IDL:L{i}:1.0"), &[], 20 + i, vec![chain]);
+            chain = next;
+        }
+        assert_eq!(dispatch_marker(&chain, "deepest"), Some(10));
+    }
+
+    #[test]
+    fn multiple_inheritance_delegates_in_order() {
+        // D : B, C where both B and C define `shared` — B is declared
+        // first, so B must win (the paper: "delegated to each of the
+        // corresponding skeleton super-classes in order").
+        let (b, b_calls) = layer("IDL:B:1.0", &["shared", "b_only"], 100, vec![]);
+        let (c, c_calls) = layer("IDL:C:1.0", &["shared", "c_only"], 200, vec![]);
+        let (d, _) = layer("IDL:D:1.0", &["d_only"], 300, vec![b, c]);
+        assert_eq!(dispatch_marker(&d, "shared"), Some(100));
+        assert_eq!(b_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(c_calls.load(Ordering::Relaxed), 0);
+        assert_eq!(dispatch_marker(&d, "c_only"), Some(200));
+        assert_eq!(c_calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_method_is_not_found_anywhere() {
+        let (s, _) = layer("IDL:S:1.0", &["base_op"], 1, vec![]);
+        let (a, _) = layer("IDL:A:1.0", &["f"], 2, vec![s]);
+        assert_eq!(dispatch_marker(&a, "nope"), None);
+    }
+
+    #[test]
+    fn skeleton_base_accessors() {
+        let base =
+            SkeletonBase::new("IDL:X:1.0", DispatchKind::Binary, ["m1", "m2"], vec![]);
+        assert_eq!(base.type_id(), "IDL:X:1.0");
+        assert_eq!(base.find("m2"), Some(1));
+        assert_eq!(base.find("m3"), None);
+        assert!(format!("{base:?}").contains("binary"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Byte-stream transports underneath the `ObjectCommunicator`.
+//!
+//! The paper's communicators sit on dedicated TCP/IP connections; tests and
+//! single-process deployments also get an in-process duplex pipe built on
+//! crossbeam channels.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// A bidirectional byte stream.
+pub trait Transport: Send {
+    /// Writes all of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads *some* bytes, appending to `buf`. Returns the number read;
+    /// `0` means the peer closed the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport read failures.
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize>;
+
+    /// A short human-readable peer description for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// TCP transport, `TCP_NODELAY` enabled — request/response RPC suffers
+/// badly under Nagle.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (e.g. `"localhost:1234"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+
+    /// Wraps an accepted stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `TCP_NODELAY` cannot be set.
+    pub fn from_stream(stream: TcpStream) -> io::Result<TcpTransport> {
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    fn peer(&self) -> String {
+        self.stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<disconnected>".to_owned())
+    }
+}
+
+/// One end of an in-process duplex pipe.
+pub struct InProcTransport {
+    tx: crossbeam::channel::Sender<Vec<u8>>,
+    rx: crossbeam::channel::Receiver<Vec<u8>>,
+    label: &'static str,
+}
+
+impl std::fmt::Debug for InProcTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcTransport").field("label", &self.label).finish()
+    }
+}
+
+impl InProcTransport {
+    /// Creates a connected pair of in-process transports.
+    pub fn pair() -> (InProcTransport, InProcTransport) {
+        let (atx, arx) = crossbeam::channel::unbounded();
+        let (btx, brx) = crossbeam::channel::unbounded();
+        (
+            InProcTransport { tx: atx, rx: brx, label: "inproc-a" },
+            InProcTransport { tx: btx, rx: arx, label: "inproc-b" },
+        )
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(bytes.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+    }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        match self.rx.recv() {
+            Ok(bytes) => {
+                buf.extend_from_slice(&bytes);
+                Ok(bytes.len())
+            }
+            Err(_) => Ok(0), // peer closed
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.label.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn inproc_pair_carries_bytes_both_ways() {
+        let (mut a, mut b) = InProcTransport::pair();
+        a.send(b"hello").unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(b.recv_into(&mut buf).unwrap(), 5);
+        assert_eq!(buf, b"hello");
+        b.send(b"world").unwrap();
+        let mut buf = Vec::new();
+        a.recv_into(&mut buf).unwrap();
+        assert_eq!(buf, b"world");
+    }
+
+    #[test]
+    fn inproc_close_reads_zero() {
+        let (mut a, b) = InProcTransport::pair();
+        drop(b);
+        assert!(a.send(b"x").is_err());
+        let mut buf = Vec::new();
+        assert_eq!(a.recv_into(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn inproc_peer_labels() {
+        let (a, b) = InProcTransport::pair();
+        assert_eq!(a.peer(), "inproc-a");
+        assert_eq!(b.peer(), "inproc-b");
+    }
+
+    #[test]
+    fn tcp_transport_roundtrip_on_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let mut buf = Vec::new();
+            while buf.len() < 4 {
+                if t.recv_into(&mut buf).unwrap() == 0 {
+                    break;
+                }
+            }
+            t.send(&buf).unwrap();
+        });
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        assert!(client.peer().contains("127.0.0.1"));
+        client.send(b"ping").unwrap();
+        let mut buf = Vec::new();
+        while buf.len() < 4 {
+            if client.recv_into(&mut buf).unwrap() == 0 {
+                break;
+            }
+        }
+        assert_eq!(buf, b"ping");
+        server.join().unwrap();
+    }
+}

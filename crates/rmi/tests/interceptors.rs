@@ -1,0 +1,246 @@
+//! Interceptor tests (paper §5's Orbix-filter / smart-proxy style ORB
+//! customization) plus a smart-proxy caching stub built on top.
+
+use heidl_rmi::*;
+use heidl_wire::{Decoder, Encoder};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct CounterSkel {
+    base: SkeletonBase,
+    value: AtomicI32,
+    reads: AtomicUsize,
+}
+
+impl CounterSkel {
+    fn new() -> Arc<CounterSkel> {
+        Arc::new(CounterSkel {
+            base: SkeletonBase::new(
+                "IDL:Test/Counter:1.0",
+                DispatchKind::Hash,
+                ["get", "bump"],
+                vec![],
+            ),
+            value: AtomicI32::new(0),
+            reads: AtomicUsize::new(0),
+        })
+    }
+}
+
+impl Skeleton for CounterSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                self.reads.fetch_add(1, Ordering::SeqCst);
+                reply.put_long(self.value.load(Ordering::SeqCst));
+                Ok(DispatchOutcome::Handled)
+            }
+            Some(1) => {
+                self.value.fetch_add(1, Ordering::SeqCst);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn get(orb: &Orb, objref: &ObjectRef) -> i32 {
+    let call = orb.call(objref, "get");
+    let mut reply = orb.invoke(call).unwrap();
+    reply.results().get_long().unwrap()
+}
+
+#[test]
+fn interceptors_see_all_four_phases() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let skel = CounterSkel::new();
+    let objref = orb.export(skel).unwrap();
+
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let log = Arc::clone(&log);
+        orb.add_interceptor(Arc::new(FnInterceptor(move |info: &CallInfo| {
+            log.lock().push(format!("{:?} {} ok={}", info.phase, info.method, info.ok));
+        })));
+    }
+
+    get(&orb, &objref);
+    // Same-process client and server: all four phases in one log.
+    let entries = log.lock().clone();
+    assert_eq!(
+        entries,
+        [
+            "ClientSend get ok=true",
+            "ServerDispatch get ok=true",
+            "ServerReply get ok=true",
+            "ClientReceive get ok=true",
+        ]
+    );
+    orb.shutdown();
+}
+
+#[test]
+fn failed_dispatch_reports_not_ok_on_server_reply() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(CounterSkel::new()).unwrap();
+
+    let server_fail = Arc::new(AtomicUsize::new(0));
+    let client_fail = Arc::new(AtomicUsize::new(0));
+    {
+        let server_fail = Arc::clone(&server_fail);
+        let client_fail = Arc::clone(&client_fail);
+        orb.add_interceptor(Arc::new(FnInterceptor(move |info: &CallInfo| {
+            match (info.phase, info.ok) {
+                (CallPhase::ServerReply, false) => {
+                    server_fail.fetch_add(1, Ordering::SeqCst);
+                }
+                (CallPhase::ClientReceive, false) => {
+                    client_fail.fetch_add(1, Ordering::SeqCst);
+                }
+                _ => {}
+            }
+        })));
+    }
+
+    let err = orb.invoke(orb.call(&objref, "no_such_method")).unwrap_err();
+    assert!(matches!(err, RmiError::Remote { .. }));
+    assert_eq!(server_fail.load(Ordering::SeqCst), 1);
+    assert_eq!(client_fail.load(Ordering::SeqCst), 1);
+    orb.shutdown();
+}
+
+#[test]
+fn accounting_interceptor_counts_per_method() {
+    // The paper's motivating uses: accounting/auditing on the dispatch path.
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(CounterSkel::new()).unwrap();
+
+    let counts: Arc<Mutex<std::collections::HashMap<String, usize>>> = Arc::default();
+    {
+        let counts = Arc::clone(&counts);
+        orb.add_interceptor(Arc::new(FnInterceptor(move |info: &CallInfo| {
+            if info.phase == CallPhase::ServerDispatch {
+                *counts.lock().entry(info.method.clone()).or_default() += 1;
+            }
+        })));
+    }
+
+    for _ in 0..3 {
+        orb.invoke(orb.call(&objref, "bump")).unwrap();
+    }
+    get(&orb, &objref);
+    let counts = counts.lock().clone();
+    assert_eq!(counts.get("bump"), Some(&3));
+    assert_eq!(counts.get("get"), Some(&1));
+    orb.shutdown();
+}
+
+/// A smart proxy (Orbix terminology) / smart stub (Visibroker): caches
+/// `get` results and invalidates on `bump`.
+struct SmartCounterProxy {
+    orb: Orb,
+    objref: ObjectRef,
+    cached: Mutex<Option<i32>>,
+}
+
+impl SmartCounterProxy {
+    fn get(&self) -> i32 {
+        if let Some(v) = *self.cached.lock() {
+            return v; // served from the proxy, no remote call
+        }
+        let v = get(&self.orb, &self.objref);
+        *self.cached.lock() = Some(v);
+        v
+    }
+
+    fn bump(&self) {
+        self.orb.invoke(self.orb.call(&self.objref, "bump")).unwrap();
+        *self.cached.lock() = None;
+    }
+}
+
+#[test]
+fn caching_smart_proxy() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let skel = CounterSkel::new();
+    let reads = {
+        let skel = Arc::clone(&skel);
+        move || skel.reads.load(Ordering::SeqCst)
+    };
+    let objref = orb.export(skel).unwrap();
+
+    let proxy = SmartCounterProxy { orb: orb.clone(), objref, cached: Mutex::new(None) };
+    assert_eq!(proxy.get(), 0);
+    assert_eq!(proxy.get(), 0);
+    assert_eq!(proxy.get(), 0);
+    assert_eq!(reads(), 1, "two of three gets served from the proxy cache");
+
+    proxy.bump();
+    assert_eq!(proxy.get(), 1, "invalidation on mutation");
+    assert_eq!(reads(), 2);
+    orb.shutdown();
+}
+
+#[test]
+fn oneway_fires_client_send_only() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(CounterSkel::new()).unwrap();
+    let phases: Arc<Mutex<Vec<CallPhase>>> = Arc::default();
+    {
+        let phases = Arc::clone(&phases);
+        orb.add_interceptor(Arc::new(FnInterceptor(move |info: &CallInfo| {
+            if matches!(info.phase, CallPhase::ClientSend | CallPhase::ClientReceive) {
+                phases.lock().push(info.phase);
+            }
+        })));
+    }
+    orb.invoke_oneway(orb.call_oneway(&objref, "bump")).unwrap();
+    // Synchronize before asserting.
+    get(&orb, &objref);
+    let seen = phases.lock().clone();
+    assert_eq!(seen[0], CallPhase::ClientSend, "{seen:?}");
+    // The oneway produced no ClientReceive of its own; the get produced
+    // one Send + one Receive.
+    assert_eq!(
+        seen.iter().filter(|p| **p == CallPhase::ClientReceive).count(),
+        1,
+        "{seen:?}"
+    );
+    orb.shutdown();
+}
+
+#[test]
+fn protocol_mismatch_fails_fast() {
+    // A text-protocol ORB must refuse a reference whose server speaks
+    // the binary protocol, rather than exchange garbage.
+    let giop_orb = Orb::with_protocol(Arc::new(heidl_wire::CdrProtocol));
+    giop_orb.serve("127.0.0.1:0").unwrap();
+    let objref = giop_orb.export(CounterSkel::new()).unwrap();
+    assert_eq!(objref.endpoint.proto, "giop");
+
+    let text_orb = Orb::new();
+    let err = text_orb.invoke(text_orb.call(&objref, "get")).unwrap_err();
+    let RmiError::Protocol(msg) = err else { panic!("wrong error kind") };
+    assert!(msg.contains("giop") && msg.contains("tcp"), "{msg}");
+
+    let err = text_orb
+        .invoke_oneway(text_orb.call_oneway(&objref, "bump"))
+        .unwrap_err();
+    assert!(matches!(err, RmiError::Protocol(_)));
+    giop_orb.shutdown();
+}

@@ -1,0 +1,52 @@
+//! Property tests for the dispatch strategies and object references.
+
+use heidl_rmi::{DispatchKind, MethodTable, ObjectRef};
+use proptest::prelude::*;
+
+fn names_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set("[a-z_][a-z0-9_]{0,40}", 1..64)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn strategies_agree_everywhere(names in names_strategy(), probe in "[a-z_][a-z0-9_]{0,40}") {
+        let tables: Vec<MethodTable> = DispatchKind::ALL
+            .iter()
+            .map(|&k| MethodTable::new(k, names.clone()))
+            .collect();
+        // Every declared name resolves to its declaration index in all
+        // strategies; a random probe resolves identically in all.
+        for (i, name) in names.iter().enumerate() {
+            for t in &tables {
+                prop_assert_eq!(t.find(name), Some(i), "{} on {}", t.strategy_name(), name);
+            }
+        }
+        let expected = tables[0].find(&probe);
+        for t in &tables[1..] {
+            prop_assert_eq!(t.find(&probe), expected, "{}", t.strategy_name());
+        }
+    }
+
+    #[test]
+    fn object_references_roundtrip(
+        proto in "[a-z]{1,8}",
+        host in "[a-z0-9.-]{1,20}",
+        port in any::<u16>(),
+        id in any::<u64>(),
+        ty in "IDL:[A-Za-z0-9/_]{1,30}:[0-9]\\.[0-9]",
+    ) {
+        let r = ObjectRef::new(heidl_rmi::Endpoint::new(proto, host, port), id, ty);
+        let text = r.to_string();
+        let back: ObjectRef = text.parse()
+            .map_err(|e| TestCaseError::fail(format!("{e} for {text}")))?;
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reference_parser_never_panics(text in "\\PC{0,80}") {
+        let _ = text.parse::<ObjectRef>();
+    }
+}

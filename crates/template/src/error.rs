@@ -1,0 +1,63 @@
+//! Template errors, all carrying 1-based template line numbers.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error found while compiling a template (step 1 of the paper's
+/// two-step code generation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// 1-based line in the template source.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+/// An error raised while executing a compiled template against an EST
+/// (step 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    /// 1-based line in the template source the failing instruction came from.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl RunError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        RunError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CompileError::new(3, "bad").to_string(), "template line 3: bad");
+        assert_eq!(RunError::new(9, "oops").to_string(), "template line 9: oops");
+    }
+}

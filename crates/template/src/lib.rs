@@ -1,0 +1,93 @@
+//! # heidl-template — the template-driven code generator
+//!
+//! The back half of the two-stage compiler from Welling & Ott (Middleware
+//! 2000, §4, Fig 6): a Jeeves-style template engine where *"details of the
+//! IDL to implementation mapping are specified in a template, which the IDL
+//! compiler utilizes to drive its code generation"*.
+//!
+//! Code generation is the paper's **two-step** process:
+//!
+//! 1. [`compile`] turns template source into a [`Program`] — done **once**
+//!    per template (the paper's template → Perl-generator step);
+//! 2. [`run()`] executes the program against an [EST](heidl_est::Est),
+//!    producing output through an [`OutputSink`].
+//!
+//! The template syntax is Fig 9's: `@`-prefixed command lines
+//! (`@foreach`/`@end`, `@if`/`@else`/`@fi`, `@openfile`), `${var}`
+//! substitution in ordinary lines, `-ifMore 'sep'` separators and
+//! `-map var Ns::Fn` name mapping through a [`MapRegistry`].
+//!
+//! ```
+//! use heidl_template::{compile, run, MapRegistry, MemorySink};
+//!
+//! let est = heidl_est::build(&heidl_idl::parse(heidl_idl::FIG3_IDL)?)?;
+//! let program = compile(concat!(
+//!     "@foreach interfaceList\n",
+//!     "@foreach methodList\n",
+//!     "  virtual void ${methodName}(...) = 0;\n",
+//!     "@end methodList\n",
+//!     "@end interfaceList\n",
+//! ))?;
+//! let mut out = MemorySink::new();
+//! run(&program, &est, &MapRegistry::new(), &[], &mut out)?;
+//! assert!(out.default_output().contains("virtual void f(...) = 0;"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod program;
+pub mod registry;
+pub mod run;
+pub mod sink;
+
+pub use error::{CompileError, RunError};
+pub use program::{compile, compile_with_includes, Cond, IncludeLoader, Instr, Program, Segment, Term};
+pub use registry::{MapFn, MapRegistry};
+pub use run::run;
+pub use sink::{DirSink, MemorySink, OutputSink};
+
+/// Convenience: compile `template` and run it against `est` in one call,
+/// returning the in-memory outputs.
+///
+/// Prefer [`compile`] + [`run()`] when generating repeatedly from the same
+/// template — the compile step need only happen once (paper §4.1).
+///
+/// # Errors
+///
+/// Returns the compile error or run error, stringified with its line.
+pub fn generate(
+    template: &str,
+    est: &heidl_est::Est,
+    registry: &MapRegistry,
+    globals: &[(String, String)],
+) -> Result<MemorySink, Box<dyn std::error::Error + Send + Sync>> {
+    let program = compile(template)?;
+    let mut sink = MemorySink::new();
+    run(&program, est, registry, globals, &mut sink)?;
+    Ok(sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_end_to_end() {
+        let est = heidl_est::build(&heidl_idl::parse("interface A {};").unwrap()).unwrap();
+        let err =
+            generate("// ${interfaceName}?\n", &est, &MapRegistry::new(), &[]).unwrap_err();
+        // interfaceName is not defined at root scope — error expected.
+        assert!(err.to_string().contains("interfaceName"));
+
+        let ok = generate(
+            "@foreach interfaceList\n${interfaceName}\n@end interfaceList\n",
+            &est,
+            &MapRegistry::new(),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(ok.default_output(), "A\n");
+    }
+}

@@ -1,0 +1,726 @@
+//! Template compilation: source text → [`Program`] (step 1 of the paper's
+//! two-step code generation, §4.1).
+//!
+//! The syntax is the paper's Fig 9 syntax: lines whose first non-blank
+//! character is `@` are commands; every other line is emitted verbatim
+//! after `${var}` substitution.
+//!
+//! ```text
+//! @foreach <list> [-ifMore '<sep>'] [-map <var> <Ns::Fn>]...
+//!                 [-mapto <newVar> <srcVar> <Ns::Fn>]...
+//! ...body...
+//! @end <list>
+//!
+//! @if ${var} == "literal"     (also !=, bare ${var} truthiness)
+//! @else
+//! @fi
+//!
+//! @openfile <path-with-${var}>
+//! @include <partial-name>     (requires compile_with_includes)
+//! @# comment (dropped at compile time)
+//! ```
+//!
+//! Compiling once and running many times is deliberately cheap: the paper
+//! notes that "the first step of the code-generation stage need only be
+//! performed once for a particular code-generation template."
+
+use crate::error::CompileError;
+
+/// A piece of a text line: literal text or a `${var}` reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// Literal text.
+    Lit(String),
+    /// A `${name}` substitution.
+    Var(String),
+}
+
+/// Splits a raw line into segments.
+///
+/// # Errors
+///
+/// Unterminated `${` is a compile error.
+pub(crate) fn segments(line: &str, line_no: usize) -> Result<Vec<Segment>, CompileError> {
+    let mut out = Vec::new();
+    let mut lit = String::new();
+    let mut rest = line;
+    while let Some(start) = rest.find("${") {
+        lit.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        let Some(end) = after.find('}') else {
+            return Err(CompileError::new(line_no, "unterminated `${`"));
+        };
+        if !lit.is_empty() {
+            out.push(Segment::Lit(std::mem::take(&mut lit)));
+        }
+        let name = after[..end].trim();
+        if name.is_empty() {
+            return Err(CompileError::new(line_no, "empty `${}` variable name"));
+        }
+        out.push(Segment::Var(name.to_owned()));
+        rest = &after[end + 1..];
+    }
+    lit.push_str(rest);
+    if !lit.is_empty() {
+        out.push(Segment::Lit(lit));
+    }
+    Ok(out)
+}
+
+/// A conditional term: a variable or a literal string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// `${name}` — resolved at run time.
+    Var(String),
+    /// `"literal"` / `'literal'` / bare word.
+    Lit(String),
+}
+
+/// A compiled `@if` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Bare `${var}`: true when non-empty and not `"false"`/`"0"`.
+    Truthy(Term),
+    /// `a == b` after substitution.
+    Eq(Term, Term),
+    /// `a != b` after substitution.
+    Ne(Term, Term),
+}
+
+/// One compiled instruction. Each carries its source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Emit a text line (plus newline) after substitution.
+    Text {
+        /// The line's segments.
+        segments: Vec<Segment>,
+        /// Source line.
+        line: usize,
+    },
+    /// Iterate a node list.
+    Foreach {
+        /// The list name, e.g. `methodList`.
+        list: String,
+        /// `-ifMore` separator for `${ifMore}`.
+        if_more: Option<String>,
+        /// Per-iteration mappings `(dst_var, src_var, function)`: plain
+        /// `-map v Fn` compiles to `(v, v, Fn)`; `-mapto d s Fn` lets a
+        /// template render one property several ways (declared type *and*
+        /// marshal op from the same descriptor, say).
+        maps: Vec<(String, String, String)>,
+        /// Loop body.
+        body: Vec<Instr>,
+        /// Source line of the `@foreach`.
+        line: usize,
+    },
+    /// Conditional.
+    If {
+        /// The condition.
+        cond: Cond,
+        /// Instructions when true.
+        then: Vec<Instr>,
+        /// Instructions when false (empty without `@else`).
+        els: Vec<Instr>,
+        /// Source line of the `@if`.
+        line: usize,
+    },
+    /// Redirect output to a new file whose name may contain `${var}`s.
+    OpenFile {
+        /// Path segments.
+        path: Vec<Segment>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A compiled template, ready to run against any EST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Number of top-level instructions (diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True for an empty template.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Resolves `@include <name>` partials during compilation.
+pub trait IncludeLoader {
+    /// Returns the partial's source, or `None` when unknown.
+    fn load(&self, name: &str) -> Option<String>;
+}
+
+impl<F> IncludeLoader for F
+where
+    F: Fn(&str) -> Option<String>,
+{
+    fn load(&self, name: &str) -> Option<String> {
+        self(name)
+    }
+}
+
+/// Compiles template source into a [`Program`].
+///
+/// ```
+/// let program = heidl_template::compile("@foreach interfaceList\nclass ${interfaceName};\n@end interfaceList\n")?;
+/// assert_eq!(program.len(), 1);
+/// # Ok::<(), heidl_template::CompileError>(())
+/// ```
+///
+/// # Errors
+///
+/// Unknown commands, malformed options, mismatched or missing `@end`/`@fi`,
+/// unterminated `${`, and `@include` (which needs
+/// [`compile_with_includes`]) are compile errors with line numbers.
+pub fn compile(source: &str) -> Result<Program, CompileError> {
+    compile_with_includes(source, &|_: &str| None::<String>)
+}
+
+/// Compiles template source, resolving `@include <name>` through `loader`.
+///
+/// Included partials may themselves include (up to a nesting depth of 16);
+/// a partial must be block-balanced on its own (`@foreach`/`@if` opened in
+/// a partial close in that partial).
+///
+/// ```
+/// use heidl_template::compile_with_includes;
+///
+/// let loader = |name: &str| {
+///     (name == "header").then(|| "// generated by heidlc\n".to_owned())
+/// };
+/// let p = compile_with_includes("@include header\nbody\n", &loader)?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), heidl_template::CompileError>(())
+/// ```
+///
+/// # Errors
+///
+/// As for [`compile`], plus unknown partial names and include cycles /
+/// excessive nesting.
+pub fn compile_with_includes(
+    source: &str,
+    loader: &dyn IncludeLoader,
+) -> Result<Program, CompileError> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut pos = 0usize;
+    let ctx = Ctx { loader, depth: 0 };
+    let instrs = compile_block(&lines, &mut pos, None, &ctx)?;
+    Ok(Program { instrs })
+}
+
+/// Compile-time context threaded through nested blocks.
+struct Ctx<'a> {
+    loader: &'a dyn IncludeLoader,
+    depth: usize,
+}
+
+const MAX_INCLUDE_DEPTH: usize = 16;
+
+/// `terminator` is `Some(("end", list))`-style expectations for nested
+/// blocks; `None` at top level.
+fn compile_block(
+    lines: &[&str],
+    pos: &mut usize,
+    terminator: Option<&Terminator>,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<Instr>, CompileError> {
+    let mut out = Vec::new();
+    while *pos < lines.len() {
+        let raw = lines[*pos];
+        let line_no = *pos + 1;
+        let trimmed = raw.trim_start();
+        if let Some(cmd) = trimmed.strip_prefix('@') {
+            let cmd = cmd.trim_end();
+            // Comments vanish.
+            if cmd.starts_with('#') {
+                *pos += 1;
+                continue;
+            }
+            let (word, rest) = split_word(cmd);
+            match word {
+                "foreach" => {
+                    *pos += 1;
+                    let (list, if_more, maps) = parse_foreach_args(rest, line_no)?;
+                    let body =
+                        compile_block(lines, pos, Some(&Terminator::End(list.clone())), ctx)?;
+                    out.push(Instr::Foreach { list, if_more, maps, body, line: line_no });
+                }
+                "if" => {
+                    *pos += 1;
+                    let cond = parse_cond(rest, line_no)?;
+                    let then = compile_block(lines, pos, Some(&Terminator::ElseOrFi), ctx)?;
+                    // compile_block stops *at* the terminator line.
+                    let term = lines.get(*pos - 1).map(|l| l.trim_start()).unwrap_or("");
+                    let els = if term.starts_with("@else") {
+                        compile_block(lines, pos, Some(&Terminator::Fi), ctx)?
+                    } else {
+                        Vec::new()
+                    };
+                    out.push(Instr::If { cond, then, els, line: line_no });
+                }
+                "openfile" => {
+                    *pos += 1;
+                    let path = rest.trim();
+                    if path.is_empty() {
+                        return Err(CompileError::new(line_no, "`@openfile` requires a path"));
+                    }
+                    out.push(Instr::OpenFile { path: segments(path, line_no)?, line: line_no });
+                }
+                "include" => {
+                    *pos += 1;
+                    let name = rest.trim();
+                    if name.is_empty() {
+                        return Err(CompileError::new(line_no, "`@include` requires a name"));
+                    }
+                    if ctx.depth >= MAX_INCLUDE_DEPTH {
+                        return Err(CompileError::new(
+                            line_no,
+                            format!("`@include {name}`: nesting too deep (cycle?)"),
+                        ));
+                    }
+                    let source = ctx.loader.load(name).ok_or_else(|| {
+                        CompileError::new(line_no, format!("unknown include `{name}`"))
+                    })?;
+                    let inner_lines: Vec<&str> = source.lines().collect();
+                    let mut inner_pos = 0usize;
+                    let inner_ctx = Ctx { loader: ctx.loader, depth: ctx.depth + 1 };
+                    let instrs = compile_block(&inner_lines, &mut inner_pos, None, &inner_ctx)
+                        .map_err(|e| {
+                            CompileError::new(
+                                line_no,
+                                format!("in include `{name}` line {}: {}", e.line, e.message),
+                            )
+                        })?;
+                    out.extend(instrs);
+                }
+                "end" => {
+                    *pos += 1;
+                    let name = rest.trim();
+                    match terminator {
+                        Some(Terminator::End(expected)) if list_matches(expected, name) => {
+                            return Ok(out);
+                        }
+                        Some(Terminator::End(expected)) => {
+                            return Err(CompileError::new(
+                                line_no,
+                                format!("`@end {name}` does not close `@foreach {expected}`"),
+                            ));
+                        }
+                        _ => {
+                            return Err(CompileError::new(
+                                line_no,
+                                "`@end` without matching `@foreach`",
+                            ));
+                        }
+                    }
+                }
+                "else" => {
+                    *pos += 1;
+                    match terminator {
+                        Some(Terminator::ElseOrFi) => return Ok(out),
+                        _ => {
+                            return Err(CompileError::new(
+                                line_no,
+                                "`@else` without matching `@if`",
+                            ));
+                        }
+                    }
+                }
+                "fi" => {
+                    *pos += 1;
+                    match terminator {
+                        Some(Terminator::ElseOrFi) | Some(Terminator::Fi) => return Ok(out),
+                        _ => {
+                            return Err(CompileError::new(line_no, "`@fi` without matching `@if`"));
+                        }
+                    }
+                }
+                other => {
+                    return Err(CompileError::new(line_no, format!("unknown command `@{other}`")));
+                }
+            }
+        } else {
+            out.push(Instr::Text { segments: segments(raw, line_no)?, line: line_no });
+            *pos += 1;
+        }
+    }
+    match terminator {
+        None => Ok(out),
+        Some(Terminator::End(list)) => Err(CompileError::new(
+            lines.len(),
+            format!("unterminated `@foreach {list}` (missing `@end {list}`)"),
+        )),
+        Some(_) => Err(CompileError::new(lines.len(), "unterminated `@if` (missing `@fi`)")),
+    }
+}
+
+/// The paper's own Fig 9 closes `@foreach paramList` with
+/// `@end parameterList`; the two spellings are aliases, so honour that.
+fn list_matches(expected: &str, actual: &str) -> bool {
+    if expected == actual {
+        return true;
+    }
+    matches!(
+        (expected, actual),
+        ("paramList", "parameterList") | ("parameterList", "paramList")
+    )
+}
+
+enum Terminator {
+    End(String),
+    ElseOrFi,
+    Fi,
+}
+
+fn split_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+type ForeachArgs = (String, Option<String>, Vec<(String, String, String)>);
+
+fn parse_foreach_args(rest: &str, line_no: usize) -> Result<ForeachArgs, CompileError> {
+    let (list, mut rest) = split_word(rest);
+    if list.is_empty() {
+        return Err(CompileError::new(line_no, "`@foreach` requires a list name"));
+    }
+    let mut if_more = None;
+    let mut maps = Vec::new();
+    while !rest.is_empty() {
+        let (opt, r) = split_word(rest);
+        match opt {
+            "-ifMore" => {
+                let (value, r) = take_quoted_or_word(r, line_no)?;
+                if_more = Some(value);
+                rest = r;
+            }
+            "-map" => {
+                let (var, r) = split_word(r);
+                let (func, r) = split_word(r);
+                if var.is_empty() || func.is_empty() {
+                    return Err(CompileError::new(
+                        line_no,
+                        "`-map` requires a variable and a function name",
+                    ));
+                }
+                maps.push((var.to_owned(), var.to_owned(), func.to_owned()));
+                rest = r;
+            }
+            "-mapto" => {
+                let (dst, r) = split_word(r);
+                let (src, r) = split_word(r);
+                let (func, r) = split_word(r);
+                if dst.is_empty() || src.is_empty() || func.is_empty() {
+                    return Err(CompileError::new(
+                        line_no,
+                        "`-mapto` requires a destination, a source and a function name",
+                    ));
+                }
+                maps.push((dst.to_owned(), src.to_owned(), func.to_owned()));
+                rest = r;
+            }
+            other => {
+                return Err(CompileError::new(
+                    line_no,
+                    format!("unknown `@foreach` option `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok((list.to_owned(), if_more, maps))
+}
+
+/// Accepts `'sep'`, `"sep"`, or a bare word.
+fn take_quoted_or_word(s: &str, line_no: usize) -> Result<(String, &str), CompileError> {
+    let s = s.trim_start();
+    for quote in ['\'', '"'] {
+        if let Some(rest) = s.strip_prefix(quote) {
+            let Some(end) = rest.find(quote) else {
+                return Err(CompileError::new(line_no, "unterminated quoted option value"));
+            };
+            return Ok((rest[..end].to_owned(), rest[end + 1..].trim_start()));
+        }
+    }
+    let (w, rest) = split_word(s);
+    if w.is_empty() {
+        return Err(CompileError::new(line_no, "missing option value"));
+    }
+    Ok((w.to_owned(), rest))
+}
+
+fn parse_term(s: &str, line_no: usize) -> Result<Term, CompileError> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix("${") {
+        let Some(name) = inner.strip_suffix('}') else {
+            return Err(CompileError::new(line_no, "unterminated `${` in condition"));
+        };
+        return Ok(Term::Var(name.trim().to_owned()));
+    }
+    for quote in ['"', '\''] {
+        if let Some(rest) = s.strip_prefix(quote) {
+            let Some(inner) = rest.strip_suffix(quote) else {
+                return Err(CompileError::new(line_no, "unterminated string in condition"));
+            };
+            return Ok(Term::Lit(inner.to_owned()));
+        }
+    }
+    Ok(Term::Lit(s.to_owned()))
+}
+
+fn parse_cond(rest: &str, line_no: usize) -> Result<Cond, CompileError> {
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return Err(CompileError::new(line_no, "`@if` requires a condition"));
+    }
+    // `!=` and the paper's typeset `≠` both mean not-equal.
+    for (op, ne) in [("==", false), ("!=", true), ("≠", true)] {
+        if let Some(i) = rest.find(op) {
+            let lhs = parse_term(&rest[..i], line_no)?;
+            let rhs = parse_term(&rest[i + op.len()..], line_no)?;
+            return Ok(if ne { Cond::Ne(lhs, rhs) } else { Cond::Eq(lhs, rhs) });
+        }
+    }
+    Ok(Cond::Truthy(parse_term(rest, line_no)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_lines_become_segments() {
+        let p = compile("class ${name} : ${base} {\n").unwrap();
+        let Instr::Text { segments, line } = &p.instrs[0] else { panic!() };
+        assert_eq!(*line, 1);
+        assert_eq!(
+            segments,
+            &vec![
+                Segment::Lit("class ".into()),
+                Segment::Var("name".into()),
+                Segment::Lit(" : ".into()),
+                Segment::Var("base".into()),
+                Segment::Lit(" {".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn foreach_with_options() {
+        let p = compile(
+            "@foreach inheritedList -ifMore ',' -map inheritedName CPP::MapClassName\n  x\n@end inheritedList\n",
+        )
+        .unwrap();
+        let Instr::Foreach { list, if_more, maps, body, .. } = &p.instrs[0] else { panic!() };
+        assert_eq!(list, "inheritedList");
+        assert_eq!(if_more.as_deref(), Some(","));
+        assert_eq!(
+            maps,
+            &vec![(
+                "inheritedName".to_owned(),
+                "inheritedName".to_owned(),
+                "CPP::MapClassName".to_owned()
+            )]
+        );
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn mapto_defines_a_new_variable() {
+        let p = compile(
+            "@foreach paramList -mapto put paramType Rust::PutOp -map paramType Rust::MapType\nx\n@end paramList\n",
+        )
+        .unwrap();
+        let Instr::Foreach { maps, .. } = &p.instrs[0] else { panic!() };
+        assert_eq!(maps[0], ("put".to_owned(), "paramType".to_owned(), "Rust::PutOp".to_owned()));
+        assert_eq!(
+            maps[1],
+            ("paramType".to_owned(), "paramType".to_owned(), "Rust::MapType".to_owned())
+        );
+        assert!(compile("@foreach l -mapto a b\nx\n@end l\n").is_err(), "missing fn");
+    }
+
+    #[test]
+    fn paper_fig9_paramlist_end_mismatch_is_tolerated() {
+        // The paper's own template closes `@foreach paramList` with
+        // `@end parameterList`; both spellings must interoperate.
+        assert!(compile("@foreach paramList\n@end parameterList\n").is_ok());
+        assert!(compile("@foreach parameterList\n@end paramList\n").is_ok());
+    }
+
+    #[test]
+    fn mismatched_end_is_an_error() {
+        let err = compile("@foreach methodList\n@end attributeList\n").unwrap_err();
+        assert!(err.message.contains("does not close"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unterminated_foreach_is_an_error() {
+        let err = compile("@foreach methodList\nx\n").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn if_else_fi_nesting() {
+        let p = compile("@if ${a} == \"\"\nA\n@else\nB\n@fi\n").unwrap();
+        let Instr::If { cond, then, els, .. } = &p.instrs[0] else { panic!() };
+        assert_eq!(*cond, Cond::Eq(Term::Var("a".into()), Term::Lit("".into())));
+        assert_eq!(then.len(), 1);
+        assert_eq!(els.len(), 1);
+    }
+
+    #[test]
+    fn if_without_else() {
+        let p = compile("@if ${a} != 'x'\nA\n@fi\n").unwrap();
+        let Instr::If { cond, els, .. } = &p.instrs[0] else { panic!() };
+        assert_eq!(*cond, Cond::Ne(Term::Var("a".into()), Term::Lit("x".into())));
+        assert!(els.is_empty());
+    }
+
+    #[test]
+    fn unicode_ne_operator() {
+        let p = compile("@if ${q} ≠ \"readonly\"\nA\n@fi\n").unwrap();
+        let Instr::If { cond, .. } = &p.instrs[0] else { panic!() };
+        assert!(matches!(cond, Cond::Ne(..)));
+    }
+
+    #[test]
+    fn truthy_condition() {
+        let p = compile("@if ${oneway}\nA\n@fi\n").unwrap();
+        let Instr::If { cond, .. } = &p.instrs[0] else { panic!() };
+        assert_eq!(*cond, Cond::Truthy(Term::Var("oneway".into())));
+    }
+
+    #[test]
+    fn openfile_with_substitution() {
+        let p = compile("@openfile ${interfaceName}.hh\n").unwrap();
+        let Instr::OpenFile { path, .. } = &p.instrs[0] else { panic!() };
+        assert_eq!(
+            path,
+            &vec![Segment::Var("interfaceName".into()), Segment::Lit(".hh".into())]
+        );
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let p = compile("@# a comment\nx\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn stray_terminators_are_errors() {
+        assert!(compile("@end methodList\n").is_err());
+        assert!(compile("@else\n").is_err());
+        assert!(compile("@fi\n").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = compile("@frobnicate\n").unwrap_err();
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unterminated_var_is_an_error() {
+        let err = compile("hello ${name\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn nested_foreach_compiles() {
+        let src = "@foreach interfaceList\n@foreach methodList\n${methodName}\n@end methodList\n@end interfaceList\n";
+        let p = compile(src).unwrap();
+        let Instr::Foreach { body, .. } = &p.instrs[0] else { panic!() };
+        assert!(matches!(&body[0], Instr::Foreach { .. }));
+    }
+
+    #[test]
+    fn indented_commands_are_recognized() {
+        let p = compile("  @if ${x}\n  y\n  @fi\n").unwrap();
+        assert!(matches!(&p.instrs[0], Instr::If { .. }));
+    }
+
+    #[test]
+    fn empty_template_is_empty_program() {
+        let p = compile("").unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn include_splices_partial_instructions() {
+        let loader = |name: &str| match name {
+            "banner" => Some("// banner line\n".to_owned()),
+            "methods" => Some(
+                "@foreach methodList\n${methodName}\n@end methodList\n".to_owned(),
+            ),
+            _ => None,
+        };
+        let p = compile_with_includes(
+            "@include banner\n@foreach interfaceList\n@include methods\n@end interfaceList\n",
+            &loader,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2, "{p:?}");
+        let Instr::Foreach { body, .. } = &p.instrs[1] else { panic!() };
+        assert!(matches!(&body[0], Instr::Foreach { list, .. } if list == "methodList"));
+    }
+
+    #[test]
+    fn nested_includes_work() {
+        let loader = |name: &str| match name {
+            "outer" => Some("@include inner\nouter text\n".to_owned()),
+            "inner" => Some("inner text\n".to_owned()),
+            _ => None,
+        };
+        let p = compile_with_includes("@include outer\n", &loader).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn include_cycle_is_detected() {
+        let loader = |name: &str| match name {
+            "a" => Some("@include b\n".to_owned()),
+            "b" => Some("@include a\n".to_owned()),
+            _ => None,
+        };
+        let err = compile_with_includes("@include a\n", &loader).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn unknown_include_is_an_error_with_name() {
+        let err = compile_with_includes("@include nope\n", &|_: &str| None::<String>)
+            .unwrap_err();
+        assert!(err.message.contains("unknown include `nope`"), "{err}");
+        // plain compile() has no loader at all:
+        assert!(compile("@include anything\n").is_err());
+    }
+
+    #[test]
+    fn include_errors_carry_partial_name_and_line() {
+        let loader = |name: &str| {
+            (name == "broken").then(|| "ok line\n@frobnicate\n".to_owned())
+        };
+        let err = compile_with_includes("@include broken\n", &loader).unwrap_err();
+        assert!(err.message.contains("in include `broken` line 2"), "{err}");
+        assert_eq!(err.line, 1, "error points at the @include site");
+    }
+
+    #[test]
+    fn partials_must_be_block_balanced() {
+        let loader = |name: &str| {
+            (name == "half").then(|| "@foreach methodList\n".to_owned())
+        };
+        let err = compile_with_includes("@include half\n", &loader).unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+}

@@ -1,0 +1,106 @@
+//! The map-function registry.
+//!
+//! Templates convert IDL names into target-language names through *map
+//! functions*: "the use of a map makes it possible to convert an IDL name
+//! into one that is suitable in the context of the code that is being
+//! generated, changing `Heidi::A` to `HdA`, for instance" (paper §4.1).
+//!
+//! Functions are registered under namespaced names (`CPP::MapClassName`)
+//! and receive the raw property text (usually a flat name such as
+//! `Heidi_A` or a type descriptor such as `objref:Heidi_S`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A registered map function: property text in, mapped text out.
+pub type MapFn = Arc<dyn Fn(&str) -> String + Send + Sync>;
+
+/// A registry of named map functions, consulted by `-map var Ns::Fn`
+/// options at template run time.
+#[derive(Clone, Default)]
+pub struct MapRegistry {
+    fns: HashMap<String, MapFn>,
+}
+
+impl MapRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MapRegistry::default()
+    }
+
+    /// Registers `func` under `name` (e.g. `"CPP::MapClassName"`),
+    /// replacing any previous registration.
+    pub fn register<F>(&mut self, name: impl Into<String>, func: F)
+    where
+        F: Fn(&str) -> String + Send + Sync + 'static,
+    {
+        self.fns.insert(name.into(), Arc::new(func));
+    }
+
+    /// Looks up a map function.
+    pub fn get(&self, name: &str) -> Option<&MapFn> {
+        self.fns.get(name)
+    }
+
+    /// Applies the named function to `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown function name.
+    pub fn apply(&self, name: &str, input: &str) -> Result<String, String> {
+        match self.fns.get(name) {
+            Some(f) => Ok(f(input)),
+            None => Err(format!("unknown map function `{name}`")),
+        }
+    }
+
+    /// Registered function names, sorted (diagnostic aid).
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.fns.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl fmt::Debug for MapRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapRegistry").field("names", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_apply() {
+        let mut r = MapRegistry::new();
+        r.register("Test::Upper", |s| s.to_uppercase());
+        assert_eq!(r.apply("Test::Upper", "abc").unwrap(), "ABC");
+    }
+
+    #[test]
+    fn unknown_function_reports_name() {
+        let r = MapRegistry::new();
+        let err = r.apply("Nope::F", "x").unwrap_err();
+        assert!(err.contains("Nope::F"));
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut r = MapRegistry::new();
+        r.register("F", |_| "one".to_owned());
+        r.register("F", |_| "two".to_owned());
+        assert_eq!(r.apply("F", "").unwrap(), "two");
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut r = MapRegistry::new();
+        r.register("B::f", |s| s.to_owned());
+        r.register("A::f", |s| s.to_owned());
+        assert_eq!(r.names(), ["A::f", "B::f"]);
+        assert!(format!("{r:?}").contains("A::f"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Template execution: [`Program`] × EST → generated text (step 2 of the
+//! paper's two-step code generation).
+//!
+//! Execution keeps a stack of *frames*, one per active `@foreach`
+//! iteration. Variable lookup walks the stack from the innermost frame
+//! outwards — so a `paramList` body can still reference
+//! `${interfaceName}` three loops up, exactly as Fig 9's template does —
+//! and finally consults the caller-supplied globals.
+
+use crate::error::RunError;
+use crate::program::{Cond, Instr, Program, Segment, Term};
+use crate::registry::MapRegistry;
+use crate::sink::OutputSink;
+use heidl_est::{lists, Est, NodeId};
+use std::collections::HashMap;
+
+/// Runs a compiled template against an EST.
+///
+/// `globals` seed the outermost scope (useful for `${file}`-style values).
+///
+/// ```
+/// use heidl_template::{compile, run, MapRegistry, MemorySink};
+///
+/// let spec = heidl_idl::parse("interface A {}; interface B {};")?;
+/// let est = heidl_est::build(&spec)?;
+/// let program = compile("@foreach interfaceList\nclass ${interfaceName};\n@end interfaceList\n")?;
+/// let mut sink = MemorySink::new();
+/// run(&program, &est, &MapRegistry::new(), &[], &mut sink)?;
+/// assert_eq!(sink.default_output(), "class A;\nclass B;\n");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Unresolvable variables, unknown lists or map functions, missing
+/// properties passed to `-map`, and sink I/O failures are run errors
+/// carrying the template line.
+pub fn run(
+    program: &Program,
+    est: &Est,
+    registry: &MapRegistry,
+    globals: &[(String, String)],
+    sink: &mut dyn OutputSink,
+) -> Result<(), RunError> {
+    let root_overrides: HashMap<String, String> =
+        globals.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let mut runner = Runner {
+        est,
+        registry,
+        frames: vec![Frame { node: est.root(), overrides: root_overrides }],
+    };
+    runner.exec_block(&program.instrs, sink)
+}
+
+struct Frame {
+    node: NodeId,
+    overrides: HashMap<String, String>,
+}
+
+struct Runner<'a> {
+    est: &'a Est,
+    registry: &'a MapRegistry,
+    frames: Vec<Frame>,
+}
+
+impl Runner<'_> {
+    fn lookup(&self, name: &str) -> Option<String> {
+        for frame in self.frames.iter().rev() {
+            if let Some(v) = frame.overrides.get(name) {
+                return Some(v.clone());
+            }
+            if let Some(v) = self.est.prop(frame.node, name) {
+                return Some(v.as_text());
+            }
+        }
+        None
+    }
+
+    fn substitute(&self, segments: &[Segment], line: usize) -> Result<String, RunError> {
+        let mut out = String::new();
+        for seg in segments {
+            match seg {
+                Segment::Lit(s) => out.push_str(s),
+                Segment::Var(name) => {
+                    let v = self.lookup(name).ok_or_else(|| {
+                        RunError::new(line, format!("unresolved variable `${{{name}}}`"))
+                    })?;
+                    out.push_str(&v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn term_value(&self, term: &Term, line: usize) -> Result<String, RunError> {
+        match term {
+            Term::Lit(s) => Ok(s.clone()),
+            Term::Var(name) => self.lookup(name).ok_or_else(|| {
+                RunError::new(line, format!("unresolved variable `${{{name}}}` in condition"))
+            }),
+        }
+    }
+
+    fn eval_cond(&self, cond: &Cond, line: usize) -> Result<bool, RunError> {
+        Ok(match cond {
+            Cond::Truthy(t) => {
+                let v = self.term_value(t, line)?;
+                !v.is_empty() && v != "false" && v != "0"
+            }
+            Cond::Eq(a, b) => self.term_value(a, line)? == self.term_value(b, line)?,
+            Cond::Ne(a, b) => self.term_value(a, line)? != self.term_value(b, line)?,
+        })
+    }
+
+    fn exec_block(&mut self, instrs: &[Instr], sink: &mut dyn OutputSink) -> Result<(), RunError> {
+        for instr in instrs {
+            match instr {
+                Instr::Text { segments, line } => {
+                    let text = self.substitute(segments, *line)?;
+                    sink.write(&text)
+                        .and_then(|()| sink.write("\n"))
+                        .map_err(|e| RunError::new(*line, format!("output error: {e}")))?;
+                }
+                Instr::OpenFile { path, line } => {
+                    let path = self.substitute(path, *line)?;
+                    sink.open_file(&path)
+                        .map_err(|e| RunError::new(*line, format!("cannot open `{path}`: {e}")))?;
+                }
+                Instr::If { cond, then, els, line } => {
+                    if self.eval_cond(cond, *line)? {
+                        self.exec_block(then, sink)?;
+                    } else {
+                        self.exec_block(els, sink)?;
+                    }
+                }
+                Instr::Foreach { list, if_more, maps, body, line } => {
+                    self.exec_foreach(list, if_more.as_deref(), maps, body, *line, sink)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_foreach(
+        &mut self,
+        list: &str,
+        if_more: Option<&str>,
+        maps: &[(String, String, String)],
+        body: &[Instr],
+        line: usize,
+        sink: &mut dyn OutputSink,
+    ) -> Result<(), RunError> {
+        let kind = lists::kind_for_list(list)
+            .ok_or_else(|| RunError::new(line, format!("unknown list `{list}`")))?;
+        let current = self.frames.last().expect("root frame always present").node;
+        let current_kind = self.est.node(current).kind.clone();
+        // Container lists iterated from a container node search through
+        // nested modules; member lists only look at direct children.
+        let items = if (current_kind == "Root" || current_kind == "Module")
+            && lists::is_container_list(&kind)
+        {
+            self.est.descendants_of_kind(current, &kind)
+        } else {
+            self.est.children_of_kind(current, &kind)
+        };
+        let count = items.len();
+        for (i, node) in items.into_iter().enumerate() {
+            let mut overrides = HashMap::new();
+            if let Some(sep) = if_more {
+                let v = if i + 1 < count { sep } else { "" };
+                overrides.insert("ifMore".to_owned(), v.to_owned());
+            }
+            overrides.insert("loopIndex".to_owned(), i.to_string());
+            overrides.insert("loopCount".to_owned(), count.to_string());
+            for (dst, src, func) in maps {
+                let raw = self.est.prop(node, src).ok_or_else(|| {
+                    RunError::new(
+                        line,
+                        format!("node `{}` has no property `{src}` to map", self.est.node(node).name),
+                    )
+                })?;
+                let mapped = self
+                    .registry
+                    .apply(func, &raw.as_text())
+                    .map_err(|m| RunError::new(line, m))?;
+                overrides.insert(dst.clone(), mapped);
+            }
+            self.frames.push(Frame { node, overrides });
+            let r = self.exec_block(body, sink);
+            self.frames.pop();
+            r?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::compile;
+    use crate::sink::MemorySink;
+
+    fn fig3_est() -> Est {
+        heidl_est::build(&heidl_idl::parse(heidl_idl::FIG3_IDL).unwrap()).unwrap()
+    }
+
+    fn render(template: &str, est: &Est, registry: &MapRegistry) -> String {
+        let p = compile(template).unwrap();
+        let mut sink = MemorySink::new();
+        run(&p, est, registry, &[], &mut sink).unwrap();
+        sink.default_output().to_owned()
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        let est = fig3_est();
+        assert_eq!(render("hello\nworld\n", &est, &MapRegistry::new()), "hello\nworld\n");
+    }
+
+    #[test]
+    fn foreach_iterates_methods_grouped() {
+        let est = fig3_est();
+        let out = render(
+            "@foreach interfaceList\n@foreach methodList\n${methodName}\n@end methodList\n@end interfaceList\n",
+            &est,
+            &MapRegistry::new(),
+        );
+        assert_eq!(out, "f\ng\np\nq\ns\nt\n");
+    }
+
+    #[test]
+    fn outer_variables_visible_in_inner_loops() {
+        let est = fig3_est();
+        let out = render(
+            "@foreach interfaceList\n@foreach methodList\n${interfaceName}::${methodName}\n@end methodList\n@end interfaceList\n",
+            &est,
+            &MapRegistry::new(),
+        );
+        assert!(out.contains("Heidi::A::f"), "{out}");
+    }
+
+    #[test]
+    fn if_more_separator() {
+        let src = "interface C : A, B {}; interface A {}; interface B {};";
+        let est = heidl_est::build(&heidl_idl::parse(src).unwrap()).unwrap();
+        let out = render(
+            "@foreach interfaceList\n@foreach inheritedList -ifMore ','\n${inheritedName}${ifMore}\n@end inheritedList\n@end interfaceList\n",
+            &est,
+            &MapRegistry::new(),
+        );
+        assert_eq!(out, "A,\nB\n");
+    }
+
+    #[test]
+    fn map_function_applies_per_iteration() {
+        let est = fig3_est();
+        let mut reg = MapRegistry::new();
+        reg.register("T::Hd", |s| {
+            format!("Hd{}", s.rsplit("::").next().unwrap_or(s))
+        });
+        let out = render(
+            "@foreach interfaceList -map interfaceName T::Hd\nclass ${interfaceName};\n@end interfaceList\n",
+            &est,
+            &reg,
+        );
+        assert_eq!(out, "class HdA;\n");
+    }
+
+    #[test]
+    fn unknown_map_function_is_a_run_error() {
+        let est = fig3_est();
+        let p = compile("@foreach interfaceList -map interfaceName No::Fn\nx\n@end interfaceList\n")
+            .unwrap();
+        let mut sink = MemorySink::new();
+        let err = run(&p, &est, &MapRegistry::new(), &[], &mut sink).unwrap_err();
+        assert!(err.message.contains("No::Fn"), "{err}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn if_eq_on_default_param() {
+        let est = fig3_est();
+        let out = render(
+            concat!(
+                "@foreach interfaceList\n@foreach methodList\n@foreach paramList\n",
+                "@if ${defaultParam} == \"\"\n${paramName}:none\n@else\n${paramName}:${defaultParam}\n@fi\n",
+                "@end paramList\n@end methodList\n@end interfaceList\n"
+            ),
+            &est,
+            &MapRegistry::new(),
+        );
+        assert!(out.contains("a:none"), "{out}");
+        assert!(out.contains("l:0"), "{out}");
+        assert!(out.contains("b:TRUE"), "{out}");
+        assert!(out.contains("s:enum:Heidi::Start"), "{out}");
+    }
+
+    #[test]
+    fn truthy_condition_on_bool_prop() {
+        let src = "interface I { oneway void ping(); void call(); };";
+        let est = heidl_est::build(&heidl_idl::parse(src).unwrap()).unwrap();
+        let out = render(
+            concat!(
+                "@foreach interfaceList\n@foreach methodList\n",
+                "@if ${oneway}\n${methodName} is oneway\n@fi\n",
+                "@end methodList\n@end interfaceList\n"
+            ),
+            &est,
+            &MapRegistry::new(),
+        );
+        assert_eq!(out, "ping is oneway\n");
+    }
+
+    #[test]
+    fn openfile_per_interface() {
+        let src = "interface A {}; interface B {};";
+        let est = heidl_est::build(&heidl_idl::parse(src).unwrap()).unwrap();
+        let p = compile(
+            "@foreach interfaceList\n@openfile ${interfaceName}.hh\nclass ${interfaceName};\n@end interfaceList\n",
+        )
+        .unwrap();
+        let mut sink = MemorySink::new();
+        run(&p, &est, &MapRegistry::new(), &[], &mut sink).unwrap();
+        assert_eq!(sink.file("A.hh"), Some("class A;\n"));
+        assert_eq!(sink.file("B.hh"), Some("class B;\n"));
+    }
+
+    #[test]
+    fn globals_resolve_at_outermost_scope() {
+        let est = fig3_est();
+        let p = compile("generated from ${file}\n").unwrap();
+        let mut sink = MemorySink::new();
+        run(&p, &est, &MapRegistry::new(), &[("file".to_owned(), "A.idl".to_owned())], &mut sink)
+            .unwrap();
+        assert_eq!(sink.default_output(), "generated from A.idl\n");
+    }
+
+    #[test]
+    fn unresolved_variable_is_a_run_error() {
+        let est = fig3_est();
+        let p = compile("x\n${nope}\n").unwrap();
+        let mut sink = MemorySink::new();
+        let err = run(&p, &est, &MapRegistry::new(), &[], &mut sink).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("nope"));
+    }
+
+    #[test]
+    fn unknown_list_is_a_run_error() {
+        let est = fig3_est();
+        let p = compile("@foreach bogus\nx\n@end bogus\n").unwrap();
+        let mut sink = MemorySink::new();
+        let err = run(&p, &est, &MapRegistry::new(), &[], &mut sink).unwrap_err();
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn loop_index_and_count() {
+        let src = "interface A {}; interface B {};";
+        let est = heidl_est::build(&heidl_idl::parse(src).unwrap()).unwrap();
+        let out = render(
+            "@foreach interfaceList\n${loopIndex}/${loopCount} ${interfaceName}\n@end interfaceList\n",
+            &est,
+            &MapRegistry::new(),
+        );
+        assert_eq!(out, "0/2 A\n1/2 B\n");
+    }
+
+    #[test]
+    fn interfaces_found_through_modules() {
+        let est = fig3_est();
+        // Fig 3's interface A lives inside module Heidi; a top-level
+        // interfaceList must still reach it.
+        let out = render(
+            "@foreach interfaceList\n${scopedName}\n@end interfaceList\n",
+            &est,
+            &MapRegistry::new(),
+        );
+        assert_eq!(out, "Heidi::A\n");
+    }
+
+    #[test]
+    fn attribute_qualifier_condition_paper_style() {
+        let est = fig3_est();
+        // Fig 9: `@if ${attributeQualifier} ≠ "readonly"` suppresses setters.
+        let out = render(
+            concat!(
+                "@foreach interfaceList\n@foreach attributeList\n",
+                "Get${attributeName}\n",
+                "@if ${attributeQualifier} ≠ \"readonly\"\nSet${attributeName}\n@fi\n",
+                "@end attributeList\n@end interfaceList\n"
+            ),
+            &est,
+            &MapRegistry::new(),
+        );
+        assert_eq!(out, "Getbutton\n", "readonly button must not get a setter");
+    }
+
+    #[test]
+    fn missing_map_property_is_a_run_error() {
+        let est = fig3_est();
+        let p =
+            compile("@foreach interfaceList -map nonProp F\nx\n@end interfaceList\n").unwrap();
+        let mut reg = MapRegistry::new();
+        reg.register("F", |s| s.to_owned());
+        let mut sink = MemorySink::new();
+        let err = run(&p, &est, &reg, &[], &mut sink).unwrap_err();
+        assert!(err.message.contains("nonProp"), "{err}");
+    }
+}

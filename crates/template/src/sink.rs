@@ -1,0 +1,204 @@
+//! Output sinks for generated code.
+//!
+//! A template may emit to a default stream and, via `@openfile`, switch to
+//! named files (Fig 9 opens `${interfaceName}.hh` per interface). Sinks
+//! abstract where that output lands: in memory for tests and library use,
+//! on disk for the `heidlc` CLI.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Receives generated output.
+pub trait OutputSink {
+    /// Switches subsequent writes to the named file.
+    ///
+    /// # Errors
+    ///
+    /// Sinks backed by real I/O may fail to create the file.
+    fn open_file(&mut self, path: &str) -> io::Result<()>;
+
+    /// Appends text to the current output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures for disk-backed sinks.
+    fn write(&mut self, text: &str) -> io::Result<()>;
+}
+
+/// Collects generated files in memory.
+///
+/// Output written before any `@openfile` lands in the *default* buffer,
+/// retrievable via [`MemorySink::default_output`].
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    default: String,
+    files: BTreeMap<String, String>,
+    current: Option<String>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Output produced before the first `@openfile`.
+    pub fn default_output(&self) -> &str {
+        &self.default
+    }
+
+    /// The named files produced, sorted by path.
+    pub fn files(&self) -> &BTreeMap<String, String> {
+        &self.files
+    }
+
+    /// Content of one file.
+    pub fn file(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// Consumes the sink, returning `(default_output, files)`.
+    pub fn into_parts(self) -> (String, BTreeMap<String, String>) {
+        (self.default, self.files)
+    }
+}
+
+impl OutputSink for MemorySink {
+    fn open_file(&mut self, path: &str) -> io::Result<()> {
+        self.current = Some(path.to_owned());
+        self.files.entry(path.to_owned()).or_default();
+        Ok(())
+    }
+
+    fn write(&mut self, text: &str) -> io::Result<()> {
+        match &self.current {
+            Some(path) => {
+                self.files.get_mut(path).expect("current file exists").push_str(text);
+            }
+            None => self.default.push_str(text),
+        }
+        Ok(())
+    }
+}
+
+/// Writes generated files under a root directory.
+///
+/// Paths from `@openfile` are joined to the root; absolute or
+/// parent-escaping paths are rejected, so a hostile template cannot write
+/// outside the output directory.
+#[derive(Debug)]
+pub struct DirSink {
+    root: PathBuf,
+    current: Option<std::fs::File>,
+    written: Vec<PathBuf>,
+}
+
+impl DirSink {
+    /// Creates a sink rooted at `root`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirSink { root, current: None, written: Vec::new() })
+    }
+
+    /// Paths written so far, relative to the root.
+    pub fn written(&self) -> &[PathBuf] {
+        &self.written
+    }
+}
+
+impl OutputSink for DirSink {
+    fn open_file(&mut self, path: &str) -> io::Result<()> {
+        let rel = Path::new(path);
+        if rel.is_absolute()
+            || rel.components().any(|c| matches!(c, std::path::Component::ParentDir))
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("refusing to write outside the output directory: {path}"),
+            ));
+        }
+        let full = self.root.join(rel);
+        if let Some(parent) = full.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        self.current = Some(std::fs::File::create(&full)?);
+        self.written.push(rel.to_owned());
+        Ok(())
+    }
+
+    fn write(&mut self, text: &str) -> io::Result<()> {
+        use std::io::Write as _;
+        match &mut self.current {
+            Some(f) => f.write_all(text.as_bytes()),
+            None => Ok(()), // default output is discarded on disk sinks
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_default_then_files() {
+        let mut s = MemorySink::new();
+        s.write("preamble\n").unwrap();
+        s.open_file("a.hh").unwrap();
+        s.write("class A;\n").unwrap();
+        s.open_file("b.hh").unwrap();
+        s.write("class B;\n").unwrap();
+        assert_eq!(s.default_output(), "preamble\n");
+        assert_eq!(s.file("a.hh"), Some("class A;\n"));
+        assert_eq!(s.file("b.hh"), Some("class B;\n"));
+        assert_eq!(s.files().len(), 2);
+    }
+
+    #[test]
+    fn memory_sink_reopen_appends() {
+        let mut s = MemorySink::new();
+        s.open_file("x").unwrap();
+        s.write("1").unwrap();
+        s.open_file("x").unwrap();
+        s.write("2").unwrap();
+        assert_eq!(s.file("x"), Some("12"));
+    }
+
+    #[test]
+    fn memory_sink_into_parts() {
+        let mut s = MemorySink::new();
+        s.write("d").unwrap();
+        s.open_file("f").unwrap();
+        s.write("c").unwrap();
+        let (d, files) = s.into_parts();
+        assert_eq!(d, "d");
+        assert_eq!(files["f"], "c");
+    }
+
+    #[test]
+    fn dir_sink_writes_files() {
+        let dir = std::env::temp_dir().join(format!("heidl-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = DirSink::new(&dir).unwrap();
+        s.write("ignored default\n").unwrap();
+        s.open_file("sub/a.hh").unwrap();
+        s.write("content").unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("sub/a.hh")).unwrap(), "content");
+        assert_eq!(s.written(), [PathBuf::from("sub/a.hh")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_sink_rejects_escapes() {
+        let dir = std::env::temp_dir().join(format!("heidl-sink2-{}", std::process::id()));
+        let mut s = DirSink::new(&dir).unwrap();
+        assert!(s.open_file("../evil").is_err());
+        assert!(s.open_file("/abs/evil").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,369 @@
+//! CDR-style binary codec: the "general-purpose inter-ORB protocol"
+//! comparator.
+//!
+//! The paper contrasts HeidiRMI's simple text protocol with standard
+//! protocols such as IIOP that are "designed for generality" (§2). This
+//! module implements the CDR essentials that give IIOP its shape — natural
+//! alignment, little-endian primitive layout with an endianness flag in the
+//! message header, length-prefixed NUL-terminated strings — so benchmarks
+//! (E2) compare against a faithful-in-shape stand-in rather than a straw
+//! man.
+//!
+//! Deviations from full CDR, chosen deliberately: `char` is transmitted as
+//! a 32-bit Unicode scalar (CDR's 1-byte char cannot carry the Rust `char`
+//! range), and we always emit little-endian (the receiving decoder honours
+//! only that flag value).
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::{WireError, WireResult};
+
+/// Hard sanity bound on decoded string/sequence byte lengths, to stop a
+/// corrupt length prefix from allocating gigabytes.
+const MAX_LEN: u32 = 64 * 1024 * 1024;
+
+/// Encoder for the CDR binary protocol.
+///
+/// ```
+/// use heidl_wire::{CdrEncoder, Encoder};
+///
+/// let mut enc = CdrEncoder::new();
+/// enc.put_octet(1);
+/// enc.put_long(2); // aligned to 4: three pad bytes inserted
+/// assert_eq!(enc.finish(), vec![1, 0, 0, 0, 2, 0, 0, 0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct CdrEncoder {
+    buf: Vec<u8>,
+    depth: u32,
+}
+
+impl CdrEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        CdrEncoder::default()
+    }
+
+    fn align(&mut self, n: usize) {
+        let rem = self.buf.len() % n;
+        if rem != 0 {
+            self.buf.resize(self.buf.len() + (n - rem), 0);
+        }
+    }
+}
+
+impl Encoder for CdrEncoder {
+    fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn put_octet(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_char(&mut self, v: char) {
+        self.align(4);
+        self.buf.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+
+    fn put_short(&mut self, v: i16) {
+        self.align(2);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_ushort(&mut self, v: u16) {
+        self.align(2);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_long(&mut self, v: i32) {
+        self.align(4);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_ulong(&mut self, v: u32) {
+        self.align(4);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_longlong(&mut self, v: i64) {
+        self.align(8);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_ulonglong(&mut self, v: u64) {
+        self.align(8);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_float(&mut self, v: f32) {
+        self.align(4);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_double(&mut self, v: f64) {
+        self.align(8);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_string(&mut self, v: &str) {
+        // CDR: ulong byte count including the terminating NUL, then bytes.
+        let bytes = v.as_bytes();
+        self.put_ulong(bytes.len() as u32 + 1);
+        self.buf.extend_from_slice(bytes);
+        self.buf.push(0);
+    }
+
+    fn put_len(&mut self, n: u32) {
+        self.put_ulong(n);
+    }
+
+    fn begin(&mut self) {
+        // CDR composites are self-delimiting; only nesting is tracked.
+        self.depth += 1;
+    }
+
+    fn end(&mut self) {
+        assert!(self.depth > 0, "end() without matching begin() — stub generator bug");
+        self.depth -= 1;
+    }
+
+    fn finish(&mut self) -> Vec<u8> {
+        assert_eq!(self.depth, 0, "finish() with {} unclosed begin()s", self.depth);
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Decoder for the CDR binary protocol. Owns its input.
+#[derive(Debug)]
+pub struct CdrDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    depth: u32,
+}
+
+impl CdrDecoder {
+    /// Wraps a message body for decoding.
+    pub fn new(buf: Vec<u8>) -> Self {
+        CdrDecoder { buf, pos: 0, depth: 0 }
+    }
+
+    fn align(&mut self, n: usize) {
+        let rem = self.pos % n;
+        if rem != 0 {
+            self.pos += n - rem;
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> WireResult<&[u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::UnexpectedEnd { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty, $align:expr, $what:expr) => {{
+        $self.align($align);
+        let bytes = $self.take(std::mem::size_of::<$ty>(), $what)?;
+        Ok(<$ty>::from_le_bytes(bytes.try_into().expect("exact size slice")))
+    }};
+}
+
+impl Decoder for CdrDecoder {
+    fn get_bool(&mut self) -> WireResult<bool> {
+        match self.take(1, "boolean")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Malformed {
+                what: "boolean",
+                detail: format!("expected 0 or 1, got {other}"),
+            }),
+        }
+    }
+
+    fn get_octet(&mut self) -> WireResult<u8> {
+        Ok(self.take(1, "octet")?[0])
+    }
+
+    fn get_char(&mut self) -> WireResult<char> {
+        self.align(4);
+        let bytes = self.take(4, "char")?;
+        let v = u32::from_le_bytes(bytes.try_into().expect("exact size slice"));
+        char::from_u32(v).ok_or_else(|| WireError::Malformed {
+            what: "char",
+            detail: format!("invalid scalar value {v:#x}"),
+        })
+    }
+
+    fn get_short(&mut self) -> WireResult<i16> {
+        get_le!(self, i16, 2, "short")
+    }
+
+    fn get_ushort(&mut self) -> WireResult<u16> {
+        get_le!(self, u16, 2, "unsigned short")
+    }
+
+    fn get_long(&mut self) -> WireResult<i32> {
+        get_le!(self, i32, 4, "long")
+    }
+
+    fn get_ulong(&mut self) -> WireResult<u32> {
+        get_le!(self, u32, 4, "unsigned long")
+    }
+
+    fn get_longlong(&mut self) -> WireResult<i64> {
+        get_le!(self, i64, 8, "long long")
+    }
+
+    fn get_ulonglong(&mut self) -> WireResult<u64> {
+        get_le!(self, u64, 8, "unsigned long long")
+    }
+
+    fn get_float(&mut self) -> WireResult<f32> {
+        get_le!(self, f32, 4, "float")
+    }
+
+    fn get_double(&mut self) -> WireResult<f64> {
+        get_le!(self, f64, 8, "double")
+    }
+
+    fn get_string(&mut self) -> WireResult<String> {
+        let len = self.get_ulong()?;
+        if len == 0 || len > MAX_LEN {
+            return Err(WireError::Bounds { what: "string", len: len.into(), max: MAX_LEN.into() });
+        }
+        let bytes = self.take(len as usize, "string body")?;
+        let (body, nul) = bytes.split_at(len as usize - 1);
+        if nul != [0] {
+            return Err(WireError::Malformed {
+                what: "string",
+                detail: "missing NUL terminator".into(),
+            });
+        }
+        String::from_utf8(body.to_vec()).map_err(|e| WireError::Malformed {
+            what: "string",
+            detail: format!("not valid UTF-8: {e}"),
+        })
+    }
+
+    fn get_len(&mut self) -> WireResult<u32> {
+        let n = self.get_ulong()?;
+        if n > MAX_LEN {
+            return Err(WireError::Bounds {
+                what: "sequence",
+                len: n.into(),
+                max: MAX_LEN.into(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn begin(&mut self) -> WireResult<()> {
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn end(&mut self) -> WireResult<()> {
+        if self.depth == 0 {
+            return Err(WireError::Nesting { detail: "end without begin".into() });
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_roundtrip() {
+        let mut enc = CdrEncoder::new();
+        crate::codec::conformance::roundtrip_all(&mut enc, |bytes| {
+            Box::new(CdrDecoder::new(bytes))
+        });
+    }
+
+    #[test]
+    fn alignment_matches_cdr_rules() {
+        let mut enc = CdrEncoder::new();
+        enc.put_octet(1);
+        enc.put_short(2); // aligns to 2
+        enc.put_octet(3);
+        enc.put_double(4.0); // aligns to 8
+        let bytes = enc.finish();
+        assert_eq!(&bytes[..2], &[1, 0], "one pad byte before short");
+        assert_eq!(bytes.len(), 2 + 2 + 1 + 3 + 8, "three pad bytes before double");
+    }
+
+    #[test]
+    fn string_layout_is_len_body_nul() {
+        let mut enc = CdrEncoder::new();
+        enc.put_string("hi");
+        let bytes = enc.finish();
+        assert_eq!(bytes, vec![3, 0, 0, 0, b'h', b'i', 0]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut dec = CdrDecoder::new(vec![1, 2]);
+        assert!(matches!(dec.get_long(), Err(WireError::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn bad_bool_byte_errors() {
+        let mut dec = CdrDecoder::new(vec![7]);
+        assert!(matches!(dec.get_bool(), Err(WireError::Malformed { what: "boolean", .. })));
+    }
+
+    #[test]
+    fn corrupt_string_length_is_bounded() {
+        let mut enc = CdrEncoder::new();
+        enc.put_ulong(u32::MAX); // absurd length prefix
+        let mut dec = CdrDecoder::new(enc.finish());
+        assert!(matches!(dec.get_string(), Err(WireError::Bounds { .. })));
+    }
+
+    #[test]
+    fn string_without_nul_is_malformed() {
+        // length 3, body "abc" (no NUL)
+        let mut dec = CdrDecoder::new(vec![3, 0, 0, 0, b'a', b'b', b'c']);
+        assert!(matches!(dec.get_string(), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    fn invalid_char_scalar_is_malformed() {
+        let mut dec = CdrDecoder::new(0xD800u32.to_le_bytes().to_vec());
+        assert!(dec.get_char().is_err());
+    }
+
+    #[test]
+    fn decoder_end_without_begin_errors() {
+        let mut dec = CdrDecoder::new(vec![]);
+        assert!(dec.end().is_err());
+        dec.begin().unwrap();
+        assert!(dec.end().is_ok());
+    }
+
+    #[test]
+    fn encoder_reusable_after_finish() {
+        let mut enc = CdrEncoder::new();
+        enc.put_octet(9);
+        assert_eq!(enc.finish(), vec![9]);
+        enc.put_octet(8);
+        assert_eq!(enc.finish(), vec![8]);
+    }
+
+    #[test]
+    fn non_utf8_string_body_is_malformed() {
+        let mut dec = CdrDecoder::new(vec![3, 0, 0, 0, 0xFF, 0xFE, 0]);
+        assert!(matches!(dec.get_string(), Err(WireError::Malformed { what: "string", .. })));
+    }
+}

@@ -1,0 +1,215 @@
+//! Codec traits: what a `Call` object uses to marshal and unmarshal.
+//!
+//! The paper (§3.1): *"The `Call` object provides the functions for
+//! marshaling and unmarshaling all primitive data types, as well as
+//! additional `begin` and `end` functions that permit structuring of the
+//! call request so that such composite data types as structs or sequences
+//! can be easily represented."*
+//!
+//! Both the text protocol and the CDR binary protocol implement
+//! [`Encoder`]/[`Decoder`], so generated stubs and skeletons are protocol
+//! independent — the paper's "abstract interface to the ORB".
+
+use crate::error::WireResult;
+
+/// Marshals primitive values and structure markers into a message body.
+///
+/// Implementations are append-only; [`Encoder::finish`] takes the bytes.
+pub trait Encoder: Send {
+    /// Appends a boolean.
+    fn put_bool(&mut self, v: bool);
+    /// Appends an octet (raw byte).
+    fn put_octet(&mut self, v: u8);
+    /// Appends a character.
+    fn put_char(&mut self, v: char);
+    /// Appends a 16-bit signed integer.
+    fn put_short(&mut self, v: i16);
+    /// Appends a 16-bit unsigned integer.
+    fn put_ushort(&mut self, v: u16);
+    /// Appends a 32-bit signed integer (IDL `long`).
+    fn put_long(&mut self, v: i32);
+    /// Appends a 32-bit unsigned integer.
+    fn put_ulong(&mut self, v: u32);
+    /// Appends a 64-bit signed integer.
+    fn put_longlong(&mut self, v: i64);
+    /// Appends a 64-bit unsigned integer.
+    fn put_ulonglong(&mut self, v: u64);
+    /// Appends a 32-bit float.
+    fn put_float(&mut self, v: f32);
+    /// Appends a 64-bit float.
+    fn put_double(&mut self, v: f64);
+    /// Appends a string.
+    fn put_string(&mut self, v: &str);
+    /// Appends a sequence length prefix.
+    fn put_len(&mut self, n: u32);
+    /// Opens a composite value (struct, sequence body, call arguments).
+    fn begin(&mut self);
+    /// Closes the innermost composite value.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on `end` without matching `begin` — that is a
+    /// stub-generator bug, not a runtime condition.
+    fn end(&mut self);
+    /// Completes the message and returns its bytes, leaving the encoder
+    /// empty and reusable.
+    fn finish(&mut self) -> Vec<u8>;
+}
+
+/// Unmarshals values written by the matching [`Encoder`].
+///
+/// Every getter validates its input and fails with a
+/// [`WireError`](crate::WireError) rather than panicking: bytes come from
+/// the network.
+pub trait Decoder: Send {
+    /// Reads a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input (as do all getters).
+    fn get_bool(&mut self) -> WireResult<bool>;
+    /// Reads an octet.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_octet(&mut self) -> WireResult<u8>;
+    /// Reads a character.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_char(&mut self) -> WireResult<char>;
+    /// Reads a 16-bit signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_short(&mut self) -> WireResult<i16>;
+    /// Reads a 16-bit unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_ushort(&mut self) -> WireResult<u16>;
+    /// Reads a 32-bit signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_long(&mut self) -> WireResult<i32>;
+    /// Reads a 32-bit unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_ulong(&mut self) -> WireResult<u32>;
+    /// Reads a 64-bit signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_longlong(&mut self) -> WireResult<i64>;
+    /// Reads a 64-bit unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_ulonglong(&mut self) -> WireResult<u64>;
+    /// Reads a 32-bit float.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_float(&mut self) -> WireResult<f32>;
+    /// Reads a 64-bit float.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_double(&mut self) -> WireResult<f64>;
+    /// Reads a string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_string(&mut self) -> WireResult<String>;
+    /// Reads a sequence length prefix.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn get_len(&mut self) -> WireResult<u32>;
+    /// Consumes a composite-open marker.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the next token is not a `begin`.
+    fn begin(&mut self) -> WireResult<()>;
+    /// Consumes a composite-close marker.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the next token is not an `end`.
+    fn end(&mut self) -> WireResult<()>;
+    /// True when all input has been consumed.
+    fn at_end(&self) -> bool;
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! A protocol-agnostic round-trip exercise shared by the text and CDR
+    //! codec tests.
+    use super::*;
+
+    pub(crate) fn roundtrip_all(enc: &mut dyn Encoder, mk_dec: impl Fn(Vec<u8>) -> Box<dyn Decoder>) {
+        enc.put_bool(true);
+        enc.put_bool(false);
+        enc.put_octet(0xAB);
+        enc.put_char('x');
+        enc.put_char('\n');
+        enc.put_short(-12345);
+        enc.put_ushort(54321);
+        enc.put_long(-7);
+        enc.put_ulong(4_000_000_000);
+        enc.put_longlong(i64::MIN);
+        enc.put_ulonglong(u64::MAX);
+        enc.put_float(1.5);
+        enc.put_double(-0.25);
+        enc.put_string("hello world \"quoted\" \\ line\nbreak");
+        enc.put_string("");
+        enc.put_len(3);
+        enc.begin();
+        enc.put_long(1);
+        enc.begin();
+        enc.put_string("nested");
+        enc.end();
+        enc.end();
+        let bytes = enc.finish();
+
+        let mut dec = mk_dec(bytes);
+        assert!(dec.get_bool().unwrap());
+        assert!(!dec.get_bool().unwrap());
+        assert_eq!(dec.get_octet().unwrap(), 0xAB);
+        assert_eq!(dec.get_char().unwrap(), 'x');
+        assert_eq!(dec.get_char().unwrap(), '\n');
+        assert_eq!(dec.get_short().unwrap(), -12345);
+        assert_eq!(dec.get_ushort().unwrap(), 54321);
+        assert_eq!(dec.get_long().unwrap(), -7);
+        assert_eq!(dec.get_ulong().unwrap(), 4_000_000_000);
+        assert_eq!(dec.get_longlong().unwrap(), i64::MIN);
+        assert_eq!(dec.get_ulonglong().unwrap(), u64::MAX);
+        assert_eq!(dec.get_float().unwrap(), 1.5);
+        assert_eq!(dec.get_double().unwrap(), -0.25);
+        assert_eq!(dec.get_string().unwrap(), "hello world \"quoted\" \\ line\nbreak");
+        assert_eq!(dec.get_string().unwrap(), "");
+        assert_eq!(dec.get_len().unwrap(), 3);
+        dec.begin().unwrap();
+        assert_eq!(dec.get_long().unwrap(), 1);
+        dec.begin().unwrap();
+        assert_eq!(dec.get_string().unwrap(), "nested");
+        dec.end().unwrap();
+        dec.end().unwrap();
+        assert!(dec.at_end());
+    }
+}

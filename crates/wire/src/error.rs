@@ -1,0 +1,72 @@
+//! Wire protocol errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while encoding or decoding wire data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The decoder ran out of input.
+    UnexpectedEnd {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A token or field had the wrong form.
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+        /// Detail message.
+        detail: String,
+    },
+    /// A `begin`/`end` structure nesting violation.
+    Nesting {
+        /// Detail message.
+        detail: String,
+    },
+    /// A bounded value exceeded its bound, or a length prefix was absurd.
+    Bounds {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending length.
+        len: u64,
+        /// The maximum allowed.
+        max: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd { what } => {
+                write!(f, "unexpected end of input while decoding {what}")
+            }
+            WireError::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
+            WireError::Nesting { detail } => write!(f, "structure nesting error: {detail}"),
+            WireError::Bounds { what, len, max } => {
+                write!(f, "{what} length {len} exceeds bound {max}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Convenience alias for wire results.
+pub type WireResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = WireError::UnexpectedEnd { what: "long" };
+        assert_eq!(e.to_string(), "unexpected end of input while decoding long");
+        let e = WireError::Bounds { what: "string", len: 10, max: 4 };
+        assert!(e.to_string().contains("exceeds bound"));
+        let e = WireError::Malformed { what: "boolean", detail: "got `2`".into() };
+        assert!(e.to_string().contains("boolean"));
+        let e = WireError::Nesting { detail: "end without begin".into() };
+        assert!(e.to_string().contains("nesting"));
+    }
+}

@@ -1,0 +1,382 @@
+//! USC-style compiled marshal plans.
+//!
+//! Paper §2, citing O'Malley et al.'s Universal Stub Compiler: "a
+//! user-level specification of the byte-level representations of data
+//! types can be effectively utilized to optimize copying operations, and
+//! therefore marshaling and unmarshaling code. It is clearly beneficial
+//! to introduce such optimizations in generated stubs and skeletons."
+//!
+//! A [`CdrStructPlan`] is compiled once from a struct's field kinds: it
+//! precomputes every CDR alignment pad and field offset, so encoding
+//! becomes a single buffer reservation plus direct writes at known
+//! offsets — no per-field alignment arithmetic or bounds growth. The
+//! interpretive path (the plain [`CdrEncoder`](crate::CdrEncoder)) stays
+//! available; experiment E10 measures the difference.
+//!
+//! Plans cover *fixed-size* field sequences (the USC sweet spot);
+//! variable-size fields (strings, sequences) fall back to the
+//! interpretive encoder.
+
+use crate::error::{WireError, WireResult};
+
+/// A fixed-size field kind within a planned struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// 1-byte boolean.
+    Bool,
+    /// 1-byte octet.
+    Octet,
+    /// 4-byte char (our CDR's Unicode scalar).
+    Char,
+    /// 2-byte signed.
+    Short,
+    /// 2-byte unsigned.
+    UShort,
+    /// 4-byte signed.
+    Long,
+    /// 4-byte unsigned.
+    ULong,
+    /// 8-byte signed.
+    LongLong,
+    /// 8-byte unsigned.
+    ULongLong,
+    /// 4-byte float.
+    Float,
+    /// 8-byte float.
+    Double,
+}
+
+impl FieldKind {
+    fn size(self) -> usize {
+        match self {
+            FieldKind::Bool | FieldKind::Octet => 1,
+            FieldKind::Short | FieldKind::UShort => 2,
+            FieldKind::Char | FieldKind::Long | FieldKind::ULong | FieldKind::Float => 4,
+            FieldKind::LongLong | FieldKind::ULongLong | FieldKind::Double => 8,
+        }
+    }
+
+    fn align(self) -> usize {
+        self.size()
+    }
+}
+
+/// A runtime value matching a [`FieldKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanValue {
+    /// Boolean value.
+    Bool(bool),
+    /// Octet value.
+    Octet(u8),
+    /// Char value.
+    Char(char),
+    /// Short value.
+    Short(i16),
+    /// Unsigned short value.
+    UShort(u16),
+    /// Long value.
+    Long(i32),
+    /// Unsigned long value.
+    ULong(u32),
+    /// Long long value.
+    LongLong(i64),
+    /// Unsigned long long value.
+    ULongLong(u64),
+    /// Float value.
+    Float(f32),
+    /// Double value.
+    Double(f64),
+}
+
+impl PlanValue {
+    /// The kind this value belongs to.
+    pub fn kind(&self) -> FieldKind {
+        match self {
+            PlanValue::Bool(_) => FieldKind::Bool,
+            PlanValue::Octet(_) => FieldKind::Octet,
+            PlanValue::Char(_) => FieldKind::Char,
+            PlanValue::Short(_) => FieldKind::Short,
+            PlanValue::UShort(_) => FieldKind::UShort,
+            PlanValue::Long(_) => FieldKind::Long,
+            PlanValue::ULong(_) => FieldKind::ULong,
+            PlanValue::LongLong(_) => FieldKind::LongLong,
+            PlanValue::ULongLong(_) => FieldKind::ULongLong,
+            PlanValue::Float(_) => FieldKind::Float,
+            PlanValue::Double(_) => FieldKind::Double,
+        }
+    }
+}
+
+/// A compiled CDR layout for a fixed-size struct: per-field offsets and
+/// the total (padded) size, computed once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdrStructPlan {
+    kinds: Vec<FieldKind>,
+    offsets: Vec<usize>,
+    size: usize,
+}
+
+impl CdrStructPlan {
+    /// Compiles the plan for the given field sequence.
+    pub fn compile(kinds: &[FieldKind]) -> CdrStructPlan {
+        let mut offsets = Vec::with_capacity(kinds.len());
+        let mut at = 0usize;
+        for k in kinds {
+            let a = k.align();
+            at = at.div_ceil(a) * a;
+            offsets.push(at);
+            at += k.size();
+        }
+        CdrStructPlan { kinds: kinds.to_vec(), offsets, size: at }
+    }
+
+    /// The encoded size of one struct, padding included.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of fields.
+    pub fn field_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Encodes `values` (which must match the compiled kinds) directly at
+    /// the precomputed offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` does not match the plan's field kinds — a
+    /// generator bug, not a runtime condition.
+    pub fn encode(&self, values: &[PlanValue], out: &mut Vec<u8>) {
+        assert_eq!(values.len(), self.kinds.len(), "value count does not match plan");
+        let base = out.len();
+        out.resize(base + self.size, 0);
+        let buf = &mut out[base..];
+        for ((value, &offset), &kind) in values.iter().zip(&self.offsets).zip(&self.kinds) {
+            assert_eq!(value.kind(), kind, "value kind does not match plan");
+            match *value {
+                PlanValue::Bool(v) => buf[offset] = u8::from(v),
+                PlanValue::Octet(v) => buf[offset] = v,
+                PlanValue::Char(v) => {
+                    buf[offset..offset + 4].copy_from_slice(&(v as u32).to_le_bytes());
+                }
+                PlanValue::Short(v) => {
+                    buf[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+                }
+                PlanValue::UShort(v) => {
+                    buf[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+                }
+                PlanValue::Long(v) => {
+                    buf[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+                }
+                PlanValue::ULong(v) => {
+                    buf[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+                }
+                PlanValue::LongLong(v) => {
+                    buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                PlanValue::ULongLong(v) => {
+                    buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                PlanValue::Float(v) => {
+                    buf[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+                }
+                PlanValue::Double(v) => {
+                    buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes one struct from `bytes` at the precomputed offsets.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `bytes` is shorter than the plan's size or a field is
+    /// malformed.
+    pub fn decode(&self, bytes: &[u8]) -> WireResult<Vec<PlanValue>> {
+        if bytes.len() < self.size {
+            return Err(WireError::UnexpectedEnd { what: "planned struct" });
+        }
+        let mut out = Vec::with_capacity(self.kinds.len());
+        for (&kind, &offset) in self.kinds.iter().zip(&self.offsets) {
+            let v = match kind {
+                FieldKind::Bool => match bytes[offset] {
+                    0 => PlanValue::Bool(false),
+                    1 => PlanValue::Bool(true),
+                    other => {
+                        return Err(WireError::Malformed {
+                            what: "boolean",
+                            detail: format!("expected 0 or 1, got {other}"),
+                        });
+                    }
+                },
+                FieldKind::Octet => PlanValue::Octet(bytes[offset]),
+                FieldKind::Char => {
+                    let raw =
+                        u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4B"));
+                    PlanValue::Char(char::from_u32(raw).ok_or_else(|| WireError::Malformed {
+                        what: "char",
+                        detail: format!("invalid scalar value {raw:#x}"),
+                    })?)
+                }
+                FieldKind::Short => PlanValue::Short(i16::from_le_bytes(
+                    bytes[offset..offset + 2].try_into().expect("2B"),
+                )),
+                FieldKind::UShort => PlanValue::UShort(u16::from_le_bytes(
+                    bytes[offset..offset + 2].try_into().expect("2B"),
+                )),
+                FieldKind::Long => PlanValue::Long(i32::from_le_bytes(
+                    bytes[offset..offset + 4].try_into().expect("4B"),
+                )),
+                FieldKind::ULong => PlanValue::ULong(u32::from_le_bytes(
+                    bytes[offset..offset + 4].try_into().expect("4B"),
+                )),
+                FieldKind::LongLong => PlanValue::LongLong(i64::from_le_bytes(
+                    bytes[offset..offset + 8].try_into().expect("8B"),
+                )),
+                FieldKind::ULongLong => PlanValue::ULongLong(u64::from_le_bytes(
+                    bytes[offset..offset + 8].try_into().expect("8B"),
+                )),
+                FieldKind::Float => PlanValue::Float(f32::from_le_bytes(
+                    bytes[offset..offset + 4].try_into().expect("4B"),
+                )),
+                FieldKind::Double => PlanValue::Double(f64::from_le_bytes(
+                    bytes[offset..offset + 8].try_into().expect("8B"),
+                )),
+            };
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes the same values through the interpretive
+/// [`CdrEncoder`](crate::CdrEncoder) — the
+/// baseline arm of experiment E10. Produces byte-identical output to the
+/// plan for the same field sequence.
+pub fn encode_interpretive(values: &[PlanValue], enc: &mut dyn crate::Encoder) {
+    for v in values {
+        match *v {
+            PlanValue::Bool(v) => enc.put_bool(v),
+            PlanValue::Octet(v) => enc.put_octet(v),
+            PlanValue::Char(v) => enc.put_char(v),
+            PlanValue::Short(v) => enc.put_short(v),
+            PlanValue::UShort(v) => enc.put_ushort(v),
+            PlanValue::Long(v) => enc.put_long(v),
+            PlanValue::ULong(v) => enc.put_ulong(v),
+            PlanValue::LongLong(v) => enc.put_longlong(v),
+            PlanValue::ULongLong(v) => enc.put_ulonglong(v),
+            PlanValue::Float(v) => enc.put_float(v),
+            PlanValue::Double(v) => enc.put_double(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Encoder as _;
+    use crate::CdrEncoder;
+
+    fn sample() -> (Vec<FieldKind>, Vec<PlanValue>) {
+        (
+            vec![
+                FieldKind::Octet,
+                FieldKind::Long,
+                FieldKind::Bool,
+                FieldKind::Double,
+                FieldKind::Short,
+                FieldKind::Char,
+            ],
+            vec![
+                PlanValue::Octet(7),
+                PlanValue::Long(-42),
+                PlanValue::Bool(true),
+                PlanValue::Double(2.5),
+                PlanValue::Short(-3),
+                PlanValue::Char('Z'),
+            ],
+        )
+    }
+
+    #[test]
+    fn plan_layout_matches_cdr_alignment() {
+        let (kinds, _) = sample();
+        let plan = CdrStructPlan::compile(&kinds);
+        // octet@0, pad to 4 for long@4, bool@8, pad to 16 for double@16,
+        // short@24, pad to 28 for char@28 → size 32.
+        assert_eq!(plan.field_count(), 6);
+        assert_eq!(plan.size(), 32);
+    }
+
+    #[test]
+    fn plan_output_is_byte_identical_to_interpretive() {
+        let (kinds, values) = sample();
+        let plan = CdrStructPlan::compile(&kinds);
+        let mut planned = Vec::new();
+        plan.encode(&values, &mut planned);
+
+        let mut enc = CdrEncoder::new();
+        encode_interpretive(&values, &mut enc);
+        let interpretive = enc.finish();
+        // The interpretive encoder does not pad the tail; the plan pads to
+        // the struct size. The common prefix must be identical.
+        assert_eq!(&planned[..interpretive.len()], &interpretive[..]);
+        assert!(planned[interpretive.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn plan_roundtrip() {
+        let (kinds, values) = sample();
+        let plan = CdrStructPlan::compile(&kinds);
+        let mut bytes = Vec::new();
+        plan.encode(&values, &mut bytes);
+        let decoded = plan.decode(&bytes).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_bool() {
+        let plan = CdrStructPlan::compile(&[FieldKind::Bool, FieldKind::Long]);
+        assert!(matches!(plan.decode(&[1, 0]), Err(WireError::UnexpectedEnd { .. })));
+        let mut bytes = Vec::new();
+        plan.encode(&[PlanValue::Bool(true), PlanValue::Long(1)], &mut bytes);
+        bytes[0] = 9;
+        assert!(matches!(plan.decode(&bytes), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "value kind does not match plan")]
+    fn encode_panics_on_kind_mismatch() {
+        let plan = CdrStructPlan::compile(&[FieldKind::Long]);
+        let mut out = Vec::new();
+        plan.encode(&[PlanValue::Double(1.0)], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count does not match plan")]
+    fn encode_panics_on_count_mismatch() {
+        let plan = CdrStructPlan::compile(&[FieldKind::Long]);
+        let mut out = Vec::new();
+        plan.encode(&[], &mut out);
+    }
+
+    #[test]
+    fn encode_appends_after_existing_bytes() {
+        let plan = CdrStructPlan::compile(&[FieldKind::Octet]);
+        let mut out = vec![0xAA, 0xBB];
+        plan.encode(&[PlanValue::Octet(0xCC)], &mut out);
+        assert_eq!(out, vec![0xAA, 0xBB, 0xCC]);
+    }
+
+    #[test]
+    fn empty_plan_is_zero_sized() {
+        let plan = CdrStructPlan::compile(&[]);
+        assert_eq!(plan.size(), 0);
+        let mut out = Vec::new();
+        plan.encode(&[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(plan.decode(&[]).unwrap(), vec![]);
+    }
+}

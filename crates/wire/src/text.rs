@@ -1,0 +1,485 @@
+//! The HeidiRMI **text protocol**: a newline-terminated string of ASCII
+//! characters (paper §3.1).
+//!
+//! Messages are single lines of space-separated tokens:
+//!
+//! * booleans: `T` / `F`
+//! * numbers: decimal text (`-7`, `1.5`)
+//! * characters: `'x'` with `\n`, `\s` (space), `\'`, `\\` escapes
+//! * strings: `"..."` with `\"`, `\\`, `\n` escapes
+//! * composite begin/end: `{` and `}`
+//!
+//! Keeping everything printable is what let the paper's authors *"telnet
+//! into the bootstrap port of a Heidi application and type in simple
+//! HeidiRMI requests to debug the system"* — experiment E8 reproduces
+//! exactly that against our server.
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::{WireError, WireResult};
+
+/// Encoder for the text protocol.
+///
+/// ```
+/// use heidl_wire::{Encoder, TextEncoder};
+///
+/// let mut enc = TextEncoder::new();
+/// enc.put_string("print");
+/// enc.put_long(42);
+/// assert_eq!(String::from_utf8(enc.finish()).unwrap(), r#""print" 42"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct TextEncoder {
+    out: String,
+    depth: u32,
+}
+
+impl TextEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        TextEncoder::default()
+    }
+
+    fn token(&mut self, t: &str) {
+        if !self.out.is_empty() {
+            self.out.push(' ');
+        }
+        self.out.push_str(t);
+    }
+}
+
+fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn escape_char(c: char) -> String {
+    match c {
+        '\'' => "'\\''".to_owned(),
+        '\\' => "'\\\\'".to_owned(),
+        '\n' => "'\\n'".to_owned(),
+        '\r' => "'\\r'".to_owned(),
+        ' ' => "'\\s'".to_owned(),
+        c => format!("'{c}'"),
+    }
+}
+
+impl Encoder for TextEncoder {
+    fn put_bool(&mut self, v: bool) {
+        self.token(if v { "T" } else { "F" });
+    }
+
+    fn put_octet(&mut self, v: u8) {
+        self.token(&v.to_string());
+    }
+
+    fn put_char(&mut self, v: char) {
+        let t = escape_char(v);
+        self.token(&t);
+    }
+
+    fn put_short(&mut self, v: i16) {
+        self.token(&v.to_string());
+    }
+
+    fn put_ushort(&mut self, v: u16) {
+        self.token(&v.to_string());
+    }
+
+    fn put_long(&mut self, v: i32) {
+        self.token(&v.to_string());
+    }
+
+    fn put_ulong(&mut self, v: u32) {
+        self.token(&v.to_string());
+    }
+
+    fn put_longlong(&mut self, v: i64) {
+        self.token(&v.to_string());
+    }
+
+    fn put_ulonglong(&mut self, v: u64) {
+        self.token(&v.to_string());
+    }
+
+    fn put_float(&mut self, v: f32) {
+        // `{:?}` produces shortest round-trippable form.
+        self.token(&format!("{v:?}"));
+    }
+
+    fn put_double(&mut self, v: f64) {
+        self.token(&format!("{v:?}"));
+    }
+
+    fn put_string(&mut self, v: &str) {
+        let t = escape_string(v);
+        self.token(&t);
+    }
+
+    fn put_len(&mut self, n: u32) {
+        self.token(&n.to_string());
+    }
+
+    fn begin(&mut self) {
+        self.depth += 1;
+        self.token("{");
+    }
+
+    fn end(&mut self) {
+        assert!(self.depth > 0, "end() without matching begin() — stub generator bug");
+        self.depth -= 1;
+        self.token("}");
+    }
+
+    fn finish(&mut self) -> Vec<u8> {
+        assert_eq!(self.depth, 0, "finish() with {} unclosed begin()s", self.depth);
+        std::mem::take(&mut self.out).into_bytes()
+    }
+}
+
+/// Decoder for the text protocol.
+#[derive(Debug)]
+pub struct TextDecoder {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl TextDecoder {
+    /// Tokenizes a text-protocol message.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bytes are not UTF-8 or a quoted token is
+    /// unterminated.
+    pub fn new(bytes: &[u8]) -> WireResult<Self> {
+        let text = std::str::from_utf8(bytes).map_err(|e| WireError::Malformed {
+            what: "text message",
+            detail: format!("not valid UTF-8: {e}"),
+        })?;
+        Ok(TextDecoder { tokens: tokenize(text)?, pos: 0 })
+    }
+
+    fn next(&mut self, what: &'static str) -> WireResult<&str> {
+        let t = self.tokens.get(self.pos).ok_or(WireError::UnexpectedEnd { what })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&mut self, what: &'static str) -> WireResult<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let t = self.next(what)?;
+        t.parse().map_err(|e| WireError::Malformed { what, detail: format!("`{t}`: {e}") })
+    }
+}
+
+fn tokenize(text: &str) -> WireResult<Vec<String>> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '"' | '\'' => {
+                let quote = c;
+                chars.next();
+                // Keep the quote as a marker so the decoder can tell a
+                // quoted token from a bare one.
+                let mut tok = String::from(quote);
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some('n') => tok.push('\n'),
+                            Some('r') => tok.push('\r'),
+                            Some('s') => tok.push(' '),
+                            Some(e) => tok.push(e),
+                            None => {
+                                return Err(WireError::Malformed {
+                                    what: "quoted token",
+                                    detail: "dangling escape".into(),
+                                });
+                            }
+                        },
+                        c if c == quote => {
+                            closed = true;
+                            break;
+                        }
+                        c => tok.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(WireError::Malformed {
+                        what: "quoted token",
+                        detail: "unterminated quote".into(),
+                    });
+                }
+                tokens.push(tok);
+            }
+            _ => {
+                let mut tok = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    tok.push(c);
+                    chars.next();
+                }
+                tokens.push(tok);
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+impl Decoder for TextDecoder {
+    fn get_bool(&mut self) -> WireResult<bool> {
+        match self.next("boolean")? {
+            "T" => Ok(true),
+            "F" => Ok(false),
+            other => Err(WireError::Malformed {
+                what: "boolean",
+                detail: format!("expected T or F, got `{other}`"),
+            }),
+        }
+    }
+
+    fn get_octet(&mut self) -> WireResult<u8> {
+        self.parse_num("octet")
+    }
+
+    fn get_char(&mut self) -> WireResult<char> {
+        let t = self.next("char")?;
+        let Some(body) = t.strip_prefix('\'') else {
+            return Err(WireError::Malformed {
+                what: "char",
+                detail: format!("expected quoted char, got `{t}`"),
+            });
+        };
+        let mut chars = body.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(WireError::Malformed {
+                what: "char",
+                detail: format!("expected exactly one character, got `{body}`"),
+            }),
+        }
+    }
+
+    fn get_short(&mut self) -> WireResult<i16> {
+        self.parse_num("short")
+    }
+
+    fn get_ushort(&mut self) -> WireResult<u16> {
+        self.parse_num("unsigned short")
+    }
+
+    fn get_long(&mut self) -> WireResult<i32> {
+        self.parse_num("long")
+    }
+
+    fn get_ulong(&mut self) -> WireResult<u32> {
+        self.parse_num("unsigned long")
+    }
+
+    fn get_longlong(&mut self) -> WireResult<i64> {
+        self.parse_num("long long")
+    }
+
+    fn get_ulonglong(&mut self) -> WireResult<u64> {
+        self.parse_num("unsigned long long")
+    }
+
+    fn get_float(&mut self) -> WireResult<f32> {
+        self.parse_num("float")
+    }
+
+    fn get_double(&mut self) -> WireResult<f64> {
+        self.parse_num("double")
+    }
+
+    fn get_string(&mut self) -> WireResult<String> {
+        let t = self.next("string")?;
+        t.strip_prefix('"').map(str::to_owned).ok_or_else(|| WireError::Malformed {
+            what: "string",
+            detail: format!("expected quoted string, got `{t}`"),
+        })
+    }
+
+    fn get_len(&mut self) -> WireResult<u32> {
+        self.parse_num("sequence length")
+    }
+
+    fn begin(&mut self) -> WireResult<()> {
+        match self.next("begin marker")? {
+            "{" => Ok(()),
+            other => Err(WireError::Nesting { detail: format!("expected `{{`, got `{other}`") }),
+        }
+    }
+
+    fn end(&mut self) -> WireResult<()> {
+        match self.next("end marker")? {
+            "}" => Ok(()),
+            other => Err(WireError::Nesting { detail: format!("expected `}}`, got `{other}`") }),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_roundtrip() {
+        let mut enc = TextEncoder::new();
+        crate::codec::conformance::roundtrip_all(&mut enc, |bytes| {
+            Box::new(TextDecoder::new(&bytes).unwrap())
+        });
+    }
+
+    #[test]
+    fn messages_are_human_readable_single_lines() {
+        let mut enc = TextEncoder::new();
+        enc.put_string("@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0");
+        enc.put_string("p");
+        enc.put_long(0);
+        let bytes = enc.finish();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text, r#""@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0" "p" 0"#);
+        assert!(!text.contains('\n'), "framing requires single-line messages");
+    }
+
+    #[test]
+    fn strings_with_newlines_stay_on_one_line() {
+        let mut enc = TextEncoder::new();
+        enc.put_string("a\nb");
+        let bytes = enc.finish();
+        assert!(!bytes.contains(&b'\n'));
+        let mut dec = TextDecoder::new(&bytes).unwrap();
+        assert_eq!(dec.get_string().unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn a_human_can_type_a_request() {
+        // What you'd type over telnet: bare tokens, quoted strings.
+        let typed = br#""print" "hello there" 3 T"#;
+        let mut dec = TextDecoder::new(typed).unwrap();
+        assert_eq!(dec.get_string().unwrap(), "print");
+        assert_eq!(dec.get_string().unwrap(), "hello there");
+        assert_eq!(dec.get_long().unwrap(), 3);
+        assert!(dec.get_bool().unwrap());
+        assert!(dec.at_end());
+    }
+
+    #[test]
+    fn type_confusion_is_detected() {
+        let mut enc = TextEncoder::new();
+        enc.put_long(42);
+        let bytes = enc.finish();
+        let mut dec = TextDecoder::new(&bytes).unwrap();
+        assert!(matches!(dec.get_string(), Err(WireError::Malformed { what: "string", .. })));
+        let mut dec = TextDecoder::new(&bytes).unwrap();
+        assert!(dec.get_bool().is_err());
+    }
+
+    #[test]
+    fn truncated_input_reports_unexpected_end() {
+        let mut dec = TextDecoder::new(b"1").unwrap();
+        assert_eq!(dec.get_long().unwrap(), 1);
+        assert!(matches!(dec.get_long(), Err(WireError::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        assert!(TextDecoder::new(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        assert!(TextDecoder::new(b"\"abc").is_err());
+        assert!(TextDecoder::new(b"\"abc\\").is_err());
+    }
+
+    #[test]
+    fn nesting_mismatch_is_reported() {
+        let mut enc = TextEncoder::new();
+        enc.begin();
+        enc.put_long(1);
+        enc.end();
+        let bytes = enc.finish();
+        let mut dec = TextDecoder::new(&bytes).unwrap();
+        dec.begin().unwrap();
+        assert_eq!(dec.get_long().unwrap(), 1);
+        assert!(dec.end().is_ok());
+        // And a begin where a long sits:
+        let mut enc = TextEncoder::new();
+        enc.put_long(1);
+        let bytes = enc.finish();
+        let mut dec = TextDecoder::new(&bytes).unwrap();
+        assert!(matches!(dec.begin(), Err(WireError::Nesting { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed begin")]
+    fn finish_with_open_begin_panics() {
+        let mut enc = TextEncoder::new();
+        enc.begin();
+        let _ = enc.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching begin")]
+    fn end_without_begin_panics() {
+        let mut enc = TextEncoder::new();
+        enc.end();
+    }
+
+    #[test]
+    fn special_floats_roundtrip() {
+        let mut enc = TextEncoder::new();
+        enc.put_double(f64::INFINITY);
+        enc.put_double(f64::NEG_INFINITY);
+        enc.put_float(f32::NAN);
+        let bytes = enc.finish();
+        let mut dec = TextDecoder::new(&bytes).unwrap();
+        assert_eq!(dec.get_double().unwrap(), f64::INFINITY);
+        assert_eq!(dec.get_double().unwrap(), f64::NEG_INFINITY);
+        assert!(dec.get_float().unwrap().is_nan());
+    }
+
+    #[test]
+    fn encoder_is_reusable_after_finish() {
+        let mut enc = TextEncoder::new();
+        enc.put_long(1);
+        assert_eq!(enc.finish(), b"1");
+        enc.put_long(2);
+        assert_eq!(enc.finish(), b"2");
+    }
+
+    #[test]
+    fn char_escapes_roundtrip() {
+        for c in ['a', ' ', '\n', '\'', '\\', '\r', '✓'] {
+            let mut enc = TextEncoder::new();
+            enc.put_char(c);
+            let bytes = enc.finish();
+            let mut dec = TextDecoder::new(&bytes).unwrap();
+            assert_eq!(dec.get_char().unwrap(), c, "char {c:?}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the wire layer.
+//!
+//! The decoders and deframers consume bytes from the network; whatever
+//! arrives, they must fail with `WireError`, never panic. And any value
+//! sequence must round-trip identically on both protocols.
+
+use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol, WireResult};
+use proptest::prelude::*;
+
+/// One marshal-able value, used to drive encoder/decoder pairs generically.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Bool(bool),
+    Octet(u8),
+    Char(char),
+    Short(i16),
+    UShort(u16),
+    Long(i32),
+    ULong(u32),
+    LongLong(i64),
+    ULongLong(u64),
+    Float(f32),
+    Double(f64),
+    Str(String),
+    Len(u32),
+    Group(Vec<Val>),
+}
+
+fn val_strategy() -> impl Strategy<Value = Val> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Val::Bool),
+        any::<u8>().prop_map(Val::Octet),
+        any::<char>().prop_map(Val::Char),
+        any::<i16>().prop_map(Val::Short),
+        any::<u16>().prop_map(Val::UShort),
+        any::<i32>().prop_map(Val::Long),
+        any::<u32>().prop_map(Val::ULong),
+        any::<i64>().prop_map(Val::LongLong),
+        any::<u64>().prop_map(Val::ULongLong),
+        // Finite floats only: NaN breaks equality, and the text protocol
+        // round-trips NaN by design (covered by a unit test).
+        proptest::num::f32::NORMAL.prop_map(Val::Float),
+        proptest::num::f64::NORMAL.prop_map(Val::Double),
+        "\\PC{0,24}".prop_map(Val::Str),
+        (0u32..100_000).prop_map(Val::Len),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Val::Group)
+    })
+}
+
+fn put(v: &Val, enc: &mut dyn Encoder) {
+    match v {
+        Val::Bool(x) => enc.put_bool(*x),
+        Val::Octet(x) => enc.put_octet(*x),
+        Val::Char(x) => enc.put_char(*x),
+        Val::Short(x) => enc.put_short(*x),
+        Val::UShort(x) => enc.put_ushort(*x),
+        Val::Long(x) => enc.put_long(*x),
+        Val::ULong(x) => enc.put_ulong(*x),
+        Val::LongLong(x) => enc.put_longlong(*x),
+        Val::ULongLong(x) => enc.put_ulonglong(*x),
+        Val::Float(x) => enc.put_float(*x),
+        Val::Double(x) => enc.put_double(*x),
+        Val::Str(x) => enc.put_string(x),
+        Val::Len(x) => enc.put_len(*x),
+        Val::Group(items) => {
+            enc.begin();
+            for i in items {
+                put(i, enc);
+            }
+            enc.end();
+        }
+    }
+}
+
+fn get(template: &Val, dec: &mut dyn Decoder) -> WireResult<Val> {
+    Ok(match template {
+        Val::Bool(_) => Val::Bool(dec.get_bool()?),
+        Val::Octet(_) => Val::Octet(dec.get_octet()?),
+        Val::Char(_) => Val::Char(dec.get_char()?),
+        Val::Short(_) => Val::Short(dec.get_short()?),
+        Val::UShort(_) => Val::UShort(dec.get_ushort()?),
+        Val::Long(_) => Val::Long(dec.get_long()?),
+        Val::ULong(_) => Val::ULong(dec.get_ulong()?),
+        Val::LongLong(_) => Val::LongLong(dec.get_longlong()?),
+        Val::ULongLong(_) => Val::ULongLong(dec.get_ulonglong()?),
+        Val::Float(_) => Val::Float(dec.get_float()?),
+        Val::Double(_) => Val::Double(dec.get_double()?),
+        Val::Str(_) => Val::Str(dec.get_string()?),
+        Val::Len(_) => Val::Len(dec.get_len()?),
+        Val::Group(items) => {
+            dec.begin()?;
+            let mut out = Vec::with_capacity(items.len());
+            for i in items {
+                out.push(get(i, dec)?);
+            }
+            dec.end()?;
+            Val::Group(out)
+        }
+    })
+}
+
+fn protocols() -> Vec<Box<dyn Protocol>> {
+    vec![Box::new(TextProtocol), Box::new(CdrProtocol)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn values_roundtrip_on_both_protocols(values in proptest::collection::vec(val_strategy(), 0..12)) {
+        for p in protocols() {
+            let mut enc = p.encoder();
+            for v in &values {
+                put(v, enc.as_mut());
+            }
+            let body = enc.finish();
+            let mut dec = p.decoder(body).unwrap();
+            for v in &values {
+                let got = get(v, dec.as_mut())
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e} for {v:?}", p.name())))?;
+                prop_assert_eq!(&got, v, "{}", p.name());
+            }
+            prop_assert!(dec.at_end(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        for p in protocols() {
+            if let Ok(mut dec) = p.decoder(bytes.clone()) {
+                // Pull every getter; errors are fine, panics are not.
+                let _ = dec.get_bool();
+                let _ = dec.get_string();
+                let _ = dec.get_long();
+                let _ = dec.get_double();
+                let _ = dec.get_len();
+                let _ = dec.begin();
+                let _ = dec.get_char();
+                let _ = dec.end();
+                while !dec.at_end() {
+                    if dec.get_octet().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deframers_never_panic_on_arbitrary_streams(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        for p in protocols() {
+            let mut buf = bytes.clone();
+            // Drain until error, empty, or no progress.
+            loop {
+                let before = buf.len();
+                match p.deframe(&mut buf) {
+                    Ok(Some(_)) if buf.len() < before => continue,
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn framing_is_transparent_for_any_encoded_body(values in proptest::collection::vec(val_strategy(), 0..6)) {
+        for p in protocols() {
+            let mut enc = p.encoder();
+            for v in &values {
+                put(v, enc.as_mut());
+            }
+            let body = enc.finish();
+            let mut stream = Vec::new();
+            p.frame(&body, &mut stream);
+            let got = p.deframe(&mut stream).unwrap().expect("one frame");
+            prop_assert_eq!(got, body, "{}", p.name());
+            prop_assert!(stream.is_empty());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Write a brand-new IDL mapping in minutes — the paper's punchline.
+//!
+//! §4.2: "it took us about two weeks and 700 lines of tcl code to build
+//! an IIOP compatible tcl ORB ... the template approach has introduced
+//! the option of quickly developing an ORB to suit an existing
+//! application, as opposed to only having the option of making the
+//! existing application CORBA-compliant."
+//!
+//! Here we invent a mapping for a fictional in-house scripting language
+//! ("mscript") whose conventions we must match — classes are `Mx`-prefixed,
+//! booleans are `yes/no`, and every remote method takes a trailing
+//! timeout. Total mapping definition: one template plus two map
+//! functions. No compiler changes.
+//!
+//! ```text
+//! cargo run --example custom_mapping
+//! ```
+
+const TEMPLATE: &str = r#"@# mscript mapping: stubs for the in-house interpreter
+@foreach interfaceList -map interfaceName MScript::ClassName
+@openfile ${interfaceName}.ms
+# ${repoId} -- generated, do not edit
+class ${interfaceName} (remote)
+@foreach methodList
+  def ${methodName}(
+@foreach paramList -ifMore ',' -map defaultParam MScript::Const
+@if ${defaultParam} == ""
+    ${paramName}${ifMore}
+@else
+    ${paramName} := ${defaultParam}${ifMore}
+@fi
+@end parameterList
+    timeout := 30s
+  )
+    remote_call "${methodName}" timeout
+  end
+@end methodList
+end
+@end interfaceList
+"#;
+
+const IDL: &str = r#"
+module Plant {
+  interface Valve {
+    void open(in long percent = 100);
+    void close();
+    boolean is_open(in boolean verify = FALSE);
+  };
+  interface SafetyValve : Valve {
+    void vent();
+  };
+};
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A compiler from one template string; the built-in registry named
+    // here only contributes map functions we choose not to use.
+    let mut compiler = heidl::codegen::Compiler::from_templates(
+        &[("mscript.tmpl".to_owned(), TEMPLATE.to_owned())],
+        "heidi-cpp",
+    )?;
+
+    // The mapping's own naming conventions, as closures.
+    compiler.register_map("MScript::ClassName", |scoped| {
+        format!("Mx{}", scoped.rsplit("::").next().unwrap_or(scoped))
+    });
+    compiler.register_map("MScript::Const", |value| match value {
+        "TRUE" => "yes".to_owned(),
+        "FALSE" => "no".to_owned(),
+        v => v.to_owned(),
+    });
+
+    let files = compiler.compile_source(IDL, "plant")?;
+    for (name, content) in files.iter() {
+        println!("==> {name} <==");
+        println!("{content}");
+    }
+
+    println!("-- a complete new language mapping: 1 template, 2 map functions,");
+    println!("   0 compiler changes. The same works from the CLI:");
+    println!("   heidlc plant.idl --template mscript.tmpl --maps heidi-cpp");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! One IDL file, five mappings: the decoupling the paper's architecture
+//! buys. The same EST drives every backend; only templates differ.
+//!
+//! ```text
+//! cargo run --example multi_language
+//! ```
+
+const CONTROL_IDL: &str = r#"
+module Control {
+  enum Mode { Idle, Active };
+  interface Receiver {
+    void print(in string text);
+    long count();
+  };
+  interface Panel : Receiver {
+    void arm(in Mode mode = Control::Idle);
+    readonly attribute long alarms;
+  };
+};
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Parse once, build the EST once (Fig 6's front end)...
+    let spec = heidl::idl::parse(CONTROL_IDL)?;
+    let est = heidl::est::build(&spec)?;
+
+    // ...then run every backend against the same EST.
+    for name in heidl::codegen::backend_names() {
+        let compiler = heidl::codegen::Compiler::new(&name)?;
+        let files = compiler.generate(&est, "control")?;
+        println!("================ backend: {name} ================");
+        println!(
+            "{} files, {} non-blank lines: {}",
+            files.len(),
+            files.total_loc(),
+            files.names().join(", ")
+        );
+        // Show the most interesting file per backend.
+        let pick = match name.as_str() {
+            "heidi-cpp" => "HdPanel.hh",
+            "corba-cpp" => "control_corba.hh",
+            "java" => "Panel.java",
+            "tcl" => "Panel.tcl",
+            _ => "control.rs",
+        };
+        if let Some(content) = files.file(pick) {
+            println!("--- {pick} ---");
+            let lines: Vec<&str> = content.lines().collect();
+            for line in lines.iter().take(40) {
+                println!("{line}");
+            }
+            if lines.len() > 40 {
+                println!("... ({} more lines)", lines.len() - 40);
+            }
+        }
+        println!();
+    }
+
+    println!("note the per-mapping fidelity:");
+    println!("  heidi-cpp keeps `Mode mode = Idle` (default parameters),");
+    println!("  java drops the default (the paper's documented limitation),");
+    println!("  corba-cpp uses CORBA::Long and Panel_ptr/Panel_var,");
+    println!("  tcl emits Fig 10-style [incr Tcl] stubs for the 700-line ORB,");
+    println!("  rust targets the heidl-rmi runtime and actually runs.");
+    Ok(())
+}

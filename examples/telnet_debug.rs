@@ -1,0 +1,97 @@
+//! The paper's telnet anecdote, live (§4.2): start a server, open a raw
+//! TCP socket, and type HeidiRMI requests as printable text.
+//!
+//! ```text
+//! cargo run --example telnet_debug
+//! ```
+//!
+//! The program plays both sides so the transcript is visible; point a
+//! real `telnet`/`nc` at the printed endpoint to drive it yourself.
+
+use heidl::media::{PlayerSkel, PlayerServant, ReceiverServant, Status};
+use heidl::rmi::{DispatchKind, Orb, RemoteObject, RmiResult};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+struct Demo;
+
+impl RemoteObject for Demo {
+    fn type_id(&self) -> &str {
+        heidl::media::Player_REPO_ID
+    }
+}
+
+impl ReceiverServant for Demo {
+    fn print(&self, text: String) -> RmiResult<()> {
+        println!("   [server] print called with {text:?}");
+        Ok(())
+    }
+    fn count(&self) -> RmiResult<i32> {
+        Ok(7)
+    }
+}
+
+impl PlayerServant for Demo {
+    fn play(&self, clip: String, volume: i32) -> RmiResult<()> {
+        println!("   [server] play({clip:?}, {volume})");
+        Ok(())
+    }
+    fn stop(&self) -> RmiResult<()> {
+        Ok(())
+    }
+    fn load(&self, _s: heidl::rmi::IncopyArg) -> RmiResult<()> {
+        Ok(())
+    }
+    fn state(&self) -> RmiResult<Status> {
+        Ok(Status::Paused)
+    }
+    fn seek(&self, _f: Vec<i32>) -> RmiResult<()> {
+        Ok(())
+    }
+    fn get_position(&self) -> RmiResult<i32> {
+        Ok(1234)
+    }
+    fn get_title(&self) -> RmiResult<String> {
+        Ok("telnet demo".to_owned())
+    }
+    fn set_title(&self, _v: String) -> RmiResult<()> {
+        Ok(())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let orb = Orb::new();
+    let endpoint = orb.serve("127.0.0.1:0")?;
+    let objref = orb.export(PlayerSkel::new(Arc::new(Demo), orb.clone(), DispatchKind::Hash))?;
+
+    println!("server listening -- try it yourself with:");
+    println!("  nc {} {}", endpoint.host, endpoint.port);
+    println!("object reference: {objref}");
+    println!();
+
+    let mut session = BufReader::new(TcpStream::connect(endpoint.socket_addr())?);
+    let mut type_line = |line: String| -> std::io::Result<String> {
+        println!("human types > {line}");
+        session.get_mut().write_all(line.as_bytes())?;
+        session.get_mut().write_all(b"\r\n")?;
+        let mut reply = String::new();
+        session.read_line(&mut reply)?;
+        let reply = reply.trim_end().to_owned();
+        println!("server says  < {reply}");
+        println!();
+        Ok(reply)
+    };
+
+    type_line(format!("\"{objref}\" \"print\" T \"typed by hand\""))?;
+    type_line(format!("\"{objref}\" \"count\" T"))?;
+    type_line(format!("\"{objref}\" \"play\" T \"intro.mpg\" 5"))?;
+    type_line(format!("\"{objref}\" \"_get_position\" T"))?;
+    type_line(format!("\"{objref}\" \"no_such_method\" T"))?;
+    type_line("\"garbage\" \"x\" T".to_owned())?;
+
+    println!("every byte of that exchange was printable text -- that is the");
+    println!("debuggability the paper traded protocol generality for (E8).");
+    orb.shutdown();
+    Ok(())
+}

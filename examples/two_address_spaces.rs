@@ -1,0 +1,81 @@
+//! Two genuine address spaces: a server process-alike and a client
+//! process-alike, each with its own ORB, connected only by a stringified
+//! object reference — exactly how HeidiRMI components bootstrap (§3.1).
+//!
+//! (Both ORBs live in one OS process here so the example is self-
+//! contained, but nothing is shared between them: the reference travels
+//! as a string, and every call crosses real TCP.)
+//!
+//! ```text
+//! cargo run --example two_address_spaces
+//! ```
+
+use heidl::media::*;
+use heidl::rmi::{CallInfo, DispatchKind, FnInterceptor, Orb, RemoteObject, RmiResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Wall {
+    posts: AtomicUsize,
+}
+
+impl RemoteObject for Wall {
+    fn type_id(&self) -> &str {
+        Receiver_REPO_ID
+    }
+}
+
+impl ReceiverServant for Wall {
+    fn print(&self, text: String) -> RmiResult<()> {
+        println!("  [server space] {text}");
+        self.posts.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn count(&self) -> RmiResult<i32> {
+        Ok(self.posts.load(Ordering::SeqCst) as i32)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- address space 1: the server -----------------------------------
+    let server_orb = Orb::new();
+    let endpoint = server_orb.serve("127.0.0.1:0")?;
+    let skel = ReceiverSkel::new(
+        Arc::new(Wall { posts: AtomicUsize::new(0) }),
+        server_orb.clone(),
+        DispatchKind::Hash,
+    );
+    let objref = server_orb.export(skel)?;
+
+    // The ONLY thing that crosses between the spaces: a string.
+    let wire_reference = objref.to_string();
+    println!("server space up at {endpoint}");
+    println!("reference handed out-of-band: {wire_reference}");
+    println!();
+
+    // ---- address space 2: the client ------------------------------------
+    let client_orb = Orb::new(); // never serves; fresh caches, fresh pool
+    client_orb.add_interceptor(Arc::new(FnInterceptor(|info: &CallInfo| {
+        if info.phase == heidl::rmi::CallPhase::ClientSend {
+            println!("  [client space] -> {}", info.method);
+        }
+    })));
+
+    let parsed = wire_reference.parse()?;
+    let wall = ReceiverStub::new(client_orb.clone(), parsed);
+
+    wall.print("hello across address spaces".to_owned())?;
+    wall.print("second message".to_owned())?;
+    let n = wall.count()?;
+    println!();
+    println!("client space sees count() = {n}");
+    println!(
+        "client opened {} TCP connection(s) for {} calls (connection cache)",
+        client_orb.connections().opened_count(),
+        n + 1
+    );
+
+    server_orb.shutdown();
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! # heidl — customizable IDL mappings and ORB protocols
+//!
+//! A Rust reproduction of Girish Welling and Maximilian Ott,
+//! *"Customizing IDL Mappings and ORB Protocols"* (Middleware 2000): a
+//! **template-driven IDL compiler** whose language mappings are specified
+//! entirely in templates, plus **HeidiRMI**, the custom ORB those mappings
+//! target — stringified object references, a human-readable text wire
+//! protocol (swappable for a CDR/GIOP-lite binary one), connection/stub/
+//! skeleton caches, pluggable dispatch strategies, and `incopy`
+//! pass-by-value.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`idl`] — OMG IDL parser with the HeidiRMI extensions (default
+//!   parameters, `incopy`);
+//! * [`est`] — the Enhanced Syntax Tree (Fig 7) and its executable script
+//!   encoding (Fig 8);
+//! * [`template`] — the Jeeves-style template engine (Fig 9 syntax);
+//! * [`codegen`] — the compiler driver plus five backends (`heidi-cpp`,
+//!   `corba-cpp`, `java`, `tcl`, `rust`) and the `heidlc` CLI;
+//! * [`wire`] — the text and CDR wire protocols;
+//! * [`rmi`] — the HeidiRMI runtime ORB;
+//! * [`media`] — code generated *at build time* by the `rust` backend
+//!   from [`idl/media.idl`](https://example.invalid), proving the
+//!   pipeline end to end.
+//!
+//! ## Quick start: compile IDL with a custom mapping
+//!
+//! ```
+//! // The paper's Fig 3 example, generated with the HeidiRMI mapping:
+//! let files = heidl::codegen::compile("heidi-cpp", heidl::idl::FIG3_IDL, "A")?;
+//! assert!(files.file("HdA.hh").unwrap().contains("XBool b = XTrue"));
+//! # Ok::<(), heidl::codegen::CodegenError>(())
+//! ```
+//!
+//! ## Quick start: a remote call through the generated Rust mapping
+//!
+//! ```
+//! use heidl::media::{Receiver_REPO_ID, ReceiverServant, ReceiverSkel, ReceiverStub};
+//! use heidl::rmi::{DispatchKind, Orb, RemoteObject, RmiResult};
+//! use std::sync::Arc;
+//!
+//! struct Printer;
+//! impl RemoteObject for Printer {
+//!     fn type_id(&self) -> &str {
+//!         Receiver_REPO_ID
+//!     }
+//! }
+//! impl ReceiverServant for Printer {
+//!     fn print(&self, _text: String) -> RmiResult<()> {
+//!         Ok(())
+//!     }
+//!     fn count(&self) -> RmiResult<i32> {
+//!         Ok(1)
+//!     }
+//! }
+//!
+//! let orb = Orb::new();
+//! orb.serve("127.0.0.1:0")?;
+//! let skel = ReceiverSkel::new(Arc::new(Printer), orb.clone(), DispatchKind::Hash);
+//! let objref = orb.export(skel)?;
+//! let stub = ReceiverStub::new(orb.clone(), objref);
+//! stub.print("hello".to_owned())?;
+//! assert_eq!(stub.count()?, 1);
+//! orb.shutdown();
+//! # Ok::<(), heidl::rmi::RmiError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use heidl_codegen as codegen;
+pub use heidl_est as est;
+pub use heidl_idl as idl;
+pub use heidl_rmi as rmi;
+pub use heidl_template as template;
+pub use heidl_wire as wire;
+
+/// Code generated at build time by the `rust` backend from
+/// `idl/media.idl` — the synthetic media-control application that stands
+/// in for Heidi (DESIGN.md, substitution notes).
+#[allow(missing_docs, non_upper_case_globals, clippy::all)]
+pub mod media {
+    include!(concat!(env!("OUT_DIR"), "/media.rs"));
+}

@@ -1,0 +1,160 @@
+//! Dynamic invocation against servers built from *generated* skeletons:
+//! a client that knows signatures only at run time interoperates with
+//! compiled servants — the "generic engine configured at run time" story
+//! from §4.2, programmatic edition.
+
+use heidl::media::*;
+use heidl::rmi::dynamic::{DynCall, DynValue};
+use heidl::rmi::{DispatchKind, Orb, RemoteObject, RmiError, RmiResult};
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Deck {
+    last_volume: AtomicI32,
+    title: Mutex<String>,
+    frames: Mutex<Vec<i32>>,
+}
+
+impl RemoteObject for Deck {
+    fn type_id(&self) -> &str {
+        Player_REPO_ID
+    }
+}
+
+impl ReceiverServant for Deck {
+    fn print(&self, _t: String) -> RmiResult<()> {
+        Ok(())
+    }
+    fn count(&self) -> RmiResult<i32> {
+        Ok(7)
+    }
+}
+
+impl PlayerServant for Deck {
+    fn play(&self, _clip: String, volume: i32) -> RmiResult<()> {
+        self.last_volume.store(volume, Ordering::SeqCst);
+        Ok(())
+    }
+    fn stop(&self) -> RmiResult<()> {
+        Ok(())
+    }
+    fn load(&self, _s: heidl::rmi::IncopyArg) -> RmiResult<()> {
+        Ok(())
+    }
+    fn state(&self) -> RmiResult<Status> {
+        Ok(Status::Paused)
+    }
+    fn seek(&self, frames: Vec<i32>) -> RmiResult<()> {
+        *self.frames.lock().unwrap() = frames;
+        Ok(())
+    }
+    fn get_position(&self) -> RmiResult<i32> {
+        Ok(self.frames.lock().unwrap().iter().sum())
+    }
+    fn get_title(&self) -> RmiResult<String> {
+        Ok(self.title.lock().unwrap().clone())
+    }
+    fn set_title(&self, v: String) -> RmiResult<()> {
+        *self.title.lock().unwrap() = v;
+        Ok(())
+    }
+}
+
+fn setup() -> (Orb, Arc<Deck>, heidl::rmi::ObjectRef) {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let deck = Arc::new(Deck {
+        last_volume: AtomicI32::new(0),
+        title: Mutex::new(String::new()),
+        frames: Mutex::new(Vec::new()),
+    });
+    let skel = PlayerSkel::new(Arc::clone(&deck) as _, orb.clone(), DispatchKind::Hash);
+    let objref = orb.export(skel).unwrap();
+    (orb, deck, objref)
+}
+
+#[test]
+fn dynamic_call_with_args_hits_generated_skeleton() {
+    let (orb, deck, objref) = setup();
+    DynCall::new(&orb, &objref, "play")
+        .arg(DynValue::Str("intro.mpg".into()))
+        .arg(DynValue::Long(9))
+        .invoke()
+        .unwrap();
+    assert_eq!(deck.last_volume.load(Ordering::SeqCst), 9);
+    orb.shutdown();
+}
+
+#[test]
+fn dynamic_result_extraction() {
+    let (orb, _deck, objref) = setup();
+    let mut results = DynCall::new(&orb, &objref, "count").invoke().unwrap();
+    assert_eq!(results.next_long().unwrap(), 7);
+
+    let mut results = DynCall::new(&orb, &objref, "state").invoke().unwrap();
+    // Enum results arrive as their discriminant.
+    assert_eq!(results.next_long().unwrap(), Status::Paused.to_long());
+    orb.shutdown();
+}
+
+#[test]
+fn dynamic_sequence_and_attribute_access() {
+    let (orb, deck, objref) = setup();
+    DynCall::new(&orb, &objref, "seek")
+        .arg(DynValue::Seq(vec![
+            DynValue::Long(100),
+            DynValue::Long(200),
+            DynValue::Long(300),
+        ]))
+        .invoke()
+        .unwrap();
+    assert_eq!(*deck.frames.lock().unwrap(), vec![100, 200, 300]);
+
+    // Attribute access uses the same _get_/_set_ wire names that
+    // generated stubs use.
+    DynCall::new(&orb, &objref, "_set_title")
+        .arg(DynValue::Str("dynamic!".into()))
+        .invoke()
+        .unwrap();
+    let mut results = DynCall::new(&orb, &objref, "_get_title").invoke().unwrap();
+    assert_eq!(results.next_string().unwrap(), "dynamic!");
+    let mut results = DynCall::new(&orb, &objref, "_get_position").invoke().unwrap();
+    assert_eq!(results.next_long().unwrap(), 600);
+    orb.shutdown();
+}
+
+#[test]
+fn dynamic_oneway() {
+    let (orb, _deck, objref) = setup();
+    let mut results = DynCall::new(&orb, &objref, "stop").oneway().invoke().unwrap();
+    assert!(matches!(results.next_long(), Err(RmiError::Protocol(_))));
+    // Synchronize to prove the connection stayed consistent.
+    let mut r = DynCall::new(&orb, &objref, "count").invoke().unwrap();
+    assert_eq!(r.next_long().unwrap(), 7);
+    orb.shutdown();
+}
+
+#[test]
+fn dynamic_unknown_method_surfaces_remote_error() {
+    let (orb, _deck, objref) = setup();
+    let err = DynCall::new(&orb, &objref, "transmogrify").invoke().unwrap_err();
+    let RmiError::Remote { repo_id, .. } = err else { panic!() };
+    assert_eq!(repo_id, "IDL:heidl/UnknownMethod:1.0");
+    orb.shutdown();
+}
+
+#[test]
+fn dynamic_and_static_clients_interleave_on_one_connection() {
+    let (orb, deck, objref) = setup();
+    let stub = PlayerStub::new(orb.clone(), objref.clone());
+    stub.play("a".into(), 1).unwrap();
+    DynCall::new(&orb, &objref, "play")
+        .arg(DynValue::Str("b".into()))
+        .arg(DynValue::Long(2))
+        .invoke()
+        .unwrap();
+    stub.play("c".into(), 3).unwrap();
+    assert_eq!(deck.last_volume.load(Ordering::SeqCst), 3);
+    assert_eq!(orb.connections().opened_count(), 1, "all over one cached connection");
+    orb.shutdown();
+}

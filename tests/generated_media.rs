@@ -1,0 +1,359 @@
+//! End-to-end tests of the **generated** Rust mapping: `idl/media.idl` is
+//! compiled by the `rust` backend at build time (see `build.rs`), and
+//! these tests drive the generated stubs and skeletons over real TCP —
+//! the strongest form of F3/F4/F5 evidence: the template-driven compiler
+//! emits code that actually runs against the HeidiRMI runtime.
+
+use heidl::media::*;
+use heidl::rmi::{
+    DispatchKind, IncopyArg, Orb, RemoteObject, RmiError, RmiResult, ValueSerialize,
+};
+use heidl::wire::CdrProtocol;
+use parking_lot_shim::Mutex;
+use std::sync::atomic::{AtomicI32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tiny stand-in so the test crate does not need parking_lot.
+mod parking_lot_shim {
+    pub use std::sync::Mutex;
+}
+
+// ---- servants ---------------------------------------------------------
+
+struct MediaPlayer {
+    prints: AtomicUsize,
+    stops: AtomicUsize,
+    busy: std::sync::atomic::AtomicBool,
+    last_volume: AtomicI32,
+    last_seek: Mutex<Vec<i32>>,
+    loaded: AtomicUsize,
+    title: Mutex<String>,
+    state: Mutex<Status>,
+}
+
+impl Default for MediaPlayer {
+    fn default() -> Self {
+        MediaPlayer {
+            prints: AtomicUsize::new(0),
+            stops: AtomicUsize::new(0),
+            busy: std::sync::atomic::AtomicBool::new(false),
+            last_volume: AtomicI32::new(0),
+            last_seek: Mutex::new(Vec::new()),
+            loaded: AtomicUsize::new(0),
+            title: Mutex::new(String::new()),
+            state: Mutex::new(Status::Stopped),
+        }
+    }
+}
+
+impl RemoteObject for MediaPlayer {
+    fn type_id(&self) -> &str {
+        Player_REPO_ID
+    }
+}
+
+impl ReceiverServant for MediaPlayer {
+    fn print(&self, _text: String) -> RmiResult<()> {
+        self.prints.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn count(&self) -> RmiResult<i32> {
+        Ok(self.prints.load(Ordering::SeqCst) as i32)
+    }
+}
+
+impl PlayerServant for MediaPlayer {
+    fn play(&self, _clip: String, volume: i32) -> RmiResult<()> {
+        if self.busy.load(Ordering::SeqCst) {
+            return Err(Busy { detail: "tape jammed".to_owned() }.to_error());
+        }
+        self.last_volume.store(volume, Ordering::SeqCst);
+        *self.state.lock().unwrap() = Status::Playing;
+        Ok(())
+    }
+
+    fn stop(&self) -> RmiResult<()> {
+        self.stops.fetch_add(1, Ordering::SeqCst);
+        *self.state.lock().unwrap() = Status::Stopped;
+        Ok(())
+    }
+
+    fn load(&self, source: IncopyArg) -> RmiResult<()> {
+        match source {
+            IncopyArg::Reference(_) | IncopyArg::Value(_) => {
+                self.loaded.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+    }
+
+    fn state(&self) -> RmiResult<Status> {
+        Ok(*self.state.lock().unwrap())
+    }
+
+    fn seek(&self, frames: Vec<i32>) -> RmiResult<()> {
+        *self.last_seek.lock().unwrap() = frames;
+        Ok(())
+    }
+
+    fn get_position(&self) -> RmiResult<i32> {
+        Ok(self.last_seek.lock().unwrap().iter().sum())
+    }
+
+    fn get_title(&self) -> RmiResult<String> {
+        Ok(self.title.lock().unwrap().clone())
+    }
+
+    fn set_title(&self, v: String) -> RmiResult<()> {
+        *self.title.lock().unwrap() = v;
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct ClipLibrary {
+    clips: Mutex<Vec<ClipInfo>>,
+    last: Mutex<Option<Command>>,
+}
+
+impl RemoteObject for ClipLibrary {
+    fn type_id(&self) -> &str {
+        Library_REPO_ID
+    }
+}
+
+impl LibraryServant for ClipLibrary {
+    fn info(&self, name: String) -> RmiResult<ClipInfo> {
+        self.clips
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|c| c.title == name)
+            .cloned()
+            .ok_or_else(|| RmiError::Protocol(format!("no clip {name}")))
+    }
+
+    fn register_clip(&self, clip: ClipInfo) -> RmiResult<()> {
+        self.clips.lock().unwrap().push(clip);
+        Ok(())
+    }
+
+    fn durations(&self) -> RmiResult<Vec<i32>> {
+        Ok(self.clips.lock().unwrap().iter().map(|c| c.frames).collect())
+    }
+
+    fn command(&self, cmd: Command) -> RmiResult<()> {
+        *self.last.lock().unwrap() = Some(cmd);
+        Ok(())
+    }
+
+    fn last_command(&self) -> RmiResult<Command> {
+        self.last
+            .lock()
+            .unwrap()
+            .clone()
+            .ok_or_else(|| RmiError::Protocol("no command yet".to_owned()))
+    }
+}
+
+fn start_player(kind: DispatchKind) -> (Orb, Arc<MediaPlayer>, PlayerStub) {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(MediaPlayer::default());
+    let skel = PlayerSkel::new(Arc::clone(&servant) as _, orb.clone(), kind);
+    let objref = orb.export(skel).unwrap();
+    let stub = PlayerStub::new(orb.clone(), objref);
+    (orb, servant, stub)
+}
+
+// ---- tests ------------------------------------------------------------
+
+#[test]
+fn generated_const_matches_idl() {
+    assert_eq!(DEFAULT_VOLUME, 5);
+}
+
+#[test]
+fn generated_enum_wire_representation() {
+    assert_eq!(Status::Stopped.to_long(), 0);
+    assert_eq!(Status::Playing.to_long(), 1);
+    assert_eq!(Status::Paused.to_long(), 2);
+    assert_eq!(Status::from_long(1).unwrap(), Status::Playing);
+    assert!(Status::from_long(7).is_err());
+}
+
+#[test]
+fn generated_repo_ids() {
+    assert_eq!(Receiver_REPO_ID, "IDL:Media/Receiver:1.0");
+    assert_eq!(Player_REPO_ID, "IDL:Media/Player:1.0");
+    assert_eq!(Busy::REPO_ID, "IDL:Media/Busy:1.0");
+}
+
+#[test]
+fn play_and_state_round_trip() {
+    let (orb, servant, stub) = start_player(DispatchKind::Hash);
+    assert_eq!(stub.state().unwrap(), Status::Stopped);
+    stub.play("intro.mpg".to_owned(), DEFAULT_VOLUME).unwrap();
+    assert_eq!(servant.last_volume.load(Ordering::SeqCst), 5);
+    assert_eq!(stub.state().unwrap(), Status::Playing);
+    orb.shutdown();
+}
+
+#[test]
+fn inherited_receiver_methods_via_player_stub() {
+    // Fig 5's recursive dispatch through the generated skeleton chain.
+    let (orb, _servant, stub) = start_player(DispatchKind::Hash);
+    let receiver = stub.as_receiver();
+    receiver.print("one".to_owned()).unwrap();
+    stub.as_receiver().print("two".to_owned()).unwrap();
+    assert_eq!(receiver.count().unwrap(), 2);
+    orb.shutdown();
+}
+
+#[test]
+fn raises_busy_crosses_the_wire() {
+    let (orb, servant, stub) = start_player(DispatchKind::Hash);
+    servant.busy.store(true, Ordering::SeqCst);
+    let err = stub.play("x".to_owned(), 1).unwrap_err();
+    assert!(Busy::matches(&err), "{err}");
+    let RmiError::Remote { detail, .. } = err else { panic!() };
+    assert_eq!(detail, "tape jammed");
+    orb.shutdown();
+}
+
+#[test]
+fn oneway_stop_then_sync() {
+    let (orb, servant, stub) = start_player(DispatchKind::Hash);
+    stub.stop().unwrap();
+    stub.as_receiver().count().unwrap(); // synchronize on the same connection
+    assert_eq!(servant.stops.load(Ordering::SeqCst), 1);
+    orb.shutdown();
+}
+
+#[test]
+fn sequence_parameter_round_trips() {
+    let (orb, servant, stub) = start_player(DispatchKind::Hash);
+    stub.seek(vec![10, 20, 30]).unwrap();
+    assert_eq!(*servant.last_seek.lock().unwrap(), vec![10, 20, 30]);
+    stub.seek(vec![]).unwrap();
+    assert!(servant.last_seek.lock().unwrap().is_empty());
+    orb.shutdown();
+}
+
+#[test]
+fn attributes_get_and_set() {
+    let (orb, _servant, stub) = start_player(DispatchKind::Hash);
+    stub.seek(vec![10, 20]).unwrap();
+    assert_eq!(stub.get_position().unwrap(), 30, "readonly attribute");
+    stub.set_title("Heidi demo reel".to_owned()).unwrap();
+    assert_eq!(stub.get_title().unwrap(), "Heidi demo reel");
+    orb.shutdown();
+}
+
+/// A serializable value for incopy (implements the generated-code-facing
+/// ValueSerialize trait by hand, as a Serializable servant would).
+struct Snapshot;
+
+impl ValueSerialize for Snapshot {
+    fn value_type_id(&self) -> &str {
+        "IDL:Media/Snapshot:1.0"
+    }
+
+    fn marshal_state(&self, enc: &mut dyn heidl::wire::Encoder) {
+        enc.put_string("snapshot-state");
+    }
+}
+
+#[test]
+fn incopy_parameter_passes_by_value() {
+    let (orb, servant, stub) = start_player(DispatchKind::Hash);
+    orb.values().register("IDL:Media/Snapshot:1.0", |dec| {
+        let _state = dec.get_string()?;
+        Ok(Box::new(()))
+    });
+    stub.load(&Snapshot).unwrap();
+    assert_eq!(servant.loaded.load(Ordering::SeqCst), 1);
+    assert_eq!(orb.skeleton_count(), 1, "no skeleton created for the value");
+    orb.shutdown();
+}
+
+#[test]
+fn struct_round_trip_through_library() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(ClipLibrary::default());
+    let skel = LibrarySkel::new(Arc::clone(&servant) as _, orb.clone(), DispatchKind::Hash);
+    let stub = LibraryStub::new(orb.clone(), orb.export(skel).unwrap());
+
+    let clip = ClipInfo { title: "intro".to_owned(), frames: 240, status: Status::Stopped };
+    stub.register_clip(clip.clone()).unwrap();
+    stub.register_clip(ClipInfo { title: "outro".to_owned(), frames: 120, status: Status::Paused })
+        .unwrap();
+
+    let got = stub.info("intro".to_owned()).unwrap();
+    assert_eq!(got, clip);
+    assert_eq!(stub.durations().unwrap(), vec![240, 120]);
+
+    let err = stub.info("missing".to_owned()).unwrap_err();
+    assert!(matches!(err, RmiError::Remote { .. }));
+    orb.shutdown();
+}
+
+#[test]
+fn union_round_trip_through_library() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(ClipLibrary::default());
+    let skel = LibrarySkel::new(Arc::clone(&servant) as _, orb.clone(), DispatchKind::Hash);
+    let stub = LibraryStub::new(orb.clone(), orb.export(skel).unwrap());
+
+    // Every arm of the generated union crosses the wire intact.
+    for cmd in [
+        Command::JumpLabel("chapter-2".to_owned()),
+        Command::Frame(1234),
+        Command::Mode(Status::Paused),
+        Command::Shuttle(true),
+    ] {
+        stub.command(cmd.clone()).unwrap();
+        assert_eq!(stub.last_command().unwrap(), cmd);
+    }
+    orb.shutdown();
+}
+
+#[test]
+fn all_dispatch_strategies_work_on_generated_skeletons() {
+    for kind in DispatchKind::ALL {
+        let (orb, _servant, stub) = start_player(kind);
+        stub.play("clip".to_owned(), 7).unwrap();
+        stub.as_receiver().print("x".to_owned()).unwrap();
+        assert_eq!(stub.as_receiver().count().unwrap(), 1, "{kind:?}");
+        orb.shutdown();
+    }
+}
+
+#[test]
+fn generated_code_over_binary_protocol() {
+    // The same generated stubs run unchanged over the CDR/GIOP protocol —
+    // the paper's "abstract interface to the ORB" claim.
+    let orb = Orb::with_protocol(Arc::new(CdrProtocol));
+    orb.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(MediaPlayer::default());
+    let skel = PlayerSkel::new(Arc::clone(&servant) as _, orb.clone(), DispatchKind::Hash);
+    let stub = PlayerStub::new(orb.clone(), orb.export(skel).unwrap());
+    stub.play("binary".to_owned(), 9).unwrap();
+    assert_eq!(stub.state().unwrap(), Status::Playing);
+    stub.set_title("t".to_owned()).unwrap();
+    assert_eq!(stub.get_title().unwrap(), "t");
+    orb.shutdown();
+}
+
+#[test]
+fn unknown_method_on_generated_skeleton() {
+    let (orb, _servant, stub) = start_player(DispatchKind::Hash);
+    let call = orb.call(stub.object_ref(), "rewind");
+    let err = orb.invoke(call).unwrap_err();
+    let RmiError::Remote { repo_id, .. } = err else { panic!() };
+    assert_eq!(repo_id, "IDL:heidl/UnknownMethod:1.0");
+    orb.shutdown();
+}

@@ -1,0 +1,124 @@
+//! Cross-crate pipeline tests: Fig 6 (parser → EST → template codegen),
+//! Fig 7 (EST grouping), Fig 8 (the executable EST script), and the
+//! two-step code-generation property (§4.1).
+
+use heidl::codegen::Compiler;
+use heidl::est::{build, script};
+use heidl::idl::{parse, FIG3_IDL};
+
+#[test]
+fn fig6_pipeline_stages_compose() {
+    // Each stage separately, exactly as Fig 6 draws them.
+    let spec = parse(FIG3_IDL).expect("stage 1: generic IDL parser");
+    let est = build(&spec).expect("stage 2: EST construction");
+    let compiler = Compiler::new("heidi-cpp").expect("stage 3a: template compile");
+    let files = compiler.generate(&est, "A").expect("stage 3b: template-driven generation");
+    assert!(files.file("HdA.hh").is_some());
+}
+
+#[test]
+fn fig7_est_groups_interleaved_members() {
+    // Fig 3 interleaves the `button` attribute between methods q and s;
+    // Fig 7 shows the EST keeping attributes in a separate sub-tree.
+    let est = build(&parse(FIG3_IDL).unwrap()).unwrap();
+    let a = est.find("Interface", "A").unwrap();
+    let methods: Vec<String> = est
+        .children_of_kind(a, "Operation")
+        .into_iter()
+        .map(|n| est.node(n).name.clone())
+        .collect();
+    assert_eq!(methods, ["f", "g", "p", "q", "s", "t"], "methods contiguous and in order");
+    let attrs: Vec<String> = est
+        .children_of_kind(a, "Attribute")
+        .into_iter()
+        .map(|n| est.node(n).name.clone())
+        .collect();
+    assert_eq!(attrs, ["button"], "attributes in their own list");
+}
+
+#[test]
+fn fig8_script_encodes_and_rebuilds_the_est() {
+    let est = build(&parse(FIG3_IDL).unwrap()).unwrap();
+    let program = script::encode(&est);
+    // The paper's generated Perl is commented with repository ids.
+    assert!(program.contains("# IDL:Heidi:1.0"), "{program}");
+    assert!(program.contains("# IDL:Heidi/A:1.0"));
+    assert!(program.contains("# IDL:Heidi/SSequence:1.0"));
+    // Fig 8's property vocabulary survives.
+    assert!(program.contains("prop"), "{program}");
+    assert!(program.contains("typeName str \"Heidi_S\""), "{program}");
+    assert!(program.contains("Parent str \"Heidi_S\""), "{program}");
+    assert!(program.contains("getType str \"in\""), "{program}");
+    assert!(program.contains("members list \"Start\",\"Stop\""), "{program}");
+
+    let rebuilt = script::decode(&program).unwrap();
+    assert!(script::same_shape(&est, &rebuilt));
+}
+
+#[test]
+fn code_generated_from_rebuilt_est_is_identical() {
+    // The whole point of the EST script: run codegen later, from the
+    // stored representation, with identical results.
+    let est = build(&parse(FIG3_IDL).unwrap()).unwrap();
+    let rebuilt = script::decode(&script::encode(&est)).unwrap();
+    let compiler = Compiler::new("heidi-cpp").unwrap();
+    let direct = compiler.generate(&est, "A").unwrap();
+    let from_script = compiler.generate(&rebuilt, "A").unwrap();
+    assert_eq!(direct, from_script);
+}
+
+#[test]
+fn two_step_generation_compile_once_run_many() {
+    // §4.1: "the first step of the code-generation stage need only be
+    // performed once for a particular code-generation template."
+    let compiler = Compiler::new("heidi-cpp").unwrap();
+    let sources = [
+        ("interface One { void a(); };", "one", "HdOne.hh"),
+        ("interface Two { void b(in long x); };", "two", "HdTwo.hh"),
+        ("module M { interface Three {}; };", "three", "HdThree.hh"),
+    ];
+    for (idl, stem, expect) in sources {
+        let files = compiler.compile_source(idl, stem).unwrap();
+        assert!(files.file(expect).is_some(), "{expect}: {:?}", files.names());
+    }
+}
+
+#[test]
+fn same_est_feeds_every_language_backend() {
+    // One EST, five mappings — the decoupling claim of §4.
+    let est = build(&parse(FIG3_IDL).unwrap()).unwrap();
+    for name in heidl::codegen::backend_names() {
+        let compiler = Compiler::new(&name).unwrap();
+        let files = compiler.generate(&est, "A").unwrap();
+        assert!(!files.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn est_script_of_generated_scale_idl() {
+    // A larger synthetic module exercises encode/decode at scale.
+    let mut idl = String::from("module Big {\n");
+    for i in 0..40 {
+        idl.push_str(&format!(
+            "interface I{i} {{ void m{i}(in long a, in string b); readonly attribute long at{i}; }};\n"
+        ));
+    }
+    idl.push_str("};\n");
+    let est = build(&parse(&idl).unwrap()).unwrap();
+    let encoded = script::encode(&est);
+    let rebuilt = script::decode(&encoded).unwrap();
+    assert!(script::same_shape(&est, &rebuilt));
+    assert_eq!(rebuilt.len(), est.len());
+}
+
+#[test]
+fn pretty_printer_round_trips_through_the_pipeline() {
+    // parse → print → parse → EST → codegen equals the direct path.
+    let spec = parse(FIG3_IDL).unwrap();
+    let printed = heidl::idl::print(&spec);
+    let spec2 = parse(&printed).unwrap();
+    let direct = Compiler::new("heidi-cpp").unwrap().generate(&build(&spec).unwrap(), "A").unwrap();
+    let reprinted =
+        Compiler::new("heidi-cpp").unwrap().generate(&build(&spec2).unwrap(), "A").unwrap();
+    assert_eq!(direct, reprinted);
+}

@@ -1,0 +1,97 @@
+//! Property tests over the whole pipeline: any *well-formed* IDL module
+//! must flow through parse → EST → every backend without panics or
+//! errors, and the EST script must round-trip it exactly.
+
+use proptest::prelude::*;
+
+/// Generates a well-formed IDL source: interfaces `I0..In` whose bases
+/// only point backwards (so every name resolves), enums, typedefs, and
+/// methods over primitives/strings/enums with optional defaults.
+fn idl_module() -> impl Strategy<Value = String> {
+    let method_count = 0usize..5;
+    let iface_count = 1usize..6;
+    let enum_count = 0usize..3;
+    (iface_count, method_count, enum_count, any::<u64>()).prop_map(
+        |(ifaces, methods, enums, seed)| {
+            let mut s = String::from("module Gen {\n");
+            for e in 0..enums {
+                s.push_str(&format!("  enum E{e} {{ A{e}, B{e}, C{e} }};\n"));
+            }
+            s.push_str("  typedef sequence<long> LongSeq;\n");
+            for i in 0..ifaces {
+                let base = if i > 0 && seed.rotate_left(i as u32) & 1 == 1 {
+                    format!(" : I{}", (seed as usize + i) % i)
+                } else {
+                    String::new()
+                };
+                s.push_str(&format!("  interface I{i}{base} {{\n"));
+                for m in 0..methods {
+                    let (ty, default) = match (seed >> (m % 16)) % 5 {
+                        0 => ("long", " = 7"),
+                        1 => ("string", ""),
+                        2 => ("boolean", " = TRUE"),
+                        3 => ("double", ""),
+                        _ if enums > 0 => ("E0", ""),
+                        _ => ("short", ""),
+                    };
+                    let dir = match (seed >> m) % 4 {
+                        0 => "in",
+                        1 if ty != "string" => "in", // keep defaults legal
+                        2 => "inout",
+                        _ => "in",
+                    };
+                    let default = if dir == "in" { default } else { "" };
+                    s.push_str(&format!(
+                        "    void m{m}({dir} {ty} p{m}{default});\n"
+                    ));
+                }
+                if seed & (1 << (i % 60)) != 0 {
+                    s.push_str("    readonly attribute long position;\n");
+                }
+                s.push_str("  };\n");
+            }
+            s.push_str("};\n");
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_backend_generates_for_wellformed_idl(idl in idl_module()) {
+        let spec = heidl::idl::parse(&idl)
+            .map_err(|e| TestCaseError::fail(format!("{}\n{idl}", e.render(&idl))))?;
+        let est = heidl::est::build(&spec)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{idl}")))?;
+        for name in heidl::codegen::backend_names() {
+            let compiler = heidl::codegen::Compiler::new(&name).unwrap();
+            let files = compiler
+                .generate(&est, "gen")
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}\n{idl}")))?;
+            prop_assert!(!files.is_empty(), "{} generated nothing for:\n{}", name, idl);
+        }
+    }
+
+    #[test]
+    fn est_script_roundtrips_wellformed_idl(idl in idl_module()) {
+        let est = heidl::est::build(&heidl::idl::parse(&idl).unwrap()).unwrap();
+        let encoded = heidl::est::script::encode(&est);
+        let rebuilt = heidl::est::script::decode(&encoded)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{encoded}")))?;
+        prop_assert!(heidl::est::script::same_shape(&est, &rebuilt));
+    }
+
+    #[test]
+    fn pretty_print_reparse_generates_identically(idl in idl_module()) {
+        let spec = heidl::idl::parse(&idl).unwrap();
+        let printed = heidl::idl::print(&spec);
+        let spec2 = heidl::idl::parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{}\n{printed}", e.render(&printed))))?;
+        let compiler = heidl::codegen::Compiler::new("heidi-cpp").unwrap();
+        let a = compiler.generate(&heidl::est::build(&spec).unwrap(), "g").unwrap();
+        let b = compiler.generate(&heidl::est::build(&spec2).unwrap(), "g").unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Stress: many objects, many client threads, mixed operations, both
+//! protocols — the generated code and the runtime under sustained
+//! concurrent load (control messaging in Heidi ran exactly like this:
+//! many components, many small calls).
+
+use heidl::media::*;
+use heidl::rmi::{DispatchKind, Orb, RemoteObject, RmiError, RmiResult};
+use heidl::wire::CdrProtocol;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Board {
+    posts: AtomicUsize,
+    titles: Mutex<Vec<String>>,
+}
+
+impl Board {
+    fn new() -> Arc<Board> {
+        Arc::new(Board { posts: AtomicUsize::new(0), titles: Mutex::new(Vec::new()) })
+    }
+}
+
+impl RemoteObject for Board {
+    fn type_id(&self) -> &str {
+        Player_REPO_ID
+    }
+}
+
+impl ReceiverServant for Board {
+    fn print(&self, _text: String) -> RmiResult<()> {
+        self.posts.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn count(&self) -> RmiResult<i32> {
+        Ok(self.posts.load(Ordering::SeqCst) as i32)
+    }
+}
+
+impl PlayerServant for Board {
+    fn play(&self, _clip: String, volume: i32) -> RmiResult<()> {
+        if volume > 10 {
+            return Err(Busy { detail: "too loud".into() }.to_error());
+        }
+        Ok(())
+    }
+    fn stop(&self) -> RmiResult<()> {
+        Ok(())
+    }
+    fn load(&self, _s: heidl::rmi::IncopyArg) -> RmiResult<()> {
+        Ok(())
+    }
+    fn state(&self) -> RmiResult<Status> {
+        Ok(Status::Paused)
+    }
+    fn seek(&self, frames: Vec<i32>) -> RmiResult<()> {
+        if frames.iter().any(|f| *f < 0) {
+            return Err(RmiError::Protocol("negative frame".into()));
+        }
+        Ok(())
+    }
+    fn get_position(&self) -> RmiResult<i32> {
+        Ok(self.posts.load(Ordering::SeqCst) as i32)
+    }
+    fn get_title(&self) -> RmiResult<String> {
+        Ok(self.titles.lock().unwrap().last().cloned().unwrap_or_default())
+    }
+    fn set_title(&self, v: String) -> RmiResult<()> {
+        self.titles.lock().unwrap().push(v);
+        Ok(())
+    }
+}
+
+fn stress(orb: Orb, objects: usize, threads: usize, calls_per_thread: usize) {
+    orb.serve("127.0.0.1:0").unwrap();
+    let mut refs = Vec::new();
+    let mut boards = Vec::new();
+    for _ in 0..objects {
+        let board = Board::new();
+        let skel = PlayerSkel::new(
+            Arc::clone(&board) as Arc<dyn PlayerServant>,
+            orb.clone(),
+            DispatchKind::Hash,
+        );
+        refs.push(orb.export(skel).unwrap());
+        boards.push(board);
+    }
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let orb = orb.clone();
+            let refs = refs.clone();
+            std::thread::spawn(move || {
+                for i in 0..calls_per_thread {
+                    let objref = &refs[(t + i) % refs.len()];
+                    let stub = PlayerStub::new(orb.clone(), objref.clone());
+                    match i % 6 {
+                        0 => stub.as_receiver().print(format!("t{t} i{i}")).unwrap(),
+                        1 => {
+                            stub.play("clip".into(), 3).unwrap();
+                        }
+                        2 => {
+                            // Deliberate user exception path under load.
+                            let err = stub.play("clip".into(), 99).unwrap_err();
+                            assert!(Busy::matches(&err));
+                        }
+                        3 => {
+                            stub.seek(vec![1, 2, 3]).unwrap();
+                        }
+                        4 => {
+                            stub.set_title(format!("title-{t}-{i}")).unwrap();
+                            let _ = stub.get_title().unwrap();
+                        }
+                        _ => {
+                            let _ = stub.as_receiver().count().unwrap();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Every thread performed exactly |{i : i % 6 == 0}| prints.
+    let total_prints: usize = boards.iter().map(|b| b.posts.load(Ordering::SeqCst)).sum();
+    let per_thread = (0..calls_per_thread).filter(|i| i % 6 == 0).count();
+    assert_eq!(total_prints, threads * per_thread);
+    orb.shutdown();
+}
+
+#[test]
+fn stress_text_protocol() {
+    stress(Orb::new(), 8, 8, 60);
+}
+
+#[test]
+fn stress_binary_protocol() {
+    stress(Orb::with_protocol(Arc::new(CdrProtocol)), 4, 6, 48);
+}
+
+#[test]
+fn stress_stub_cache_under_concurrency() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let board = Board::new();
+    let skel = PlayerSkel::new(
+        Arc::clone(&board) as Arc<dyn PlayerServant>,
+        orb.clone(),
+        DispatchKind::Hash,
+    );
+    let objref = orb.export(skel).unwrap();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let orb = orb.clone();
+            let objref = objref.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let stub = orb.cached_stub(&objref, || {
+                        Arc::new(PlayerStub::new(orb.clone(), objref.clone()))
+                    });
+                    stub.as_receiver().print("x".into()).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(board.posts.load(Ordering::SeqCst), 400);
+    assert_eq!(orb.stub_count(), 1, "one cached stub shared by all threads");
+    orb.shutdown();
+}

@@ -1,0 +1,133 @@
+//! Experiment E8: the human-telnet debugging session (paper §4.2).
+//!
+//! *"Utilizing such a text-based protocol permitted a 'human' client to
+//! telnet into the bootstrap port of a Heidi application and type in
+//! simple HeidiRMI requests to debug the system."*
+//!
+//! These tests open a raw TCP socket to a live ORB and type requests as a
+//! human would — no stub, no Call object, just a line of text.
+
+use heidl::media::{PlayerSkel, Receiver_REPO_ID};
+use heidl::rmi::{DispatchKind, Orb, RemoteObject, RmiResult};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Echo {
+    prints: AtomicUsize,
+}
+
+impl RemoteObject for Echo {
+    fn type_id(&self) -> &str {
+        Receiver_REPO_ID
+    }
+}
+
+impl heidl::media::ReceiverServant for Echo {
+    fn print(&self, _text: String) -> RmiResult<()> {
+        self.prints.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn count(&self) -> RmiResult<i32> {
+        Ok(self.prints.load(Ordering::SeqCst) as i32)
+    }
+}
+
+impl heidl::media::PlayerServant for Echo {
+    fn play(&self, _clip: String, _volume: i32) -> RmiResult<()> {
+        Ok(())
+    }
+    fn stop(&self) -> RmiResult<()> {
+        Ok(())
+    }
+    fn load(&self, _source: heidl::rmi::IncopyArg) -> RmiResult<()> {
+        Ok(())
+    }
+    fn state(&self) -> RmiResult<heidl::media::Status> {
+        Ok(heidl::media::Status::Stopped)
+    }
+    fn seek(&self, _frames: Vec<i32>) -> RmiResult<()> {
+        Ok(())
+    }
+    fn get_position(&self) -> RmiResult<i32> {
+        Ok(0)
+    }
+    fn get_title(&self) -> RmiResult<String> {
+        Ok("untitled".to_owned())
+    }
+    fn set_title(&self, _v: String) -> RmiResult<()> {
+        Ok(())
+    }
+}
+
+fn telnet_session() -> (Orb, String, BufReader<TcpStream>) {
+    let orb = Orb::new();
+    let endpoint = orb.serve("127.0.0.1:0").unwrap();
+    let skel =
+        PlayerSkel::new(Arc::new(Echo { prints: AtomicUsize::new(0) }), orb.clone(), DispatchKind::Hash);
+    let objref = orb.export(skel).unwrap();
+    let stream = TcpStream::connect(endpoint.socket_addr()).unwrap();
+    (orb, objref.to_string(), BufReader::new(stream))
+}
+
+fn type_line(reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    reader.get_mut().write_all(line.as_bytes()).unwrap();
+    reader.get_mut().write_all(b"\r\n").unwrap(); // telnet sends CRLF
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    reply.trim_end().to_owned()
+}
+
+#[test]
+fn a_human_can_type_a_request_and_read_the_reply() {
+    let (orb, objref, mut session) = telnet_session();
+    // What a person types: "objref" "method" T args...
+    let reply = type_line(&mut session, &format!("\"{objref}\" \"print\" T \"hello from telnet\""));
+    assert_eq!(reply, "0", "status 0 = OK, readable at a glance");
+
+    let reply = type_line(&mut session, &format!("\"{objref}\" \"count\" T"));
+    assert_eq!(reply, "0 1", "status plus the long result, all printable text");
+    orb.shutdown();
+}
+
+#[test]
+fn typing_a_bad_method_yields_a_readable_diagnostic() {
+    let (orb, objref, mut session) = telnet_session();
+    let reply = type_line(&mut session, &format!("\"{objref}\" \"frobnicate\" T"));
+    assert!(reply.starts_with("2 "), "system exception status: {reply}");
+    assert!(reply.contains("IDL:heidl/UnknownMethod:1.0"), "{reply}");
+    assert!(reply.contains("frobnicate"), "the diagnostic names the method: {reply}");
+    orb.shutdown();
+}
+
+#[test]
+fn typing_garbage_yields_a_bad_request_reply() {
+    let (orb, _objref, mut session) = telnet_session();
+    let reply = type_line(&mut session, "\"not-an-objref\" \"x\" T");
+    assert!(reply.starts_with("2 "), "{reply}");
+    assert!(reply.contains("BadRequest"), "{reply}");
+    orb.shutdown();
+}
+
+#[test]
+fn wrong_object_id_is_reported() {
+    let (orb, objref, mut session) = telnet_session();
+    let bogus = objref.replace("#1#", "#424242#");
+    let reply = type_line(&mut session, &format!("\"{bogus}\" \"count\" T"));
+    assert!(reply.contains("UnknownObject"), "{reply}");
+    orb.shutdown();
+}
+
+#[test]
+fn the_whole_session_is_printable_ascii() {
+    let (orb, objref, mut session) = telnet_session();
+    let reply = type_line(&mut session, &format!("\"{objref}\" \"get_title\" T"));
+    // Wrong spelling on purpose: attribute access is _get_title.
+    assert!(reply.contains("UnknownMethod"), "{reply}");
+    let reply = type_line(&mut session, &format!("\"{objref}\" \"_get_title\" T"));
+    assert_eq!(reply, "0 \"untitled\"");
+    assert!(reply.chars().all(|c| c.is_ascii_graphic() || c == ' '), "{reply}");
+    orb.shutdown();
+}

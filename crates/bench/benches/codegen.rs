@@ -88,9 +88,7 @@ fn bench_full_compile(c: &mut Criterion) {
         let compiler = heidl_codegen::Compiler::new(backend).unwrap();
         group.bench_function(BenchmarkId::from_parameter(backend), |b| {
             b.iter(|| {
-                black_box(
-                    compiler.compile_source(black_box(heidl_idl::FIG3_IDL), "A").unwrap(),
-                )
+                black_box(compiler.compile_source(black_box(heidl_idl::FIG3_IDL), "A").unwrap())
             })
         });
     }

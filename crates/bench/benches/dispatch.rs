@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use heidl_bench::{method_names, NameStyle};
-use heidl_rmi::{
-    DispatchKind, DispatchOutcome, MethodTable, RmiResult, Skeleton, SkeletonBase,
-};
+use heidl_rmi::{DispatchKind, DispatchOutcome, MethodTable, RmiResult, Skeleton, SkeletonBase};
 use heidl_wire::{Decoder, Encoder};
 use std::hint::black_box;
 use std::sync::Arc;

@@ -9,8 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use heidl_rmi::{
-    marshal_reference, marshal_value, unmarshal_incopy, DispatchKind, DispatchOutcome,
-    IncopyArg, ObjectRef, Orb, RmiResult, Skeleton, SkeletonBase, ValueSerialize,
+    marshal_reference, marshal_value, unmarshal_incopy, DispatchKind, DispatchOutcome, IncopyArg,
+    ObjectRef, Orb, RmiResult, Skeleton, SkeletonBase, ValueSerialize,
 };
 use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol};
 use std::hint::black_box;
@@ -70,9 +70,8 @@ fn bench_connection_cache(c: &mut Criterion) {
     group.bench_function("cached", |b| b.iter(|| black_box(ping(&orb, &objref))));
 
     orb.connections().set_caching(false);
-    group.bench_function("fresh-connection-per-call", |b| {
-        b.iter(|| black_box(ping(&orb, &objref)))
-    });
+    group
+        .bench_function("fresh-connection-per-call", |b| b.iter(|| black_box(ping(&orb, &objref))));
     orb.connections().set_caching(true);
     group.finish();
     orb.shutdown();
@@ -218,12 +217,7 @@ fn bench_incopy(c: &mut Criterion) {
         .unwrap();
     let source = orb
         .export(Arc::new(SourceSkel {
-            base: SkeletonBase::new(
-                "IDL:Bench/Source:1.0",
-                DispatchKind::Hash,
-                ["field"],
-                vec![],
-            ),
+            base: SkeletonBase::new("IDL:Bench/Source:1.0", DispatchKind::Hash, ["field"], vec![]),
         }))
         .unwrap();
 

@@ -11,8 +11,8 @@
 
 use heidl_bench::{method_names, module_idl, rng, NameStyle, Payload};
 use heidl_rmi::{
-    marshal_reference, marshal_value, unmarshal_incopy, DispatchKind, DispatchOutcome,
-    IncopyArg, MethodTable, ObjectRef, Orb, RmiResult, Skeleton, SkeletonBase, ValueSerialize,
+    marshal_reference, marshal_value, unmarshal_incopy, DispatchKind, DispatchOutcome, IncopyArg,
+    MethodTable, ObjectRef, Orb, RmiResult, Skeleton, SkeletonBase, ValueSerialize,
 };
 use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol};
 use std::hint::black_box;
@@ -297,7 +297,10 @@ fn e4() {
     let c1 = orb.skeleton_count();
     let r2 = orb.export_once(identity, EchoSkel::new).unwrap();
     let c2 = orb.skeleton_count();
-    println!("after export_once twice (same identity):      {c1} then {c2} (refs equal: {})", r1 == r2);
+    println!(
+        "after export_once twice (same identity):      {c1} then {c2} (refs equal: {})",
+        r1 == r2
+    );
 
     // Stub cache, in the paper's scenario: a stringified reference arrives
     // over the wire ("at the receiving end, the type information contained
@@ -550,8 +553,7 @@ fn e7() {
     }
     let tcl = heidl_codegen::backend("tcl").unwrap();
     let runtime_loc = heidl_codegen::loc::count(tcl.assets[0].content);
-    let runtime_code =
-        heidl_codegen::loc::count_code(tcl.assets[0].content, &["#"]);
+    let runtime_code = heidl_codegen::loc::count_code(tcl.assets[0].content, &["#"]);
     println!(
         "\ntcl ORB runtime: {runtime_loc} non-blank lines ({runtime_code} code lines) — paper claims ~700."
     );
@@ -583,8 +585,7 @@ fn e8() {
     let orb = Orb::new();
     let endpoint = orb.serve("127.0.0.1:0").unwrap();
     let objref = orb.export(EchoSkel::new()).unwrap();
-    let mut session =
-        BufReader::new(std::net::TcpStream::connect(endpoint.socket_addr()).unwrap());
+    let mut session = BufReader::new(std::net::TcpStream::connect(endpoint.socket_addr()).unwrap());
     let typed = format!("\"{objref}\" \"ping\" T 41");
     session.get_mut().write_all(typed.as_bytes()).unwrap();
     session.get_mut().write_all(b"\r\n").unwrap();

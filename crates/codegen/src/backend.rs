@@ -150,10 +150,7 @@ mod tests {
 
     #[test]
     fn five_backends_registered() {
-        assert_eq!(
-            backend_names(),
-            ["heidi-cpp", "corba-cpp", "java", "tcl", "rust"]
-        );
+        assert_eq!(backend_names(), ["heidi-cpp", "corba-cpp", "java", "tcl", "rust"]);
     }
 
     #[test]

@@ -48,8 +48,7 @@ fn parse_args() -> Result<Args, String> {
                 args.backend = it.next().ok_or("--backend requires a name")?;
             }
             "--template" | "-t" => {
-                args.templates
-                    .push(PathBuf::from(it.next().ok_or("--template requires a file")?));
+                args.templates.push(PathBuf::from(it.next().ok_or("--template requires a file")?));
             }
             "--ir" => {
                 args.ir = Some(PathBuf::from(it.next().ok_or("--ir requires a directory")?));
@@ -80,7 +79,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: heidlc <file.idl> [--backend NAME] [--out DIR] [--emit files|est|idl|check]
+const USAGE: &str =
+    "usage: heidlc <file.idl> [--backend NAME] [--out DIR] [--emit files|est|idl|check]
        heidlc <file.idl> --template FILE.tmpl [--template ...] [--maps NAME]
        heidlc <file.idl> --ir DIR            (also store the EST in the repository)
        heidlc --from-ir UNIT --ir DIR [--backend NAME] [--out DIR]
@@ -119,19 +119,14 @@ fn run() -> Result<(), String> {
         }
         (None, Some(unit)) => {
             let dir = args.ir.clone().ok_or("--from-ir requires --ir DIR")?;
-            let repo =
-                heidl_est::InterfaceRepository::open(dir).map_err(|e| e.to_string())?;
+            let repo = heidl_est::InterfaceRepository::open(dir).map_err(|e| e.to_string())?;
             let est = repo.load(unit).map_err(|e| e.to_string())?;
             (est, unit.clone())
         }
         (Some(input), None) => {
             let source = std::fs::read_to_string(input)
                 .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
-            let stem = input
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("out")
-                .to_owned();
+            let stem = input.file_stem().and_then(|s| s.to_str()).unwrap_or("out").to_owned();
             if args.emit == "idl" {
                 let spec = heidl_idl::parse(&source).map_err(|e| e.render(&source))?;
                 print!("{}", heidl_idl::print(&spec));
@@ -147,14 +142,19 @@ fn run() -> Result<(), String> {
                 }
                 let mut out = String::new();
                 for d in &diagnostics {
-                    out.push_str(&format!("{}: {}: {}\n", input.display(), d.span().start, d.message()));
+                    out.push_str(&format!(
+                        "{}: {}: {}\n",
+                        input.display(),
+                        d.span().start,
+                        d.message()
+                    ));
                 }
                 return Err(out.trim_end().to_owned());
             }
             let est = heidl_est::build(&spec).map_err(|e| e.to_string())?;
             if let Some(dir) = &args.ir {
-                let repo = heidl_est::InterfaceRepository::open(dir.clone())
-                    .map_err(|e| e.to_string())?;
+                let repo =
+                    heidl_est::InterfaceRepository::open(dir.clone()).map_err(|e| e.to_string())?;
                 repo.store(&stem, &est).map_err(|e| e.to_string())?;
                 eprintln!("stored unit `{stem}` in {}", dir.display());
             }
@@ -178,11 +178,8 @@ fn run() -> Result<(), String> {
                 for path in &args.templates {
                     let text = std::fs::read_to_string(path)
                         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-                    let name = path
-                        .file_name()
-                        .and_then(|n| n.to_str())
-                        .unwrap_or("template")
-                        .to_owned();
+                    let name =
+                        path.file_name().and_then(|n| n.to_str()).unwrap_or("template").to_owned();
                     templates.push((name, text));
                 }
                 // `@include x` resolves to `x` or `x.tmpl` next to the

@@ -93,12 +93,11 @@ impl Compiler {
     ///
     /// Unknown backend names and template compile errors.
     pub fn new(backend_name: &str) -> Result<Compiler, CodegenError> {
-        let backend = crate::backend::backend(backend_name).ok_or_else(|| {
-            CodegenError::UnknownBackend {
+        let backend =
+            crate::backend::backend(backend_name).ok_or_else(|| CodegenError::UnknownBackend {
                 name: backend_name.to_owned(),
                 available: crate::backend::backend_names(),
-            }
-        })?;
+            })?;
         let mut programs = Vec::new();
         for t in backend.templates {
             programs.push((t.name.to_owned(), heidl_template::compile(t.source)?));
@@ -123,9 +122,7 @@ impl Compiler {
         templates: &[(String, String)],
         maps_from: &str,
     ) -> Result<Compiler, CodegenError> {
-        Compiler::from_templates_with_includes(templates, maps_from, &|_: &str| {
-            None::<String>
-        })
+        Compiler::from_templates_with_includes(templates, maps_from, &|_: &str| None::<String>)
     }
 
     /// Like [`Compiler::from_templates`], resolving `@include <name>`
@@ -139,18 +136,14 @@ impl Compiler {
         maps_from: &str,
         loader: &dyn heidl_template::IncludeLoader,
     ) -> Result<Compiler, CodegenError> {
-        let backend = crate::backend::backend(maps_from).ok_or_else(|| {
-            CodegenError::UnknownBackend {
+        let backend =
+            crate::backend::backend(maps_from).ok_or_else(|| CodegenError::UnknownBackend {
                 name: maps_from.to_owned(),
                 available: crate::backend::backend_names(),
-            }
-        })?;
+            })?;
         let mut programs = Vec::new();
         for (name, source) in templates {
-            programs.push((
-                name.clone(),
-                heidl_template::compile_with_includes(source, loader)?,
-            ));
+            programs.push((name.clone(), heidl_template::compile_with_includes(source, loader)?));
         }
         Ok(Compiler { backend, programs, registry: backend.registry(), custom: true })
     }
@@ -198,9 +191,8 @@ impl Compiler {
         let mut out = GeneratedFiles::default();
         for (name, program) in &self.programs {
             let mut sink = MemorySink::new();
-            heidl_template::run(program, est, &self.registry, &globals, &mut sink).map_err(
-                |source| CodegenError::Run { template: name.clone(), source },
-            )?;
+            heidl_template::run(program, est, &self.registry, &globals, &mut sink)
+                .map_err(|source| CodegenError::Run { template: name.clone(), source })?;
             let (_, files) = sink.into_parts();
             out.files.extend(files);
         }
@@ -218,11 +210,7 @@ impl Compiler {
 /// # Errors
 ///
 /// As for [`Compiler::new`] and [`Compiler::compile_source`].
-pub fn compile(
-    backend: &str,
-    idl: &str,
-    file_stem: &str,
-) -> Result<GeneratedFiles, CodegenError> {
+pub fn compile(backend: &str, idl: &str, file_stem: &str) -> Result<GeneratedFiles, CodegenError> {
     Compiler::new(backend)?.compile_source(idl, file_stem)
 }
 
@@ -262,8 +250,8 @@ mod tests {
 
     #[test]
     fn tcl_backend_ships_its_runtime() {
-        let out = compile("tcl", "interface Receiver { void print(in string text); };", "r")
-            .unwrap();
+        let out =
+            compile("tcl", "interface Receiver { void print(in string text); };", "r").unwrap();
         assert!(out.file("orb_runtime.tcl").unwrap().contains("class Call"));
         assert!(out.file("Receiver.tcl").is_some());
     }
@@ -271,8 +259,7 @@ mod tests {
     #[test]
     fn generated_files_write_to_disk() {
         let out = compile("java", "interface I { void f(); };", "I").unwrap();
-        let dir =
-            std::env::temp_dir().join(format!("heidl-codegen-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("heidl-codegen-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         out.write_to(&dir).unwrap();
         assert!(dir.join("I.java").exists());
@@ -302,11 +289,9 @@ mod tests {
             "end\n",
             "@end interfaceList\n",
         );
-        let c = Compiler::from_templates(
-            &[("sig.tmpl".to_owned(), template.to_owned())],
-            "heidi-cpp",
-        )
-        .unwrap();
+        let c =
+            Compiler::from_templates(&[("sig.tmpl".to_owned(), template.to_owned())], "heidi-cpp")
+                .unwrap();
         let out = c.compile_source("interface A { void f(in long x); void g(); };", "a").unwrap();
         let sig = out.file("HdA.sig").unwrap();
         assert!(sig.contains("signature HdA is"), "{sig}");
@@ -323,11 +308,8 @@ mod tests {
             "${interfaceName}\n",
             "@end interfaceList\n",
         );
-        let mut c = Compiler::from_templates(
-            &[("t".to_owned(), template.to_owned())],
-            "heidi-cpp",
-        )
-        .unwrap();
+        let mut c = Compiler::from_templates(&[("t".to_owned(), template.to_owned())], "heidi-cpp")
+            .unwrap();
         c.register_map("CPP::MapClassName", |s| format!("My{}", s));
         let out = c.compile_source("interface A {};", "a").unwrap();
         assert_eq!(out.file("t").is_none(), true, "no openfile: default output discarded");
@@ -338,11 +320,9 @@ mod tests {
             "${interfaceName}\n",
             "@end interfaceList\n",
         );
-        let mut c = Compiler::from_templates(
-            &[("t".to_owned(), template2.to_owned())],
-            "heidi-cpp",
-        )
-        .unwrap();
+        let mut c =
+            Compiler::from_templates(&[("t".to_owned(), template2.to_owned())], "heidi-cpp")
+                .unwrap();
         c.register_map("CPP::MapClassName", |s| format!("My{s}"));
         let out = c.compile_source("interface A {};", "a").unwrap();
         assert_eq!(out.file("out.txt").unwrap().trim(), "MyA");

@@ -122,17 +122,17 @@ fn capitalize(s: &str) -> String {
 /// namespace).
 pub fn heidi_cpp_registry() -> MapRegistry {
     let mut r = MapRegistry::new();
-    r.register("CPP::MapClassName", |s| hd_class(s));
-    r.register("CPP::MapType", |s| heidi_cpp_type(s));
-    r.register("CPP::MapReturnType", |s| heidi_cpp_type(s));
-    r.register("CPP::MapConst", |s| heidi_cpp_const(s));
+    r.register("CPP::MapClassName", hd_class);
+    r.register("CPP::MapType", heidi_cpp_type);
+    r.register("CPP::MapReturnType", heidi_cpp_type);
+    r.register("CPP::MapConst", heidi_cpp_const);
     r.register("CPP::MapSeqElem", |s| {
         TypeDesc::parse(s).map(|d| heidi_cpp_elem(&d)).unwrap_or_else(|| s.to_owned())
     });
-    r.register("CPP::Capitalize", |s| capitalize(s));
+    r.register("CPP::Capitalize", capitalize);
     r.register("CPP::MapFlatName", |s| s.replace("::", "_"));
-    r.register("CPP::MarshalOp", |s| heidi_cpp_put(s));
-    r.register("CPP::ExtractOp", |s| heidi_cpp_get(s));
+    r.register("CPP::MarshalOp", heidi_cpp_put);
+    r.register("CPP::ExtractOp", heidi_cpp_get);
     r
 }
 
@@ -174,10 +174,10 @@ fn corba_cpp_const(value: &str) -> String {
 /// The `CORBA::*` map functions of the CORBA-prescribed C++ backend.
 pub fn corba_cpp_registry() -> MapRegistry {
     let mut r = MapRegistry::new();
-    r.register("CORBA::MapClassName", |s| corba_class(s));
-    r.register("CORBA::MapType", |s| corba_cpp_type(s));
-    r.register("CORBA::MapReturnType", |s| corba_cpp_type(s));
-    r.register("CORBA::MapConst", |s| corba_cpp_const(s));
+    r.register("CORBA::MapClassName", corba_class);
+    r.register("CORBA::MapType", corba_cpp_type);
+    r.register("CORBA::MapReturnType", corba_cpp_type);
+    r.register("CORBA::MapConst", corba_cpp_const);
     r
 }
 
@@ -228,9 +228,9 @@ fn java_const(value: &str) -> String {
 pub fn java_registry() -> MapRegistry {
     let mut r = MapRegistry::new();
     r.register("Java::MapClassName", |s| local(s).to_owned());
-    r.register("Java::MapType", |s| java_type(s));
-    r.register("Java::MapReturnType", |s| java_type(s));
-    r.register("Java::MapConst", |s| java_const(s));
+    r.register("Java::MapType", java_type);
+    r.register("Java::MapReturnType", java_type);
+    r.register("Java::MapConst", java_const);
     r
 }
 
@@ -350,9 +350,9 @@ fn rust_const(value: &str) -> String {
 pub fn rust_registry() -> MapRegistry {
     let mut r = MapRegistry::new();
     r.register("Rust::MapClassName", |s| local(s).to_owned());
-    r.register("Rust::MapType", |s| rust_type(s));
-    r.register("Rust::MapReturn", |s| rust_type(s));
-    r.register("Rust::MapConst", |s| rust_const(s));
+    r.register("Rust::MapType", rust_type);
+    r.register("Rust::MapReturn", rust_type);
+    r.register("Rust::MapConst", rust_const);
     r.register("Rust::SnakeCase", |s| {
         let mut out = String::new();
         for (i, c) in local(s).char_indices() {
@@ -379,9 +379,7 @@ pub fn rust_registry() -> MapRegistry {
     r.register("Rust::SeqElemPut", |s| rust_seq_elem_op("put", s));
     r.register("Rust::SeqElemGet", |s| rust_seq_elem_op("get", s));
     // snake_case / lowercase IDL names → CamelCase Rust variant names.
-    r.register("Rust::Capitalize", |s| {
-        local(s).split('_').map(capitalize).collect::<String>()
-    });
+    r.register("Rust::Capitalize", |s| local(s).split('_').map(capitalize).collect::<String>());
     r
 }
 

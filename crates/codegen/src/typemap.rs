@@ -24,17 +24,9 @@ pub const TABLE1: &[TypeMapping] = &[
     TypeMapping { idl: "float", prescribed_cpp: "CORBA::Float", alternate_cpp: "float" },
     TypeMapping { idl: "double", prescribed_cpp: "CORBA::Double", alternate_cpp: "double" },
     TypeMapping { idl: "short", prescribed_cpp: "CORBA::Short", alternate_cpp: "short" },
-    TypeMapping {
-        idl: "ushort",
-        prescribed_cpp: "CORBA::UShort",
-        alternate_cpp: "unsigned short",
-    },
+    TypeMapping { idl: "ushort", prescribed_cpp: "CORBA::UShort", alternate_cpp: "unsigned short" },
     TypeMapping { idl: "ulong", prescribed_cpp: "CORBA::ULong", alternate_cpp: "unsigned long" },
-    TypeMapping {
-        idl: "longlong",
-        prescribed_cpp: "CORBA::LongLong",
-        alternate_cpp: "long long",
-    },
+    TypeMapping { idl: "longlong", prescribed_cpp: "CORBA::LongLong", alternate_cpp: "long long" },
     TypeMapping {
         idl: "ulonglong",
         prescribed_cpp: "CORBA::ULongLong",
@@ -81,8 +73,20 @@ mod tests {
     #[test]
     fn table_covers_all_primitive_categories() {
         for cat in [
-            "boolean", "char", "octet", "short", "ushort", "long", "ulong", "longlong",
-            "ulonglong", "float", "double", "any", "void", "string",
+            "boolean",
+            "char",
+            "octet",
+            "short",
+            "ushort",
+            "long",
+            "ulong",
+            "longlong",
+            "ulonglong",
+            "float",
+            "double",
+            "any",
+            "void",
+            "string",
         ] {
             assert!(prescribed(cat).is_some(), "missing {cat}");
         }

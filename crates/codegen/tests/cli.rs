@@ -6,10 +6,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn heidlc(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_heidlc"))
-        .args(args)
-        .output()
-        .expect("spawn heidlc")
+    Command::new(env!("CARGO_BIN_EXE_heidlc")).args(args).output().expect("spawn heidlc")
 }
 
 fn tmpdir(tag: &str) -> PathBuf {

@@ -70,12 +70,7 @@ pub fn build(spec: &Specification) -> Result<Est, BuildError> {
         return Err(BuildError::new(first.message().to_owned(), first.span()));
     }
     let table = SymbolTable::build(spec);
-    let mut b = Builder {
-        est: Est::new(),
-        table,
-        scope: Vec::new(),
-        bases: HashMap::new(),
-    };
+    let mut b = Builder { est: Est::new(), table, scope: Vec::new(), bases: HashMap::new() };
     b.collect_bases(&spec.definitions);
     let root = b.est.root();
     b.definitions(&spec.definitions, root)?;
@@ -125,9 +120,7 @@ impl Builder {
                         .bases
                         .iter()
                         .filter_map(|b| {
-                            self.table
-                                .resolve(b, &self.scope)
-                                .map(|(path, _)| path.join("::"))
+                            self.table.resolve(b, &self.scope).map(|(path, _)| path.join("::"))
                         })
                         .collect();
                     self.bases.insert(scoped, direct);
@@ -336,8 +329,7 @@ impl Builder {
         let n = self.est.add_node(op.name.text.clone(), "Operation", parent);
         self.est.add_prop(n, "methodName", op.name.text.clone());
         self.est.add_prop(n, "oneway", op.oneway);
-        self.est
-            .add_prop(n, "repoId", format!("IDL:{}/{}:1.0", iface_repo_prefix, op.name.text));
+        self.est.add_prop(n, "repoId", format!("IDL:{}/{}:1.0", iface_repo_prefix, op.name.text));
         let info = describe(&op.return_type, &self.table, &self.scope)
             .map_err(|e| BuildError::new(e.to_string(), op.span))?;
         self.est.add_prop(n, "returnType", info.desc);
@@ -564,21 +556,16 @@ mod tests {
             .children_of_kind(a, "Operation")
             .into_iter()
             .flat_map(|o| est.children_of_kind(o, "Param"))
-            .map(|p| {
-                (
-                    est.node(p).name.clone(),
-                    est.prop(p, "defaultParam").unwrap().as_text(),
-                )
-            })
+            .map(|p| (est.node(p).name.clone(), est.prop(p, "defaultParam").unwrap().as_text()))
             .collect();
-        let get = |name: &str| {
-            defaults.iter().find(|(n, _)| n == name).map(|(_, d)| d.clone()).unwrap()
-        };
+        let get =
+            |name: &str| defaults.iter().find(|(n, _)| n == name).map(|(_, d)| d.clone()).unwrap();
         assert_eq!(get("a"), "");
         assert_eq!(get("l"), "0");
         assert_eq!(get("b"), "TRUE");
         // q's parameter default `Heidi::Start` resolves to the enumerator.
-        let q_default = defaults.iter().filter(|(n, _)| n == "s").map(|(_, d)| d.clone()).collect::<Vec<_>>();
+        let q_default =
+            defaults.iter().filter(|(n, _)| n == "s").map(|(_, d)| d.clone()).collect::<Vec<_>>();
         assert!(q_default.contains(&"enum:Heidi::Start".to_owned()), "{q_default:?}");
     }
 
@@ -670,14 +657,8 @@ mod tests {
         assert_eq!(est.prop(u, "switchType").unwrap().as_text(), "enum:E");
         let cases = est.children_of_kind(u, "Case");
         assert_eq!(cases.len(), 2);
-        assert_eq!(
-            est.prop(cases[0], "labels").unwrap(),
-            PropValue::List(vec!["enum:X".into()])
-        );
-        assert_eq!(
-            est.prop(cases[1], "labels").unwrap(),
-            PropValue::List(vec!["default".into()])
-        );
+        assert_eq!(est.prop(cases[0], "labels").unwrap(), PropValue::List(vec!["enum:X".into()]));
+        assert_eq!(est.prop(cases[1], "labels").unwrap(), PropValue::List(vec!["default".into()]));
     }
 
     #[test]
@@ -693,10 +674,7 @@ mod tests {
         let est = build(&parse("struct P { long xs[4]; string name; };").unwrap()).unwrap();
         let p = est.find("Struct", "P").unwrap();
         let fields = est.children_of_kind(p, "Field");
-        assert_eq!(
-            est.prop(fields[0], "arrayDims").unwrap(),
-            PropValue::List(vec!["4".into()])
-        );
+        assert_eq!(est.prop(fields[0], "arrayDims").unwrap(), PropValue::List(vec!["4".into()]));
         assert_eq!(est.prop(fields[1], "type").unwrap().as_text(), "string");
     }
 }

@@ -61,12 +61,8 @@ impl std::error::Error for SemanticError {}
 /// Validates `spec`, returning every diagnostic found.
 pub fn validate(spec: &Specification) -> Vec<SemanticError> {
     let table = SymbolTable::build(spec);
-    let mut checker = Checker {
-        table,
-        scope: Vec::new(),
-        errors: Vec::new(),
-        bases: HashMap::new(),
-    };
+    let mut checker =
+        Checker { table, scope: Vec::new(), errors: Vec::new(), bases: HashMap::new() };
     checker.collect_bases(&spec.definitions);
     checker.definitions(&spec.definitions);
     checker.errors
@@ -137,10 +133,7 @@ impl Checker {
         let mut seen = HashSet::new();
         for m in members {
             if !seen.insert(m.name.text.as_str()) {
-                self.error(
-                    format!("duplicate {what} field `{}`", m.name.text),
-                    m.name.span,
-                );
+                self.error(format!("duplicate {what} field `{}`", m.name.text), m.name.span);
             }
         }
         if members.is_empty() && what == "struct" {
@@ -251,16 +244,9 @@ impl Checker {
     fn operation(&mut self, op: &Operation) {
         if op.oneway {
             if op.return_type != Type::Void {
-                self.error(
-                    format!("oneway operation `{}` must return void", op.name),
-                    op.span,
-                );
+                self.error(format!("oneway operation `{}` must return void", op.name), op.span);
             }
-            if op
-                .params
-                .iter()
-                .any(|p| matches!(p.direction, Direction::Out | Direction::InOut))
-            {
+            if op.params.iter().any(|p| matches!(p.direction, Direction::Out | Direction::InOut)) {
                 self.error(
                     format!("oneway operation `{}` cannot have out/inout parameters", op.name),
                     op.span,
@@ -326,10 +312,9 @@ impl Checker {
             | Type::ULong
             | Type::LongLong
             | Type::ULongLong => true,
-            Type::Named(n) => matches!(
-                self.table.resolve_transparent(n, &self.scope),
-                Some((_, Symbol::Enum))
-            ),
+            Type::Named(n) => {
+                matches!(self.table.resolve_transparent(n, &self.scope), Some((_, Symbol::Enum)))
+            }
             _ => false,
         };
         if !ok {
@@ -391,10 +376,7 @@ mod tests {
 
     fn assert_error(src: &str, needle: &str) {
         let errs = errors(src);
-        assert!(
-            errs.iter().any(|e| e.contains(needle)),
-            "expected `{needle}` in {errs:?}"
-        );
+        assert!(errs.iter().any(|e| e.contains(needle)), "expected `{needle}` in {errs:?}");
     }
 
     #[test]
@@ -415,10 +397,7 @@ mod tests {
     #[test]
     fn duplicate_members_and_params() {
         assert_error("interface I { void f(); void f(); };", "duplicate member `f`");
-        assert_error(
-            "interface I { void f(); attribute long f; };",
-            "duplicate member `f`",
-        );
+        assert_error("interface I { void f(); attribute long f; };", "duplicate member `f`");
         assert_error("interface I { void f(in long a, in long a); };", "duplicate parameter `a`");
         assert_error("enum E { X, X };", "duplicate enumerator `X`");
         assert_error("struct S { long a; long a; };", "duplicate struct field `a`");
@@ -493,10 +472,7 @@ mod tests {
 
     #[test]
     fn union_rules() {
-        assert_error(
-            "union U switch (float) { case 1: long a; };",
-            "discriminator must be",
-        );
+        assert_error("union U switch (float) { case 1: long a; };", "discriminator must be");
         assert_error(
             "union U switch (long) { case 1: long a; case 1: long b; };",
             "duplicate case label",

@@ -206,12 +206,7 @@ impl Est {
     /// in source order. This is the paper's Fig 7 invariant — attributes and
     /// operations interleaved in IDL come back as separate, contiguous lists.
     pub fn children_of_kind(&self, node: NodeId, kind: &str) -> Vec<NodeId> {
-        self.node(node)
-            .children
-            .iter()
-            .copied()
-            .filter(|c| self.node(*c).kind == kind)
-            .collect()
+        self.node(node).children.iter().copied().filter(|c| self.node(*c).kind == kind).collect()
     }
 
     /// Like [`Est::children_of_kind`], but when `node` is a container
@@ -308,8 +303,11 @@ mod tests {
         est.add_node("q", "Operation", i);
         est.add_node("button", "Attribute", i);
         est.add_node("s", "Operation", i);
-        let ops: Vec<_> =
-            est.children_of_kind(i, "Operation").iter().map(|&o| est.node(o).name.clone()).collect();
+        let ops: Vec<_> = est
+            .children_of_kind(i, "Operation")
+            .iter()
+            .map(|&o| est.node(o).name.clone())
+            .collect();
         assert_eq!(ops, ["q", "s"]);
         let attrs = est.children_of_kind(i, "Attribute");
         assert_eq!(attrs.len(), 1);

@@ -99,9 +99,7 @@ impl InterfaceRepository {
 
     fn path_for(&self, unit: &str) -> Result<PathBuf, RepoError> {
         let valid = !unit.is_empty()
-            && unit
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.');
+            && unit.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.');
         if !valid || unit.contains("..") {
             return Err(RepoError::BadName { unit: unit.to_owned() });
         }
@@ -134,8 +132,7 @@ impl InterfaceRepository {
             }
             Err(e) => return Err(e.into()),
         };
-        script::decode(&text)
-            .map_err(|source| RepoError::Corrupt { unit: unit.to_owned(), source })
+        script::decode(&text).map_err(|source| RepoError::Corrupt { unit: unit.to_owned(), source })
     }
 
     /// Removes a unit; `Ok(false)` when it did not exist.

@@ -105,16 +105,17 @@ pub fn decode(script: &str) -> Result<Est, ScriptError> {
     // Script ids are "n<index>" in creation order; bind them densely.
     let mut ids: Vec<Option<NodeId>> = vec![Some(est.root())];
 
-    let lookup = |ids: &[Option<NodeId>], token: &str, line: usize| -> Result<NodeId, ScriptError> {
-        let idx: usize = token
-            .strip_prefix('n')
-            .and_then(|d| d.parse().ok())
-            .ok_or_else(|| ScriptError { line, message: format!("bad node id `{token}`") })?;
-        ids.get(idx).copied().flatten().ok_or_else(|| ScriptError {
-            line,
-            message: format!("undefined node `{token}`"),
-        })
-    };
+    let lookup =
+        |ids: &[Option<NodeId>], token: &str, line: usize| -> Result<NodeId, ScriptError> {
+            let idx: usize = token
+                .strip_prefix('n')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| ScriptError { line, message: format!("bad node id `{token}`") })?;
+            ids.get(idx)
+                .copied()
+                .flatten()
+                .ok_or_else(|| ScriptError { line, message: format!("undefined node `{token}`") })
+        };
 
     for (i, raw) in script.lines().enumerate() {
         let line_no = i + 1;
@@ -127,16 +128,12 @@ pub fn decode(script: &str) -> Result<Est, ScriptError> {
         match cmd {
             "new" => {
                 let id = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
-                let idx: usize = id
-                    .strip_prefix('n')
-                    .and_then(|d| d.parse().ok())
-                    .ok_or_else(|| ScriptError {
-                        line: line_no,
-                        message: format!("bad node id `{id}`"),
+                let idx: usize =
+                    id.strip_prefix('n').and_then(|d| d.parse().ok()).ok_or_else(|| {
+                        ScriptError { line: line_no, message: format!("bad node id `{id}`") }
                     })?;
                 let kind = parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
-                let name =
-                    parts.quoted().map_err(|m| ScriptError { line: line_no, message: m })?;
+                let name = parts.quoted().map_err(|m| ScriptError { line: line_no, message: m })?;
                 let parent_tok =
                     parts.word().map_err(|m| ScriptError { line: line_no, message: m })?;
                 let parent = lookup(&ids, parent_tok, line_no)?;
@@ -165,27 +162,27 @@ pub fn decode(script: &str) -> Result<Est, ScriptError> {
                                 message: format!("bad int literal: {e}"),
                             })?,
                     ),
-                    "bool" => match parts
-                        .word()
-                        .map_err(|m| ScriptError { line: line_no, message: m })?
-                    {
-                        "true" => PropValue::Bool(true),
-                        "false" => PropValue::Bool(false),
-                        other => {
-                            return Err(ScriptError {
-                                line: line_no,
-                                message: format!("bad bool literal `{other}`"),
-                            });
+                    "bool" => {
+                        match parts.word().map_err(|m| ScriptError { line: line_no, message: m })? {
+                            "true" => PropValue::Bool(true),
+                            "false" => PropValue::Bool(false),
+                            other => {
+                                return Err(ScriptError {
+                                    line: line_no,
+                                    message: format!("bad bool literal `{other}`"),
+                                });
+                            }
                         }
-                    },
+                    }
                     "list" => {
                         let mut items = Vec::new();
                         if !parts.at_end() {
                             loop {
-                                items.push(parts.quoted().map_err(|m| ScriptError {
-                                    line: line_no,
-                                    message: m,
-                                })?);
+                                items.push(
+                                    parts
+                                        .quoted()
+                                        .map_err(|m| ScriptError { line: line_no, message: m })?,
+                                );
                                 if !parts.eat(',') {
                                     break;
                                 }
@@ -345,8 +342,7 @@ impl Replay {
         for op in &self.ops {
             match op {
                 ReplayOp::New { name, kind, parent } => {
-                    let node =
-                        est.add_node(name.clone(), kind.clone(), ids[*parent as usize]);
+                    let node = est.add_node(name.clone(), kind.clone(), ids[*parent as usize]);
                     ids.push(node);
                 }
                 ReplayOp::Prop { node, key, value } => {
@@ -367,11 +363,7 @@ pub fn same_shape(a: &Est, b: &Est) -> bool {
             && na.kind == nb.kind
             && na.props == nb.props
             && na.children.len() == nb.children.len()
-            && na
-                .children
-                .iter()
-                .zip(&nb.children)
-                .all(|(&ca, &cb)| node_eq(a, b, ca, cb))
+            && na.children.iter().zip(&nb.children).all(|(&ca, &cb)| node_eq(a, b, ca, cb))
     }
     node_eq(a, b, a.root(), b.root())
 }

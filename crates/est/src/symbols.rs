@@ -129,14 +129,12 @@ impl SymbolTable {
         scope: &[String],
     ) -> Option<(Vec<String>, Symbol)> {
         let (path, sym) = self.resolve(name, scope)?;
-        if let Symbol::Alias(ty) = sym {
-            if let heidl_idl::ast::Type::Named(inner) = ty {
-                // The alias target is resolved in the scope where the alias
-                // itself lives (its enclosing scope = path minus last part).
-                let enclosing = &path[..path.len() - 1];
-                if let Some(r) = self.resolve_transparent(inner, enclosing) {
-                    return Some(r);
-                }
+        if let Symbol::Alias(heidl_idl::ast::Type::Named(inner)) = sym {
+            // The alias target is resolved in the scope where the alias
+            // itself lives (its enclosing scope = path minus last part).
+            let enclosing = &path[..path.len() - 1];
+            if let Some(r) = self.resolve_transparent(inner, enclosing) {
+                return Some(r);
             }
         }
         Some((path, sym.clone()))
@@ -207,9 +205,8 @@ mod tests {
 
     #[test]
     fn alias_resolves_transparently() {
-        let t = table(
-            "module M { interface I; typedef I J; typedef J K; typedef sequence<long> L; };",
-        );
+        let t =
+            table("module M { interface I; typedef I J; typedef J K; typedef sequence<long> L; };");
         let scope = vec!["M".to_owned()];
         let (path, sym) = t.resolve_transparent(&name(&["K"]), &scope).unwrap();
         assert_eq!(path, ["M", "I"]);

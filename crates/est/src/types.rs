@@ -217,12 +217,7 @@ pub fn describe(
 }
 
 fn simple(kw: &str, is_variable: bool) -> TypeInfo {
-    TypeInfo {
-        desc: kw.to_owned(),
-        category: kw.to_owned(),
-        type_name: String::new(),
-        is_variable,
-    }
+    TypeInfo { desc: kw.to_owned(), category: kw.to_owned(), type_name: String::new(), is_variable }
 }
 
 fn describe_named(
@@ -230,8 +225,7 @@ fn describe_named(
     table: &SymbolTable,
     scope: &[String],
 ) -> Result<TypeInfo, UnresolvedName> {
-    let (path, sym) =
-        table.resolve(name, scope).ok_or_else(|| UnresolvedName(name.to_string()))?;
+    let (path, sym) = table.resolve(name, scope).ok_or_else(|| UnresolvedName(name.to_string()))?;
     let flat = flat_name(&path);
     let scoped = path.join("::");
     let (category, is_variable) = match sym {

@@ -30,9 +30,8 @@ fn tricky_string() -> impl Strategy<Value = String> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (tricky_string(), "[A-Za-z]{1,10}", any::<usize>()).prop_map(
-            |(name, kind, parent_pick)| Op::New { name, kind, parent_pick }
-        ),
+        (tricky_string(), "[A-Za-z]{1,10}", any::<usize>())
+            .prop_map(|(name, kind, parent_pick)| Op::New { name, kind, parent_pick }),
         (
             any::<usize>(),
             "[A-Za-z][A-Za-z0-9]{0,10}",

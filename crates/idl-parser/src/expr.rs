@@ -69,9 +69,7 @@ pub fn eval(expr: &ConstExpr, resolver: &dyn NameResolver) -> Result<ConstValue,
         ConstExpr::Bool(v) => Ok(ConstValue::Bool(*v)),
         ConstExpr::Char(c) => Ok(ConstValue::Char(*c)),
         ConstExpr::Str(s) => Ok(ConstValue::Str(s.clone())),
-        ConstExpr::Named(n) => {
-            resolver.resolve(n).ok_or_else(|| format!("unresolved name `{n}`"))
-        }
+        ConstExpr::Named(n) => resolver.resolve(n).ok_or_else(|| format!("unresolved name `{n}`")),
         ConstExpr::Unary(op, e) => {
             let v = eval(e, resolver)?;
             match (op, v) {
@@ -134,10 +132,7 @@ fn eval_binary(op: BinOp, a: ConstValue, b: ConstValue) -> Result<ConstValue, St
                 BinOp::Mul => a * b,
                 BinOp::Div => a / b,
                 other => {
-                    return Err(format!(
-                        "operator `{}` is not defined for floats",
-                        other.as_str()
-                    ));
+                    return Err(format!("operator `{}` is not defined for floats", other.as_str()));
                 }
             };
             Ok(Float(r))

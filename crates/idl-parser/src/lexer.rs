@@ -366,10 +366,7 @@ mod tests {
     #[test]
     fn comments_and_preprocessor_are_skipped() {
         let src = "#include <orb.idl>\n// line comment\n/* block\ncomment */ module";
-        assert_eq!(
-            kinds(src),
-            vec![TokenKind::Keyword(Keyword::Module), TokenKind::Eof]
-        );
+        assert_eq!(kinds(src), vec![TokenKind::Keyword(Keyword::Module), TokenKind::Eof]);
     }
 
     #[test]

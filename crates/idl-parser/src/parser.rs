@@ -302,8 +302,7 @@ impl Parser {
         let ty = self.type_spec()?;
         let name = self.ident()?;
         // HeidiRMI extension: default parameter value.
-        let default =
-            if self.eat_punct(Punct::Eq) { Some(self.const_expr()?) } else { None };
+        let default = if self.eat_punct(Punct::Eq) { Some(self.const_expr()?) } else { None };
         Ok(Param { direction, ty, name, default })
     }
 
@@ -504,9 +503,7 @@ impl Parser {
                         Type::ULong
                     }
                 } else {
-                    return Err(
-                        self.error_here("expected `short` or `long` after `unsigned`")
-                    );
+                    return Err(self.error_here("expected `short` or `long` after `unsigned`"));
                 }
             }
             TokenKind::Keyword(Keyword::String) => {
@@ -514,9 +511,10 @@ impl Parser {
                 let mut bound = None;
                 if self.eat_punct(Punct::Lt) {
                     let e = self.bound_expr()?;
-                    bound = Some(crate::expr::eval_u64(&e).map_err(|msg| {
-                        self.error_here(format!("bad string bound: {msg}"))
-                    })?);
+                    bound = Some(
+                        crate::expr::eval_u64(&e)
+                            .map_err(|msg| self.error_here(format!("bad string bound: {msg}")))?,
+                    );
                     self.expect_gt()?;
                 }
                 Type::String(bound)
@@ -528,9 +526,10 @@ impl Parser {
                 let mut bound = None;
                 if self.eat_punct(Punct::Comma) {
                     let e = self.bound_expr()?;
-                    bound = Some(crate::expr::eval_u64(&e).map_err(|msg| {
-                        self.error_here(format!("bad sequence bound: {msg}"))
-                    })?);
+                    bound =
+                        Some(crate::expr::eval_u64(&e).map_err(|msg| {
+                            self.error_here(format!("bad sequence bound: {msg}"))
+                        })?);
                 }
                 self.expect_gt()?;
                 Type::Sequence(Box::new(elem), bound)

@@ -177,7 +177,8 @@ mod tests {
     fn fig3_round_trips() {
         let spec = parse(FIG3_IDL).unwrap();
         let printed = print(&spec);
-        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{}\n{printed}", e.render(&printed)));
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("{}\n{printed}", e.render(&printed)));
         assert_eq!(normalize(&spec), normalize(&reparsed), "\n{printed}");
     }
 

@@ -50,6 +50,8 @@ impl Keyword {
     ///
     /// Like OMG IDL, `TRUE`/`FALSE` are accepted in upper case as boolean
     /// literals in addition to the conventional lowercase keywords.
+    // Not `FromStr`: lookup is fallible-by-design with `Option`, not `Err`.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

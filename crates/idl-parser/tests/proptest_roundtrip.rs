@@ -134,7 +134,12 @@ fn operation_strategy() -> impl Strategy<Value = Member> {
 
 fn attribute_strategy() -> impl Strategy<Value = Member> {
     (any::<bool>(), type_strategy(), ident_strategy()).prop_map(|(readonly, ty, name)| {
-        Member::Attribute(Attribute { readonly, ty, name: Ident::new(name), span: Default::default() })
+        Member::Attribute(Attribute {
+            readonly,
+            ty,
+            name: Ident::new(name),
+            span: Default::default(),
+        })
     })
 }
 
@@ -157,11 +162,10 @@ fn interface_strategy() -> impl Strategy<Value = Definition> {
 fn definition_strategy() -> impl Strategy<Value = Definition> {
     let plain = prop_oneof![
         interface_strategy(),
-        ident_strategy()
-            .prop_map(|n| Definition::ForwardInterface(ForwardInterface {
-                name: Ident::new(n),
-                span: Default::default()
-            })),
+        ident_strategy().prop_map(|n| Definition::ForwardInterface(ForwardInterface {
+            name: Ident::new(n),
+            span: Default::default()
+        })),
         (type_strategy(), ident_strategy(), proptest::collection::vec(1u64..10, 0..3)).prop_map(
             |(ty, name, dims)| Definition::TypeDef(TypeDef {
                 ty,
@@ -181,12 +185,14 @@ fn definition_strategy() -> impl Strategy<Value = Definition> {
             }
         ),
         (type_strategy(), ident_strategy(), const_expr_strategy()).prop_map(|(ty, name, value)| {
-            Definition::Const(ConstDef { ty, name: Ident::new(name), value, span: Default::default() })
+            Definition::Const(ConstDef {
+                ty,
+                name: Ident::new(name),
+                value,
+                span: Default::default(),
+            })
         }),
-        (
-            ident_strategy(),
-            proptest::collection::vec((type_strategy(), ident_strategy()), 0..4)
-        )
+        (ident_strategy(), proptest::collection::vec((type_strategy(), ident_strategy()), 0..4))
             .prop_map(|(name, members)| Definition::Struct(StructDef {
                 name: Ident::new(name),
                 members: members

@@ -9,17 +9,33 @@
 //!
 //! Body layouts (protocol-agnostic, built from codec primitives only):
 //!
-//! * request: `string target-objref · string method · bool
-//!   response-expected · <args>` — the flag (as in GIOP's
+//! * request: `ulonglong request-id · string target-objref · string method ·
+//!   bool response-expected · <args>` — the id correlates replies that may
+//!   arrive out of order on a multiplexed connection; the flag (as in GIOP's
 //!   `response_expected`) keeps `oneway` calls from desynchronizing the
 //!   reply stream on a cached connection;
-//! * reply:   `octet status · <results>` where status `0` = OK, or
-//!   `status != 0 · string repo-id · string detail` for exceptions
-//!   (`1` = user exception, `2` = system exception).
+//! * reply:   `ulonglong request-id · octet status · <results>` where status
+//!   `0` = OK, or `status != 0 · string repo-id · string detail` for
+//!   exceptions (`1` = user exception, `2` = system exception).
+//!
+//! On the text protocol both headers stay telnet-readable: a human types a
+//! small request id first (`7 "@tcp:host:port#1#IDL:..." "print" T ...`) and
+//! sees the same id echoed at the front of the reply (`7 0 ...`).
 
 use crate::error::{RmiError, RmiResult};
 use crate::objref::ObjectRef;
 use heidl_wire::{Decoder, Encoder, Protocol};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide request-id source. Ids only need to be unique among calls
+/// in flight on one connection, so a single monotonically increasing
+/// counter shared by every ORB in the process is more than enough.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh request id.
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Reply status codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +69,7 @@ impl ReplyStatus {
 
 /// A client-side request under construction.
 pub struct Call {
+    request_id: u64,
     target: ObjectRef,
     method: String,
     response_expected: bool,
@@ -62,6 +79,7 @@ pub struct Call {
 impl std::fmt::Debug for Call {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Call")
+            .field("request_id", &self.request_id)
             .field("target", &self.target.to_string())
             .field("method", &self.method)
             .finish_non_exhaustive()
@@ -86,11 +104,24 @@ impl Call {
         protocol: &dyn Protocol,
         response_expected: bool,
     ) -> Call {
+        let request_id = next_request_id();
         let mut enc = protocol.encoder();
+        enc.put_ulonglong(request_id);
         enc.put_string(&target.to_string());
         enc.put_string(method);
         enc.put_bool(response_expected);
-        Call { target: target.clone(), method: method.to_owned(), response_expected, enc }
+        Call {
+            request_id,
+            target: target.clone(),
+            method: method.to_owned(),
+            response_expected,
+            enc,
+        }
+    }
+
+    /// The correlation id stamped at the front of the request body.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
     }
 
     /// Whether the server will reply to this call.
@@ -121,6 +152,8 @@ impl Call {
 
 /// A server-side view of a received request.
 pub struct IncomingCall {
+    /// The correlation id from the call header; echoed into the reply.
+    pub request_id: u64,
     /// The target reference from the call header.
     pub target: ObjectRef,
     /// The requested method.
@@ -148,12 +181,41 @@ impl IncomingCall {
     /// Fails on unmarshalable headers or unparsable references.
     pub fn parse(body: Vec<u8>, protocol: &dyn Protocol) -> RmiResult<IncomingCall> {
         let mut dec = protocol.decoder(body)?;
+        let request_id = dec.get_ulonglong()?;
         let target_text = dec.get_string()?;
         let target: ObjectRef = target_text.parse()?;
         let method = dec.get_string()?;
         let response_expected = dec.get_bool()?;
-        Ok(IncomingCall { target, method, response_expected, args: dec })
+        Ok(IncomingCall { request_id, target, method, response_expected, args: dec })
     }
+}
+
+/// Reads just `(request-id, response-expected)` from a request body without
+/// consuming it, so a server's reader thread can route the message (reply
+/// expected or not) before the full parse happens on a worker.
+///
+/// # Errors
+///
+/// Fails when the header does not unmarshal or the reference is malformed.
+pub fn peek_request_header(body: &[u8], protocol: &dyn Protocol) -> RmiResult<(u64, bool)> {
+    let mut dec = protocol.decoder(body.to_vec())?;
+    let request_id = dec.get_ulonglong()?;
+    let _target = dec.get_string()?;
+    let _method = dec.get_string()?;
+    let response_expected = dec.get_bool()?;
+    Ok((request_id, response_expected))
+}
+
+/// Reads just the leading request id from a reply body without consuming
+/// it, so the client-side demultiplexer can hand the bytes to the right
+/// pending caller.
+///
+/// # Errors
+///
+/// Fails when the body does not start with an unmarshalable id.
+pub fn peek_reply_id(body: &[u8], protocol: &dyn Protocol) -> RmiResult<u64> {
+    let mut dec = protocol.decoder(body.to_vec())?;
+    Ok(dec.get_ulonglong()?)
 }
 
 /// A server-side reply under construction.
@@ -168,22 +230,26 @@ impl std::fmt::Debug for ReplyBuilder {
 }
 
 impl ReplyBuilder {
-    /// Starts a normal reply; marshal results into [`ReplyBuilder::results`].
-    pub fn ok(protocol: &dyn Protocol) -> ReplyBuilder {
+    /// Starts a normal reply to request `request_id`; marshal results into
+    /// [`ReplyBuilder::results`].
+    pub fn ok(protocol: &dyn Protocol, request_id: u64) -> ReplyBuilder {
         let mut enc = protocol.encoder();
+        enc.put_ulonglong(request_id);
         enc.put_octet(ReplyStatus::Ok.code());
         ReplyBuilder { enc }
     }
 
-    /// Builds a complete exception reply.
+    /// Builds a complete exception reply to request `request_id`.
     pub fn exception(
         protocol: &dyn Protocol,
+        request_id: u64,
         status: ReplyStatus,
         repo_id: &str,
         detail: &str,
     ) -> Vec<u8> {
         debug_assert_ne!(status, ReplyStatus::Ok, "exceptions need a non-OK status");
         let mut enc = protocol.encoder();
+        enc.put_ulonglong(request_id);
         enc.put_octet(status.code());
         enc.put_string(repo_id);
         enc.put_string(detail);
@@ -203,12 +269,13 @@ impl ReplyBuilder {
 
 /// A client-side view of a received reply.
 pub struct Reply {
+    request_id: u64,
     dec: Box<dyn Decoder>,
 }
 
 impl std::fmt::Debug for Reply {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Reply").finish_non_exhaustive()
+        f.debug_struct("Reply").field("request_id", &self.request_id).finish_non_exhaustive()
     }
 }
 
@@ -221,15 +288,21 @@ impl Reply {
     /// [`RmiError::Remote`].
     pub fn parse(body: Vec<u8>, protocol: &dyn Protocol) -> RmiResult<Reply> {
         let mut dec = protocol.decoder(body)?;
+        let request_id = dec.get_ulonglong()?;
         let status = ReplyStatus::from_code(dec.get_octet()?)?;
         match status {
-            ReplyStatus::Ok => Ok(Reply { dec }),
+            ReplyStatus::Ok => Ok(Reply { request_id, dec }),
             ReplyStatus::UserException | ReplyStatus::SystemException => {
                 let repo_id = dec.get_string()?;
                 let detail = dec.get_string()?;
                 Err(RmiError::Remote { repo_id, detail })
             }
         }
+    }
+
+    /// The correlation id echoed from the request.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
     }
 
     /// The result decoder, positioned at the first result value.
@@ -256,11 +329,13 @@ mod tests {
     fn request_roundtrip_on_both_protocols() {
         for p in protocols() {
             let mut call = Call::request(&target(), "p", p.as_ref());
+            let id = call.request_id();
             call.args().put_long(7);
             call.args().put_string("x");
             let body = call.into_body();
 
             let mut incoming = IncomingCall::parse(body, p.as_ref()).unwrap();
+            assert_eq!(incoming.request_id, id);
             assert_eq!(incoming.target, target());
             assert_eq!(incoming.method, "p");
             assert_eq!(incoming.args.get_long().unwrap(), 7);
@@ -270,12 +345,38 @@ mod tests {
     }
 
     #[test]
+    fn request_ids_are_unique_per_call() {
+        let a = Call::request(&target(), "p", &TextProtocol).request_id();
+        let b = Call::request(&target(), "p", &TextProtocol).request_id();
+        assert_ne!(a, b);
+        assert!(a > 0 && b > 0);
+    }
+
+    #[test]
+    fn peek_helpers_read_headers_without_consuming() {
+        for p in protocols() {
+            let call = Call::oneway(&target(), "stop", p.as_ref());
+            let id = call.request_id();
+            let body = call.into_body();
+            assert_eq!(peek_request_header(&body, p.as_ref()).unwrap(), (id, false));
+            // The body is untouched and still parses fully.
+            let incoming = IncomingCall::parse(body, p.as_ref()).unwrap();
+            assert_eq!(incoming.request_id, id);
+
+            let reply = ReplyBuilder::ok(p.as_ref(), 71).into_body();
+            assert_eq!(peek_reply_id(&reply, p.as_ref()).unwrap(), 71);
+            assert_eq!(Reply::parse(reply, p.as_ref()).unwrap().request_id(), 71);
+        }
+    }
+
+    #[test]
     fn ok_reply_roundtrip() {
         for p in protocols() {
-            let mut rb = ReplyBuilder::ok(p.as_ref());
+            let mut rb = ReplyBuilder::ok(p.as_ref(), 5);
             rb.results().put_long(99);
             let body = rb.into_body();
             let mut reply = Reply::parse(body, p.as_ref()).unwrap();
+            assert_eq!(reply.request_id(), 5);
             assert_eq!(reply.results().get_long().unwrap(), 99);
         }
     }
@@ -285,6 +386,7 @@ mod tests {
         for p in protocols() {
             let body = ReplyBuilder::exception(
                 p.as_ref(),
+                9,
                 ReplyStatus::UserException,
                 "IDL:Heidi/Broken:1.0",
                 "subsystem offline",
@@ -299,16 +401,20 @@ mod tests {
     #[test]
     fn request_header_is_readable_on_text_protocol() {
         let call = Call::request(&target(), "play", &TextProtocol);
+        let id = call.request_id();
         let body = call.into_body();
         let text = String::from_utf8(body).unwrap();
-        // Fig 4's header: the stringified reference leads the message.
-        assert!(text.starts_with("\"@tcp:localhost:1234#42#IDL:Heidi/A:1.0\" \"play\" T"), "{text}");
+        // Fig 4's header: the request id, then the stringified reference,
+        // all still readable (and typable) over telnet.
+        let expect = format!("{id} \"@tcp:localhost:1234#42#IDL:Heidi/A:1.0\" \"play\" T");
+        assert!(text.starts_with(&expect), "{text}");
     }
 
     #[test]
     fn bad_status_byte_is_a_protocol_error() {
         let p = TextProtocol;
         let mut enc = p.encoder();
+        enc.put_ulonglong(1);
         enc.put_octet(9);
         let err = Reply::parse(enc.finish(), &p).unwrap_err();
         assert!(matches!(err, RmiError::Protocol(_)));
@@ -326,6 +432,7 @@ mod tests {
     fn incoming_call_with_bad_reference_fails() {
         let p = TextProtocol;
         let mut enc = p.encoder();
+        enc.put_ulonglong(3);
         enc.put_string("not-a-reference");
         enc.put_string("m");
         let err = IncomingCall::parse(enc.finish(), &p).unwrap_err();

@@ -1,17 +1,28 @@
-//! `ObjectCommunicator` and the connection cache.
+//! `ObjectCommunicator`, multiplexed connections, and the connection cache.
 //!
 //! Paper §3.1: *"An `ObjectCommunicator` provides the abstraction of a
 //! communication channel on which individual requests can be demarcated.
 //! ... Connections are cached and reused in HeidiRMI, and only if there is
 //! no available connection is a new connection opened."*
+//!
+//! This module goes one step past the paper's one-call-at-a-time cache:
+//! a [`MuxConnection`] multiplexes any number of concurrent in-flight
+//! requests over a single socket, correlating out-of-order replies by the
+//! request id that leads every message (see `call.rs`). A dedicated demux
+//! thread owns the read half; callers park on per-request channels until
+//! their reply (or their deadline) arrives.
 
+use crate::call::peek_reply_id;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
 use crate::transport::{TcpTransport, Transport};
 use heidl_wire::Protocol;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// A message channel over a transport: framing + buffering.
 pub struct ObjectCommunicator {
@@ -78,7 +89,8 @@ impl ObjectCommunicator {
         }
     }
 
-    /// One request/reply round trip.
+    /// One request/reply round trip (single-plexed; the client invocation
+    /// path goes through [`MuxConnection::call`] instead).
     ///
     /// # Errors
     ///
@@ -89,19 +101,267 @@ impl ObjectCommunicator {
     }
 }
 
+/// A waiting caller's mailbox: the demux thread posts the reply body here.
+type ReplySlot = mpsc::Sender<RmiResult<Vec<u8>>>;
+
+/// A shared, multiplexed connection to one endpoint.
+///
+/// Any number of threads may have calls in flight concurrently; each call
+/// stamps its request id into the body (done by `Call`), registers a
+/// mailbox under that id, writes the frame under a brief lock, and parks
+/// until the demux thread delivers the correlated reply — which may arrive
+/// in any order relative to other calls. A call abandoned at its deadline
+/// simply unregisters; the late reply is dropped on arrival and the
+/// connection stays healthy.
+pub struct MuxConnection {
+    writer: Mutex<Box<dyn Transport>>,
+    protocol: Arc<dyn Protocol>,
+    pending: Arc<Mutex<HashMap<u64, ReplySlot>>>,
+    alive: Arc<AtomicBool>,
+    /// Outstanding `CheckedOut` guards (pool observability, not a limit).
+    borrowed: AtomicUsize,
+    peer: String,
+}
+
+impl std::fmt::Debug for MuxConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxConnection")
+            .field("peer", &self.peer)
+            .field("alive", &self.is_alive())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+impl MuxConnection {
+    /// Opens a multiplexed TCP connection to `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(
+        endpoint: &Endpoint,
+        protocol: &Arc<dyn Protocol>,
+    ) -> RmiResult<Arc<MuxConnection>> {
+        let transport = TcpTransport::connect(&endpoint.socket_addr())?;
+        MuxConnection::over(Box::new(transport), Arc::clone(protocol))
+    }
+
+    /// Wraps an arbitrary transport (tests use in-process pipes), splitting
+    /// it and spawning the demux reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport cannot be split or the thread not spawned.
+    pub fn over(
+        transport: Box<dyn Transport>,
+        protocol: Arc<dyn Protocol>,
+    ) -> RmiResult<Arc<MuxConnection>> {
+        let peer = transport.peer();
+        let (writer, reader) = transport.split()?;
+        let pending: Arc<Mutex<HashMap<u64, ReplySlot>>> = Arc::new(Mutex::new(HashMap::new()));
+        let alive = Arc::new(AtomicBool::new(true));
+        let comm = ObjectCommunicator::new(reader, Arc::clone(&protocol));
+        let demux_pending = Arc::clone(&pending);
+        let demux_alive = Arc::clone(&alive);
+        std::thread::Builder::new()
+            .name(format!("heidl-demux-{peer}"))
+            .spawn(move || demux_loop(comm, demux_pending, demux_alive))
+            .map_err(RmiError::Io)?;
+        Ok(Arc::new(MuxConnection {
+            writer: Mutex::new(writer),
+            protocol,
+            pending,
+            alive,
+            borrowed: AtomicUsize::new(0),
+            peer,
+        }))
+    }
+
+    /// Whether the demux thread is still serving replies.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Number of calls currently awaiting a reply.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Peer description for diagnostics.
+    pub fn peer(&self) -> String {
+        self.peer.clone()
+    }
+
+    /// One correlated request/reply exchange. `request_id` must match the
+    /// id marshaled at the front of `body`. With a deadline, waits at most
+    /// that long for the correlated reply before returning
+    /// [`RmiError::DeadlineExceeded`] — without tearing the connection
+    /// down for the other calls sharing it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, [`RmiError::Disconnected`] when the connection
+    /// dies before the reply, [`RmiError::DeadlineExceeded`] on timeout.
+    pub fn call(
+        &self,
+        request_id: u64,
+        body: &[u8],
+        deadline: Option<Duration>,
+    ) -> RmiResult<Vec<u8>> {
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(request_id, tx);
+        // The demux thread drains `pending` when it dies; registering
+        // first and re-checking `alive` after closes the race where it
+        // died in between (then nobody would ever wake us).
+        if !self.is_alive() && self.pending.lock().remove(&request_id).is_some() {
+            return Err(RmiError::Disconnected);
+        }
+        if let Err(e) = self.send_framed(body) {
+            self.pending.lock().remove(&request_id);
+            return Err(e);
+        }
+        match deadline {
+            None => rx.recv().unwrap_or(Err(RmiError::Disconnected)),
+            Some(limit) => match rx.recv_timeout(limit) {
+                Ok(result) => result,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Unregister so the late reply is dropped. If the demux
+                    // thread claimed the slot in this instant, the reply is
+                    // already in the channel — take it instead.
+                    if self.pending.lock().remove(&request_id).is_some() {
+                        Err(RmiError::DeadlineExceeded { after: limit })
+                    } else {
+                        rx.try_recv().unwrap_or(Err(RmiError::Disconnected))
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(RmiError::Disconnected),
+            },
+        }
+    }
+
+    /// Sends a request that expects no reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_oneway(&self, body: &[u8]) -> RmiResult<()> {
+        self.send_framed(body)
+    }
+
+    fn send_framed(&self, body: &[u8]) -> RmiResult<()> {
+        let mut framed = Vec::with_capacity(body.len() + 16);
+        self.protocol.frame(body, &mut framed);
+        self.writer.lock().send(&framed)?;
+        Ok(())
+    }
+
+    fn borrow(&self) {
+        self.borrowed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn release(&self) {
+        self.borrowed.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn borrowed(&self) -> usize {
+        self.borrowed.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for MuxConnection {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::SeqCst);
+        // Unblocks the demux thread and closes the socket for the peer.
+        self.writer.get_mut().shutdown();
+    }
+}
+
+/// The demux thread: reads framed replies off the shared connection and
+/// wakes whichever caller registered the matching request id. Replies with
+/// no registered caller (deadline already passed) are dropped. On any read
+/// failure every parked caller is woken with `Disconnected`.
+fn demux_loop(
+    mut comm: ObjectCommunicator,
+    pending: Arc<Mutex<HashMap<u64, ReplySlot>>>,
+    alive: Arc<AtomicBool>,
+) {
+    while let Ok(Some(body)) = comm.recv() {
+        let Ok(id) = peek_reply_id(&body, comm.protocol().as_ref()) else {
+            break; // unintelligible reply stream: give up on the connection
+        };
+        if let Some(slot) = pending.lock().remove(&id) {
+            let _ = slot.send(Ok(body));
+        }
+    }
+    alive.store(false, Ordering::SeqCst);
+    for (_, slot) in pending.lock().drain() {
+        let _ = slot.send(Err(RmiError::Disconnected));
+    }
+}
+
+/// A checked-out connection: an RAII guard around the shared
+/// [`MuxConnection`], recording whether it came from the cache (the input
+/// to the stale-connection retry heuristic). Dropping the guard checks the
+/// connection back in.
+pub struct CheckedOut {
+    conn: Arc<MuxConnection>,
+    from_cache: bool,
+}
+
+impl std::fmt::Debug for CheckedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckedOut")
+            .field("peer", &self.conn.peer())
+            .field("from_cache", &self.from_cache)
+            .finish()
+    }
+}
+
+impl CheckedOut {
+    /// Whether this connection was already pooled at checkout time. A
+    /// failure on a cached connection may just mean it went stale while
+    /// idle, so it is worth one retry on a fresh connection; a failure on
+    /// a fresh connection is not.
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// The underlying shared connection.
+    pub fn connection(&self) -> &Arc<MuxConnection> {
+        &self.conn
+    }
+}
+
+impl Deref for CheckedOut {
+    type Target = MuxConnection;
+    fn deref(&self) -> &MuxConnection {
+        &self.conn
+    }
+}
+
+impl Drop for CheckedOut {
+    fn drop(&mut self) {
+        self.conn.release();
+    }
+}
+
 /// The per-address-space connection cache.
 ///
-/// `checkout` hands an idle cached connection when one exists, opening a
-/// fresh one only otherwise; `checkin` returns it for reuse. Experiment E3
-/// measures exactly this cache's effect.
-#[derive(Default)]
+/// `checkout` hands back a guard over the endpoint's shared multiplexed
+/// connection, opening a fresh one only when none exists (or when every
+/// pooled connection is busy and the per-endpoint cap allows growth).
+/// Experiment E3 measures exactly this cache's effect.
 pub struct ConnectionPool {
-    idle: Mutex<HashMap<Endpoint, Vec<ObjectCommunicator>>>,
+    conns: Mutex<HashMap<Endpoint, Vec<Arc<MuxConnection>>>>,
     /// Total fresh connections opened (observability for tests/benches).
-    opened: std::sync::atomic::AtomicU64,
-    /// When false, checkin drops connections instead of caching them —
-    /// the "no cache" ablation arm of E3.
-    caching: std::sync::atomic::AtomicBool,
+    opened: AtomicU64,
+    /// When false, every checkout opens a throwaway connection — the
+    /// "no cache" ablation arm of E3.
+    caching: AtomicBool,
+    /// Upper bound on pooled connections per endpoint; beyond it, calls
+    /// multiplex onto the existing sockets.
+    max_per_endpoint: AtomicUsize,
 }
 
 impl std::fmt::Debug for ConnectionPool {
@@ -109,37 +369,62 @@ impl std::fmt::Debug for ConnectionPool {
         f.debug_struct("ConnectionPool")
             .field("opened", &self.opened_count())
             .field("caching", &self.caching_enabled())
+            .field("max_per_endpoint", &self.max_connections_per_endpoint())
             .finish()
     }
 }
 
+impl Default for ConnectionPool {
+    fn default() -> Self {
+        ConnectionPool::new()
+    }
+}
+
 impl ConnectionPool {
-    /// Creates an empty pool with caching enabled.
+    /// Creates an empty pool with caching enabled and one shared
+    /// connection per endpoint.
     pub fn new() -> Self {
-        let pool = ConnectionPool::default();
-        pool.caching.store(true, std::sync::atomic::Ordering::Relaxed);
-        pool
+        ConnectionPool {
+            conns: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            caching: AtomicBool::new(true),
+            max_per_endpoint: AtomicUsize::new(1),
+        }
     }
 
     /// Enables or disables caching (E3's ablation switch).
     pub fn set_caching(&self, on: bool) {
-        self.caching.store(on, std::sync::atomic::Ordering::Relaxed);
+        self.caching.store(on, Ordering::Relaxed);
         if !on {
-            self.idle.lock().clear();
+            self.conns.lock().clear();
         }
     }
 
-    /// Whether checkin keeps connections.
+    /// Whether checkouts share pooled connections.
     pub fn caching_enabled(&self) -> bool {
-        self.caching.load(std::sync::atomic::Ordering::Relaxed)
+        self.caching.load(Ordering::Relaxed)
     }
 
     /// Number of fresh connections opened through this pool.
     pub fn opened_count(&self) -> u64 {
-        self.opened.load(std::sync::atomic::Ordering::Relaxed)
+        self.opened.load(Ordering::Relaxed)
     }
 
-    /// Gets a connection to `endpoint`: cached if available, else fresh.
+    /// The per-endpoint pooled-connection cap.
+    pub fn max_connections_per_endpoint(&self) -> usize {
+        self.max_per_endpoint.load(Ordering::Relaxed)
+    }
+
+    /// Sets the per-endpoint pooled-connection cap (minimum 1).
+    pub fn set_max_connections_per_endpoint(&self, max: usize) {
+        self.max_per_endpoint.store(max.max(1), Ordering::Relaxed);
+    }
+
+    /// Gets a connection to `endpoint`: the endpoint's shared multiplexed
+    /// connection when pooled, else fresh. Pooled connections are handed
+    /// out even when their demux thread has died — the invocation path
+    /// treats the resulting failure as a stale cache entry and retries
+    /// once on a fresh connection.
     ///
     /// # Errors
     ///
@@ -148,58 +433,99 @@ impl ConnectionPool {
         &self,
         endpoint: &Endpoint,
         protocol: &Arc<dyn Protocol>,
-    ) -> RmiResult<ObjectCommunicator> {
-        self.checkout_tracked(endpoint, protocol).map(|(comm, _)| comm)
-    }
-
-    /// Like [`ConnectionPool::checkout`], also reporting whether the
-    /// connection came from the cache — callers use this to decide
-    /// whether a failure may be a *stale* cached connection worth one
-    /// retry on a fresh one.
-    ///
-    /// # Errors
-    ///
-    /// Propagates TCP connect failures.
-    pub fn checkout_tracked(
-        &self,
-        endpoint: &Endpoint,
-        protocol: &Arc<dyn Protocol>,
-    ) -> RmiResult<(ObjectCommunicator, bool)> {
-        if let Some(comm) = self.idle.lock().get_mut(endpoint).and_then(Vec::pop) {
-            return Ok((comm, true));
+    ) -> RmiResult<CheckedOut> {
+        if !self.caching_enabled() {
+            let conn = MuxConnection::connect(endpoint, protocol)?;
+            self.opened.fetch_add(1, Ordering::Relaxed);
+            conn.borrow();
+            return Ok(CheckedOut { conn, from_cache: false });
         }
-        let transport = TcpTransport::connect(&endpoint.socket_addr())?;
-        self.opened.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok((ObjectCommunicator::new(Box::new(transport), Arc::clone(protocol)), false))
+        // The connect below stays under the lock on purpose: the cap on
+        // sockets per endpoint is a hard guarantee, not best-effort.
+        let mut conns = self.conns.lock();
+        let list = conns.entry(endpoint.clone()).or_default();
+        let max = self.max_connections_per_endpoint();
+        if let Some(best) = list.iter().min_by_key(|c| c.borrowed()) {
+            if best.borrowed() == 0 || list.len() >= max {
+                let conn = Arc::clone(best);
+                conn.borrow();
+                return Ok(CheckedOut { conn, from_cache: true });
+            }
+        }
+        let conn = MuxConnection::connect(endpoint, protocol)?;
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        conn.borrow();
+        list.push(Arc::clone(&conn));
+        Ok(CheckedOut { conn, from_cache: false })
     }
 
-    /// Returns a healthy connection for reuse (dropped when caching is off).
-    pub fn checkin(&self, endpoint: &Endpoint, comm: ObjectCommunicator) {
-        if self.caching_enabled() {
-            self.idle.lock().entry(endpoint.clone()).or_default().push(comm);
+    /// Removes a (presumed broken) connection from the pool so the next
+    /// checkout opens a fresh one. In-flight guards keep it alive until
+    /// they drop.
+    pub fn discard(&self, endpoint: &Endpoint, conn: &Arc<MuxConnection>) {
+        if let Some(list) = self.conns.lock().get_mut(endpoint) {
+            list.retain(|c| !Arc::ptr_eq(c, conn));
         }
     }
 
-    /// Drops all idle connections (e.g. after an endpoint restart).
+    /// Test hook: replaces the endpoint's pooled connections with `conn`,
+    /// as if it had been opened and cached by a prior call.
+    pub fn inject(&self, endpoint: &Endpoint, conn: Arc<MuxConnection>) {
+        self.conns.lock().insert(endpoint.clone(), vec![conn]);
+    }
+
+    /// Drops all pooled connections (e.g. after an endpoint restart).
     pub fn clear(&self) {
-        self.idle.lock().clear();
+        self.conns.lock().clear();
     }
 
-    /// Number of idle cached connections to `endpoint`.
+    /// Number of pooled connections to `endpoint` not currently checked
+    /// out by any caller.
     pub fn idle_count(&self, endpoint: &Endpoint) -> usize {
-        self.idle.lock().get(endpoint).map_or(0, Vec::len)
+        self.conns
+            .lock()
+            .get(endpoint)
+            .map_or(0, |list| list.iter().filter(|c| c.borrowed() == 0).count())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::call::next_request_id;
     use crate::transport::InProcTransport;
     use heidl_wire::{CdrProtocol, TextProtocol};
     use std::net::TcpListener;
 
     fn text() -> Arc<dyn Protocol> {
         Arc::new(TextProtocol)
+    }
+
+    /// A body that leads with `id`, as every real request/reply does.
+    fn tagged_body(id: u64, payload: &str) -> Vec<u8> {
+        let p = TextProtocol;
+        let mut enc = p.encoder();
+        enc.put_ulonglong(id);
+        enc.put_string(payload);
+        enc.finish()
+    }
+
+    /// An echo server over TCP that serves any number of connections.
+    fn spawn_echo_server() -> u16 {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let t = TcpTransport::from_stream(stream).unwrap();
+                    let mut c = ObjectCommunicator::new(Box::new(t), Arc::new(TextProtocol));
+                    while let Ok(Some(m)) = c.recv() {
+                        let _ = c.send(&m);
+                    }
+                });
+            }
+        });
+        port
     }
 
     #[test]
@@ -245,43 +571,156 @@ mod tests {
     }
 
     #[test]
-    fn pool_reuses_connections() {
-        // An echo server that serves any number of connections.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let port = listener.local_addr().unwrap().port();
-        std::thread::spawn(move || {
-            for stream in listener.incoming().flatten() {
-                std::thread::spawn(move || {
-                    let t = TcpTransport::from_stream(stream).unwrap();
-                    let mut c = ObjectCommunicator::new(Box::new(t), Arc::new(TextProtocol));
-                    while let Ok(Some(m)) = c.recv() {
-                        let _ = c.send(&m);
-                    }
-                });
-            }
+    fn mux_correlates_out_of_order_replies() {
+        let (a, b) = InProcTransport::pair();
+        let mut server = ObjectCommunicator::new(Box::new(b), text());
+        let conn = MuxConnection::over(Box::new(a), text()).unwrap();
+
+        // The server reads both requests before answering, then replies
+        // in reverse order.
+        let server_thread = std::thread::spawn(move || {
+            let first = server.recv().unwrap().unwrap();
+            let second = server.recv().unwrap().unwrap();
+            server.send(&second).unwrap();
+            server.send(&first).unwrap();
         });
 
+        let (id1, id2) = (next_request_id(), next_request_id());
+        let c2 = Arc::clone(&conn);
+        let caller1 = std::thread::spawn(move || c2.call(id1, &tagged_body(id1, "one"), None));
+        // Make it likely caller1's request is first on the wire.
+        std::thread::sleep(Duration::from_millis(20));
+        let c3 = Arc::clone(&conn);
+        let caller2 = std::thread::spawn(move || c3.call(id2, &tagged_body(id2, "two"), None));
+
+        assert_eq!(caller1.join().unwrap().unwrap(), tagged_body(id1, "one"));
+        assert_eq!(caller2.join().unwrap().unwrap(), tagged_body(id2, "two"));
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn mux_deadline_drops_late_reply_without_poisoning() {
+        let (a, b) = InProcTransport::pair();
+        let mut server = ObjectCommunicator::new(Box::new(b), text());
+        let conn = MuxConnection::over(Box::new(a), text()).unwrap();
+
+        let server_thread = std::thread::spawn(move || {
+            // Never answer the first request; answer the second promptly,
+            // then send the first reply far too late.
+            let first = server.recv().unwrap().unwrap();
+            let second = server.recv().unwrap().unwrap();
+            server.send(&second).unwrap();
+            std::thread::sleep(Duration::from_millis(80));
+            server.send(&first).unwrap();
+            // Keep the connection up until the client is done.
+            let _ = server.recv();
+        });
+
+        let id1 = next_request_id();
+        let err =
+            conn.call(id1, &tagged_body(id1, "slow"), Some(Duration::from_millis(40))).unwrap_err();
+        assert!(matches!(err, RmiError::DeadlineExceeded { .. }), "{err}");
+
+        // The same shared connection still works for the next caller.
+        let id2 = next_request_id();
+        assert_eq!(
+            conn.call(id2, &tagged_body(id2, "fast"), None).unwrap(),
+            tagged_body(id2, "fast")
+        );
+        assert_eq!(conn.in_flight(), 0);
+        drop(conn);
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn mux_death_wakes_all_pending_callers() {
+        let (a, b) = InProcTransport::pair();
+        let mut server = ObjectCommunicator::new(Box::new(b), text());
+        let conn = MuxConnection::over(Box::new(a), text()).unwrap();
+
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&conn);
+                let id = next_request_id();
+                std::thread::spawn(move || c.call(id, &tagged_body(id, "x"), None))
+            })
+            .collect();
+        // Swallow the requests, then drop the connection entirely.
+        for _ in 0..4 {
+            server.recv().unwrap().unwrap();
+        }
+        drop(server);
+        for h in handles {
+            assert!(matches!(h.join().unwrap(), Err(RmiError::Disconnected)));
+        }
+        assert!(!conn.is_alive());
+    }
+
+    #[test]
+    fn pool_shares_one_connection_per_endpoint() {
+        let port = spawn_echo_server();
         let pool = ConnectionPool::new();
         let ep = Endpoint::new("tcp", "127.0.0.1", port);
         let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
 
         for _ in 0..5 {
-            let mut c = pool.checkout(&ep, &proto).unwrap();
-            assert_eq!(c.round_trip(b"\"hi\"").unwrap(), b"\"hi\"");
-            pool.checkin(&ep, c);
+            let c = pool.checkout(&ep, &proto).unwrap();
+            assert!(c.from_cache() || pool.opened_count() == 1);
+            let id = next_request_id();
+            assert_eq!(c.call(id, &tagged_body(id, "hi"), None).unwrap(), tagged_body(id, "hi"));
         }
-        assert_eq!(pool.opened_count(), 1, "one connection reused five times");
+        assert_eq!(pool.opened_count(), 1, "one connection multiplexed five times");
         assert_eq!(pool.idle_count(&ep), 1);
 
-        // With caching off, every call opens a fresh connection.
+        // With caching off, every call opens a throwaway connection.
         pool.set_caching(false);
         for _ in 0..3 {
-            let mut c = pool.checkout(&ep, &proto).unwrap();
-            assert_eq!(c.round_trip(b"\"hi\"").unwrap(), b"\"hi\"");
-            pool.checkin(&ep, c);
+            let c = pool.checkout(&ep, &proto).unwrap();
+            assert!(!c.from_cache());
+            let id = next_request_id();
+            assert_eq!(c.call(id, &tagged_body(id, "hi"), None).unwrap(), tagged_body(id, "hi"));
         }
         assert_eq!(pool.opened_count(), 4);
         assert_eq!(pool.idle_count(&ep), 0);
+    }
+
+    #[test]
+    fn pool_grows_only_to_the_per_endpoint_cap() {
+        let port = spawn_echo_server();
+        let pool = ConnectionPool::new();
+        pool.set_max_connections_per_endpoint(2);
+        let ep = Endpoint::new("tcp", "127.0.0.1", port);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+
+        // Hold three checkouts at once: the third must share a socket.
+        let a = pool.checkout(&ep, &proto).unwrap();
+        let b = pool.checkout(&ep, &proto).unwrap();
+        let c = pool.checkout(&ep, &proto).unwrap();
+        assert_eq!(pool.opened_count(), 2);
+        assert!(!a.from_cache());
+        assert!(!b.from_cache());
+        assert!(c.from_cache());
+        drop((a, b, c));
+        assert_eq!(pool.idle_count(&ep), 2);
+
+        // Released connections are reused, not reopened.
+        let d = pool.checkout(&ep, &proto).unwrap();
+        assert!(d.from_cache());
+        assert_eq!(pool.opened_count(), 2);
+    }
+
+    #[test]
+    fn discard_removes_only_that_connection() {
+        let port = spawn_echo_server();
+        let pool = ConnectionPool::new();
+        pool.set_max_connections_per_endpoint(2);
+        let ep = Endpoint::new("tcp", "127.0.0.1", port);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+        let a = pool.checkout(&ep, &proto).unwrap();
+        let b = pool.checkout(&ep, &proto).unwrap();
+        pool.discard(&ep, a.connection());
+        drop((a, b));
+        assert_eq!(pool.idle_count(&ep), 1);
     }
 
     #[test]

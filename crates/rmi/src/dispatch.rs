@@ -74,10 +74,7 @@ impl BinaryDispatch {
 
 impl DispatchStrategy for BinaryDispatch {
     fn find(&self, method: &str) -> Option<usize> {
-        self.sorted
-            .binary_search_by(|(n, _)| n.as_str().cmp(method))
-            .ok()
-            .map(|i| self.sorted[i].1)
+        self.sorted.binary_search_by(|(n, _)| n.as_str().cmp(method)).ok().map(|i| self.sorted[i].1)
     }
 
     fn name(&self) -> &'static str {
@@ -115,11 +112,7 @@ impl BucketDispatch {
 impl DispatchStrategy for BucketDispatch {
     fn find(&self, method: &str) -> Option<usize> {
         let key = (method.len(), method.as_bytes().first().copied().unwrap_or(0));
-        self.buckets
-            .get(&key)?
-            .iter()
-            .find(|(name, _)| name == method)
-            .map(|(_, i)| *i)
+        self.buckets.get(&key)?.iter().find(|(name, _)| name == method).map(|(_, i)| *i)
     }
 
     fn name(&self) -> &'static str {
@@ -140,9 +133,7 @@ impl HashDispatch {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        HashDispatch {
-            map: names.into_iter().enumerate().map(|(i, n)| (n.into(), i)).collect(),
-        }
+        HashDispatch { map: names.into_iter().enumerate().map(|(i, n)| (n.into(), i)).collect() }
     }
 }
 
@@ -172,12 +163,8 @@ pub enum DispatchKind {
 
 impl DispatchKind {
     /// All kinds, for sweeps.
-    pub const ALL: [DispatchKind; 4] = [
-        DispatchKind::Linear,
-        DispatchKind::Binary,
-        DispatchKind::Bucket,
-        DispatchKind::Hash,
-    ];
+    pub const ALL: [DispatchKind; 4] =
+        [DispatchKind::Linear, DispatchKind::Binary, DispatchKind::Bucket, DispatchKind::Hash];
 }
 
 /// A skeleton's method lookup table: names → handler indices via the

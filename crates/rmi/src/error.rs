@@ -40,6 +40,13 @@ pub enum RmiError {
     },
     /// The connection closed before a reply arrived.
     Disconnected,
+    /// The per-call deadline elapsed before the reply arrived. The shared
+    /// connection stays usable; the late reply is discarded by the
+    /// demultiplexer when (if) it eventually lands.
+    DeadlineExceeded {
+        /// How long the caller was willing to wait.
+        after: std::time::Duration,
+    },
     /// A value type arrived with no registered factory, or a reference
     /// arrived with no registered stub factory.
     NoFactory {
@@ -68,6 +75,9 @@ impl fmt::Display for RmiError {
                 write!(f, "remote exception {repo_id}: {detail}")
             }
             RmiError::Disconnected => write!(f, "connection closed before reply"),
+            RmiError::DeadlineExceeded { after } => {
+                write!(f, "deadline exceeded after {after:?}")
+            }
             RmiError::NoFactory { type_id } => {
                 write!(f, "no factory registered for {type_id}")
             }
@@ -122,6 +132,10 @@ mod tests {
                 "remote exception",
             ),
             (RmiError::Disconnected, "connection closed"),
+            (
+                RmiError::DeadlineExceeded { after: std::time::Duration::from_millis(40) },
+                "deadline exceeded",
+            ),
             (RmiError::NoFactory { type_id: "IDL:V:1.0".into() }, "no factory"),
             (RmiError::Protocol("x".into()), "protocol error"),
         ];

@@ -114,10 +114,7 @@ mod tests {
             })));
         }
         chain.fire(CallPhase::ClientSend, &target(), "play", true);
-        assert_eq!(
-            *log.lock(),
-            ["first:ClientSend:play", "second:ClientSend:play"]
-        );
+        assert_eq!(*log.lock(), ["first:ClientSend:play", "second:ClientSend:play"]);
     }
 
     #[test]

@@ -83,14 +83,17 @@ mod server;
 pub mod skeleton;
 pub mod transport;
 
-pub use call::{Call, IncomingCall, Reply, ReplyBuilder, ReplyStatus};
-pub use communicator::{ConnectionPool, ObjectCommunicator};
+pub use call::{
+    next_request_id, peek_reply_id, peek_request_header, Call, IncomingCall, Reply, ReplyBuilder,
+    ReplyStatus,
+};
+pub use communicator::{CheckedOut, ConnectionPool, MuxConnection, ObjectCommunicator};
 pub use dispatch::{DispatchKind, DispatchStrategy, MethodTable};
 pub use dynamic::{DynCall, DynResults, DynValue};
 pub use error::{RmiError, RmiResult};
 pub use interceptor::{CallInfo, CallPhase, FnInterceptor, Interceptor};
 pub use objref::{Endpoint, ObjectRef};
-pub use orb::Orb;
+pub use orb::{CallOptions, Orb, OrbBuilder};
 pub use serialize::{
     marshal_reference, marshal_value, unmarshal_incopy, IncopyArg, RemoteObject, ValueRegistry,
     ValueSerialize,

@@ -68,7 +68,8 @@ impl FromStr for ObjectRef {
     type Err = RmiError;
 
     fn from_str(s: &str) -> RmiResult<Self> {
-        let bad = |detail: &str| RmiError::BadReference { text: s.to_owned(), detail: detail.to_owned() };
+        let bad =
+            |detail: &str| RmiError::BadReference { text: s.to_owned(), detail: detail.to_owned() };
         let rest = s.strip_prefix('@').ok_or_else(|| bad("must start with `@`"))?;
         // Layout: proto:host:port#id#type — the type id itself contains
         // `:` and `#`-free segments, so split on the first two `#`.
@@ -83,7 +84,8 @@ impl FromStr for ObjectRef {
         // The URL is proto:host:port; host may not contain `:` (no IPv6
         // literals in the paper's scheme).
         let mut url_parts = url.splitn(3, ':');
-        let proto = url_parts.next().filter(|p| !p.is_empty()).ok_or_else(|| bad("empty protocol"))?;
+        let proto =
+            url_parts.next().filter(|p| !p.is_empty()).ok_or_else(|| bad("empty protocol"))?;
         let host = url_parts.next().filter(|h| !h.is_empty()).ok_or_else(|| bad("missing host"))?;
         let port: u16 = url_parts
             .next()
@@ -134,15 +136,15 @@ mod tests {
     #[test]
     fn rejects_malformed_references() {
         for bad in [
-            "tcp:host:1#2#T",       // missing @
-            "@tcp:host:1#2",        // missing type
-            "@tcp:host:1",          // missing id and type
-            "@tcp:host#2#T",        // missing port
+            "tcp:host:1#2#T", // missing @
+            "@tcp:host:1#2",  // missing type
+            "@tcp:host:1",    // missing id and type
+            "@tcp:host#2#T",  // missing port
             "@tcp:host:notaport#2#T",
             "@tcp:host:1#notanid#T",
-            "@:host:1#2#T",         // empty protocol
-            "@tcp::1#2#T",          // empty host
-            "@tcp:host:1#2#",       // empty type
+            "@:host:1#2#T",   // empty protocol
+            "@tcp::1#2#T",    // empty host
+            "@tcp:host:1#2#", // empty type
         ] {
             let r: Result<ObjectRef, _> = bad.parse();
             assert!(r.is_err(), "should reject `{bad}`");

@@ -31,6 +31,94 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-invocation knobs for [`Orb::invoke_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct CallOptions {
+    /// How long to wait for the reply before giving up with
+    /// [`RmiError::DeadlineExceeded`]. `None` falls back to the ORB's
+    /// default deadline (set via [`OrbBuilder::default_deadline`]), which
+    /// itself defaults to waiting forever.
+    pub deadline: Option<Duration>,
+    /// Whether a failure on a *cached* connection is retried once on a
+    /// fresh connection (the stale-connection heuristic). On by default.
+    pub retry: bool,
+}
+
+impl Default for CallOptions {
+    fn default() -> Self {
+        CallOptions { deadline: None, retry: true }
+    }
+}
+
+impl CallOptions {
+    /// Options with a per-call deadline.
+    pub fn with_deadline(deadline: Duration) -> CallOptions {
+        CallOptions { deadline: Some(deadline), ..CallOptions::default() }
+    }
+}
+
+/// Step-by-step construction of an [`Orb`]; start with [`Orb::builder`].
+#[derive(Debug)]
+pub struct OrbBuilder {
+    protocol: Arc<dyn Protocol>,
+    max_connections_per_endpoint: usize,
+    default_deadline: Option<Duration>,
+}
+
+impl Default for OrbBuilder {
+    fn default() -> Self {
+        OrbBuilder {
+            protocol: Arc::new(TextProtocol),
+            max_connections_per_endpoint: 1,
+            default_deadline: None,
+        }
+    }
+}
+
+impl OrbBuilder {
+    /// The wire protocol every connection will speak (default: text).
+    pub fn protocol(mut self, protocol: Arc<dyn Protocol>) -> OrbBuilder {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Cap on pooled sockets per endpoint (default 1: every call to an
+    /// endpoint multiplexes over one shared connection). Clamped to ≥ 1.
+    pub fn max_connections_per_endpoint(mut self, max: usize) -> OrbBuilder {
+        self.max_connections_per_endpoint = max.max(1);
+        self
+    }
+
+    /// Deadline applied to every invocation that does not set its own via
+    /// [`CallOptions`] (default: none — wait forever).
+    pub fn default_deadline(mut self, deadline: Duration) -> OrbBuilder {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Builds the ORB.
+    pub fn build(self) -> Orb {
+        let pool = ConnectionPool::new();
+        pool.set_max_connections_per_endpoint(self.max_connections_per_endpoint);
+        Orb {
+            inner: Arc::new(OrbInner {
+                protocol: self.protocol,
+                objects: RwLock::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+                pool,
+                default_deadline: self.default_deadline,
+                values: ValueRegistry::new(),
+                stubs: RwLock::new(HashMap::new()),
+                exported: RwLock::new(HashMap::new()),
+                server: Mutex::new(None),
+                interceptors: InterceptorChain::default(),
+                retries: AtomicU64::new(0),
+            }),
+        }
+    }
+}
 
 /// A handle to the per-address-space ORB state. Cheap to clone.
 #[derive(Clone)]
@@ -43,6 +131,7 @@ pub(crate) struct OrbInner {
     pub(crate) objects: RwLock<HashMap<u64, Arc<dyn Skeleton>>>,
     next_id: AtomicU64,
     pool: ConnectionPool,
+    default_deadline: Option<Duration>,
     values: ValueRegistry,
     /// Stub cache: stringified reference → typed stub (as `Any`).
     stubs: RwLock<HashMap<String, Arc<dyn Any + Send + Sync>>>,
@@ -72,25 +161,18 @@ impl Default for Orb {
 impl Orb {
     /// Creates an ORB speaking the HeidiRMI text protocol.
     pub fn new() -> Orb {
-        Orb::with_protocol(Arc::new(TextProtocol))
+        Orb::builder().build()
     }
 
     /// Creates an ORB speaking the given protocol on every connection.
     pub fn with_protocol(protocol: Arc<dyn Protocol>) -> Orb {
-        Orb {
-            inner: Arc::new(OrbInner {
-                protocol,
-                objects: RwLock::new(HashMap::new()),
-                next_id: AtomicU64::new(1),
-                pool: ConnectionPool::new(),
-                values: ValueRegistry::new(),
-                stubs: RwLock::new(HashMap::new()),
-                exported: RwLock::new(HashMap::new()),
-                server: Mutex::new(None),
-                interceptors: InterceptorChain::default(),
-                retries: AtomicU64::new(0),
-            }),
-        }
+        Orb::builder().protocol(protocol).build()
+    }
+
+    /// Starts configuring an ORB:
+    /// `Orb::builder().protocol(...).default_deadline(...).build()`.
+    pub fn builder() -> OrbBuilder {
+        OrbBuilder::default()
     }
 
     /// Registers an interceptor (Orbix-filter style, paper §5): it fires
@@ -182,9 +264,9 @@ impl Orb {
                 RmiError::Protocol("ORB stopped serving while references are live".to_owned())
             })?;
             let objects = self.inner.objects.read();
-            let skel = objects.get(&id).ok_or_else(|| RmiError::Protocol(
-                "exported object vanished from the registry".to_owned(),
-            ))?;
+            let skel = objects.get(&id).ok_or_else(|| {
+                RmiError::Protocol("exported object vanished from the registry".to_owned())
+            })?;
             return Ok(ObjectRef::new(endpoint, id, Skeleton::type_id(skel.as_ref())));
         }
         let objref = self.export(make())?;
@@ -217,8 +299,9 @@ impl Orb {
         Call::oneway(target, method, self.inner.protocol.as_ref())
     }
 
-    /// Invokes a call: connection checkout (cached), round trip, checkin,
-    /// reply parse (Fig 4 steps 2-4).
+    /// Invokes a call with default [`CallOptions`]: connection checkout
+    /// (the endpoint's shared multiplexed connection), correlated round
+    /// trip, reply parse (Fig 4 steps 2-4).
     ///
     /// When a *cached* connection fails before yielding a reply — the
     /// classic stale-connection case after a server closed idle
@@ -233,26 +316,39 @@ impl Orb {
     /// Transport failures, marshal failures, and remote exceptions
     /// ([`RmiError::Remote`]).
     pub fn invoke(&self, call: Call) -> RmiResult<Reply> {
+        self.invoke_with(call, CallOptions::default())
+    }
+
+    /// Invokes a call with an explicit deadline/retry policy. A call that
+    /// outlives its deadline returns [`RmiError::DeadlineExceeded`]; the
+    /// shared connection is *not* torn down, and the late reply is
+    /// discarded by the demultiplexer whenever it arrives.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orb::invoke`], plus [`RmiError::DeadlineExceeded`].
+    pub fn invoke_with(&self, call: Call, options: CallOptions) -> RmiResult<Reply> {
         self.check_protocol(call.target())?;
         let endpoint = call.target().endpoint.clone();
         let target = call.target().clone();
         let method = call.method().to_owned();
+        let request_id = call.request_id();
         self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
         let body = call.into_body();
+        let deadline = options.deadline.or(self.inner.default_deadline);
 
-        let (reply_body, comm) = match self.round_trip_with_retry(&endpoint, &body) {
-            Ok(pair) => pair,
-            Err(e) => {
-                // Broken connections were dropped, not cached.
-                self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
-                return Err(e);
-            }
-        };
-        self.inner.pool.checkin(&endpoint, comm);
+        let reply_body =
+            match self.round_trip_with_retry(&endpoint, request_id, &body, deadline, options.retry)
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    // Broken connections were discarded, not re-pooled.
+                    self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
+                    return Err(e);
+                }
+            };
         let reply = Reply::parse(reply_body, self.inner.protocol.as_ref());
-        self.inner
-            .interceptors
-            .fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
+        self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
         reply
     }
 
@@ -261,26 +357,28 @@ impl Orb {
         self.inner.retries.load(Ordering::Relaxed)
     }
 
-    /// One round trip with the stale-cached-connection retry policy;
-    /// returns the reply body and the (healthy) connection for checkin.
+    /// One correlated round trip with the stale-cached-connection retry
+    /// policy.
     fn round_trip_with_retry(
         &self,
         endpoint: &Endpoint,
+        request_id: u64,
         body: &[u8],
-    ) -> RmiResult<(Vec<u8>, crate::communicator::ObjectCommunicator)> {
-        let (mut comm, from_cache) =
-            self.inner.pool.checkout_tracked(endpoint, &self.inner.protocol)?;
-        match comm.round_trip(body) {
-            Ok(b) => Ok((b, comm)),
-            Err(first_err) if from_cache => {
+        deadline: Option<std::time::Duration>,
+        retry: bool,
+    ) -> RmiResult<Vec<u8>> {
+        let checked = self.inner.pool.checkout(endpoint, &self.inner.protocol)?;
+        match checked.call(request_id, body, deadline) {
+            Ok(b) => Ok(b),
+            // A deadline says nothing about connection health: keep it.
+            Err(e @ RmiError::DeadlineExceeded { .. }) => Err(e),
+            Err(first_err) if checked.from_cache() && retry => {
                 // The cached connection was stale; try once on a fresh one.
-                drop(comm);
+                self.inner.pool.discard(endpoint, checked.connection());
+                drop(checked);
                 self.inner.retries.fetch_add(1, Ordering::Relaxed);
-                match self.inner.pool.checkout_tracked(endpoint, &self.inner.protocol) {
-                    Ok((mut fresh, _)) => {
-                        let b = fresh.round_trip(body)?;
-                        Ok((b, fresh))
-                    }
+                match self.inner.pool.checkout(endpoint, &self.inner.protocol) {
+                    Ok(fresh) => fresh.call(request_id, body, deadline),
                     Err(_) => Err(first_err),
                 }
             }
@@ -290,11 +388,15 @@ impl Orb {
 
     /// Invokes a `oneway` call: send and forget.
     ///
+    /// Fires `ClientSend` like [`Orb::invoke`]; on a send failure it also
+    /// fires `ClientReceive` with `ok = false`, so interceptors see a
+    /// symmetric pair for failed oneways (successful oneways still fire
+    /// only `ClientSend` — there is no reply to receive).
+    ///
     /// # Errors
     ///
     /// Transport failures; also rejects calls built with [`Orb::call`]
-    /// (the server would send a reply nobody reads, desynchronizing the
-    /// cached connection).
+    /// (the server would send a reply nobody reads).
     pub fn invoke_oneway(&self, call: Call) -> RmiResult<()> {
         if call.response_expected() {
             return Err(RmiError::Protocol(
@@ -303,17 +405,19 @@ impl Orb {
         }
         self.check_protocol(call.target())?;
         let endpoint = call.target().endpoint.clone();
-        self.inner.interceptors.fire(
-            CallPhase::ClientSend,
-            call.target(),
-            call.method(),
-            true,
-        );
-        let mut comm = self.inner.pool.checkout(&endpoint, &self.inner.protocol)?;
+        let target = call.target().clone();
+        let method = call.method().to_owned();
+        self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
         let body = call.into_body();
-        comm.send(&body)?;
-        self.inner.pool.checkin(&endpoint, comm);
-        Ok(())
+        let result = self
+            .inner
+            .pool
+            .checkout(&endpoint, &self.inner.protocol)
+            .and_then(|conn| conn.send_oneway(&body));
+        if result.is_err() {
+            self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
+        }
+        result
     }
 
     /// A reference names the protocol its server speaks (`@tcp:...` vs
@@ -347,10 +451,7 @@ impl Orb {
             }
         }
         let stub = make();
-        self.inner
-            .stubs
-            .write()
-            .insert(key, Arc::clone(&stub) as Arc<dyn Any + Send + Sync>);
+        self.inner.stubs.write().insert(key, Arc::clone(&stub) as Arc<dyn Any + Send + Sync>);
         stub
     }
 

@@ -269,9 +269,7 @@ mod tests {
         let mut enc = p.encoder();
         marshal_value(&Clip { title: "orig".into(), frames: 3 }, enc.as_mut());
         let mut dec = p.decoder(enc.finish()).unwrap();
-        let IncopyArg::Value(v) = unmarshal_incopy(dec.as_mut(), &reg).unwrap() else {
-            panic!()
-        };
+        let IncopyArg::Value(v) = unmarshal_incopy(dec.as_mut(), &reg).unwrap() else { panic!() };
         assert_eq!(v.downcast::<Clip>().unwrap().title, "replaced");
         assert!(format!("{reg:?}").contains("Clip"));
     }

@@ -1,4 +1,5 @@
-//! The bootstrap-port server: Fig 5's interaction, thread-per-connection.
+//! The bootstrap-port server: Fig 5's interaction, one reader per
+//! connection plus a small shared worker pool for dispatch.
 //!
 //! *"The bootstrap port in each address space serves as means to initiate a
 //! communication channel. When a client connects to the bootstrap port (1),
@@ -7,18 +8,32 @@
 //! encapsulates it in a `Call` object. The `Call` header contains the
 //! stringified object reference, whose type information and object
 //! identifier permit the selection of the appropriate `Skeleton`."*
+//!
+//! With request-id correlation on the wire, one connection can carry many
+//! interleaved requests: the per-connection reader thread only deframes and
+//! routes. Two-way requests are dispatched on a shared worker pool and
+//! their replies written back (in completion order — the client
+//! demultiplexes by id), so one slow servant cannot head-of-line-block the
+//! connection. `oneway` requests are dispatched inline on the reader,
+//! preserving the oneway-then-call ordering a single client observes.
 
-use crate::call::{IncomingCall, ReplyBuilder, ReplyStatus};
+use crate::call::{peek_reply_id, peek_request_header, IncomingCall, ReplyBuilder, ReplyStatus};
 use crate::communicator::ObjectCommunicator;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
 use crate::orb::Orb;
 use crate::skeleton::{DispatchOutcome, Skeleton};
-use crate::transport::TcpTransport;
+use crate::transport::{TcpTransport, Transport};
+use parking_lot::Mutex;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Resident dispatch threads per server; requests beyond this run on
+/// transient overflow threads so a dispatch that itself blocks (e.g. on a
+/// nested remote call) can never starve the pool.
+const WORKER_THREADS: usize = 4;
 
 /// A running bootstrap-port server.
 pub(crate) struct ServerHandle {
@@ -32,13 +47,13 @@ impl ServerHandle {
     pub(crate) fn start(addr: &str, orb: Orb) -> RmiResult<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let endpoint =
-            Endpoint::new(orb.protocol().name(), local.ip().to_string(), local.port());
+        let endpoint = Endpoint::new(orb.protocol().name(), local.ip().to_string(), local.port());
         let running = Arc::new(AtomicBool::new(true));
         let flag = Arc::clone(&running);
+        let workers = Arc::new(WorkerPool::new(WORKER_THREADS));
         let acceptor = std::thread::Builder::new()
             .name(format!("heidl-accept-{}", local.port()))
-            .spawn(move || accept_loop(listener, orb, flag))
+            .spawn(move || accept_loop(listener, orb, flag, workers))
             .map_err(RmiError::Io)?;
         Ok(ServerHandle { endpoint, running, acceptor: Some(acceptor) })
     }
@@ -58,35 +73,123 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, orb: Orb, running: Arc<AtomicBool>) {
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A small fixed pool of dispatch threads with overflow: when every
+/// resident worker is occupied, the job runs on a transient thread
+/// instead of queueing behind a potentially blocked dispatch.
+struct WorkerPool {
+    tx: crossbeam::channel::Sender<Job>,
+    busy: Arc<AtomicUsize>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let busy = Arc::new(AtomicUsize::new(0));
+        for i in 0..workers {
+            let rx = rx.clone();
+            let busy = Arc::clone(&busy);
+            let _ =
+                std::thread::Builder::new().name(format!("heidl-worker-{i}")).spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                        busy.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+        }
+        WorkerPool { tx, busy, workers }
+    }
+
+    fn submit(&self, job: Job) {
+        // `busy` counts submitted-but-unfinished pool jobs; the check is a
+        // heuristic (races only cost an occasional extra thread), but it
+        // guarantees a job is never queued behind `workers` blocked ones.
+        if self.busy.load(Ordering::SeqCst) < self.workers {
+            self.busy.fetch_add(1, Ordering::SeqCst);
+            if self.tx.send(job).is_ok() {
+                return;
+            }
+            self.busy.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let _ = std::thread::Builder::new().name("heidl-overflow".to_owned()).spawn(job);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    orb: Orb,
+    running: Arc<AtomicBool>,
+    workers: Arc<WorkerPool>,
+) {
     for stream in listener.incoming() {
         if !running.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
         let Ok(transport) = TcpTransport::from_stream(stream) else { continue };
-        // Fig 5 (1): wrap a new ObjectCommunicator around the connection.
-        let comm = ObjectCommunicator::new(Box::new(transport), Arc::clone(orb.protocol()));
-        let worker_orb = orb.clone();
+        let conn_orb = orb.clone();
+        let conn_workers = Arc::clone(&workers);
         let _ = std::thread::Builder::new()
             .name("heidl-conn".to_owned())
-            .spawn(move || connection_loop(comm, worker_orb));
+            .spawn(move || connection_loop(Box::new(transport), conn_orb, conn_workers));
     }
 }
 
-/// Serves one connection until the peer closes it.
-fn connection_loop(mut comm: ObjectCommunicator, orb: Orb) {
-    loop {
-        match comm.recv() {
-            Ok(Some(body)) => match handle_request(body, &orb) {
-                Some(reply) => {
-                    if comm.send(&reply).is_err() {
+/// The write half of a connection, shared by every dispatch that answers
+/// on it. Frames under a brief lock so interleaved replies stay whole.
+struct ReplyWriter {
+    transport: Mutex<Box<dyn Transport>>,
+    protocol: Arc<dyn heidl_wire::Protocol>,
+}
+
+impl ReplyWriter {
+    fn send(&self, body: &[u8]) -> RmiResult<()> {
+        let mut framed = Vec::with_capacity(body.len() + 16);
+        self.protocol.frame(body, &mut framed);
+        self.transport.lock().send(&framed)?;
+        Ok(())
+    }
+}
+
+/// Serves one connection until the peer closes it: the reader thread
+/// deframes and routes, workers dispatch and reply.
+fn connection_loop(transport: Box<dyn Transport>, orb: Orb, workers: Arc<WorkerPool>) {
+    let protocol = Arc::clone(orb.protocol());
+    // Fig 5 (1): wrap the read half in a new ObjectCommunicator.
+    let Ok((write_half, read_half)) = transport.split() else { return };
+    let writer = Arc::new(ReplyWriter {
+        transport: Mutex::new(write_half),
+        protocol: Arc::clone(&protocol),
+    });
+    let mut comm = ObjectCommunicator::new(read_half, Arc::clone(&protocol));
+    while let Ok(Some(body)) = comm.recv() {
+        match peek_request_header(&body, protocol.as_ref()) {
+            // oneway: dispatch inline so a client's oneway-then-call
+            // sequence executes in order; there is no reply to write.
+            Ok((_, false)) => {
+                let _ = handle_request(body, &orb);
+            }
+            Ok((_, true)) => {
+                let job_orb = orb.clone();
+                let job_writer = Arc::clone(&writer);
+                workers.submit(Box::new(move || {
+                    if let Some(reply) = handle_request(body, &job_orb) {
+                        let _ = job_writer.send(&reply);
+                    }
+                }));
+            }
+            // Unparsable header — diagnose inline (a telnet user who
+            // mistyped wants the error back immediately).
+            Err(_) => {
+                if let Some(reply) = handle_request(body, &orb) {
+                    if writer.send(&reply).is_err() {
                         break;
                     }
                 }
-                None => {} // oneway: no reply on the wire
-            },
-            Ok(None) | Err(_) => break,
+            }
         }
     }
 }
@@ -96,6 +199,9 @@ fn connection_loop(mut comm: ObjectCommunicator, orb: Orb) {
 /// Returns `None` for `oneway` requests, which must not be answered.
 pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb) -> Option<Vec<u8>> {
     let protocol = Arc::clone(orb.protocol());
+    // Best-effort id for diagnostics on unparsable requests: both message
+    // kinds lead with the id, so the reply-peek works on requests too.
+    let fallback_id = peek_reply_id(&body, protocol.as_ref()).unwrap_or(0);
     let mut incoming = match IncomingCall::parse(body, protocol.as_ref()) {
         Ok(c) => c,
         Err(e) => {
@@ -103,6 +209,7 @@ pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb) -> Option<Vec<u8>> {
             // is expected; send the diagnostic (a telnet user wants it).
             return Some(ReplyBuilder::exception(
                 protocol.as_ref(),
+                fallback_id,
                 ReplyStatus::SystemException,
                 "IDL:heidl/BadRequest:1.0",
                 &e.to_string(),
@@ -118,7 +225,7 @@ fn dispatch_request(
     orb: &Orb,
     protocol: &Arc<dyn heidl_wire::Protocol>,
 ) -> Vec<u8> {
-
+    let request_id = incoming.request_id;
     let skeleton = {
         let objects = orb.inner.objects.read();
         objects.get(&incoming.target.object_id).cloned()
@@ -126,6 +233,7 @@ fn dispatch_request(
     let Some(skeleton) = skeleton else {
         return ReplyBuilder::exception(
             protocol.as_ref(),
+            request_id,
             ReplyStatus::SystemException,
             "IDL:heidl/UnknownObject:1.0",
             &RmiError::UnknownObject { reference: incoming.target.to_string() }.to_string(),
@@ -138,7 +246,7 @@ fn dispatch_request(
         &incoming.method,
         true,
     );
-    let mut reply = ReplyBuilder::ok(protocol.as_ref());
+    let mut reply = ReplyBuilder::ok(protocol.as_ref(), request_id);
     let outcome = skeleton.dispatch(&incoming.method, incoming.args.as_mut(), reply.results());
     orb.inner.interceptors.fire(
         crate::interceptor::CallPhase::ServerReply,
@@ -150,6 +258,7 @@ fn dispatch_request(
         Ok(DispatchOutcome::Handled) => reply.into_body(),
         Ok(DispatchOutcome::NotFound) => ReplyBuilder::exception(
             protocol.as_ref(),
+            request_id,
             ReplyStatus::SystemException,
             "IDL:heidl/UnknownMethod:1.0",
             &RmiError::UnknownMethod {
@@ -161,12 +270,14 @@ fn dispatch_request(
         // A servant-raised exception carries its own repository id.
         Err(RmiError::Remote { repo_id, detail }) => ReplyBuilder::exception(
             protocol.as_ref(),
+            request_id,
             ReplyStatus::UserException,
             &repo_id,
             &detail,
         ),
         Err(other) => ReplyBuilder::exception(
             protocol.as_ref(),
+            request_id,
             ReplyStatus::SystemException,
             "IDL:heidl/DispatchFailed:1.0",
             &other.to_string(),

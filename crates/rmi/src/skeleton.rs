@@ -79,11 +79,7 @@ impl SkeletonBase {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        SkeletonBase {
-            type_id: type_id.into(),
-            table: MethodTable::new(kind, methods),
-            parents,
-        }
+        SkeletonBase { type_id: type_id.into(), table: MethodTable::new(kind, methods), parents }
     }
 
     /// The served type id.
@@ -160,12 +156,7 @@ mod tests {
     ) -> (Arc<dyn Skeleton>, Arc<AtomicUsize>) {
         let calls = Arc::new(AtomicUsize::new(0));
         let skel = Arc::new(Layer {
-            base: SkeletonBase::new(
-                type_id,
-                DispatchKind::Hash,
-                methods.iter().copied(),
-                parents,
-            ),
+            base: SkeletonBase::new(type_id, DispatchKind::Hash, methods.iter().copied(), parents),
             marker,
             calls: Arc::clone(&calls),
         });
@@ -240,8 +231,7 @@ mod tests {
 
     #[test]
     fn skeleton_base_accessors() {
-        let base =
-            SkeletonBase::new("IDL:X:1.0", DispatchKind::Binary, ["m1", "m2"], vec![]);
+        let base = SkeletonBase::new("IDL:X:1.0", DispatchKind::Binary, ["m1", "m2"], vec![]);
         assert_eq!(base.type_id(), "IDL:X:1.0");
         assert_eq!(base.find("m2"), Some(1));
         assert_eq!(base.find("m3"), None);

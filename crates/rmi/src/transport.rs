@@ -26,6 +26,19 @@ pub trait Transport: Send {
 
     /// A short human-readable peer description for diagnostics.
     fn peer(&self) -> String;
+
+    /// Splits the transport into independent write and read halves so a
+    /// demultiplexer thread can block in `recv_into` while callers keep
+    /// sending. Returns `(writer, reader)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the underlying handle cannot be duplicated.
+    fn split(self: Box<Self>) -> io::Result<(Box<dyn Transport>, Box<dyn Transport>)>;
+
+    /// Tears the stream down in both directions so a reader blocked in
+    /// `recv_into` (possibly on a split-off half) observes end-of-stream.
+    fn shutdown(&mut self) {}
 }
 
 /// TCP transport, `TCP_NODELAY` enabled — request/response RPC suffers
@@ -76,6 +89,15 @@ impl Transport for TcpTransport {
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "<disconnected>".to_owned())
     }
+
+    fn split(self: Box<Self>) -> io::Result<(Box<dyn Transport>, Box<dyn Transport>)> {
+        let reader = TcpTransport { stream: self.stream.try_clone()? };
+        Ok((self, Box::new(reader)))
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
 }
 
 /// One end of an in-process duplex pipe.
@@ -123,6 +145,24 @@ impl Transport for InProcTransport {
     fn peer(&self) -> String {
         self.label.to_owned()
     }
+
+    fn split(self: Box<Self>) -> io::Result<(Box<dyn Transport>, Box<dyn Transport>)> {
+        // Channels are already directional: hand the send side to the writer
+        // half and the receive side to the reader half. Each half's unused
+        // direction gets a fresh, permanently-disconnected channel end.
+        let (dead_tx, _) = crossbeam::channel::unbounded();
+        let (_, dead_rx) = crossbeam::channel::unbounded();
+        let writer = InProcTransport { tx: self.tx, rx: dead_rx, label: self.label };
+        let reader = InProcTransport { tx: dead_tx, rx: self.rx, label: self.label };
+        Ok((Box::new(writer), Box::new(reader)))
+    }
+
+    fn shutdown(&mut self) {
+        // Dropping our sender disconnects the peer's receiver; the peer
+        // then drops its own sender, which unblocks any split-off reader.
+        let (dead_tx, _) = crossbeam::channel::unbounded();
+        self.tx = dead_tx;
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +197,22 @@ mod tests {
         let (a, b) = InProcTransport::pair();
         assert_eq!(a.peer(), "inproc-a");
         assert_eq!(b.peer(), "inproc-b");
+    }
+
+    #[test]
+    fn inproc_split_keeps_directions() {
+        let (a, mut b) = InProcTransport::pair();
+        let (mut aw, mut ar) = Box::new(a).split().unwrap();
+        aw.send(b"out").unwrap();
+        let mut buf = Vec::new();
+        b.recv_into(&mut buf).unwrap();
+        assert_eq!(buf, b"out");
+        b.send(b"back").unwrap();
+        let mut buf = Vec::new();
+        ar.recv_into(&mut buf).unwrap();
+        assert_eq!(buf, b"back");
+        // The reader half's write direction is disconnected.
+        assert!(ar.send(b"x").is_err());
     }
 
     #[test]

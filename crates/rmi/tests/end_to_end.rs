@@ -278,9 +278,9 @@ impl PlayerServant for MediaPlayer {
                 self.loaded_frames.store(clip.frames, Ordering::SeqCst);
                 Ok(())
             }
-            IncopyArg::Reference(_) => Err(RmiError::Protocol(
-                "expected pass-by-value in this test".to_owned(),
-            )),
+            IncopyArg::Reference(_) => {
+                Err(RmiError::Protocol("expected pass-by-value in this test".to_owned()))
+            }
         }
     }
 }
@@ -292,11 +292,7 @@ fn start_server(kind: DispatchKind) -> (Orb, Arc<MediaPlayer>, ObjectRef) {
         Ok(Box::new(Clip { title: dec.get_string()?, frames: dec.get_long()? }))
     });
     let servant = Arc::new(MediaPlayer::default());
-    let skel = PlayerSkel::new(
-        Arc::clone(&servant) as Arc<dyn PlayerServant>,
-        orb.clone(),
-        kind,
-    );
+    let skel = PlayerSkel::new(Arc::clone(&servant) as Arc<dyn PlayerServant>, orb.clone(), kind);
     let objref = orb.export(skel).expect("export");
     (orb, servant, objref)
 }
@@ -474,9 +470,7 @@ fn lazy_skeleton_created_once_per_servant() {
     };
     let r1 = orb.export_once(identity, mk).unwrap();
     assert_eq!(orb.skeleton_count(), 2);
-    let r2 = orb
-        .export_once(identity, || panic!("skeleton must be cached"))
-        .unwrap();
+    let r2 = orb.export_once(identity, || panic!("skeleton must be cached")).unwrap();
     assert_eq!(r1, r2);
     assert_eq!(orb.skeleton_count(), 2);
     orb.shutdown();

@@ -48,12 +48,13 @@ fn ping(orb: &Orb, objref: &ObjectRef) -> RmiResult<i32> {
 }
 
 /// Plants a dead connection in the pool under `endpoint`: an in-process
-/// duplex whose peer end is already dropped.
+/// duplex whose peer end is already dropped, masquerading as the cached
+/// multiplexed connection.
 fn poison_pool(orb: &Orb, endpoint: &Endpoint) {
     let (dead, peer) = InProcTransport::pair();
     drop(peer);
-    let comm = ObjectCommunicator::new(Box::new(dead), Arc::new(TextProtocol));
-    orb.connections().checkin(endpoint, comm);
+    let conn = MuxConnection::over(Box::new(dead), Arc::new(TextProtocol)).unwrap();
+    orb.connections().inject(endpoint, conn);
 }
 
 #[test]

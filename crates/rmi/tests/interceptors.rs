@@ -216,10 +216,39 @@ fn oneway_fires_client_send_only() {
     assert_eq!(seen[0], CallPhase::ClientSend, "{seen:?}");
     // The oneway produced no ClientReceive of its own; the get produced
     // one Send + one Receive.
+    assert_eq!(seen.iter().filter(|p| **p == CallPhase::ClientReceive).count(), 1, "{seen:?}");
+    orb.shutdown();
+}
+
+#[test]
+fn failed_oneway_fires_client_receive_not_ok() {
+    // A oneway that never makes it onto the wire must still complete the
+    // interceptor pair: ClientSend, then ClientReceive with ok = false —
+    // symmetric with how invoke() reports its failures.
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(CounterSkel::new()).unwrap();
+    let dead = ObjectRef::new(
+        Endpoint::new("tcp", "127.0.0.1", 1),
+        objref.object_id,
+        objref.type_id.clone(),
+    );
+    let phases: Arc<Mutex<Vec<(CallPhase, bool)>>> = Arc::default();
+    {
+        let phases = Arc::clone(&phases);
+        orb.add_interceptor(Arc::new(FnInterceptor(move |info: &CallInfo| {
+            if matches!(info.phase, CallPhase::ClientSend | CallPhase::ClientReceive) {
+                phases.lock().push((info.phase, info.ok));
+            }
+        })));
+    }
+    let err = orb.invoke_oneway(orb.call_oneway(&dead, "bump")).unwrap_err();
+    assert!(matches!(err, RmiError::Io(_)), "{err}");
+    let seen = phases.lock().clone();
     assert_eq!(
-        seen.iter().filter(|p| **p == CallPhase::ClientReceive).count(),
-        1,
-        "{seen:?}"
+        seen,
+        [(CallPhase::ClientSend, true), (CallPhase::ClientReceive, false)],
+        "failed oneways report a symmetric receive phase"
     );
     orb.shutdown();
 }
@@ -238,9 +267,7 @@ fn protocol_mismatch_fails_fast() {
     let RmiError::Protocol(msg) = err else { panic!("wrong error kind") };
     assert!(msg.contains("giop") && msg.contains("tcp"), "{msg}");
 
-    let err = text_orb
-        .invoke_oneway(text_orb.call_oneway(&objref, "bump"))
-        .unwrap_err();
+    let err = text_orb.invoke_oneway(text_orb.call_oneway(&objref, "bump")).unwrap_err();
     assert!(matches!(err, RmiError::Protocol(_)));
     giop_orb.shutdown();
 }

@@ -1,0 +1,209 @@
+//! Multiplexed-connection tests: many concurrent callers sharing one
+//! socket per endpoint, out-of-order reply correlation by request id, and
+//! per-call deadlines that do not poison the shared connection.
+
+use heidl_rmi::*;
+use heidl_wire::{Decoder, Encoder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `echo(x) -> x`, with an optional per-call sleep so some requests
+/// finish long after later ones (forcing out-of-order replies), and a
+/// `nap(ms)` method that just sleeps — the slow servant for deadline
+/// tests.
+struct SleepyEchoSkel {
+    base: SkeletonBase,
+    dispatched: AtomicUsize,
+}
+
+impl SleepyEchoSkel {
+    fn new() -> Arc<SleepyEchoSkel> {
+        Arc::new(SleepyEchoSkel {
+            base: SkeletonBase::new(
+                "IDL:Test/SleepyEcho:1.0",
+                DispatchKind::Hash,
+                ["echo", "nap"],
+                vec![],
+            ),
+            dispatched: AtomicUsize::new(0),
+        })
+    }
+}
+
+impl Skeleton for SleepyEchoSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let v = args.get_long()?;
+                let sleep_ms = args.get_long()?;
+                if sleep_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(sleep_ms as u64));
+                }
+                self.dispatched.fetch_add(1, Ordering::SeqCst);
+                reply.put_long(v);
+                Ok(DispatchOutcome::Handled)
+            }
+            Some(1) => {
+                let ms = args.get_long()?;
+                std::thread::sleep(Duration::from_millis(ms as u64));
+                reply.put_long(ms);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn echo(orb: &Orb, objref: &ObjectRef, v: i32, sleep_ms: i32) -> RmiResult<i32> {
+    let mut call = orb.call(objref, "echo");
+    call.args().put_long(v);
+    call.args().put_long(sleep_ms);
+    let mut reply = orb.invoke(call)?;
+    Ok(reply.results().get_long()?)
+}
+
+#[test]
+fn many_threads_share_one_pooled_connection() {
+    const THREADS: usize = 8;
+    const CALLS: usize = 25;
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let skel = SleepyEchoSkel::new();
+    let objref = orb.export(skel).unwrap();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let orb = orb.clone();
+            let objref = objref.clone();
+            std::thread::spawn(move || {
+                for i in 0..CALLS {
+                    let v = (t * CALLS + i) as i32;
+                    // A sprinkling of slow calls so replies interleave
+                    // across threads and arrive out of request order.
+                    let sleep = if i % 7 == 0 { 3 } else { 0 };
+                    assert_eq!(echo(&orb, &objref, v, sleep).unwrap(), v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        orb.connections().opened_count(),
+        1,
+        "{} concurrent calls multiplexed over a single socket",
+        THREADS * CALLS
+    );
+    orb.shutdown();
+}
+
+#[test]
+fn thirty_two_clients_never_exceed_the_connection_cap() {
+    const CLIENTS: usize = 32;
+    const CAP: usize = 3;
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(SleepyEchoSkel::new()).unwrap();
+
+    let client = Orb::builder().max_connections_per_endpoint(CAP).build();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let orb = client.clone();
+            let objref = objref.clone();
+            std::thread::spawn(move || {
+                for i in 0..5 {
+                    let v = (t * 5 + i) as i32;
+                    assert_eq!(echo(&orb, &objref, v, 1).unwrap(), v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let opened = client.connections().opened_count();
+    assert!(opened as usize <= CAP, "{CLIENTS} clients opened {opened} sockets, cap {CAP}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_calls_do_not_head_of_line_block_fast_ones() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(SleepyEchoSkel::new()).unwrap();
+
+    // Park a slow call on the shared connection…
+    let slow = {
+        let orb = orb.clone();
+        let objref = objref.clone();
+        std::thread::spawn(move || echo(&orb, &objref, 1, 300))
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    // …and race a fast one past it on the same socket.
+    let start = Instant::now();
+    assert_eq!(echo(&orb, &objref, 2, 0).unwrap(), 2);
+    let fast_elapsed = start.elapsed();
+    assert_eq!(slow.join().unwrap().unwrap(), 1);
+    assert_eq!(orb.connections().opened_count(), 1, "both calls shared the socket");
+    assert!(
+        fast_elapsed < Duration::from_millis(250),
+        "fast call waited {fast_elapsed:?} behind the slow one"
+    );
+    orb.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_leaves_the_connection_usable() {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(SleepyEchoSkel::new()).unwrap();
+
+    // Warm the connection so the deadline failure hits the pooled socket.
+    assert_eq!(echo(&orb, &objref, 7, 0).unwrap(), 7);
+
+    let mut call = orb.call(&objref, "nap");
+    call.args().put_long(400);
+    let err =
+        orb.invoke_with(call, CallOptions::with_deadline(Duration::from_millis(50))).unwrap_err();
+    assert!(matches!(err, RmiError::DeadlineExceeded { .. }), "{err}");
+    assert_eq!(orb.retry_count(), 0, "a deadline is not a stale connection");
+
+    // The same pooled connection keeps working; the orphaned nap reply is
+    // dropped by the demultiplexer without desynchronizing anything.
+    for v in 0..5 {
+        assert_eq!(echo(&orb, &objref, v, 0).unwrap(), v);
+    }
+    assert_eq!(orb.connections().opened_count(), 1, "no reconnect after the deadline");
+    orb.shutdown();
+}
+
+#[test]
+fn default_deadline_applies_when_call_options_do_not() {
+    let orb = Orb::builder().default_deadline(Duration::from_millis(50)).build();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(SleepyEchoSkel::new()).unwrap();
+
+    let mut call = orb.call(&objref, "nap");
+    call.args().put_long(400);
+    let err = orb.invoke(call).unwrap_err();
+    assert!(matches!(err, RmiError::DeadlineExceeded { .. }), "{err}");
+
+    // An explicit per-call deadline overrides the default.
+    let mut call = orb.call(&objref, "nap");
+    call.args().put_long(100);
+    let mut reply =
+        orb.invoke_with(call, CallOptions::with_deadline(Duration::from_secs(5))).unwrap();
+    assert_eq!(reply.results().get_long().unwrap(), 100);
+    orb.shutdown();
+}

@@ -43,7 +43,9 @@ pub mod run;
 pub mod sink;
 
 pub use error::{CompileError, RunError};
-pub use program::{compile, compile_with_includes, Cond, IncludeLoader, Instr, Program, Segment, Term};
+pub use program::{
+    compile, compile_with_includes, Cond, IncludeLoader, Instr, Program, Segment, Term,
+};
 pub use registry::{MapFn, MapRegistry};
 pub use run::run;
 pub use sink::{DirSink, MemorySink, OutputSink};
@@ -76,8 +78,7 @@ mod tests {
     #[test]
     fn generate_end_to_end() {
         let est = heidl_est::build(&heidl_idl::parse("interface A {};").unwrap()).unwrap();
-        let err =
-            generate("// ${interfaceName}?\n", &est, &MapRegistry::new(), &[]).unwrap_err();
+        let err = generate("// ${interfaceName}?\n", &est, &MapRegistry::new(), &[]).unwrap_err();
         // interfaceName is not defined at root scope — error expected.
         assert!(err.to_string().contains("interfaceName"));
 

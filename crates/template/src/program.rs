@@ -367,10 +367,7 @@ fn list_matches(expected: &str, actual: &str) -> bool {
     if expected == actual {
         return true;
     }
-    matches!(
-        (expected, actual),
-        ("paramList", "parameterList") | ("parameterList", "paramList")
-    )
+    matches!((expected, actual), ("paramList", "parameterList") | ("parameterList", "paramList"))
 }
 
 enum Terminator {
@@ -604,10 +601,7 @@ mod tests {
     fn openfile_with_substitution() {
         let p = compile("@openfile ${interfaceName}.hh\n").unwrap();
         let Instr::OpenFile { path, .. } = &p.instrs[0] else { panic!() };
-        assert_eq!(
-            path,
-            &vec![Segment::Var("interfaceName".into()), Segment::Lit(".hh".into())]
-        );
+        assert_eq!(path, &vec![Segment::Var("interfaceName".into()), Segment::Lit(".hh".into())]);
     }
 
     #[test]
@@ -659,9 +653,7 @@ mod tests {
     fn include_splices_partial_instructions() {
         let loader = |name: &str| match name {
             "banner" => Some("// banner line\n".to_owned()),
-            "methods" => Some(
-                "@foreach methodList\n${methodName}\n@end methodList\n".to_owned(),
-            ),
+            "methods" => Some("@foreach methodList\n${methodName}\n@end methodList\n".to_owned()),
             _ => None,
         };
         let p = compile_with_includes(
@@ -698,8 +690,7 @@ mod tests {
 
     #[test]
     fn unknown_include_is_an_error_with_name() {
-        let err = compile_with_includes("@include nope\n", &|_: &str| None::<String>)
-            .unwrap_err();
+        let err = compile_with_includes("@include nope\n", &|_: &str| None::<String>).unwrap_err();
         assert!(err.message.contains("unknown include `nope`"), "{err}");
         // plain compile() has no loader at all:
         assert!(compile("@include anything\n").is_err());
@@ -707,9 +698,7 @@ mod tests {
 
     #[test]
     fn include_errors_carry_partial_name_and_line() {
-        let loader = |name: &str| {
-            (name == "broken").then(|| "ok line\n@frobnicate\n".to_owned())
-        };
+        let loader = |name: &str| (name == "broken").then(|| "ok line\n@frobnicate\n".to_owned());
         let err = compile_with_includes("@include broken\n", &loader).unwrap_err();
         assert!(err.message.contains("in include `broken` line 2"), "{err}");
         assert_eq!(err.line, 1, "error points at the @include site");
@@ -717,9 +706,7 @@ mod tests {
 
     #[test]
     fn partials_must_be_block_balanced() {
-        let loader = |name: &str| {
-            (name == "half").then(|| "@foreach methodList\n".to_owned())
-        };
+        let loader = |name: &str| (name == "half").then(|| "@foreach methodList\n".to_owned());
         let err = compile_with_includes("@include half\n", &loader).unwrap_err();
         assert!(err.message.contains("unterminated"), "{err}");
     }

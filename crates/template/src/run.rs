@@ -176,7 +176,10 @@ impl Runner<'_> {
                 let raw = self.est.prop(node, src).ok_or_else(|| {
                     RunError::new(
                         line,
-                        format!("node `{}` has no property `{src}` to map", self.est.node(node).name),
+                        format!(
+                            "node `{}` has no property `{src}` to map",
+                            self.est.node(node).name
+                        ),
                     )
                 })?;
                 let mapped = self
@@ -255,9 +258,7 @@ mod tests {
     fn map_function_applies_per_iteration() {
         let est = fig3_est();
         let mut reg = MapRegistry::new();
-        reg.register("T::Hd", |s| {
-            format!("Hd{}", s.rsplit("::").next().unwrap_or(s))
-        });
+        reg.register("T::Hd", |s| format!("Hd{}", s.rsplit("::").next().unwrap_or(s)));
         let out = render(
             "@foreach interfaceList -map interfaceName T::Hd\nclass ${interfaceName};\n@end interfaceList\n",
             &est,
@@ -269,8 +270,9 @@ mod tests {
     #[test]
     fn unknown_map_function_is_a_run_error() {
         let est = fig3_est();
-        let p = compile("@foreach interfaceList -map interfaceName No::Fn\nx\n@end interfaceList\n")
-            .unwrap();
+        let p =
+            compile("@foreach interfaceList -map interfaceName No::Fn\nx\n@end interfaceList\n")
+                .unwrap();
         let mut sink = MemorySink::new();
         let err = run(&p, &est, &MapRegistry::new(), &[], &mut sink).unwrap_err();
         assert!(err.message.contains("No::Fn"), "{err}");
@@ -399,8 +401,7 @@ mod tests {
     #[test]
     fn missing_map_property_is_a_run_error() {
         let est = fig3_est();
-        let p =
-            compile("@foreach interfaceList -map nonProp F\nx\n@end interfaceList\n").unwrap();
+        let p = compile("@foreach interfaceList -map nonProp F\nx\n@end interfaceList\n").unwrap();
         let mut reg = MapRegistry::new();
         reg.register("F", |s| s.to_owned());
         let mut sink = MemorySink::new();

@@ -13,6 +13,11 @@
 //! a 32-bit Unicode scalar (CDR's 1-byte char cannot carry the Rust `char`
 //! range), and we always emit little-endian (the receiving decoder honours
 //! only that flag value).
+//!
+//! Like GIOP's `request_id`, the RMI layer leads every request and reply
+//! body with a `ulonglong` correlation id (see `heidl-rmi`'s `call`
+//! module), letting many in-flight calls multiplex one connection with
+//! replies arriving in any order.
 
 use crate::codec::{Decoder, Encoder};
 use crate::error::{WireError, WireResult};
@@ -252,11 +257,7 @@ impl Decoder for CdrDecoder {
     fn get_len(&mut self) -> WireResult<u32> {
         let n = self.get_ulong()?;
         if n > MAX_LEN {
-            return Err(WireError::Bounds {
-                what: "sequence",
-                len: n.into(),
-                max: MAX_LEN.into(),
-            });
+            return Err(WireError::Bounds { what: "sequence", len: n.into(), max: MAX_LEN.into() });
         }
         Ok(n)
     }

@@ -162,7 +162,10 @@ pub(crate) mod conformance {
     //! codec tests.
     use super::*;
 
-    pub(crate) fn roundtrip_all(enc: &mut dyn Encoder, mk_dec: impl Fn(Vec<u8>) -> Box<dyn Decoder>) {
+    pub(crate) fn roundtrip_all(
+        enc: &mut dyn Encoder,
+        mk_dec: impl Fn(Vec<u8>) -> Box<dyn Decoder>,
+    ) {
         enc.put_bool(true);
         enc.put_bool(false);
         enc.put_octet(0xAB);

@@ -37,8 +37,8 @@ pub mod protocol;
 pub mod text;
 
 pub use cdr::{CdrDecoder, CdrEncoder};
-pub use plan::{CdrStructPlan, FieldKind, PlanValue};
 pub use codec::{Decoder, Encoder};
 pub use error::{WireError, WireResult};
+pub use plan::{CdrStructPlan, FieldKind, PlanValue};
 pub use protocol::{by_name, CdrProtocol, Protocol, TextProtocol};
 pub use text::{TextDecoder, TextEncoder};

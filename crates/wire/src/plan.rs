@@ -213,8 +213,7 @@ impl CdrStructPlan {
                 },
                 FieldKind::Octet => PlanValue::Octet(bytes[offset]),
                 FieldKind::Char => {
-                    let raw =
-                        u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4B"));
+                    let raw = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4B"));
                     PlanValue::Char(char::from_u32(raw).ok_or_else(|| WireError::Malformed {
                         what: "char",
                         detail: format!("invalid scalar value {raw:#x}"),

@@ -12,6 +12,10 @@
 //! * [`TextProtocol`] — HeidiRMI's newline-terminated ASCII protocol;
 //! * [`CdrProtocol`] — a GIOP-lite binary protocol (12-byte header with
 //!   magic, version, flags and body length; CDR body).
+//!
+//! On both protocols the RMI layer leads every request and reply body
+//! with a `ulonglong` request id, so replies can be correlated to calls
+//! and one connection can carry many interleaved requests.
 
 use crate::cdr::{CdrDecoder, CdrEncoder};
 use crate::codec::{Decoder, Encoder};
@@ -80,7 +84,7 @@ impl Protocol for TextProtocol {
         };
         let mut line: Vec<u8> = buf.drain(..=nl).collect();
         line.pop(); // the newline
-        // Tolerate CRLF from telnet clients.
+                    // Tolerate CRLF from telnet clients.
         if line.last() == Some(&b'\r') {
             line.pop();
         }
@@ -290,16 +294,16 @@ mod tests {
         let mut framed = Vec::new();
         CdrProtocol.frame(&body, &mut framed);
         let expected: Vec<u8> = [
-            b"GIOP".as_slice(),            // magic
-            &[1, 0],                       // version 1.0
-            &[0x01],                       // flags: little-endian
-            &[0],                          // message type
-            &15u32.to_le_bytes(),          // body length
-            &[0xAB],                       // octet
-            &[0, 0, 0],                    // pad to 4
-            &[0x04, 0x03, 0x02, 0x01],     // long, little-endian
-            &3u32.to_le_bytes(),           // string byte count incl NUL
-            b"hi\0",                       // string body
+            b"GIOP".as_slice(),        // magic
+            &[1, 0],                   // version 1.0
+            &[0x01],                   // flags: little-endian
+            &[0],                      // message type
+            &15u32.to_le_bytes(),      // body length
+            &[0xAB],                   // octet
+            &[0, 0, 0],                // pad to 4
+            &[0x04, 0x03, 0x02, 0x01], // long, little-endian
+            &3u32.to_le_bytes(),       // string byte count incl NUL
+            b"hi\0",                   // string body
         ]
         .concat();
         assert_eq!(framed, expected);

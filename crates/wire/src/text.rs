@@ -13,6 +13,11 @@
 //! into the bootstrap port of a Heidi application and type in simple
 //! HeidiRMI requests to debug the system"* — experiment E8 reproduces
 //! exactly that against our server.
+//!
+//! The RMI layer puts a decimal **request id** first on every request and
+//! reply line (see `heidl-rmi`'s `call` module), so concurrent calls can
+//! share one connection and still be correlated. That stays telnet-friendly:
+//! a human types `7 "objref" "print" T "hi"` and reads back `7 0`.
 
 use crate::codec::{Decoder, Encoder};
 use crate::error::{WireError, WireResult};

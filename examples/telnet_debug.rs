@@ -8,7 +8,7 @@
 //! The program plays both sides so the transcript is visible; point a
 //! real `telnet`/`nc` at the printed endpoint to drive it yourself.
 
-use heidl::media::{PlayerSkel, PlayerServant, ReceiverServant, Status};
+use heidl::media::{PlayerServant, PlayerSkel, ReceiverServant, Status};
 use heidl::rmi::{DispatchKind, Orb, RemoteObject, RmiResult};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -83,11 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(reply)
     };
 
-    type_line(format!("\"{objref}\" \"print\" T \"typed by hand\""))?;
-    type_line(format!("\"{objref}\" \"count\" T"))?;
-    type_line(format!("\"{objref}\" \"play\" T \"intro.mpg\" 5"))?;
-    type_line(format!("\"{objref}\" \"_get_position\" T"))?;
-    type_line(format!("\"{objref}\" \"no_such_method\" T"))?;
+    // Each request starts with a small id the human picks; the reply
+    // echoes it, so even interleaved requests can be told apart.
+    type_line(format!("1 \"{objref}\" \"print\" T \"typed by hand\""))?;
+    type_line(format!("2 \"{objref}\" \"count\" T"))?;
+    type_line(format!("3 \"{objref}\" \"play\" T \"intro.mpg\" 5"))?;
+    type_line(format!("4 \"{objref}\" \"_get_position\" T"))?;
+    type_line(format!("5 \"{objref}\" \"no_such_method\" T"))?;
     type_line("\"garbage\" \"x\" T".to_owned())?;
 
     println!("every byte of that exchange was printable text -- that is the");

@@ -101,11 +101,7 @@ fn dynamic_result_extraction() {
 fn dynamic_sequence_and_attribute_access() {
     let (orb, deck, objref) = setup();
     DynCall::new(&orb, &objref, "seek")
-        .arg(DynValue::Seq(vec![
-            DynValue::Long(100),
-            DynValue::Long(200),
-            DynValue::Long(300),
-        ]))
+        .arg(DynValue::Seq(vec![DynValue::Long(100), DynValue::Long(200), DynValue::Long(300)]))
         .invoke()
         .unwrap();
     assert_eq!(*deck.frames.lock().unwrap(), vec![100, 200, 300]);

@@ -3,9 +3,7 @@
 //! *generated* stubs and skeletons.
 
 use heidl::media::*;
-use heidl::rmi::{
-    CallInfo, DispatchKind, FnInterceptor, Orb, RemoteObject, RmiResult,
-};
+use heidl::rmi::{CallInfo, DispatchKind, FnInterceptor, Orb, RemoteObject, RmiResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -71,7 +69,9 @@ fn fig4_client_interaction() {
     // the reply arrives after the server processed the request.
     stub.print("fig4".to_owned()).unwrap();
     let t = trace.lock().unwrap().clone();
-    let pos = |needle: &str| t.iter().position(|e| e == needle).unwrap_or_else(|| panic!("{needle} missing from {t:?}"));
+    let pos = |needle: &str| {
+        t.iter().position(|e| e == needle).unwrap_or_else(|| panic!("{needle} missing from {t:?}"))
+    };
     assert!(pos("ClientSend(print)") < pos("ServerDispatch(print)"), "{t:?}");
     assert!(pos("ServerDispatch(print)") < pos("ServerReply(print)"), "{t:?}");
     assert!(pos("ServerReply(print)") < pos("ClientReceive(print)"), "{t:?}");
@@ -99,8 +99,7 @@ fn fig5_server_dispatch() {
 
     // Skeleton selection is by object id: a reference with a wrong id at
     // the same endpoint selects nothing.
-    let bogus =
-        heidl::rmi::ObjectRef::new(objref.endpoint.clone(), 999, objref.type_id.clone());
+    let bogus = heidl::rmi::ObjectRef::new(objref.endpoint.clone(), 999, objref.type_id.clone());
     let err = orb.invoke(orb.call(&bogus, "print")).unwrap_err();
     assert!(err.to_string().contains("UnknownObject"), "{err}");
 

@@ -5,9 +5,7 @@
 //! emits code that actually runs against the HeidiRMI runtime.
 
 use heidl::media::*;
-use heidl::rmi::{
-    DispatchKind, IncopyArg, Orb, RemoteObject, RmiError, RmiResult, ValueSerialize,
-};
+use heidl::rmi::{DispatchKind, IncopyArg, Orb, RemoteObject, RmiError, RmiResult, ValueSerialize};
 use heidl::wire::CdrProtocol;
 use parking_lot_shim::Mutex;
 use std::sync::atomic::{AtomicI32, AtomicUsize, Ordering};

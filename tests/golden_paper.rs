@@ -139,12 +139,7 @@ fn fig9_interface_template_uses_paper_constructs() {
     // The shipped template must be recognizably Fig 9: same commands,
     // same map functions, same list names.
     let backend = heidl::codegen::backend("heidi-cpp").unwrap();
-    let tmpl = backend
-        .templates
-        .iter()
-        .find(|t| t.name == "interface.tmpl")
-        .unwrap()
-        .source;
+    let tmpl = backend.templates.iter().find(|t| t.name == "interface.tmpl").unwrap().source;
     for needle in [
         "@foreach interfaceList -map interfaceName CPP::MapClassName",
         "@openfile ${interfaceName}.hh",

@@ -41,9 +41,7 @@ fn idl_module() -> impl Strategy<Value = String> {
                         _ => "in",
                     };
                     let default = if dir == "in" { default } else { "" };
-                    s.push_str(&format!(
-                        "    void m{m}({dir} {ty} p{m}{default});\n"
-                    ));
+                    s.push_str(&format!("    void m{m}({dir} {ty} p{m}{default});\n"));
                 }
                 if seed & (1 << (i % 60)) != 0 {
                     s.push_str("    readonly attribute long position;\n");

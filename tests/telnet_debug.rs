@@ -65,8 +65,11 @@ impl heidl::media::PlayerServant for Echo {
 fn telnet_session() -> (Orb, String, BufReader<TcpStream>) {
     let orb = Orb::new();
     let endpoint = orb.serve("127.0.0.1:0").unwrap();
-    let skel =
-        PlayerSkel::new(Arc::new(Echo { prints: AtomicUsize::new(0) }), orb.clone(), DispatchKind::Hash);
+    let skel = PlayerSkel::new(
+        Arc::new(Echo { prints: AtomicUsize::new(0) }),
+        orb.clone(),
+        DispatchKind::Hash,
+    );
     let objref = orb.export(skel).unwrap();
     let stream = TcpStream::connect(endpoint.socket_addr()).unwrap();
     (orb, objref.to_string(), BufReader::new(stream))
@@ -83,20 +86,23 @@ fn type_line(reader: &mut BufReader<TcpStream>, line: &str) -> String {
 #[test]
 fn a_human_can_type_a_request_and_read_the_reply() {
     let (orb, objref, mut session) = telnet_session();
-    // What a person types: "objref" "method" T args...
-    let reply = type_line(&mut session, &format!("\"{objref}\" \"print\" T \"hello from telnet\""));
-    assert_eq!(reply, "0", "status 0 = OK, readable at a glance");
+    // What a person types: id "objref" "method" T args... — the id is any
+    // small number; the reply leads with the same id so multiple typed
+    // requests can be told apart.
+    let reply =
+        type_line(&mut session, &format!("7 \"{objref}\" \"print\" T \"hello from telnet\""));
+    assert_eq!(reply, "7 0", "echoed id, then status 0 = OK, readable at a glance");
 
-    let reply = type_line(&mut session, &format!("\"{objref}\" \"count\" T"));
-    assert_eq!(reply, "0 1", "status plus the long result, all printable text");
+    let reply = type_line(&mut session, &format!("8 \"{objref}\" \"count\" T"));
+    assert_eq!(reply, "8 0 1", "id, status, then the long result, all printable text");
     orb.shutdown();
 }
 
 #[test]
 fn typing_a_bad_method_yields_a_readable_diagnostic() {
     let (orb, objref, mut session) = telnet_session();
-    let reply = type_line(&mut session, &format!("\"{objref}\" \"frobnicate\" T"));
-    assert!(reply.starts_with("2 "), "system exception status: {reply}");
+    let reply = type_line(&mut session, &format!("1 \"{objref}\" \"frobnicate\" T"));
+    assert!(reply.starts_with("1 2 "), "echoed id, system exception status: {reply}");
     assert!(reply.contains("IDL:heidl/UnknownMethod:1.0"), "{reply}");
     assert!(reply.contains("frobnicate"), "the diagnostic names the method: {reply}");
     orb.shutdown();
@@ -105,9 +111,28 @@ fn typing_a_bad_method_yields_a_readable_diagnostic() {
 #[test]
 fn typing_garbage_yields_a_bad_request_reply() {
     let (orb, _objref, mut session) = telnet_session();
+    // No id at all, just nonsense: the server answers with id 0.
     let reply = type_line(&mut session, "\"not-an-objref\" \"x\" T");
-    assert!(reply.starts_with("2 "), "{reply}");
+    assert!(reply.starts_with("0 2 "), "{reply}");
     assert!(reply.contains("BadRequest"), "{reply}");
+    orb.shutdown();
+}
+
+#[test]
+fn replies_echo_the_request_id_even_out_of_order() {
+    let (orb, objref, mut session) = telnet_session();
+    // Type two requests before reading either reply; each reply names
+    // the request it answers.
+    session.get_mut().write_all(format!("41 \"{objref}\" \"count\" T\r\n").as_bytes()).unwrap();
+    session.get_mut().write_all(format!("42 \"{objref}\" \"count\" T\r\n").as_bytes()).unwrap();
+    let mut replies = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        session.read_line(&mut line).unwrap();
+        replies.push(line.trim_end().to_owned());
+    }
+    replies.sort();
+    assert_eq!(replies, vec!["41 0 0", "42 0 0"]);
     orb.shutdown();
 }
 
@@ -115,7 +140,7 @@ fn typing_garbage_yields_a_bad_request_reply() {
 fn wrong_object_id_is_reported() {
     let (orb, objref, mut session) = telnet_session();
     let bogus = objref.replace("#1#", "#424242#");
-    let reply = type_line(&mut session, &format!("\"{bogus}\" \"count\" T"));
+    let reply = type_line(&mut session, &format!("1 \"{bogus}\" \"count\" T"));
     assert!(reply.contains("UnknownObject"), "{reply}");
     orb.shutdown();
 }
@@ -123,11 +148,11 @@ fn wrong_object_id_is_reported() {
 #[test]
 fn the_whole_session_is_printable_ascii() {
     let (orb, objref, mut session) = telnet_session();
-    let reply = type_line(&mut session, &format!("\"{objref}\" \"get_title\" T"));
+    let reply = type_line(&mut session, &format!("1 \"{objref}\" \"get_title\" T"));
     // Wrong spelling on purpose: attribute access is _get_title.
     assert!(reply.contains("UnknownMethod"), "{reply}");
-    let reply = type_line(&mut session, &format!("\"{objref}\" \"_get_title\" T"));
-    assert_eq!(reply, "0 \"untitled\"");
+    let reply = type_line(&mut session, &format!("2 \"{objref}\" \"_get_title\" T"));
+    assert_eq!(reply, "2 0 \"untitled\"");
     assert!(reply.chars().all(|c| c.is_ascii_graphic() || c == ' '), "{reply}");
     orb.shutdown();
 }

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate: same macro/builder surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkId`, `black_box`) with a deliberately small measurement loop —
+//! enough to run every bench end-to-end and print rough per-iteration
+//! timings, without statistics, plotting, or CLI parsing.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle created by `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.sample_size;
+        run_one("", &id.into(), n, f);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usize, mut f: F) {
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    // Warm-up pass, then the measured samples.
+    f(&mut bencher);
+    bencher.elapsed = Duration::ZERO;
+    bencher.iters = 0;
+    for _ in 0..samples.max(1) {
+        f(&mut bencher);
+    }
+    let per_iter =
+        if bencher.iters == 0 { Duration::ZERO } else { bencher.elapsed / bencher.iters as u32 };
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    println!("bench {label:<60} {per_iter:>12.2?}/iter ({} iters)", bencher.iters);
+}
+
+/// Passed to bench closures; `iter` times the supplied routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A handful of iterations per sample keeps total runtime bounded
+        // while still exercising the code path for real.
+        const ITERS_PER_SAMPLE: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS_PER_SAMPLE {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS_PER_SAMPLE;
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 1 + 1));
+        group.bench_function("plain", |b| b.iter(|| black_box(2) * 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,968 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!`, `prop_oneof!`, `prop_assert*`, `Strategy` with
+//! `prop_map`/`prop_filter`/`prop_recursive`/`boxed`, `any::<T>()`,
+//! ranges and tuples as strategies, `&'static str` regex-literal
+//! strategies, and the `collection`/`option`/`char`/`num`/`string`
+//! helper modules. Sampling is deterministic (splitmix64 seeded per
+//! case index); there is no shrinking — a failing case reports its
+//! input via the normal panic message instead.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic generator state for one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x5851_F42D_4C95_7F2D }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (n > 0).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// True with probability `num/den`.
+        pub fn chance(&mut self, num: u64, den: u64) -> bool {
+            self.below(den) < num
+        }
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case is invalid input and should be skipped, not failed.
+        Reject(String),
+        /// The property does not hold.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason: reason.into(), f }
+        }
+
+        /// Recursion: each level is a coin flip between the base strategy
+        /// and one application of `f`, nested at most `depth` deep.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let recursed = f(current).boxed();
+                current = Union::new(vec![base.clone(), recursed]).boxed();
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive samples: {}", self.reason)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let pick = rng.below(self.arms.len() as u64) as usize;
+            self.arms[pick].sample(rng)
+        }
+    }
+
+    /// `any::<T>()` support marker.
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+    }
+
+    /// String literals are regex-subset strategies producing `String`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::compile(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Any, Strategy};
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Uniform over the full width, matching upstream
+                    // proptest's default integer distribution closely
+                    // enough that boundary values stay rare.
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.chance(3, 4) {
+                (b' ' + rng.below(95) as u8) as char
+            } else {
+                char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+            }
+        }
+    }
+
+    impl Arbitrary for () {
+        fn arbitrary(_rng: &mut TestRng) -> Self {}
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bounds for a generated collection.
+    pub trait SizeRange {
+        /// Inclusive (lo, hi) size bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    fn pick_len(rng: &mut TestRng, size: &impl SizeRange) -> usize {
+        let (lo, hi) = size.bounds();
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = pick_len(rng, &self.size);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = pick_len(rng, &self.size);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times.
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option<T>` with a 25% chance of `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.chance(1, 4) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: char,
+        hi: char,
+    }
+
+    /// Uniform choice over an inclusive scalar-value range.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo, hi }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = (self.lo as u32, self.hi as u32);
+            loop {
+                let v = lo + rng.below((hi - lo + 1) as u64) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod num {
+    macro_rules! normal_float {
+        ($mod_name:ident, $ty:ty, $bits:ty, $mant_bits:expr, $exp_lo:expr, $exp_hi:expr) => {
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Normal (finite, non-zero, non-subnormal) floats with
+                /// moderate exponents so decimal round-trips stay sane.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Normal;
+
+                pub const NORMAL: Normal = Normal;
+
+                impl Strategy for Normal {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut TestRng) -> $ty {
+                        let sign = (rng.next_u64() & 1) as $bits;
+                        let exp = ($exp_lo + rng.below($exp_hi - $exp_lo)) as $bits;
+                        let mant = (rng.next_u64() as $bits) & ((1 << $mant_bits) - 1);
+                        let bits = (sign << (8 * std::mem::size_of::<$ty>() as $bits - 1))
+                            | (exp << $mant_bits)
+                            | mant;
+                        let v = <$ty>::from_bits(bits as _);
+                        debug_assert!(v.is_normal());
+                        v
+                    }
+                }
+            }
+        };
+    }
+
+    normal_float!(f32, f32, u32, 23, 90, 165);
+    normal_float!(f64, f64, u64, 52, 850, 1200);
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Printable characters used for `.`/`\PC` and exotic-class sampling.
+    const EXOTIC: &[char] = &['«', '»', 'é', 'ñ', 'ß', '✓', 'α', 'Ω', '漢', '字', '€', '…'];
+
+    #[derive(Debug, Clone)]
+    enum Piece {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Rep {
+        piece: Piece,
+        min: u32,
+        max: u32,
+    }
+
+    /// A compiled generator for the regex subset we support: literal
+    /// characters, escapes, character classes with ranges, `\PC`/`.` as
+    /// "any printable", and `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers. No
+    /// groups or alternation.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        reps: Vec<Rep>,
+    }
+
+    /// Compiles `pattern`; used both by `string_regex` and `&str` strategies.
+    pub(crate) fn compile(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let mut chars = pattern.chars().peekable();
+        let mut reps = Vec::new();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '\\' => parse_escape(&mut chars)?,
+                '[' => parse_class(&mut chars)?,
+                '.' => Piece::AnyPrintable,
+                '(' | ')' | '|' => {
+                    return Err(format!("unsupported regex construct {c:?} in {pattern:?}"))
+                }
+                '{' | '}' | '?' | '*' | '+' => {
+                    return Err(format!("dangling quantifier {c:?} in {pattern:?}"))
+                }
+                other => Piece::Lit(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            reps.push(Rep { piece, min, max });
+        }
+        Ok(RegexGeneratorStrategy { reps })
+    }
+
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Piece, String> {
+        let e = chars.next().ok_or("trailing backslash")?;
+        Ok(match e {
+            'n' => Piece::Lit('\n'),
+            'r' => Piece::Lit('\r'),
+            't' => Piece::Lit('\t'),
+            'P' => {
+                // `\PC` = "not Other" — approximate with printables.
+                match chars.next() {
+                    Some('C') => Piece::AnyPrintable,
+                    other => return Err(format!("unsupported \\P{other:?}")),
+                }
+            }
+            c => Piece::Lit(c),
+        })
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Piece, String> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars.next().ok_or("unterminated character class")?;
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' {
+                match parse_escape(chars)? {
+                    Piece::Lit(l) => l,
+                    _ => return Err("class escape must be a literal".into()),
+                }
+            } else {
+                c
+            };
+            // `a-z` range, unless `-` is the final literal before `]`.
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&']') | None => ranges.push((lo, lo)),
+                    Some(_) => {
+                        chars.next();
+                        let h = chars.next().unwrap();
+                        let hi = if h == '\\' {
+                            match parse_escape(chars)? {
+                                Piece::Lit(l) => l,
+                                _ => return Err("class escape must be a literal".into()),
+                            }
+                        } else {
+                            h
+                        };
+                        if hi < lo {
+                            return Err(format!("inverted class range {lo:?}-{hi:?}"));
+                        }
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(Piece::Class(ranges))
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(u32, u32), String> {
+        Ok(match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => return Err("unterminated {} quantifier".into()),
+                    }
+                }
+                let parse = |s: &str| {
+                    s.trim().parse::<u32>().map_err(|_| format!("bad repeat count {s:?}"))
+                };
+                match spec.split_once(',') {
+                    Some((m, n)) => (parse(m)?, parse(n)?),
+                    None => {
+                        let n = parse(&spec)?;
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        })
+    }
+
+    impl RegexGeneratorStrategy {
+        pub(crate) fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for rep in &self.reps {
+                let count = rep.min + rng.below((rep.max - rep.min + 1) as u64) as u32;
+                for _ in 0..count {
+                    out.push(sample_piece(&rep.piece, rng));
+                }
+            }
+            out
+        }
+    }
+
+    fn sample_piece(piece: &Piece, rng: &mut TestRng) -> char {
+        match piece {
+            Piece::Lit(c) => *c,
+            Piece::Class(ranges) => {
+                let total: u64 =
+                    ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let size = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < size {
+                        // Skip the surrogate gap if a range straddles it.
+                        return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                    }
+                    pick -= size;
+                }
+                unreachable!()
+            }
+            Piece::AnyPrintable => {
+                if rng.chance(1, 8) {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    (b' ' + rng.below(95) as u8) as char
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            self.generate(rng)
+        }
+    }
+
+    /// Public entry point matching proptest's `string_regex`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        compile(pattern)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0u64..(config.cases as u64) {
+                // Per-case deterministic seed, varied across cases and fns.
+                let seed = 0xA076_1D64_78BD_642Fu64
+                    .wrapping_mul(case.wrapping_add(1))
+                    ^ (stringify!($name).len() as u64).wrapping_mul(0x9E37_79B9);
+                let mut __rng = $crate::test_runner::TestRng::new(seed);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::sample(
+                                &($strat),
+                                &mut __rng,
+                            );
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {case} of {} failed: {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_within_spec() {
+        let strat = crate::string::string_regex("IDL:[A-Za-z0-9/_]{1,30}:[0-9]\\.[0-9]").unwrap();
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::sample(&strat, &mut rng);
+            assert!(s.starts_with("IDL:"), "{s}");
+            let rest = &s[4..];
+            let (body, ver) = rest.rsplit_once(':').unwrap();
+            assert!((1..=30).contains(&body.chars().count()), "{s}");
+            assert_eq!(ver.len(), 3);
+            assert_eq!(ver.as_bytes()[1], b'.');
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_escapes() {
+        let strat = crate::string::string_regex("[ -~\\n\"\\\\,«é✓]{0,16}").unwrap();
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::sample(&strat, &mut rng);
+            assert!(s.chars().count() <= 16);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) || "\n\"\\,«é✓".contains(c), "unexpected {c:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_plumbing_works(
+            n in 0u32..100,
+            flag in any::<bool>(),
+            s in "[a-z]{1,4}",
+        ) {
+            prop_assert!(n < 100);
+            prop_assert_eq!(flag, flag);
+            prop_assert!((1..=4).contains(&s.len()), "{}", s);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(v in nested()) {
+            prop_assert!(depth(&v) <= 4);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn nested() -> impl Strategy<Value = Tree> {
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Per-endpoint circuit breakers: fail fast instead of hammering a dead
+//! endpoint.
+//!
+//! Classic three-state breaker (Closed → Open → Half-Open):
+//!
+//! * **Closed** — calls flow; consecutive failures are counted and reset
+//!   on any success. Reaching the failure threshold trips the breaker.
+//! * **Open** — every admission is refused immediately with the remaining
+//!   cool-down (surfaced as `RmiError::CircuitOpen`), so callers with
+//!   multi-endpoint references fail over without paying a connect timeout.
+//! * **Half-Open** — after the cool-down, a bounded budget of *probe*
+//!   calls is admitted. Enough probe successes close the breaker; any
+//!   probe failure reopens it for another cool-down.
+//!
+//! The breaker lives in the `ConnectionPool` (one per endpoint, created on
+//! demand) and is driven by the ORB's invocation engine. Every
+//! state-changing method has an `_at(Instant)` twin so tests exercise the
+//! transitions deterministically, without sleeping.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (in Closed) that trip the breaker. `0`
+    /// disables the breaker entirely: it never leaves Closed.
+    pub failure_threshold: u32,
+    /// How long the breaker stays Open before admitting probes.
+    pub cooldown: Duration,
+    /// Concurrent probe calls admitted while Half-Open; further calls are
+    /// refused until a probe completes.
+    pub probe_budget: u32,
+    /// Probe successes required to close the breaker again.
+    pub success_threshold: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(5),
+            probe_budget: 1,
+            success_threshold: 1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A config whose breaker never opens (threshold 0).
+    pub fn disabled() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 0, ..BreakerConfig::default() }
+    }
+
+    /// Whether this config can ever trip.
+    pub fn is_enabled(&self) -> bool {
+        self.failure_threshold > 0
+    }
+}
+
+/// The observable state of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow.
+    Closed,
+    /// Tripped: calls are refused until the cool-down elapses.
+    Open,
+    /// Probing: a bounded number of calls test whether the endpoint
+    /// recovered.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen { in_flight: u32, successes: u32 },
+}
+
+/// A three-state circuit breaker guarding one endpoint.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker { config, state: Mutex::new(State::Closed { failures: 0 }) }
+    }
+
+    /// The tuning this breaker was built with.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// The current observable state (an Open breaker whose cool-down has
+    /// elapsed still reports Open until the next admission probes it).
+    pub fn state(&self) -> BreakerState {
+        match *self.state.lock() {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Asks to place a call now. `Err(retry_after)` means fail fast.
+    pub fn try_admit(&self) -> Result<(), Duration> {
+        self.try_admit_at(Instant::now())
+    }
+
+    /// [`CircuitBreaker::try_admit`] at an explicit instant (tests).
+    pub fn try_admit_at(&self, now: Instant) -> Result<(), Duration> {
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { .. } => Ok(()),
+            State::Open { until } => {
+                if now >= until {
+                    // Cool-down elapsed: this caller becomes the first probe.
+                    *state = State::HalfOpen { in_flight: 1, successes: 0 };
+                    Ok(())
+                } else {
+                    Err(until - now)
+                }
+            }
+            State::HalfOpen { ref mut in_flight, .. } => {
+                if *in_flight < self.config.probe_budget {
+                    *in_flight += 1;
+                    Ok(())
+                } else {
+                    // The probe budget is spent; callers should fail over
+                    // or retry shortly, once a probe completes.
+                    Err(Duration::ZERO)
+                }
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn record_success(&self) {
+        self.record_success_at(Instant::now());
+    }
+
+    /// [`CircuitBreaker::record_success`] at an explicit instant (tests).
+    pub fn record_success_at(&self, _now: Instant) {
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { ref mut failures } => *failures = 0,
+            // A call admitted before the trip finished late; the Open
+            // cool-down stands (one stale success is no health signal).
+            State::Open { .. } => {}
+            State::HalfOpen { in_flight, successes } => {
+                let successes = successes + 1;
+                if successes >= self.config.success_threshold {
+                    *state = State::Closed { failures: 0 };
+                } else {
+                    *state = State::HalfOpen { in_flight: in_flight.saturating_sub(1), successes };
+                }
+            }
+        }
+    }
+
+    /// Records a failed call (connect failure, transport failure, or a
+    /// timed-out reply — a consistently slow endpoint is as unhealthy as a
+    /// dead one for fail-fast purposes).
+    pub fn record_failure(&self) {
+        self.record_failure_at(Instant::now());
+    }
+
+    /// [`CircuitBreaker::record_failure`] at an explicit instant (tests).
+    pub fn record_failure_at(&self, now: Instant) {
+        if !self.config.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *state = State::Open { until: now + self.config.cooldown };
+                } else {
+                    *state = State::Closed { failures };
+                }
+            }
+            // Stale failure from a call admitted before the trip: the
+            // breaker is already Open, leave the cool-down as is.
+            State::Open { .. } => {}
+            // A failed probe reopens for a fresh cool-down.
+            State::HalfOpen { .. } => *state = State::Open { until: now + self.config.cooldown },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(100),
+            probe_budget: 1,
+            success_threshold: 1,
+        }
+    }
+
+    #[test]
+    fn closed_to_open_to_half_open_to_closed() {
+        let t0 = Instant::now();
+        let b = CircuitBreaker::new(cfg(3));
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Two failures and a success: the consecutive count resets.
+        b.record_failure_at(t0);
+        b.record_failure_at(t0);
+        b.record_success_at(t0);
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Three consecutive failures trip it.
+        for _ in 0..3 {
+            assert!(b.try_admit_at(t0).is_ok());
+            b.record_failure_at(t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // While Open, admissions fail fast with the remaining cool-down.
+        let retry_after = b.try_admit_at(t0 + Duration::from_millis(40)).unwrap_err();
+        assert_eq!(retry_after, Duration::from_millis(60));
+
+        // After the cool-down the first admission becomes a probe.
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(b.try_admit_at(t1).is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success_at(t1);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let t0 = Instant::now();
+        let b = CircuitBreaker::new(cfg(1));
+        b.record_failure_at(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+
+        let t1 = t0 + Duration::from_millis(120);
+        assert!(b.try_admit_at(t1).is_ok(), "cool-down elapsed: probe admitted");
+        b.record_failure_at(t1);
+        assert_eq!(b.state(), BreakerState::Open);
+        // The new cool-down is measured from the probe failure.
+        let retry_after = b.try_admit_at(t1 + Duration::from_millis(10)).unwrap_err();
+        assert_eq!(retry_after, Duration::from_millis(90));
+    }
+
+    #[test]
+    fn probe_budget_exhaustion_refuses_concurrent_probes() {
+        let t0 = Instant::now();
+        let b = CircuitBreaker::new(BreakerConfig { probe_budget: 2, ..cfg(1) });
+        b.record_failure_at(t0);
+        let t1 = t0 + Duration::from_millis(150);
+
+        // Two probes fit the budget; the third is refused immediately.
+        assert!(b.try_admit_at(t1).is_ok());
+        assert!(b.try_admit_at(t1).is_ok());
+        assert_eq!(b.try_admit_at(t1), Err(Duration::ZERO));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // A probe completing frees budget for the next caller.
+        b.record_success_at(t1);
+        assert_eq!(b.state(), BreakerState::Closed, "success threshold 1 closes");
+    }
+
+    #[test]
+    fn success_threshold_requires_that_many_probes() {
+        let t0 = Instant::now();
+        let b =
+            CircuitBreaker::new(BreakerConfig { probe_budget: 3, success_threshold: 2, ..cfg(1) });
+        b.record_failure_at(t0);
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(b.try_admit_at(t1).is_ok());
+        assert!(b.try_admit_at(t1).is_ok());
+        b.record_success_at(t1);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one success is not enough");
+        b.record_success_at(t1);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let t0 = Instant::now();
+        let b = CircuitBreaker::new(BreakerConfig::disabled());
+        for _ in 0..100 {
+            b.record_failure_at(t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_admit_at(t0).is_ok());
+    }
+
+    #[test]
+    fn stale_results_do_not_disturb_an_open_breaker() {
+        let t0 = Instant::now();
+        let b = CircuitBreaker::new(cfg(1));
+        assert!(b.try_admit_at(t0).is_ok());
+        assert!(b.try_admit_at(t0).is_ok(), "both calls admitted while Closed");
+        b.record_failure_at(t0); // trips (threshold 1)
+        assert_eq!(b.state(), BreakerState::Open);
+        // The second in-flight call finishing (either way) changes nothing.
+        b.record_success_at(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.record_failure_at(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

@@ -12,10 +12,11 @@
 //! thread owns the read half; callers park on per-request channels until
 //! their reply (or their deadline) arrives.
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::call::peek_reply_id;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
-use crate::transport::{TcpTransport, Transport};
+use crate::transport::{Connector, TcpConnector, Transport};
 use heidl_wire::Protocol;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -138,13 +139,29 @@ impl MuxConnection {
     ///
     /// # Errors
     ///
-    /// Propagates connect failures.
+    /// [`RmiError::ConnectFailed`] naming the endpoint that refused.
     pub fn connect(
         endpoint: &Endpoint,
         protocol: &Arc<dyn Protocol>,
     ) -> RmiResult<Arc<MuxConnection>> {
-        let transport = TcpTransport::connect(&endpoint.socket_addr())?;
-        MuxConnection::over(Box::new(transport), Arc::clone(protocol))
+        MuxConnection::via(&TcpConnector, endpoint, protocol)
+    }
+
+    /// Opens a multiplexed connection through an explicit [`Connector`]
+    /// (the seam fault injectors plug into).
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::ConnectFailed`] naming the endpoint that refused.
+    pub fn via(
+        connector: &dyn Connector,
+        endpoint: &Endpoint,
+        protocol: &Arc<dyn Protocol>,
+    ) -> RmiResult<Arc<MuxConnection>> {
+        let transport = connector
+            .connect(endpoint)
+            .map_err(|source| RmiError::ConnectFailed { endpoint: endpoint.to_string(), source })?;
+        MuxConnection::over(transport, Arc::clone(protocol))
     }
 
     /// Wraps an arbitrary transport (tests use in-process pipes), splitting
@@ -362,6 +379,14 @@ pub struct ConnectionPool {
     /// Upper bound on pooled connections per endpoint; beyond it, calls
     /// multiplex onto the existing sockets.
     max_per_endpoint: AtomicUsize,
+    /// How fresh connections are dialed; [`TcpConnector`] by default,
+    /// swappable for fault injection.
+    connector: Mutex<Arc<dyn Connector>>,
+    /// One circuit breaker per endpoint, created on demand with
+    /// `breaker_config`.
+    breakers: Mutex<HashMap<Endpoint, Arc<CircuitBreaker>>>,
+    /// Tuning applied to breakers as they are created.
+    breaker_config: Mutex<BreakerConfig>,
 }
 
 impl std::fmt::Debug for ConnectionPool {
@@ -389,7 +414,49 @@ impl ConnectionPool {
             opened: AtomicU64::new(0),
             caching: AtomicBool::new(true),
             max_per_endpoint: AtomicUsize::new(1),
+            connector: Mutex::new(Arc::new(TcpConnector)),
+            breakers: Mutex::new(HashMap::new()),
+            breaker_config: Mutex::new(BreakerConfig::disabled()),
         }
+    }
+
+    /// Replaces the connector fresh connections are dialed through.
+    pub fn set_connector(&self, connector: Arc<dyn Connector>) {
+        *self.connector.lock() = connector;
+    }
+
+    /// The connector fresh connections are dialed through.
+    pub fn connector(&self) -> Arc<dyn Connector> {
+        Arc::clone(&self.connector.lock())
+    }
+
+    /// Sets the tuning for breakers created from now on. Already-created
+    /// breakers keep their tuning; call [`ConnectionPool::reset_breakers`]
+    /// to rebuild them.
+    pub fn set_breaker_config(&self, config: BreakerConfig) {
+        *self.breaker_config.lock() = config;
+    }
+
+    /// The tuning applied to newly created breakers.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        *self.breaker_config.lock()
+    }
+
+    /// The circuit breaker guarding `endpoint`, created on first use.
+    pub fn breaker(&self, endpoint: &Endpoint) -> Arc<CircuitBreaker> {
+        let mut breakers = self.breakers.lock();
+        if let Some(b) = breakers.get(endpoint) {
+            return Arc::clone(b);
+        }
+        let b = Arc::new(CircuitBreaker::new(*self.breaker_config.lock()));
+        breakers.insert(endpoint.clone(), Arc::clone(&b));
+        b
+    }
+
+    /// Drops every per-endpoint breaker so the next call recreates them
+    /// (fresh and Closed) with the current config.
+    pub fn reset_breakers(&self) {
+        self.breakers.lock().clear();
     }
 
     /// Enables or disables caching (E3's ablation switch).
@@ -428,14 +495,15 @@ impl ConnectionPool {
     ///
     /// # Errors
     ///
-    /// Propagates TCP connect failures.
+    /// [`RmiError::ConnectFailed`] naming the endpoint that refused.
     pub fn checkout(
         &self,
         endpoint: &Endpoint,
         protocol: &Arc<dyn Protocol>,
     ) -> RmiResult<CheckedOut> {
+        let connector = self.connector();
         if !self.caching_enabled() {
-            let conn = MuxConnection::connect(endpoint, protocol)?;
+            let conn = MuxConnection::via(connector.as_ref(), endpoint, protocol)?;
             self.opened.fetch_add(1, Ordering::Relaxed);
             conn.borrow();
             return Ok(CheckedOut { conn, from_cache: false });
@@ -452,7 +520,7 @@ impl ConnectionPool {
                 return Ok(CheckedOut { conn, from_cache: true });
             }
         }
-        let conn = MuxConnection::connect(endpoint, protocol)?;
+        let conn = MuxConnection::via(connector.as_ref(), endpoint, protocol)?;
         self.opened.fetch_add(1, Ordering::Relaxed);
         conn.borrow();
         list.push(Arc::clone(&conn));
@@ -469,7 +537,10 @@ impl ConnectionPool {
     }
 
     /// Test hook: replaces the endpoint's pooled connections with `conn`,
-    /// as if it had been opened and cached by a prior call.
+    /// as if it had been opened and cached by a prior call. Only compiled
+    /// for tests and under the `testing` feature — production code cannot
+    /// smuggle connections past the pool's accounting.
+    #[cfg(any(test, feature = "testing"))]
     pub fn inject(&self, endpoint: &Endpoint, conn: Arc<MuxConnection>) {
         self.conns.lock().insert(endpoint.clone(), vec![conn]);
     }
@@ -493,7 +564,7 @@ impl ConnectionPool {
 mod tests {
     use super::*;
     use crate::call::next_request_id;
-    use crate::transport::InProcTransport;
+    use crate::transport::{InProcTransport, TcpTransport};
     use heidl_wire::{CdrProtocol, TextProtocol};
     use std::net::TcpListener;
 
@@ -724,12 +795,34 @@ mod tests {
     }
 
     #[test]
-    fn checkout_failure_propagates_io_error() {
+    fn checkout_failure_names_the_endpoint() {
         let pool = ConnectionPool::new();
         // Port 1 on localhost is essentially guaranteed closed.
         let ep = Endpoint::new("tcp", "127.0.0.1", 1);
         let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
-        assert!(matches!(pool.checkout(&ep, &proto), Err(RmiError::Io(_))));
+        let err = pool.checkout(&ep, &proto).unwrap_err();
+        let RmiError::ConnectFailed { endpoint, .. } = err else {
+            panic!("expected ConnectFailed, got {err}");
+        };
+        assert_eq!(endpoint, "@tcp:127.0.0.1:1");
+    }
+
+    #[test]
+    fn pool_hands_out_per_endpoint_breakers() {
+        let pool = ConnectionPool::new();
+        pool.set_breaker_config(BreakerConfig { failure_threshold: 1, ..BreakerConfig::default() });
+        let ep = Endpoint::new("tcp", "a", 1);
+        let b1 = pool.breaker(&ep);
+        let b2 = pool.breaker(&ep);
+        assert!(Arc::ptr_eq(&b1, &b2), "same endpoint, same breaker");
+        let other = pool.breaker(&Endpoint::new("tcp", "b", 1));
+        assert!(!Arc::ptr_eq(&b1, &other));
+        b1.record_failure();
+        assert_eq!(b2.state(), crate::breaker::BreakerState::Open);
+        assert_eq!(other.state(), crate::breaker::BreakerState::Closed, "isolation per endpoint");
+        // Reset rebuilds fresh Closed breakers.
+        pool.reset_breakers();
+        assert_eq!(pool.breaker(&ep).state(), crate::breaker::BreakerState::Closed);
     }
 
     #[test]

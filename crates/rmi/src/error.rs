@@ -38,6 +38,26 @@ pub enum RmiError {
         /// Human-readable detail from the server.
         detail: String,
     },
+    /// Opening a connection to a specific endpoint failed. Unlike a bare
+    /// [`RmiError::Io`], this carries *which* endpoint refused — essential
+    /// for multi-endpoint failover reports — and guarantees no request
+    /// bytes were written (so retrying elsewhere is always safe).
+    ConnectFailed {
+        /// The endpoint that could not be reached (`@tcp:host:port`).
+        endpoint: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// The endpoint's circuit breaker is open: recent consecutive
+    /// failures crossed the threshold, so the call failed fast without
+    /// touching the network. Multi-endpoint references fail over to their
+    /// next profile instead of surfacing this.
+    CircuitOpen {
+        /// The endpoint being protected (`@tcp:host:port`).
+        endpoint: String,
+        /// How long until the breaker will admit a probe.
+        retry_after: std::time::Duration,
+    },
     /// The connection closed before a reply arrived.
     Disconnected,
     /// The per-call deadline elapsed before the reply arrived. The shared
@@ -74,6 +94,12 @@ impl fmt::Display for RmiError {
             RmiError::Remote { repo_id, detail } => {
                 write!(f, "remote exception {repo_id}: {detail}")
             }
+            RmiError::ConnectFailed { endpoint, source } => {
+                write!(f, "connect to {endpoint} failed: {source}")
+            }
+            RmiError::CircuitOpen { endpoint, retry_after } => {
+                write!(f, "circuit open for {endpoint}: failing fast, retry after {retry_after:?}")
+            }
             RmiError::Disconnected => write!(f, "connection closed before reply"),
             RmiError::DeadlineExceeded { after } => {
                 write!(f, "deadline exceeded after {after:?}")
@@ -91,6 +117,7 @@ impl Error for RmiError {
         match self {
             RmiError::Wire(e) => Some(e),
             RmiError::Io(e) => Some(e),
+            RmiError::ConnectFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -131,6 +158,20 @@ mod tests {
                 RmiError::Remote { repo_id: "IDL:E:1.0".into(), detail: "boom".into() },
                 "remote exception",
             ),
+            (
+                RmiError::ConnectFailed {
+                    endpoint: "@tcp:h:1".into(),
+                    source: std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "nope"),
+                },
+                "connect to @tcp:h:1",
+            ),
+            (
+                RmiError::CircuitOpen {
+                    endpoint: "@tcp:h:1".into(),
+                    retry_after: std::time::Duration::from_secs(3),
+                },
+                "circuit open for @tcp:h:1",
+            ),
             (RmiError::Disconnected, "connection closed"),
             (
                 RmiError::DeadlineExceeded { after: std::time::Duration::from_millis(40) },
@@ -149,6 +190,11 @@ mod tests {
         let e: RmiError = WireError::UnexpectedEnd { what: "long" }.into();
         assert!(e.source().is_some());
         let e: RmiError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(e.source().is_some());
+        let e = RmiError::ConnectFailed {
+            endpoint: "@tcp:h:1".into(),
+            source: std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "x"),
+        };
         assert!(e.source().is_some());
         assert!(RmiError::Disconnected.source().is_none());
     }

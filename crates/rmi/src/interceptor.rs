@@ -20,6 +20,12 @@ use std::sync::Arc;
 pub enum CallPhase {
     /// Client side, before the request is sent.
     ClientSend,
+    /// Client side, before a *re*-attempt of a failed call: a retry under
+    /// the call's [`RetryPolicy`](crate::retry::RetryPolicy) or a failover
+    /// to a fallback endpoint. Fires once per extra attempt, with
+    /// `target` re-pointed at the endpoint about to be tried; the first
+    /// attempt fires only [`CallPhase::ClientSend`].
+    ClientRetry,
     /// Client side, after the reply was received (or the call failed).
     ClientReceive,
     /// Server side, before skeleton dispatch.

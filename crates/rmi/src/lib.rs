@@ -19,6 +19,11 @@
 //!   `HdSerializable`-style check [`RemoteObject::as_serializable`];
 //! * [interceptors](interceptor) on the invocation/dispatch paths and a
 //!   [dynamic invocation interface](dynamic) needing no compiled stubs;
+//! * a **fault-tolerance layer** — [retry policies](retry) with
+//!   jittered backoff gated by retry-safety classes, per-endpoint
+//!   [circuit breakers](breaker), multi-endpoint failover references
+//!   (`@tcp:h1:p1,tcp:h2:p2#id#type`), and a deterministic, seedable
+//!   [fault injector](fault) for chaos testing;
 //! * swappable wire protocols (text or CDR/GIOP-lite) from `heidl-wire`.
 //!
 //! ## A complete round trip
@@ -70,19 +75,23 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod call;
 pub mod communicator;
 pub mod dispatch;
 pub mod dynamic;
 pub mod error;
+pub mod fault;
 pub mod interceptor;
 pub mod objref;
 pub mod orb;
+pub mod retry;
 pub mod serialize;
 mod server;
 pub mod skeleton;
 pub mod transport;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use call::{
     next_request_id, peek_reply_id, peek_request_header, Call, IncomingCall, Reply, ReplyBuilder,
     ReplyStatus,
@@ -91,12 +100,14 @@ pub use communicator::{CheckedOut, ConnectionPool, MuxConnection, ObjectCommunic
 pub use dispatch::{DispatchKind, DispatchStrategy, MethodTable};
 pub use dynamic::{DynCall, DynResults, DynValue};
 pub use error::{RmiError, RmiResult};
+pub use fault::{Fault, FaultInjector, FaultOp, FaultPlan, FaultRule, FaultyConnector, Trigger};
 pub use interceptor::{CallInfo, CallPhase, FnInterceptor, Interceptor};
 pub use objref::{Endpoint, ObjectRef};
 pub use orb::{CallOptions, Orb, OrbBuilder};
+pub use retry::{classify, Backoff, RetryClass, RetryPolicy};
 pub use serialize::{
     marshal_reference, marshal_value, unmarshal_incopy, IncopyArg, RemoteObject, ValueRegistry,
     ValueSerialize,
 };
 pub use skeleton::{DispatchOutcome, Skeleton, SkeletonBase};
-pub use transport::{InProcTransport, TcpTransport, Transport};
+pub use transport::{Connector, InProcTransport, TcpConnector, TcpTransport, Transport};

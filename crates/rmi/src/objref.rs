@@ -4,6 +4,14 @@
 //! bootstrap URL, the object identifier, and the object type. ... A typical
 //! stringified object reference is
 //! `@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0`."*
+//!
+//! Going past the paper, the bootstrap-URL part may carry **fallback
+//! profiles**, comma-separated:
+//! `@tcp:primary:1234,tcp:backup:1234#9876#IDL:Heidi/A:1.0`. The first
+//! profile is the primary endpoint; the invocation path fails over to the
+//! later ones when the primary cannot be reached (connect failure or open
+//! circuit breaker). Single-endpoint references are unchanged, so every
+//! reference the paper prints still parses and round-trips byte-for-byte.
 
 use crate::error::{RmiError, RmiResult};
 use std::fmt;
@@ -38,11 +46,14 @@ impl fmt::Display for Endpoint {
     }
 }
 
-/// A remote object reference: endpoint + object id + type id.
+/// A remote object reference: endpoint(s) + object id + type id.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ObjectRef {
-    /// Where the object's address space listens.
+    /// Where the object's address space listens (the primary profile).
     pub endpoint: Endpoint,
+    /// Fallback profiles, tried in order when the primary cannot be
+    /// reached. Empty for the paper's single-endpoint references.
+    pub fallbacks: Vec<Endpoint>,
     /// Unique object identifier within that address space.
     pub object_id: u64,
     /// Repository id of the object's most-derived interface
@@ -52,15 +63,41 @@ pub struct ObjectRef {
 }
 
 impl ObjectRef {
-    /// Creates a reference.
+    /// Creates a single-endpoint reference (the paper's form).
     pub fn new(endpoint: Endpoint, object_id: u64, type_id: impl Into<String>) -> Self {
-        ObjectRef { endpoint, object_id, type_id: type_id.into() }
+        ObjectRef { endpoint, fallbacks: Vec::new(), object_id, type_id: type_id.into() }
+    }
+
+    /// Creates a reference with failover profiles: `endpoint` is tried
+    /// first, then each entry of `fallbacks` in order.
+    pub fn with_fallbacks(
+        endpoint: Endpoint,
+        fallbacks: Vec<Endpoint>,
+        object_id: u64,
+        type_id: impl Into<String>,
+    ) -> Self {
+        ObjectRef { endpoint, fallbacks, object_id, type_id: type_id.into() }
+    }
+
+    /// All profiles in failover order: the primary, then the fallbacks.
+    pub fn endpoints(&self) -> impl Iterator<Item = &Endpoint> {
+        std::iter::once(&self.endpoint).chain(self.fallbacks.iter())
+    }
+
+    /// A copy of this reference re-targeted at one specific profile (no
+    /// fallbacks) — what interceptors see for each failover attempt.
+    pub fn at_endpoint(&self, endpoint: &Endpoint) -> ObjectRef {
+        ObjectRef::new(endpoint.clone(), self.object_id, self.type_id.clone())
     }
 }
 
 impl fmt::Display for ObjectRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}#{}#{}", self.endpoint, self.object_id, self.type_id)
+        write!(f, "{}", self.endpoint)?;
+        for fb in &self.fallbacks {
+            write!(f, ",{}:{}:{}", fb.proto, fb.host, fb.port)?;
+        }
+        write!(f, "#{}#{}", self.object_id, self.type_id)
     }
 }
 
@@ -71,8 +108,9 @@ impl FromStr for ObjectRef {
         let bad =
             |detail: &str| RmiError::BadReference { text: s.to_owned(), detail: detail.to_owned() };
         let rest = s.strip_prefix('@').ok_or_else(|| bad("must start with `@`"))?;
-        // Layout: proto:host:port#id#type — the type id itself contains
-        // `:` and `#`-free segments, so split on the first two `#`.
+        // Layout: proto:host:port(,proto:host:port)*#id#type — the type id
+        // itself contains `:` and `#`-free segments, so split on the first
+        // two `#`.
         let mut parts = rest.splitn(3, '#');
         let url = parts.next().ok_or_else(|| bad("missing bootstrap URL"))?;
         let id = parts.next().ok_or_else(|| bad("missing object identifier"))?;
@@ -81,24 +119,27 @@ impl FromStr for ObjectRef {
             return Err(bad("empty object type"));
         }
 
-        // The URL is proto:host:port; host may not contain `:` (no IPv6
-        // literals in the paper's scheme).
-        let mut url_parts = url.splitn(3, ':');
-        let proto =
-            url_parts.next().filter(|p| !p.is_empty()).ok_or_else(|| bad("empty protocol"))?;
-        let host = url_parts.next().filter(|h| !h.is_empty()).ok_or_else(|| bad("missing host"))?;
-        let port: u16 = url_parts
-            .next()
-            .ok_or_else(|| bad("missing port"))?
-            .parse()
-            .map_err(|e| bad(&format!("bad port: {e}")))?;
+        // Each comma-separated profile is proto:host:port; host may not
+        // contain `:` (no IPv6 literals in the paper's scheme).
+        let mut profiles = url.split(',').map(|p| parse_profile(p, &bad));
+        let endpoint = profiles.next().ok_or_else(|| bad("missing bootstrap URL"))??;
+        let fallbacks = profiles.collect::<RmiResult<Vec<_>>>()?;
         let object_id: u64 = id.parse().map_err(|e| bad(&format!("bad object id: {e}")))?;
-        Ok(ObjectRef {
-            endpoint: Endpoint::new(proto, host, port),
-            object_id,
-            type_id: type_id.to_owned(),
-        })
+        Ok(ObjectRef { endpoint, fallbacks, object_id, type_id: type_id.to_owned() })
     }
+}
+
+/// Parses one `proto:host:port` profile of the bootstrap URL.
+fn parse_profile(profile: &str, bad: &impl Fn(&str) -> RmiError) -> RmiResult<Endpoint> {
+    let mut url_parts = profile.splitn(3, ':');
+    let proto = url_parts.next().filter(|p| !p.is_empty()).ok_or_else(|| bad("empty protocol"))?;
+    let host = url_parts.next().filter(|h| !h.is_empty()).ok_or_else(|| bad("missing host"))?;
+    let port: u16 = url_parts
+        .next()
+        .ok_or_else(|| bad("missing port"))?
+        .parse()
+        .map_err(|e| bad(&format!("bad port: {e}")))?;
+    Ok(Endpoint::new(proto, host, port))
 }
 
 #[cfg(test)]
@@ -160,6 +201,53 @@ mod tests {
         let r: ObjectRef = "@giop:h:1#2#IDL:M/X:2.3".parse().unwrap();
         assert_eq!(r.type_id, "IDL:M/X:2.3");
         assert_eq!(r.endpoint.proto, "giop");
+    }
+
+    #[test]
+    fn multi_endpoint_reference_roundtrips() {
+        let text = "@tcp:primary:1234,tcp:backup:1234,tcp:spare:9#9876#IDL:Heidi/A:1.0";
+        let r: ObjectRef = text.parse().unwrap();
+        assert_eq!(r.endpoint, Endpoint::new("tcp", "primary", 1234));
+        assert_eq!(
+            r.fallbacks,
+            vec![Endpoint::new("tcp", "backup", 1234), Endpoint::new("tcp", "spare", 9)]
+        );
+        assert_eq!(r.object_id, 9876);
+        assert_eq!(r.to_string(), text);
+        let endpoints: Vec<_> = r.endpoints().map(|e| e.host.clone()).collect();
+        assert_eq!(endpoints, ["primary", "backup", "spare"]);
+    }
+
+    #[test]
+    fn with_fallbacks_builds_the_failover_form() {
+        let r = ObjectRef::with_fallbacks(
+            Endpoint::new("tcp", "a", 1),
+            vec![Endpoint::new("tcp", "b", 2)],
+            7,
+            "IDL:T:1.0",
+        );
+        assert_eq!(r.to_string(), "@tcp:a:1,tcp:b:2#7#IDL:T:1.0");
+        let again: ObjectRef = r.to_string().parse().unwrap();
+        assert_eq!(again, r);
+        // Re-targeting keeps the identity but drops the fallback list.
+        let solo = r.at_endpoint(&Endpoint::new("tcp", "b", 2));
+        assert_eq!(solo.to_string(), "@tcp:b:2#7#IDL:T:1.0");
+        assert!(solo.fallbacks.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_fallback_profiles() {
+        for bad in [
+            "@tcp:a:1,#2#T",         // empty second profile
+            "@tcp:a:1,tcp:b#2#T",    // fallback missing port
+            "@tcp:a:1,:b:2#2#T",     // fallback empty protocol
+            "@tcp:a:1,tcp::2#2#T",   // fallback empty host
+            "@tcp:a:1,tcp:b:xx#2#T", // fallback bad port
+            "@,tcp:b:2#2#T",         // empty primary
+        ] {
+            let r: Result<ObjectRef, _> = bad.parse();
+            assert!(r.is_err(), "should reject `{bad}`");
+        }
     }
 
     #[test]

@@ -17,21 +17,24 @@
 //! every connection to the binary protocol without touching generated
 //! code.
 
+use crate::breaker::BreakerConfig;
 use crate::call::{Call, Reply};
 use crate::communicator::ConnectionPool;
 use crate::error::{RmiError, RmiResult};
 use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
 use crate::objref::{Endpoint, ObjectRef};
+use crate::retry::{classify, Backoff, RetryClass, RetryPolicy};
 use crate::serialize::{self, RemoteObject, ValueRegistry};
 use crate::server::ServerHandle;
 use crate::skeleton::Skeleton;
+use crate::transport::Connector;
 use heidl_wire::{Encoder, Protocol, TextProtocol};
 use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-invocation knobs for [`Orb::invoke_with`].
 #[derive(Debug, Clone, Copy)]
@@ -44,11 +47,20 @@ pub struct CallOptions {
     /// Whether a failure on a *cached* connection is retried once on a
     /// fresh connection (the stale-connection heuristic). On by default.
     pub retry: bool,
+    /// Per-call override of the ORB's [`RetryPolicy`]
+    /// (set via [`OrbBuilder::retry_policy`]). `None` uses the ORB's.
+    pub retry_policy: Option<RetryPolicy>,
+    /// Declares the call safe to re-execute even after request bytes may
+    /// have reached the server. Off by default: a non-idempotent call is
+    /// never retried once bytes were written (only connect-level failures,
+    /// which provably wrote nothing, stay retryable). See
+    /// [`RetryClass`](crate::retry::RetryClass).
+    pub idempotent: bool,
 }
 
 impl Default for CallOptions {
     fn default() -> Self {
-        CallOptions { deadline: None, retry: true }
+        CallOptions { deadline: None, retry: true, retry_policy: None, idempotent: false }
     }
 }
 
@@ -56,6 +68,35 @@ impl CallOptions {
     /// Options with a per-call deadline.
     pub fn with_deadline(deadline: Duration) -> CallOptions {
         CallOptions { deadline: Some(deadline), ..CallOptions::default() }
+    }
+
+    /// Options declaring the call idempotent (safe to retry even after
+    /// request bytes were written).
+    pub fn idempotent() -> CallOptions {
+        CallOptions { idempotent: true, ..CallOptions::default() }
+    }
+
+    /// Options with a per-call retry policy override.
+    pub fn with_retry_policy(policy: RetryPolicy) -> CallOptions {
+        CallOptions { retry_policy: Some(policy), ..CallOptions::default() }
+    }
+
+    /// Adds a deadline to these options.
+    pub fn and_deadline(mut self, deadline: Duration) -> CallOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Marks these options idempotent.
+    pub fn and_idempotent(mut self) -> CallOptions {
+        self.idempotent = true;
+        self
+    }
+
+    /// Adds a retry-policy override to these options.
+    pub fn and_retry_policy(mut self, policy: RetryPolicy) -> CallOptions {
+        self.retry_policy = Some(policy);
+        self
     }
 }
 
@@ -65,6 +106,9 @@ pub struct OrbBuilder {
     protocol: Arc<dyn Protocol>,
     max_connections_per_endpoint: usize,
     default_deadline: Option<Duration>,
+    retry_policy: RetryPolicy,
+    breaker_config: BreakerConfig,
+    connector: Option<Arc<dyn Connector>>,
 }
 
 impl Default for OrbBuilder {
@@ -73,6 +117,9 @@ impl Default for OrbBuilder {
             protocol: Arc::new(TextProtocol),
             max_connections_per_endpoint: 1,
             default_deadline: None,
+            retry_policy: RetryPolicy::default(),
+            breaker_config: BreakerConfig::disabled(),
+            connector: None,
         }
     }
 }
@@ -98,10 +145,37 @@ impl OrbBuilder {
         self
     }
 
+    /// The retry policy applied to every invocation that does not carry a
+    /// [`CallOptions::retry_policy`] override. Defaults to
+    /// [`RetryPolicy::default`] (3 attempts, 10 ms base backoff) —
+    /// retry-safety classes still gate which errors may actually retry.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> OrbBuilder {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Enables per-endpoint circuit breakers with this tuning. Disabled by
+    /// default ([`BreakerConfig::disabled`]).
+    pub fn circuit_breaker(mut self, config: BreakerConfig) -> OrbBuilder {
+        self.breaker_config = config;
+        self
+    }
+
+    /// Replaces how outbound connections are dialed (default: plain TCP).
+    /// Chaos tests plug a `FaultyConnector` in here.
+    pub fn connector(mut self, connector: Arc<dyn Connector>) -> OrbBuilder {
+        self.connector = Some(connector);
+        self
+    }
+
     /// Builds the ORB.
     pub fn build(self) -> Orb {
         let pool = ConnectionPool::new();
         pool.set_max_connections_per_endpoint(self.max_connections_per_endpoint);
+        pool.set_breaker_config(self.breaker_config);
+        if let Some(connector) = self.connector {
+            pool.set_connector(connector);
+        }
         Orb {
             inner: Arc::new(OrbInner {
                 protocol: self.protocol,
@@ -115,6 +189,7 @@ impl OrbBuilder {
                 server: Mutex::new(None),
                 interceptors: InterceptorChain::default(),
                 retries: AtomicU64::new(0),
+                retry_policy: self.retry_policy,
             }),
         }
     }
@@ -140,6 +215,7 @@ pub(crate) struct OrbInner {
     server: Mutex<Option<ServerHandle>>,
     pub(crate) interceptors: InterceptorChain,
     retries: AtomicU64,
+    retry_policy: RetryPolicy,
 }
 
 impl std::fmt::Debug for Orb {
@@ -329,7 +405,6 @@ impl Orb {
     /// As [`Orb::invoke`], plus [`RmiError::DeadlineExceeded`].
     pub fn invoke_with(&self, call: Call, options: CallOptions) -> RmiResult<Reply> {
         self.check_protocol(call.target())?;
-        let endpoint = call.target().endpoint.clone();
         let target = call.target().clone();
         let method = call.method().to_owned();
         let request_id = call.request_id();
@@ -337,16 +412,16 @@ impl Orb {
         let body = call.into_body();
         let deadline = options.deadline.or(self.inner.default_deadline);
 
-        let reply_body =
-            match self.round_trip_with_retry(&endpoint, request_id, &body, deadline, options.retry)
-            {
-                Ok(b) => b,
-                Err(e) => {
-                    // Broken connections were discarded, not re-pooled.
-                    self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
-                    return Err(e);
-                }
-            };
+        let reply_body = match self
+            .invoke_fault_tolerant(&target, &method, request_id, &body, deadline, &options)
+        {
+            Ok(b) => b,
+            Err(e) => {
+                // Broken connections were discarded, not re-pooled.
+                self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
+                return Err(e);
+            }
+        };
         let reply = Reply::parse(reply_body, self.inner.protocol.as_ref());
         self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
         reply
@@ -357,32 +432,140 @@ impl Orb {
         self.inner.retries.load(Ordering::Relaxed)
     }
 
-    /// One correlated round trip with the stale-cached-connection retry
-    /// policy.
-    fn round_trip_with_retry(
+    /// The fault-tolerant invocation engine: up to `max_attempts` passes
+    /// over the reference's endpoints (primary, then fallbacks), with
+    /// jittered backoff between passes and the whole schedule bounded by
+    /// the call deadline. Whether a failure may move on to the next
+    /// endpoint/pass is decided by its retry-safety class
+    /// ([`classify`]): connect-level failures are always safe, failures
+    /// after bytes were written need [`CallOptions::idempotent`], and
+    /// semantic failures (remote exceptions, deadlines) never retry.
+    ///
+    /// Interceptors observe each extra attempt as a
+    /// [`CallPhase::ClientRetry`] with the target re-pointed at the
+    /// endpoint about to be tried.
+    fn invoke_fault_tolerant(
+        &self,
+        target: &ObjectRef,
+        method: &str,
+        request_id: u64,
+        body: &[u8],
+        deadline: Option<Duration>,
+        options: &CallOptions,
+    ) -> RmiResult<Vec<u8>> {
+        let policy = options.retry_policy.unwrap_or(self.inner.retry_policy);
+        let overall = deadline.map(|d| Instant::now() + d);
+        let mut backoff = Backoff::new(&policy, request_id);
+        let mut last_err: Option<RmiError> = None;
+        let mut first_attempt = true;
+        for pass in 0..policy.max_attempts.max(1) {
+            if pass > 0 {
+                let delay = backoff.next_delay();
+                // Never sleep past the deadline: if the budget cannot fit
+                // another attempt, surface what we already know.
+                if let Some(end) = overall {
+                    if Instant::now() + delay >= end {
+                        break;
+                    }
+                }
+                std::thread::sleep(delay);
+            }
+            for endpoint in target.endpoints() {
+                if !first_attempt {
+                    self.inner.interceptors.fire(
+                        CallPhase::ClientRetry,
+                        &target.at_endpoint(endpoint),
+                        method,
+                        true,
+                    );
+                }
+                first_attempt = false;
+                let remaining = match overall {
+                    None => None,
+                    Some(end) => {
+                        let left = end.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            return Err(RmiError::DeadlineExceeded {
+                                after: deadline.unwrap_or_default(),
+                            });
+                        }
+                        Some(left)
+                    }
+                };
+                match self.attempt_endpoint(endpoint, request_id, body, remaining, options) {
+                    Ok(b) => return Ok(b),
+                    Err(e) => match classify(&e) {
+                        RetryClass::Never => return Err(e),
+                        RetryClass::IfIdempotent if !options.idempotent => return Err(e),
+                        RetryClass::Safe | RetryClass::IfIdempotent => last_err = Some(e),
+                    },
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| RmiError::Protocol("no endpoints left to try".to_owned())))
+    }
+
+    /// One attempt against one specific endpoint: breaker admission,
+    /// connection checkout, correlated round trip, breaker bookkeeping —
+    /// including the stale-cached-connection heuristic (a failure on a
+    /// *cached* connection gets one immediate retry on a fresh one).
+    fn attempt_endpoint(
         &self,
         endpoint: &Endpoint,
         request_id: u64,
         body: &[u8],
-        deadline: Option<std::time::Duration>,
-        retry: bool,
+        deadline: Option<Duration>,
+        options: &CallOptions,
     ) -> RmiResult<Vec<u8>> {
-        let checked = self.inner.pool.checkout(endpoint, &self.inner.protocol)?;
+        let breaker = self.inner.pool.breaker(endpoint);
+        if let Err(retry_after) = breaker.try_admit() {
+            return Err(RmiError::CircuitOpen { endpoint: endpoint.to_string(), retry_after });
+        }
+        let checked = match self.inner.pool.checkout(endpoint, &self.inner.protocol) {
+            Ok(c) => c,
+            Err(e) => {
+                breaker.record_failure();
+                return Err(e);
+            }
+        };
         match checked.call(request_id, body, deadline) {
-            Ok(b) => Ok(b),
-            // A deadline says nothing about connection health: keep it.
-            Err(e @ RmiError::DeadlineExceeded { .. }) => Err(e),
-            Err(first_err) if checked.from_cache() && retry => {
+            Ok(b) => {
+                breaker.record_success();
+                Ok(b)
+            }
+            // A deadline says nothing about connection health: keep the
+            // connection — but a consistently slow endpoint is unhealthy
+            // for fail-fast purposes, so the breaker counts it.
+            Err(e @ RmiError::DeadlineExceeded { .. }) => {
+                breaker.record_failure();
+                Err(e)
+            }
+            Err(first_err) if checked.from_cache() && options.retry => {
                 // The cached connection was stale; try once on a fresh one.
                 self.inner.pool.discard(endpoint, checked.connection());
                 drop(checked);
                 self.inner.retries.fetch_add(1, Ordering::Relaxed);
                 match self.inner.pool.checkout(endpoint, &self.inner.protocol) {
-                    Ok(fresh) => fresh.call(request_id, body, deadline),
-                    Err(_) => Err(first_err),
+                    Ok(fresh) => match fresh.call(request_id, body, deadline) {
+                        Ok(b) => {
+                            breaker.record_success();
+                            Ok(b)
+                        }
+                        Err(e) => {
+                            breaker.record_failure();
+                            Err(e)
+                        }
+                    },
+                    Err(_) => {
+                        breaker.record_failure();
+                        Err(first_err)
+                    }
                 }
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                breaker.record_failure();
+                Err(e)
+            }
         }
     }
 
@@ -425,11 +608,13 @@ impl Orb {
     /// would exchange mutually unintelligible bytes, so fail fast.
     fn check_protocol(&self, target: &ObjectRef) -> RmiResult<()> {
         let ours = self.inner.protocol.name();
-        if target.endpoint.proto != ours {
-            return Err(RmiError::Protocol(format!(
-                "reference speaks `{}` but this ORB speaks `{ours}`",
-                target.endpoint.proto
-            )));
+        for endpoint in target.endpoints() {
+            if endpoint.proto != ours {
+                return Err(RmiError::Protocol(format!(
+                    "reference speaks `{}` but this ORB speaks `{ours}`",
+                    endpoint.proto
+                )));
+            }
         }
         Ok(())
     }

@@ -1,0 +1,252 @@
+//! Retry policy: bounded attempts, exponential backoff with decorrelated
+//! jitter, and per-error-class retry safety.
+//!
+//! The paper's position is that everything around the invocation path —
+//! protocol, mapping, *and* failure policy — is customization surface, not
+//! fixture. This module makes the failure policy explicit: a
+//! [`RetryPolicy`] is configured once on `Orb::builder()` (or per call via
+//! `CallOptions`) and the invocation engine consults [`classify`] before
+//! every re-attempt, so a non-idempotent call is never silently executed
+//! twice after bytes already reached a server.
+//!
+//! Backoff follows the *decorrelated jitter* scheme: each delay is drawn
+//! uniformly from `[base, 3 · previous]` and clamped to `[base, cap]`, so
+//! concurrent clients recovering from the same outage spread out instead of
+//! retrying in lock-step. The generator is seedable for deterministic
+//! tests.
+
+use crate::error::RmiError;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+/// How a failed attempt may be retried (or failed over to another
+/// endpoint of a multi-endpoint reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// No request bytes reached any server (connect refused, circuit
+    /// open): retrying or failing over cannot duplicate work.
+    Safe,
+    /// Bytes were (or may have been) written before the failure; the
+    /// server may have executed the request. Retry only when the caller
+    /// declared the call idempotent.
+    IfIdempotent,
+    /// Retrying is wrong: the server answered (remote exception), the
+    /// caller's deadline elapsed, or the failure is local and permanent
+    /// (bad reference, protocol mismatch, marshal error).
+    Never,
+}
+
+/// Classifies an invocation error for retry safety.
+///
+/// The connect path is the only place we *know* nothing was written, so
+/// only [`RmiError::ConnectFailed`] and [`RmiError::CircuitOpen`] are
+/// unconditionally [`RetryClass::Safe`]. Mid-call transport failures
+/// ([`RmiError::Io`], [`RmiError::Disconnected`]) are ambiguous — the
+/// request may already be executing — and everything that represents an
+/// answer or a local bug is [`RetryClass::Never`].
+pub fn classify(err: &RmiError) -> RetryClass {
+    match err {
+        RmiError::ConnectFailed { .. } | RmiError::CircuitOpen { .. } => RetryClass::Safe,
+        RmiError::Io(_) | RmiError::Disconnected => RetryClass::IfIdempotent,
+        RmiError::Wire(_)
+        | RmiError::BadReference { .. }
+        | RmiError::UnknownObject { .. }
+        | RmiError::UnknownMethod { .. }
+        | RmiError::Remote { .. }
+        | RmiError::DeadlineExceeded { .. }
+        | RmiError::NoFactory { .. }
+        | RmiError::Protocol(_) => RetryClass::Never,
+    }
+}
+
+/// The retry policy applied by `Orb::invoke`: how many passes over a
+/// reference's endpoints to make, and how to pace them.
+///
+/// One *attempt* is a full pass over the reference's endpoint list
+/// (primary, then fallbacks). Between passes the invocation engine sleeps
+/// a [`Backoff`] delay. `max_attempts == 1` disables policy retries
+/// entirely (failover within the single pass still happens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total passes over the endpoint list (minimum 1).
+    pub max_attempts: u32,
+    /// The smallest (and first) backoff delay.
+    pub base: Duration,
+    /// The largest backoff delay; delays are clamped to `[base, cap]`.
+    pub cap: Duration,
+    /// Seed for the jitter generator. `None` derives a seed from the
+    /// request id, which is deterministic for a fixed call sequence.
+    pub jitter_seed: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            jitter_seed: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never re-attempts: one pass over the endpoints, no
+    /// backoff sleeps.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Sets the attempt budget (clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> RetryPolicy {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the backoff window; `cap` is raised to `base` when smaller.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> RetryPolicy {
+        self.base = base;
+        self.cap = cap.max(base);
+        self
+    }
+
+    /// Pins the jitter seed (deterministic delays for tests).
+    pub fn with_jitter_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = Some(seed);
+        self
+    }
+}
+
+/// Decorrelated-jitter backoff schedule for one invocation.
+///
+/// Every delay returned by [`Backoff::next_delay`] lies in
+/// `[policy.base, policy.cap]` — `tests` proves this for arbitrary
+/// attempt counts with a property test.
+#[derive(Debug)]
+pub struct Backoff {
+    rng: StdRng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl Backoff {
+    /// Builds the schedule for `policy`; `fallback_seed` (typically the
+    /// request id) seeds the jitter when the policy does not pin one.
+    pub fn new(policy: &RetryPolicy, fallback_seed: u64) -> Backoff {
+        let base = policy.base;
+        let cap = policy.cap.max(base);
+        Backoff {
+            rng: StdRng::seed_from_u64(policy.jitter_seed.unwrap_or(fallback_seed)),
+            base,
+            cap,
+            prev: base,
+        }
+    }
+
+    /// The next delay to sleep before re-attempting:
+    /// `min(cap, uniform(base, 3 · previous))`, never below `base`.
+    pub fn next_delay(&mut self) -> Duration {
+        let base_us = self.base.as_micros() as u64;
+        let hi_us = (self.prev.as_micros() as u64).saturating_mul(3).max(base_us);
+        let sampled = Duration::from_micros(self.rng.gen_range(base_us..=hi_us));
+        let delay = sampled.min(self.cap).max(self.base);
+        self.prev = delay;
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classify_connect_and_breaker_failures_are_safe() {
+        let connect = RmiError::ConnectFailed {
+            endpoint: "@tcp:h:1".into(),
+            source: std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused"),
+        };
+        assert_eq!(classify(&connect), RetryClass::Safe);
+        let open = RmiError::CircuitOpen {
+            endpoint: "@tcp:h:1".into(),
+            retry_after: Duration::from_secs(1),
+        };
+        assert_eq!(classify(&open), RetryClass::Safe);
+    }
+
+    #[test]
+    fn classify_mid_call_failures_require_idempotence() {
+        assert_eq!(classify(&RmiError::Disconnected), RetryClass::IfIdempotent);
+        let io = RmiError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "x"));
+        assert_eq!(classify(&io), RetryClass::IfIdempotent);
+    }
+
+    #[test]
+    fn classify_answers_and_local_bugs_never_retry() {
+        for e in [
+            RmiError::Remote { repo_id: "IDL:E:1.0".into(), detail: "boom".into() },
+            RmiError::DeadlineExceeded { after: Duration::from_millis(5) },
+            RmiError::Protocol("mismatch".into()),
+            RmiError::BadReference { text: "@x".into(), detail: "short".into() },
+        ] {
+            assert_eq!(classify(&e), RetryClass::Never, "{e}");
+        }
+    }
+
+    #[test]
+    fn policy_constructors_clamp() {
+        let p = RetryPolicy::default().with_max_attempts(0);
+        assert_eq!(p.max_attempts, 1);
+        let p = RetryPolicy::default()
+            .with_backoff(Duration::from_millis(50), Duration::from_millis(10));
+        assert!(p.cap >= p.base, "cap is raised to base");
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_fixed_seed() {
+        let policy = RetryPolicy::default().with_jitter_seed(7);
+        let mut a = Backoff::new(&policy, 999);
+        let mut b = Backoff::new(&policy, 123); // fallback seed ignored
+        for _ in 0..16 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn backoff_grows_from_base_toward_cap() {
+        let policy = RetryPolicy::default()
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(80))
+            .with_jitter_seed(3);
+        let mut bo = Backoff::new(&policy, 0);
+        let delays: Vec<_> = (0..32).map(|_| bo.next_delay()).collect();
+        assert!(delays.iter().all(|d| *d >= policy.base && *d <= policy.cap), "{delays:?}");
+        // With 32 samples the schedule must have left the base at least once.
+        assert!(delays.iter().any(|d| *d > policy.base), "{delays:?}");
+    }
+
+    proptest! {
+        /// Satellite: backoff-with-jitter stays within [base, cap] for
+        /// arbitrary seeds, windows, and attempt counts.
+        #[test]
+        fn backoff_delays_stay_within_base_and_cap(
+            seed in any::<u64>(),
+            base_ms in 0u64..500,
+            extra_ms in 0u64..2_000,
+            attempts in 1usize..64,
+        ) {
+            let base = Duration::from_millis(base_ms);
+            let cap = Duration::from_millis(base_ms + extra_ms);
+            let policy = RetryPolicy::default()
+                .with_backoff(base, cap)
+                .with_jitter_seed(seed);
+            let mut bo = Backoff::new(&policy, seed ^ 0xABCD);
+            for _ in 0..attempts {
+                let d = bo.next_delay();
+                prop_assert!(d >= base, "delay {d:?} below base {base:?}");
+                prop_assert!(d <= cap.max(base), "delay {d:?} above cap {cap:?}");
+            }
+        }
+    }
+}

@@ -118,23 +118,53 @@ impl WorkerPool {
     }
 }
 
+/// First back-off after a failed `accept()`; doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_MAX`], resetting on any success.
+const ACCEPT_BACKOFF_BASE: std::time::Duration = std::time::Duration::from_millis(5);
+/// Cap on the accept-failure back-off.
+const ACCEPT_BACKOFF_MAX: std::time::Duration = std::time::Duration::from_millis(500);
+
 fn accept_loop(
     listener: TcpListener,
     orb: Orb,
     running: Arc<AtomicBool>,
     workers: Arc<WorkerPool>,
 ) {
-    for stream in listener.incoming() {
+    // When HEIDL_FAULT_PLAN is set (demo servers, chaos runs), every
+    // accepted transport is wrapped in a fault injector driven by it.
+    let fault_plan = crate::fault::FaultPlan::from_env();
+    let mut backoff = ACCEPT_BACKOFF_BASE;
+    loop {
+        let stream = listener.accept();
         if !running.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_BASE;
+                stream
+            }
+            // Transient accept failures (EMFILE, ECONNABORTED, ...) must
+            // not kill the server: back off so a persistent condition does
+            // not spin the CPU, then keep serving.
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                continue;
+            }
+        };
         let Ok(transport) = TcpTransport::from_stream(stream) else { continue };
+        let mut transport: Box<dyn Transport> = Box::new(transport);
+        if let Some(plan) = &fault_plan {
+            let label = transport.peer();
+            transport =
+                Box::new(crate::fault::FaultInjector::wrap(transport, Arc::clone(plan), label));
+        }
         let conn_orb = orb.clone();
         let conn_workers = Arc::clone(&workers);
         let _ = std::thread::Builder::new()
             .name("heidl-conn".to_owned())
-            .spawn(move || connection_loop(Box::new(transport), conn_orb, conn_workers));
+            .spawn(move || connection_loop(transport, conn_orb, conn_workers));
     }
 }
 

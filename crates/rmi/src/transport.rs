@@ -4,6 +4,7 @@
 //! single-process deployments also get an in-process duplex pipe built on
 //! crossbeam channels.
 
+use crate::objref::Endpoint;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
@@ -39,6 +40,33 @@ pub trait Transport: Send {
     /// Tears the stream down in both directions so a reader blocked in
     /// `recv_into` (possibly on a split-off half) observes end-of-stream.
     fn shutdown(&mut self) {}
+}
+
+/// Opens outbound transports to endpoints: the pluggable seam the
+/// connection pool dials through.
+///
+/// The default is [`TcpConnector`]. Tests and chaos harnesses swap in a
+/// `FaultyConnector` (see the `fault` module) via
+/// `Orb::builder().connector(...)` to inject connect refusals and wrap
+/// every produced transport in a fault injector.
+pub trait Connector: Send + Sync + std::fmt::Debug {
+    /// Opens a transport to `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures. The caller attaches the endpoint
+    /// context (`RmiError::ConnectFailed`).
+    fn connect(&self, endpoint: &Endpoint) -> io::Result<Box<dyn Transport>>;
+}
+
+/// The default [`Connector`]: plain TCP with `TCP_NODELAY`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpConnector;
+
+impl Connector for TcpConnector {
+    fn connect(&self, endpoint: &Endpoint) -> io::Result<Box<dyn Transport>> {
+        Ok(Box::new(TcpTransport::connect(&endpoint.socket_addr())?))
+    }
 }
 
 /// TCP transport, `TCP_NODELAY` enabled — request/response RPC suffers

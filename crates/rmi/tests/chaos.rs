@@ -1,0 +1,257 @@
+//! Deterministic chaos tests: scripted fault plans drive the full
+//! fault-tolerance stack — retry policy, per-endpoint circuit breakers,
+//! and multi-endpoint failover — with a fixed seed, so every failure
+//! sequence is reproducible.
+
+use heidl_rmi::breaker::{BreakerConfig, BreakerState};
+use heidl_rmi::fault::{Fault, FaultOp, FaultPlan, FaultRule, FaultyConnector};
+use heidl_rmi::retry::RetryPolicy;
+use heidl_rmi::*;
+use heidl_wire::{Decoder, Encoder};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct EchoSkel {
+    base: SkeletonBase,
+}
+
+impl EchoSkel {
+    fn new() -> Arc<dyn Skeleton> {
+        Arc::new(EchoSkel {
+            base: SkeletonBase::new("IDL:Test/Echo:1.0", DispatchKind::Hash, ["ping"], vec![]),
+        })
+    }
+}
+
+impl Skeleton for EchoSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let v = args.get_long()?;
+                reply.put_long(v + 1);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+/// A server ORB exporting one echo object (always object id 1, since each
+/// fresh ORB numbers from 1 — so one reference can address its twin on
+/// either server).
+fn spawn_server() -> (Orb, ObjectRef) {
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(EchoSkel::new()).unwrap();
+    (orb, objref)
+}
+
+fn ping(orb: &Orb, objref: &ObjectRef, options: CallOptions) -> RmiResult<i32> {
+    let mut call = orb.call(objref, "ping");
+    call.args().put_long(41);
+    let mut reply = orb.invoke_with(call, options)?;
+    Ok(reply.results().get_long()?)
+}
+
+/// The acceptance scenario: a scripted fault kills the primary endpoint
+/// mid-call; a two-endpoint reference completes on the fallback; the
+/// primary's breaker opens so later calls fail over *without touching the
+/// socket*; once the fault clears, a half-open probe restores the primary.
+/// Entirely deterministic: fixed plan seed, fixed jitter seed, Nth-style
+/// state transitions — no timing races decide the outcome.
+#[test]
+fn failover_breaker_and_recovery_cycle() {
+    let (primary_orb, primary_ref) = spawn_server();
+    let (backup_orb, backup_ref) = spawn_server();
+    assert_eq!(primary_ref.object_id, backup_ref.object_id, "same id on both servers");
+    let primary_addr = primary_ref.endpoint.socket_addr();
+
+    // Kill every frame sent to the primary; leave the backup alone.
+    let plan = Arc::new(FaultPlan::new(42));
+    plan.add_rule(FaultRule::always(FaultOp::Send, Fault::DropConnection).at(&primary_addr));
+
+    // Generous relative to steps 1-3 (a few loopback round trips), so the
+    // breaker cannot slip into Half-Open before step 4 intends it to.
+    let cooldown = Duration::from_millis(400);
+    let client = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan))))
+        .circuit_breaker(BreakerConfig {
+            failure_threshold: 1,
+            cooldown,
+            probe_budget: 1,
+            success_threshold: 1,
+        })
+        .retry_policy(
+            RetryPolicy::default()
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(5))
+                .with_jitter_seed(7),
+        )
+        .build();
+    let target = ObjectRef::with_fallbacks(
+        primary_ref.endpoint.clone(),
+        vec![backup_ref.endpoint.clone()],
+        primary_ref.object_id,
+        primary_ref.type_id.clone(),
+    );
+
+    // Watch every extra attempt through the interceptor chain.
+    let attempts: Arc<parking_lot::Mutex<Vec<String>>> = Arc::default();
+    {
+        let attempts = Arc::clone(&attempts);
+        client.add_interceptor(Arc::new(FnInterceptor(move |info: &CallInfo| {
+            if info.phase == CallPhase::ClientRetry {
+                attempts.lock().push(info.target.endpoint.socket_addr());
+            }
+        })));
+    }
+
+    // 1. The faulted primary drops the request mid-call; the idempotent
+    //    call fails over to the backup and completes.
+    assert_eq!(ping(&client, &target, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(plan.op_count(FaultOp::Connect, &primary_addr), 1, "primary was dialed once");
+    let primary_breaker = client.connections().breaker(&target.endpoint);
+    assert_eq!(primary_breaker.state(), BreakerState::Open, "one failure trips threshold 1");
+    assert_eq!(
+        attempts.lock().as_slice(),
+        [backup_ref.endpoint.socket_addr()],
+        "interceptors saw the failover attempt"
+    );
+
+    // 2. While the breaker is open, calls skip the primary's socket
+    //    entirely (connect count frozen) and go straight to the backup.
+    for _ in 0..3 {
+        assert_eq!(ping(&client, &target, CallOptions::idempotent()).unwrap(), 42);
+    }
+    assert_eq!(
+        plan.op_count(FaultOp::Connect, &primary_addr),
+        1,
+        "no socket connect to the primary while its breaker is open"
+    );
+    assert_eq!(primary_breaker.state(), BreakerState::Open);
+
+    // 3. A single-endpoint reference to the faulted primary has nowhere to
+    //    fail over: the breaker's refusal surfaces as CircuitOpen.
+    let solo = target.at_endpoint(&target.endpoint);
+    let err =
+        ping(&client, &solo, CallOptions::with_retry_policy(RetryPolicy::none())).unwrap_err();
+    assert!(matches!(err, RmiError::CircuitOpen { .. }), "{err}");
+
+    // 4. The fault clears; after the cool-down, the next call is admitted
+    //    as a half-open probe, reaches the real server, and closes the
+    //    breaker — service on the primary is restored.
+    plan.clear();
+    std::thread::sleep(cooldown + Duration::from_millis(50));
+    assert_eq!(ping(&client, &target, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(primary_breaker.state(), BreakerState::Closed, "probe success closed the breaker");
+    assert_eq!(
+        plan.op_count(FaultOp::Connect, &primary_addr),
+        2,
+        "recovery re-dialed the primary exactly once (stale pooled conn was discarded)"
+    );
+    // And it stays healthy without further failovers.
+    let before = attempts.lock().len();
+    assert_eq!(ping(&client, &target, CallOptions::default()).unwrap(), 42);
+    assert_eq!(attempts.lock().len(), before, "no retry needed once recovered");
+
+    primary_orb.shutdown();
+    backup_orb.shutdown();
+}
+
+/// A refused *connect* wrote no bytes, so failover is safe even for
+/// non-idempotent calls — no `idempotent` flag needed.
+#[test]
+fn refused_connect_fails_over_without_idempotence() {
+    let (primary_orb, primary_ref) = spawn_server();
+    let (backup_orb, backup_ref) = spawn_server();
+    let primary_addr = primary_ref.endpoint.socket_addr();
+
+    let plan = Arc::new(FaultPlan::new(7));
+    plan.add_rule(FaultRule::always(FaultOp::Connect, Fault::RefuseConnect).at(&primary_addr));
+    let client =
+        Orb::builder().connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan)))).build();
+    let target = ObjectRef::with_fallbacks(
+        primary_ref.endpoint.clone(),
+        vec![backup_ref.endpoint.clone()],
+        primary_ref.object_id,
+        primary_ref.type_id.clone(),
+    );
+
+    assert_eq!(ping(&client, &target, CallOptions::default()).unwrap(), 42);
+    assert_eq!(plan.op_count(FaultOp::Connect, &primary_addr), 1);
+
+    primary_orb.shutdown();
+    backup_orb.shutdown();
+}
+
+/// A mid-call failure on a non-idempotent call must surface, not retry:
+/// the server may already have executed the request.
+#[test]
+fn non_idempotent_calls_do_not_retry_after_bytes_were_written() {
+    let (server, objref) = spawn_server();
+    let addr = objref.endpoint.socket_addr();
+
+    let plan = Arc::new(FaultPlan::new(3));
+    // Only the first send dies; a blind retry would succeed — which is
+    // exactly what must NOT happen without the idempotent flag.
+    plan.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection).at(&addr).when(Trigger::Nth(1)),
+    );
+    let client = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan))))
+        .retry_policy(RetryPolicy::default().with_jitter_seed(1))
+        .build();
+
+    let err = ping(&client, &objref, CallOptions::default()).unwrap_err();
+    assert!(matches!(err, RmiError::Io(_) | RmiError::Disconnected), "{err}");
+    assert_eq!(plan.op_count(FaultOp::Send, &addr), 1, "exactly one send attempt");
+
+    // The same fault pattern with an idempotent call retries and succeeds.
+    let plan2 = Arc::new(FaultPlan::new(3));
+    plan2.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection).at(&addr).when(Trigger::Nth(1)),
+    );
+    let client2 = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan2))))
+        .retry_policy(
+            RetryPolicy::default()
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(5))
+                .with_jitter_seed(1),
+        )
+        .build();
+    assert_eq!(ping(&client2, &objref, CallOptions::idempotent()).unwrap(), 42);
+    assert!(plan2.op_count(FaultOp::Send, &addr) >= 2, "the idempotent call re-sent");
+
+    server.shutdown();
+}
+
+/// `HEIDL_FAULT_PLAN`-style specs drive the same machinery as
+/// programmatic plans: a parsed plan refuses the second connect.
+#[test]
+fn parsed_plan_scripts_the_connector() {
+    let (server, objref) = spawn_server();
+    let plan = Arc::new(FaultPlan::parse("seed=9; connect:refuse@2").unwrap());
+    let client = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan))))
+        .retry_policy(RetryPolicy::none())
+        .build();
+
+    assert_eq!(ping(&client, &objref, CallOptions::default()).unwrap(), 42, "first connect fine");
+    // Drop the pooled connection so the next call must re-dial — which the
+    // plan refuses (rule fires on the 2nd connect), with no fallback.
+    client.connections().clear();
+    let err = ping(&client, &objref, CallOptions::default()).unwrap_err();
+    assert!(matches!(err, RmiError::ConnectFailed { .. }), "{err}");
+    // Third connect is allowed again.
+    assert_eq!(ping(&client, &objref, CallOptions::default()).unwrap(), 42);
+
+    server.shutdown();
+}

@@ -104,8 +104,11 @@ fn dead_server_reports_connect_error() {
         objref.type_id.clone(),
     );
     let err = ping(&orb, &dead).unwrap_err();
-    assert!(matches!(err, RmiError::Io(_)), "{err}");
-    assert_eq!(orb.retry_count(), 0, "connect failures are not retried");
+    let RmiError::ConnectFailed { ref endpoint, .. } = err else {
+        panic!("expected ConnectFailed, got {err}");
+    };
+    assert_eq!(endpoint, "@tcp:127.0.0.1:1", "the failure names the endpoint that refused");
+    assert_eq!(orb.retry_count(), 0, "connect failures never consume the stale-cache retry");
     orb.shutdown();
 }
 

@@ -243,7 +243,7 @@ fn failed_oneway_fires_client_receive_not_ok() {
         })));
     }
     let err = orb.invoke_oneway(orb.call_oneway(&dead, "bump")).unwrap_err();
-    assert!(matches!(err, RmiError::Io(_)), "{err}");
+    assert!(matches!(err, RmiError::ConnectFailed { .. }), "{err}");
     let seen = phases.lock().clone();
     assert_eq!(
         seen,

@@ -18,6 +18,12 @@
 //! body with a `ulonglong` correlation id (see `heidl-rmi`'s `call`
 //! module), letting many in-flight calls multiplex one connection with
 //! replies arriving in any order.
+//!
+//! Object references are carried as CDR strings in their stringified
+//! form, so the failover grammar with comma-separated fallback profiles
+//! (`@tcp:h1:p1,tcp:h2:p2#id#type` — IIOP would use a multi-profile IOR
+//! here) needs no wire-format change; `heidl-rmi` parses the profile
+//! list and drives endpoint failover above this codec.
 
 use crate::codec::{Decoder, Encoder};
 use crate::error::{WireError, WireResult};

@@ -18,6 +18,12 @@
 //! reply line (see `heidl-rmi`'s `call` module), so concurrent calls can
 //! share one connection and still be correlated. That stays telnet-friendly:
 //! a human types `7 "objref" "print" T "hi"` and reads back `7 0`.
+//!
+//! Object references travel as plain strings too, including the failover
+//! form with comma-separated fallback profiles —
+//! `@tcp:primary:4700,tcp:backup:4701#1#IDL:Media/Player:1.0` — so a
+//! multi-endpoint reference pasted into a telnet session is still just
+//! one printable token (parsing and failover live in `heidl-rmi`).
 
 use crate::codec::{Decoder, Encoder};
 use crate::error::{WireError, WireResult};

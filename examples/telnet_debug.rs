@@ -62,13 +62,24 @@ impl PlayerServant for Demo {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let orb = Orb::new();
-    let endpoint = orb.serve("127.0.0.1:0")?;
+    // With an explicit bind address the example only serves (park until
+    // Ctrl-C) so a human can drive it from telnet/nc — handy for the
+    // README's failover walkthrough, with `HEIDL_FAULT_PLAN` set to
+    // script faults into this server's connections.
+    let bind = std::env::args().nth(1);
+    let endpoint = orb.serve(bind.as_deref().unwrap_or("127.0.0.1:0"))?;
     let objref = orb.export(PlayerSkel::new(Arc::new(Demo), orb.clone(), DispatchKind::Hash))?;
 
     println!("server listening -- try it yourself with:");
     println!("  nc {} {}", endpoint.host, endpoint.port);
     println!("object reference: {objref}");
     println!();
+
+    if bind.is_some() {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
 
     let mut session = BufReader::new(TcpStream::connect(endpoint.socket_addr())?);
     let mut type_line = |line: String| -> std::io::Result<String> {

@@ -29,7 +29,8 @@ pub struct BreakerConfig {
     /// How long the breaker stays Open before admitting probes.
     pub cooldown: Duration,
     /// Concurrent probe calls admitted while Half-Open; further calls are
-    /// refused until a probe completes.
+    /// refused until a probe completes. Clamped to ≥ 1 when the breaker is
+    /// built — a breaker that admits no probes could never close again.
     pub probe_budget: u32,
     /// Probe successes required to close the breaker again.
     pub success_threshold: u32,
@@ -85,8 +86,10 @@ pub struct CircuitBreaker {
 }
 
 impl CircuitBreaker {
-    /// A closed breaker with the given tuning.
+    /// A closed breaker with the given tuning (`probe_budget` clamped to
+    /// ≥ 1 so an Open breaker can always recover).
     pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        let config = BreakerConfig { probe_budget: config.probe_budget.max(1), ..config };
         CircuitBreaker { config, state: Mutex::new(State::Closed { failures: 0 }) }
     }
 
@@ -283,6 +286,19 @@ mod tests {
         assert_eq!(b.state(), BreakerState::HalfOpen, "one success is not enough");
         b.record_success_at(t1);
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn zero_probe_budget_is_clamped_to_one() {
+        let t0 = Instant::now();
+        let b = CircuitBreaker::new(BreakerConfig { probe_budget: 0, ..cfg(1) });
+        assert_eq!(b.config().probe_budget, 1);
+        b.record_failure_at(t0);
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(b.try_admit_at(t1).is_ok(), "exactly one probe is admitted");
+        assert_eq!(b.try_admit_at(t1), Err(Duration::ZERO), "concurrent second probe refused");
+        b.record_success_at(t1);
+        assert_eq!(b.state(), BreakerState::Closed, "the clamped budget still recovers");
     }
 
     #[test]

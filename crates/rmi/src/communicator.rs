@@ -338,8 +338,9 @@ impl std::fmt::Debug for CheckedOut {
 impl CheckedOut {
     /// Whether this connection was already pooled at checkout time. A
     /// failure on a cached connection may just mean it went stale while
-    /// idle, so it is worth one retry on a fresh connection; a failure on
-    /// a fresh connection is not.
+    /// idle, so — when the failure's retry-safety class permits — it is
+    /// worth one retry on a fresh connection; a failure on a fresh
+    /// connection is not.
     pub fn from_cache(&self) -> bool {
         self.from_cache
     }
@@ -443,6 +444,13 @@ impl ConnectionPool {
     }
 
     /// The circuit breaker guarding `endpoint`, created on first use.
+    ///
+    /// Breakers are deliberately *not* evicted with their connections
+    /// (their failure history is most valuable exactly while an endpoint
+    /// has none), so the map grows with the number of distinct endpoints
+    /// ever contacted. Long-running clients that touch unbounded endpoint
+    /// sets reclaim the memory with [`ConnectionPool::clear`] or
+    /// [`ConnectionPool::reset_breakers`].
     pub fn breaker(&self, endpoint: &Endpoint) -> Arc<CircuitBreaker> {
         let mut breakers = self.breakers.lock();
         if let Some(b) = breakers.get(endpoint) {
@@ -488,10 +496,11 @@ impl ConnectionPool {
     }
 
     /// Gets a connection to `endpoint`: the endpoint's shared multiplexed
-    /// connection when pooled, else fresh. Pooled connections are handed
-    /// out even when their demux thread has died — the invocation path
-    /// treats the resulting failure as a stale cache entry and retries
-    /// once on a fresh connection.
+    /// connection when pooled, else fresh. Pooled connections whose demux
+    /// thread has died (stale entries: the server closed them while idle)
+    /// are evicted here, *before* any request bytes are written — the one
+    /// point where replacing them is provably safe for every call,
+    /// idempotent or not.
     ///
     /// # Errors
     ///
@@ -512,6 +521,9 @@ impl ConnectionPool {
         // sockets per endpoint is a hard guarantee, not best-effort.
         let mut conns = self.conns.lock();
         let list = conns.entry(endpoint.clone()).or_default();
+        // A dead connection can never deliver a reply; drop it now, while
+        // nothing of the caller's request has touched the wire.
+        list.retain(|c| c.is_alive());
         let max = self.max_connections_per_endpoint();
         if let Some(best) = list.iter().min_by_key(|c| c.borrowed()) {
             if best.borrowed() == 0 || list.len() >= max {
@@ -545,9 +557,13 @@ impl ConnectionPool {
         self.conns.lock().insert(endpoint.clone(), vec![conn]);
     }
 
-    /// Drops all pooled connections (e.g. after an endpoint restart).
+    /// Drops all pooled connections *and* their per-endpoint breakers
+    /// (e.g. after an endpoint restart, or to reclaim breaker memory in a
+    /// client that has contacted many distinct endpoints). Use
+    /// [`ConnectionPool::reset_breakers`] to rebuild breakers alone.
     pub fn clear(&self) {
         self.conns.lock().clear();
+        self.breakers.lock().clear();
     }
 
     /// Number of pooled connections to `endpoint` not currently checked

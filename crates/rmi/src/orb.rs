@@ -23,7 +23,7 @@ use crate::communicator::ConnectionPool;
 use crate::error::{RmiError, RmiResult};
 use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
 use crate::objref::{Endpoint, ObjectRef};
-use crate::retry::{classify, Backoff, RetryClass, RetryPolicy};
+use crate::retry::{may_retry, Backoff, RetryPolicy};
 use crate::serialize::{self, RemoteObject, ValueRegistry};
 use crate::server::ServerHandle;
 use crate::skeleton::Skeleton;
@@ -44,8 +44,11 @@ pub struct CallOptions {
     /// default deadline (set via [`OrbBuilder::default_deadline`]), which
     /// itself defaults to waiting forever.
     pub deadline: Option<Duration>,
-    /// Whether a failure on a *cached* connection is retried once on a
-    /// fresh connection (the stale-connection heuristic). On by default.
+    /// Whether a mid-call failure on a *cached* connection may be retried
+    /// once on a fresh connection (the stale-connection heuristic). On by
+    /// default — but the retry additionally requires the failure's
+    /// retry-safety class to allow it (see [`CallOptions::idempotent`]),
+    /// so it never re-executes non-idempotent work.
     pub retry: bool,
     /// Per-call override of the ORB's [`RetryPolicy`]
     /// (set via [`OrbBuilder::retry_policy`]). `None` uses the ORB's.
@@ -379,13 +382,15 @@ impl Orb {
     /// (the endpoint's shared multiplexed connection), correlated round
     /// trip, reply parse (Fig 4 steps 2-4).
     ///
-    /// When a *cached* connection fails before yielding a reply — the
-    /// classic stale-connection case after a server closed idle
-    /// connections — the call is retried **once** on a fresh connection.
-    /// (If the server had actually processed the request, the fresh
-    /// connect would fail too, so duplicate execution requires a server
-    /// that died mid-request *and* came back between the two attempts —
-    /// the standard at-most-once caveat.)
+    /// Pooled connections that died while idle — the classic
+    /// stale-connection case after a server closed them — are evicted at
+    /// checkout, before any request bytes are written, so every call
+    /// transparently proceeds on a fresh connection. When a cached
+    /// connection fails only *mid-call* (the narrow window where it went
+    /// stale between checkout and use), the call is retried **once** on a
+    /// fresh connection, but only when its retry-safety class allows it:
+    /// the server may already be executing the request, so non-idempotent
+    /// calls surface the error instead (see [`CallOptions::idempotent`]).
     ///
     /// # Errors
     ///
@@ -435,7 +440,9 @@ impl Orb {
     /// The fault-tolerant invocation engine: up to `max_attempts` passes
     /// over the reference's endpoints (primary, then fallbacks), with
     /// jittered backoff between passes and the whole schedule bounded by
-    /// the call deadline. Whether a failure may move on to the next
+    /// the call deadline — a budget too spent to fit the next backoff
+    /// sleep surfaces as [`RmiError::DeadlineExceeded`], not as whatever
+    /// transport error happened last. Whether a failure may move on to the next
     /// endpoint/pass is decided by its retry-safety class
     /// ([`classify`]): connect-level failures are always safe, failures
     /// after bytes were written need [`CallOptions::idempotent`], and
@@ -461,11 +468,14 @@ impl Orb {
         for pass in 0..policy.max_attempts.max(1) {
             if pass > 0 {
                 let delay = backoff.next_delay();
-                // Never sleep past the deadline: if the budget cannot fit
-                // another attempt, surface what we already know.
+                // Never sleep past the deadline. The budget — not the last
+                // endpoint tried — is what ran out here, so surface the
+                // deadline rather than a stale transport error.
                 if let Some(end) = overall {
                     if Instant::now() + delay >= end {
-                        break;
+                        return Err(RmiError::DeadlineExceeded {
+                            after: deadline.unwrap_or_default(),
+                        });
                     }
                 }
                 std::thread::sleep(delay);
@@ -494,11 +504,8 @@ impl Orb {
                 };
                 match self.attempt_endpoint(endpoint, request_id, body, remaining, options) {
                     Ok(b) => return Ok(b),
-                    Err(e) => match classify(&e) {
-                        RetryClass::Never => return Err(e),
-                        RetryClass::IfIdempotent if !options.idempotent => return Err(e),
-                        RetryClass::Safe | RetryClass::IfIdempotent => last_err = Some(e),
-                    },
+                    Err(e) if may_retry(&e, options.idempotent) => last_err = Some(e),
+                    Err(e) => return Err(e),
                 }
             }
         }
@@ -507,8 +514,9 @@ impl Orb {
 
     /// One attempt against one specific endpoint: breaker admission,
     /// connection checkout, correlated round trip, breaker bookkeeping —
-    /// including the stale-cached-connection heuristic (a failure on a
-    /// *cached* connection gets one immediate retry on a fresh one).
+    /// including the stale-cached-connection heuristic (a *retry-safe*
+    /// failure on a cached connection gets one immediate retry on a fresh
+    /// one; see [`may_retry`]).
     fn attempt_endpoint(
         &self,
         endpoint: &Endpoint,
@@ -540,8 +548,15 @@ impl Orb {
                 breaker.record_failure();
                 Err(e)
             }
-            Err(first_err) if checked.from_cache() && options.retry => {
+            Err(first_err)
+                if checked.from_cache()
+                    && options.retry
+                    && may_retry(&first_err, options.idempotent) =>
+            {
                 // The cached connection was stale; try once on a fresh one.
+                // The gate above means this never re-sends a request the
+                // server may already be executing: mid-call failures only
+                // pass it when the caller declared the call idempotent.
                 self.inner.pool.discard(endpoint, checked.connection());
                 drop(checked);
                 self.inner.retries.fetch_add(1, Ordering::Relaxed);

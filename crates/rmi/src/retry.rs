@@ -59,6 +59,19 @@ pub fn classify(err: &RmiError) -> RetryClass {
     }
 }
 
+/// Whether `err` may be retried (or failed over to another endpoint)
+/// under the caller's idempotency declaration. This is the single gate
+/// every retry site — the policy loop *and* the stale-cached-connection
+/// fast path — must pass, so a non-idempotent call is never re-sent
+/// after request bytes may have reached a server.
+pub fn may_retry(err: &RmiError, idempotent: bool) -> bool {
+    match classify(err) {
+        RetryClass::Safe => true,
+        RetryClass::IfIdempotent => idempotent,
+        RetryClass::Never => false,
+    }
+}
+
 /// The retry policy applied by `Orb::invoke`: how many passes over a
 /// reference's endpoints to make, and how to pace them.
 ///
@@ -192,6 +205,20 @@ mod tests {
         ] {
             assert_eq!(classify(&e), RetryClass::Never, "{e}");
         }
+    }
+
+    #[test]
+    fn may_retry_combines_class_and_idempotency() {
+        let io = RmiError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "x"));
+        assert!(!may_retry(&io, false), "mid-call failure, non-idempotent: never re-send");
+        assert!(may_retry(&io, true));
+        let open = RmiError::CircuitOpen {
+            endpoint: "@tcp:h:1".into(),
+            retry_after: Duration::from_secs(1),
+        };
+        assert!(may_retry(&open, false), "safe class retries regardless of idempotency");
+        let remote = RmiError::Remote { repo_id: "IDL:E:1.0".into(), detail: "boom".into() };
+        assert!(!may_retry(&remote, true), "never class ignores idempotency");
     }
 
     #[test]

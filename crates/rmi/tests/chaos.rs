@@ -233,6 +233,51 @@ fn non_idempotent_calls_do_not_retry_after_bytes_were_written() {
     server.shutdown();
 }
 
+/// The stale-cached-connection fast path must obey the same retry-safety
+/// rules as the policy loop: a mid-call failure on a *pooled* connection
+/// (alive at checkout, killed during the call — the window the checkout
+/// eviction cannot see) never re-sends a non-idempotent request, even
+/// though a blind fresh-connection retry would succeed.
+#[test]
+fn cached_connection_failure_does_not_resend_non_idempotent_calls() {
+    let (server, objref) = spawn_server();
+    let addr = objref.endpoint.socket_addr();
+
+    // First send succeeds (pooling the connection); the second send —
+    // the one riding the cached connection — drops it mid-call.
+    let plan = Arc::new(FaultPlan::new(11));
+    plan.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection).at(&addr).when(Trigger::Nth(2)),
+    );
+    let client = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan))))
+        .retry_policy(RetryPolicy::default().with_jitter_seed(2))
+        .build();
+
+    assert_eq!(ping(&client, &objref, CallOptions::default()).unwrap(), 42, "pools the conn");
+    let err = ping(&client, &objref, CallOptions::default()).unwrap_err();
+    assert!(matches!(err, RmiError::Io(_) | RmiError::Disconnected), "{err}");
+    assert_eq!(plan.op_count(FaultOp::Send, &addr), 2, "no blind re-send of the dead request");
+    assert_eq!(client.retry_count(), 0, "the stale-connection fast path stayed closed");
+
+    // The same fault pattern with `idempotent` takes the fast path:
+    // discard the stale connection, re-send once on a fresh one, succeed.
+    let plan2 = Arc::new(FaultPlan::new(11));
+    plan2.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection).at(&addr).when(Trigger::Nth(2)),
+    );
+    let client2 = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan2))))
+        .retry_policy(RetryPolicy::default().with_jitter_seed(2))
+        .build();
+    assert_eq!(ping(&client2, &objref, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(ping(&client2, &objref, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(client2.retry_count(), 1, "exactly one stale-connection retry");
+    assert_eq!(plan2.op_count(FaultOp::Send, &addr), 3, "failed send + one re-send");
+
+    server.shutdown();
+}
+
 /// `HEIDL_FAULT_PLAN`-style specs drive the same machinery as
 /// programmatic plans: a parsed plan refuses the second connect.
 #[test]

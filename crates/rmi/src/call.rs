@@ -16,16 +16,22 @@
 //!   reply stream on a cached connection;
 //! * reply:   `ulonglong request-id · octet status · <results>` where status
 //!   `0` = OK, or `status != 0 · string repo-id · string detail` for
-//!   exceptions (`1` = user exception, `2` = system exception).
+//!   exceptions (`1` = user exception, `2` = system exception, `3` = server
+//!   busy — the request was shed by admission control *before* dispatch, so
+//!   clients treat it as always-safe-to-retry).
 //!
 //! On the text protocol both headers stay telnet-readable: a human types a
 //! small request id first (`7 "@tcp:host:port#1#IDL:..." "print" T ...`) and
-//! sees the same id echoed at the front of the reply (`7 0 ...`).
+//! sees the same id echoed at the front of the reply (`7 0 ...`), or on an
+//! overloaded server `7 3 "IDL:heidl/ServerBusy:1.0" "in-flight cap"`.
 
 use crate::error::{RmiError, RmiResult};
 use crate::objref::ObjectRef;
-use heidl_wire::{Decoder, Encoder, Protocol};
+use heidl_wire::{DecodeLimits, Decoder, Encoder, Protocol};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Repository id stamped on [`ReplyStatus::Busy`] replies.
+pub const BUSY_REPO_ID: &str = "IDL:heidl/ServerBusy:1.0";
 
 /// Process-wide request-id source. Ids only need to be unique among calls
 /// in flight on one connection, so a single monotonically increasing
@@ -46,6 +52,9 @@ pub enum ReplyStatus {
     UserException,
     /// An ORB-level failure (unknown object/method, unmarshal error).
     SystemException,
+    /// The server shed the request before dispatch (admission control or
+    /// drain); repo id + detail follow. Always safe to retry.
+    Busy,
 }
 
 impl ReplyStatus {
@@ -54,6 +63,7 @@ impl ReplyStatus {
             ReplyStatus::Ok => 0,
             ReplyStatus::UserException => 1,
             ReplyStatus::SystemException => 2,
+            ReplyStatus::Busy => 3,
         }
     }
 
@@ -62,6 +72,7 @@ impl ReplyStatus {
             0 => ReplyStatus::Ok,
             1 => ReplyStatus::UserException,
             2 => ReplyStatus::SystemException,
+            3 => ReplyStatus::Busy,
             other => return Err(RmiError::Protocol(format!("bad reply status {other}"))),
         })
     }
@@ -180,7 +191,22 @@ impl IncomingCall {
     ///
     /// Fails on unmarshalable headers or unparsable references.
     pub fn parse(body: Vec<u8>, protocol: &dyn Protocol) -> RmiResult<IncomingCall> {
-        let mut dec = protocol.decoder(body)?;
+        IncomingCall::parse_limited(body, protocol, &DecodeLimits::default())
+    }
+
+    /// Parses a request body with explicit [`DecodeLimits`] — the server
+    /// path, where hostile length prefixes must bound allocations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmarshalable headers, unparsable references, or bodies
+    /// violating `limits`.
+    pub fn parse_limited(
+        body: Vec<u8>,
+        protocol: &dyn Protocol,
+        limits: &DecodeLimits,
+    ) -> RmiResult<IncomingCall> {
+        let mut dec = protocol.decoder_with_limits(body, limits)?;
         let request_id = dec.get_ulonglong()?;
         let target_text = dec.get_string()?;
         let target: ObjectRef = target_text.parse()?;
@@ -198,12 +224,41 @@ impl IncomingCall {
 ///
 /// Fails when the header does not unmarshal or the reference is malformed.
 pub fn peek_request_header(body: &[u8], protocol: &dyn Protocol) -> RmiResult<(u64, bool)> {
-    let mut dec = protocol.decoder(body.to_vec())?;
+    peek_request_header_limited(body, protocol, &DecodeLimits::default())
+}
+
+/// [`peek_request_header`] with explicit [`DecodeLimits`], for server
+/// reader threads that must not allocate for hostile length prefixes.
+///
+/// # Errors
+///
+/// Fails when the header does not unmarshal, violates `limits`, or the
+/// reference is malformed.
+pub fn peek_request_header_limited(
+    body: &[u8],
+    protocol: &dyn Protocol,
+    limits: &DecodeLimits,
+) -> RmiResult<(u64, bool)> {
+    let mut dec = protocol.decoder_with_limits(body.to_vec(), limits)?;
     let request_id = dec.get_ulonglong()?;
     let _target = dec.get_string()?;
     let _method = dec.get_string()?;
     let response_expected = dec.get_bool()?;
     Ok((request_id, response_expected))
+}
+
+/// Reads the target object id from a request body without consuming it.
+/// Crate-internal: the server routes `_health` probes around admission
+/// control with this, so overload or drain never blinds observability.
+pub(crate) fn peek_target_object_id(
+    body: &[u8],
+    protocol: &dyn Protocol,
+    limits: &DecodeLimits,
+) -> RmiResult<u64> {
+    let mut dec = protocol.decoder_with_limits(body.to_vec(), limits)?;
+    let _request_id = dec.get_ulonglong()?;
+    let target: ObjectRef = dec.get_string()?.parse()?;
+    Ok(target.object_id)
 }
 
 /// Reads just the leading request id from a reply body without consuming
@@ -216,6 +271,21 @@ pub fn peek_request_header(body: &[u8], protocol: &dyn Protocol) -> RmiResult<(u
 pub fn peek_reply_id(body: &[u8], protocol: &dyn Protocol) -> RmiResult<u64> {
     let mut dec = protocol.decoder(body.to_vec())?;
     Ok(dec.get_ulonglong()?)
+}
+
+/// Reads `(request-id, status)` from a reply body without consuming it,
+/// so the invocation engine can recognize a [`ReplyStatus::Busy`] shed
+/// (and feed it to the circuit breaker / retry policy) before the stub
+/// unmarshals results.
+///
+/// # Errors
+///
+/// Fails when the body does not start with an id and a valid status code.
+pub fn peek_reply_status(body: &[u8], protocol: &dyn Protocol) -> RmiResult<(u64, ReplyStatus)> {
+    let mut dec = protocol.decoder(body.to_vec())?;
+    let request_id = dec.get_ulonglong()?;
+    let status = ReplyStatus::from_code(dec.get_octet()?)?;
+    Ok((request_id, status))
 }
 
 /// A server-side reply under construction.
@@ -254,6 +324,13 @@ impl ReplyBuilder {
         enc.put_string(repo_id);
         enc.put_string(detail);
         enc.finish()
+    }
+
+    /// Builds a complete busy (load-shed) reply to request `request_id`.
+    /// On the text protocol this stays telnet-readable:
+    /// `7 3 "IDL:heidl/ServerBusy:1.0" "in-flight cap (4) reached"`.
+    pub fn busy(protocol: &dyn Protocol, request_id: u64, detail: &str) -> Vec<u8> {
+        ReplyBuilder::exception(protocol, request_id, ReplyStatus::Busy, BUSY_REPO_ID, detail)
     }
 
     /// The result encoder.
@@ -296,6 +373,11 @@ impl Reply {
                 let repo_id = dec.get_string()?;
                 let detail = dec.get_string()?;
                 Err(RmiError::Remote { repo_id, detail })
+            }
+            ReplyStatus::Busy => {
+                let _repo_id = dec.get_string()?;
+                let detail = dec.get_string()?;
+                Err(RmiError::ServerBusy { detail })
             }
         }
     }
@@ -408,6 +490,39 @@ mod tests {
         // all still readable (and typable) over telnet.
         let expect = format!("{id} \"@tcp:localhost:1234#42#IDL:Heidi/A:1.0\" \"play\" T");
         assert!(text.starts_with(&expect), "{text}");
+    }
+
+    #[test]
+    fn busy_reply_surfaces_as_server_busy_error() {
+        for p in protocols() {
+            let body = ReplyBuilder::busy(p.as_ref(), 12, "in-flight cap (4) reached");
+            let (id, status) = peek_reply_status(&body, p.as_ref()).unwrap();
+            assert_eq!(id, 12);
+            assert_eq!(status, ReplyStatus::Busy);
+            let err = Reply::parse(body, p.as_ref()).unwrap_err();
+            let RmiError::ServerBusy { detail } = err else { panic!("wrong error") };
+            assert_eq!(detail, "in-flight cap (4) reached");
+        }
+    }
+
+    #[test]
+    fn busy_reply_is_readable_on_text_protocol() {
+        let body = ReplyBuilder::busy(&TextProtocol, 7, "draining");
+        let text = String::from_utf8(body).unwrap();
+        assert_eq!(text, r#"7 3 "IDL:heidl/ServerBusy:1.0" "draining""#);
+    }
+
+    #[test]
+    fn limited_parse_bounds_hostile_request_headers() {
+        // A 4 GB string length prefix must come back as a clean wire
+        // error, not an allocation attempt.
+        let mut body = 1u64.to_le_bytes().to_vec();
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let limits = DecodeLimits::strict();
+        let err = IncomingCall::parse_limited(body.clone(), &CdrProtocol, &limits).unwrap_err();
+        assert!(matches!(err, RmiError::Wire(_)), "{err}");
+        let err = peek_request_header_limited(&body, &CdrProtocol, &limits).unwrap_err();
+        assert!(matches!(err, RmiError::Wire(_)), "{err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::call::peek_reply_id;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
 use crate::transport::{Connector, TcpConnector, Transport};
-use heidl_wire::Protocol;
+use heidl_wire::{DecodeLimits, Protocol};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::ops::Deref;
@@ -30,6 +30,7 @@ pub struct ObjectCommunicator {
     transport: Box<dyn Transport>,
     protocol: Arc<dyn Protocol>,
     inbuf: Vec<u8>,
+    limits: DecodeLimits,
 }
 
 impl std::fmt::Debug for ObjectCommunicator {
@@ -43,9 +44,21 @@ impl std::fmt::Debug for ObjectCommunicator {
 }
 
 impl ObjectCommunicator {
-    /// Wraps a transport with a protocol.
+    /// Wraps a transport with a protocol (default, permissive
+    /// [`DecodeLimits`]).
     pub fn new(transport: Box<dyn Transport>, protocol: Arc<dyn Protocol>) -> Self {
-        ObjectCommunicator { transport, protocol, inbuf: Vec::new() }
+        ObjectCommunicator::with_limits(transport, protocol, DecodeLimits::default())
+    }
+
+    /// Wraps a transport with a protocol and explicit [`DecodeLimits`]
+    /// enforced during deframing — the server side, where a hostile frame
+    /// length must error before it buffers or allocates.
+    pub fn with_limits(
+        transport: Box<dyn Transport>,
+        protocol: Arc<dyn Protocol>,
+        limits: DecodeLimits,
+    ) -> Self {
+        ObjectCommunicator { transport, protocol, inbuf: Vec::new(), limits }
     }
 
     /// The protocol in use.
@@ -77,7 +90,7 @@ impl ObjectCommunicator {
     /// Propagates transport failures and stream corruption.
     pub fn recv(&mut self) -> RmiResult<Option<Vec<u8>>> {
         loop {
-            if let Some(body) = self.protocol.deframe(&mut self.inbuf)? {
+            if let Some(body) = self.protocol.deframe_limited(&mut self.inbuf, &self.limits)? {
                 return Ok(Some(body));
             }
             let n = self.transport.recv_into(&mut self.inbuf)?;

@@ -195,6 +195,15 @@ impl DynResults {
         Ok(self.dec()?.results().get_long()?)
     }
 
+    /// Pulls an unsigned long long result (e.g. the `_health` counters).
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_ulonglong(&mut self) -> RmiResult<u64> {
+        Ok(self.dec()?.results().get_ulonglong()?)
+    }
+
     /// Pulls a string result.
     ///
     /// # Errors

@@ -58,6 +58,15 @@ pub enum RmiError {
         /// How long until the breaker will admit a probe.
         retry_after: std::time::Duration,
     },
+    /// The server shed the request before dispatching it: admission
+    /// control rejected it (in-flight or connection caps reached) or the
+    /// server is draining for shutdown. Because the servant never
+    /// executed, retrying is always safe — this composes with the retry
+    /// policy's backoff instead of hammering an overloaded server.
+    ServerBusy {
+        /// Human-readable detail from the server (which cap was hit).
+        detail: String,
+    },
     /// The connection closed before a reply arrived.
     Disconnected,
     /// The per-call deadline elapsed before the reply arrived. The shared
@@ -100,6 +109,7 @@ impl fmt::Display for RmiError {
             RmiError::CircuitOpen { endpoint, retry_after } => {
                 write!(f, "circuit open for {endpoint}: failing fast, retry after {retry_after:?}")
             }
+            RmiError::ServerBusy { detail } => write!(f, "server busy: {detail}"),
             RmiError::Disconnected => write!(f, "connection closed before reply"),
             RmiError::DeadlineExceeded { after } => {
                 write!(f, "deadline exceeded after {after:?}")
@@ -172,6 +182,7 @@ mod tests {
                 },
                 "circuit open for @tcp:h:1",
             ),
+            (RmiError::ServerBusy { detail: "draining".into() }, "server busy"),
             (RmiError::Disconnected, "connection closed"),
             (
                 RmiError::DeadlineExceeded { after: std::time::Duration::from_millis(40) },

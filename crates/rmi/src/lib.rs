@@ -24,6 +24,11 @@
 //!   [circuit breakers](breaker), multi-endpoint failover references
 //!   (`@tcp:h1:p1,tcp:h2:p2#id#type`), and a deterministic, seedable
 //!   [fault injector](fault) for chaos testing;
+//! * **server-side overload protection** — a [`ServerPolicy`] of
+//!   connection/in-flight caps with `Busy` load shedding (always safe to
+//!   retry), wire [`DecodeLimits`](heidl_wire::DecodeLimits), graceful
+//!   drain via [`Orb::shutdown_and_drain`], and a built-in `_health`
+//!   object ([`Orb::health_ref`]) reporting the [`ServerHealth`] counters;
 //! * swappable wire protocols (text or CDR/GIOP-lite) from `heidl-wire`.
 //!
 //! ## A complete round trip
@@ -85,6 +90,7 @@ pub mod fault;
 pub mod interceptor;
 pub mod objref;
 pub mod orb;
+pub mod policy;
 pub mod retry;
 pub mod serialize;
 mod server;
@@ -93,8 +99,9 @@ pub mod transport;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use call::{
-    next_request_id, peek_reply_id, peek_request_header, Call, IncomingCall, Reply, ReplyBuilder,
-    ReplyStatus,
+    next_request_id, peek_reply_id, peek_reply_status, peek_request_header,
+    peek_request_header_limited, Call, IncomingCall, Reply, ReplyBuilder, ReplyStatus,
+    BUSY_REPO_ID,
 };
 pub use communicator::{CheckedOut, ConnectionPool, MuxConnection, ObjectCommunicator};
 pub use dispatch::{DispatchKind, DispatchStrategy, MethodTable};
@@ -104,10 +111,12 @@ pub use fault::{Fault, FaultInjector, FaultOp, FaultPlan, FaultRule, FaultyConne
 pub use interceptor::{CallInfo, CallPhase, FnInterceptor, Interceptor};
 pub use objref::{Endpoint, ObjectRef};
 pub use orb::{CallOptions, Orb, OrbBuilder};
+pub use policy::{ServerHealth, ServerPolicy};
 pub use retry::{classify, Backoff, RetryClass, RetryPolicy};
 pub use serialize::{
     marshal_reference, marshal_value, unmarshal_incopy, IncopyArg, RemoteObject, ValueRegistry,
     ValueSerialize,
 };
+pub use server::{HEALTH_OBJECT_ID, HEALTH_TYPE_ID};
 pub use skeleton::{DispatchOutcome, Skeleton, SkeletonBase};
 pub use transport::{Connector, InProcTransport, TcpConnector, TcpTransport, Transport};

@@ -17,15 +17,16 @@
 //! every connection to the binary protocol without touching generated
 //! code.
 
-use crate::breaker::BreakerConfig;
-use crate::call::{Call, Reply};
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::call::{peek_reply_status, Call, Reply, ReplyStatus};
 use crate::communicator::ConnectionPool;
 use crate::error::{RmiError, RmiResult};
 use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
 use crate::objref::{Endpoint, ObjectRef};
+use crate::policy::{ServerHealth, ServerPolicy};
 use crate::retry::{may_retry, Backoff, RetryPolicy};
 use crate::serialize::{self, RemoteObject, ValueRegistry};
-use crate::server::ServerHandle;
+use crate::server::{ServerHandle, HEALTH_OBJECT_ID, HEALTH_TYPE_ID};
 use crate::skeleton::Skeleton;
 use crate::transport::Connector;
 use heidl_wire::{Encoder, Protocol, TextProtocol};
@@ -112,6 +113,7 @@ pub struct OrbBuilder {
     retry_policy: RetryPolicy,
     breaker_config: BreakerConfig,
     connector: Option<Arc<dyn Connector>>,
+    server_policy: ServerPolicy,
 }
 
 impl Default for OrbBuilder {
@@ -123,6 +125,7 @@ impl Default for OrbBuilder {
             retry_policy: RetryPolicy::default(),
             breaker_config: BreakerConfig::disabled(),
             connector: None,
+            server_policy: ServerPolicy::default(),
         }
     }
 }
@@ -171,6 +174,15 @@ impl OrbBuilder {
         self
     }
 
+    /// Overload-protection policy for this ORB's server side: connection
+    /// and in-flight caps, worker-overflow budget, socket timeouts, wire
+    /// decode limits, and the graceful-drain budget. Defaults preserve the
+    /// historical unbounded behavior ([`ServerPolicy::default`]).
+    pub fn server_policy(mut self, policy: ServerPolicy) -> OrbBuilder {
+        self.server_policy = policy;
+        self
+    }
+
     /// Builds the ORB.
     pub fn build(self) -> Orb {
         let pool = ConnectionPool::new();
@@ -193,6 +205,7 @@ impl OrbBuilder {
                 interceptors: InterceptorChain::default(),
                 retries: AtomicU64::new(0),
                 retry_policy: self.retry_policy,
+                server_policy: self.server_policy,
             }),
         }
     }
@@ -219,6 +232,7 @@ pub(crate) struct OrbInner {
     pub(crate) interceptors: InterceptorChain,
     retries: AtomicU64,
     retry_policy: RetryPolicy,
+    server_policy: ServerPolicy,
 }
 
 impl std::fmt::Debug for Orb {
@@ -300,11 +314,51 @@ impl Orb {
         self.inner.server.lock().as_ref().map(|h| h.endpoint().clone())
     }
 
+    /// The server-side overload policy this ORB was built with.
+    pub(crate) fn server_policy(&self) -> &ServerPolicy {
+        &self.inner.server_policy
+    }
+
     /// Stops accepting connections. Existing connections drain naturally.
     pub fn shutdown(&self) {
         if let Some(handle) = self.inner.server.lock().take() {
             handle.stop();
         }
+    }
+
+    /// Graceful shutdown: stops accepting, sheds new requests on live
+    /// connections with `Busy`, waits up to the policy's `drain_timeout`
+    /// for in-flight dispatches to complete, then force-closes whatever
+    /// remains. Returns `true` when everything in flight finished within
+    /// the budget (`false` = some dispatch was cut off), and `true` when
+    /// the ORB was not serving.
+    pub fn shutdown_and_drain(&self) -> bool {
+        // Take the handle *then* release the server lock: draining can
+        // take up to `drain_timeout`, and in-flight dispatches may read
+        // ORB state that must not deadlock behind this mutex.
+        let handle = self.inner.server.lock().take();
+        match handle {
+            Some(h) => h.stop_and_drain(),
+            None => true,
+        }
+    }
+
+    /// A point-in-time health snapshot of the running server: accepting
+    /// flag, in-flight and connection gauges, shed counters. `None` when
+    /// the ORB is not serving. The same data is remotely dispatchable via
+    /// the built-in `_health` object ([`Orb::health_ref`]).
+    pub fn server_health(&self) -> Option<ServerHealth> {
+        self.inner.server.lock().as_ref().map(|h| h.health())
+    }
+
+    /// The reference of this server's built-in `_health` object
+    /// (well-known object id 0, type `IDL:heidl/Health:1.0`). Every
+    /// serving ORB dispatches it — no export required — so any client
+    /// (including a telnet user on the text protocol) can probe liveness
+    /// (`ping` → `"pong"`) and overload counters (`report`). `None` when
+    /// the ORB is not serving.
+    pub fn health_ref(&self) -> Option<ObjectRef> {
+        self.endpoint().map(|e| ObjectRef::new(e, HEALTH_OBJECT_ID, HEALTH_TYPE_ID))
     }
 
     /// Registers a skeleton, returning its reference. Requires a running
@@ -537,10 +591,7 @@ impl Orb {
             }
         };
         match checked.call(request_id, body, deadline) {
-            Ok(b) => {
-                breaker.record_success();
-                Ok(b)
-            }
+            Ok(b) => self.accept_reply(b, &breaker),
             // A deadline says nothing about connection health: keep the
             // connection — but a consistently slow endpoint is unhealthy
             // for fail-fast purposes, so the breaker counts it.
@@ -562,10 +613,7 @@ impl Orb {
                 self.inner.retries.fetch_add(1, Ordering::Relaxed);
                 match self.inner.pool.checkout(endpoint, &self.inner.protocol) {
                     Ok(fresh) => match fresh.call(request_id, body, deadline) {
-                        Ok(b) => {
-                            breaker.record_success();
-                            Ok(b)
-                        }
+                        Ok(b) => self.accept_reply(b, &breaker),
                         Err(e) => {
                             breaker.record_failure();
                             Err(e)
@@ -580,6 +628,31 @@ impl Orb {
             Err(e) => {
                 breaker.record_failure();
                 Err(e)
+            }
+        }
+    }
+
+    /// Inspects a received reply's status before handing it to the stub:
+    /// a `Busy` status means the server shed the request before dispatch,
+    /// so it surfaces here as [`RmiError::ServerBusy`] (an always-safe
+    /// retry class: the policy loop backs off or fails over instead of
+    /// hammering the overloaded server) and counts as a breaker failure.
+    /// Anything else — including exception replies, which *are* answers —
+    /// records breaker success and flows on to [`Reply::parse`].
+    fn accept_reply(&self, body: Vec<u8>, breaker: &Arc<CircuitBreaker>) -> RmiResult<Vec<u8>> {
+        match peek_reply_status(&body, self.inner.protocol.as_ref()) {
+            Ok((_, ReplyStatus::Busy)) => {
+                breaker.record_failure();
+                match Reply::parse(body, self.inner.protocol.as_ref()) {
+                    Err(e) => Err(e),
+                    // Unreachable (a Busy body always parses to an error),
+                    // but never silently swallow a shed.
+                    Ok(_) => Err(RmiError::ServerBusy { detail: "server busy".to_owned() }),
+                }
+            }
+            _ => {
+                breaker.record_success();
+                Ok(body)
             }
         }
     }

@@ -1,0 +1,202 @@
+//! Server-side overload policy: admission control caps, load-shedding
+//! bounds, wire decode limits, slow-client timeouts, and drain semantics.
+//!
+//! The paper treats everything around the invocation path as
+//! customization surface; [`ServerPolicy`] extends that to the *failure
+//! boundary of the server itself*. Every bound defaults to "unlimited"
+//! (the historical behavior) so existing deployments see no change; a
+//! production server dials each knob on `Orb::builder()`:
+//!
+//! ```
+//! use heidl_rmi::{Orb, ServerPolicy};
+//! use std::time::Duration;
+//!
+//! let orb = Orb::builder()
+//!     .server_policy(
+//!         ServerPolicy::default()
+//!             .with_max_connections(512)
+//!             .with_max_in_flight(64)
+//!             .with_max_in_flight_per_connection(8)
+//!             .with_drain_timeout(Duration::from_secs(2)),
+//!     )
+//!     .build();
+//! # drop(orb);
+//! ```
+//!
+//! Shed requests are answered with a `Busy` reply (status `3`) before any
+//! servant runs, which clients surface as `RmiError::ServerBusy` — an
+//! always-safe-to-retry class, so the retry policy's backoff and failover
+//! spread load away from the hot server instead of hammering it.
+
+use heidl_wire::DecodeLimits;
+use std::time::Duration;
+
+/// Overload-protection configuration for one ORB's server side.
+///
+/// Defaults preserve the pre-policy behavior: effectively-unbounded caps,
+/// no socket timeouts, permissive [`DecodeLimits`], and a 5 s drain
+/// budget for [`Orb::shutdown_and_drain`](crate::Orb::shutdown_and_drain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerPolicy {
+    /// Maximum concurrently accepted connections; further accepts are
+    /// closed immediately and counted as shed connections.
+    pub max_connections: usize,
+    /// Maximum requests dispatched concurrently across the whole server;
+    /// excess two-way requests get a `Busy` reply, oneways are dropped.
+    pub max_in_flight: usize,
+    /// Maximum requests dispatched concurrently for any one connection,
+    /// so a single aggressive client cannot monopolize the global cap.
+    pub max_in_flight_per_connection: usize,
+    /// Maximum transient overflow threads the worker pool may add beyond
+    /// its resident workers; past the cap, requests are shed with `Busy`.
+    pub max_overflow_threads: usize,
+    /// Read timeout on accepted sockets: a connection idle longer than
+    /// this is dropped, reclaiming readers from silent clients.
+    pub read_idle_timeout: Option<Duration>,
+    /// Write timeout on accepted sockets: a client too slow to consume
+    /// replies gets disconnected instead of blocking a worker forever.
+    pub write_timeout: Option<Duration>,
+    /// How long [`Orb::shutdown_and_drain`](crate::Orb::shutdown_and_drain)
+    /// waits for in-flight dispatches before force-closing connections.
+    pub drain_timeout: Duration,
+    /// Wire decode limits applied to every frame and body the server
+    /// reads; a hostile 4 GB length prefix is an error, not an allocation.
+    pub decode_limits: DecodeLimits,
+}
+
+impl Default for ServerPolicy {
+    fn default() -> Self {
+        ServerPolicy {
+            max_connections: usize::MAX,
+            max_in_flight: usize::MAX,
+            max_in_flight_per_connection: usize::MAX,
+            max_overflow_threads: 256,
+            read_idle_timeout: None,
+            write_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+            decode_limits: DecodeLimits::default(),
+        }
+    }
+}
+
+impl ServerPolicy {
+    /// Caps concurrently accepted connections (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_connections(mut self, max: usize) -> ServerPolicy {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Caps server-wide concurrent dispatches (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_in_flight(mut self, max: usize) -> ServerPolicy {
+        self.max_in_flight = max.max(1);
+        self
+    }
+
+    /// Caps per-connection concurrent dispatches (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_in_flight_per_connection(mut self, max: usize) -> ServerPolicy {
+        self.max_in_flight_per_connection = max.max(1);
+        self
+    }
+
+    /// Caps transient worker-pool overflow threads (0 disables overflow:
+    /// when every resident worker is busy, requests shed immediately).
+    #[must_use]
+    pub fn with_max_overflow_threads(mut self, max: usize) -> ServerPolicy {
+        self.max_overflow_threads = max;
+        self
+    }
+
+    /// Drops connections idle longer than `timeout` (`None` = never).
+    #[must_use]
+    pub fn with_read_idle_timeout(mut self, timeout: Option<Duration>) -> ServerPolicy {
+        self.read_idle_timeout = timeout;
+        self
+    }
+
+    /// Disconnects clients too slow to consume replies (`None` = never).
+    #[must_use]
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> ServerPolicy {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Sets the graceful-drain budget for `shutdown_and_drain`.
+    #[must_use]
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> ServerPolicy {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Sets the wire decode limits enforced on everything the server reads.
+    #[must_use]
+    pub fn with_decode_limits(mut self, limits: DecodeLimits) -> ServerPolicy {
+        self.decode_limits = limits;
+        self
+    }
+}
+
+/// A point-in-time snapshot of one server's health, as reported by the
+/// built-in `_health` object and by [`Orb::server_health`](crate::Orb::server_health).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerHealth {
+    /// True while the server accepts and dispatches new requests; false
+    /// once a drain has begun.
+    pub accepting: bool,
+    /// Requests currently dispatched (or queued to workers).
+    pub in_flight: u64,
+    /// Connections currently open.
+    pub connections: u64,
+    /// Total requests shed with a `Busy` reply (or silently, for oneways)
+    /// since the server started.
+    pub shed_requests: u64,
+    /// Total connections refused at accept time since the server started.
+    pub shed_connections: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_effectively_unbounded() {
+        let p = ServerPolicy::default();
+        assert_eq!(p.max_connections, usize::MAX);
+        assert_eq!(p.max_in_flight, usize::MAX);
+        assert_eq!(p.max_in_flight_per_connection, usize::MAX);
+        assert!(p.read_idle_timeout.is_none());
+        assert!(p.write_timeout.is_none());
+        assert_eq!(p.decode_limits, DecodeLimits::default());
+    }
+
+    #[test]
+    fn builders_set_and_clamp() {
+        let p = ServerPolicy::default()
+            .with_max_connections(0)
+            .with_max_in_flight(0)
+            .with_max_in_flight_per_connection(0)
+            .with_max_overflow_threads(0)
+            .with_read_idle_timeout(Some(Duration::from_secs(30)))
+            .with_write_timeout(Some(Duration::from_secs(5)))
+            .with_drain_timeout(Duration::from_millis(250))
+            .with_decode_limits(DecodeLimits::strict());
+        assert_eq!(p.max_connections, 1, "caps clamp to >= 1");
+        assert_eq!(p.max_in_flight, 1);
+        assert_eq!(p.max_in_flight_per_connection, 1);
+        assert_eq!(p.max_overflow_threads, 0, "overflow may be disabled outright");
+        assert_eq!(p.read_idle_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(p.write_timeout, Some(Duration::from_secs(5)));
+        assert_eq!(p.drain_timeout, Duration::from_millis(250));
+        assert_eq!(p.decode_limits, DecodeLimits::strict());
+    }
+
+    #[test]
+    fn health_snapshot_defaults_to_zeroed_not_accepting() {
+        let h = ServerHealth::default();
+        assert!(!h.accepting);
+        assert_eq!(h.in_flight, 0);
+        assert_eq!(h.shed_requests, 0);
+    }
+}

@@ -38,15 +38,19 @@ pub enum RetryClass {
 
 /// Classifies an invocation error for retry safety.
 ///
-/// The connect path is the only place we *know* nothing was written, so
-/// only [`RmiError::ConnectFailed`] and [`RmiError::CircuitOpen`] are
-/// unconditionally [`RetryClass::Safe`]. Mid-call transport failures
-/// ([`RmiError::Io`], [`RmiError::Disconnected`]) are ambiguous — the
-/// request may already be executing — and everything that represents an
-/// answer or a local bug is [`RetryClass::Never`].
+/// Three failure shapes are *known* not to have executed the request:
+/// the connect path never wrote bytes ([`RmiError::ConnectFailed`],
+/// [`RmiError::CircuitOpen`]), and a [`RmiError::ServerBusy`] reply means
+/// the server shed the request *before* dispatching it to a servant.
+/// All three are unconditionally [`RetryClass::Safe`]. Mid-call transport
+/// failures ([`RmiError::Io`], [`RmiError::Disconnected`]) are ambiguous —
+/// the request may already be executing — and everything that represents
+/// an answer or a local bug is [`RetryClass::Never`].
 pub fn classify(err: &RmiError) -> RetryClass {
     match err {
-        RmiError::ConnectFailed { .. } | RmiError::CircuitOpen { .. } => RetryClass::Safe,
+        RmiError::ConnectFailed { .. }
+        | RmiError::CircuitOpen { .. }
+        | RmiError::ServerBusy { .. } => RetryClass::Safe,
         RmiError::Io(_) | RmiError::Disconnected => RetryClass::IfIdempotent,
         RmiError::Wire(_)
         | RmiError::BadReference { .. }
@@ -186,6 +190,15 @@ mod tests {
             retry_after: Duration::from_secs(1),
         };
         assert_eq!(classify(&open), RetryClass::Safe);
+    }
+
+    #[test]
+    fn classify_shed_requests_are_safe() {
+        // A Busy reply is sent before any servant dispatch, so retrying
+        // (with backoff, or on a failover endpoint) cannot duplicate work.
+        let busy = RmiError::ServerBusy { detail: "in-flight cap".into() };
+        assert_eq!(classify(&busy), RetryClass::Safe);
+        assert!(may_retry(&busy, false));
     }
 
     #[test]

@@ -16,76 +16,257 @@
 //! demultiplexes by id), so one slow servant cannot head-of-line-block the
 //! connection. `oneway` requests are dispatched inline on the reader,
 //! preserving the oneway-then-call ordering a single client observes.
+//!
+//! Every stage applies the ORB's `ServerPolicy`: connections beyond
+//! `max_connections` are refused at `accept`, requests beyond the global or
+//! per-connection in-flight caps (or beyond the worker pool's overflow
+//! budget, or arriving during a drain) are shed with a `Busy` reply before
+//! any servant runs, and everything the server reads is deframed and
+//! decoded under the policy's `DecodeLimits`. The built-in `_health`
+//! object (well-known id `0`) reports the resulting counters.
 
-use crate::call::{peek_reply_id, peek_request_header, IncomingCall, ReplyBuilder, ReplyStatus};
+use crate::call::{
+    peek_reply_id, peek_request_header_limited, peek_target_object_id, IncomingCall, ReplyBuilder,
+    ReplyStatus,
+};
 use crate::communicator::ObjectCommunicator;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
 use crate::orb::Orb;
+use crate::policy::{ServerHealth, ServerPolicy};
 use crate::skeleton::{DispatchOutcome, Skeleton};
 use crate::transport::{TcpTransport, Transport};
 use parking_lot::Mutex;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Resident dispatch threads per server; requests beyond this run on
-/// transient overflow threads so a dispatch that itself blocks (e.g. on a
-/// nested remote call) can never starve the pool.
+/// transient overflow threads (bounded by the policy) so a dispatch that
+/// itself blocks (e.g. on a nested remote call) can never starve the pool.
 const WORKER_THREADS: usize = 4;
+
+/// Well-known object id of the built-in `_health` object every server
+/// serves. Exported ids start at 1, so 0 can never collide.
+pub const HEALTH_OBJECT_ID: u64 = 0;
+
+/// Repository id of the built-in `_health` object.
+pub const HEALTH_TYPE_ID: &str = "IDL:heidl/Health:1.0";
+
+/// Counters and policy shared by the accept loop, every connection
+/// reader, every dispatch, and the drain path.
+pub(crate) struct ServerShared {
+    policy: ServerPolicy,
+    /// Set once a drain begins: new requests are shed, accepts refused.
+    draining: AtomicBool,
+    /// Requests currently admitted (dispatching or queued to workers).
+    in_flight: AtomicUsize,
+    /// Connections currently open.
+    connections: AtomicUsize,
+    /// Requests shed with `Busy` (or silently, for oneways) since start.
+    shed_requests: AtomicU64,
+    /// Connections refused at accept time since start.
+    shed_connections: AtomicU64,
+    /// Live connections' write halves, for force-close at drain timeout.
+    conns: Mutex<HashMap<u64, Weak<ReplyWriter>>>,
+    next_conn_id: AtomicU64,
+}
+
+impl ServerShared {
+    fn new(policy: ServerPolicy) -> ServerShared {
+        ServerShared {
+            policy,
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            shed_requests: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Admission control for one request. On success the returned guard
+    /// holds both the global and the per-connection in-flight slot until
+    /// the dispatch (and its reply write) completes; on refusal the error
+    /// names the cap so the `Busy` reply is diagnosable over telnet.
+    fn try_admit(self: &Arc<Self>, per_conn: &Arc<AtomicUsize>) -> Result<InFlightGuard, String> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err("draining for shutdown".to_owned());
+        }
+        if per_conn.fetch_add(1, Ordering::SeqCst) >= self.policy.max_in_flight_per_connection {
+            per_conn.fetch_sub(1, Ordering::SeqCst);
+            return Err(format!(
+                "per-connection in-flight cap ({}) reached",
+                self.policy.max_in_flight_per_connection
+            ));
+        }
+        if self.in_flight.fetch_add(1, Ordering::SeqCst) >= self.policy.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            per_conn.fetch_sub(1, Ordering::SeqCst);
+            return Err(format!("in-flight cap ({}) reached", self.policy.max_in_flight));
+        }
+        Ok(InFlightGuard { shared: Arc::clone(self), per_conn: Arc::clone(per_conn) })
+    }
+
+    fn shed_request(&self) {
+        self.shed_requests.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerHealth {
+        ServerHealth {
+            accepting: !self.draining.load(Ordering::SeqCst),
+            in_flight: self.in_flight.load(Ordering::SeqCst) as u64,
+            connections: self.connections.load(Ordering::SeqCst) as u64,
+            shed_requests: self.shed_requests.load(Ordering::SeqCst),
+            shed_connections: self.shed_connections.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Releases a request's global and per-connection in-flight slots. Owned
+/// by the dispatch job, so the slots stay held until the reply is written.
+struct InFlightGuard {
+    shared: Arc<ServerShared>,
+    per_conn: Arc<AtomicUsize>,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.per_conn.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Releases a connection's slot in the accept-time connection count.
+struct ConnGuard {
+    shared: Arc<ServerShared>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A running bootstrap-port server.
 pub(crate) struct ServerHandle {
     endpoint: Endpoint,
+    local: SocketAddr,
     running: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    shared: Arc<ServerShared>,
 }
 
 impl ServerHandle {
-    /// Binds `addr` and starts the accept loop.
+    /// Binds `addr` and starts the accept loop under the ORB's
+    /// `ServerPolicy`.
     pub(crate) fn start(addr: &str, orb: Orb) -> RmiResult<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let endpoint = Endpoint::new(orb.protocol().name(), local.ip().to_string(), local.port());
         let running = Arc::new(AtomicBool::new(true));
         let flag = Arc::clone(&running);
-        let workers = Arc::new(WorkerPool::new(WORKER_THREADS));
+        let policy = orb.server_policy().clone();
+        let workers = Arc::new(WorkerPool::new(WORKER_THREADS, policy.max_overflow_threads));
+        let shared = Arc::new(ServerShared::new(policy));
+        let loop_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
             .name(format!("heidl-accept-{}", local.port()))
-            .spawn(move || accept_loop(listener, orb, flag, workers))
+            .spawn(move || accept_loop(listener, orb, flag, workers, loop_shared))
             .map_err(RmiError::Io)?;
-        Ok(ServerHandle { endpoint, running, acceptor: Some(acceptor) })
+        Ok(ServerHandle { endpoint, local, running, acceptor: Some(acceptor), shared })
     }
 
     pub(crate) fn endpoint(&self) -> &Endpoint {
         &self.endpoint
     }
 
-    /// Stops the accept loop (a self-connection unblocks `accept`).
+    pub(crate) fn health(&self) -> ServerHealth {
+        self.shared.snapshot()
+    }
+
+    /// Stops the accept loop immediately; in-flight dispatches race the
+    /// process teardown (the historical `shutdown()` semantics).
     pub(crate) fn stop(mut self) {
+        self.halt_accepting();
+    }
+
+    /// Graceful drain: stop accepting, shed new requests with `Busy`,
+    /// wait up to the policy's `drain_timeout` for in-flight dispatches,
+    /// then force-close every remaining connection. Returns `true` when
+    /// everything in flight completed within the budget.
+    pub(crate) fn stop_and_drain(mut self) -> bool {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.halt_accepting();
+        let deadline = Instant::now() + self.shared.policy.drain_timeout;
+        let drained = loop {
+            if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        // Force-close whatever is left (all connections when drained — the
+        // readers are idle-blocked — plus any overrunning dispatch's):
+        // shutting the socket down gives each reader EOF, so every
+        // `heidl-conn` thread exits promptly.
+        let writers: Vec<_> = self.shared.conns.lock().drain().collect();
+        for (_, weak) in writers {
+            if let Some(writer) = weak.upgrade() {
+                writer.transport.lock().shutdown();
+            }
+        }
+        drained
+    }
+
+    fn halt_accepting(&mut self) {
         self.running.store(false, Ordering::SeqCst);
-        // Nudge the blocking accept() so it observes the flag.
-        let _ = TcpStream::connect((self.endpoint.host.as_str(), self.endpoint.port));
+        // Nudge the blocking accept() so it observes the flag. Connect via
+        // loopback: the bind address may be unroutable as a *destination*
+        // (`0.0.0.0` / `::`), but the listener is always reachable on the
+        // loopback of its own address family.
+        let _ = TcpStream::connect_timeout(&self.nudge_addr(), Duration::from_millis(250));
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
+    }
+
+    fn nudge_addr(&self) -> SocketAddr {
+        let mut addr = self.local;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match self.local {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        addr
     }
 }
 
 type Job = Box<dyn FnOnce() + Send>;
 
-/// A small fixed pool of dispatch threads with overflow: when every
-/// resident worker is occupied, the job runs on a transient thread
-/// instead of queueing behind a potentially blocked dispatch.
+/// A small fixed pool of dispatch threads with *bounded* overflow: when
+/// every resident worker is occupied, the job runs on a transient thread
+/// instead of queueing behind a potentially blocked dispatch — but only
+/// up to the policy's overflow budget. Past that, `submit` refuses and
+/// the caller sheds the request with `Busy` instead of letting a slow
+/// servant grow one thread per queued request without bound.
 struct WorkerPool {
     tx: crossbeam::channel::Sender<Job>,
     busy: Arc<AtomicUsize>,
     workers: usize,
+    overflow: Arc<AtomicUsize>,
+    max_overflow: usize,
 }
 
 impl WorkerPool {
-    fn new(workers: usize) -> WorkerPool {
+    fn new(workers: usize, max_overflow: usize) -> WorkerPool {
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
         let busy = Arc::new(AtomicUsize::new(0));
         for i in 0..workers {
@@ -99,22 +280,39 @@ impl WorkerPool {
                     }
                 });
         }
-        WorkerPool { tx, busy, workers }
+        WorkerPool { tx, busy, workers, overflow: Arc::new(AtomicUsize::new(0)), max_overflow }
     }
 
-    fn submit(&self, job: Job) {
+    /// Runs `job` on a resident worker or a transient overflow thread.
+    /// Returns `false` (dropping the job unrun) when every resident
+    /// worker is busy and the overflow budget is exhausted.
+    fn submit(&self, job: Job) -> bool {
         // `busy` counts submitted-but-unfinished pool jobs; the check is a
         // heuristic (races only cost an occasional extra thread), but it
         // guarantees a job is never queued behind `workers` blocked ones.
         if self.busy.load(Ordering::SeqCst) < self.workers {
             self.busy.fetch_add(1, Ordering::SeqCst);
             if self.tx.send(job).is_ok() {
-                return;
+                return true;
             }
             self.busy.fetch_sub(1, Ordering::SeqCst);
-            return;
+            return false;
         }
-        let _ = std::thread::Builder::new().name("heidl-overflow".to_owned()).spawn(job);
+        if self.overflow.fetch_add(1, Ordering::SeqCst) >= self.max_overflow {
+            self.overflow.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        let overflow = Arc::clone(&self.overflow);
+        let spawned =
+            std::thread::Builder::new().name("heidl-overflow".to_owned()).spawn(move || {
+                job();
+                overflow.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            self.overflow.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
     }
 }
 
@@ -129,6 +327,7 @@ fn accept_loop(
     orb: Orb,
     running: Arc<AtomicBool>,
     workers: Arc<WorkerPool>,
+    shared: Arc<ServerShared>,
 ) {
     // When HEIDL_FAULT_PLAN is set (demo servers, chaos runs), every
     // accepted transport is wrapped in a fault injector driven by it.
@@ -153,7 +352,22 @@ fn accept_loop(
                 continue;
             }
         };
+        // Connection admission: over the cap (or draining), close
+        // immediately — cheaper than a reader thread per rejected peer.
+        if shared.connections.load(Ordering::SeqCst) >= shared.policy.max_connections
+            || shared.draining.load(Ordering::SeqCst)
+        {
+            shared.shed_connections.fetch_add(1, Ordering::SeqCst);
+            drop(stream);
+            continue;
+        }
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        let conn_guard = ConnGuard { shared: Arc::clone(&shared) };
         let Ok(transport) = TcpTransport::from_stream(stream) else { continue };
+        // Slow-client protection: an idle reader or a blocked reply write
+        // times out at the socket, tearing the connection down.
+        let _ =
+            transport.set_timeouts(shared.policy.read_idle_timeout, shared.policy.write_timeout);
         let mut transport: Box<dyn Transport> = Box::new(transport);
         if let Some(plan) = &fault_plan {
             let label = transport.peer();
@@ -162,9 +376,11 @@ fn accept_loop(
         }
         let conn_orb = orb.clone();
         let conn_workers = Arc::clone(&workers);
-        let _ = std::thread::Builder::new()
-            .name("heidl-conn".to_owned())
-            .spawn(move || connection_loop(transport, conn_orb, conn_workers));
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new().name("heidl-conn".to_owned()).spawn(move || {
+            let _conn_guard = conn_guard;
+            connection_loop(transport, conn_orb, conn_workers, conn_shared);
+        });
     }
 }
 
@@ -185,36 +401,91 @@ impl ReplyWriter {
 }
 
 /// Serves one connection until the peer closes it: the reader thread
-/// deframes and routes, workers dispatch and reply.
-fn connection_loop(transport: Box<dyn Transport>, orb: Orb, workers: Arc<WorkerPool>) {
+/// deframes and routes (shedding what admission control refuses),
+/// workers dispatch and reply.
+fn connection_loop(
+    transport: Box<dyn Transport>,
+    orb: Orb,
+    workers: Arc<WorkerPool>,
+    shared: Arc<ServerShared>,
+) {
     let protocol = Arc::clone(orb.protocol());
+    let limits = shared.policy.decode_limits;
     // Fig 5 (1): wrap the read half in a new ObjectCommunicator.
     let Ok((write_half, read_half)) = transport.split() else { return };
     let writer = Arc::new(ReplyWriter {
         transport: Mutex::new(write_half),
         protocol: Arc::clone(&protocol),
     });
-    let mut comm = ObjectCommunicator::new(read_half, Arc::clone(&protocol));
+    // Register for force-close at drain timeout; deregister on exit.
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    shared.conns.lock().insert(conn_id, Arc::downgrade(&writer));
+    // This connection's share of the in-flight budget.
+    let per_conn = Arc::new(AtomicUsize::new(0));
+    let mut comm = ObjectCommunicator::with_limits(read_half, Arc::clone(&protocol), limits);
     while let Ok(Some(body)) = comm.recv() {
-        match peek_request_header(&body, protocol.as_ref()) {
-            // oneway: dispatch inline so a client's oneway-then-call
-            // sequence executes in order; there is no reply to write.
-            Ok((_, false)) => {
-                let _ = handle_request(body, &orb);
-            }
-            Ok((_, true)) => {
-                let job_orb = orb.clone();
-                let job_writer = Arc::clone(&writer);
-                workers.submit(Box::new(move || {
-                    if let Some(reply) = handle_request(body, &job_orb) {
-                        let _ = job_writer.send(&reply);
+        match peek_request_header_limited(&body, protocol.as_ref(), &limits) {
+            // `_health` probes bypass admission control and dispatch
+            // inline on the reader (they are cheap and run no servant
+            // code): overload or drain must never blind observability.
+            Ok(_)
+                if peek_target_object_id(&body, protocol.as_ref(), &limits)
+                    .is_ok_and(|id| id == HEALTH_OBJECT_ID) =>
+            {
+                if let Some(reply) = handle_request(body, &orb, &shared) {
+                    if writer.send(&reply).is_err() {
+                        break;
                     }
-                }));
+                }
             }
+            // oneway: dispatch inline so a client's oneway-then-call
+            // sequence executes in order; there is no reply to write, so
+            // an overload shed is silent (but counted).
+            Ok((_, false)) => match shared.try_admit(&per_conn) {
+                Ok(guard) => {
+                    let _ = handle_request(body, &orb, &shared);
+                    drop(guard);
+                }
+                Err(_) => shared.shed_request(),
+            },
+            Ok((request_id, true)) => match shared.try_admit(&per_conn) {
+                Ok(guard) => {
+                    let job_orb = orb.clone();
+                    let job_writer = Arc::clone(&writer);
+                    let job_shared = Arc::clone(&shared);
+                    let accepted = workers.submit(Box::new(move || {
+                        // The guard lives until the reply is on the wire.
+                        let _guard = guard;
+                        if let Some(reply) = handle_request(body, &job_orb, &job_shared) {
+                            let _ = job_writer.send(&reply);
+                        }
+                    }));
+                    if !accepted {
+                        // The dropped job released its guard; tell the
+                        // client to back off.
+                        shared.shed_request();
+                        let busy = ReplyBuilder::busy(
+                            protocol.as_ref(),
+                            request_id,
+                            "worker pool overflow cap reached",
+                        );
+                        if writer.send(&busy).is_err() {
+                            break;
+                        }
+                    }
+                }
+                Err(reason) => {
+                    shared.shed_request();
+                    let busy = ReplyBuilder::busy(protocol.as_ref(), request_id, &reason);
+                    if writer.send(&busy).is_err() {
+                        break;
+                    }
+                }
+            },
             // Unparsable header — diagnose inline (a telnet user who
             // mistyped wants the error back immediately).
             Err(_) => {
-                if let Some(reply) = handle_request(body, &orb) {
+                if let Some(reply) = handle_request(body, &orb, &shared) {
                     if writer.send(&reply).is_err() {
                         break;
                     }
@@ -222,40 +493,87 @@ fn connection_loop(transport: Box<dyn Transport>, orb: Orb, workers: Arc<WorkerP
             }
         }
     }
+    shared.conns.lock().remove(&conn_id);
 }
 
 /// Fig 5 (2)-(4): decode the request, select the skeleton by object id,
 /// dispatch (recursively up the inheritance chain), and build the reply.
 /// Returns `None` for `oneway` requests, which must not be answered.
-pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb) -> Option<Vec<u8>> {
+pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb, shared: &ServerShared) -> Option<Vec<u8>> {
     let protocol = Arc::clone(orb.protocol());
     // Best-effort id for diagnostics on unparsable requests: both message
     // kinds lead with the id, so the reply-peek works on requests too.
     let fallback_id = peek_reply_id(&body, protocol.as_ref()).unwrap_or(0);
-    let mut incoming = match IncomingCall::parse(body, protocol.as_ref()) {
-        Ok(c) => c,
-        Err(e) => {
-            // The header did not parse, so we cannot know whether a reply
-            // is expected; send the diagnostic (a telnet user wants it).
-            return Some(ReplyBuilder::exception(
-                protocol.as_ref(),
-                fallback_id,
-                ReplyStatus::SystemException,
-                "IDL:heidl/BadRequest:1.0",
-                &e.to_string(),
-            ));
-        }
-    };
-    let reply_body = dispatch_request(&mut incoming, orb, &protocol);
+    let mut incoming =
+        match IncomingCall::parse_limited(body, protocol.as_ref(), &shared.policy.decode_limits) {
+            Ok(c) => c,
+            Err(e) => {
+                // The header did not parse, so we cannot know whether a reply
+                // is expected; send the diagnostic (a telnet user wants it).
+                return Some(ReplyBuilder::exception(
+                    protocol.as_ref(),
+                    fallback_id,
+                    ReplyStatus::SystemException,
+                    "IDL:heidl/BadRequest:1.0",
+                    &e.to_string(),
+                ));
+            }
+        };
+    let reply_body = dispatch_request(&mut incoming, orb, shared, &protocol);
     incoming.response_expected.then_some(reply_body)
+}
+
+/// Serves the built-in `_health` object: `ping` echoes liveness, `report`
+/// marshals the [`ServerHealth`] snapshot as `bool accepting · ulonglong
+/// in-flight · ulonglong connections · ulonglong shed-requests ·
+/// ulonglong shed-connections`. Readable over telnet like any servant.
+fn dispatch_health(
+    incoming: &IncomingCall,
+    shared: &ServerShared,
+    protocol: &Arc<dyn heidl_wire::Protocol>,
+) -> Vec<u8> {
+    let mut reply = ReplyBuilder::ok(protocol.as_ref(), incoming.request_id);
+    match incoming.method.as_str() {
+        "ping" => reply.results().put_string("pong"),
+        "report" => {
+            let h = shared.snapshot();
+            let enc = reply.results();
+            enc.put_bool(h.accepting);
+            enc.put_ulonglong(h.in_flight);
+            enc.put_ulonglong(h.connections);
+            enc.put_ulonglong(h.shed_requests);
+            enc.put_ulonglong(h.shed_connections);
+        }
+        other => {
+            return ReplyBuilder::exception(
+                protocol.as_ref(),
+                incoming.request_id,
+                ReplyStatus::SystemException,
+                "IDL:heidl/UnknownMethod:1.0",
+                &RmiError::UnknownMethod {
+                    type_id: HEALTH_TYPE_ID.to_owned(),
+                    method: other.to_owned(),
+                }
+                .to_string(),
+            );
+        }
+    }
+    reply.into_body()
 }
 
 fn dispatch_request(
     incoming: &mut IncomingCall,
     orb: &Orb,
+    shared: &ServerShared,
     protocol: &Arc<dyn heidl_wire::Protocol>,
 ) -> Vec<u8> {
     let request_id = incoming.request_id;
+    // The well-known health object is served by the runtime itself, not
+    // the skeleton registry (so `skeleton_count()` stays the number of
+    // application exports).
+    if incoming.target.object_id == HEALTH_OBJECT_ID {
+        return dispatch_health(incoming, shared, protocol);
+    }
     let skeleton = {
         let objects = orb.inner.objects.read();
         objects.get(&incoming.target.object_id).cloned()

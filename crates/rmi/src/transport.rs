@@ -97,6 +97,22 @@ impl TcpTransport {
         stream.set_nodelay(true)?;
         Ok(TcpTransport { stream })
     }
+
+    /// Applies socket-level read/write timeouts (`None` leaves a
+    /// direction unbounded). Servers use these to reclaim readers from
+    /// idle clients and writers from clients too slow to consume replies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_timeouts(
+        &self,
+        read: Option<std::time::Duration>,
+        write: Option<std::time::Duration>,
+    ) -> io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
 }
 
 impl Transport for TcpTransport {

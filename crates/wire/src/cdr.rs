@@ -27,10 +27,7 @@
 
 use crate::codec::{Decoder, Encoder};
 use crate::error::{WireError, WireResult};
-
-/// Hard sanity bound on decoded string/sequence byte lengths, to stop a
-/// corrupt length prefix from allocating gigabytes.
-const MAX_LEN: u32 = 64 * 1024 * 1024;
+use crate::limits::DecodeLimits;
 
 /// Encoder for the CDR binary protocol.
 ///
@@ -150,12 +147,21 @@ pub struct CdrDecoder {
     buf: Vec<u8>,
     pos: usize,
     depth: u32,
+    limits: DecodeLimits,
 }
 
 impl CdrDecoder {
-    /// Wraps a message body for decoding.
+    /// Wraps a message body for decoding with [`DecodeLimits::default`]
+    /// (the historical 64 MiB sanity bound).
     pub fn new(buf: Vec<u8>) -> Self {
-        CdrDecoder { buf, pos: 0, depth: 0 }
+        CdrDecoder::with_limits(buf, DecodeLimits::default())
+    }
+
+    /// Wraps a message body for decoding under explicit [`DecodeLimits`]:
+    /// a length prefix beyond the string/sequence bounds, or nesting past
+    /// the depth bound, fails cleanly instead of allocating.
+    pub fn with_limits(buf: Vec<u8>, limits: DecodeLimits) -> Self {
+        CdrDecoder { buf, pos: 0, depth: 0, limits }
     }
 
     fn align(&mut self, n: usize) {
@@ -243,8 +249,9 @@ impl Decoder for CdrDecoder {
 
     fn get_string(&mut self) -> WireResult<String> {
         let len = self.get_ulong()?;
-        if len == 0 || len > MAX_LEN {
-            return Err(WireError::Bounds { what: "string", len: len.into(), max: MAX_LEN.into() });
+        let max = self.limits.max_string_bytes;
+        if len == 0 || len > max {
+            return Err(WireError::Bounds { what: "string", len: len.into(), max: max.into() });
         }
         let bytes = self.take(len as usize, "string body")?;
         let (body, nul) = bytes.split_at(len as usize - 1);
@@ -262,13 +269,21 @@ impl Decoder for CdrDecoder {
 
     fn get_len(&mut self) -> WireResult<u32> {
         let n = self.get_ulong()?;
-        if n > MAX_LEN {
-            return Err(WireError::Bounds { what: "sequence", len: n.into(), max: MAX_LEN.into() });
+        let max = self.limits.max_sequence_len;
+        if n > max {
+            return Err(WireError::Bounds { what: "sequence", len: n.into(), max: max.into() });
         }
         Ok(n)
     }
 
     fn begin(&mut self) -> WireResult<()> {
+        if self.depth >= self.limits.max_depth {
+            return Err(WireError::Bounds {
+                what: "nesting depth",
+                len: u64::from(self.depth) + 1,
+                max: self.limits.max_depth.into(),
+            });
+        }
         self.depth += 1;
         Ok(())
     }
@@ -366,6 +381,39 @@ mod tests {
         assert_eq!(enc.finish(), vec![9]);
         enc.put_octet(8);
         assert_eq!(enc.finish(), vec![8]);
+    }
+
+    #[test]
+    fn custom_limits_bound_strings_sequences_and_depth() {
+        let limits = DecodeLimits::default()
+            .with_max_string_bytes(4)
+            .with_max_sequence_len(2)
+            .with_max_depth(1);
+        // String longer than the bound: rejected before the body is read.
+        let mut enc = CdrEncoder::new();
+        enc.put_string("too long");
+        let mut dec = CdrDecoder::with_limits(enc.finish(), limits);
+        assert!(matches!(dec.get_string(), Err(WireError::Bounds { what: "string", .. })));
+        // Sequence length beyond the bound.
+        let mut enc = CdrEncoder::new();
+        enc.put_len(3);
+        let mut dec = CdrDecoder::with_limits(enc.finish(), limits);
+        assert!(matches!(dec.get_len(), Err(WireError::Bounds { what: "sequence", .. })));
+        // Nesting past the depth bound.
+        let mut dec = CdrDecoder::with_limits(vec![], limits);
+        dec.begin().unwrap();
+        assert!(matches!(dec.begin(), Err(WireError::Bounds { what: "nesting depth", .. })));
+    }
+
+    #[test]
+    fn within_limit_values_still_decode() {
+        let limits = DecodeLimits::default().with_max_string_bytes(16).with_max_sequence_len(8);
+        let mut enc = CdrEncoder::new();
+        enc.put_string("ok");
+        enc.put_len(8);
+        let mut dec = CdrDecoder::with_limits(enc.finish(), limits);
+        assert_eq!(dec.get_string().unwrap(), "ok");
+        assert_eq!(dec.get_len().unwrap(), 8);
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub enum WireError {
         detail: String,
     },
     /// A bounded value exceeded its bound, or a length prefix was absurd.
+    /// Raised whenever a [`DecodeLimits`](crate::DecodeLimits) bound —
+    /// frame bytes, string bytes, sequence length, nesting depth — is
+    /// violated, always *before* the offending allocation happens.
     Bounds {
         /// What was being decoded.
         what: &'static str,

@@ -32,6 +32,7 @@
 pub mod cdr;
 pub mod codec;
 pub mod error;
+pub mod limits;
 pub mod plan;
 pub mod protocol;
 pub mod text;
@@ -39,6 +40,7 @@ pub mod text;
 pub use cdr::{CdrDecoder, CdrEncoder};
 pub use codec::{Decoder, Encoder};
 pub use error::{WireError, WireResult};
+pub use limits::DecodeLimits;
 pub use plan::{CdrStructPlan, FieldKind, PlanValue};
 pub use protocol::{by_name, CdrProtocol, Protocol, TextProtocol};
 pub use text::{TextDecoder, TextEncoder};

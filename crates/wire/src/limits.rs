@@ -1,0 +1,133 @@
+//! Decode limits: the wire-level half of server overload protection.
+//!
+//! Length-prefixed protocols invite a classic attack: a frame whose
+//! length field says "4 GB" costs the sender 12 bytes and the receiver an
+//! allocation. [`DecodeLimits`] bounds everything a decoder allocates on
+//! behalf of the peer — frame size, string bytes, sequence lengths, and
+//! `begin`/`end` nesting depth — so hostile input is a clean
+//! [`WireError`](crate::WireError), never an out-of-memory.
+//!
+//! Both codecs enforce the same limits uniformly: the CDR decoder checks
+//! its binary length prefixes, the text decoder checks token sizes and
+//! parsed lengths, and both framers check the frame bound before
+//! buffering. The defaults reproduce the historical hard-coded 64 MiB
+//! sanity bound, so existing deployments see no behavior change; servers
+//! tighten them per deployment via `ServerPolicy` in `heidl-rmi`.
+
+/// Upper bounds a decoder enforces against hostile or corrupt input.
+///
+/// ```
+/// use heidl_wire::{CdrDecoder, Decoder, DecodeLimits, Encoder, CdrEncoder, WireError};
+///
+/// let mut enc = CdrEncoder::new();
+/// enc.put_ulong(u32::MAX); // an absurd string length prefix
+/// let limits = DecodeLimits::default().with_max_string_bytes(1024);
+/// let mut dec = CdrDecoder::with_limits(enc.finish(), limits);
+/// assert!(matches!(dec.get_string(), Err(WireError::Bounds { .. })));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Largest frame (message body plus framing) accepted off the stream.
+    /// The deframers reject oversized length prefixes before buffering and
+    /// cap how many bytes may be buffered while hunting for a delimiter.
+    pub max_frame_bytes: u64,
+    /// Largest decoded string, in bytes (including the CDR NUL).
+    pub max_string_bytes: u32,
+    /// Largest sequence length prefix [`get_len`](crate::Decoder::get_len)
+    /// will hand back.
+    pub max_sequence_len: u32,
+    /// Deepest `begin`/`end` nesting a decoder will follow.
+    pub max_depth: u32,
+}
+
+/// The historical hard sanity bound (64 MiB) both codecs shipped with.
+const LEGACY_MAX: u32 = 64 * 1024 * 1024;
+
+impl Default for DecodeLimits {
+    /// Matches the pre-limits behavior: 64 MiB frames/strings/sequences,
+    /// nesting bounded at 256 (effectively unbounded for real IDL types).
+    fn default() -> Self {
+        DecodeLimits {
+            max_frame_bytes: LEGACY_MAX as u64,
+            max_string_bytes: LEGACY_MAX,
+            max_sequence_len: LEGACY_MAX,
+            max_depth: 256,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// Tight limits suitable for an internet-facing bootstrap port:
+    /// 1 MiB frames, 256 KiB strings, 64 Ki sequence elements, depth 32.
+    pub fn strict() -> DecodeLimits {
+        DecodeLimits {
+            max_frame_bytes: 1024 * 1024,
+            max_string_bytes: 256 * 1024,
+            max_sequence_len: 64 * 1024,
+            max_depth: 32,
+        }
+    }
+
+    /// Sets the frame bound (clamped to ≥ 64 bytes so headers still fit).
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, max: u64) -> DecodeLimits {
+        self.max_frame_bytes = max.max(64);
+        self
+    }
+
+    /// Sets the string bound (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_string_bytes(mut self, max: u32) -> DecodeLimits {
+        self.max_string_bytes = max.max(1);
+        self
+    }
+
+    /// Sets the sequence-length bound.
+    #[must_use]
+    pub fn with_max_sequence_len(mut self, max: u32) -> DecodeLimits {
+        self.max_sequence_len = max;
+        self
+    }
+
+    /// Sets the nesting-depth bound (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_depth(mut self, max: u32) -> DecodeLimits {
+        self.max_depth = max.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_the_legacy_bound() {
+        let d = DecodeLimits::default();
+        assert_eq!(d.max_frame_bytes, 64 * 1024 * 1024);
+        assert_eq!(d.max_string_bytes, 64 * 1024 * 1024);
+        assert_eq!(d.max_sequence_len, 64 * 1024 * 1024);
+        assert!(d.max_depth >= 64);
+    }
+
+    #[test]
+    fn builders_clamp_degenerate_values() {
+        let d = DecodeLimits::default()
+            .with_max_frame_bytes(0)
+            .with_max_string_bytes(0)
+            .with_max_depth(0);
+        assert_eq!(d.max_frame_bytes, 64);
+        assert_eq!(d.max_string_bytes, 1);
+        assert_eq!(d.max_depth, 1);
+    }
+
+    #[test]
+    fn strict_is_tighter_than_default() {
+        let s = DecodeLimits::strict();
+        let d = DecodeLimits::default();
+        assert!(s.max_frame_bytes < d.max_frame_bytes);
+        assert!(s.max_string_bytes < d.max_string_bytes);
+        assert!(s.max_sequence_len < d.max_sequence_len);
+        assert!(s.max_depth < d.max_depth);
+    }
+}

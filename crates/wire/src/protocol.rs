@@ -20,6 +20,7 @@
 use crate::cdr::{CdrDecoder, CdrEncoder};
 use crate::codec::{Decoder, Encoder};
 use crate::error::{WireError, WireResult};
+use crate::limits::DecodeLimits;
 use crate::text::{TextDecoder, TextEncoder};
 use std::fmt;
 
@@ -50,6 +51,42 @@ pub trait Protocol: Send + Sync + fmt::Debug {
     /// Fails on stream corruption (bad magic, oversized length, embedded
     /// framing bytes).
     fn deframe(&self, buf: &mut Vec<u8>) -> WireResult<Option<Vec<u8>>>;
+
+    /// Creates a decoder enforcing explicit [`DecodeLimits`]. The default
+    /// implementation ignores the limits (third-party protocols keep
+    /// compiling); both shipped protocols override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Protocol::decoder`], plus limit violations surfaced while the
+    /// body is tokenized (text protocol).
+    fn decoder_with_limits(
+        &self,
+        body: Vec<u8>,
+        limits: &DecodeLimits,
+    ) -> WireResult<Box<dyn Decoder>> {
+        let _ = limits;
+        self.decoder(body)
+    }
+
+    /// Deframes under explicit [`DecodeLimits`]: an oversized length
+    /// prefix (or a delimiter search that has already buffered more than
+    /// `max_frame_bytes`) is a clean error before any allocation. The
+    /// default implementation ignores the limits; both shipped protocols
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Protocol::deframe`], plus [`WireError::Bounds`] when a frame
+    /// exceeds `limits.max_frame_bytes`.
+    fn deframe_limited(
+        &self,
+        buf: &mut Vec<u8>,
+        limits: &DecodeLimits,
+    ) -> WireResult<Option<Vec<u8>>> {
+        let _ = limits;
+        self.deframe(buf)
+    }
 }
 
 /// The HeidiRMI text protocol: one newline-terminated line per message.
@@ -89,6 +126,34 @@ impl Protocol for TextProtocol {
             line.pop();
         }
         Ok(Some(line))
+    }
+
+    fn decoder_with_limits(
+        &self,
+        body: Vec<u8>,
+        limits: &DecodeLimits,
+    ) -> WireResult<Box<dyn Decoder>> {
+        Ok(Box::new(TextDecoder::with_limits(&body, *limits)?))
+    }
+
+    fn deframe_limited(
+        &self,
+        buf: &mut Vec<u8>,
+        limits: &DecodeLimits,
+    ) -> WireResult<Option<Vec<u8>>> {
+        // A line with no terminator has no length prefix to check, so the
+        // bound is on *buffered* bytes: a peer streaming gigabytes without
+        // ever sending `\n` must not grow our buffer forever.
+        let line = self.deframe(buf)?;
+        let buffered = line.as_ref().map_or(buf.len(), Vec::len);
+        if buffered as u64 > limits.max_frame_bytes {
+            return Err(WireError::Bounds {
+                what: "text frame",
+                len: buffered as u64,
+                max: limits.max_frame_bytes,
+            });
+        }
+        Ok(line)
     }
 }
 
@@ -156,6 +221,32 @@ impl Protocol for CdrProtocol {
         }
         let frame: Vec<u8> = buf.drain(..total).collect();
         Ok(Some(frame[GIOP_HEADER_LEN..].to_vec()))
+    }
+
+    fn decoder_with_limits(
+        &self,
+        body: Vec<u8>,
+        limits: &DecodeLimits,
+    ) -> WireResult<Box<dyn Decoder>> {
+        Ok(Box::new(CdrDecoder::with_limits(body, *limits)))
+    }
+
+    fn deframe_limited(
+        &self,
+        buf: &mut Vec<u8>,
+        limits: &DecodeLimits,
+    ) -> WireResult<Option<Vec<u8>>> {
+        // The declared body length is checked against the policy bound
+        // *before* waiting for (or allocating room for) the body: a 4 GB
+        // length prefix costs the attacker 12 bytes and us nothing.
+        if buf.len() >= GIOP_HEADER_LEN && &buf[..4] == GIOP_MAGIC {
+            let len = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+            let max = limits.max_frame_bytes.min(u64::from(MAX_BODY));
+            if u64::from(len) > max {
+                return Err(WireError::Bounds { what: "GIOP body", len: len.into(), max });
+            }
+        }
+        self.deframe(buf)
     }
 }
 
@@ -267,6 +358,59 @@ mod tests {
     fn protocol_names() {
         assert_eq!(TextProtocol.name(), "tcp");
         assert_eq!(CdrProtocol.name(), "giop");
+    }
+
+    #[test]
+    fn limited_deframe_bounds_text_buffering() {
+        let limits = DecodeLimits::default().with_max_frame_bytes(64);
+        // Under the bound, behaves exactly like deframe.
+        let mut buf = b"\"ping\" 1\n".to_vec();
+        assert_eq!(
+            TextProtocol.deframe_limited(&mut buf, &limits).unwrap().unwrap(),
+            b"\"ping\" 1"
+        );
+        // A line that never ends stops being buffered at the bound.
+        let mut buf = vec![b'x'; 65];
+        assert!(matches!(
+            TextProtocol.deframe_limited(&mut buf, &limits),
+            Err(WireError::Bounds { what: "text frame", .. })
+        ));
+        // A complete line over the bound is rejected too.
+        let mut buf = vec![b'1'; 65];
+        buf.push(b'\n');
+        assert!(TextProtocol.deframe_limited(&mut buf, &limits).is_err());
+    }
+
+    #[test]
+    fn limited_deframe_bounds_giop_length_prefix() {
+        let limits = DecodeLimits::default().with_max_frame_bytes(64);
+        // A 1 GiB length prefix is rejected from the 12-byte header alone,
+        // long before any body bytes arrive.
+        let mut hdr = b"GIOP\x01\x00\x01\x00".to_vec();
+        hdr.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(matches!(
+            CdrProtocol.deframe_limited(&mut hdr, &limits),
+            Err(WireError::Bounds { what: "GIOP body", .. })
+        ));
+        // In-bound frames pass through untouched.
+        let mut framed = Vec::new();
+        CdrProtocol.frame(b"ok", &mut framed);
+        assert_eq!(CdrProtocol.deframe_limited(&mut framed, &limits).unwrap().unwrap(), b"ok");
+    }
+
+    #[test]
+    fn decoder_with_limits_threads_through_both_protocols() {
+        let limits = DecodeLimits::default().with_max_string_bytes(4);
+        for p in [&TextProtocol as &dyn Protocol, &CdrProtocol] {
+            let mut enc = p.encoder();
+            enc.put_string("much too long");
+            let body = enc.finish();
+            let bounded =
+                p.decoder_with_limits(body.clone(), &limits).and_then(|mut d| d.get_string());
+            assert!(matches!(bounded, Err(WireError::Bounds { .. })), "{}", p.name());
+            // The un-limited path still decodes it.
+            assert_eq!(p.decoder(body).unwrap().get_string().unwrap(), "much too long");
+        }
     }
 
     /// Byte-level golden frames: the wire formats are interop contracts —

@@ -27,6 +27,7 @@
 
 use crate::codec::{Decoder, Encoder};
 use crate::error::{WireError, WireResult};
+use crate::limits::DecodeLimits;
 
 /// Encoder for the text protocol.
 ///
@@ -163,21 +164,35 @@ impl Encoder for TextEncoder {
 pub struct TextDecoder {
     tokens: Vec<String>,
     pos: usize,
+    depth: u32,
+    limits: DecodeLimits,
 }
 
 impl TextDecoder {
-    /// Tokenizes a text-protocol message.
+    /// Tokenizes a text-protocol message with [`DecodeLimits::default`].
     ///
     /// # Errors
     ///
     /// Fails when the bytes are not UTF-8 or a quoted token is
     /// unterminated.
     pub fn new(bytes: &[u8]) -> WireResult<Self> {
+        TextDecoder::with_limits(bytes, DecodeLimits::default())
+    }
+
+    /// Tokenizes a text-protocol message under explicit [`DecodeLimits`]:
+    /// tokens longer than the string bound, sequence lengths beyond their
+    /// bound, and `{`/`}` nesting past the depth bound all fail cleanly —
+    /// the same contract the CDR decoder enforces on its length prefixes.
+    ///
+    /// # Errors
+    ///
+    /// As [`TextDecoder::new`], plus [`WireError::Bounds`] violations.
+    pub fn with_limits(bytes: &[u8], limits: DecodeLimits) -> WireResult<Self> {
         let text = std::str::from_utf8(bytes).map_err(|e| WireError::Malformed {
             what: "text message",
             detail: format!("not valid UTF-8: {e}"),
         })?;
-        Ok(TextDecoder { tokens: tokenize(text)?, pos: 0 })
+        Ok(TextDecoder { tokens: tokenize(text, &limits)?, pos: 0, depth: 0, limits })
     }
 
     fn next(&mut self, what: &'static str) -> WireResult<&str> {
@@ -195,7 +210,21 @@ impl TextDecoder {
     }
 }
 
-fn tokenize(text: &str) -> WireResult<Vec<String>> {
+fn tokenize(text: &str, limits: &DecodeLimits) -> WireResult<Vec<String>> {
+    // The string bound is enforced here, while tokens accumulate, so a
+    // hostile message cannot make the tokenizer build a giant String (the
+    // `+ 1` mirrors CDR, whose string lengths include the NUL byte).
+    let max_tok = limits.max_string_bytes as usize;
+    let over = |tok: &String| -> WireResult<()> {
+        if tok.len() + 1 > max_tok {
+            return Err(WireError::Bounds {
+                what: "string",
+                len: tok.len() as u64 + 1,
+                max: max_tok as u64,
+            });
+        }
+        Ok(())
+    };
     let mut tokens = Vec::new();
     let mut chars = text.chars().peekable();
     while let Some(&c) = chars.peek() {
@@ -230,6 +259,7 @@ fn tokenize(text: &str) -> WireResult<Vec<String>> {
                         }
                         c => tok.push(c),
                     }
+                    over(&tok)?;
                 }
                 if !closed {
                     return Err(WireError::Malformed {
@@ -247,6 +277,7 @@ fn tokenize(text: &str) -> WireResult<Vec<String>> {
                     }
                     tok.push(c);
                     chars.next();
+                    over(&tok)?;
                 }
                 tokens.push(tok);
             }
@@ -330,19 +361,37 @@ impl Decoder for TextDecoder {
     }
 
     fn get_len(&mut self) -> WireResult<u32> {
-        self.parse_num("sequence length")
+        let n: u32 = self.parse_num("sequence length")?;
+        let max = self.limits.max_sequence_len;
+        if n > max {
+            return Err(WireError::Bounds { what: "sequence", len: n.into(), max: max.into() });
+        }
+        Ok(n)
     }
 
     fn begin(&mut self) -> WireResult<()> {
         match self.next("begin marker")? {
-            "{" => Ok(()),
+            "{" => {
+                if self.depth >= self.limits.max_depth {
+                    return Err(WireError::Bounds {
+                        what: "nesting depth",
+                        len: u64::from(self.depth) + 1,
+                        max: self.limits.max_depth.into(),
+                    });
+                }
+                self.depth += 1;
+                Ok(())
+            }
             other => Err(WireError::Nesting { detail: format!("expected `{{`, got `{other}`") }),
         }
     }
 
     fn end(&mut self) -> WireResult<()> {
         match self.next("end marker")? {
-            "}" => Ok(()),
+            "}" => {
+                self.depth = self.depth.saturating_sub(1);
+                Ok(())
+            }
             other => Err(WireError::Nesting { detail: format!("expected `}}`, got `{other}`") }),
         }
     }
@@ -481,6 +530,48 @@ mod tests {
         assert_eq!(enc.finish(), b"1");
         enc.put_long(2);
         assert_eq!(enc.finish(), b"2");
+    }
+
+    #[test]
+    fn custom_limits_bound_tokens_sequences_and_depth() {
+        let limits = DecodeLimits::default()
+            .with_max_string_bytes(8)
+            .with_max_sequence_len(2)
+            .with_max_depth(1);
+        // An oversized quoted token is rejected while tokenizing, so the
+        // giant String is never materialized.
+        let long = format!("\"{}\"", "x".repeat(64));
+        assert!(matches!(
+            TextDecoder::with_limits(long.as_bytes(), limits),
+            Err(WireError::Bounds { what: "string", .. })
+        ));
+        // Bare tokens are bounded too (a number 10 km long is an attack).
+        let bare = "1".repeat(64);
+        assert!(TextDecoder::with_limits(bare.as_bytes(), limits).is_err());
+        // Sequence length beyond the bound.
+        let mut dec = TextDecoder::with_limits(b"3", limits).unwrap();
+        assert!(matches!(dec.get_len(), Err(WireError::Bounds { what: "sequence", .. })));
+        // Nesting past the depth bound.
+        let mut dec = TextDecoder::with_limits(b"{ {", limits).unwrap();
+        dec.begin().unwrap();
+        assert!(matches!(dec.begin(), Err(WireError::Bounds { what: "nesting depth", .. })));
+    }
+
+    #[test]
+    fn within_limit_text_still_decodes() {
+        let limits = DecodeLimits::default().with_max_string_bytes(16).with_max_sequence_len(8);
+        let mut enc = TextEncoder::new();
+        enc.put_string("ok");
+        enc.put_len(8);
+        enc.begin();
+        enc.end();
+        let bytes = enc.finish();
+        let mut dec = TextDecoder::with_limits(&bytes, limits).unwrap();
+        assert_eq!(dec.get_string().unwrap(), "ok");
+        assert_eq!(dec.get_len().unwrap(), 8);
+        dec.begin().unwrap();
+        dec.end().unwrap();
+        assert!(dec.at_end());
     }
 
     #[test]

@@ -15,13 +15,53 @@ use heidl_rmi::{
     MethodTable, ObjectRef, Orb, RmiResult, Skeleton, SkeletonBase, ValueSerialize,
 };
 use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Counts every heap allocation in the process so the `roundtrip`
+/// experiment can report allocations per call (client + server side,
+/// since the loopback benchmarks are in-process).
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_so_far() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let want = |id: &str| {
+        args.iter().all(|a| a.starts_with("--")) || args.iter().any(|a| a == id || a == "all")
+    };
 
     println!("heidl experiments — reproducing Welling & Ott (Middleware 2000)");
     println!("================================================================");
@@ -60,6 +100,9 @@ fn main() {
     }
     if want("e10") {
         e10();
+    }
+    if want("roundtrip") || want("perf") {
+        roundtrip(quick);
     }
 }
 
@@ -697,4 +740,239 @@ fn e10() {
     }
     println!("expected shape: precompiling the byte layout removes per-field alignment");
     println!("work, so the plan wins and the gap widens with field count.");
+}
+
+// ---- roundtrip perf baseline ----------------------------------------------
+
+/// A skeleton that echoes a string back, so the hot path exercises string
+/// marshalling and body sizes beyond the fixed header.
+struct EchoStrSkel {
+    base: SkeletonBase,
+}
+
+impl EchoStrSkel {
+    fn new() -> Arc<dyn Skeleton> {
+        Arc::new(EchoStrSkel {
+            base: SkeletonBase::new("IDL:Bench/EchoStr:1.0", DispatchKind::Hash, ["echo"], vec![]),
+        })
+    }
+}
+
+impl Skeleton for EchoStrSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let v = args.get_string()?;
+                reply.put_string(&v);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn echo_once(orb: &Orb, objref: &ObjectRef, payload: &str) {
+    let mut call = orb.call(objref, "echo");
+    call.args().put_string(payload);
+    let mut reply = orb.invoke(call).unwrap();
+    black_box(reply.results().get_string().unwrap());
+}
+
+#[derive(Clone, Copy, Default)]
+struct WorkloadStat {
+    p50_ns: f64,
+    p99_ns: f64,
+    calls_per_sec: f64,
+    allocs_per_call: f64,
+}
+
+fn echo_payload() -> String {
+    "x".repeat(96)
+}
+
+/// Sequential echo over TCP loopback: per-call latency distribution.
+fn measure_echo(protocol: Arc<dyn Protocol>, calls: usize) -> WorkloadStat {
+    let payload = echo_payload();
+    let orb = Orb::with_protocol(protocol);
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(EchoStrSkel::new()).unwrap();
+    for _ in 0..calls.min(64) {
+        echo_once(&orb, &objref, &payload);
+    }
+    let mut lat = Vec::with_capacity(calls);
+    let alloc0 = allocs_so_far();
+    let wall = Instant::now();
+    for _ in 0..calls {
+        let t = Instant::now();
+        echo_once(&orb, &objref, &payload);
+        lat.push(t.elapsed().as_nanos() as u64);
+    }
+    let elapsed = wall.elapsed();
+    let allocs = allocs_so_far() - alloc0;
+    orb.shutdown();
+    lat.sort_unstable();
+    WorkloadStat {
+        p50_ns: lat[calls / 2] as f64,
+        p99_ns: lat[(calls * 99 / 100).min(calls - 1)] as f64,
+        calls_per_sec: calls as f64 / elapsed.as_secs_f64(),
+        allocs_per_call: allocs as f64 / calls as f64,
+    }
+}
+
+/// Multiplexed storm: many threads hammering one server concurrently, all
+/// calls multiplexed over the pooled connection(s). Reports aggregate
+/// throughput and process-wide allocations per call.
+fn measure_storm(protocol: Arc<dyn Protocol>, threads: usize, per_thread: usize) -> WorkloadStat {
+    let payload = echo_payload();
+    let orb = Orb::with_protocol(protocol);
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(EchoStrSkel::new()).unwrap();
+    for _ in 0..64 {
+        echo_once(&orb, &objref, &payload);
+    }
+    let calls = threads * per_thread;
+    let alloc0 = allocs_so_far();
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let orb = orb.clone();
+            let objref = objref.clone();
+            let payload = payload.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    echo_once(&orb, &objref, &payload);
+                }
+            });
+        }
+    });
+    let elapsed = wall.elapsed();
+    let allocs = allocs_so_far() - alloc0;
+    orb.shutdown();
+    WorkloadStat {
+        p50_ns: 0.0,
+        p99_ns: 0.0,
+        calls_per_sec: calls as f64 / elapsed.as_secs_f64(),
+        allocs_per_call: allocs as f64 / calls as f64,
+    }
+}
+
+/// Marshal-only throughput: encode + decode of the echo payload with no
+/// network, isolating codec + buffer-management cost.
+fn measure_marshal(protocol: &dyn Protocol) -> WorkloadStat {
+    let payload = echo_payload();
+    let alloc0 = allocs_so_far();
+    let mut iters = 0u64;
+    let ns = time_ns(|| {
+        let mut enc = protocol.encoder();
+        enc.put_ulonglong(42);
+        enc.put_string(&payload);
+        let body = enc.finish();
+        let mut dec = protocol.decoder(body).unwrap();
+        black_box(dec.get_ulonglong().unwrap());
+        black_box(dec.get_string().unwrap());
+        iters += 1;
+    });
+    let allocs = allocs_so_far() - alloc0;
+    WorkloadStat {
+        p50_ns: ns,
+        p99_ns: 0.0,
+        calls_per_sec: 1e9 / ns,
+        allocs_per_call: allocs as f64 / iters.max(1) as f64,
+    }
+}
+
+fn json_stat(name: &str, s: &WorkloadStat) -> String {
+    format!(
+        "    \"{name}\": {{\"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"calls_per_sec\": {:.0}, \"allocs_per_call\": {:.1}}}",
+        s.p50_ns, s.p99_ns, s.calls_per_sec, s.allocs_per_call
+    )
+}
+
+/// Extract the `"results": { ... }` object (brace-balanced) from a previous
+/// run's JSON so it can be embedded as the `baseline` of this run.
+fn extract_results(json: &str) -> Option<String> {
+    let start = json.find("\"results\":")?;
+    let open = start + json[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn roundtrip(quick: bool) {
+    println!("\n[roundtrip] perf baseline: echo latency, mux storm, marshal throughput");
+    let calls = if quick { 300 } else { 4000 };
+    let (threads, per_thread) = if quick { (4, 100) } else { (8, 1500) };
+
+    let echo_text = measure_echo(Arc::new(TextProtocol), calls);
+    let echo_cdr = measure_echo(Arc::new(CdrProtocol), calls);
+    let storm_cdr = measure_storm(Arc::new(CdrProtocol), threads, per_thread);
+    let marshal_text = measure_marshal(&TextProtocol);
+    let marshal_cdr = measure_marshal(&CdrProtocol);
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>12}",
+        "workload", "p50", "p99", "calls/sec", "allocs/call"
+    );
+    for (name, s) in [
+        ("echo_text", &echo_text),
+        ("echo_cdr", &echo_cdr),
+        ("storm_cdr", &storm_cdr),
+        ("marshal_text", &marshal_text),
+        ("marshal_cdr", &marshal_cdr),
+    ] {
+        println!(
+            "{:<14} {:>12} {:>12} {:>14.0} {:>12.1}",
+            name,
+            fmt_ns(s.p50_ns),
+            fmt_ns(s.p99_ns),
+            s.calls_per_sec,
+            s.allocs_per_call
+        );
+    }
+
+    let results = format!(
+        "{{\n{},\n{},\n{},\n{},\n{}\n  }}",
+        json_stat("echo_text", &echo_text),
+        json_stat("echo_cdr", &echo_cdr),
+        json_stat("storm_cdr", &storm_cdr),
+        json_stat("marshal_text", &marshal_text),
+        json_stat("marshal_cdr", &marshal_cdr),
+    );
+    let baseline = std::env::var("HEIDL_BENCH_BASELINE")
+        .ok()
+        .and_then(|path| std::fs::read_to_string(path).ok())
+        .and_then(|prev| extract_results(&prev));
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"heidl-bench-roundtrip/v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"results\": {results}"));
+    if let Some(base) = baseline {
+        out.push_str(&format!(",\n  \"baseline\": {base}"));
+    }
+    out.push_str("\n}\n");
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_roundtrip.json".to_string());
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
 }

@@ -239,26 +239,32 @@ pub fn peek_request_header_limited(
     protocol: &dyn Protocol,
     limits: &DecodeLimits,
 ) -> RmiResult<(u64, bool)> {
-    let mut dec = protocol.decoder_with_limits(body.to_vec(), limits)?;
+    let mut dec = protocol.peek_decoder(body, limits)?;
     let request_id = dec.get_ulonglong()?;
-    let _target = dec.get_string()?;
-    let _method = dec.get_string()?;
+    dec.skip_string()?; // target
+    dec.skip_string()?; // method
     let response_expected = dec.get_bool()?;
     Ok((request_id, response_expected))
 }
 
-/// Reads the target object id from a request body without consuming it.
-/// Crate-internal: the server routes `_health` probes around admission
-/// control with this, so overload or drain never blinds observability.
-pub(crate) fn peek_target_object_id(
+/// One-pass routing peek for the server's reader thread: reads
+/// `(request-id, response-expected, target-object-id)` from a request body
+/// over a borrowed decoder — no body copy, one decode. The object id is
+/// `None` when the target does not parse as an object reference; such
+/// requests are never health probes, and the full parse on the dispatch
+/// path produces the diagnostic.
+pub(crate) fn peek_route(
     body: &[u8],
     protocol: &dyn Protocol,
     limits: &DecodeLimits,
-) -> RmiResult<u64> {
-    let mut dec = protocol.decoder_with_limits(body.to_vec(), limits)?;
-    let _request_id = dec.get_ulonglong()?;
-    let target: ObjectRef = dec.get_string()?.parse()?;
-    Ok(target.object_id)
+) -> RmiResult<(u64, bool, Option<u64>)> {
+    let mut dec = protocol.peek_decoder(body, limits)?;
+    let request_id = dec.get_ulonglong()?;
+    let target = dec.get_string()?;
+    dec.skip_string()?; // method
+    let response_expected = dec.get_bool()?;
+    let object_id = target.parse::<ObjectRef>().ok().map(|r| r.object_id);
+    Ok((request_id, response_expected, object_id))
 }
 
 /// Reads just the leading request id from a reply body without consuming
@@ -269,7 +275,7 @@ pub(crate) fn peek_target_object_id(
 ///
 /// Fails when the body does not start with an unmarshalable id.
 pub fn peek_reply_id(body: &[u8], protocol: &dyn Protocol) -> RmiResult<u64> {
-    let mut dec = protocol.decoder(body.to_vec())?;
+    let mut dec = protocol.peek_decoder(body, &DecodeLimits::default())?;
     Ok(dec.get_ulonglong()?)
 }
 
@@ -282,7 +288,7 @@ pub fn peek_reply_id(body: &[u8], protocol: &dyn Protocol) -> RmiResult<u64> {
 ///
 /// Fails when the body does not start with an id and a valid status code.
 pub fn peek_reply_status(body: &[u8], protocol: &dyn Protocol) -> RmiResult<(u64, ReplyStatus)> {
-    let mut dec = protocol.decoder(body.to_vec())?;
+    let mut dec = protocol.peek_decoder(body, &DecodeLimits::default())?;
     let request_id = dec.get_ulonglong()?;
     let status = ReplyStatus::from_code(dec.get_octet()?)?;
     Ok((request_id, status))

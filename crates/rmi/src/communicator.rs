@@ -9,27 +9,55 @@
 //! a [`MuxConnection`] multiplexes any number of concurrent in-flight
 //! requests over a single socket, correlating out-of-order replies by the
 //! request id that leads every message (see `call.rs`). A dedicated demux
-//! thread owns the read half; callers park on per-request channels until
-//! their reply (or their deadline) arrives.
+//! thread owns the read half; callers park on reusable per-thread reply
+//! slots until their reply (or their deadline) arrives.
+//!
+//! The hot path is allocation-light: frames go out as vectored writes
+//! (stack header + body, no `framed` staging copy), arrive through a
+//! [`FrameBuf`] consume-from-front cursor, and travel up as
+//! [`PooledBuf`]s whose storage recycles after decode. Reply correlation
+//! uses a sharded pending table, so concurrent callers on one connection
+//! do not serialize on a single registration lock.
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::call::peek_reply_id;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
 use crate::transport::{Connector, TcpConnector, Transport};
-use heidl_wire::{DecodeLimits, Protocol};
-use parking_lot::Mutex;
+use heidl_wire::{pool, DecodeLimits, FrameBuf, PooledBuf, Protocol, MAX_FRAME_HEADER};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Writes one framed message without materializing the frame: protocols
+/// that describe their framing as header + body + trailer
+/// ([`Protocol::frame_parts`]) go out through a single vectored write;
+/// others fall back to staging the frame in a pooled buffer.
+pub(crate) fn write_framed(
+    transport: &mut dyn Transport,
+    protocol: &dyn Protocol,
+    body: &[u8],
+) -> RmiResult<()> {
+    let mut header = [0u8; MAX_FRAME_HEADER];
+    if let Some((header_len, trailer)) = protocol.frame_parts(body.len(), &mut header) {
+        transport.send_vectored(&[&header[..header_len], body, trailer])?;
+    } else {
+        let mut framed = pool::global().get();
+        framed.reserve(body.len() + MAX_FRAME_HEADER);
+        protocol.frame(body, &mut framed);
+        transport.send(&framed)?;
+    }
+    Ok(())
+}
 
 /// A message channel over a transport: framing + buffering.
 pub struct ObjectCommunicator {
     transport: Box<dyn Transport>,
     protocol: Arc<dyn Protocol>,
-    inbuf: Vec<u8>,
+    inbuf: FrameBuf,
     limits: DecodeLimits,
 }
 
@@ -58,7 +86,7 @@ impl ObjectCommunicator {
         protocol: Arc<dyn Protocol>,
         limits: DecodeLimits,
     ) -> Self {
-        ObjectCommunicator { transport, protocol, inbuf: Vec::new(), limits }
+        ObjectCommunicator { transport, protocol, inbuf: FrameBuf::new(), limits }
     }
 
     /// The protocol in use.
@@ -77,10 +105,7 @@ impl ObjectCommunicator {
     ///
     /// Propagates transport failures.
     pub fn send(&mut self, body: &[u8]) -> RmiResult<()> {
-        let mut framed = Vec::with_capacity(body.len() + 16);
-        self.protocol.frame(body, &mut framed);
-        self.transport.send(&framed)?;
-        Ok(())
+        write_framed(self.transport.as_mut(), self.protocol.as_ref(), body)
     }
 
     /// Receives the next complete message body, or `None` on orderly close.
@@ -88,12 +113,15 @@ impl ObjectCommunicator {
     /// # Errors
     ///
     /// Propagates transport failures and stream corruption.
-    pub fn recv(&mut self) -> RmiResult<Option<Vec<u8>>> {
+    pub fn recv(&mut self) -> RmiResult<Option<PooledBuf>> {
         loop {
-            if let Some(body) = self.protocol.deframe_limited(&mut self.inbuf, &self.limits)? {
+            if let Some(body) = self.protocol.deframe_pooled(&mut self.inbuf, &self.limits)? {
+                // A jumbo frame may have ballooned the read buffer; give
+                // the excess back once it is drained.
+                self.inbuf.maybe_shrink();
                 return Ok(Some(body));
             }
-            let n = self.transport.recv_into(&mut self.inbuf)?;
+            let n = self.transport.recv_into(self.inbuf.input())?;
             if n == 0 {
                 if self.inbuf.is_empty() {
                     return Ok(None);
@@ -109,14 +137,147 @@ impl ObjectCommunicator {
     /// # Errors
     ///
     /// [`RmiError::Disconnected`] when the channel closes before a reply.
-    pub fn round_trip(&mut self, body: &[u8]) -> RmiResult<Vec<u8>> {
+    pub fn round_trip(&mut self, body: &[u8]) -> RmiResult<PooledBuf> {
         self.send(body)?;
         self.recv()?.ok_or(RmiError::Disconnected)
     }
 }
 
+/// Poll budget `(busy, yields)` for [`ReplySlot::wait`]: how many
+/// lock-and-check polls to make before parking on the condvar. Busy polls
+/// (`spin_loop`) only pay off when the demux thread can run on *another*
+/// core while we spin; on a single-CPU host they would stall the very
+/// thread that is about to deliver, so there the budget is yield-only —
+/// `yield_now` hands the core straight to the runnable demux/server
+/// threads and is still far cheaper than a futex park + wake.
+fn wait_poll_budget() -> (u32, u32) {
+    static BUDGET: OnceLock<(u32, u32)> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            (448, 32)
+        } else {
+            (0, 64)
+        }
+    })
+}
+
 /// A waiting caller's mailbox: the demux thread posts the reply body here.
-type ReplySlot = mpsc::Sender<RmiResult<Vec<u8>>>;
+///
+/// Unlike a channel, the slot is *reusable*: each thread keeps one in a
+/// thread-local and re-arms it per call, so steady-state calls allocate
+/// nothing for correlation. The protocol is strictly one delivery per arm:
+/// whoever holds the `Arc` out of the pending table owns the (single)
+/// pending delivery, and the parked caller always consumes it before the
+/// slot is re-armed — see the quiescence dance in [`MuxConnection::call`].
+struct ReplySlot {
+    state: Mutex<Option<RmiResult<PooledBuf>>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> ReplySlot {
+        ReplySlot { state: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    /// Posts the result and wakes the parked caller.
+    fn deliver(&self, result: RmiResult<PooledBuf>) {
+        *self.state.lock() = Some(result);
+        self.cv.notify_one();
+    }
+
+    /// Parks until a delivery arrives, consuming it.
+    ///
+    /// On a loopback round trip the reply lands within a few microseconds
+    /// of the request, so the slot polls briefly before paying the futex
+    /// park + wake — that cut measures several microseconds off p50 echo
+    /// latency.
+    fn wait(&self) -> RmiResult<PooledBuf> {
+        let (busy, yields) = wait_poll_budget();
+        for poll in 0..busy + yields {
+            if let Some(result) = self.state.lock().take() {
+                return result;
+            }
+            if poll < busy {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let mut state = self.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    /// Parks for at most `limit`, consuming the delivery if one arrives in
+    /// time; `None` on timeout (the slot stays armed — the caller must
+    /// settle ownership through the pending table before reusing it).
+    fn wait_for(&self, limit: Duration) -> Option<RmiResult<PooledBuf>> {
+        let deadline = Instant::now() + limit;
+        let mut state = self.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut state, deadline - now);
+        }
+    }
+}
+
+thread_local! {
+    /// The calling thread's reusable mailbox. A thread has at most one
+    /// blocking `call` in progress (it parks inside it), so one slot per
+    /// thread suffices — across however many connections it calls on.
+    static REPLY_SLOT: Arc<ReplySlot> = Arc::new(ReplySlot::new());
+}
+
+/// How many independent locks the pending-reply table is split across.
+const PENDING_SHARDS: usize = 8;
+
+/// The pending-reply table, sharded by request id so registration under
+/// heavy multiplexing does not serialize every caller on one mutex.
+struct PendingTable {
+    shards: [Mutex<HashMap<u64, Arc<ReplySlot>>>; PENDING_SHARDS],
+}
+
+impl PendingTable {
+    fn new() -> PendingTable {
+        PendingTable { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<ReplySlot>>> {
+        &self.shards[(id % PENDING_SHARDS as u64) as usize]
+    }
+
+    fn insert(&self, id: u64, slot: Arc<ReplySlot>) {
+        self.shard(id).lock().insert(id, slot);
+    }
+
+    fn remove(&self, id: u64) -> Option<Arc<ReplySlot>> {
+        self.shard(id).lock().remove(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Claims every registered slot (connection teardown).
+    fn drain(&self) -> Vec<Arc<ReplySlot>> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().drain().map(|(_, slot)| slot));
+        }
+        all
+    }
+}
 
 /// A shared, multiplexed connection to one endpoint.
 ///
@@ -130,7 +291,7 @@ type ReplySlot = mpsc::Sender<RmiResult<Vec<u8>>>;
 pub struct MuxConnection {
     writer: Mutex<Box<dyn Transport>>,
     protocol: Arc<dyn Protocol>,
-    pending: Arc<Mutex<HashMap<u64, ReplySlot>>>,
+    pending: Arc<PendingTable>,
     alive: Arc<AtomicBool>,
     /// Outstanding `CheckedOut` guards (pool observability, not a limit).
     borrowed: AtomicUsize,
@@ -189,7 +350,7 @@ impl MuxConnection {
     ) -> RmiResult<Arc<MuxConnection>> {
         let peer = transport.peer();
         let (writer, reader) = transport.split()?;
-        let pending: Arc<Mutex<HashMap<u64, ReplySlot>>> = Arc::new(Mutex::new(HashMap::new()));
+        let pending = Arc::new(PendingTable::new());
         let alive = Arc::new(AtomicBool::new(true));
         let comm = ObjectCommunicator::new(reader, Arc::clone(&protocol));
         let demux_pending = Arc::clone(&pending);
@@ -215,7 +376,7 @@ impl MuxConnection {
 
     /// Number of calls currently awaiting a reply.
     pub fn in_flight(&self) -> usize {
-        self.pending.lock().len()
+        self.pending.len()
     }
 
     /// Peer description for diagnostics.
@@ -238,35 +399,43 @@ impl MuxConnection {
         request_id: u64,
         body: &[u8],
         deadline: Option<Duration>,
-    ) -> RmiResult<Vec<u8>> {
-        let (tx, rx) = mpsc::channel();
-        self.pending.lock().insert(request_id, tx);
+    ) -> RmiResult<PooledBuf> {
+        // Whoever removes the id from `pending` owns the outcome: either
+        // we remove it (no delivery will ever come — safe to walk away),
+        // or the demux/teardown side already claimed it (a delivery is in
+        // flight and MUST be consumed so the thread-local slot is
+        // quiescent for its next call).
+        let slot = REPLY_SLOT.with(Arc::clone);
+        self.pending.insert(request_id, Arc::clone(&slot));
         // The demux thread drains `pending` when it dies; registering
         // first and re-checking `alive` after closes the race where it
         // died in between (then nobody would ever wake us).
-        if !self.is_alive() && self.pending.lock().remove(&request_id).is_some() {
-            return Err(RmiError::Disconnected);
+        if !self.is_alive() {
+            return match self.pending.remove(request_id) {
+                Some(_) => Err(RmiError::Disconnected),
+                None => slot.wait(),
+            };
         }
         if let Err(e) = self.send_framed(body) {
-            self.pending.lock().remove(&request_id);
+            if self.pending.remove(request_id).is_none() {
+                let _ = slot.wait();
+            }
             return Err(e);
         }
         match deadline {
-            None => rx.recv().unwrap_or(Err(RmiError::Disconnected)),
-            Some(limit) => match rx.recv_timeout(limit) {
-                Ok(result) => result,
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // Unregister so the late reply is dropped. If the demux
-                    // thread claimed the slot in this instant, the reply is
-                    // already in the channel — take it instead.
-                    if self.pending.lock().remove(&request_id).is_some() {
-                        Err(RmiError::DeadlineExceeded { after: limit })
-                    } else {
-                        rx.try_recv().unwrap_or(Err(RmiError::Disconnected))
-                    }
+            None => slot.wait(),
+            Some(limit) => {
+                if let Some(result) = slot.wait_for(limit) {
+                    return result;
                 }
-                Err(mpsc::RecvTimeoutError::Disconnected) => Err(RmiError::Disconnected),
-            },
+                // Unregister so the late reply is dropped. If the demux
+                // thread claimed the slot in this instant, the delivery is
+                // imminent — take it instead.
+                match self.pending.remove(request_id) {
+                    Some(_) => Err(RmiError::DeadlineExceeded { after: limit }),
+                    None => slot.wait(),
+                }
+            }
         }
     }
 
@@ -280,10 +449,8 @@ impl MuxConnection {
     }
 
     fn send_framed(&self, body: &[u8]) -> RmiResult<()> {
-        let mut framed = Vec::with_capacity(body.len() + 16);
-        self.protocol.frame(body, &mut framed);
-        self.writer.lock().send(&framed)?;
-        Ok(())
+        let mut writer = self.writer.lock();
+        write_framed(writer.as_mut(), self.protocol.as_ref(), body)
     }
 
     fn borrow(&self) {
@@ -311,22 +478,18 @@ impl Drop for MuxConnection {
 /// wakes whichever caller registered the matching request id. Replies with
 /// no registered caller (deadline already passed) are dropped. On any read
 /// failure every parked caller is woken with `Disconnected`.
-fn demux_loop(
-    mut comm: ObjectCommunicator,
-    pending: Arc<Mutex<HashMap<u64, ReplySlot>>>,
-    alive: Arc<AtomicBool>,
-) {
+fn demux_loop(mut comm: ObjectCommunicator, pending: Arc<PendingTable>, alive: Arc<AtomicBool>) {
     while let Ok(Some(body)) = comm.recv() {
         let Ok(id) = peek_reply_id(&body, comm.protocol().as_ref()) else {
             break; // unintelligible reply stream: give up on the connection
         };
-        if let Some(slot) = pending.lock().remove(&id) {
-            let _ = slot.send(Ok(body));
+        if let Some(slot) = pending.remove(id) {
+            slot.deliver(Ok(body));
         }
     }
     alive.store(false, Ordering::SeqCst);
-    for (_, slot) in pending.lock().drain() {
-        let _ = slot.send(Err(RmiError::Disconnected));
+    for slot in pending.drain() {
+        slot.deliver(Err(RmiError::Disconnected));
     }
 }
 

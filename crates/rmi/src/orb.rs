@@ -29,7 +29,7 @@ use crate::serialize::{self, RemoteObject, ValueRegistry};
 use crate::server::{ServerHandle, HEALTH_OBJECT_ID, HEALTH_TYPE_ID};
 use crate::skeleton::Skeleton;
 use crate::transport::Connector;
-use heidl_wire::{Encoder, Protocol, TextProtocol};
+use heidl_wire::{pool, Encoder, PooledBuf, Protocol, TextProtocol};
 use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::collections::HashMap;
@@ -471,9 +471,12 @@ impl Orb {
         let body = call.into_body();
         let deadline = options.deadline.or(self.inner.default_deadline);
 
-        let reply_body = match self
-            .invoke_fault_tolerant(&target, &method, request_id, &body, deadline, &options)
-        {
+        let result =
+            self.invoke_fault_tolerant(&target, &method, request_id, &body, deadline, &options);
+        // The request body is done with the wire on every path; give its
+        // storage back for the next call's encoder.
+        pool::recycle(body);
+        let reply_body = match result {
             Ok(b) => b,
             Err(e) => {
                 // Broken connections were discarded, not re-pooled.
@@ -481,7 +484,7 @@ impl Orb {
                 return Err(e);
             }
         };
-        let reply = Reply::parse(reply_body, self.inner.protocol.as_ref());
+        let reply = Reply::parse(reply_body.into(), self.inner.protocol.as_ref());
         self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
         reply
     }
@@ -513,7 +516,7 @@ impl Orb {
         body: &[u8],
         deadline: Option<Duration>,
         options: &CallOptions,
-    ) -> RmiResult<Vec<u8>> {
+    ) -> RmiResult<PooledBuf> {
         let policy = options.retry_policy.unwrap_or(self.inner.retry_policy);
         let overall = deadline.map(|d| Instant::now() + d);
         let mut backoff = Backoff::new(&policy, request_id);
@@ -578,7 +581,7 @@ impl Orb {
         body: &[u8],
         deadline: Option<Duration>,
         options: &CallOptions,
-    ) -> RmiResult<Vec<u8>> {
+    ) -> RmiResult<PooledBuf> {
         let breaker = self.inner.pool.breaker(endpoint);
         if let Err(retry_after) = breaker.try_admit() {
             return Err(RmiError::CircuitOpen { endpoint: endpoint.to_string(), retry_after });
@@ -639,11 +642,11 @@ impl Orb {
     /// hammering the overloaded server) and counts as a breaker failure.
     /// Anything else — including exception replies, which *are* answers —
     /// records breaker success and flows on to [`Reply::parse`].
-    fn accept_reply(&self, body: Vec<u8>, breaker: &Arc<CircuitBreaker>) -> RmiResult<Vec<u8>> {
+    fn accept_reply(&self, body: PooledBuf, breaker: &Arc<CircuitBreaker>) -> RmiResult<PooledBuf> {
         match peek_reply_status(&body, self.inner.protocol.as_ref()) {
             Ok((_, ReplyStatus::Busy)) => {
                 breaker.record_failure();
-                match Reply::parse(body, self.inner.protocol.as_ref()) {
+                match Reply::parse(body.into(), self.inner.protocol.as_ref()) {
                     Err(e) => Err(e),
                     // Unreachable (a Busy body always parses to an error),
                     // but never silently swallow a shed.
@@ -685,6 +688,7 @@ impl Orb {
             .pool
             .checkout(&endpoint, &self.inner.protocol)
             .and_then(|conn| conn.send_oneway(&body));
+        pool::recycle(body);
         if result.is_err() {
             self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
         }

@@ -25,11 +25,8 @@
 //! decoded under the policy's `DecodeLimits`. The built-in `_health`
 //! object (well-known id `0`) reports the resulting counters.
 
-use crate::call::{
-    peek_reply_id, peek_request_header_limited, peek_target_object_id, IncomingCall, ReplyBuilder,
-    ReplyStatus,
-};
-use crate::communicator::ObjectCommunicator;
+use crate::call::{peek_reply_id, peek_route, IncomingCall, ReplyBuilder, ReplyStatus};
+use crate::communicator::{write_framed, ObjectCommunicator};
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
 use crate::orb::Orb;
@@ -392,11 +389,15 @@ struct ReplyWriter {
 }
 
 impl ReplyWriter {
-    fn send(&self, body: &[u8]) -> RmiResult<()> {
-        let mut framed = Vec::with_capacity(body.len() + 16);
-        self.protocol.frame(body, &mut framed);
-        self.transport.lock().send(&framed)?;
-        Ok(())
+    /// Takes the body by value so its (pooled) storage can be recycled
+    /// once the bytes are on the wire.
+    fn send(&self, body: Vec<u8>) -> RmiResult<()> {
+        let result = {
+            let mut transport = self.transport.lock();
+            write_framed(transport.as_mut(), self.protocol.as_ref(), &body)
+        };
+        heidl_wire::pool::recycle(body);
+        result
     }
 }
 
@@ -424,16 +425,15 @@ fn connection_loop(
     let per_conn = Arc::new(AtomicUsize::new(0));
     let mut comm = ObjectCommunicator::with_limits(read_half, Arc::clone(&protocol), limits);
     while let Ok(Some(body)) = comm.recv() {
-        match peek_request_header_limited(&body, protocol.as_ref(), &limits) {
+        // One borrowed decode pass yields everything routing needs: the
+        // id, the reply-expected flag, and the target object id.
+        match peek_route(&body, protocol.as_ref(), &limits) {
             // `_health` probes bypass admission control and dispatch
             // inline on the reader (they are cheap and run no servant
             // code): overload or drain must never blind observability.
-            Ok(_)
-                if peek_target_object_id(&body, protocol.as_ref(), &limits)
-                    .is_ok_and(|id| id == HEALTH_OBJECT_ID) =>
-            {
-                if let Some(reply) = handle_request(body, &orb, &shared) {
-                    if writer.send(&reply).is_err() {
+            Ok((_, _, Some(HEALTH_OBJECT_ID))) => {
+                if let Some(reply) = handle_request(body.into(), &orb, &shared) {
+                    if writer.send(reply).is_err() {
                         break;
                     }
                 }
@@ -441,23 +441,24 @@ fn connection_loop(
             // oneway: dispatch inline so a client's oneway-then-call
             // sequence executes in order; there is no reply to write, so
             // an overload shed is silent (but counted).
-            Ok((_, false)) => match shared.try_admit(&per_conn) {
+            Ok((_, false, _)) => match shared.try_admit(&per_conn) {
                 Ok(guard) => {
-                    let _ = handle_request(body, &orb, &shared);
+                    let _ = handle_request(body.into(), &orb, &shared);
                     drop(guard);
                 }
                 Err(_) => shared.shed_request(),
             },
-            Ok((request_id, true)) => match shared.try_admit(&per_conn) {
+            Ok((request_id, true, _)) => match shared.try_admit(&per_conn) {
                 Ok(guard) => {
                     let job_orb = orb.clone();
                     let job_writer = Arc::clone(&writer);
                     let job_shared = Arc::clone(&shared);
+                    let job_body: Vec<u8> = body.into();
                     let accepted = workers.submit(Box::new(move || {
                         // The guard lives until the reply is on the wire.
                         let _guard = guard;
-                        if let Some(reply) = handle_request(body, &job_orb, &job_shared) {
-                            let _ = job_writer.send(&reply);
+                        if let Some(reply) = handle_request(job_body, &job_orb, &job_shared) {
+                            let _ = job_writer.send(reply);
                         }
                     }));
                     if !accepted {
@@ -469,7 +470,7 @@ fn connection_loop(
                             request_id,
                             "worker pool overflow cap reached",
                         );
-                        if writer.send(&busy).is_err() {
+                        if writer.send(busy).is_err() {
                             break;
                         }
                     }
@@ -477,7 +478,7 @@ fn connection_loop(
                 Err(reason) => {
                     shared.shed_request();
                     let busy = ReplyBuilder::busy(protocol.as_ref(), request_id, &reason);
-                    if writer.send(&busy).is_err() {
+                    if writer.send(busy).is_err() {
                         break;
                     }
                 }
@@ -485,8 +486,8 @@ fn connection_loop(
             // Unparsable header — diagnose inline (a telnet user who
             // mistyped wants the error back immediately).
             Err(_) => {
-                if let Some(reply) = handle_request(body, &orb, &shared) {
-                    if writer.send(&reply).is_err() {
+                if let Some(reply) = handle_request(body.into(), &orb, &shared) {
+                    if writer.send(reply).is_err() {
                         break;
                     }
                 }

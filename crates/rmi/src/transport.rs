@@ -5,7 +5,7 @@
 //! crossbeam channels.
 
 use crate::objref::Endpoint;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 
 /// A bidirectional byte stream.
@@ -16,6 +16,29 @@ pub trait Transport: Send {
     ///
     /// Propagates transport write failures.
     fn send(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Writes all of `parts`, in order, as if concatenated — the hot path
+    /// for framing, where the header lives on the caller's stack and the
+    /// body in a pooled buffer.
+    ///
+    /// The default *concatenates and makes a single [`Transport::send`]
+    /// call*, deliberately: decorating transports (fault injectors) treat
+    /// each `send` as one frame, and a multi-`send` default would change
+    /// what "corrupt one frame" means through them. Leaf transports that
+    /// can gather (TCP) override this with a true vectored write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    fn send_vectored(&mut self, parts: &[&[u8]]) -> io::Result<()> {
+        let total = parts.iter().map(|p| p.len()).sum();
+        let mut joined = heidl_wire::pool::global().get();
+        joined.reserve(total);
+        for part in parts {
+            joined.extend_from_slice(part);
+        }
+        self.send(&joined)
+    }
 
     /// Reads *some* bytes, appending to `buf`. Returns the number read;
     /// `0` means the peer closed the stream.
@@ -118,6 +141,29 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.stream.write_all(bytes)
+    }
+
+    fn send_vectored(&mut self, parts: &[&[u8]]) -> io::Result<()> {
+        // Gather header + body into one writev(2): a single syscall and —
+        // with TCP_NODELAY — usually a single segment, with no staging
+        // copy of the frame.
+        let mut slices: Vec<IoSlice<'_>> =
+            parts.iter().filter(|p| !p.is_empty()).map(|p| IoSlice::new(p)).collect();
+        let mut bufs = &mut slices[..];
+        while !bufs.is_empty() {
+            match self.stream.write_vectored(bufs) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "failed to write whole frame",
+                    ));
+                }
+                Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {

@@ -39,16 +39,18 @@ use crate::limits::DecodeLimits;
 /// enc.put_long(2); // aligned to 4: three pad bytes inserted
 /// assert_eq!(enc.finish(), vec![1, 0, 0, 0, 2, 0, 0, 0]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CdrEncoder {
     buf: Vec<u8>,
     depth: u32,
 }
 
 impl CdrEncoder {
-    /// Creates an empty encoder.
+    /// Creates an empty encoder. The output buffer is drawn from the
+    /// process-wide [`pool`](crate::pool), so steady-state encoding does
+    /// not allocate.
     pub fn new() -> Self {
-        CdrEncoder::default()
+        CdrEncoder { buf: crate::pool::global().take_vec(), depth: 0 }
     }
 
     fn align(&mut self, n: usize) {
@@ -56,6 +58,20 @@ impl CdrEncoder {
         if rem != 0 {
             self.buf.resize(self.buf.len() + (n - rem), 0);
         }
+    }
+}
+
+impl Default for CdrEncoder {
+    fn default() -> Self {
+        CdrEncoder::new()
+    }
+}
+
+impl Drop for CdrEncoder {
+    fn drop(&mut self) {
+        // Whatever capacity is left (a finished encoder holds none, an
+        // abandoned one holds its scratch) goes back to the pool.
+        crate::pool::recycle(std::mem::take(&mut self.buf));
     }
 }
 
@@ -141,26 +157,31 @@ impl Encoder for CdrEncoder {
     }
 }
 
-/// Decoder for the CDR binary protocol. Owns its input.
+/// Decoder for the CDR binary protocol.
+///
+/// Generic over its backing storage `B`: an owned `Vec<u8>` (the
+/// default), a [`PooledBuf`](crate::PooledBuf) whose storage recycles
+/// when the decoder drops, or a borrowed `&[u8]` for zero-copy peeks at
+/// routing fields (see [`Protocol::peek_decoder`](crate::Protocol)).
 #[derive(Debug)]
-pub struct CdrDecoder {
-    buf: Vec<u8>,
+pub struct CdrDecoder<B = Vec<u8>> {
+    buf: B,
     pos: usize,
     depth: u32,
     limits: DecodeLimits,
 }
 
-impl CdrDecoder {
+impl<B: AsRef<[u8]>> CdrDecoder<B> {
     /// Wraps a message body for decoding with [`DecodeLimits::default`]
     /// (the historical 64 MiB sanity bound).
-    pub fn new(buf: Vec<u8>) -> Self {
+    pub fn new(buf: B) -> Self {
         CdrDecoder::with_limits(buf, DecodeLimits::default())
     }
 
     /// Wraps a message body for decoding under explicit [`DecodeLimits`]:
     /// a length prefix beyond the string/sequence bounds, or nesting past
     /// the depth bound, fails cleanly instead of allocating.
-    pub fn with_limits(buf: Vec<u8>, limits: DecodeLimits) -> Self {
+    pub fn with_limits(buf: B, limits: DecodeLimits) -> Self {
         CdrDecoder { buf, pos: 0, depth: 0, limits }
     }
 
@@ -172,10 +193,11 @@ impl CdrDecoder {
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> WireResult<&[u8]> {
-        if self.pos + n > self.buf.len() {
+        let buf = self.buf.as_ref();
+        if self.pos + n > buf.len() {
             return Err(WireError::UnexpectedEnd { what });
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = &buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
@@ -189,7 +211,7 @@ macro_rules! get_le {
     }};
 }
 
-impl Decoder for CdrDecoder {
+impl<B: AsRef<[u8]> + Send> Decoder for CdrDecoder<B> {
     fn get_bool(&mut self) -> WireResult<bool> {
         match self.take(1, "boolean")?[0] {
             0 => Ok(false),
@@ -261,10 +283,26 @@ impl Decoder for CdrDecoder {
                 detail: "missing NUL terminator".into(),
             });
         }
-        String::from_utf8(body.to_vec()).map_err(|e| WireError::Malformed {
+        // Validate on the borrowed slice, then allocate the String once —
+        // no intermediate Vec copy.
+        std::str::from_utf8(body).map(str::to_owned).map_err(|e| WireError::Malformed {
             what: "string",
             detail: format!("not valid UTF-8: {e}"),
         })
+    }
+
+    fn skip_string(&mut self) -> WireResult<()> {
+        // Length and bounds checks match `get_string`; the skipped content
+        // itself (NUL terminator, UTF-8) is not validated — callers skip a
+        // field precisely because they will not use it, and the full parse
+        // revalidates.
+        let len = self.get_ulong()?;
+        let max = self.limits.max_string_bytes;
+        if len == 0 || len > max {
+            return Err(WireError::Bounds { what: "string", len: len.into(), max: max.into() });
+        }
+        self.take(len as usize, "string body")?;
+        Ok(())
     }
 
     fn get_len(&mut self) -> WireResult<u32> {
@@ -297,7 +335,7 @@ impl Decoder for CdrDecoder {
     }
 
     fn at_end(&self) -> bool {
-        self.pos >= self.buf.len()
+        self.pos >= self.buf.as_ref().len()
     }
 }
 

@@ -134,6 +134,19 @@ pub trait Decoder: Send {
     ///
     /// Fails on truncated or malformed input.
     fn get_string(&mut self) -> WireResult<String>;
+    /// Skips over one string without materializing it — used when peeking
+    /// at routing fields past a string the caller does not need. The
+    /// default decodes and discards; codecs override to avoid the
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input, as [`Decoder::get_string`]
+    /// (implementations may skip content-level validation of the skipped
+    /// bytes).
+    fn skip_string(&mut self) -> WireResult<()> {
+        self.get_string().map(|_| ())
+    }
     /// Reads a sequence length prefix.
     ///
     /// # Errors

@@ -34,6 +34,7 @@ pub mod codec;
 pub mod error;
 pub mod limits;
 pub mod plan;
+pub mod pool;
 pub mod protocol;
 pub mod text;
 
@@ -42,5 +43,6 @@ pub use codec::{Decoder, Encoder};
 pub use error::{WireError, WireResult};
 pub use limits::DecodeLimits;
 pub use plan::{CdrStructPlan, FieldKind, PlanValue};
-pub use protocol::{by_name, CdrProtocol, Protocol, TextProtocol};
+pub use pool::{BufPool, FrameBuf, PooledBuf};
+pub use protocol::{by_name, CdrProtocol, Protocol, TextProtocol, MAX_FRAME_HEADER};
 pub use text::{TextDecoder, TextEncoder};

@@ -39,16 +39,20 @@ use crate::limits::DecodeLimits;
 /// enc.put_long(42);
 /// assert_eq!(String::from_utf8(enc.finish()).unwrap(), r#""print" 42"#);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TextEncoder {
     out: String,
     depth: u32,
 }
 
 impl TextEncoder {
-    /// Creates an empty encoder.
+    /// Creates an empty encoder. The output buffer is drawn from the
+    /// process-wide [`pool`](crate::pool) (pooled buffers are stored
+    /// cleared, so reusing one as a `String` is free).
     pub fn new() -> Self {
-        TextEncoder::default()
+        let buf = crate::pool::global().take_vec();
+        debug_assert!(buf.is_empty());
+        TextEncoder { out: String::from_utf8(buf).unwrap_or_default(), depth: 0 }
     }
 
     fn token(&mut self, t: &str) {
@@ -56,6 +60,18 @@ impl TextEncoder {
             self.out.push(' ');
         }
         self.out.push_str(t);
+    }
+}
+
+impl Default for TextEncoder {
+    fn default() -> Self {
+        TextEncoder::new()
+    }
+}
+
+impl Drop for TextEncoder {
+    fn drop(&mut self) {
+        crate::pool::recycle(std::mem::take(&mut self.out).into_bytes());
     }
 }
 
@@ -358,6 +374,18 @@ impl Decoder for TextDecoder {
             what: "string",
             detail: format!("expected quoted string, got `{t}`"),
         })
+    }
+
+    fn skip_string(&mut self) -> WireResult<()> {
+        let t = self.next("string")?;
+        if t.starts_with('"') {
+            Ok(())
+        } else {
+            Err(WireError::Malformed {
+                what: "string",
+                detail: format!("expected quoted string, got `{t}`"),
+            })
+        }
     }
 
     fn get_len(&mut self) -> WireResult<u32> {

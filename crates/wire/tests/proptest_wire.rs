@@ -4,7 +4,10 @@
 //! arrives, they must fail with `WireError`, never panic. And any value
 //! sequence must round-trip identically on both protocols.
 
-use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol, WireResult};
+use heidl_wire::{
+    CdrProtocol, DecodeLimits, Decoder, Encoder, FrameBuf, Protocol, TextProtocol, WireResult,
+    MAX_FRAME_HEADER,
+};
 use proptest::prelude::*;
 
 /// One marshal-able value, used to drive encoder/decoder pairs generically.
@@ -105,6 +108,42 @@ fn protocols() -> Vec<Box<dyn Protocol>> {
     vec![Box::new(TextProtocol), Box::new(CdrProtocol)]
 }
 
+/// Drains a byte stream with the legacy `Vec`-based deframer until it
+/// yields nothing, errors, or stalls. Returns the bodies produced, the
+/// first error (stringified), and the bytes left unconsumed.
+fn drain_legacy(
+    p: &dyn Protocol,
+    bytes: &[u8],
+    limits: &DecodeLimits,
+) -> (Vec<Vec<u8>>, Option<String>, Vec<u8>) {
+    let mut buf = bytes.to_vec();
+    let mut out = Vec::new();
+    loop {
+        match p.deframe_limited(&mut buf, limits) {
+            Ok(Some(b)) => out.push(b),
+            Ok(None) => return (out, None, buf),
+            Err(e) => return (out, Some(e.to_string()), buf),
+        }
+    }
+}
+
+/// Drains the same stream through the pooled zero-copy cursor.
+fn drain_pooled(
+    p: &dyn Protocol,
+    bytes: &[u8],
+    limits: &DecodeLimits,
+) -> (Vec<Vec<u8>>, Option<String>, Vec<u8>) {
+    let mut buf = FrameBuf::from_vec(bytes.to_vec());
+    let mut out = Vec::new();
+    loop {
+        match p.deframe_pooled(&mut buf, limits) {
+            Ok(Some(b)) => out.push(b.detach()),
+            Ok(None) => return (out, None, buf.into_vec()),
+            Err(e) => return (out, Some(e.to_string()), buf.into_vec()),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -176,6 +215,100 @@ proptest! {
             let got = p.deframe(&mut stream).unwrap().expect("one frame");
             prop_assert_eq!(got, body, "{}", p.name());
             prop_assert!(stream.is_empty());
+        }
+    }
+
+    /// The pooled cursor deframer is a drop-in for the legacy deframer on
+    /// *any* byte stream — hostile or well-formed — under any frame bound:
+    /// same bodies, same first error, same bytes left unconsumed.
+    #[test]
+    fn pooled_deframe_matches_legacy_on_arbitrary_streams(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        limit in prop_oneof![Just(u64::MAX), 1u64..96],
+    ) {
+        for p in protocols() {
+            let limits = DecodeLimits::default().with_max_frame_bytes(limit);
+            let legacy = drain_legacy(p.as_ref(), &bytes, &limits);
+            let pooled = drain_pooled(p.as_ref(), &bytes, &limits);
+            prop_assert_eq!(&legacy, &pooled, "{} limit={}", p.name(), limit);
+        }
+    }
+
+    /// Same equivalence on streams of well-formed frames, so the happy
+    /// path is exercised deliberately rather than by luck of the fuzzer.
+    #[test]
+    fn pooled_deframe_matches_legacy_on_framed_payloads(
+        payloads in proptest::collection::vec("\\PC{0,32}", 0..6),
+    ) {
+        for p in protocols() {
+            let mut stream = Vec::new();
+            for s in &payloads {
+                let mut enc = p.encoder();
+                enc.put_string(s);
+                let body = enc.finish();
+                p.frame(&body, &mut stream);
+            }
+            let limits = DecodeLimits::default();
+            let legacy = drain_legacy(p.as_ref(), &stream, &limits);
+            let pooled = drain_pooled(p.as_ref(), &stream, &limits);
+            prop_assert_eq!(&legacy, &pooled, "{}", p.name());
+            prop_assert!(legacy.1.is_none(), "{}: well-formed frames must drain cleanly", p.name());
+            prop_assert_eq!(legacy.0.len(), payloads.len(), "{}", p.name());
+        }
+    }
+
+    /// Frames arriving split across arbitrarily-sized reads reassemble
+    /// byte-identically through the pooled cursor.
+    #[test]
+    fn pooled_deframe_reassembles_split_streams(
+        payloads in proptest::collection::vec("\\PC{0,32}", 1..5),
+        chunk in 1usize..9,
+    ) {
+        for p in protocols() {
+            let mut stream = Vec::new();
+            let mut bodies = Vec::new();
+            for s in &payloads {
+                let mut enc = p.encoder();
+                enc.put_string(s);
+                let body = enc.finish();
+                p.frame(&body, &mut stream);
+                bodies.push(body);
+            }
+            let limits = DecodeLimits::default();
+            let mut fb = FrameBuf::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                fb.extend_from_slice(piece);
+                while let Some(b) = p.deframe_pooled(&mut fb, &limits).unwrap() {
+                    got.push(b.detach());
+                }
+            }
+            prop_assert_eq!(got, bodies, "{}", p.name());
+            prop_assert!(fb.is_empty(), "{}", p.name());
+        }
+    }
+
+    /// `frame_parts` (stack header + borrowed body + trailer) assembles to
+    /// exactly the bytes `frame` would have produced.
+    #[test]
+    fn frame_parts_assembles_identically_to_frame(
+        values in proptest::collection::vec(val_strategy(), 0..6),
+    ) {
+        for p in protocols() {
+            let mut enc = p.encoder();
+            for v in &values {
+                put(v, enc.as_mut());
+            }
+            let body = enc.finish();
+            let mut header = [0u8; MAX_FRAME_HEADER];
+            let (header_len, trailer) =
+                p.frame_parts(body.len(), &mut header).expect("both protocols support parts");
+            let mut assembled = header[..header_len].to_vec();
+            assembled.extend_from_slice(&body);
+            assembled.extend_from_slice(trailer);
+            let mut framed = Vec::new();
+            p.frame(&body, &mut framed);
+            prop_assert_eq!(assembled, framed, "{}", p.name());
         }
     }
 }

@@ -1,25 +1,70 @@
 //! Offline stand-in for the `crossbeam` crate covering the subset this
 //! workspace uses: `crossbeam::channel::{unbounded, Sender, Receiver}` with
-//! clonable receivers, built on `std::sync::mpsc` behind a mutex.
+//! clonable receivers, built on a `Mutex<VecDeque>` + `Condvar`.
+//!
+//! A blocked `recv` waits on the condvar — releasing the queue lock — so
+//! any number of consumers can sleep concurrently and a `send` wakes
+//! exactly one of them. (An earlier version wrapped `std::sync::mpsc`
+//! behind a mutex, which serialized consumers: one receiver blocked
+//! *inside* the lock while the rest queued on the mutex itself.)
 
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{mpsc, Arc, Mutex, PoisonError};
-    use std::time::Duration;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
 
-    pub struct Sender<T>(mpsc::Sender<T>);
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
 
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Receivers blocked on an empty queue must observe the
+                // disconnect, and there may be several of them.
+                drop(state);
+                self.0.cv.notify_all();
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
             Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().receivers -= 1;
         }
     }
 
@@ -94,36 +139,70 @@ pub mod channel {
     impl std::error::Error for RecvTimeoutError {}
 
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let mut state = self.0.lock();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.cv.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            let rx = self.0.lock().unwrap_or_else(PoisonError::into_inner);
-            rx.recv().map_err(|_| RecvError)
+            let mut state = self.0.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let rx = self.0.lock().unwrap_or_else(PoisonError::into_inner);
-            rx.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut state = self.0.lock();
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let rx = self.0.lock().unwrap_or_else(PoisonError::into_inner);
-            rx.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            let deadline = Instant::now() + timeout;
+            let mut state = self.0.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .0
+                    .cv
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+            }
         }
     }
 

@@ -787,12 +787,16 @@ fn echo_once(orb: &Orb, objref: &ObjectRef, payload: &str) {
     black_box(reply.results().get_string().unwrap());
 }
 
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct WorkloadStat {
     p50_ns: f64,
     p99_ns: f64,
     calls_per_sec: f64,
     allocs_per_call: f64,
+    /// Non-empty log₂ latency buckets `(lower_bound_ns, count)` pulled
+    /// from the ORB's metrics registry — the same histogram `_metrics`
+    /// serves, so the bench and a live server report identical shapes.
+    latency_buckets_ns: Vec<(u64, u64)>,
 }
 
 fn echo_payload() -> String {
@@ -818,6 +822,10 @@ fn measure_echo(protocol: Arc<dyn Protocol>, calls: usize) -> WorkloadStat {
     }
     let elapsed = wall.elapsed();
     let allocs = allocs_so_far() - alloc0;
+    // The loopback orb is both client and server; its client-side "echo"
+    // histogram covers every call the loop just made (warmup included).
+    let latency_buckets_ns =
+        orb.metrics().client_op("echo").map(|op| op.latency.nonzero_buckets()).unwrap_or_default();
     orb.shutdown();
     lat.sort_unstable();
     WorkloadStat {
@@ -825,6 +833,7 @@ fn measure_echo(protocol: Arc<dyn Protocol>, calls: usize) -> WorkloadStat {
         p99_ns: lat[(calls * 99 / 100).min(calls - 1)] as f64,
         calls_per_sec: calls as f64 / elapsed.as_secs_f64(),
         allocs_per_call: allocs as f64 / calls as f64,
+        latency_buckets_ns,
     }
 }
 
@@ -856,12 +865,15 @@ fn measure_storm(protocol: Arc<dyn Protocol>, threads: usize, per_thread: usize)
     });
     let elapsed = wall.elapsed();
     let allocs = allocs_so_far() - alloc0;
+    let latency_buckets_ns =
+        orb.metrics().client_op("echo").map(|op| op.latency.nonzero_buckets()).unwrap_or_default();
     orb.shutdown();
     WorkloadStat {
         p50_ns: 0.0,
         p99_ns: 0.0,
         calls_per_sec: calls as f64 / elapsed.as_secs_f64(),
         allocs_per_call: allocs as f64 / calls as f64,
+        latency_buckets_ns,
     }
 }
 
@@ -887,14 +899,35 @@ fn measure_marshal(protocol: &dyn Protocol) -> WorkloadStat {
         p99_ns: 0.0,
         calls_per_sec: 1e9 / ns,
         allocs_per_call: allocs as f64 / iters.max(1) as f64,
+        latency_buckets_ns: Vec::new(),
     }
 }
 
 fn json_stat(name: &str, s: &WorkloadStat) -> String {
-    format!(
-        "    \"{name}\": {{\"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"calls_per_sec\": {:.0}, \"allocs_per_call\": {:.1}}}",
+    let mut out = format!(
+        "    \"{name}\": {{\"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"calls_per_sec\": {:.0}, \"allocs_per_call\": {:.1}",
         s.p50_ns, s.p99_ns, s.calls_per_sec, s.allocs_per_call
-    )
+    );
+    if !s.latency_buckets_ns.is_empty() {
+        // Arrays only: `extract_results` balances braces, not brackets.
+        let buckets: Vec<String> =
+            s.latency_buckets_ns.iter().map(|(lo, n)| format!("[{lo}, {n}]")).collect();
+        out.push_str(&format!(", \"latency_buckets_ns\": [{}]", buckets.join(", ")));
+    }
+    out.push('}');
+    out
+}
+
+/// Pulls `"<workload>": {... "allocs_per_call": X ...}` out of a baseline
+/// JSON blob without a JSON parser (the file is our own output).
+fn baseline_allocs_per_call(json: &str, workload: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{workload}\":"))?;
+    let obj = &json[start..start + json[start..].find('}')?];
+    let field = obj.find("\"allocs_per_call\":")?;
+    let rest = obj[field + "\"allocs_per_call\":".len()..].trim_start();
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Extract the `"results": { ... }` object (brace-balanced) from a previous
@@ -974,5 +1007,34 @@ fn roundtrip(quick: bool) {
     match std::fs::write(&path, &out) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path}: {e}"),
+    }
+
+    // CI regression gate (HEIDL_BENCH_ASSERT_ALLOCS=1): with tracing
+    // disabled — the default — CDR echo must not allocate more per call
+    // than the recorded baseline, within a small noise budget. This is
+    // what keeps the observability layer honest about "zero cost off".
+    if std::env::var("HEIDL_BENCH_ASSERT_ALLOCS").is_ok() {
+        let base = std::env::var("HEIDL_BENCH_BASELINE")
+            .ok()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|prev| baseline_allocs_per_call(&prev, "echo_cdr"));
+        match base {
+            Some(base) => {
+                let measured = echo_cdr.allocs_per_call;
+                let budget = base + 5.0;
+                if measured > budget {
+                    eprintln!(
+                        "allocs/call regression: echo_cdr measured {measured:.1} > budget \
+                         {budget:.1} (baseline {base:.1})"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "alloc gate ok: echo_cdr {measured:.1} allocs/call \
+                     (baseline {base:.1}, budget {budget:.1})"
+                );
+            }
+            None => println!("alloc gate skipped: no parsable HEIDL_BENCH_BASELINE"),
+        }
     }
 }

@@ -16,8 +16,28 @@
 //! demand) and is driven by the ORB's invocation engine. Every
 //! state-changing method has an `_at(Instant)` twin so tests exercise the
 //! transitions deterministically, without sleeping.
+//!
+//! ## Generations and stale results
+//!
+//! Calls admitted under one state can finish after the breaker has moved
+//! on — a slow call admitted while Closed may complete long after the
+//! breaker tripped and went Half-Open. Such a *stale* result says nothing
+//! about the endpoint's health **now**, and before this was tracked a
+//! stale pre-trip success arriving during Half-Open could close the
+//! breaker without a single real probe succeeding. Admission therefore
+//! returns a [`ProbeToken`] carrying the breaker's *generation* (bumped on
+//! every state transition); [`CircuitBreaker::record_outcome`] ignores
+//! results whose token generation no longer matches. The token-less
+//! [`CircuitBreaker::record_success`] / [`CircuitBreaker::record_failure`]
+//! remain for callers without admission context and always count against
+//! the current generation.
+//!
+//! State transitions can be observed (exactly once each, even under
+//! concurrent probes) via [`BreakerObserver`] — the ORB wires its
+//! [`Metrics`](crate::metrics::Metrics) registry in as the observer.
 
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning for a [`CircuitBreaker`].
@@ -78,19 +98,80 @@ enum State {
     HalfOpen { in_flight: u32, successes: u32 },
 }
 
-/// A three-state circuit breaker guarding one endpoint.
+impl State {
+    fn observable(&self) -> BreakerState {
+        match self {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+}
+
+/// Proof of admission, carrying the breaker generation the call was
+/// admitted under. Hand it back via [`CircuitBreaker::record_outcome`]:
+/// outcomes from an earlier generation (the breaker transitioned while the
+/// call was in flight) are ignored, so stale results never close, reopen,
+/// or extend a breaker they know nothing about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeToken {
+    generation: u64,
+}
+
+/// Observes breaker state transitions — each real transition is reported
+/// exactly once, after the state lock is released. Implemented by
+/// [`Metrics`](crate::metrics::Metrics) to count trips and recoveries.
+pub trait BreakerObserver: Send + Sync {
+    /// Called on every state transition.
+    fn on_transition(&self, from: BreakerState, to: BreakerState);
+}
+
 #[derive(Debug)]
+struct Inner {
+    state: State,
+    /// Bumped on every state transition; see [`ProbeToken`].
+    generation: u64,
+}
+
+/// A three-state circuit breaker guarding one endpoint.
 pub struct CircuitBreaker {
     config: BreakerConfig,
-    state: Mutex<State>,
+    inner: Mutex<Inner>,
+    observer: Option<Arc<dyn BreakerObserver>>,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("config", &self.config)
+            .field("inner", &self.inner)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl CircuitBreaker {
     /// A closed breaker with the given tuning (`probe_budget` clamped to
     /// ≥ 1 so an Open breaker can always recover).
     pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        Self::build(config, None)
+    }
+
+    /// As [`CircuitBreaker::new`], with a transition observer attached.
+    pub fn with_observer(
+        config: BreakerConfig,
+        observer: Arc<dyn BreakerObserver>,
+    ) -> CircuitBreaker {
+        Self::build(config, Some(observer))
+    }
+
+    fn build(config: BreakerConfig, observer: Option<Arc<dyn BreakerObserver>>) -> CircuitBreaker {
         let config = BreakerConfig { probe_budget: config.probe_budget.max(1), ..config };
-        CircuitBreaker { config, state: Mutex::new(State::Closed { failures: 0 }) }
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner { state: State::Closed { failures: 0 }, generation: 0 }),
+            observer,
+        }
     }
 
     /// The tuning this breaker was built with.
@@ -101,97 +182,170 @@ impl CircuitBreaker {
     /// The current observable state (an Open breaker whose cool-down has
     /// elapsed still reports Open until the next admission probes it).
     pub fn state(&self) -> BreakerState {
-        match *self.state.lock() {
-            State::Closed { .. } => BreakerState::Closed,
-            State::Open { .. } => BreakerState::Open,
-            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        self.inner.lock().state.observable()
+    }
+
+    /// Notifies the observer of a transition, outside the state lock so
+    /// observers can re-enter the breaker (or block) safely.
+    fn notify(&self, transition: Option<(BreakerState, BreakerState)>) {
+        if let (Some((from, to)), Some(obs)) = (transition, self.observer.as_ref()) {
+            obs.on_transition(from, to);
         }
     }
 
     /// Asks to place a call now. `Err(retry_after)` means fail fast.
-    pub fn try_admit(&self) -> Result<(), Duration> {
+    pub fn try_admit(&self) -> Result<ProbeToken, Duration> {
         self.try_admit_at(Instant::now())
     }
 
     /// [`CircuitBreaker::try_admit`] at an explicit instant (tests).
-    pub fn try_admit_at(&self, now: Instant) -> Result<(), Duration> {
-        let mut state = self.state.lock();
-        match *state {
-            State::Closed { .. } => Ok(()),
-            State::Open { until } => {
-                if now >= until {
-                    // Cool-down elapsed: this caller becomes the first probe.
-                    *state = State::HalfOpen { in_flight: 1, successes: 0 };
-                    Ok(())
-                } else {
-                    Err(until - now)
+    pub fn try_admit_at(&self, now: Instant) -> Result<ProbeToken, Duration> {
+        let mut transition = None;
+        let result = {
+            let mut inner = self.inner.lock();
+            match inner.state {
+                State::Closed { .. } => Ok(ProbeToken { generation: inner.generation }),
+                State::Open { until } => {
+                    if now >= until {
+                        // Cool-down elapsed: this caller becomes the first probe.
+                        inner.state = State::HalfOpen { in_flight: 1, successes: 0 };
+                        inner.generation += 1;
+                        transition = Some((BreakerState::Open, BreakerState::HalfOpen));
+                        Ok(ProbeToken { generation: inner.generation })
+                    } else {
+                        Err(until - now)
+                    }
+                }
+                State::HalfOpen { ref mut in_flight, .. } => {
+                    if *in_flight < self.config.probe_budget {
+                        *in_flight += 1;
+                        Ok(ProbeToken { generation: inner.generation })
+                    } else {
+                        // The probe budget is spent; callers should fail over
+                        // or retry shortly, once a probe completes.
+                        Err(Duration::ZERO)
+                    }
                 }
             }
-            State::HalfOpen { ref mut in_flight, .. } => {
-                if *in_flight < self.config.probe_budget {
-                    *in_flight += 1;
-                    Ok(())
+        };
+        self.notify(transition);
+        result
+    }
+
+    /// Records the outcome of a call admitted with `token`. Stale tokens —
+    /// the breaker transitioned since admission — are ignored entirely.
+    pub fn record_outcome(&self, token: ProbeToken, ok: bool) {
+        self.record_outcome_at(token, ok, Instant::now());
+    }
+
+    /// [`CircuitBreaker::record_outcome`] at an explicit instant (tests).
+    pub fn record_outcome_at(&self, token: ProbeToken, ok: bool, now: Instant) {
+        let mut transition = None;
+        {
+            let mut inner = self.inner.lock();
+            if token.generation != inner.generation {
+                // The state that admitted this call is gone; its result is
+                // no evidence about the endpoint's health now.
+                return;
+            }
+            if ok {
+                Self::apply_success(&self.config, &mut inner, &mut transition);
+            } else {
+                Self::apply_failure(&self.config, &mut inner, &mut transition, now);
+            }
+        }
+        self.notify(transition);
+    }
+
+    fn apply_success(
+        config: &BreakerConfig,
+        inner: &mut Inner,
+        transition: &mut Option<(BreakerState, BreakerState)>,
+    ) {
+        match inner.state {
+            State::Closed { ref mut failures } => *failures = 0,
+            // Unreachable via tokens (Open always means a newer generation)
+            // but token-less callers can still land here: the cool-down
+            // stands, one stale success is no health signal.
+            State::Open { .. } => {}
+            State::HalfOpen { in_flight, successes } => {
+                let successes = successes + 1;
+                if successes >= config.success_threshold {
+                    inner.state = State::Closed { failures: 0 };
+                    inner.generation += 1;
+                    *transition = Some((BreakerState::HalfOpen, BreakerState::Closed));
                 } else {
-                    // The probe budget is spent; callers should fail over
-                    // or retry shortly, once a probe completes.
-                    Err(Duration::ZERO)
+                    inner.state =
+                        State::HalfOpen { in_flight: in_flight.saturating_sub(1), successes };
                 }
             }
         }
     }
 
-    /// Records a successful call.
+    fn apply_failure(
+        config: &BreakerConfig,
+        inner: &mut Inner,
+        transition: &mut Option<(BreakerState, BreakerState)>,
+        now: Instant,
+    ) {
+        if !config.is_enabled() {
+            return;
+        }
+        match inner.state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= config.failure_threshold {
+                    inner.state = State::Open { until: now + config.cooldown };
+                    inner.generation += 1;
+                    *transition = Some((BreakerState::Closed, BreakerState::Open));
+                } else {
+                    inner.state = State::Closed { failures };
+                }
+            }
+            // Token-less stale failure: the breaker is already Open, leave
+            // the cool-down as is.
+            State::Open { .. } => {}
+            // A failed probe reopens for a fresh cool-down.
+            State::HalfOpen { .. } => {
+                inner.state = State::Open { until: now + config.cooldown };
+                inner.generation += 1;
+                *transition = Some((BreakerState::HalfOpen, BreakerState::Open));
+            }
+        }
+    }
+
+    /// Records a successful call against the current generation (no
+    /// staleness protection; prefer [`CircuitBreaker::record_outcome`]).
     pub fn record_success(&self) {
         self.record_success_at(Instant::now());
     }
 
     /// [`CircuitBreaker::record_success`] at an explicit instant (tests).
     pub fn record_success_at(&self, _now: Instant) {
-        let mut state = self.state.lock();
-        match *state {
-            State::Closed { ref mut failures } => *failures = 0,
-            // A call admitted before the trip finished late; the Open
-            // cool-down stands (one stale success is no health signal).
-            State::Open { .. } => {}
-            State::HalfOpen { in_flight, successes } => {
-                let successes = successes + 1;
-                if successes >= self.config.success_threshold {
-                    *state = State::Closed { failures: 0 };
-                } else {
-                    *state = State::HalfOpen { in_flight: in_flight.saturating_sub(1), successes };
-                }
-            }
+        let mut transition = None;
+        {
+            let mut inner = self.inner.lock();
+            Self::apply_success(&self.config, &mut inner, &mut transition);
         }
+        self.notify(transition);
     }
 
     /// Records a failed call (connect failure, transport failure, or a
     /// timed-out reply — a consistently slow endpoint is as unhealthy as a
-    /// dead one for fail-fast purposes).
+    /// dead one for fail-fast purposes) against the current generation (no
+    /// staleness protection; prefer [`CircuitBreaker::record_outcome`]).
     pub fn record_failure(&self) {
         self.record_failure_at(Instant::now());
     }
 
     /// [`CircuitBreaker::record_failure`] at an explicit instant (tests).
     pub fn record_failure_at(&self, now: Instant) {
-        if !self.config.is_enabled() {
-            return;
+        let mut transition = None;
+        {
+            let mut inner = self.inner.lock();
+            Self::apply_failure(&self.config, &mut inner, &mut transition, now);
         }
-        let mut state = self.state.lock();
-        match *state {
-            State::Closed { failures } => {
-                let failures = failures + 1;
-                if failures >= self.config.failure_threshold {
-                    *state = State::Open { until: now + self.config.cooldown };
-                } else {
-                    *state = State::Closed { failures };
-                }
-            }
-            // Stale failure from a call admitted before the trip: the
-            // breaker is already Open, leave the cool-down as is.
-            State::Open { .. } => {}
-            // A failed probe reopens for a fresh cool-down.
-            State::HalfOpen { .. } => *state = State::Open { until: now + self.config.cooldown },
-        }
+        self.notify(transition);
     }
 }
 
@@ -325,5 +479,118 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open);
         b.record_failure_at(t0);
         assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    /// The bug this PR fixes: a success from a call admitted *before* the
+    /// trip, arriving while the breaker is Half-Open, must not count as a
+    /// probe success (it could close the breaker with zero real probes).
+    #[test]
+    fn stale_pre_trip_success_does_not_close_a_half_open_breaker() {
+        let t0 = Instant::now();
+        let b = CircuitBreaker::new(cfg(1));
+        // A slow call is admitted while Closed...
+        let slow = b.try_admit_at(t0).unwrap();
+        // ...another call fails and trips the breaker...
+        let failed = b.try_admit_at(t0).unwrap();
+        b.record_outcome_at(failed, false, t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        // ...the cool-down elapses and a real probe goes out...
+        let t1 = t0 + Duration::from_millis(150);
+        let probe = b.try_admit_at(t1).unwrap();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // ...and only now the slow pre-trip call completes successfully.
+        b.record_outcome_at(slow, true, t1);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "stale success must not close");
+        // A stale pre-trip failure must not reopen either.
+        b.record_outcome_at(slow, false, t1);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "stale failure must not reopen");
+        // The real probe's success closes it.
+        b.record_outcome_at(probe, true, t1);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        transitions: Mutex<Vec<(BreakerState, BreakerState)>>,
+    }
+
+    impl BreakerObserver for CountingObserver {
+        fn on_transition(&self, from: BreakerState, to: BreakerState) {
+            self.transitions.lock().push((from, to));
+        }
+    }
+
+    /// Concurrent Half-Open probes settling (in any order) produce exactly
+    /// one observed transition: the generation check makes whichever
+    /// outcome lands second a no-op.
+    #[test]
+    fn concurrent_probe_outcomes_count_one_transition() {
+        use BreakerState::{Closed, HalfOpen, Open};
+        for second_probe_ok in [true, false] {
+            let t0 = Instant::now();
+            let obs = Arc::new(CountingObserver::default());
+            let b = CircuitBreaker::with_observer(
+                BreakerConfig { probe_budget: 2, ..cfg(1) },
+                Arc::clone(&obs) as Arc<dyn BreakerObserver>,
+            );
+            b.record_failure_at(t0); // trips
+            let t1 = t0 + Duration::from_millis(150);
+            let p1 = b.try_admit_at(t1).unwrap();
+            let p2 = b.try_admit_at(t1).unwrap();
+            // First probe success closes the breaker (threshold 1)...
+            b.record_outcome_at(p1, true, t1);
+            assert_eq!(b.state(), Closed);
+            // ...the second probe's outcome, either way, changes nothing.
+            b.record_outcome_at(p2, second_probe_ok, t1);
+            assert_eq!(b.state(), Closed, "second outcome ok={second_probe_ok}");
+            assert_eq!(
+                *obs.transitions.lock(),
+                [(Closed, Open), (Open, HalfOpen), (HalfOpen, Closed)],
+                "second outcome ok={second_probe_ok}"
+            );
+        }
+    }
+
+    /// Hammering a breaker from many threads never strands it: after all
+    /// in-flight outcomes settle, a probe can always be admitted once the
+    /// cool-down elapses, and every observed transition is consistent.
+    #[test]
+    fn concurrent_hammering_does_not_strand_the_breaker() {
+        let obs = Arc::new(CountingObserver::default());
+        let b = Arc::new(CircuitBreaker::with_observer(
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(1),
+                probe_budget: 2,
+                success_threshold: 2,
+            },
+            Arc::clone(&obs) as Arc<dyn BreakerObserver>,
+        ));
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for n in 0..200 {
+                        if let Ok(token) = b.try_admit() {
+                            b.record_outcome(token, (n + i) % 3 != 0);
+                        } else {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // However the race played out, the breaker must still be able to
+        // admit once any cool-down elapses — i.e. not stranded.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.try_admit().is_ok(), "breaker stranded in {:?}", b.state());
+        // Transitions chain: each `from` equals the previous `to`.
+        let ts = obs.transitions.lock().clone();
+        for pair in ts.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "non-contiguous transition log: {ts:?}");
+        }
     }
 }

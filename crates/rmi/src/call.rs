@@ -24,9 +24,18 @@
 //! small request id first (`7 "@tcp:host:port#1#IDL:..." "print" T ...`) and
 //! sees the same id echoed at the front of the reply (`7 0 ...`), or on an
 //! overloaded server `7 3 "IDL:heidl/ServerBusy:1.0" "in-flight cap"`.
+//!
+//! When call tracing is enabled, a request body may additionally end with
+//! the protocols' optional **trailing context section** carrying
+//! `(call-id, parent-id)` — see [`Call::attach_context`] and
+//! [`extract_call_context`]. Old peers never read past the declared
+//! arguments, so the section is invisible to them; on the text protocol a
+//! telnet user joins a trace by typing ` "~ctx" 42 7` at the end of a
+//! request line.
 
 use crate::error::{RmiError, RmiResult};
 use crate::objref::ObjectRef;
+use crate::trace::CallContext;
 use heidl_wire::{DecodeLimits, Decoder, Encoder, Protocol};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -155,10 +164,26 @@ impl Call {
         &self.method
     }
 
+    /// Appends the wire-level trailing context section to this call. Must
+    /// be called **after** every argument has been marshaled (the section
+    /// is a suffix; anything put after it would corrupt the tail). Returns
+    /// `false` when `protocol` has no context encoding.
+    pub fn attach_context(&mut self, protocol: &dyn Protocol, ctx: CallContext) -> bool {
+        protocol.encode_context(self.enc.as_mut(), ctx.call_id, ctx.parent_id)
+    }
+
     /// Completes the request, yielding the message body to send.
     pub fn into_body(mut self) -> Vec<u8> {
         self.enc.finish()
     }
+}
+
+/// Recovers the trailing [`CallContext`] from a received request body, if
+/// the peer stamped one. Purely a tail inspection: bodies without the
+/// section (from old peers, or with tracing disabled) return `None` and
+/// decode exactly as before.
+pub fn extract_call_context(body: &[u8], protocol: &dyn Protocol) -> Option<CallContext> {
+    protocol.extract_context(body).map(|(call_id, parent_id)| CallContext { call_id, parent_id })
 }
 
 /// A server-side view of a received request.
@@ -429,6 +454,30 @@ mod tests {
             assert_eq!(incoming.args.get_long().unwrap(), 7);
             assert_eq!(incoming.args.get_string().unwrap(), "x");
             assert!(incoming.args.at_end());
+        }
+    }
+
+    /// A request carrying the trailing context section still parses
+    /// identically for a reader that only consumes the declared fields,
+    /// and the context is recoverable from the tail.
+    #[test]
+    fn request_with_context_is_old_reader_compatible() {
+        for p in protocols() {
+            let mut call = Call::request(&target(), "p", p.as_ref());
+            let id = call.request_id();
+            call.args().put_long(7);
+            assert!(call.attach_context(p.as_ref(), CallContext { call_id: id, parent_id: 3 }));
+            let body = call.into_body();
+
+            assert_eq!(
+                extract_call_context(&body, p.as_ref()),
+                Some(CallContext { call_id: id, parent_id: 3 })
+            );
+            // The "old reader": parses header + declared args, stops there.
+            let mut incoming = IncomingCall::parse(body, p.as_ref()).unwrap();
+            assert_eq!(incoming.request_id, id);
+            assert_eq!(incoming.method, "p");
+            assert_eq!(incoming.args.get_long().unwrap(), 7);
         }
     }
 

@@ -19,10 +19,11 @@
 //! uses a sharded pending table, so concurrent callers on one connection
 //! do not serialize on a single registration lock.
 
-use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::breaker::{BreakerConfig, BreakerObserver, CircuitBreaker};
 use crate::call::peek_reply_id;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
+use crate::trace::{self, TraceLevel};
 use crate::transport::{Connector, TcpConnector, Transport};
 use heidl_wire::{pool, DecodeLimits, FrameBuf, PooledBuf, Protocol, MAX_FRAME_HEADER};
 use parking_lot::{Condvar, Mutex};
@@ -477,18 +478,54 @@ impl Drop for MuxConnection {
 /// The demux thread: reads framed replies off the shared connection and
 /// wakes whichever caller registered the matching request id. Replies with
 /// no registered caller (deadline already passed) are dropped. On any read
-/// failure every parked caller is woken with `Disconnected`.
+/// failure every parked caller is woken with `Disconnected` — and every
+/// exit path, which used to vanish silently, emits a traced event saying
+/// why the thread died.
 fn demux_loop(mut comm: ObjectCommunicator, pending: Arc<PendingTable>, alive: Arc<AtomicBool>) {
-    while let Ok(Some(body)) = comm.recv() {
-        let Ok(id) = peek_reply_id(&body, comm.protocol().as_ref()) else {
-            break; // unintelligible reply stream: give up on the connection
-        };
-        if let Some(slot) = pending.remove(id) {
-            slot.deliver(Ok(body));
+    loop {
+        match comm.recv() {
+            Ok(Some(body)) => {
+                match peek_reply_id(&body, comm.protocol().as_ref()) {
+                    Ok(id) => {
+                        if let Some(slot) = pending.remove(id) {
+                            slot.deliver(Ok(body));
+                        } else {
+                            trace::emit_with(TraceLevel::Debug, "demux", || {
+                                format!("dropping late reply from {}", comm.peer())
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        // Unintelligible reply stream: give up on the connection.
+                        trace::emit_with(TraceLevel::Warn, "demux", || {
+                            format!("unintelligible reply from {}: {e}", comm.peer())
+                        });
+                        break;
+                    }
+                }
+            }
+            Ok(None) => {
+                trace::emit_with(TraceLevel::Debug, "demux", || {
+                    format!("connection to {} closed by peer", comm.peer())
+                });
+                break;
+            }
+            Err(e) => {
+                trace::emit_with(TraceLevel::Warn, "demux", || {
+                    format!("read failure on connection to {}: {e}", comm.peer())
+                });
+                break;
+            }
         }
     }
     alive.store(false, Ordering::SeqCst);
-    for slot in pending.drain() {
+    let slots = pending.drain();
+    if !slots.is_empty() {
+        trace::emit_with(TraceLevel::Warn, "demux", || {
+            format!("disconnecting {} pending caller(s) on {}", slots.len(), comm.peer())
+        });
+    }
+    for slot in slots {
         slot.deliver(Err(RmiError::Disconnected));
     }
 }
@@ -564,6 +601,9 @@ pub struct ConnectionPool {
     breakers: Mutex<HashMap<Endpoint, Arc<CircuitBreaker>>>,
     /// Tuning applied to breakers as they are created.
     breaker_config: Mutex<BreakerConfig>,
+    /// Observer attached to breakers as they are created (the owning
+    /// ORB's metrics registry counts their transitions).
+    breaker_observer: Mutex<Option<Arc<dyn BreakerObserver>>>,
 }
 
 impl std::fmt::Debug for ConnectionPool {
@@ -594,6 +634,7 @@ impl ConnectionPool {
             connector: Mutex::new(Arc::new(TcpConnector)),
             breakers: Mutex::new(HashMap::new()),
             breaker_config: Mutex::new(BreakerConfig::disabled()),
+            breaker_observer: Mutex::new(None),
         }
     }
 
@@ -619,6 +660,13 @@ impl ConnectionPool {
         *self.breaker_config.lock()
     }
 
+    /// Attaches an observer to breakers created from now on (already
+    /// created breakers are unaffected; call
+    /// [`ConnectionPool::reset_breakers`] to rebuild them observed).
+    pub fn set_breaker_observer(&self, observer: Arc<dyn BreakerObserver>) {
+        *self.breaker_observer.lock() = Some(observer);
+    }
+
     /// The circuit breaker guarding `endpoint`, created on first use.
     ///
     /// Breakers are deliberately *not* evicted with their connections
@@ -632,7 +680,11 @@ impl ConnectionPool {
         if let Some(b) = breakers.get(endpoint) {
             return Arc::clone(b);
         }
-        let b = Arc::new(CircuitBreaker::new(*self.breaker_config.lock()));
+        let config = *self.breaker_config.lock();
+        let b = Arc::new(match self.breaker_observer.lock().clone() {
+            Some(obs) => CircuitBreaker::with_observer(config, obs),
+            None => CircuitBreaker::new(config),
+        });
         breakers.insert(endpoint.clone(), Arc::clone(&b));
         b
     }
@@ -749,6 +801,17 @@ impl ConnectionPool {
             .lock()
             .get(endpoint)
             .map_or(0, |list| list.iter().filter(|c| c.borrowed() == 0).count())
+    }
+
+    /// Total pooled connections across every endpoint (occupancy gauge).
+    pub fn pooled_count(&self) -> usize {
+        self.conns.lock().values().map(Vec::len).sum()
+    }
+
+    /// Total calls awaiting replies across every pooled connection — the
+    /// live pending-table occupancy (gauge for `_metrics.dump`).
+    pub fn pending_total(&self) -> usize {
+        self.conns.lock().values().flatten().map(|c| c.in_flight()).sum()
     }
 }
 

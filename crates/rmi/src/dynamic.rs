@@ -195,6 +195,15 @@ impl DynResults {
         Ok(self.dec()?.results().get_long()?)
     }
 
+    /// Pulls an unsigned long result (e.g. the `_metrics` row counts).
+    ///
+    /// # Errors
+    ///
+    /// Unmarshal failures; pulling from a oneway call.
+    pub fn next_ulong(&mut self) -> RmiResult<u32> {
+        Ok(self.dec()?.results().get_ulong()?)
+    }
+
     /// Pulls an unsigned long long result (e.g. the `_health` counters).
     ///
     /// # Errors

@@ -223,8 +223,9 @@ impl FaultPlan {
     }
 
     /// Builds a plan from the `HEIDL_FAULT_PLAN` environment variable.
-    /// Returns `None` when unset; a malformed spec is reported on stderr
-    /// and ignored (a demo server should start, not crash).
+    /// Returns `None` when unset; a malformed spec is reported as a
+    /// `Warn`-level [trace event](crate::trace) (stderr by default) and
+    /// ignored (a demo server should start, not crash).
     pub fn from_env() -> Option<Arc<FaultPlan>> {
         let spec = std::env::var("HEIDL_FAULT_PLAN").ok()?;
         if spec.trim().is_empty() {
@@ -233,7 +234,9 @@ impl FaultPlan {
         match FaultPlan::parse(&spec) {
             Ok(plan) => Some(Arc::new(plan)),
             Err(e) => {
-                eprintln!("heidl: ignoring malformed HEIDL_FAULT_PLAN: {e}");
+                crate::trace::emit_with(crate::trace::TraceLevel::Warn, "fault", || {
+                    format!("ignoring malformed HEIDL_FAULT_PLAN: {e}")
+                });
                 None
             }
         }

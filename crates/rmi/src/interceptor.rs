@@ -13,6 +13,7 @@
 //! see `caching_smart_proxy` in `tests/interceptors.rs`.
 
 use crate::objref::ObjectRef;
+use crate::trace::CallContext;
 use std::sync::Arc;
 
 /// Where in a call's lifecycle a hook fired.
@@ -46,6 +47,11 @@ pub struct CallInfo {
     /// For the `*Receive`/`*Reply` phases: whether the call succeeded.
     /// `true` during `ClientSend`/`ServerDispatch`.
     pub ok: bool,
+    /// The [`CallContext`] active when the hook fired: the wire-propagated
+    /// call-id/parent-id pair, populated when call tracing is enabled
+    /// (client side) or the request carried a context section (server
+    /// side). `None` otherwise.
+    pub context: Option<CallContext>,
 }
 
 /// A filter on the invocation/dispatch path.
@@ -92,7 +98,13 @@ impl InterceptorChain {
         if items.is_empty() {
             return;
         }
-        let info = CallInfo { phase, target: target.clone(), method: method.to_owned(), ok };
+        let info = CallInfo {
+            phase,
+            target: target.clone(),
+            method: method.to_owned(),
+            ok,
+            context: CallContext::current(),
+        };
         for i in items.iter() {
             i.intercept(&info);
         }

@@ -88,6 +88,7 @@ pub mod dynamic;
 pub mod error;
 pub mod fault;
 pub mod interceptor;
+pub mod metrics;
 pub mod objref;
 pub mod orb;
 pub mod policy;
@@ -95,11 +96,12 @@ pub mod retry;
 pub mod serialize;
 mod server;
 pub mod skeleton;
+pub mod trace;
 pub mod transport;
 
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerObserver, BreakerState, CircuitBreaker, ProbeToken};
 pub use call::{
-    next_request_id, peek_reply_id, peek_reply_status, peek_request_header,
+    extract_call_context, next_request_id, peek_reply_id, peek_reply_status, peek_request_header,
     peek_request_header_limited, Call, IncomingCall, Reply, ReplyBuilder, ReplyStatus,
     BUSY_REPO_ID,
 };
@@ -109,6 +111,7 @@ pub use dynamic::{DynCall, DynResults, DynValue};
 pub use error::{RmiError, RmiResult};
 pub use fault::{Fault, FaultInjector, FaultOp, FaultPlan, FaultRule, FaultyConnector, Trigger};
 pub use interceptor::{CallInfo, CallPhase, FnInterceptor, Interceptor};
+pub use metrics::{Counter, Histogram, Metrics, MetricsSnapshot, OpSnapshot, OpStats};
 pub use objref::{Endpoint, ObjectRef};
 pub use orb::{CallOptions, Orb, OrbBuilder};
 pub use policy::{ServerHealth, ServerPolicy};
@@ -117,6 +120,10 @@ pub use serialize::{
     marshal_reference, marshal_value, unmarshal_incopy, IncopyArg, RemoteObject, ValueRegistry,
     ValueSerialize,
 };
-pub use server::{HEALTH_OBJECT_ID, HEALTH_TYPE_ID};
+pub use server::{HEALTH_OBJECT_ID, HEALTH_TYPE_ID, METRICS_OBJECT_ID, METRICS_TYPE_ID};
 pub use skeleton::{DispatchOutcome, Skeleton, SkeletonBase};
+pub use trace::{
+    CallContext, ContextGuard, RingSink, StderrSink, TraceEvent, TraceInterceptor, TraceLevel,
+    TraceSink,
+};
 pub use transport::{Connector, InProcTransport, TcpConnector, TcpTransport, Transport};

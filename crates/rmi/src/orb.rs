@@ -17,17 +17,21 @@
 //! every connection to the binary protocol without touching generated
 //! code.
 
-use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::breaker::{BreakerConfig, CircuitBreaker, ProbeToken};
 use crate::call::{peek_reply_status, Call, Reply, ReplyStatus};
 use crate::communicator::ConnectionPool;
 use crate::error::{RmiError, RmiResult};
 use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
+use crate::metrics::{Counter, Metrics};
 use crate::objref::{Endpoint, ObjectRef};
 use crate::policy::{ServerHealth, ServerPolicy};
 use crate::retry::{may_retry, Backoff, RetryPolicy};
 use crate::serialize::{self, RemoteObject, ValueRegistry};
-use crate::server::{ServerHandle, HEALTH_OBJECT_ID, HEALTH_TYPE_ID};
+use crate::server::{
+    ServerHandle, HEALTH_OBJECT_ID, HEALTH_TYPE_ID, METRICS_OBJECT_ID, METRICS_TYPE_ID,
+};
 use crate::skeleton::Skeleton;
+use crate::trace::{self, CallContext, TraceLevel};
 use crate::transport::Connector;
 use heidl_wire::{pool, Encoder, PooledBuf, Protocol, TextProtocol};
 use parking_lot::{Mutex, RwLock};
@@ -191,9 +195,15 @@ impl OrbBuilder {
         if let Some(connector) = self.connector {
             pool.set_connector(connector);
         }
+        // One registry per ORB: both the client invocation path and the
+        // server dispatch path of this address space record into it, and
+        // breaker state transitions are observed as counter bumps.
+        let metrics = Arc::new(Metrics::new());
+        pool.set_breaker_observer(Arc::clone(&metrics) as _);
         Orb {
             inner: Arc::new(OrbInner {
                 protocol: self.protocol,
+                metrics,
                 objects: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
                 pool,
@@ -219,6 +229,8 @@ pub struct Orb {
 
 pub(crate) struct OrbInner {
     pub(crate) protocol: Arc<dyn Protocol>,
+    /// Per-ORB metrics registry (counters + latency histograms).
+    pub(crate) metrics: Arc<Metrics>,
     pub(crate) objects: RwLock<HashMap<u64, Arc<dyn Skeleton>>>,
     next_id: AtomicU64,
     pool: ConnectionPool,
@@ -361,6 +373,24 @@ impl Orb {
         self.endpoint().map(|e| ObjectRef::new(e, HEALTH_OBJECT_ID, HEALTH_TYPE_ID))
     }
 
+    /// This ORB's metrics registry: call counters, per-operation latency
+    /// histograms, retry/breaker/shed counters, byte counters. Always
+    /// live — recording does not require a running server. The same data
+    /// is remotely dispatchable via the built-in `_metrics` object
+    /// ([`Orb::metrics_ref`]).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// The reference of this server's built-in `_metrics` object
+    /// (well-known object id `u64::MAX`, type `IDL:heidl/Metrics:1.0`).
+    /// Like `_health` it is served by every running ORB with no export
+    /// required and bypasses admission control, so a telnet user can read
+    /// `dump` even from an overloaded server. `None` when not serving.
+    pub fn metrics_ref(&self) -> Option<ObjectRef> {
+        self.endpoint().map(|e| ObjectRef::new(e, METRICS_OBJECT_ID, METRICS_TYPE_ID))
+    }
+
     /// Registers a skeleton, returning its reference. Requires a running
     /// server (the reference embeds the bootstrap endpoint).
     ///
@@ -462,29 +492,50 @@ impl Orb {
     /// # Errors
     ///
     /// As [`Orb::invoke`], plus [`RmiError::DeadlineExceeded`].
-    pub fn invoke_with(&self, call: Call, options: CallOptions) -> RmiResult<Reply> {
+    pub fn invoke_with(&self, mut call: Call, options: CallOptions) -> RmiResult<Reply> {
         self.check_protocol(call.target())?;
         let target = call.target().clone();
         let method = call.method().to_owned();
         let request_id = call.request_id();
+        // Call tracing (Debug level): stamp the request with a trailing
+        // wire context — this call's id, plus the id of whatever call we
+        // are currently dispatching as the parent — and make it current
+        // for the duration of the invocation so interceptor fires and
+        // trace events correlate. Costs nothing when tracing is off.
+        let _ctx_guard = if trace::enabled(TraceLevel::Debug) {
+            let ctx = CallContext {
+                call_id: request_id,
+                parent_id: CallContext::current().map_or(0, |c| c.call_id),
+            };
+            call.attach_context(self.inner.protocol.as_ref(), ctx);
+            Some(ctx.enter())
+        } else {
+            None
+        };
         self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
         let body = call.into_body();
         let deadline = options.deadline.or(self.inner.default_deadline);
+        self.inner.metrics.add(Counter::BytesOut, body.len() as u64);
 
+        let started = Instant::now();
         let result =
             self.invoke_fault_tolerant(&target, &method, request_id, &body, deadline, &options);
         // The request body is done with the wire on every path; give its
         // storage back for the next call's encoder.
         pool::recycle(body);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
         let reply_body = match result {
             Ok(b) => b,
             Err(e) => {
                 // Broken connections were discarded, not re-pooled.
+                self.inner.metrics.record_client_call(&method, elapsed_ns, false);
                 self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
                 return Err(e);
             }
         };
+        self.inner.metrics.add(Counter::BytesIn, reply_body.len() as u64);
         let reply = Reply::parse(reply_body.into(), self.inner.protocol.as_ref());
+        self.inner.metrics.record_client_call(&method, elapsed_ns, reply.is_ok());
         self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
         reply
     }
@@ -539,6 +590,7 @@ impl Orb {
             }
             for endpoint in target.endpoints() {
                 if !first_attempt {
+                    self.inner.metrics.inc(Counter::Retries);
                     self.inner.interceptors.fire(
                         CallPhase::ClientRetry,
                         &target.at_endpoint(endpoint),
@@ -583,23 +635,30 @@ impl Orb {
         options: &CallOptions,
     ) -> RmiResult<PooledBuf> {
         let breaker = self.inner.pool.breaker(endpoint);
-        if let Err(retry_after) = breaker.try_admit() {
-            return Err(RmiError::CircuitOpen { endpoint: endpoint.to_string(), retry_after });
-        }
+        // The admission token ties the eventual outcome back to the
+        // breaker generation that admitted this attempt: if the breaker
+        // trips (or is probed) while this call is in flight, a stale
+        // outcome is ignored instead of corrupting the newer state.
+        let token = match breaker.try_admit() {
+            Ok(token) => token,
+            Err(retry_after) => {
+                return Err(RmiError::CircuitOpen { endpoint: endpoint.to_string(), retry_after })
+            }
+        };
         let checked = match self.inner.pool.checkout(endpoint, &self.inner.protocol) {
             Ok(c) => c,
             Err(e) => {
-                breaker.record_failure();
+                breaker.record_outcome(token, false);
                 return Err(e);
             }
         };
         match checked.call(request_id, body, deadline) {
-            Ok(b) => self.accept_reply(b, &breaker),
+            Ok(b) => self.accept_reply(b, &breaker, token),
             // A deadline says nothing about connection health: keep the
             // connection — but a consistently slow endpoint is unhealthy
             // for fail-fast purposes, so the breaker counts it.
             Err(e @ RmiError::DeadlineExceeded { .. }) => {
-                breaker.record_failure();
+                breaker.record_outcome(token, false);
                 Err(e)
             }
             Err(first_err)
@@ -614,22 +673,23 @@ impl Orb {
                 self.inner.pool.discard(endpoint, checked.connection());
                 drop(checked);
                 self.inner.retries.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.inc(Counter::Retries);
                 match self.inner.pool.checkout(endpoint, &self.inner.protocol) {
                     Ok(fresh) => match fresh.call(request_id, body, deadline) {
-                        Ok(b) => self.accept_reply(b, &breaker),
+                        Ok(b) => self.accept_reply(b, &breaker, token),
                         Err(e) => {
-                            breaker.record_failure();
+                            breaker.record_outcome(token, false);
                             Err(e)
                         }
                     },
                     Err(_) => {
-                        breaker.record_failure();
+                        breaker.record_outcome(token, false);
                         Err(first_err)
                     }
                 }
             }
             Err(e) => {
-                breaker.record_failure();
+                breaker.record_outcome(token, false);
                 Err(e)
             }
         }
@@ -642,10 +702,15 @@ impl Orb {
     /// hammering the overloaded server) and counts as a breaker failure.
     /// Anything else — including exception replies, which *are* answers —
     /// records breaker success and flows on to [`Reply::parse`].
-    fn accept_reply(&self, body: PooledBuf, breaker: &Arc<CircuitBreaker>) -> RmiResult<PooledBuf> {
+    fn accept_reply(
+        &self,
+        body: PooledBuf,
+        breaker: &Arc<CircuitBreaker>,
+        token: ProbeToken,
+    ) -> RmiResult<PooledBuf> {
         match peek_reply_status(&body, self.inner.protocol.as_ref()) {
             Ok((_, ReplyStatus::Busy)) => {
-                breaker.record_failure();
+                breaker.record_outcome(token, false);
                 match Reply::parse(body.into(), self.inner.protocol.as_ref()) {
                     Err(e) => Err(e),
                     // Unreachable (a Busy body always parses to an error),
@@ -654,7 +719,7 @@ impl Orb {
                 }
             }
             _ => {
-                breaker.record_success();
+                breaker.record_outcome(token, true);
                 Ok(body)
             }
         }
@@ -683,6 +748,8 @@ impl Orb {
         let method = call.method().to_owned();
         self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
         let body = call.into_body();
+        self.inner.metrics.inc(Counter::Oneways);
+        self.inner.metrics.add(Counter::BytesOut, body.len() as u64);
         let result = self
             .inner
             .pool

@@ -140,6 +140,12 @@ impl ServerPolicy {
 
 /// A point-in-time snapshot of one server's health, as reported by the
 /// built-in `_health` object and by [`Orb::server_health`](crate::Orb::server_health).
+///
+/// The shed counters are mirrored — from a single call site per kind, so
+/// the two can never disagree — into the ORB's [`Metrics`](crate::Metrics)
+/// registry ([`Counter::ShedRequests`](crate::Counter) /
+/// [`Counter::ShedConnections`](crate::Counter)), where the built-in
+/// `_metrics` object reports them alongside latency histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerHealth {
     /// True while the server accepts and dispatches new requests; false

@@ -25,13 +25,17 @@
 //! decoded under the policy's `DecodeLimits`. The built-in `_health`
 //! object (well-known id `0`) reports the resulting counters.
 
-use crate::call::{peek_reply_id, peek_route, IncomingCall, ReplyBuilder, ReplyStatus};
+use crate::call::{
+    extract_call_context, peek_reply_id, peek_route, IncomingCall, ReplyBuilder, ReplyStatus,
+};
 use crate::communicator::{write_framed, ObjectCommunicator};
 use crate::error::{RmiError, RmiResult};
+use crate::metrics::{Counter, Metrics};
 use crate::objref::Endpoint;
 use crate::orb::Orb;
 use crate::policy::{ServerHealth, ServerPolicy};
 use crate::skeleton::{DispatchOutcome, Skeleton};
+use crate::trace::{self, TraceLevel};
 use crate::transport::{TcpTransport, Transport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -53,6 +57,14 @@ pub const HEALTH_OBJECT_ID: u64 = 0;
 /// Repository id of the built-in `_health` object.
 pub const HEALTH_TYPE_ID: &str = "IDL:heidl/Health:1.0";
 
+/// Well-known object id of the built-in `_metrics` object every server
+/// serves. Exported ids start at 1 and increment, so `u64::MAX` can never
+/// collide with an application export.
+pub const METRICS_OBJECT_ID: u64 = u64::MAX;
+
+/// Repository id of the built-in `_metrics` object.
+pub const METRICS_TYPE_ID: &str = "IDL:heidl/Metrics:1.0";
+
 /// Counters and policy shared by the accept loop, every connection
 /// reader, every dispatch, and the drain path.
 pub(crate) struct ServerShared {
@@ -70,10 +82,13 @@ pub(crate) struct ServerShared {
     /// Live connections' write halves, for force-close at drain timeout.
     conns: Mutex<HashMap<u64, Weak<ReplyWriter>>>,
     next_conn_id: AtomicU64,
+    /// The owning ORB's metrics registry: the shed counters below are
+    /// mirrored into it exactly once per event (see [`Self::shed_request`]).
+    metrics: Arc<Metrics>,
 }
 
 impl ServerShared {
-    fn new(policy: ServerPolicy) -> ServerShared {
+    fn new(policy: ServerPolicy, metrics: Arc<Metrics>) -> ServerShared {
         ServerShared {
             policy,
             draining: AtomicBool::new(false),
@@ -83,6 +98,7 @@ impl ServerShared {
             shed_connections: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
+            metrics,
         }
     }
 
@@ -109,8 +125,19 @@ impl ServerShared {
         Ok(InFlightGuard { shared: Arc::clone(self), per_conn: Arc::clone(per_conn) })
     }
 
+    /// Counts one request shed. The `_health` counter and the metrics
+    /// counter are bumped together here — the *only* shed-request site —
+    /// so `_health.report` and `_metrics.snapshot` always agree.
     fn shed_request(&self) {
         self.shed_requests.fetch_add(1, Ordering::SeqCst);
+        self.metrics.inc(Counter::ShedRequests);
+    }
+
+    /// Counts one connection refused at accept time; same single-site
+    /// dual-count contract as [`Self::shed_request`].
+    fn shed_connection(&self) {
+        self.shed_connections.fetch_add(1, Ordering::SeqCst);
+        self.metrics.inc(Counter::ShedConnections);
     }
 
     pub(crate) fn snapshot(&self) -> ServerHealth {
@@ -169,7 +196,7 @@ impl ServerHandle {
         let flag = Arc::clone(&running);
         let policy = orb.server_policy().clone();
         let workers = Arc::new(WorkerPool::new(WORKER_THREADS, policy.max_overflow_threads));
-        let shared = Arc::new(ServerShared::new(policy));
+        let shared = Arc::new(ServerShared::new(policy, Arc::clone(orb.metrics())));
         let loop_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
             .name(format!("heidl-accept-{}", local.port()))
@@ -214,8 +241,13 @@ impl ServerHandle {
         // shutting the socket down gives each reader EOF, so every
         // `heidl-conn` thread exits promptly.
         let writers: Vec<_> = self.shared.conns.lock().drain().collect();
-        for (_, weak) in writers {
+        for (conn_id, weak) in writers {
             if let Some(writer) = weak.upgrade() {
+                if !drained {
+                    trace::emit_with(TraceLevel::Warn, "server", || {
+                        format!("drain timeout: force-closing connection {conn_id}")
+                    });
+                }
                 writer.transport.lock().shutdown();
             }
         }
@@ -343,7 +375,10 @@ fn accept_loop(
             // Transient accept failures (EMFILE, ECONNABORTED, ...) must
             // not kill the server: back off so a persistent condition does
             // not spin the CPU, then keep serving.
-            Err(_) => {
+            Err(e) => {
+                trace::emit_with(TraceLevel::Warn, "server", || {
+                    format!("accept failed (backing off {backoff:?}): {e}")
+                });
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
                 continue;
@@ -354,7 +389,7 @@ fn accept_loop(
         if shared.connections.load(Ordering::SeqCst) >= shared.policy.max_connections
             || shared.draining.load(Ordering::SeqCst)
         {
-            shared.shed_connections.fetch_add(1, Ordering::SeqCst);
+            shared.shed_connection();
             drop(stream);
             continue;
         }
@@ -386,17 +421,27 @@ fn accept_loop(
 struct ReplyWriter {
     transport: Mutex<Box<dyn Transport>>,
     protocol: Arc<dyn heidl_wire::Protocol>,
+    metrics: Arc<Metrics>,
 }
 
 impl ReplyWriter {
     /// Takes the body by value so its (pooled) storage can be recycled
-    /// once the bytes are on the wire.
+    /// once the bytes are on the wire. A write failure is traced here —
+    /// the one choke point every reply passes through — so a connection
+    /// torn down mid-reply never vanishes silently.
     fn send(&self, body: Vec<u8>) -> RmiResult<()> {
+        let len = body.len();
         let result = {
             let mut transport = self.transport.lock();
             write_framed(transport.as_mut(), self.protocol.as_ref(), &body)
         };
         heidl_wire::pool::recycle(body);
+        match &result {
+            Ok(()) => self.metrics.add(Counter::BytesOut, len as u64),
+            Err(e) => trace::emit_with(TraceLevel::Warn, "server", || {
+                format!("reply write failed; dropping connection: {e}")
+            }),
+        }
         result
     }
 }
@@ -417,6 +462,7 @@ fn connection_loop(
     let writer = Arc::new(ReplyWriter {
         transport: Mutex::new(write_half),
         protocol: Arc::clone(&protocol),
+        metrics: Arc::clone(&shared.metrics),
     });
     // Register for force-close at drain timeout; deregister on exit.
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
@@ -425,13 +471,15 @@ fn connection_loop(
     let per_conn = Arc::new(AtomicUsize::new(0));
     let mut comm = ObjectCommunicator::with_limits(read_half, Arc::clone(&protocol), limits);
     while let Ok(Some(body)) = comm.recv() {
+        shared.metrics.add(Counter::BytesIn, body.len() as u64);
         // One borrowed decode pass yields everything routing needs: the
         // id, the reply-expected flag, and the target object id.
         match peek_route(&body, protocol.as_ref(), &limits) {
-            // `_health` probes bypass admission control and dispatch
-            // inline on the reader (they are cheap and run no servant
-            // code): overload or drain must never blind observability.
-            Ok((_, _, Some(HEALTH_OBJECT_ID))) => {
+            // `_health` probes and `_metrics` reads bypass admission
+            // control and dispatch inline on the reader (they are cheap
+            // and run no servant code): overload or drain must never
+            // blind observability.
+            Ok((_, _, Some(HEALTH_OBJECT_ID | METRICS_OBJECT_ID))) => {
                 if let Some(reply) = handle_request(body.into(), &orb, &shared) {
                     if writer.send(reply).is_err() {
                         break;
@@ -502,6 +550,16 @@ fn connection_loop(
 /// Returns `None` for `oneway` requests, which must not be answered.
 pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb, shared: &ServerShared) -> Option<Vec<u8>> {
     let protocol = Arc::clone(orb.protocol());
+    // Call tracing: when the client stamped the request with a trailing
+    // wire context, make it current for the whole dispatch — server-side
+    // trace events and any *nested* outbound calls this dispatch makes
+    // then carry the caller's id as their parent. Skipped entirely (one
+    // relaxed load) when tracing is off.
+    let _ctx_guard = if trace::enabled(TraceLevel::Debug) {
+        extract_call_context(&body, protocol.as_ref()).map(|ctx| ctx.enter())
+    } else {
+        None
+    };
     // Best-effort id for diagnostics on unparsable requests: both message
     // kinds lead with the id, so the reply-peek works on requests too.
     let fallback_id = peek_reply_id(&body, protocol.as_ref()).unwrap_or(0);
@@ -562,6 +620,81 @@ fn dispatch_health(
     reply.into_body()
 }
 
+/// Serves the built-in `_metrics` object (`IDL:heidl/Metrics:1.0`):
+///
+/// * `snapshot` — machine-readable: every counter in [`Counter::ALL`]
+///   order (`ulonglong` each; the order is append-only so old clients
+///   keep decoding), then `ulong` server-op count followed per op by
+///   `string name · ulonglong calls · failures · p50_ns · p99_ns`;
+/// * `reset` — zeroes the registry, returns `bool` true;
+/// * `dump` — human-readable: `ulong` row count then one `string` per
+///   row of [`Metrics::dump_rows`]' table (counters, live gauges,
+///   per-op latency buckets), designed to be read over a raw telnet
+///   session on the text protocol.
+fn dispatch_metrics(
+    incoming: &IncomingCall,
+    orb: &Orb,
+    shared: &ServerShared,
+    protocol: &Arc<dyn heidl_wire::Protocol>,
+) -> Vec<u8> {
+    let metrics = &shared.metrics;
+    let mut reply = ReplyBuilder::ok(protocol.as_ref(), incoming.request_id);
+    match incoming.method.as_str() {
+        "snapshot" => {
+            let snap = metrics.snapshot();
+            let enc = reply.results();
+            for c in Counter::ALL {
+                enc.put_ulonglong(snap.counter(c));
+            }
+            enc.put_ulong(snap.server_ops.len() as u32);
+            for (name, op) in &snap.server_ops {
+                enc.put_string(name);
+                enc.put_ulonglong(op.calls);
+                enc.put_ulonglong(op.failures);
+                enc.put_ulonglong(op.p50_ns);
+                enc.put_ulonglong(op.p99_ns);
+            }
+        }
+        "reset" => {
+            metrics.reset();
+            reply.results().put_bool(true);
+        }
+        "dump" => {
+            // Gauges are sampled here, not stored in the registry: they
+            // are live occupancy values, meaningless as counters.
+            let health = shared.snapshot();
+            let pool = orb.connections();
+            let gauges = [
+                ("in_flight", health.in_flight),
+                ("connections", health.connections),
+                ("pool_opened", pool.opened_count()),
+                ("pool_pooled", pool.pooled_count() as u64),
+                ("pool_pending", pool.pending_total() as u64),
+            ];
+            let rows = metrics.dump_rows(&gauges);
+            let enc = reply.results();
+            enc.put_ulong(rows.len() as u32);
+            for row in &rows {
+                enc.put_string(row);
+            }
+        }
+        other => {
+            return ReplyBuilder::exception(
+                protocol.as_ref(),
+                incoming.request_id,
+                ReplyStatus::SystemException,
+                "IDL:heidl/UnknownMethod:1.0",
+                &RmiError::UnknownMethod {
+                    type_id: METRICS_TYPE_ID.to_owned(),
+                    method: other.to_owned(),
+                }
+                .to_string(),
+            );
+        }
+    }
+    reply.into_body()
+}
+
 fn dispatch_request(
     incoming: &mut IncomingCall,
     orb: &Orb,
@@ -569,11 +702,14 @@ fn dispatch_request(
     protocol: &Arc<dyn heidl_wire::Protocol>,
 ) -> Vec<u8> {
     let request_id = incoming.request_id;
-    // The well-known health object is served by the runtime itself, not
-    // the skeleton registry (so `skeleton_count()` stays the number of
-    // application exports).
+    // The well-known health and metrics objects are served by the runtime
+    // itself, not the skeleton registry (so `skeleton_count()` stays the
+    // number of application exports).
     if incoming.target.object_id == HEALTH_OBJECT_ID {
         return dispatch_health(incoming, shared, protocol);
+    }
+    if incoming.target.object_id == METRICS_OBJECT_ID {
+        return dispatch_metrics(incoming, orb, shared, protocol);
     }
     let skeleton = {
         let objects = orb.inner.objects.read();
@@ -596,7 +732,13 @@ fn dispatch_request(
         true,
     );
     let mut reply = ReplyBuilder::ok(protocol.as_ref(), request_id);
+    let started = Instant::now();
     let outcome = skeleton.dispatch(&incoming.method, incoming.args.as_mut(), reply.results());
+    shared.metrics.record_server_dispatch(
+        &incoming.method,
+        started.elapsed().as_nanos() as u64,
+        matches!(outcome, Ok(DispatchOutcome::Handled)),
+    );
     orb.inner.interceptors.fire(
         crate::interceptor::CallPhase::ServerReply,
         &incoming.target,

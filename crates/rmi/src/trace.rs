@@ -1,0 +1,300 @@
+//! Lightweight tracing facade: leveled events, pluggable sinks, and the
+//! per-call context that rides the wire.
+//!
+//! The paper's HeidiRMI was debugged by humans telnetting into the text
+//! protocol (§4.2); this module is the runtime's half of that story. Every
+//! place the ORB used to drop a condition silently (or `eprintln!` ad hoc)
+//! now emits a [`TraceEvent`] through one facade:
+//!
+//! * **Levels** — [`TraceLevel::Error`] through [`TraceLevel::Debug`],
+//!   gated by a single atomic so a disabled level costs one relaxed load
+//!   and **zero allocations** (messages are built lazily by closure, see
+//!   [`emit_with`]).
+//! * **Sinks** — [`StderrSink`] (the default, so operator-facing warnings
+//!   still land on stderr) or [`RingSink`] (a bounded in-memory ring the
+//!   tests and tools can snapshot). Install your own with [`set_sink`].
+//! * **Call context** — a `(call_id, parent_id)` pair carried in a
+//!   thread-local and stamped onto outgoing requests as the wire-level
+//!   trailing context section (`Protocol::encode_context`), so one logical
+//!   call can be followed across processes. See [`CallContext`].
+//!
+//! The default configuration is `Warn` + stderr: exactly the old
+//! `eprintln!` behavior for operator-facing problems, silence (and zero
+//! cost) for the per-call `Debug` firehose.
+
+use crate::interceptor::{CallInfo, Interceptor};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Severity of a trace event. Lower is more severe; `Debug` carries the
+/// per-call firehose and is off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceLevel {
+    /// The ORB lost work or state it should not have.
+    Error = 1,
+    /// Something was dropped or degraded, by policy or by the peer.
+    Warn = 2,
+    /// Notable lifecycle transitions (breaker trips, drains).
+    Info = 3,
+    /// Per-call spans and wire-level detail.
+    Debug = 4,
+}
+
+impl TraceLevel {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceLevel::Error => "error",
+            TraceLevel::Warn => "warn",
+            TraceLevel::Info => "info",
+            TraceLevel::Debug => "debug",
+        }
+    }
+}
+
+/// One traced event, as delivered to a [`TraceSink`].
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Severity.
+    pub level: TraceLevel,
+    /// The subsystem that emitted the event (`"fault"`, `"server"`, …).
+    pub target: &'static str,
+    /// Human-readable description, built lazily only when the event fires.
+    pub message: String,
+    /// The call context current on the emitting thread, if any.
+    pub context: Option<CallContext>,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "heidl[{}] {}: {}", self.level.as_str(), self.target, self.message)?;
+        if let Some(ctx) = self.context {
+            write!(f, " (call={} parent={})", ctx.call_id, ctx.parent_id)?;
+        }
+        Ok(())
+    }
+}
+
+/// Destination for trace events. Sinks must tolerate concurrent calls.
+pub trait TraceSink: Send + Sync {
+    /// Records one event. Must not call back into the trace facade.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The default sink: one line per event on stderr, preserving the old
+/// ad-hoc `eprintln!` behavior for operator-facing warnings.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn record(&self, event: &TraceEvent) {
+        eprintln!("{event}");
+    }
+}
+
+/// A bounded in-memory ring of recent events, for tests and live
+/// inspection. When full, the oldest event is dropped.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `cap` events (`cap` is clamped ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingSink { cap: cap.max(1), events: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Returns a copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    /// Drops all buffered events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut q = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(event.clone());
+    }
+}
+
+/// The max level that fires; 0 disables tracing entirely. One relaxed
+/// load of this atomic is the whole cost of a disabled event.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(TraceLevel::Warn as u8);
+
+/// The installed sink; `None` means [`StderrSink`] behavior. A `std`
+/// lock (const-constructible, poison recovered) rather than `parking_lot`
+/// so the global needs no lazy init.
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// Sets the maximum level that fires. `Warn` is the default; `Debug`
+/// enables per-call spans and wire context stamping.
+pub fn set_level(level: TraceLevel) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Disables tracing entirely (even `Error` events are dropped).
+pub fn disable() {
+    MAX_LEVEL.store(0, Ordering::Relaxed);
+}
+
+/// True when events at `level` currently fire. This is the hot-path gate:
+/// one relaxed atomic load, no allocation.
+#[inline]
+pub fn enabled(level: TraceLevel) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the destination for all subsequent events,
+/// replacing the default stderr behavior.
+pub fn set_sink(sink: Arc<dyn TraceSink>) {
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+}
+
+/// Removes any installed sink, restoring the default stderr behavior.
+pub fn clear_sink() {
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Emits one event, building the message only if `level` is enabled —
+/// the closure is never called (and nothing allocates) otherwise.
+pub fn emit_with(level: TraceLevel, target: &'static str, message: impl FnOnce() -> String) {
+    if !enabled(level) {
+        return;
+    }
+    let event = TraceEvent { level, target, message: message(), context: CallContext::current() };
+    let sink = SINK.read().unwrap_or_else(|e| e.into_inner());
+    match sink.as_deref() {
+        Some(s) => s.record(&event),
+        None => StderrSink.record(&event),
+    }
+}
+
+/// The call identity that rides the wire: this call's id plus the id of
+/// the call that caused it (0 = root). Stamped onto outgoing requests as
+/// the protocols' trailing context section and recovered server-side, so
+/// spans chain across processes — and a telnet user can join in by typing
+/// `"~ctx" 42 7` at the end of a request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallContext {
+    /// This call's id (the wire request id on the originating hop).
+    pub call_id: u64,
+    /// The id of the call this one is nested under; 0 for a root call.
+    pub parent_id: u64,
+}
+
+thread_local! {
+    static CURRENT: std::cell::Cell<Option<CallContext>> = const { std::cell::Cell::new(None) };
+}
+
+impl CallContext {
+    /// The context active on this thread, if any.
+    pub fn current() -> Option<CallContext> {
+        CURRENT.with(|c| c.get())
+    }
+
+    /// Makes `self` the thread's current context until the returned guard
+    /// drops (the previous context, if any, is then restored). Guards nest.
+    pub fn enter(self) -> ContextGuard {
+        let prev = CURRENT.with(|c| c.replace(Some(self)));
+        ContextGuard { prev }
+    }
+}
+
+/// Restores the previously current [`CallContext`] on drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: Option<CallContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// An [`Interceptor`] that emits a `Debug`-level span event at every
+/// [`CallPhase`](crate::interceptor::CallPhase), carrying the thread's
+/// current [`CallContext`]. Register it with `Orb::add_interceptor` to
+/// turn the hook machinery into per-call tracing.
+#[derive(Debug, Default)]
+pub struct TraceInterceptor;
+
+impl Interceptor for TraceInterceptor {
+    fn intercept(&self, info: &CallInfo) {
+        emit_with(TraceLevel::Debug, "call", || {
+            format!("{:?} {} ok={} target={}", info.phase, info.method, info.ok, info.target)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_levels_never_build_messages() {
+        // Default level is Warn: a Debug emit must not run its closure.
+        let mut ran = false;
+        if !enabled(TraceLevel::Debug) {
+            emit_with(TraceLevel::Debug, "test", || {
+                ran = true;
+                String::new()
+            });
+            assert!(!ran, "closure ran for a disabled level");
+        }
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_orders() {
+        let ring = RingSink::new(2);
+        for i in 0..3 {
+            ring.record(&TraceEvent {
+                level: TraceLevel::Info,
+                target: "test",
+                message: format!("m{i}"),
+                context: None,
+            });
+        }
+        let got: Vec<String> = ring.snapshot().into_iter().map(|e| e.message).collect();
+        assert_eq!(got, ["m1", "m2"]);
+    }
+
+    #[test]
+    fn context_guards_nest_and_restore() {
+        assert_eq!(CallContext::current(), None);
+        let outer = CallContext { call_id: 1, parent_id: 0 };
+        let inner = CallContext { call_id: 2, parent_id: 1 };
+        {
+            let _g1 = outer.enter();
+            assert_eq!(CallContext::current(), Some(outer));
+            {
+                let _g2 = inner.enter();
+                assert_eq!(CallContext::current(), Some(inner));
+            }
+            assert_eq!(CallContext::current(), Some(outer));
+        }
+        assert_eq!(CallContext::current(), None);
+    }
+
+    #[test]
+    fn event_display_is_one_line() {
+        let e = TraceEvent {
+            level: TraceLevel::Warn,
+            target: "fault",
+            message: "bad plan".into(),
+            context: Some(CallContext { call_id: 42, parent_id: 7 }),
+        };
+        assert_eq!(e.to_string(), "heidl[warn] fault: bad plan (call=42 parent=7)");
+    }
+}

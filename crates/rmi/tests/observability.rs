@@ -1,0 +1,382 @@
+//! Observability-layer integration tests: wire-propagated call context
+//! (including a telnet-style hand-typed one), the built-in `_metrics`
+//! object over a real TCP text-protocol connection, shed-counter
+//! agreement between `_health` and `_metrics`, and breaker transitions
+//! surfacing as metrics.
+
+use heidl_rmi::trace;
+use heidl_rmi::*;
+use heidl_wire::{Decoder, Encoder};
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Call tracing is process-global state (level + sink); tests that flip
+/// it serialize here so a parallel test never observes a half-configured
+/// facade.
+fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---- servants -----------------------------------------------------------
+
+/// `interface Echo { string shout(in string s); }`
+struct EchoSkel {
+    base: SkeletonBase,
+}
+
+impl EchoSkel {
+    fn spawn() -> Arc<dyn Skeleton> {
+        Arc::new(EchoSkel {
+            base: SkeletonBase::new("IDL:Heidi/Echo:1.0", DispatchKind::Hash, ["shout"], vec![]),
+        })
+    }
+}
+
+impl Skeleton for EchoSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let text = args.get_string()?;
+                reply.put_string(&text.to_uppercase());
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+/// `interface Sleeper { long nap(in long millis); }` — holds its dispatch
+/// slot so in-flight caps are easy to saturate.
+struct SleeperSkel {
+    base: SkeletonBase,
+}
+
+impl SleeperSkel {
+    fn spawn() -> Arc<dyn Skeleton> {
+        Arc::new(SleeperSkel {
+            base: SkeletonBase::new("IDL:Heidi/Sleeper:1.0", DispatchKind::Hash, ["nap"], vec![]),
+        })
+    }
+}
+
+impl Skeleton for SleeperSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let ms = args.get_long()?;
+                std::thread::sleep(Duration::from_millis(ms as u64));
+                reply.put_long(ms);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn shout(client: &Orb, target: &ObjectRef, s: &str) -> RmiResult<String> {
+    let mut call = client.call(target, "shout");
+    call.args().put_string(s);
+    let mut reply = client.invoke(call)?;
+    Ok(reply.results().get_string()?)
+}
+
+fn nap_once(client: &Orb, target: &ObjectRef, ms: i32) -> RmiResult<i32> {
+    let mut call = client.call(target, "nap");
+    call.args().put_long(ms);
+    let mut reply =
+        client.invoke_with(call, CallOptions::with_retry_policy(RetryPolicy::none()))?;
+    Ok(reply.results().get_long()?)
+}
+
+/// Captures the [`CallContext`] (if any) seen at `ServerDispatch` for one
+/// method, so tests can assert what the server extracted from the wire.
+fn capture_dispatch_context(orb: &Orb, method: &'static str) -> Arc<Mutex<Option<CallContext>>> {
+    let seen = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&seen);
+    orb.add_interceptor(Arc::new(FnInterceptor(move |info: &CallInfo| {
+        if info.phase == CallPhase::ServerDispatch && info.method == method {
+            *sink.lock().unwrap() = info.context;
+        }
+    })));
+    seen
+}
+
+/// Sends one raw text-protocol line (what a telnet user would type) and
+/// returns the single reply line.
+fn telnet_exchange(ep: &Endpoint, line: &str) -> String {
+    let mut stream = std::net::TcpStream::connect((ep.host.as_str(), ep.port)).unwrap();
+    stream.write_all(line.as_bytes()).unwrap();
+    let mut reply = Vec::new();
+    let mut byte = [0u8; 1];
+    while stream.read(&mut byte).unwrap() == 1 && byte[0] != b'\n' {
+        reply.push(byte[0]);
+    }
+    String::from_utf8(reply).unwrap()
+}
+
+// ---- wire-propagated call context ---------------------------------------
+
+#[test]
+fn trace_context_propagates_from_client_to_server() {
+    let _guard = trace_lock();
+    let ring = Arc::new(RingSink::new(256));
+    trace::set_sink(Arc::clone(&ring) as Arc<dyn TraceSink>);
+    trace::set_level(TraceLevel::Debug);
+
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(EchoSkel::spawn()).unwrap();
+    let seen = capture_dispatch_context(&server, "shout");
+
+    let client = Orb::new();
+    assert_eq!(shout(&client, &objref, "hi").unwrap(), "HI");
+
+    let ctx = seen.lock().unwrap().expect("server extracted a wire context");
+    assert_ne!(ctx.call_id, 0, "the call id is the client's request id");
+    assert_eq!(ctx.parent_id, 0, "a top-level call has no parent");
+
+    trace::set_level(TraceLevel::Warn);
+    trace::clear_sink();
+    server.shutdown();
+}
+
+#[test]
+fn trace_context_is_absent_when_tracing_is_off() {
+    let _guard = trace_lock();
+    trace::set_level(TraceLevel::Warn); // Debug off: no stamping, no extraction.
+
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(EchoSkel::spawn()).unwrap();
+    let seen = capture_dispatch_context(&server, "shout");
+
+    let client = Orb::new();
+    assert_eq!(shout(&client, &objref, "quiet").unwrap(), "QUIET");
+    assert!(seen.lock().unwrap().is_none(), "no context without tracing");
+    server.shutdown();
+}
+
+#[test]
+fn hand_typed_context_reaches_the_server() {
+    let _guard = trace_lock();
+    let ring = Arc::new(RingSink::new(256));
+    trace::set_sink(Arc::clone(&ring) as Arc<dyn TraceSink>);
+    trace::set_level(TraceLevel::Debug);
+
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(EchoSkel::spawn()).unwrap();
+    let seen = capture_dispatch_context(&server, "shout");
+    let ep = server.endpoint().unwrap();
+
+    // Exactly what a telnet user types: the ordinary request line plus
+    // the trailing context section `"~ctx" <call-id> <parent-id>`.
+    let line = format!("8 \"{objref}\" \"shout\" T \"hey\" \"~ctx\" 42 7\n");
+    assert_eq!(telnet_exchange(&ep, &line), "8 0 \"HEY\"");
+
+    let ctx = seen.lock().unwrap().expect("hand-typed context was extracted");
+    assert_eq!(ctx.call_id, 42);
+    assert_eq!(ctx.parent_id, 7);
+
+    trace::set_level(TraceLevel::Warn);
+    trace::clear_sink();
+    server.shutdown();
+}
+
+// ---- the built-in _metrics object ---------------------------------------
+
+#[test]
+fn metrics_dump_over_raw_tcp_shows_live_traffic() {
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(EchoSkel::spawn()).unwrap();
+    let metrics_ref = server.metrics_ref().unwrap();
+    assert_eq!(metrics_ref.object_id, METRICS_OBJECT_ID);
+    assert_eq!(metrics_ref.type_id, METRICS_TYPE_ID);
+
+    let client = Orb::new();
+    for _ in 0..10 {
+        assert_eq!(shout(&client, &objref, "go").unwrap(), "GO");
+    }
+
+    // The README walkthrough, verbatim over a raw socket.
+    let ep = server.endpoint().unwrap();
+    let line = format!("1 \"{metrics_ref}\" \"dump\" T\n");
+    let reply = telnet_exchange(&ep, &line);
+    assert!(reply.starts_with("1 0 "), "an Ok reply: {reply}");
+    assert!(reply.contains("== heidl metrics =="), "table header: {reply}");
+    assert!(reply.contains("shout"), "per-op row for the echo method: {reply}");
+    assert!(reply.contains("calls=10"), "nonzero call count: {reply}");
+    assert!(reply.contains(">= "), "latency bucket rows: {reply}");
+    assert!(reply.contains("bytes_in"), "byte counters: {reply}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_snapshot_and_reset_roundtrip_remotely() {
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(EchoSkel::spawn()).unwrap();
+    let client = Orb::new();
+    for _ in 0..3 {
+        shout(&client, &objref, "x").unwrap();
+    }
+
+    let metrics_ref = server.metrics_ref().unwrap();
+    let read_snapshot = |client: &Orb| {
+        let mut res = DynCall::new(client, &metrics_ref, "snapshot").invoke().unwrap();
+        let counters: Vec<u64> =
+            (0..Counter::ALL.len()).map(|_| res.next_ulonglong().unwrap()).collect();
+        let ops = res.next_ulong().unwrap();
+        let mut shout_calls = 0;
+        for _ in 0..ops {
+            let name = res.next_string().unwrap();
+            let calls = res.next_ulonglong().unwrap();
+            let _failures = res.next_ulonglong().unwrap();
+            let _p50 = res.next_ulonglong().unwrap();
+            let _p99 = res.next_ulonglong().unwrap();
+            if name == "shout" {
+                shout_calls = calls;
+            }
+        }
+        (counters, shout_calls)
+    };
+
+    let (counters, shout_calls) = read_snapshot(&client);
+    assert_eq!(shout_calls, 3, "three server-side dispatches recorded");
+    assert!(counters[Counter::BytesIn as usize] > 0, "ingress bytes counted");
+    assert!(counters[Counter::BytesOut as usize] > 0, "egress bytes counted");
+
+    let mut ok = DynCall::new(&client, &metrics_ref, "reset").invoke().unwrap();
+    assert!(ok.next_bool().unwrap());
+    let (_, after_reset) = read_snapshot(&client);
+    // The reset itself and the snapshot call are dispatched by the
+    // runtime, not the skeleton, so `shout` stays at zero.
+    assert_eq!(after_reset, 0, "reset zeroed the per-op stats");
+    server.shutdown();
+}
+
+// ---- shed counters agree between _health and _metrics --------------------
+
+#[test]
+fn busy_sheds_count_once_in_both_health_and_metrics() {
+    let server =
+        Orb::builder().server_policy(ServerPolicy::default().with_max_in_flight(1)).build();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(SleeperSkel::spawn()).unwrap();
+    let client = Orb::new();
+
+    let occupant = {
+        let client = client.clone();
+        let objref = objref.clone();
+        std::thread::spawn(move || nap_once(&client, &objref, 200))
+    };
+    std::thread::sleep(Duration::from_millis(60));
+    let shed = nap_once(&client, &objref, 1);
+    assert!(matches!(shed, Err(RmiError::ServerBusy { .. })), "cap shed expected: {shed:?}");
+    assert_eq!(occupant.join().unwrap().unwrap(), 200);
+
+    let health = server.server_health().unwrap();
+    let metrics = server.metrics().get(Counter::ShedRequests);
+    assert_eq!(health.shed_requests, 1, "exactly one shed in _health");
+    assert_eq!(metrics, 1, "exactly one shed in _metrics");
+    server.shutdown();
+}
+
+#[test]
+fn drain_sheds_count_once_in_metrics() {
+    let server = Orb::builder()
+        .server_policy(ServerPolicy::default().with_drain_timeout(Duration::from_secs(5)))
+        .build();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(SleeperSkel::spawn()).unwrap();
+    let client = Orb::new();
+
+    let inflight = {
+        let client = client.clone();
+        let objref = objref.clone();
+        std::thread::spawn(move || nap_once(&client, &objref, 250))
+    };
+    std::thread::sleep(Duration::from_millis(60));
+    let late = {
+        let client = client.clone();
+        let objref = objref.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            nap_once(&client, &objref, 1)
+        })
+    };
+    assert!(server.shutdown_and_drain());
+    assert_eq!(inflight.join().unwrap().unwrap(), 250);
+    let late = late.join().unwrap();
+    assert!(matches!(late, Err(RmiError::ServerBusy { .. })), "mid-drain shed: {late:?}");
+    // `_health` is gone after the drain, but the ORB's registry survives:
+    // the one client-observed Busy is the one recorded shed — not zero
+    // (dropped) and not two (double-counted).
+    assert_eq!(server.metrics().get(Counter::ShedRequests), 1);
+}
+
+#[test]
+fn refused_connections_count_once_in_both_health_and_metrics() {
+    let server =
+        Orb::builder().server_policy(ServerPolicy::default().with_max_connections(1)).build();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(EchoSkel::spawn()).unwrap();
+
+    let first = Orb::new();
+    assert_eq!(shout(&first, &objref, "a").unwrap(), "A");
+    let second = Orb::new();
+    assert!(shout(&second, &objref, "b").is_err(), "second peer refused");
+
+    let health = server.server_health().unwrap();
+    let metrics = server.metrics().get(Counter::ShedConnections);
+    assert_eq!(health.shed_connections, metrics, "both registries agree");
+    assert!(metrics >= 1, "the refused peer was counted");
+    server.shutdown();
+}
+
+// ---- breaker transitions surface as metrics ------------------------------
+
+#[test]
+fn breaker_transitions_are_counted_in_client_metrics() {
+    // A dead endpoint: bind, take the port, drop the listener.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = listener.local_addr().unwrap().port();
+    drop(listener);
+    let dead = ObjectRef::new(Endpoint::new("tcp", "127.0.0.1", port), 1, "IDL:Heidi/Echo:1.0");
+
+    let client = Orb::builder()
+        .circuit_breaker(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(5),
+            probe_budget: 1,
+            success_threshold: 1,
+        })
+        .build();
+    assert!(shout(&client, &dead, "x").is_err(), "dead endpoint fails");
+    assert!(
+        client.metrics().get(Counter::BreakerOpened) >= 1,
+        "the Closed -> Open transition was recorded as a metric"
+    );
+    assert!(client.metrics().get(Counter::CallsFailed) >= 1, "the failed call was counted");
+}

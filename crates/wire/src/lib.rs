@@ -44,5 +44,8 @@ pub use error::{WireError, WireResult};
 pub use limits::DecodeLimits;
 pub use plan::{CdrStructPlan, FieldKind, PlanValue};
 pub use pool::{BufPool, FrameBuf, PooledBuf};
-pub use protocol::{by_name, CdrProtocol, Protocol, TextProtocol, MAX_FRAME_HEADER};
+pub use protocol::{
+    by_name, CdrProtocol, Protocol, TextProtocol, CDR_CONTEXT_LEN, CDR_CONTEXT_MAGIC,
+    MAX_FRAME_HEADER, TEXT_CONTEXT_MARKER,
+};
 pub use text::{TextDecoder, TextEncoder};

@@ -29,6 +29,24 @@ use std::fmt;
 /// (GIOP-lite uses 12 bytes); see [`Protocol::frame_parts`].
 pub const MAX_FRAME_HEADER: usize = 16;
 
+/// Marker token opening the optional trailing call-context section on the
+/// text protocol: a request line may end with `"~ctx" <call-id> <parent-id>`.
+/// `~` cannot start any ordinary text token (tokens are quoted strings,
+/// chars, numbers, booleans, or braces), so old readers — which stop after
+/// the declared arguments anyway — never trip over it, and a human can type
+/// it over telnet.
+pub const TEXT_CONTEXT_MARKER: &str = "~ctx";
+
+/// Magic closing the optional trailing call-context section on the CDR
+/// protocol: the last 20 body bytes are `call-id (u64 LE) · parent-id
+/// (u64 LE) · "HCX1"`. Old readers never look past the declared arguments,
+/// so the section is invisible to them.
+pub const CDR_CONTEXT_MAGIC: &[u8; 4] = b"HCX1";
+
+/// Byte length of the CDR trailing context section (two `u64` ids plus the
+/// closing magic).
+pub const CDR_CONTEXT_LEN: usize = 20;
+
 /// A wire protocol: codec factory + request demarcation.
 pub trait Protocol: Send + Sync + fmt::Debug {
     /// Short protocol name used in stringified object references
@@ -150,6 +168,31 @@ pub trait Protocol: Send + Sync + fmt::Debug {
     ) -> WireResult<Box<dyn Decoder + 'a>> {
         let boxed: Box<dyn Decoder> = self.decoder_with_limits(body.to_vec(), limits)?;
         Ok(boxed)
+    }
+
+    /// Appends an optional **trailing call-context section** (call id +
+    /// parent id) to a message being encoded. Must be called after every
+    /// declared field has been put; readers that do not know about the
+    /// section — including every pre-context peer — never look past the
+    /// declared fields, so the section is backward compatible by
+    /// construction. Returns `false` (and encodes nothing) for protocols
+    /// without a context encoding — the default, so third-party protocols
+    /// keep compiling.
+    fn encode_context(&self, enc: &mut dyn Encoder, call_id: u64, parent_id: u64) -> bool {
+        let _ = (enc, call_id, parent_id);
+        false
+    }
+
+    /// Extracts the trailing call-context section from a received body, if
+    /// present, as `(call_id, parent_id)`. `None` when the body carries no
+    /// context (or the protocol has no context encoding — the default).
+    ///
+    /// Extraction is a tail inspection only: it never affects how the
+    /// declared fields decode, and a body without the section is left
+    /// byte-identical to a pre-context peer's view.
+    fn extract_context(&self, body: &[u8]) -> Option<(u64, u64)> {
+        let _ = body;
+        None
     }
 }
 
@@ -280,6 +323,35 @@ impl Protocol for TextProtocol {
         // The text decoder tokenizes up front and owns its tokens; the win
         // here is skipping the body copy `decoder_with_limits` requires.
         Ok(Box::new(TextDecoder::with_limits(body, *limits)?))
+    }
+
+    fn encode_context(&self, enc: &mut dyn Encoder, call_id: u64, parent_id: u64) -> bool {
+        // Three ordinary tokens: the line stays printable and a telnet user
+        // can append ` "~ctx" 42 7` to a hand-typed request.
+        enc.put_string(TEXT_CONTEXT_MARKER);
+        enc.put_ulonglong(call_id);
+        enc.put_ulonglong(parent_id);
+        true
+    }
+
+    fn extract_context(&self, body: &[u8]) -> Option<(u64, u64)> {
+        let s = std::str::from_utf8(body).ok()?;
+        // The marker is the *last* `"~ctx"` token: anything after it must be
+        // exactly two unsigned integers running to end-of-line. A string
+        // argument containing the marker bytes encodes with escaped quotes
+        // (`\"~ctx\"`), so the token-boundary check below rejects it.
+        let needle = "\"~ctx\"";
+        let idx = s.rfind(needle)?;
+        if idx > 0 && !s.as_bytes()[idx - 1].is_ascii_whitespace() {
+            return None;
+        }
+        let mut tail = s[idx + needle.len()..].split_ascii_whitespace();
+        let call_id = tail.next()?.parse().ok()?;
+        let parent_id = tail.next()?.parse().ok()?;
+        if tail.next().is_some() {
+            return None;
+        }
+        Some((call_id, parent_id))
     }
 }
 
@@ -438,6 +510,27 @@ impl Protocol for CdrProtocol {
         limits: &DecodeLimits,
     ) -> WireResult<Box<dyn Decoder + 'a>> {
         Ok(Box::new(CdrDecoder::with_limits(body, *limits)))
+    }
+
+    fn encode_context(&self, enc: &mut dyn Encoder, call_id: u64, parent_id: u64) -> bool {
+        // Two aligned u64s then the u32 magic. After the first id the
+        // position is 8-aligned, so the ids and the magic are contiguous:
+        // the section always occupies exactly the last CDR_CONTEXT_LEN
+        // bytes of the body, wherever the arguments left the cursor.
+        enc.put_ulonglong(call_id);
+        enc.put_ulonglong(parent_id);
+        enc.put_ulong(u32::from_le_bytes(*CDR_CONTEXT_MAGIC));
+        true
+    }
+
+    fn extract_context(&self, body: &[u8]) -> Option<(u64, u64)> {
+        let n = body.len();
+        if n < CDR_CONTEXT_LEN || &body[n - 4..] != CDR_CONTEXT_MAGIC {
+            return None;
+        }
+        let call_id = u64::from_le_bytes(body[n - 20..n - 12].try_into().expect("8 bytes"));
+        let parent_id = u64::from_le_bytes(body[n - 12..n - 4].try_into().expect("8 bytes"));
+        Some((call_id, parent_id))
     }
 }
 
@@ -642,5 +735,97 @@ mod tests {
         ]
         .concat();
         assert_eq!(framed, expected);
+    }
+
+    /// A context-free body is byte-identical whether or not the peer knows
+    /// about contexts — the encoding path is simply not taken.
+    #[test]
+    fn context_free_bodies_are_untouched() {
+        for p in [&TextProtocol as &dyn Protocol, &CdrProtocol] {
+            let mut enc = p.encoder();
+            enc.put_string("ping");
+            enc.put_long(-7);
+            let body = enc.finish();
+            assert_eq!(p.extract_context(&body), None, "{}", p.name());
+        }
+        assert_eq!(TextProtocol.extract_context(b""), None);
+        assert_eq!(CdrProtocol.extract_context(b""), None);
+    }
+
+    /// The golden with-context text line: still one printable line a human
+    /// could type over telnet.
+    #[test]
+    fn golden_text_frame_with_context() {
+        let mut enc = TextProtocol.encoder();
+        enc.put_string("ping");
+        enc.put_long(-7);
+        assert!(TextProtocol.encode_context(&mut *enc, 42, 7));
+        let body = enc.finish();
+        assert_eq!(body, b"\"ping\" -7 \"~ctx\" 42 7");
+        assert_eq!(TextProtocol.extract_context(&body), Some((42, 7)));
+    }
+
+    /// The with-context body extends the plain body: an old reader decoding
+    /// only the declared fields sees exactly the same bytes.
+    #[test]
+    fn context_section_is_a_pure_suffix_on_both_protocols() {
+        for p in [&TextProtocol as &dyn Protocol, &CdrProtocol] {
+            let plain = {
+                let mut enc = p.encoder();
+                enc.put_string("echo");
+                enc.put_ulonglong(u64::MAX);
+                enc.finish()
+            };
+            let with_ctx = {
+                let mut enc = p.encoder();
+                enc.put_string("echo");
+                enc.put_ulonglong(u64::MAX);
+                assert!(p.encode_context(&mut *enc, 1, u64::MAX));
+                enc.finish()
+            };
+            assert!(with_ctx.starts_with(&plain), "{}", p.name());
+            assert_eq!(p.extract_context(&with_ctx), Some((1, u64::MAX)), "{}", p.name());
+            // Old-reader view: the declared fields decode identically.
+            let mut dec = p.decoder(with_ctx).unwrap();
+            assert_eq!(dec.get_string().unwrap(), "echo");
+            assert_eq!(dec.get_ulonglong().unwrap(), u64::MAX);
+        }
+    }
+
+    /// The CDR section is a fixed-size tail: ids at fixed offsets before the
+    /// closing magic, regardless of argument alignment.
+    #[test]
+    fn cdr_context_tail_layout() {
+        for misalign in 0..8usize {
+            let mut enc = CdrProtocol.encoder();
+            for _ in 0..misalign {
+                enc.put_octet(0xEE);
+            }
+            assert!(CdrProtocol.encode_context(&mut *enc, 0x0102, 0x0304));
+            let body = enc.finish();
+            let n = body.len();
+            assert_eq!(&body[n - 4..], CDR_CONTEXT_MAGIC);
+            assert_eq!(CdrProtocol.extract_context(&body), Some((0x0102, 0x0304)));
+        }
+    }
+
+    /// A hand-typed telnet line carries a context without any encoder help.
+    #[test]
+    fn text_context_is_hand_typable() {
+        let line = b"7 \"@tcp:h:1#1#IDL:X:1.0\" \"echo\" T \"hi\" \"~ctx\" 42 7";
+        assert_eq!(TextProtocol.extract_context(line), Some((42, 7)));
+    }
+
+    /// Malformed or mid-line marker bytes never parse as a context.
+    #[test]
+    fn text_context_rejects_lookalikes() {
+        // Marker with trailing junk after the two ids.
+        assert_eq!(TextProtocol.extract_context(b"1 \"~ctx\" 2 3 4"), None);
+        // Marker with only one id.
+        assert_eq!(TextProtocol.extract_context(b"1 \"~ctx\" 2"), None);
+        // Marker glued to a preceding token (e.g. inside an escaped string).
+        assert_eq!(TextProtocol.extract_context(b"1 \"a\\\"~ctx\" 2 3"), None);
+        // Non-numeric ids.
+        assert_eq!(TextProtocol.extract_context(b"1 \"~ctx\" x y"), None);
     }
 }

@@ -339,6 +339,65 @@ mod tests {
     }
 
     #[test]
+    fn annotation_vars_reach_custom_templates_for_any_backend() {
+        // The QoS annotations are backend-agnostic EST properties: any
+        // mapping — here a synthetic one layered on the java registry —
+        // can read `${idempotent}`/`${deadlineMs}`/`${cachedTtlMs}`/
+        // `${hasQos}` and walk `annotationList` without rust-specific
+        // plumbing.
+        let template = concat!(
+            "@foreach interfaceList\n",
+            "@openfile ${interfaceName}.qos\n",
+            "@foreach methodList\n",
+            "${methodName} idem=${idempotent} dl=${deadlineMs} ttl=${cachedTtlMs} ",
+            "qos=${hasQos} oneway=${oneway}\n",
+            "@foreach annotationList\n",
+            "  ann ${annotationName}=${annotationValue}\n",
+            "@end annotationList\n",
+            "@end methodList\n",
+            "@end interfaceList\n",
+        );
+        let idl = concat!(
+            "interface P {\n",
+            "  @idempotent @deadline(50) long state();\n",
+            "  @cached(200) long total();\n",
+            "  @oneway void fire();\n",
+            "  void plain();\n",
+            "};\n",
+        );
+        let c = Compiler::from_templates(&[("qos.tmpl".to_owned(), template.to_owned())], "java")
+            .unwrap();
+        let out = c.compile_source(idl, "p").unwrap();
+        let qos = out.file("P.qos").unwrap();
+        assert!(qos.contains("state idem=true dl=50 ttl=0 qos=true oneway=false"), "{qos}");
+        assert!(qos.contains("total idem=false dl=0 ttl=200 qos=true oneway=false"), "{qos}");
+        assert!(qos.contains("fire idem=false dl=0 ttl=0 qos=false oneway=true"), "{qos}");
+        assert!(qos.contains("plain idem=false dl=0 ttl=0 qos=false oneway=false"), "{qos}");
+        assert!(qos.contains("  ann idempotent=0\n  ann deadline=50"), "{qos}");
+        assert!(qos.contains("  ann cached=200"), "{qos}");
+    }
+
+    #[test]
+    fn every_backend_compiles_annotated_operations() {
+        // `-map` on a missing property is a RUN ERROR, so simply compiling
+        // an annotated interface through every registered backend proves
+        // the annotation properties are populated for all of them.
+        let idl = concat!(
+            "interface Sensor {\n",
+            "  @idempotent @deadline(25) long read();\n",
+            "  @cached(100) string unit();\n",
+            "  @oneway void ping();\n",
+            "  @idempotent readonly attribute long last;\n",
+            "};\n",
+        );
+        for backend in crate::backend::backend_names() {
+            let out = compile(&backend, idl, "sensor")
+                .unwrap_or_else(|e| panic!("backend {backend} rejected annotations: {e}"));
+            assert!(!out.is_empty(), "{backend} generated nothing");
+        }
+    }
+
+    #[test]
     fn total_loc_counts_nonblank_lines() {
         let out = compile("heidi-cpp", heidl_idl::FIG3_IDL, "A").unwrap();
         assert!(out.total_loc() > 50, "{}", out.total_loc());

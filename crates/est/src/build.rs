@@ -314,6 +314,7 @@ impl Builder {
                         format!("IDL:{}/{}:1.0", iface_repo_prefix, a.name.text),
                     );
                     self.type_props(an, "attributeType", &a.ty, a.span)?;
+                    self.annotation_props(an, &a.annotations);
                 }
             }
         }
@@ -328,7 +329,10 @@ impl Builder {
     ) -> Result<(), BuildError> {
         let n = self.est.add_node(op.name.text.clone(), "Operation", parent);
         self.est.add_prop(n, "methodName", op.name.text.clone());
-        self.est.add_prop(n, "oneway", op.oneway);
+        // `oneway` merges the keyword and the `@oneway` annotation: templates
+        // see one truth regardless of which spelling the IDL used.
+        self.est.add_prop(n, "oneway", op.oneway || op.annotation("oneway").is_some());
+        self.annotation_props(n, &op.annotations);
         self.est.add_prop(n, "repoId", format!("IDL:{}/{}:1.0", iface_repo_prefix, op.name.text));
         let info = describe(&op.return_type, &self.table, &self.scope)
             .map_err(|e| BuildError::new(e.to_string(), op.span))?;
@@ -359,6 +363,42 @@ impl Builder {
             self.est.add_prop(rn, "scopedName", r.to_string());
         }
         Ok(())
+    }
+
+    /// QoS annotation properties. Always present — templates `-map` over
+    /// them, and a missing property is a template *run error* — so every
+    /// Operation/Attribute node carries the full set with "no annotation"
+    /// defaults (`false`/`0`).
+    ///
+    /// - `idempotent` (Bool): `@idempotent` present.
+    /// - `deadlineMs` (Int): `@deadline(ms)` argument, `0` = none.
+    /// - `cachedTtlMs` (Int): `@cached(ttl_ms)` argument, `0` = none.
+    /// - `hasQos` (Bool): any reply-oriented QoS annotation present —
+    ///   gates per-call option emission in stub templates.
+    /// - `hasSetQos` (Bool): QoS applicable to an attribute *setter*
+    ///   (everything but `@cached`; a setter has no result to cache).
+    ///
+    /// Each annotation additionally becomes an `Annotation` child node
+    /// (`annotationName`/`annotationValue`) so templates can iterate
+    /// `annotationList` for doc-comments or non-Rust backends.
+    fn annotation_props(&mut self, n: NodeId, annotations: &[Annotation]) {
+        let idempotent = annotations.iter().any(|a| a.name.text == "idempotent");
+        let arg = |name: &str| {
+            annotations.iter().find(|a| a.name.text == name).and_then(|a| a.value).unwrap_or(0)
+                as i64
+        };
+        let deadline_ms = arg("deadline");
+        let cached_ttl_ms = arg("cached");
+        self.est.add_prop(n, "idempotent", idempotent);
+        self.est.add_prop(n, "deadlineMs", deadline_ms);
+        self.est.add_prop(n, "cachedTtlMs", cached_ttl_ms);
+        self.est.add_prop(n, "hasQos", idempotent || deadline_ms > 0 || cached_ttl_ms > 0);
+        self.est.add_prop(n, "hasSetQos", idempotent || deadline_ms > 0);
+        for a in annotations {
+            let an = self.est.add_node(a.name.text.clone(), "Annotation", n);
+            self.est.add_prop(an, "annotationName", a.name.text.clone());
+            self.est.add_prop(an, "annotationValue", a.value.unwrap_or(0) as i64);
+        }
     }
 
     fn typedef(&mut self, t: &TypeDef, parent: NodeId) -> Result<(), BuildError> {
@@ -667,6 +707,83 @@ mod tests {
         let i = est.find("Interface", "I").unwrap();
         let op = est.children_of_kind(i, "Operation")[0];
         assert_eq!(est.prop(op, "oneway").unwrap(), PropValue::Bool(true));
+    }
+
+    #[test]
+    fn annotation_props_default_to_no_qos() {
+        // Every Operation/Attribute node must carry the QoS property set
+        // even without annotations: templates -map them unconditionally.
+        let est = build(&parse("interface I { long f(); attribute long x; };").unwrap()).unwrap();
+        let i = est.find("Interface", "I").unwrap();
+        let op = est.children_of_kind(i, "Operation")[0];
+        let attr = est.children_of_kind(i, "Attribute")[0];
+        for n in [op, attr] {
+            assert_eq!(est.prop(n, "idempotent").unwrap(), PropValue::Bool(false));
+            assert_eq!(est.prop(n, "deadlineMs").unwrap(), PropValue::Int(0));
+            assert_eq!(est.prop(n, "cachedTtlMs").unwrap(), PropValue::Int(0));
+            assert_eq!(est.prop(n, "hasQos").unwrap(), PropValue::Bool(false));
+            assert_eq!(est.prop(n, "hasSetQos").unwrap(), PropValue::Bool(false));
+            assert!(est.children_of_kind(n, "Annotation").is_empty());
+        }
+    }
+
+    #[test]
+    fn annotation_props_propagate_to_operations() {
+        let src = "interface I {
+            @idempotent @deadline(50) long state();
+            @cached(200) long total();
+            @oneway void fire();
+        };";
+        let est = build(&parse(src).unwrap()).unwrap();
+        let i = est.find("Interface", "I").unwrap();
+        let op = |name: &str| {
+            est.children_of_kind(i, "Operation")
+                .into_iter()
+                .find(|&o| est.node(o).name == name)
+                .unwrap()
+        };
+
+        let state = op("state");
+        assert_eq!(est.prop(state, "idempotent").unwrap(), PropValue::Bool(true));
+        assert_eq!(est.prop(state, "deadlineMs").unwrap(), PropValue::Int(50));
+        assert_eq!(est.prop(state, "cachedTtlMs").unwrap(), PropValue::Int(0));
+        assert_eq!(est.prop(state, "hasQos").unwrap(), PropValue::Bool(true));
+        let anns = est.children_of_kind(state, "Annotation");
+        assert_eq!(anns.len(), 2);
+        assert_eq!(est.prop(anns[0], "annotationName").unwrap().as_text(), "idempotent");
+        assert_eq!(est.prop(anns[1], "annotationName").unwrap().as_text(), "deadline");
+        assert_eq!(est.prop(anns[1], "annotationValue").unwrap(), PropValue::Int(50));
+
+        let total = op("total");
+        assert_eq!(est.prop(total, "cachedTtlMs").unwrap(), PropValue::Int(200));
+        assert_eq!(est.prop(total, "hasQos").unwrap(), PropValue::Bool(true));
+        // @cached alone does not make a setter-style QoS set.
+        assert_eq!(est.prop(total, "hasSetQos").unwrap(), PropValue::Bool(false));
+
+        // `@oneway` merges into the same `oneway` prop the keyword sets.
+        let fire = op("fire");
+        assert_eq!(est.prop(fire, "oneway").unwrap(), PropValue::Bool(true));
+        assert_eq!(est.prop(fire, "hasQos").unwrap(), PropValue::Bool(false));
+    }
+
+    #[test]
+    fn annotation_props_propagate_to_attributes() {
+        let src = "interface I { @idempotent @deadline(25) attribute long level; };";
+        let est = build(&parse(src).unwrap()).unwrap();
+        let i = est.find("Interface", "I").unwrap();
+        let attr = est.children_of_kind(i, "Attribute")[0];
+        assert_eq!(est.prop(attr, "idempotent").unwrap(), PropValue::Bool(true));
+        assert_eq!(est.prop(attr, "deadlineMs").unwrap(), PropValue::Int(25));
+        assert_eq!(est.prop(attr, "hasQos").unwrap(), PropValue::Bool(true));
+        assert_eq!(est.prop(attr, "hasSetQos").unwrap(), PropValue::Bool(true));
+        assert_eq!(est.children_of_kind(attr, "Annotation").len(), 2);
+    }
+
+    #[test]
+    fn annotation_semantic_errors_surface_via_build() {
+        let err =
+            build(&parse("interface I { @cached(5) oneway void f(); };").unwrap()).unwrap_err();
+        assert!(err.message().contains("@cached"), "{err}");
     }
 
     #[test]

@@ -187,6 +187,7 @@ impl Checker {
                             a.name.span,
                         );
                     }
+                    self.attribute(a);
                 }
             }
         }
@@ -242,7 +243,10 @@ impl Checker {
     }
 
     fn operation(&mut self, op: &Operation) {
-        if op.oneway {
+        // `@oneway` is the annotation spelling of the keyword: the same
+        // well-formedness rules apply to both.
+        let oneway = op.oneway || op.annotation("oneway").is_some();
+        if oneway {
             if op.return_type != Type::Void {
                 self.error(format!("oneway operation `{}` must return void", op.name), op.span);
             }
@@ -258,6 +262,23 @@ impl Checker {
                     op.span,
                 );
             }
+            // A oneway has no reply: there is nothing to retry against a
+            // deadline, nothing to cache, and idempotence never matters.
+            for qos in ["idempotent", "deadline", "cached"] {
+                if let Some(a) = op.annotation(qos) {
+                    self.error(
+                        format!("oneway operation `{}` cannot carry `@{qos}`", op.name),
+                        a.span,
+                    );
+                }
+            }
+        }
+        if op.annotation("cached").is_some() && op.return_type == Type::Void {
+            let a = op.annotation("cached").expect("just checked");
+            self.error(
+                format!("`@cached` operation `{}` must return a value to cache", op.name),
+                a.span,
+            );
         }
 
         let mut seen = HashSet::new();
@@ -298,6 +319,13 @@ impl Checker {
                 Some(_) => self.error(format!("`{r}` is not an exception"), r.span),
                 None => self.error(format!("unresolved exception `{r}`"), r.span),
             }
+        }
+    }
+
+    fn attribute(&mut self, a: &Attribute) {
+        // Attribute accessors always expect a reply.
+        if let Some(ann) = a.annotation("oneway") {
+            self.error(format!("attribute `{}` cannot carry `@oneway`", a.name), ann.span);
         }
     }
 
@@ -412,6 +440,30 @@ mod tests {
             "cannot raise",
         );
         assert_clean("interface I { oneway void f(in long x); };");
+    }
+
+    #[test]
+    fn annotation_rules() {
+        // `@oneway` carries the keyword's well-formedness rules.
+        assert_error("interface I { @oneway long f(); };", "must return void");
+        assert_error("interface I { @oneway void f(out long x); };", "out/inout");
+        assert_clean("interface I { @oneway void f(in long x); };");
+        // Replyless calls take no reply-oriented QoS.
+        assert_error("interface I { @oneway @deadline(5) void f(); };", "cannot carry `@deadline`");
+        assert_error("interface I { @cached(5) oneway void f(); };", "cannot carry `@cached`");
+        assert_error(
+            "interface I { @oneway @idempotent void f(); };",
+            "cannot carry `@idempotent`",
+        );
+        // `@cached` needs a value to cache.
+        assert_error("interface I { @cached(5) void f(); };", "must return a value");
+        assert_clean("interface I { @cached(5) long f(); };");
+        // Attributes reply by construction.
+        assert_error("interface I { @oneway attribute long x; };", "cannot carry `@oneway`");
+        assert_clean("interface I { @idempotent @deadline(50) readonly attribute long x; };");
+        assert_clean(
+            "interface I { @idempotent @deadline(50) @cached(1000) sequence<long> all(); };",
+        );
     }
 
     #[test]

@@ -311,9 +311,47 @@ pub struct Param {
     pub default: Option<ConstExpr>,
 }
 
+/// A QoS annotation on an operation or attribute (HeidiRMI extension):
+/// `@idempotent`, `@oneway`, `@deadline(ms)`, or `@cached(ttl_ms)`.
+///
+/// Annotations declare per-call policy where the contract lives — in the
+/// IDL — so the mapping, not the call site, wires retry class, deadlines,
+/// oneway dispatch, and result caching into generated stubs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Annotation name, without the `@` (e.g. `deadline`).
+    pub name: Ident,
+    /// The parenthesized integer argument, when the annotation takes one
+    /// (`@deadline(50)` → `Some(50)`; `@idempotent` → `None`).
+    pub value: Option<u64>,
+    /// Source location of the whole annotation including the `@`.
+    pub span: Span,
+}
+
+impl Annotation {
+    /// The annotation names the parser accepts.
+    pub const KNOWN: [&'static str; 4] = ["idempotent", "oneway", "deadline", "cached"];
+
+    /// True when this annotation requires an integer argument.
+    pub fn takes_argument(name: &str) -> bool {
+        matches!(name, "deadline" | "cached")
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            Some(v) => write!(f, "@{}({v})", self.name),
+            None => write!(f, "@{}", self.name),
+        }
+    }
+}
+
 /// An interface operation (method).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Operation {
+    /// QoS annotations preceding the declaration, in source order.
+    pub annotations: Vec<Annotation>,
     /// True for `oneway` operations.
     pub oneway: bool,
     /// Return type ([`Type::Void`] for `void`).
@@ -328,9 +366,20 @@ pub struct Operation {
     pub span: Span,
 }
 
+impl Operation {
+    /// Looks up an annotation by name.
+    pub fn annotation(&self, name: &str) -> Option<&Annotation> {
+        self.annotations.iter().find(|a| a.name.text == name)
+    }
+}
+
 /// An interface attribute.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Attribute {
+    /// QoS annotations preceding the declaration, in source order. A
+    /// multi-declarator attribute (`attribute long a, b;`) carries the
+    /// same annotations on every declarator.
+    pub annotations: Vec<Annotation>,
     /// True for `readonly attribute`.
     pub readonly: bool,
     /// Attribute type.
@@ -339,6 +388,13 @@ pub struct Attribute {
     pub name: Ident,
     /// Source location.
     pub span: Span,
+}
+
+impl Attribute {
+    /// Looks up an annotation by name.
+    pub fn annotation(&self, name: &str) -> Option<&Annotation> {
+        self.annotations.iter().find(|a| a.name.text == name)
+    }
 }
 
 /// An interface member, in source order.
@@ -624,6 +680,7 @@ mod tests {
             bases: vec![],
             members: vec![
                 Member::Operation(Operation {
+                    annotations: vec![],
                     oneway: false,
                     return_type: Type::Void,
                     name: Ident::new("f"),
@@ -632,12 +689,18 @@ mod tests {
                     span: Span::default(),
                 }),
                 Member::Attribute(Attribute {
+                    annotations: vec![],
                     readonly: true,
                     ty: Type::Long,
                     name: Ident::new("button"),
                     span: Span::default(),
                 }),
                 Member::Operation(Operation {
+                    annotations: vec![Annotation {
+                        name: Ident::new("idempotent"),
+                        value: None,
+                        span: Span::default(),
+                    }],
                     oneway: false,
                     return_type: Type::Void,
                     name: Ident::new("g"),
@@ -652,6 +715,23 @@ mod tests {
         assert_eq!(ops, ["f", "g"]);
         let attrs: Vec<_> = iface.attributes().map(|a| a.name.text.as_str()).collect();
         assert_eq!(attrs, ["button"]);
+        let g = iface.operations().nth(1).unwrap();
+        assert!(g.annotation("idempotent").is_some());
+        assert!(g.annotation("deadline").is_none());
+    }
+
+    #[test]
+    fn annotation_display_and_argument_arity() {
+        let bare =
+            Annotation { name: Ident::new("idempotent"), value: None, span: Span::default() };
+        assert_eq!(bare.to_string(), "@idempotent");
+        let arg =
+            Annotation { name: Ident::new("deadline"), value: Some(50), span: Span::default() };
+        assert_eq!(arg.to_string(), "@deadline(50)");
+        assert!(Annotation::takes_argument("deadline"));
+        assert!(Annotation::takes_argument("cached"));
+        assert!(!Annotation::takes_argument("idempotent"));
+        assert!(!Annotation::takes_argument("oneway"));
     }
 
     #[test]

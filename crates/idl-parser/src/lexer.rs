@@ -311,6 +311,7 @@ impl<'a> Lexer<'a> {
             b'^' => Punct::Caret,
             b'&' => Punct::Amp,
             b'~' => Punct::Tilde,
+            b'@' => Punct::At,
             other => {
                 return Err(ParseError::new(
                     format!("unexpected character `{}`", other as char),

@@ -213,7 +213,80 @@ impl Parser {
         Ok(Definition::Interface(Interface { name, bases, members, span: start.merge(end) }))
     }
 
+    /// Parses the `@name` / `@name(N)` annotation list preceding a member.
+    /// Diagnoses unknown names, wrong argument arity, non-positive
+    /// arguments, and duplicates within one list, each at the offending
+    /// annotation's span.
+    fn annotations(&mut self) -> ParseResult<Vec<Annotation>> {
+        let mut annotations: Vec<Annotation> = Vec::new();
+        while self.peek().is_punct(Punct::At) {
+            let start = self.bump().span;
+            // `oneway` doubles as a keyword, so the name position accepts it
+            // alongside plain identifiers.
+            let name = if self.peek().is_keyword(Keyword::Oneway) {
+                let t = self.bump();
+                Ident { text: "oneway".to_owned(), span: t.span }
+            } else {
+                self.ident()?
+            };
+            if !Annotation::KNOWN.contains(&name.text.as_str()) {
+                return Err(ParseError::new(
+                    format!(
+                        "unknown annotation `@{}` (expected one of `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`)",
+                        name.text
+                    ),
+                    start.merge(name.span),
+                ));
+            }
+            if annotations.iter().any(|a| a.name.text == name.text) {
+                return Err(ParseError::new(
+                    format!("duplicate annotation `@{}`", name.text),
+                    start.merge(name.span),
+                ));
+            }
+            let mut end = name.span;
+            let value = if Annotation::takes_argument(&name.text) {
+                if !self.peek().is_punct(Punct::LParen) {
+                    return Err(self.error_here(format!(
+                        "annotation `@{}` requires an argument: `@{}(ms)`",
+                        name.text, name.text
+                    )));
+                }
+                self.bump();
+                let v = match self.peek().kind {
+                    TokenKind::IntLit(v) if v > 0 => v as u64,
+                    TokenKind::IntLit(_) => {
+                        return Err(self.error_here(format!(
+                            "annotation `@{}` argument must be a positive integer",
+                            name.text
+                        )));
+                    }
+                    ref other => {
+                        return Err(self.error_here(format!(
+                            "annotation `@{}` argument must be an integer literal, found {other}",
+                            name.text
+                        )));
+                    }
+                };
+                self.bump();
+                end = self.expect_punct(Punct::RParen)?;
+                Some(v)
+            } else {
+                if self.peek().is_punct(Punct::LParen) {
+                    return Err(
+                        self.error_here(format!("annotation `@{}` takes no argument", name.text))
+                    );
+                }
+                None
+            };
+            annotations.push(Annotation { name, value, span: start.merge(end) });
+        }
+        Ok(annotations)
+    }
+
     fn member_into(&mut self, out: &mut Vec<Member>) -> ParseResult<()> {
+        // QoS annotations (HeidiRMI extension) may precede any member.
+        let annotations = self.annotations()?;
         // Attribute: ['readonly'] 'attribute' type declarators ';'
         if self.peek().is_keyword(Keyword::Readonly) || self.peek().is_keyword(Keyword::Attribute) {
             let start = self.peek().span;
@@ -223,6 +296,7 @@ impl Parser {
             loop {
                 let name = self.ident()?;
                 out.push(Member::Attribute(Attribute {
+                    annotations: annotations.clone(),
                     readonly,
                     ty: ty.clone(),
                     name,
@@ -265,6 +339,7 @@ impl Parser {
         }
         let end = self.expect_punct(Punct::Semi)?;
         out.push(Member::Operation(Operation {
+            annotations,
             oneway,
             return_type,
             name,
@@ -966,6 +1041,72 @@ mod tests {
         let Member::Operation(f) = &i.members[0] else { panic!() };
         let e = f.params[0].default.as_ref().unwrap();
         assert_eq!(crate::expr::eval_i64(e).unwrap(), -5);
+    }
+
+    #[test]
+    fn annotations_parse_on_operations_and_attributes() {
+        let d = one(concat!(
+            "interface I {\n",
+            "  @idempotent @deadline(50) long get();\n",
+            "  @cached(1000) sequence<long> list();\n",
+            "  @oneway void fire(in long x);\n",
+            "  @idempotent readonly attribute long size;\n",
+            "  void plain();\n",
+            "};"
+        ));
+        let Definition::Interface(i) = d else { panic!() };
+        let Member::Operation(get) = &i.members[0] else { panic!() };
+        assert_eq!(get.annotations.len(), 2);
+        assert!(get.annotation("idempotent").is_some());
+        assert_eq!(get.annotation("deadline").unwrap().value, Some(50));
+        let Member::Operation(list) = &i.members[1] else { panic!() };
+        assert_eq!(list.annotation("cached").unwrap().value, Some(1000));
+        let Member::Operation(fire) = &i.members[2] else { panic!() };
+        assert!(fire.annotation("oneway").is_some());
+        assert!(!fire.oneway, "@oneway stays an annotation; the keyword flag is separate");
+        let Member::Attribute(size) = &i.members[3] else { panic!() };
+        assert!(size.annotation("idempotent").is_some());
+        let Member::Operation(plain) = &i.members[4] else { panic!() };
+        assert!(plain.annotations.is_empty());
+    }
+
+    #[test]
+    fn annotations_copied_to_every_attribute_declarator() {
+        let d = one("interface I { @deadline(10) attribute float x, y; };");
+        let Definition::Interface(i) = d else { panic!() };
+        for m in &i.members {
+            let Member::Attribute(a) = m else { panic!() };
+            assert_eq!(a.annotation("deadline").unwrap().value, Some(10));
+        }
+    }
+
+    #[test]
+    fn unknown_annotation_is_diagnosed_with_position() {
+        let err = parse("interface I {\n  @retryable void f();\n};").unwrap_err();
+        assert_eq!(err.span().start.line, 2);
+        assert!(err.message().contains("unknown annotation `@retryable`"), "{}", err.message());
+    }
+
+    #[test]
+    fn duplicate_annotation_is_diagnosed() {
+        let err = parse("interface I { @idempotent @idempotent void f(); };").unwrap_err();
+        assert!(err.message().contains("duplicate annotation `@idempotent`"), "{}", err.message());
+    }
+
+    #[test]
+    fn annotation_argument_arity_is_enforced() {
+        let err = parse("interface I { @deadline void f(); };").unwrap_err();
+        assert!(err.message().contains("requires an argument"), "{}", err.message());
+        let err = parse("interface I { @idempotent(3) void f(); };").unwrap_err();
+        assert!(err.message().contains("takes no argument"), "{}", err.message());
+        let err = parse("interface I { @cached(abc) void f(); };").unwrap_err();
+        assert!(err.message().contains("integer literal"), "{}", err.message());
+        let err = parse("interface I { @deadline(0) void f(); };").unwrap_err();
+        assert!(err.message().contains("positive integer"), "{}", err.message());
+        let err = parse("interface I { @deadline(-5) void f(); };").unwrap_err();
+        // `-` is not part of an integer literal token, so this reads as a
+        // non-integer argument; either message is an accurate diagnosis.
+        assert!(err.message().contains("integer"), "{}", err.message());
     }
 
     #[test]

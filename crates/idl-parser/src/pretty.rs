@@ -112,7 +112,13 @@ impl Printer {
                 Member::Operation(op) => self.operation(op),
                 Member::Attribute(a) => {
                     let ro = if a.readonly { "readonly " } else { "" };
-                    self.line(&format!("{}attribute {} {};", ro, a.ty, a.name));
+                    self.line(&format!(
+                        "{}{}attribute {} {};",
+                        annotation_prefix(&a.annotations),
+                        ro,
+                        a.ty,
+                        a.name
+                    ));
                 }
             }
         }
@@ -121,7 +127,7 @@ impl Printer {
     }
 
     fn operation(&mut self, op: &Operation) {
-        let mut s = String::new();
+        let mut s = annotation_prefix(&op.annotations);
         if op.oneway {
             s.push_str("oneway ");
         }
@@ -146,6 +152,16 @@ impl Printer {
         s.push(';');
         self.line(&s);
     }
+}
+
+/// Renders a member's annotations as a `@a @b(n) ` prefix (empty when the
+/// member carries none).
+fn annotation_prefix(annotations: &[Annotation]) -> String {
+    let mut s = String::new();
+    for a in annotations {
+        let _ = write!(s, "{a} ");
+    }
+    s
 }
 
 #[cfg(test)]
@@ -210,6 +226,26 @@ mod tests {
         assert!(printed.contains("raises (E);"));
         let reparsed = parse(&printed).unwrap();
         assert_eq!(normalize(&spec), normalize(&reparsed));
+    }
+
+    #[test]
+    fn annotations_round_trip() {
+        let src = concat!(
+            "interface I {\n",
+            "  @idempotent @deadline(50) long get();\n",
+            "  @cached(1000) sequence<long> list();\n",
+            "  @oneway void fire();\n",
+            "  @idempotent readonly attribute long size;\n",
+            "};"
+        );
+        let spec = parse(src).unwrap();
+        let printed = print(&spec);
+        assert!(printed.contains("@idempotent @deadline(50) long get();"), "{printed}");
+        assert!(printed.contains("@cached(1000) sequence<long> list();"), "{printed}");
+        assert!(printed.contains("@oneway void fire();"), "{printed}");
+        assert!(printed.contains("@idempotent readonly attribute long size;"), "{printed}");
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(normalize(&spec), normalize(&reparsed), "\n{printed}");
     }
 
     #[test]

@@ -190,6 +190,8 @@ pub enum Punct {
     Shl,
     /// `>>`
     Shr,
+    /// `@` — introduces a QoS annotation (HeidiRMI extension).
+    At,
 }
 
 impl Punct {
@@ -221,6 +223,7 @@ impl Punct {
             Tilde => "~",
             Shl => "<<",
             Shr => ">>",
+            At => "@",
         }
     }
 }

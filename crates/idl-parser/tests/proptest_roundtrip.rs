@@ -110,16 +110,37 @@ fn param_strategy() -> impl Strategy<Value = Param> {
         })
 }
 
+/// A duplicate-free annotation list: an include/exclude bit per known
+/// name, with integer arguments exactly where the grammar requires them.
+fn annotations_strategy() -> impl Strategy<Value = Vec<Annotation>> {
+    (proptest::collection::vec(any::<bool>(), Annotation::KNOWN.len()), 1u64..100_000).prop_map(
+        |(included, arg)| {
+            Annotation::KNOWN
+                .iter()
+                .zip(included)
+                .filter(|(_, inc)| *inc)
+                .map(|(name, _)| Annotation {
+                    name: Ident::new(*name),
+                    value: Annotation::takes_argument(name).then_some(arg),
+                    span: Default::default(),
+                })
+                .collect()
+        },
+    )
+}
+
 fn operation_strategy() -> impl Strategy<Value = Member> {
     (
+        annotations_strategy(),
         any::<bool>(),
         prop_oneof![Just(Type::Void), type_strategy()],
         ident_strategy(),
         proptest::collection::vec(param_strategy(), 0..4),
         proptest::collection::vec(ident_strategy(), 0..2),
     )
-        .prop_map(|(oneway, return_type, name, params, raises)| {
+        .prop_map(|(annotations, oneway, return_type, name, params, raises)| {
             Member::Operation(Operation {
+                annotations,
                 // `oneway` must be void-returning to re-parse cleanly; keep
                 // the generator honest rather than filtered.
                 oneway: oneway && return_type == Type::Void,
@@ -133,14 +154,17 @@ fn operation_strategy() -> impl Strategy<Value = Member> {
 }
 
 fn attribute_strategy() -> impl Strategy<Value = Member> {
-    (any::<bool>(), type_strategy(), ident_strategy()).prop_map(|(readonly, ty, name)| {
-        Member::Attribute(Attribute {
-            readonly,
-            ty,
-            name: Ident::new(name),
-            span: Default::default(),
-        })
-    })
+    (annotations_strategy(), any::<bool>(), type_strategy(), ident_strategy()).prop_map(
+        |(annotations, readonly, ty, name)| {
+            Member::Attribute(Attribute {
+                annotations,
+                readonly,
+                ty,
+                name: Ident::new(name),
+                span: Default::default(),
+            })
+        },
+    )
 }
 
 fn interface_strategy() -> impl Strategy<Value = Definition> {

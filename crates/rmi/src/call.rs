@@ -94,6 +94,12 @@ pub struct Call {
     method: String,
     response_expected: bool,
     enc: Box<dyn Encoder>,
+    /// Byte offset where the argument bytes start (right after the header).
+    args_start: usize,
+    /// Byte offset where the argument bytes end — pinned by
+    /// [`Call::attach_context`] before the context suffix is appended;
+    /// `None` means "arguments run to the end of the body".
+    args_end: Option<usize>,
 }
 
 impl std::fmt::Debug for Call {
@@ -130,12 +136,15 @@ impl Call {
         enc.put_string(&target.to_string());
         enc.put_string(method);
         enc.put_bool(response_expected);
+        let args_start = enc.position();
         Call {
             request_id,
             target: target.clone(),
             method: method.to_owned(),
             response_expected,
             enc,
+            args_start,
+            args_end: None,
         }
     }
 
@@ -169,7 +178,19 @@ impl Call {
     /// is a suffix; anything put after it would corrupt the tail). Returns
     /// `false` when `protocol` has no context encoding.
     pub fn attach_context(&mut self, protocol: &dyn Protocol, ctx: CallContext) -> bool {
+        if self.args_end.is_none() {
+            self.args_end = Some(self.enc.position());
+        }
         protocol.encode_context(self.enc.as_mut(), ctx.call_id, ctx.parent_id)
+    }
+
+    /// The byte range of the marshaled arguments within the body that
+    /// [`Call::into_body`] will produce. Excludes the request header —
+    /// which embeds the per-call request id — and any trailing context
+    /// section, so two calls to the same method with equal arguments yield
+    /// equal spans. This is what the `@cached` result cache keys on.
+    pub fn args_span(&self) -> std::ops::Range<usize> {
+        self.args_start..self.args_end.unwrap_or_else(|| self.enc.position())
     }
 
     /// Completes the request, yielding the message body to send.

@@ -40,7 +40,7 @@
 use crate::call::Reply;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::ObjectRef;
-use crate::orb::Orb;
+use crate::orb::{CallOptions, Orb};
 use heidl_wire::Encoder;
 
 /// A dynamically-typed argument or result value.
@@ -122,6 +122,7 @@ pub struct DynCall<'a> {
     method: String,
     args: Vec<DynValue>,
     oneway: bool,
+    options: CallOptions,
 }
 
 impl<'a> DynCall<'a> {
@@ -133,6 +134,7 @@ impl<'a> DynCall<'a> {
             method: method.to_owned(),
             args: Vec::new(),
             oneway: false,
+            options: CallOptions::default(),
         }
     }
 
@@ -150,11 +152,22 @@ impl<'a> DynCall<'a> {
         self
     }
 
-    /// Invokes the call, returning a typed-pull view of the results.
+    /// Sets the per-call QoS ([`CallOptions::builder`]) — deadline, retry
+    /// class/policy, result caching. Dynamic calls honor the same options
+    /// generated stubs derive from IDL annotations; ignored for `oneway`
+    /// calls (there is no reply to wait for, retry, or cache).
+    #[must_use]
+    pub fn options(mut self, options: CallOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Invokes the call through [`Orb::invoke_with`], returning a
+    /// typed-pull view of the results.
     ///
     /// # Errors
     ///
-    /// As for [`Orb::invoke`]; `oneway` calls return empty results.
+    /// As for [`Orb::invoke_with`]; `oneway` calls return empty results.
     pub fn invoke(self) -> RmiResult<DynResults> {
         if self.oneway {
             let mut call = self.orb.call_oneway(&self.target, &self.method);
@@ -168,7 +181,7 @@ impl<'a> DynCall<'a> {
         for a in &self.args {
             a.marshal(call.args());
         }
-        let reply = self.orb.invoke(call)?;
+        let reply = self.orb.invoke_with(call, self.options)?;
         Ok(DynResults { reply: Some(reply) })
     }
 }

@@ -92,6 +92,7 @@ pub mod metrics;
 pub mod objref;
 pub mod orb;
 pub mod policy;
+mod result_cache;
 pub mod retry;
 pub mod serialize;
 mod server;
@@ -113,7 +114,7 @@ pub use fault::{Fault, FaultInjector, FaultOp, FaultPlan, FaultRule, FaultyConne
 pub use interceptor::{CallInfo, CallPhase, FnInterceptor, Interceptor};
 pub use metrics::{Counter, Histogram, Metrics, MetricsSnapshot, OpSnapshot, OpStats};
 pub use objref::{Endpoint, ObjectRef};
-pub use orb::{CallOptions, Orb, OrbBuilder};
+pub use orb::{CallOptions, CallOptionsBuilder, Orb, OrbBuilder};
 pub use policy::{ServerHealth, ServerPolicy};
 pub use retry::{classify, Backoff, RetryClass, RetryPolicy};
 pub use serialize::{

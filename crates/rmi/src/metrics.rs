@@ -8,6 +8,12 @@
 //! only allocation is the one-time insert the first time an operation
 //! name is seen.
 //!
+//! Per-operation detail is **pay-for-use**: the fixed counters are always
+//! maintained (a single relaxed atomic add), but the shard lookup and
+//! histogram recording only happen once a consumer opts in with
+//! [`Metrics::set_detail`] — e.g. before sampling latency distributions
+//! through `_metrics.dump` or [`Metrics::client_op`].
+//!
 //! Every ORB owns one [`Metrics`] (`Orb::metrics()`), which doubles as
 //! the backing store for the built-in `_metrics` object (see
 //! `IDL:heidl/Metrics:1.0`: `snapshot` / `reset` / `dump`) — so the same
@@ -16,7 +22,7 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of shards in each per-operation map (power of two).
@@ -55,11 +61,14 @@ pub enum Counter {
     BytesIn,
     /// Request/reply body bytes sent (client and server sides).
     BytesOut,
+    /// `@cached` client calls served from the result cache (no wire
+    /// round trip; not counted in [`Counter::CallsOk`]).
+    CacheHits,
 }
 
 impl Counter {
     /// Every counter, in wire order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 12] = [
         Counter::CallsOk,
         Counter::CallsFailed,
         Counter::Oneways,
@@ -71,6 +80,7 @@ impl Counter {
         Counter::ShedConnections,
         Counter::BytesIn,
         Counter::BytesOut,
+        Counter::CacheHits,
     ];
 
     /// The counter's stable snake_case name, as shown in `_metrics.dump`.
@@ -87,6 +97,7 @@ impl Counter {
             Counter::ShedConnections => "shed_connections",
             Counter::BytesIn => "bytes_in",
             Counter::BytesOut => "bytes_out",
+            Counter::CacheHits => "cache_hits",
         }
     }
 }
@@ -280,6 +291,7 @@ fn shard_snapshot(shards: &[OpShard; SHARDS]) -> Vec<(String, OpSnapshot)> {
 #[derive(Debug)]
 pub struct Metrics {
     counters: [AtomicU64; Counter::ALL.len()],
+    detail: AtomicBool,
     client_ops: [OpShard; SHARDS],
     server_ops: [OpShard; SHARDS],
 }
@@ -288,6 +300,7 @@ impl Default for Metrics {
     fn default() -> Self {
         Metrics {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            detail: AtomicBool::new(false),
             client_ops: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             server_ops: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
@@ -317,17 +330,41 @@ impl Metrics {
         self.counters[counter as usize].load(Ordering::Relaxed)
     }
 
+    /// Whether per-operation detail (the sharded name→stats maps and
+    /// latency histograms) is being recorded. Off by default: the fixed
+    /// counters are always maintained, but the per-call shard lock +
+    /// histogram adds are pay-for-use.
+    #[inline]
+    pub fn detail_enabled(&self) -> bool {
+        self.detail.load(Ordering::Relaxed)
+    }
+
+    /// Turns per-operation detail recording on or off. Flipping it off
+    /// keeps whatever per-op stats were already collected (snapshots and
+    /// live handles stay readable); flipping it on starts recording from
+    /// the next call.
+    pub fn set_detail(&self, enabled: bool) {
+        self.detail.store(enabled, Ordering::Relaxed);
+    }
+
     /// Records one client-side call of `method`: end-to-end latency
-    /// (including retries/failover) and outcome.
+    /// (including retries/failover) and outcome. The per-op histogram is
+    /// only touched when [`Metrics::detail_enabled`] — the outcome
+    /// counters are unconditional.
     pub fn record_client_call(&self, method: &str, ns: u64, ok: bool) {
         self.inc(if ok { Counter::CallsOk } else { Counter::CallsFailed });
-        shard_lookup(&self.client_ops, method).record(ns, ok);
+        if self.detail_enabled() {
+            shard_lookup(&self.client_ops, method).record(ns, ok);
+        }
     }
 
     /// Records one server-side dispatch of `method`: servant execution
-    /// latency and outcome.
+    /// latency and outcome. Per-op, so entirely gated on
+    /// [`Metrics::detail_enabled`].
     pub fn record_server_dispatch(&self, method: &str, ns: u64, ok: bool) {
-        shard_lookup(&self.server_ops, method).record(ns, ok);
+        if self.detail_enabled() {
+            shard_lookup(&self.server_ops, method).record(ns, ok);
+        }
     }
 
     /// The live stats handle for a client-side operation, if any calls
@@ -464,6 +501,7 @@ mod tests {
     #[test]
     fn counters_and_ops_record_and_reset() {
         let m = Metrics::new();
+        m.set_detail(true);
         m.inc(Counter::Retries);
         m.add(Counter::BytesOut, 100);
         m.record_client_call("echo", 1500, true);
@@ -489,8 +527,31 @@ mod tests {
     }
 
     #[test]
+    fn detail_gate_skips_per_op_stats_but_not_counters() {
+        let m = Metrics::new();
+        assert!(!m.detail_enabled());
+        m.record_client_call("echo", 1500, true);
+        m.record_server_dispatch("echo", 800, true);
+        assert_eq!(m.get(Counter::CallsOk), 1);
+        assert!(m.client_op("echo").is_none());
+        assert!(m.server_op("echo").is_none());
+
+        m.set_detail(true);
+        m.record_client_call("echo", 1500, true);
+        assert_eq!(m.get(Counter::CallsOk), 2);
+        assert_eq!(m.client_op("echo").unwrap().calls(), 1);
+
+        // Turning detail back off freezes, but keeps, the collected stats.
+        m.set_detail(false);
+        m.record_client_call("echo", 9000, true);
+        assert_eq!(m.get(Counter::CallsOk), 3);
+        assert_eq!(m.client_op("echo").unwrap().calls(), 1);
+    }
+
+    #[test]
     fn dump_rows_are_human_readable() {
         let m = Metrics::new();
+        m.set_detail(true);
         m.record_server_dispatch("echo", 15_000, true);
         m.inc(Counter::ShedRequests);
         let rows = m.dump_rows(&[("in_flight", 3)]);

@@ -25,7 +25,8 @@ use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
 use crate::metrics::{Counter, Metrics};
 use crate::objref::{Endpoint, ObjectRef};
 use crate::policy::{ServerHealth, ServerPolicy};
-use crate::retry::{may_retry, Backoff, RetryPolicy};
+use crate::result_cache::{CacheKey, ResultCache};
+use crate::retry::{may_retry, Backoff, RetryClass, RetryPolicy};
 use crate::serialize::{self, RemoteObject, ValueRegistry};
 use crate::server::{
     ServerHandle, HEALTH_OBJECT_ID, HEALTH_TYPE_ID, METRICS_OBJECT_ID, METRICS_TYPE_ID,
@@ -42,6 +43,25 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-invocation knobs for [`Orb::invoke_with`].
+///
+/// Construct via [`CallOptions::builder`] (or [`CallOptions::default`] for
+/// the defaults). The struct is `#[non_exhaustive]`: new QoS knobs can be
+/// added without breaking callers, which is exactly what the IDL
+/// annotation pipeline relies on — generated stubs translate
+/// `@idempotent` / `@deadline(ms)` / `@cached(ttl_ms)` into a builder
+/// chain, so hand-written call sites never need to spell out QoS again.
+///
+/// ```
+/// use heidl_rmi::{CallOptions, RetryClass};
+/// use std::time::Duration;
+///
+/// let options = CallOptions::builder()
+///     .deadline(Duration::from_millis(50))
+///     .retry_class(RetryClass::Safe)
+///     .build();
+/// assert!(options.idempotent);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy)]
 pub struct CallOptions {
     /// How long to wait for the reply before giving up with
@@ -52,7 +72,8 @@ pub struct CallOptions {
     /// Whether a mid-call failure on a *cached* connection may be retried
     /// once on a fresh connection (the stale-connection heuristic). On by
     /// default — but the retry additionally requires the failure's
-    /// retry-safety class to allow it (see [`CallOptions::idempotent`]),
+    /// retry-safety class to allow it (see
+    /// [`CallOptionsBuilder::retry_class`]),
     /// so it never re-executes non-idempotent work.
     pub retry: bool,
     /// Per-call override of the ORB's [`RetryPolicy`]
@@ -64,47 +85,132 @@ pub struct CallOptions {
     /// which provably wrote nothing, stay retryable). See
     /// [`RetryClass`](crate::retry::RetryClass).
     pub idempotent: bool,
+    /// Serve this call from the ORB's client-side result cache when a
+    /// fresh entry exists, and remember a successful reply for this long.
+    /// `None` (the default) bypasses the cache entirely. Set by stubs
+    /// generated from `@cached(ttl_ms)` operations.
+    pub cached_ttl: Option<Duration>,
 }
 
 impl Default for CallOptions {
     fn default() -> Self {
-        CallOptions { deadline: None, retry: true, retry_policy: None, idempotent: false }
+        CallOptions {
+            deadline: None,
+            retry: true,
+            retry_policy: None,
+            idempotent: false,
+            cached_ttl: None,
+        }
     }
 }
 
 impl CallOptions {
+    /// Starts building call options:
+    /// `CallOptions::builder().deadline(...).retry_class(...).build()`.
+    pub fn builder() -> CallOptionsBuilder {
+        CallOptionsBuilder { options: CallOptions::default() }
+    }
+
     /// Options with a per-call deadline.
+    #[deprecated(note = "use `CallOptions::builder().deadline(..).build()`")]
     pub fn with_deadline(deadline: Duration) -> CallOptions {
-        CallOptions { deadline: Some(deadline), ..CallOptions::default() }
+        CallOptions::builder().deadline(deadline).build()
     }
 
     /// Options declaring the call idempotent (safe to retry even after
     /// request bytes were written).
+    #[deprecated(note = "use `CallOptions::builder().retry_class(RetryClass::Safe).build()`")]
     pub fn idempotent() -> CallOptions {
-        CallOptions { idempotent: true, ..CallOptions::default() }
+        CallOptions::builder().retry_class(RetryClass::Safe).build()
     }
 
     /// Options with a per-call retry policy override.
+    #[deprecated(note = "use `CallOptions::builder().retry_policy(..).build()`")]
     pub fn with_retry_policy(policy: RetryPolicy) -> CallOptions {
-        CallOptions { retry_policy: Some(policy), ..CallOptions::default() }
+        CallOptions::builder().retry_policy(policy).build()
     }
 
     /// Adds a deadline to these options.
+    #[deprecated(note = "use `CallOptions::builder().deadline(..).build()`")]
     pub fn and_deadline(mut self, deadline: Duration) -> CallOptions {
         self.deadline = Some(deadline);
         self
     }
 
     /// Marks these options idempotent.
+    #[deprecated(note = "use `CallOptions::builder().retry_class(RetryClass::Safe).build()`")]
     pub fn and_idempotent(mut self) -> CallOptions {
         self.idempotent = true;
         self
     }
 
     /// Adds a retry-policy override to these options.
+    #[deprecated(note = "use `CallOptions::builder().retry_policy(..).build()`")]
     pub fn and_retry_policy(mut self, policy: RetryPolicy) -> CallOptions {
         self.retry_policy = Some(policy);
         self
+    }
+}
+
+/// Builder for [`CallOptions`] — the single public way to construct
+/// non-default per-call QoS. Every knob maps one-to-one onto an IDL
+/// annotation, so generated stubs and hand-written call sites read the
+/// same way.
+#[derive(Debug, Clone)]
+pub struct CallOptionsBuilder {
+    options: CallOptions,
+}
+
+impl CallOptionsBuilder {
+    /// Per-call deadline (`@deadline(ms)`): the call fails with
+    /// [`RmiError::DeadlineExceeded`] once it outlives this budget.
+    pub fn deadline(mut self, deadline: Duration) -> CallOptionsBuilder {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Retry-safety class of the call:
+    ///
+    /// * [`RetryClass::Safe`] (`@idempotent`) — may re-send even after
+    ///   request bytes reached a server;
+    /// * [`RetryClass::IfIdempotent`] — the default: only provably-unsent
+    ///   failures (connect refused, circuit open, shed with `Busy`) retry;
+    /// * [`RetryClass::Never`] — disables even those.
+    pub fn retry_class(mut self, class: RetryClass) -> CallOptionsBuilder {
+        match class {
+            RetryClass::Safe => {
+                self.options.idempotent = true;
+                self.options.retry = true;
+            }
+            RetryClass::IfIdempotent => {
+                self.options.idempotent = false;
+                self.options.retry = true;
+            }
+            RetryClass::Never => {
+                self.options.idempotent = false;
+                self.options.retry = false;
+            }
+        }
+        self
+    }
+
+    /// Per-call override of the ORB's [`RetryPolicy`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> CallOptionsBuilder {
+        self.options.retry_policy = Some(policy);
+        self
+    }
+
+    /// Serve from (and fill) the client-side result cache with this TTL
+    /// (`@cached(ttl_ms)`). Only successful replies are cached; the key is
+    /// target + method + marshaled argument bytes.
+    pub fn cached(mut self, ttl: Duration) -> CallOptionsBuilder {
+        self.options.cached_ttl = Some(ttl);
+        self
+    }
+
+    /// Finishes the chain.
+    pub fn build(self) -> CallOptions {
+        self.options
     }
 }
 
@@ -216,6 +322,7 @@ impl OrbBuilder {
                 retries: AtomicU64::new(0),
                 retry_policy: self.retry_policy,
                 server_policy: self.server_policy,
+                result_cache: ResultCache::default(),
             }),
         }
     }
@@ -245,6 +352,8 @@ pub(crate) struct OrbInner {
     retries: AtomicU64,
     retry_policy: RetryPolicy,
     server_policy: ServerPolicy,
+    /// Client-side `@cached` result cache (see [`CallOptions::cached_ttl`]).
+    result_cache: ResultCache,
 }
 
 impl std::fmt::Debug for Orb {
@@ -474,7 +583,8 @@ impl Orb {
     /// stale between checkout and use), the call is retried **once** on a
     /// fresh connection, but only when its retry-safety class allows it:
     /// the server may already be executing the request, so non-idempotent
-    /// calls surface the error instead (see [`CallOptions::idempotent`]).
+    /// calls surface the error instead (see
+    /// [`CallOptionsBuilder::retry_class`]).
     ///
     /// # Errors
     ///
@@ -484,10 +594,22 @@ impl Orb {
         self.invoke_with(call, CallOptions::default())
     }
 
-    /// Invokes a call with an explicit deadline/retry policy. A call that
-    /// outlives its deadline returns [`RmiError::DeadlineExceeded`]; the
-    /// shared connection is *not* torn down, and the late reply is
-    /// discarded by the demultiplexer whenever it arrives.
+    /// Invokes a call with explicit [`CallOptions`] — deadline, retry
+    /// class/policy, result caching. **This is the single client
+    /// invocation entry point**: [`Orb::invoke`] is sugar for default
+    /// options, generated stubs call it with annotation-derived options,
+    /// and [`DynCall`](crate::dynamic::DynCall) routes through it too.
+    ///
+    /// A call that outlives its deadline returns
+    /// [`RmiError::DeadlineExceeded`]; the shared connection is *not* torn
+    /// down, and the late reply is discarded by the demultiplexer whenever
+    /// it arrives.
+    ///
+    /// When [`CallOptions::cached_ttl`] is set and a fresh entry for the
+    /// same target, method, and argument bytes exists in the result
+    /// cache, the remembered reply is returned without touching the wire
+    /// — no connection checkout, no interceptor fires, only the
+    /// `CacheHits` counter records the short-circuit.
     ///
     /// # Errors
     ///
@@ -512,8 +634,23 @@ impl Orb {
         } else {
             None
         };
-        self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
+        let args_span = call.args_span();
         let body = call.into_body();
+        // `@cached` consult: key on the argument bytes only — the header
+        // embeds the per-call request id, which never repeats.
+        let cache_key = options.cached_ttl.map(|_| CacheKey {
+            target: target.to_string(),
+            method: method.clone(),
+            args: body[args_span].to_vec(),
+        });
+        if let Some(key) = &cache_key {
+            if let Some(hit) = self.inner.result_cache.lookup(key) {
+                pool::recycle(body);
+                self.inner.metrics.inc(Counter::CacheHits);
+                return Reply::parse(hit, self.inner.protocol.as_ref());
+            }
+        }
+        self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
         let deadline = options.deadline.or(self.inner.default_deadline);
         self.inner.metrics.add(Counter::BytesOut, body.len() as u64);
 
@@ -534,7 +671,17 @@ impl Orb {
             }
         };
         self.inner.metrics.add(Counter::BytesIn, reply_body.len() as u64);
-        let reply = Reply::parse(reply_body.into(), self.inner.protocol.as_ref());
+        let reply_vec: Vec<u8> = reply_body.into();
+        // `Reply::parse` consumes the body, and only an OK-status body
+        // parses to `Ok` — so clone up front and cache on success, which
+        // keeps exception and busy replies out of the cache for free.
+        let raw = if cache_key.is_some() { Some(reply_vec.clone()) } else { None };
+        let reply = Reply::parse(reply_vec, self.inner.protocol.as_ref());
+        if reply.is_ok() {
+            if let (Some(key), Some(raw), Some(ttl)) = (cache_key, raw, options.cached_ttl) {
+                self.inner.result_cache.store(key, raw, ttl);
+            }
+        }
         self.inner.metrics.record_client_call(&method, elapsed_ns, reply.is_ok());
         self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
         reply
@@ -553,7 +700,8 @@ impl Orb {
     /// transport error happened last. Whether a failure may move on to the next
     /// endpoint/pass is decided by its retry-safety class
     /// ([`classify`]): connect-level failures are always safe, failures
-    /// after bytes were written need [`CallOptions::idempotent`], and
+    /// after bytes were written need [`RetryClass::Safe`] (an idempotent
+    /// declaration), and
     /// semantic failures (remote exceptions, deadlines) never retry.
     ///
     /// Interceptors observe each extra attempt as a
@@ -804,6 +952,12 @@ impl Orb {
         self.inner.stubs.read().len()
     }
 
+    /// Number of entries in the `@cached` result cache (observability;
+    /// counts entries not yet reaped, including expired ones).
+    pub fn cached_result_count(&self) -> usize {
+        self.inner.result_cache.len()
+    }
+
     // ---- incopy ----------------------------------------------------------
 
     /// Marshals an `incopy` argument: by value when the servant is
@@ -835,5 +989,60 @@ impl Drop for OrbInner {
         if let Some(handle) = self.server.get_mut().take() {
             handle.stop();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = CallOptions::builder().build();
+        let defaulted = CallOptions::default();
+        assert_eq!(built.deadline, defaulted.deadline);
+        assert_eq!(built.retry, defaulted.retry);
+        assert_eq!(built.retry_policy, defaulted.retry_policy);
+        assert_eq!(built.idempotent, defaulted.idempotent);
+        assert_eq!(built.cached_ttl, defaulted.cached_ttl);
+    }
+
+    #[test]
+    fn retry_class_maps_onto_retry_and_idempotent() {
+        let safe = CallOptions::builder().retry_class(RetryClass::Safe).build();
+        assert!(safe.retry && safe.idempotent);
+        let conditional = CallOptions::builder().retry_class(RetryClass::IfIdempotent).build();
+        assert!(conditional.retry && !conditional.idempotent);
+        let never = CallOptions::builder().retry_class(RetryClass::Never).build();
+        assert!(!never.retry && !never.idempotent);
+    }
+
+    #[test]
+    fn builder_chain_composes_all_knobs() {
+        let options = CallOptions::builder()
+            .deadline(Duration::from_millis(50))
+            .retry_class(RetryClass::Safe)
+            .retry_policy(RetryPolicy::none())
+            .cached(Duration::from_millis(200))
+            .build();
+        assert_eq!(options.deadline, Some(Duration::from_millis(50)));
+        assert!(options.idempotent);
+        assert_eq!(options.retry_policy, Some(RetryPolicy::none()));
+        assert_eq!(options.cached_ttl, Some(Duration::from_millis(200)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_produce_equivalent_options() {
+        let old = CallOptions::with_deadline(Duration::from_millis(10));
+        assert_eq!(old.deadline, Some(Duration::from_millis(10)));
+        let old = CallOptions::idempotent();
+        assert!(old.idempotent && old.retry);
+        let old = CallOptions::with_retry_policy(RetryPolicy::none())
+            .and_deadline(Duration::from_millis(7))
+            .and_idempotent();
+        assert_eq!(old.retry_policy, Some(RetryPolicy::none()));
+        assert_eq!(old.deadline, Some(Duration::from_millis(7)));
+        assert!(old.idempotent);
     }
 }

@@ -116,7 +116,11 @@ fn failover_breaker_and_recovery_cycle() {
 
     // 1. The faulted primary drops the request mid-call; the idempotent
     //    call fails over to the backup and completes.
-    assert_eq!(ping(&client, &target, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(
+        ping(&client, &target, CallOptions::builder().retry_class(RetryClass::Safe).build())
+            .unwrap(),
+        42
+    );
     assert_eq!(plan.op_count(FaultOp::Connect, &primary_addr), 1, "primary was dialed once");
     let primary_breaker = client.connections().breaker(&target.endpoint);
     assert_eq!(primary_breaker.state(), BreakerState::Open, "one failure trips threshold 1");
@@ -129,7 +133,11 @@ fn failover_breaker_and_recovery_cycle() {
     // 2. While the breaker is open, calls skip the primary's socket
     //    entirely (connect count frozen) and go straight to the backup.
     for _ in 0..3 {
-        assert_eq!(ping(&client, &target, CallOptions::idempotent()).unwrap(), 42);
+        assert_eq!(
+            ping(&client, &target, CallOptions::builder().retry_class(RetryClass::Safe).build())
+                .unwrap(),
+            42
+        );
     }
     assert_eq!(
         plan.op_count(FaultOp::Connect, &primary_addr),
@@ -142,7 +150,8 @@ fn failover_breaker_and_recovery_cycle() {
     //    fail over: the breaker's refusal surfaces as CircuitOpen.
     let solo = target.at_endpoint(&target.endpoint);
     let err =
-        ping(&client, &solo, CallOptions::with_retry_policy(RetryPolicy::none())).unwrap_err();
+        ping(&client, &solo, CallOptions::builder().retry_policy(RetryPolicy::none()).build())
+            .unwrap_err();
     assert!(matches!(err, RmiError::CircuitOpen { .. }), "{err}");
 
     // 4. The fault clears; after the cool-down, the next call is admitted
@@ -150,7 +159,11 @@ fn failover_breaker_and_recovery_cycle() {
     //    breaker — service on the primary is restored.
     plan.clear();
     std::thread::sleep(cooldown + Duration::from_millis(50));
-    assert_eq!(ping(&client, &target, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(
+        ping(&client, &target, CallOptions::builder().retry_class(RetryClass::Safe).build())
+            .unwrap(),
+        42
+    );
     assert_eq!(primary_breaker.state(), BreakerState::Closed, "probe success closed the breaker");
     assert_eq!(
         plan.op_count(FaultOp::Connect, &primary_addr),
@@ -227,7 +240,11 @@ fn non_idempotent_calls_do_not_retry_after_bytes_were_written() {
                 .with_jitter_seed(1),
         )
         .build();
-    assert_eq!(ping(&client2, &objref, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(
+        ping(&client2, &objref, CallOptions::builder().retry_class(RetryClass::Safe).build())
+            .unwrap(),
+        42
+    );
     assert!(plan2.op_count(FaultOp::Send, &addr) >= 2, "the idempotent call re-sent");
 
     server.shutdown();
@@ -270,8 +287,16 @@ fn cached_connection_failure_does_not_resend_non_idempotent_calls() {
         .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan2))))
         .retry_policy(RetryPolicy::default().with_jitter_seed(2))
         .build();
-    assert_eq!(ping(&client2, &objref, CallOptions::idempotent()).unwrap(), 42);
-    assert_eq!(ping(&client2, &objref, CallOptions::idempotent()).unwrap(), 42);
+    assert_eq!(
+        ping(&client2, &objref, CallOptions::builder().retry_class(RetryClass::Safe).build())
+            .unwrap(),
+        42
+    );
+    assert_eq!(
+        ping(&client2, &objref, CallOptions::builder().retry_class(RetryClass::Safe).build())
+            .unwrap(),
+        42
+    );
     assert_eq!(client2.retry_count(), 1, "exactly one stale-connection retry");
     assert_eq!(plan2.op_count(FaultOp::Send, &addr), 3, "failed send + one re-send");
 

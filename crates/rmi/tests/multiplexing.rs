@@ -174,8 +174,9 @@ fn deadline_exceeded_leaves_the_connection_usable() {
 
     let mut call = orb.call(&objref, "nap");
     call.args().put_long(400);
-    let err =
-        orb.invoke_with(call, CallOptions::with_deadline(Duration::from_millis(50))).unwrap_err();
+    let err = orb
+        .invoke_with(call, CallOptions::builder().deadline(Duration::from_millis(50)).build())
+        .unwrap_err();
     assert!(matches!(err, RmiError::DeadlineExceeded { .. }), "{err}");
     assert_eq!(orb.retry_count(), 0, "a deadline is not a stale connection");
 
@@ -202,8 +203,9 @@ fn default_deadline_applies_when_call_options_do_not() {
     // An explicit per-call deadline overrides the default.
     let mut call = orb.call(&objref, "nap");
     call.args().put_long(100);
-    let mut reply =
-        orb.invoke_with(call, CallOptions::with_deadline(Duration::from_secs(5))).unwrap();
+    let mut reply = orb
+        .invoke_with(call, CallOptions::builder().deadline(Duration::from_secs(5)).build())
+        .unwrap();
     assert_eq!(reply.results().get_long().unwrap(), 100);
     orb.shutdown();
 }

@@ -103,8 +103,8 @@ fn shout(client: &Orb, target: &ObjectRef, s: &str) -> RmiResult<String> {
 fn nap_once(client: &Orb, target: &ObjectRef, ms: i32) -> RmiResult<i32> {
     let mut call = client.call(target, "nap");
     call.args().put_long(ms);
-    let mut reply =
-        client.invoke_with(call, CallOptions::with_retry_policy(RetryPolicy::none()))?;
+    let mut reply = client
+        .invoke_with(call, CallOptions::builder().retry_policy(RetryPolicy::none()).build())?;
     Ok(reply.results().get_long()?)
 }
 
@@ -208,6 +208,8 @@ fn hand_typed_context_reaches_the_server() {
 #[test]
 fn metrics_dump_over_raw_tcp_shows_live_traffic() {
     let server = Orb::new();
+    // Per-op rows and latency buckets are pay-for-use; opt in before traffic.
+    server.metrics().set_detail(true);
     server.serve("127.0.0.1:0").unwrap();
     let objref = server.export(EchoSkel::spawn()).unwrap();
     let metrics_ref = server.metrics_ref().unwrap();
@@ -235,6 +237,7 @@ fn metrics_dump_over_raw_tcp_shows_live_traffic() {
 #[test]
 fn metrics_snapshot_and_reset_roundtrip_remotely() {
     let server = Orb::new();
+    server.metrics().set_detail(true);
     server.serve("127.0.0.1:0").unwrap();
     let objref = server.export(EchoSkel::spawn()).unwrap();
     let client = Orb::new();

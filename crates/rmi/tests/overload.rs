@@ -59,7 +59,8 @@ fn serve_sleeper(policy: ServerPolicy) -> (Orb, ObjectRef) {
 fn nap_once(orb: &Orb, target: &ObjectRef, ms: i32) -> RmiResult<i32> {
     let mut call = orb.call(target, "nap");
     call.args().put_long(ms);
-    let mut reply = orb.invoke_with(call, CallOptions::with_retry_policy(RetryPolicy::none()))?;
+    let mut reply =
+        orb.invoke_with(call, CallOptions::builder().retry_policy(RetryPolicy::none()).build())?;
     Ok(reply.results().get_long()?)
 }
 
@@ -173,8 +174,9 @@ fn overload_busy_is_safe_to_retry_and_composes_with_backoff() {
         .with_max_attempts(10)
         .with_backoff(Duration::from_millis(30), Duration::from_millis(60))
         .with_jitter_seed(7);
-    let mut reply =
-        client.invoke_with(call, CallOptions::with_retry_policy(policy)).expect("retries land");
+    let mut reply = client
+        .invoke_with(call, CallOptions::builder().retry_policy(policy).build())
+        .expect("retries land");
     assert_eq!(reply.results().get_long().unwrap(), 1);
     occupant.join().unwrap().unwrap();
     let health = health_report(&client, &server.health_ref().unwrap());

@@ -155,6 +155,10 @@ impl Encoder for CdrEncoder {
         assert_eq!(self.depth, 0, "finish() with {} unclosed begin()s", self.depth);
         std::mem::take(&mut self.buf)
     }
+
+    fn position(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 /// Decoder for the CDR binary protocol.

@@ -54,6 +54,11 @@ pub trait Encoder: Send {
     /// Completes the message and returns its bytes, leaving the encoder
     /// empty and reusable.
     fn finish(&mut self) -> Vec<u8>;
+    /// Byte offset of the next append into the message produced by
+    /// [`Encoder::finish`] — a stable marker callers can use to delimit a
+    /// span of the encoded body (e.g. "the argument bytes of this call")
+    /// without re-encoding.
+    fn position(&self) -> usize;
 }
 
 /// Unmarshals values written by the matching [`Encoder`].

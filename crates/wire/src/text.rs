@@ -173,6 +173,10 @@ impl Encoder for TextEncoder {
         assert_eq!(self.depth, 0, "finish() with {} unclosed begin()s", self.depth);
         std::mem::take(&mut self.out).into_bytes()
     }
+
+    fn position(&self) -> usize {
+        self.out.len()
+    }
 }
 
 /// Decoder for the text protocol.

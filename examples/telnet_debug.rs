@@ -62,6 +62,9 @@ impl PlayerServant for Demo {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let orb = Orb::new();
+    // Per-operation rows in `_metrics.dump` are pay-for-use; a debugging
+    // demo wants them, so opt in up front.
+    orb.metrics().set_detail(true);
     // With an explicit bind address the example only serves (park until
     // Ctrl-C) so a human can drive it from telnet/nc — handy for the
     // README's failover walkthrough, with `HEIDL_FAULT_PLAN` set to

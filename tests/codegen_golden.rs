@@ -1,0 +1,47 @@
+//! Golden-file test for the rust backend: compiling `idl/media.idl` must
+//! reproduce `tests/golden/media.rs` byte for byte. This pins the full
+//! parser → EST → template pipeline — including the annotation-driven QoS
+//! wiring in the generated stubs — so template or EST changes show up as
+//! a reviewable diff instead of a silent drift.
+//!
+//! After an intentional codegen change, refresh the golden file with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test codegen_golden
+//! ```
+
+use std::path::Path;
+
+#[test]
+fn rust_backend_output_matches_golden_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let idl = std::fs::read_to_string(root.join("idl/media.idl")).unwrap();
+    let files = heidl::codegen::compile("rust", &idl, "media").unwrap();
+    let generated = files.file("media.rs").expect("rust backend emits media.rs");
+
+    let golden_path = root.join("tests/golden/media.rs");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, generated).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("tests/golden/media.rs missing — run with UPDATE_GOLDEN=1 to create it");
+    if generated != golden {
+        // A unified first-difference report beats dumping two ~1000-line files.
+        let line = generated.lines().zip(golden.lines()).position(|(g, e)| g != e);
+        panic!(
+            "generated media.rs differs from tests/golden/media.rs \
+             (first differing line: {:?}; generated {} lines, golden {} lines).\n\
+             If the change is intentional: UPDATE_GOLDEN=1 cargo test --test codegen_golden",
+            line.map(|i| i + 1),
+            generated.lines().count(),
+            golden.lines().count(),
+        );
+    }
+
+    // The golden file itself must carry the QoS wiring the annotations ask
+    // for — guards against regenerating a golden that silently lost it.
+    for needle in ["RetryClass::Safe", "from_millis(50)", ".cached(", "invoke_oneway"] {
+        assert!(golden.contains(needle), "golden media.rs lost `{needle}`");
+    }
+}

@@ -1,0 +1,249 @@
+//! End-to-end proof that annotation-driven QoS works with **zero
+//! hand-written call-site QoS code**: `idl/media.idl` annotates
+//! `state()` with `@idempotent @deadline(50)` and `durations()` with
+//! `@cached(200)`, the rust backend compiles those into the stubs at
+//! build time, and these tests drive the *generated* stubs under fault
+//! injection and TTL expiry. No `CallOptions` appear anywhere below —
+//! every per-call policy decision comes from the IDL.
+
+use heidl::media::*;
+use heidl::rmi::{
+    Counter, DispatchKind, Fault, FaultOp, FaultPlan, FaultRule, FaultyConnector, Orb,
+    RemoteObject, RetryPolicy, RmiResult, Trigger,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---- servants ---------------------------------------------------------
+
+/// A Player that counts how many times each operation actually executed,
+/// so the tests can distinguish "re-sent" from "failed before dispatch".
+#[derive(Default)]
+struct CountingPlayer {
+    states: AtomicUsize,
+    seeks: AtomicUsize,
+    prints: AtomicUsize,
+}
+
+impl RemoteObject for CountingPlayer {
+    fn type_id(&self) -> &str {
+        Player_REPO_ID
+    }
+}
+
+impl ReceiverServant for CountingPlayer {
+    fn print(&self, _text: String) -> RmiResult<()> {
+        self.prints.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn count(&self) -> RmiResult<i32> {
+        Ok(self.prints.load(Ordering::SeqCst) as i32)
+    }
+}
+
+impl PlayerServant for CountingPlayer {
+    fn play(&self, _clip: String, _volume: i32) -> RmiResult<()> {
+        Ok(())
+    }
+
+    fn stop(&self) -> RmiResult<()> {
+        Ok(())
+    }
+
+    fn load(&self, _source: heidl::rmi::IncopyArg) -> RmiResult<()> {
+        Ok(())
+    }
+
+    fn state(&self) -> RmiResult<Status> {
+        self.states.fetch_add(1, Ordering::SeqCst);
+        Ok(Status::Playing)
+    }
+
+    fn seek(&self, _frames: Vec<i32>) -> RmiResult<()> {
+        self.seeks.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn get_position(&self) -> RmiResult<i32> {
+        Ok(7)
+    }
+
+    fn get_title(&self) -> RmiResult<String> {
+        Ok(String::new())
+    }
+
+    fn set_title(&self, _v: String) -> RmiResult<()> {
+        Ok(())
+    }
+}
+
+/// A Library whose `durations()` counts servant-side executions — the
+/// observable the `@cached(200)` tests key on.
+#[derive(Default)]
+struct CountingLibrary {
+    duration_calls: AtomicUsize,
+    clips: Mutex<Vec<i32>>,
+}
+
+impl RemoteObject for CountingLibrary {
+    fn type_id(&self) -> &str {
+        Library_REPO_ID
+    }
+}
+
+impl LibraryServant for CountingLibrary {
+    fn info(&self, _name: String) -> RmiResult<ClipInfo> {
+        Ok(ClipInfo { title: "x".to_owned(), frames: 1, status: Status::Stopped })
+    }
+
+    fn register_clip(&self, clip: ClipInfo) -> RmiResult<()> {
+        self.clips.lock().unwrap().push(clip.frames);
+        Ok(())
+    }
+
+    fn durations(&self) -> RmiResult<Vec<i32>> {
+        self.duration_calls.fetch_add(1, Ordering::SeqCst);
+        Ok(self.clips.lock().unwrap().clone())
+    }
+
+    fn command(&self, _cmd: Command) -> RmiResult<()> {
+        Ok(())
+    }
+
+    fn last_command(&self) -> RmiResult<Command> {
+        Ok(Command::Frame(0))
+    }
+}
+
+/// A server ORB with a CountingPlayer, plus a *faulty* client ORB whose
+/// every outbound connection runs through the shared [`FaultPlan`].
+fn faulty_player() -> (Orb, Orb, Arc<CountingPlayer>, PlayerStub, Arc<FaultPlan>, String) {
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(CountingPlayer::default());
+    let skel = PlayerSkel::new(Arc::clone(&servant) as _, server.clone(), DispatchKind::Hash);
+    let objref = server.export(skel).unwrap();
+    let addr = objref.endpoint.socket_addr();
+
+    let plan = Arc::new(FaultPlan::new(11));
+    let client = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan))))
+        .retry_policy(
+            RetryPolicy::default()
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(2))
+                .with_jitter_seed(5),
+        )
+        .build();
+    let stub = PlayerStub::new(client.clone(), objref);
+    (server, client, servant, stub, plan, addr)
+}
+
+// ---- @idempotent @deadline(50): generated stubs retry safely ----------
+
+#[test]
+fn annotated_state_retries_through_a_midcall_fault() {
+    let (server, client, servant, stub, plan, addr) = faulty_player();
+
+    // Warm the pooled connection, then script exactly one mid-call drop:
+    // the next frame written to the server dies after (possibly) reaching
+    // the wire — the ambiguous IfIdempotent failure shape.
+    assert_eq!(stub.state().unwrap(), Status::Playing);
+    plan.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection).when(Trigger::Nth(1)).at(&addr),
+    );
+
+    // `state()` is declared `@idempotent @deadline(50)` in media.idl, so
+    // the generated stub invokes with RetryClass::Safe — the ORB may
+    // re-send and the call completes despite the injected drop.
+    assert_eq!(stub.state().unwrap(), Status::Playing, "annotated call rode out the fault");
+    assert!(client.metrics().get(Counter::Retries) >= 1, "the recovery used the retry path");
+    assert_eq!(servant.states.load(Ordering::SeqCst), 2, "exactly one successful re-execution");
+
+    server.shutdown();
+}
+
+#[test]
+fn unannotated_seek_never_resends_after_a_midcall_fault() {
+    let (server, client, servant, stub, plan, addr) = faulty_player();
+
+    assert_eq!(stub.state().unwrap(), Status::Playing);
+    plan.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection).when(Trigger::Nth(1)).at(&addr),
+    );
+
+    // `seek()` carries no annotations: the generated stub uses default
+    // options, the mid-call failure is ambiguous, and the ORB must NOT
+    // re-send — the error surfaces instead of risking a double seek.
+    let err = stub.seek(vec![1, 2, 3]).unwrap_err();
+    assert!(
+        heidl::rmi::classify(&err) == heidl::rmi::RetryClass::IfIdempotent,
+        "the surfaced error is the ambiguous mid-call shape: {err}"
+    );
+    assert_eq!(client.metrics().get(Counter::Retries), 0, "no retry was attempted");
+    assert_eq!(servant.seeks.load(Ordering::SeqCst), 0, "the request was never re-sent");
+
+    server.shutdown();
+}
+
+// ---- @cached(200): generated stubs serve from the result cache --------
+
+fn library_pair() -> (Orb, Orb, Arc<CountingLibrary>, LibraryStub) {
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(CountingLibrary::default());
+    let skel = LibrarySkel::new(Arc::clone(&servant) as _, server.clone(), DispatchKind::Hash);
+    let objref = server.export(skel).unwrap();
+    let client = Orb::new();
+    let stub = LibraryStub::new(client.clone(), objref);
+    (server, client, servant, stub)
+}
+
+#[test]
+fn cached_durations_serve_from_cache_within_ttl() {
+    let (server, client, servant, stub) = library_pair();
+    stub.register_clip(ClipInfo {
+        title: "intro".to_owned(),
+        frames: 240,
+        status: Status::Stopped,
+    })
+    .unwrap();
+
+    // First call misses and fills the cache; the second is served locally.
+    assert_eq!(stub.durations().unwrap(), vec![240]);
+    assert_eq!(stub.durations().unwrap(), vec![240]);
+    assert_eq!(servant.duration_calls.load(Ordering::SeqCst), 1, "one wire round trip");
+    assert_eq!(client.metrics().get(Counter::CacheHits), 1, "one cache hit counted");
+    assert_eq!(client.cached_result_count(), 1);
+
+    // Mutating the library does NOT invalidate the client cache — `@cached`
+    // is an explicit staleness budget, and within it the old answer stands.
+    stub.register_clip(ClipInfo { title: "outro".to_owned(), frames: 120, status: Status::Paused })
+        .unwrap();
+    assert_eq!(stub.durations().unwrap(), vec![240], "stale within the 200 ms budget");
+
+    server.shutdown();
+}
+
+#[test]
+fn cached_durations_expire_after_ttl() {
+    let (server, _client, servant, stub) = library_pair();
+    stub.register_clip(ClipInfo {
+        title: "intro".to_owned(),
+        frames: 240,
+        status: Status::Stopped,
+    })
+    .unwrap();
+
+    assert_eq!(stub.durations().unwrap(), vec![240]);
+    // `@cached(200)`: after the TTL the entry is dead and the stub goes
+    // back to the wire, observing the newer catalog.
+    stub.register_clip(ClipInfo { title: "outro".to_owned(), frames: 120, status: Status::Paused })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(250));
+    assert_eq!(stub.durations().unwrap(), vec![240, 120], "TTL expired, fresh answer fetched");
+    assert_eq!(servant.duration_calls.load(Ordering::SeqCst), 2, "exactly two servant executions");
+
+    server.shutdown();
+}

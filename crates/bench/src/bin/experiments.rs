@@ -19,7 +19,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Counts every heap allocation in the process so the `roundtrip`
 /// experiment can report allocations per call (client + server side,
@@ -803,10 +803,26 @@ fn echo_payload() -> String {
     "x".repeat(96)
 }
 
+/// `HEIDL_BENCH_HEARTBEAT=<ms>` turns on client heartbeats for the echo
+/// workloads, so CI can assert the liveness layer stays off the hot path
+/// (an idle-only ping must not add allocations to a busy connection).
+fn heartbeat_interval() -> Option<Duration> {
+    let ms: u64 = std::env::var("HEIDL_BENCH_HEARTBEAT").ok()?.parse().ok()?;
+    Some(Duration::from_millis(ms.max(1)))
+}
+
+fn bench_orb(protocol: Arc<dyn Protocol>) -> Orb {
+    let builder = Orb::builder().protocol(protocol);
+    match heartbeat_interval() {
+        Some(interval) => builder.heartbeat(interval).build(),
+        None => builder.build(),
+    }
+}
+
 /// Sequential echo over TCP loopback: per-call latency distribution.
 fn measure_echo(protocol: Arc<dyn Protocol>, calls: usize) -> WorkloadStat {
     let payload = echo_payload();
-    let orb = Orb::with_protocol(protocol);
+    let orb = bench_orb(protocol);
     orb.serve("127.0.0.1:0").unwrap();
     let objref = orb.export(EchoStrSkel::new()).unwrap();
     for _ in 0..calls.min(64) {
@@ -848,7 +864,7 @@ fn measure_echo(protocol: Arc<dyn Protocol>, calls: usize) -> WorkloadStat {
 /// throughput and process-wide allocations per call.
 fn measure_storm(protocol: Arc<dyn Protocol>, threads: usize, per_thread: usize) -> WorkloadStat {
     let payload = echo_payload();
-    let orb = Orb::with_protocol(protocol);
+    let orb = bench_orb(protocol);
     orb.serve("127.0.0.1:0").unwrap();
     let objref = orb.export(EchoStrSkel::new()).unwrap();
     for _ in 0..64 {
@@ -965,6 +981,9 @@ fn extract_results(json: &str) -> Option<String> {
 
 fn roundtrip(quick: bool) {
     println!("\n[roundtrip] perf baseline: echo latency, mux storm, marshal throughput");
+    if let Some(interval) = heartbeat_interval() {
+        println!("            client heartbeats ON ({interval:?} interval)");
+    }
     let calls = if quick { 300 } else { 4000 };
     let (threads, per_thread) = if quick { (4, 100) } else { (8, 1500) };
 

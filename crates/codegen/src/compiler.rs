@@ -342,14 +342,15 @@ mod tests {
     fn annotation_vars_reach_custom_templates_for_any_backend() {
         // The QoS annotations are backend-agnostic EST properties: any
         // mapping — here a synthetic one layered on the java registry —
-        // can read `${idempotent}`/`${deadlineMs}`/`${cachedTtlMs}`/
-        // `${hasQos}` and walk `annotationList` without rust-specific
-        // plumbing.
+        // can read `${idempotent}`/`${exactlyOnce}`/`${deadlineMs}`/
+        // `${cachedTtlMs}`/`${hasQos}` and walk `annotationList` without
+        // rust-specific plumbing.
         let template = concat!(
             "@foreach interfaceList\n",
             "@openfile ${interfaceName}.qos\n",
             "@foreach methodList\n",
-            "${methodName} idem=${idempotent} dl=${deadlineMs} ttl=${cachedTtlMs} ",
+            "${methodName} idem=${idempotent} once=${exactlyOnce} ",
+            "dl=${deadlineMs} ttl=${cachedTtlMs} ",
             "qos=${hasQos} oneway=${oneway}\n",
             "@foreach annotationList\n",
             "  ann ${annotationName}=${annotationValue}\n",
@@ -361,6 +362,7 @@ mod tests {
             "interface P {\n",
             "  @idempotent @deadline(50) long state();\n",
             "  @cached(200) long total();\n",
+            "  @exactly_once long charge();\n",
             "  @oneway void fire();\n",
             "  void plain();\n",
             "};\n",
@@ -369,12 +371,29 @@ mod tests {
             .unwrap();
         let out = c.compile_source(idl, "p").unwrap();
         let qos = out.file("P.qos").unwrap();
-        assert!(qos.contains("state idem=true dl=50 ttl=0 qos=true oneway=false"), "{qos}");
-        assert!(qos.contains("total idem=false dl=0 ttl=200 qos=true oneway=false"), "{qos}");
-        assert!(qos.contains("fire idem=false dl=0 ttl=0 qos=false oneway=true"), "{qos}");
-        assert!(qos.contains("plain idem=false dl=0 ttl=0 qos=false oneway=false"), "{qos}");
+        assert!(
+            qos.contains("state idem=true once=false dl=50 ttl=0 qos=true oneway=false"),
+            "{qos}"
+        );
+        assert!(
+            qos.contains("total idem=false once=false dl=0 ttl=200 qos=true oneway=false"),
+            "{qos}"
+        );
+        assert!(
+            qos.contains("charge idem=false once=true dl=0 ttl=0 qos=true oneway=false"),
+            "{qos}"
+        );
+        assert!(
+            qos.contains("fire idem=false once=false dl=0 ttl=0 qos=false oneway=true"),
+            "{qos}"
+        );
+        assert!(
+            qos.contains("plain idem=false once=false dl=0 ttl=0 qos=false oneway=false"),
+            "{qos}"
+        );
         assert!(qos.contains("  ann idempotent=0\n  ann deadline=50"), "{qos}");
         assert!(qos.contains("  ann cached=200"), "{qos}");
+        assert!(qos.contains("  ann exactly_once=0"), "{qos}");
     }
 
     #[test]

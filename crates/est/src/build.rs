@@ -371,6 +371,7 @@ impl Builder {
     /// defaults (`false`/`0`).
     ///
     /// - `idempotent` (Bool): `@idempotent` present.
+    /// - `exactlyOnce` (Bool): `@exactly_once` present.
     /// - `deadlineMs` (Int): `@deadline(ms)` argument, `0` = none.
     /// - `cachedTtlMs` (Int): `@cached(ttl_ms)` argument, `0` = none.
     /// - `hasQos` (Bool): any reply-oriented QoS annotation present —
@@ -383,6 +384,7 @@ impl Builder {
     /// `annotationList` for doc-comments or non-Rust backends.
     fn annotation_props(&mut self, n: NodeId, annotations: &[Annotation]) {
         let idempotent = annotations.iter().any(|a| a.name.text == "idempotent");
+        let exactly_once = annotations.iter().any(|a| a.name.text == "exactly_once");
         let arg = |name: &str| {
             annotations.iter().find(|a| a.name.text == name).and_then(|a| a.value).unwrap_or(0)
                 as i64
@@ -390,10 +392,15 @@ impl Builder {
         let deadline_ms = arg("deadline");
         let cached_ttl_ms = arg("cached");
         self.est.add_prop(n, "idempotent", idempotent);
+        self.est.add_prop(n, "exactlyOnce", exactly_once);
         self.est.add_prop(n, "deadlineMs", deadline_ms);
         self.est.add_prop(n, "cachedTtlMs", cached_ttl_ms);
-        self.est.add_prop(n, "hasQos", idempotent || deadline_ms > 0 || cached_ttl_ms > 0);
-        self.est.add_prop(n, "hasSetQos", idempotent || deadline_ms > 0);
+        self.est.add_prop(
+            n,
+            "hasQos",
+            idempotent || exactly_once || deadline_ms > 0 || cached_ttl_ms > 0,
+        );
+        self.est.add_prop(n, "hasSetQos", idempotent || exactly_once || deadline_ms > 0);
         for a in annotations {
             let an = self.est.add_node(a.name.text.clone(), "Annotation", n);
             self.est.add_prop(an, "annotationName", a.name.text.clone());

@@ -263,8 +263,9 @@ impl Checker {
                 );
             }
             // A oneway has no reply: there is nothing to retry against a
-            // deadline, nothing to cache, and idempotence never matters.
-            for qos in ["idempotent", "deadline", "cached"] {
+            // deadline, nothing to cache, idempotence never matters, and
+            // exactly-once dedup has no reply to replay.
+            for qos in ["idempotent", "deadline", "cached", "exactly_once"] {
                 if let Some(a) = op.annotation(qos) {
                     self.error(
                         format!("oneway operation `{}` cannot carry `@{qos}`", op.name),
@@ -272,6 +273,18 @@ impl Checker {
                     );
                 }
             }
+        }
+        // The two resend-safety declarations are mutually exclusive: one
+        // says "re-executing is harmless", the other "never re-execute —
+        // dedup on a token". A stub can only emit one retry class.
+        if let (Some(_), Some(x)) = (op.annotation("idempotent"), op.annotation("exactly_once")) {
+            self.error(
+                format!(
+                    "operation `{}` cannot carry both `@idempotent` and `@exactly_once`",
+                    op.name
+                ),
+                x.span,
+            );
         }
         if op.annotation("cached").is_some() && op.return_type == Type::Void {
             let a = op.annotation("cached").expect("just checked");
@@ -326,6 +339,15 @@ impl Checker {
         // Attribute accessors always expect a reply.
         if let Some(ann) = a.annotation("oneway") {
             self.error(format!("attribute `{}` cannot carry `@oneway`", a.name), ann.span);
+        }
+        if let (Some(_), Some(x)) = (a.annotation("idempotent"), a.annotation("exactly_once")) {
+            self.error(
+                format!(
+                    "attribute `{}` cannot carry both `@idempotent` and `@exactly_once`",
+                    a.name
+                ),
+                x.span,
+            );
         }
     }
 

@@ -312,7 +312,8 @@ pub struct Param {
 }
 
 /// A QoS annotation on an operation or attribute (HeidiRMI extension):
-/// `@idempotent`, `@oneway`, `@deadline(ms)`, or `@cached(ttl_ms)`.
+/// `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`, or
+/// `@exactly_once`.
 ///
 /// Annotations declare per-call policy where the contract lives — in the
 /// IDL — so the mapping, not the call site, wires retry class, deadlines,
@@ -330,7 +331,8 @@ pub struct Annotation {
 
 impl Annotation {
     /// The annotation names the parser accepts.
-    pub const KNOWN: [&'static str; 4] = ["idempotent", "oneway", "deadline", "cached"];
+    pub const KNOWN: [&'static str; 5] =
+        ["idempotent", "oneway", "deadline", "cached", "exactly_once"];
 
     /// True when this annotation requires an integer argument.
     pub fn takes_argument(name: &str) -> bool {
@@ -732,6 +734,8 @@ mod tests {
         assert!(Annotation::takes_argument("cached"));
         assert!(!Annotation::takes_argument("idempotent"));
         assert!(!Annotation::takes_argument("oneway"));
+        assert!(!Annotation::takes_argument("exactly_once"));
+        assert!(Annotation::KNOWN.contains(&"exactly_once"));
     }
 
     #[test]

@@ -232,7 +232,7 @@ impl Parser {
             if !Annotation::KNOWN.contains(&name.text.as_str()) {
                 return Err(ParseError::new(
                     format!(
-                        "unknown annotation `@{}` (expected one of `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`)",
+                        "unknown annotation `@{}` (expected one of `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`, `@exactly_once`)",
                         name.text
                     ),
                     start.merge(name.span),

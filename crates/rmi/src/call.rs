@@ -184,11 +184,25 @@ impl Call {
         protocol.encode_context(self.enc.as_mut(), ctx.call_id, ctx.parent_id)
     }
 
+    /// Appends the wire-level trailing invocation-token section to this
+    /// call. Must be called **after** every argument has been marshaled
+    /// and **before** [`Call::attach_context`] — when both suffixes are
+    /// present the token comes first so each sits at a fixed offset from
+    /// the end of the body. Returns `false` when `protocol` has no token
+    /// encoding.
+    pub fn attach_token(&mut self, protocol: &dyn Protocol, token: InvocationToken) -> bool {
+        if self.args_end.is_none() {
+            self.args_end = Some(self.enc.position());
+        }
+        protocol.encode_token(self.enc.as_mut(), token.session, token.seq)
+    }
+
     /// The byte range of the marshaled arguments within the body that
     /// [`Call::into_body`] will produce. Excludes the request header —
-    /// which embeds the per-call request id — and any trailing context
-    /// section, so two calls to the same method with equal arguments yield
-    /// equal spans. This is what the `@cached` result cache keys on.
+    /// which embeds the per-call request id — and any trailing token or
+    /// context section, so two calls to the same method with equal
+    /// arguments yield equal spans. This is what the `@cached` result
+    /// cache keys on.
     pub fn args_span(&self) -> std::ops::Range<usize> {
         self.args_start..self.args_end.unwrap_or_else(|| self.enc.position())
     }
@@ -205,6 +219,26 @@ impl Call {
 /// decode exactly as before.
 pub fn extract_call_context(body: &[u8], protocol: &dyn Protocol) -> Option<CallContext> {
     protocol.extract_context(body).map(|(call_id, parent_id)| CallContext { call_id, parent_id })
+}
+
+/// An exactly-once invocation identity: a per-ORB session id plus a
+/// monotonically increasing sequence number within that session. A retried
+/// call carries the *same* token, which is what lets the server recognize
+/// the duplicate and replay the cached reply instead of re-executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InvocationToken {
+    /// Identifies the client ORB instance that originated the call.
+    pub session: u64,
+    /// Position of this invocation within the session (monotonic).
+    pub seq: u64,
+}
+
+/// Recovers the trailing [`InvocationToken`] from a received request body,
+/// if the peer stamped one. Purely a tail inspection: bodies without the
+/// section (from old peers, or for calls that are not exactly-once) return
+/// `None` and decode exactly as before.
+pub fn extract_invocation_token(body: &[u8], protocol: &dyn Protocol) -> Option<InvocationToken> {
+    protocol.extract_token(body).map(|(session, seq)| InvocationToken { session, seq })
 }
 
 /// A server-side view of a received request.
@@ -490,6 +524,41 @@ mod tests {
             assert!(call.attach_context(p.as_ref(), CallContext { call_id: id, parent_id: 3 }));
             let body = call.into_body();
 
+            assert_eq!(
+                extract_call_context(&body, p.as_ref()),
+                Some(CallContext { call_id: id, parent_id: 3 })
+            );
+            // The "old reader": parses header + declared args, stops there.
+            let mut incoming = IncomingCall::parse(body, p.as_ref()).unwrap();
+            assert_eq!(incoming.request_id, id);
+            assert_eq!(incoming.method, "p");
+            assert_eq!(incoming.args.get_long().unwrap(), 7);
+        }
+    }
+
+    /// A request carrying both the token and context sections parses
+    /// identically for an old reader, and each tail is recoverable —
+    /// including the args span the `@cached` cache keys on, which must
+    /// exclude both suffixes.
+    #[test]
+    fn request_with_token_and_context_is_old_reader_compatible() {
+        for p in protocols() {
+            let mut plain = Call::request(&target(), "p", p.as_ref());
+            plain.args().put_long(7);
+            let plain_span = plain.args_span();
+
+            let mut call = Call::request(&target(), "p", p.as_ref());
+            let id = call.request_id();
+            call.args().put_long(7);
+            assert!(call.attach_token(p.as_ref(), InvocationToken { session: 99, seq: 5 }));
+            assert!(call.attach_context(p.as_ref(), CallContext { call_id: id, parent_id: 3 }));
+            assert_eq!(call.args_span(), plain_span, "{}", p.name());
+            let body = call.into_body();
+
+            assert_eq!(
+                extract_invocation_token(&body, p.as_ref()),
+                Some(InvocationToken { session: 99, seq: 5 })
+            );
             assert_eq!(
                 extract_call_context(&body, p.as_ref()),
                 Some(CallContext { call_id: id, parent_id: 3 })

@@ -297,6 +297,17 @@ pub struct MuxConnection {
     /// Outstanding `CheckedOut` guards (pool observability, not a limit).
     borrowed: AtomicUsize,
     peer: String,
+    /// Milliseconds (since a process-local epoch) of the last send on this
+    /// connection — what the heartbeat scan calls "activity". Coarse on
+    /// purpose: one relaxed store per call keeps the hot path unburdened.
+    last_used: AtomicU64,
+}
+
+/// Milliseconds elapsed since the first time any connection asked — a
+/// monotonic, process-local clock for the coarse idle bookkeeping.
+fn epoch_millis() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
 }
 
 impl std::fmt::Debug for MuxConnection {
@@ -367,6 +378,7 @@ impl MuxConnection {
             alive,
             borrowed: AtomicUsize::new(0),
             peer,
+            last_used: AtomicU64::new(epoch_millis()),
         }))
     }
 
@@ -383,6 +395,20 @@ impl MuxConnection {
     /// Peer description for diagnostics.
     pub fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    /// Time since the last send on this connection (calls, oneways, or
+    /// heartbeat pings). The heartbeat scan pings connections idle longer
+    /// than its interval; a ping refreshes this, so an idle pooled
+    /// connection is probed once per interval, not continuously.
+    pub fn idle_for(&self) -> Duration {
+        let last = self.last_used.load(Ordering::Relaxed);
+        Duration::from_millis(epoch_millis().saturating_sub(last))
+    }
+
+    /// Outstanding `CheckedOut` borrows (pool observability).
+    pub(crate) fn borrow_count(&self) -> usize {
+        self.borrowed()
     }
 
     /// One correlated request/reply exchange. `request_id` must match the
@@ -450,6 +476,7 @@ impl MuxConnection {
     }
 
     fn send_framed(&self, body: &[u8]) -> RmiResult<()> {
+        self.last_used.store(epoch_millis(), Ordering::Relaxed);
         let mut writer = self.writer.lock();
         write_framed(writer.as_mut(), self.protocol.as_ref(), body)
     }
@@ -812,6 +839,13 @@ impl ConnectionPool {
     /// live pending-table occupancy (gauge for `_metrics.dump`).
     pub fn pending_total(&self) -> usize {
         self.conns.lock().values().flatten().map(|c| c.in_flight()).sum()
+    }
+
+    /// Snapshot of every pooled connection, grouped by endpoint — the
+    /// heartbeat scan walks this outside the pool lock so a slow ping
+    /// never blocks checkouts.
+    pub(crate) fn scan(&self) -> Vec<(Endpoint, Vec<Arc<MuxConnection>>)> {
+        self.conns.lock().iter().map(|(ep, list)| (ep.clone(), list.clone())).collect()
     }
 }
 

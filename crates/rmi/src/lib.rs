@@ -29,6 +29,13 @@
 //!   retry), wire [`DecodeLimits`](heidl_wire::DecodeLimits), graceful
 //!   drain via [`Orb::shutdown_and_drain`], and a built-in `_health`
 //!   object ([`Orb::health_ref`]) reporting the [`ServerHealth`] counters;
+//! * an **exactly-once invocation layer** — client-stamped
+//!   [`InvocationToken`]s as backward-compatible frame suffixes on both
+//!   protocols, a server-side per-session dedup table with a bounded
+//!   reply cache (retries replay the original reply instead of
+//!   re-executing the servant), and mux-level liveness via
+//!   `OrbBuilder::heartbeat` (idle pooled connections are pinged; dead
+//!   peers are evicted and tokened calls reconnect transparently);
 //! * swappable wire protocols (text or CDR/GIOP-lite) from `heidl-wire`.
 //!
 //! ## A complete round trip
@@ -92,6 +99,7 @@ pub mod metrics;
 pub mod objref;
 pub mod orb;
 pub mod policy;
+mod replay;
 mod result_cache;
 pub mod retry;
 pub mod serialize;
@@ -102,9 +110,9 @@ pub mod transport;
 
 pub use breaker::{BreakerConfig, BreakerObserver, BreakerState, CircuitBreaker, ProbeToken};
 pub use call::{
-    extract_call_context, next_request_id, peek_reply_id, peek_reply_status, peek_request_header,
-    peek_request_header_limited, Call, IncomingCall, Reply, ReplyBuilder, ReplyStatus,
-    BUSY_REPO_ID,
+    extract_call_context, extract_invocation_token, next_request_id, peek_reply_id,
+    peek_reply_status, peek_request_header, peek_request_header_limited, Call, IncomingCall,
+    InvocationToken, Reply, ReplyBuilder, ReplyStatus, BUSY_REPO_ID,
 };
 pub use communicator::{CheckedOut, ConnectionPool, MuxConnection, ObjectCommunicator};
 pub use dispatch::{DispatchKind, DispatchStrategy, MethodTable};

@@ -64,11 +64,22 @@ pub enum Counter {
     /// `@cached` client calls served from the result cache (no wire
     /// round trip; not counted in [`Counter::CallsOk`]).
     CacheHits,
+    /// Retried invocation tokens answered server-side from the reply
+    /// cache instead of re-executing the servant (exactly-once replays).
+    DedupReplays,
+    /// Reply-cache entries evicted by the byte cap or TTL before any
+    /// retry claimed them.
+    ReplyCacheEvictions,
+    /// Client heartbeat pings sent on idle pooled connections.
+    HeartbeatsSent,
+    /// Tokened calls transparently replayed on a fresh connection after a
+    /// mid-call transport failure (instead of surfacing `Disconnected`).
+    Reconnects,
 }
 
 impl Counter {
     /// Every counter, in wire order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::CallsOk,
         Counter::CallsFailed,
         Counter::Oneways,
@@ -81,6 +92,10 @@ impl Counter {
         Counter::BytesIn,
         Counter::BytesOut,
         Counter::CacheHits,
+        Counter::DedupReplays,
+        Counter::ReplyCacheEvictions,
+        Counter::HeartbeatsSent,
+        Counter::Reconnects,
     ];
 
     /// The counter's stable snake_case name, as shown in `_metrics.dump`.
@@ -98,6 +113,10 @@ impl Counter {
             Counter::BytesIn => "bytes_in",
             Counter::BytesOut => "bytes_out",
             Counter::CacheHits => "cache_hits",
+            Counter::DedupReplays => "dedup_replays",
+            Counter::ReplyCacheEvictions => "reply_cache_evictions",
+            Counter::HeartbeatsSent => "heartbeats_sent",
+            Counter::Reconnects => "reconnects",
         }
     }
 }

@@ -18,7 +18,7 @@
 //! code.
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, ProbeToken};
-use crate::call::{peek_reply_status, Call, Reply, ReplyStatus};
+use crate::call::{peek_reply_status, Call, InvocationToken, Reply, ReplyStatus};
 use crate::communicator::ConnectionPool;
 use crate::error::{RmiError, RmiResult};
 use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
@@ -39,7 +39,7 @@ use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Per-invocation knobs for [`Orb::invoke_with`].
@@ -90,6 +90,12 @@ pub struct CallOptions {
     /// `None` (the default) bypasses the cache entirely. Set by stubs
     /// generated from `@cached(ttl_ms)` operations.
     pub cached_ttl: Option<Duration>,
+    /// Stamp the call with a per-ORB invocation token (`"~tok"` wire
+    /// suffix) and retry mid-call transport failures under the server's
+    /// exactly-once guarantee: a retried token is never re-executed — the
+    /// server replays the cached reply. Off by default; set by
+    /// [`RetryClass::ExactlyOnce`] / the `@exactly_once` IDL annotation.
+    pub exactly_once: bool,
 }
 
 impl Default for CallOptions {
@@ -100,6 +106,7 @@ impl Default for CallOptions {
             retry_policy: None,
             idempotent: false,
             cached_ttl: None,
+            exactly_once: false,
         }
     }
 }
@@ -175,20 +182,31 @@ impl CallOptionsBuilder {
     ///   request bytes reached a server;
     /// * [`RetryClass::IfIdempotent`] — the default: only provably-unsent
     ///   failures (connect refused, circuit open, shed with `Busy`) retry;
-    /// * [`RetryClass::Never`] — disables even those.
+    /// * [`RetryClass::Never`] — disables even those;
+    /// * [`RetryClass::ExactlyOnce`] (`@exactly_once`) — may re-send like
+    ///   `Safe`, but the safety comes from the invocation token and the
+    ///   server's reply cache, not from the operation being idempotent.
     pub fn retry_class(mut self, class: RetryClass) -> CallOptionsBuilder {
         match class {
             RetryClass::Safe => {
                 self.options.idempotent = true;
                 self.options.retry = true;
+                self.options.exactly_once = false;
             }
             RetryClass::IfIdempotent => {
                 self.options.idempotent = false;
                 self.options.retry = true;
+                self.options.exactly_once = false;
             }
             RetryClass::Never => {
                 self.options.idempotent = false;
                 self.options.retry = false;
+                self.options.exactly_once = false;
+            }
+            RetryClass::ExactlyOnce => {
+                self.options.idempotent = false;
+                self.options.retry = true;
+                self.options.exactly_once = true;
             }
         }
         self
@@ -224,6 +242,7 @@ pub struct OrbBuilder {
     breaker_config: BreakerConfig,
     connector: Option<Arc<dyn Connector>>,
     server_policy: ServerPolicy,
+    heartbeat_interval: Option<Duration>,
 }
 
 impl Default for OrbBuilder {
@@ -236,6 +255,7 @@ impl Default for OrbBuilder {
             breaker_config: BreakerConfig::disabled(),
             connector: None,
             server_policy: ServerPolicy::default(),
+            heartbeat_interval: None,
         }
     }
 }
@@ -293,6 +313,18 @@ impl OrbBuilder {
         self
     }
 
+    /// Enables client-side liveness heartbeats: a background thread pings
+    /// (`_health.ping`) every pooled connection that has been idle longer
+    /// than `interval`, evicting dead peers from the pool and recording a
+    /// breaker failure — so the *next* call dials fresh (or fails fast)
+    /// instead of inheriting a half-dead socket. Connections with borrows
+    /// or in-flight calls are never pinged. Off by default; clamped to
+    /// ≥ 1 ms. The thread exits when the ORB is dropped.
+    pub fn heartbeat(mut self, interval: Duration) -> OrbBuilder {
+        self.heartbeat_interval = Some(interval.max(Duration::from_millis(1)));
+        self
+    }
+
     /// Builds the ORB.
     pub fn build(self) -> Orb {
         let pool = ConnectionPool::new();
@@ -306,7 +338,7 @@ impl OrbBuilder {
         // breaker state transitions are observed as counter bumps.
         let metrics = Arc::new(Metrics::new());
         pool.set_breaker_observer(Arc::clone(&metrics) as _);
-        Orb {
+        let orb = Orb {
             inner: Arc::new(OrbInner {
                 protocol: self.protocol,
                 metrics,
@@ -323,10 +355,78 @@ impl OrbBuilder {
                 retry_policy: self.retry_policy,
                 server_policy: self.server_policy,
                 result_cache: ResultCache::default(),
+                session_id: fresh_session_id(),
+                token_seq: AtomicU64::new(1),
             }),
+        };
+        if let Some(interval) = self.heartbeat_interval {
+            // The loop holds only a `Weak`: dropping the last ORB handle
+            // lets the thread notice and exit on its next tick.
+            let weak = Arc::downgrade(&orb.inner);
+            std::thread::Builder::new()
+                .name("heidl-heartbeat".to_owned())
+                .spawn(move || heartbeat_loop(weak, interval))
+                .expect("spawn heartbeat thread");
+        }
+        orb
+    }
+}
+
+/// A session id that is unique per built ORB and very unlikely to collide
+/// across processes: wall-clock nanos mixed with a process-local counter
+/// via a Weyl-style odd multiplier. Invocation tokens `(session, seq)`
+/// key the server's replay cache, so colliding sessions could alias
+/// unrelated invocations — nanosecond skew makes that vanishingly rare.
+fn fresh_session_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    nanos ^ COUNTER.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The heartbeat prober (see [`OrbBuilder::heartbeat`]). Ticks at half
+/// the interval so a connection is probed within ~1.5 intervals of going
+/// idle; each tick scans a pool snapshot and pings only connections that
+/// are alive, unborrowed, quiescent, and idle past the interval.
+fn heartbeat_loop(orb: Weak<OrbInner>, interval: Duration) {
+    let tick = (interval / 2).clamp(Duration::from_millis(5), Duration::from_millis(500));
+    loop {
+        std::thread::sleep(tick);
+        let Some(inner) = orb.upgrade() else { return };
+        for (endpoint, conns) in inner.pool.scan() {
+            for conn in conns {
+                if !conn.is_alive() {
+                    // The demux thread already saw the peer die (EOF/RST);
+                    // evict the corpse now instead of leaving it for the
+                    // next checkout to trip over.
+                    inner.pool.discard(&endpoint, &conn);
+                    continue;
+                }
+                if conn.borrow_count() > 0 || conn.in_flight() > 0 || conn.idle_for() < interval {
+                    continue;
+                }
+                let health = ObjectRef::new(endpoint.clone(), HEALTH_OBJECT_ID, HEALTH_TYPE_ID);
+                let call = Call::request(&health, "ping", inner.protocol.as_ref());
+                let request_id = call.request_id();
+                let body = call.into_body();
+                inner.metrics.inc(Counter::HeartbeatsSent);
+                let outcome = conn.call(request_id, &body, Some(interval.min(PING_TIMEOUT)));
+                pool::recycle(body);
+                if outcome.is_err() {
+                    // Dead peer: evict the socket so the next call dials
+                    // fresh, and count a breaker failure so a flapping
+                    // endpoint trips to fail-fast without burning a call.
+                    inner.pool.discard(&endpoint, &conn);
+                    inner.pool.breaker(&endpoint).record_failure();
+                }
+            }
         }
     }
 }
+
+/// Upper bound on how long a heartbeat ping waits for its pong.
+const PING_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// A handle to the per-address-space ORB state. Cheap to clone.
 #[derive(Clone)]
@@ -354,6 +454,14 @@ pub(crate) struct OrbInner {
     server_policy: ServerPolicy,
     /// Client-side `@cached` result cache (see [`CallOptions::cached_ttl`]).
     result_cache: ResultCache,
+    /// This ORB's invocation-token session id (see
+    /// [`CallOptions::exactly_once`]): stamped, with `token_seq`, into the
+    /// `"~tok"` wire suffix of every exactly-once request.
+    session_id: u64,
+    /// Monotonic sequence for invocation tokens. A retry reuses the
+    /// original token — the sequence advances once per *invocation*, not
+    /// per attempt.
+    token_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for Orb {
@@ -619,6 +727,17 @@ impl Orb {
         let target = call.target().clone();
         let method = call.method().to_owned();
         let request_id = call.request_id();
+        // Exactly-once: stamp the request with this ORB's invocation
+        // token. Attached *before* any trace context — the wire layout is
+        // token-first, context-last — and reused verbatim by every retry
+        // of this invocation, which is what lets the server dedup them.
+        if options.exactly_once && call.response_expected() {
+            let token = InvocationToken {
+                session: self.inner.session_id,
+                seq: self.inner.token_seq.fetch_add(1, Ordering::Relaxed),
+            };
+            call.attach_token(self.inner.protocol.as_ref(), token);
+        }
         // Call tracing (Debug level): stamp the request with a trailing
         // wire context — this call's id, plus the id of whatever call we
         // are currently dispatching as the parent — and make it current
@@ -692,6 +811,12 @@ impl Orb {
         self.inner.retries.load(Ordering::Relaxed)
     }
 
+    /// This ORB's invocation-token session id — the `session` half of
+    /// every `"~tok"` suffix it stamps (see [`CallOptions::exactly_once`]).
+    pub fn session_id(&self) -> u64 {
+        self.inner.session_id
+    }
+
     /// The fault-tolerant invocation engine: up to `max_attempts` passes
     /// over the reference's endpoints (primary, then fallbacks), with
     /// jittered backoff between passes and the whole schedule bounded by
@@ -761,7 +886,12 @@ impl Orb {
                 };
                 match self.attempt_endpoint(endpoint, request_id, body, remaining, options) {
                     Ok(b) => return Ok(b),
-                    Err(e) if may_retry(&e, options.idempotent) => last_err = Some(e),
+                    // A tokened call is resend-safe even when bytes were
+                    // written: the server dedups on the token, so a
+                    // re-send can at worst replay the cached reply.
+                    Err(e) if may_retry(&e, options.idempotent || options.exactly_once) => {
+                        last_err = Some(e)
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -810,18 +940,23 @@ impl Orb {
                 Err(e)
             }
             Err(first_err)
-                if checked.from_cache()
+                if (checked.from_cache() || options.exactly_once)
                     && options.retry
-                    && may_retry(&first_err, options.idempotent) =>
+                    && may_retry(&first_err, options.idempotent || options.exactly_once) =>
             {
-                // The cached connection was stale; try once on a fresh one.
-                // The gate above means this never re-sends a request the
-                // server may already be executing: mid-call failures only
-                // pass it when the caller declared the call idempotent.
+                // The cached connection was stale (or the call carries an
+                // invocation token, making a reconnect transparent even on
+                // a fresh connection); try once on a new one. The gate
+                // means this never re-sends a request the server may
+                // already be executing *unsafely*: mid-call failures only
+                // pass when the call is idempotent or token-deduped.
                 self.inner.pool.discard(endpoint, checked.connection());
                 drop(checked);
                 self.inner.retries.fetch_add(1, Ordering::Relaxed);
                 self.inner.metrics.inc(Counter::Retries);
+                if options.exactly_once {
+                    self.inner.metrics.inc(Counter::Reconnects);
+                }
                 match self.inner.pool.checkout(endpoint, &self.inner.protocol) {
                     Ok(fresh) => match fresh.call(request_id, body, deadline) {
                         Ok(b) => self.accept_reply(b, &breaker, token),

@@ -62,6 +62,15 @@ pub struct ServerPolicy {
     /// Wire decode limits applied to every frame and body the server
     /// reads; a hostile 4 GB length prefix is an error, not an allocation.
     pub decode_limits: DecodeLimits,
+    /// How long a completed reply stays in the exactly-once reply cache,
+    /// available for replay to a retried invocation token. Also bounds how
+    /// long a crashed in-flight token blocks its retries with `Busy`.
+    pub reply_cache_ttl: Duration,
+    /// Total bytes of cached reply bodies kept for exactly-once replay;
+    /// past the cap the oldest completed entries are evicted (and a retry
+    /// arriving after eviction re-executes — the client should keep its
+    /// retry window well under both bounds).
+    pub reply_cache_max_bytes: usize,
 }
 
 impl Default for ServerPolicy {
@@ -75,6 +84,8 @@ impl Default for ServerPolicy {
             write_timeout: None,
             drain_timeout: Duration::from_secs(5),
             decode_limits: DecodeLimits::default(),
+            reply_cache_ttl: Duration::from_secs(30),
+            reply_cache_max_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -136,6 +147,21 @@ impl ServerPolicy {
         self.decode_limits = limits;
         self
     }
+
+    /// Sets how long cached replies stay replayable for retried tokens.
+    #[must_use]
+    pub fn with_reply_cache_ttl(mut self, ttl: Duration) -> ServerPolicy {
+        self.reply_cache_ttl = ttl;
+        self
+    }
+
+    /// Caps the bytes of reply bodies held in the exactly-once reply
+    /// cache (clamped to ≥ 1 so a completed reply is always recordable).
+    #[must_use]
+    pub fn with_reply_cache_max_bytes(mut self, max: usize) -> ServerPolicy {
+        self.reply_cache_max_bytes = max.max(1);
+        self
+    }
 }
 
 /// A point-in-time snapshot of one server's health, as reported by the
@@ -187,7 +213,9 @@ mod tests {
             .with_read_idle_timeout(Some(Duration::from_secs(30)))
             .with_write_timeout(Some(Duration::from_secs(5)))
             .with_drain_timeout(Duration::from_millis(250))
-            .with_decode_limits(DecodeLimits::strict());
+            .with_decode_limits(DecodeLimits::strict())
+            .with_reply_cache_ttl(Duration::from_secs(60))
+            .with_reply_cache_max_bytes(0);
         assert_eq!(p.max_connections, 1, "caps clamp to >= 1");
         assert_eq!(p.max_in_flight, 1);
         assert_eq!(p.max_in_flight_per_connection, 1);
@@ -196,6 +224,8 @@ mod tests {
         assert_eq!(p.write_timeout, Some(Duration::from_secs(5)));
         assert_eq!(p.drain_timeout, Duration::from_millis(250));
         assert_eq!(p.decode_limits, DecodeLimits::strict());
+        assert_eq!(p.reply_cache_ttl, Duration::from_secs(60));
+        assert_eq!(p.reply_cache_max_bytes, 1, "byte cap clamps to >= 1");
     }
 
     #[test]

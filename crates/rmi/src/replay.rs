@@ -1,0 +1,267 @@
+//! Server-side exactly-once support: a per-session dedup table plus a
+//! bounded reply cache.
+//!
+//! Clients that declare `RetryClass::ExactlyOnce` (or `@exactly_once` in
+//! IDL) stamp every request with an [`InvocationToken`](crate::InvocationToken)
+//! — `(session, seq)` — and retries carry the *same* token. Before a
+//! tokened request reaches a servant the server consults this cache:
+//!
+//! * first sighting → the token is marked **in flight** and the request
+//!   executes normally; the completed reply body is recorded;
+//! * a retry of a **completed** token → the cached reply is replayed
+//!   byte-for-byte; the servant never runs again;
+//! * a retry of an **in-flight** token → answered `Busy`, which clients
+//!   classify `RetryClass::Safe` and retry after backoff — by which time
+//!   the first execution has usually completed and the reply replays.
+//!
+//! The cache is bounded two ways, both set on
+//! [`ServerPolicy`](crate::ServerPolicy): a TTL (entries older than
+//! `reply_cache_ttl` are purged — this also reaps in-flight markers
+//! orphaned by a crashed dispatch) and a byte cap
+//! (`reply_cache_max_bytes`; the oldest completed replies are evicted
+//! first). A retry arriving after its entry was evicted re-executes, so
+//! exactly-once holds for retry windows shorter than both bounds — the
+//! client's deadline, not the server's memory, is meant to be the binding
+//! constraint.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Key of one invocation: `(session, seq)` from the wire token.
+type Key = (u64, u64);
+
+/// What the dispatch path must do with a tokened request.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ReplayDecision {
+    /// First sighting: execute the servant and call
+    /// [`ReplayCache::complete`] with the reply.
+    Execute,
+    /// Duplicate of a completed invocation: send this cached reply,
+    /// skip the servant.
+    Replay(Vec<u8>),
+    /// Duplicate of an invocation still executing: answer `Busy` so the
+    /// client backs off and retries once the first execution completes.
+    InFlight,
+}
+
+#[derive(Debug)]
+enum State {
+    InFlight,
+    Done(Vec<u8>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    state: State,
+    at: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<Key, Entry>,
+    /// Completion order of `Done` entries — the byte-cap eviction queue.
+    /// `InFlight` markers are not listed; they are reaped by TTL when a
+    /// retry meets them.
+    order: VecDeque<Key>,
+    bytes: usize,
+}
+
+/// The dedup table + reply cache. One per server, shared by every
+/// connection; all operations take one short mutex hold.
+#[derive(Debug)]
+pub(crate) struct ReplayCache {
+    ttl: Duration,
+    max_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ReplayCache {
+    pub(crate) fn new(ttl: Duration, max_bytes: usize) -> ReplayCache {
+        ReplayCache { ttl, max_bytes: max_bytes.max(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Decides the fate of a tokened request, atomically claiming the
+    /// token when it is new. Returns the decision plus the number of
+    /// entries the TTL purge evicted on the way in.
+    pub(crate) fn begin(&self, key: Key) -> (ReplayDecision, u64) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("replay cache poisoned");
+        let purged = self.purge_expired(&mut inner, now);
+        let decision = match inner.entries.get(&key) {
+            None => {
+                inner.entries.insert(key, Entry { state: State::InFlight, at: now });
+                ReplayDecision::Execute
+            }
+            Some(entry) => match &entry.state {
+                State::Done(reply) => ReplayDecision::Replay(reply.clone()),
+                State::InFlight if now.duration_since(entry.at) > self.ttl => {
+                    // The first execution's dispatch died without
+                    // completing (worker panic); reclaim the token.
+                    inner.entries.insert(key, Entry { state: State::InFlight, at: now });
+                    ReplayDecision::Execute
+                }
+                State::InFlight => ReplayDecision::InFlight,
+            },
+        };
+        (decision, purged)
+    }
+
+    /// Records the reply for a token previously claimed by
+    /// [`ReplayCache::begin`], making it replayable. Returns the number
+    /// of older entries the byte cap evicted to make room (the new reply
+    /// itself may be evicted when it alone exceeds the cap — the cap is a
+    /// hard bound).
+    pub(crate) fn complete(&self, key: Key, reply: &[u8]) -> u64 {
+        let mut inner = self.inner.lock().expect("replay cache poisoned");
+        // The entry may have been TTL-purged mid-execution; recording the
+        // reply (re-creating it) is still correct — it just extends the
+        // replay window. A replaced Done body (a reaped in-flight marker
+        // whose late completion raced the retry's) must not leak bytes.
+        let replaced = inner
+            .entries
+            .insert(key, Entry { state: State::Done(reply.to_vec()), at: Instant::now() });
+        if let Some(Entry { state: State::Done(old), .. }) = replaced {
+            inner.bytes -= old.len();
+        }
+        inner.bytes += reply.len();
+        inner.order.push_back(key);
+        let mut evicted = 0u64;
+        while inner.bytes > self.max_bytes {
+            let Some(old) = inner.order.pop_front() else { break };
+            if let Some(Entry { state: State::Done(body), .. }) = inner.entries.remove(&old) {
+                inner.bytes -= body.len();
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Number of live entries (in-flight + completed).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("replay cache poisoned").entries.len()
+    }
+
+    /// Bytes of cached reply bodies currently held.
+    #[cfg(test)]
+    pub(crate) fn bytes(&self) -> usize {
+        self.inner.lock().expect("replay cache poisoned").bytes
+    }
+
+    /// Drops every `Done` entry older than the TTL from the front of the
+    /// completion queue (completion times are monotonic, so the scan can
+    /// stop at the first fresh entry). Returns how many were dropped.
+    fn purge_expired(&self, inner: &mut Inner, now: Instant) -> u64 {
+        let mut purged = 0u64;
+        while let Some(key) = inner.order.front().copied() {
+            match inner.entries.get(&key) {
+                Some(entry) if now.duration_since(entry.at) > self.ttl => {
+                    if let Some(Entry { state: State::Done(body), .. }) = inner.entries.remove(&key)
+                    {
+                        inner.bytes -= body.len();
+                        purged += 1;
+                    }
+                    inner.order.pop_front();
+                }
+                // A key in `order` whose entry is missing was already
+                // evicted by the byte cap; just drop the stale queue slot.
+                None => {
+                    inner.order.pop_front();
+                }
+                Some(_) => break,
+            }
+        }
+        purged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = (7, 1);
+
+    #[test]
+    fn first_sighting_executes_then_replays() {
+        let cache = ReplayCache::new(Duration::from_secs(30), 1 << 20);
+        assert_eq!(cache.begin(KEY).0, ReplayDecision::Execute);
+        assert_eq!(cache.complete(KEY, b"reply-bytes"), 0);
+        match cache.begin(KEY).0 {
+            ReplayDecision::Replay(body) => assert_eq!(body, b"reply-bytes"),
+            other => panic!("expected replay, got {other:?}"),
+        }
+        // Replays are repeatable for the whole TTL window.
+        assert!(matches!(cache.begin(KEY).0, ReplayDecision::Replay(_)));
+    }
+
+    #[test]
+    fn concurrent_duplicate_of_in_flight_token_is_busy() {
+        let cache = ReplayCache::new(Duration::from_secs(30), 1 << 20);
+        assert_eq!(cache.begin(KEY).0, ReplayDecision::Execute);
+        assert_eq!(cache.begin(KEY).0, ReplayDecision::InFlight);
+        cache.complete(KEY, b"done");
+        assert!(matches!(cache.begin(KEY).0, ReplayDecision::Replay(_)));
+    }
+
+    #[test]
+    fn ttl_expiry_reopens_the_token() {
+        let cache = ReplayCache::new(Duration::from_millis(20), 1 << 20);
+        assert_eq!(cache.begin(KEY).0, ReplayDecision::Execute);
+        cache.complete(KEY, b"old");
+        std::thread::sleep(Duration::from_millis(40));
+        // Expired: the retry re-executes rather than replaying stale data.
+        let (decision, purged) = cache.begin(KEY);
+        assert_eq!(decision, ReplayDecision::Execute);
+        assert_eq!(purged, 1);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn orphaned_in_flight_marker_is_reaped_after_ttl() {
+        let cache = ReplayCache::new(Duration::from_millis(20), 1 << 20);
+        assert_eq!(cache.begin(KEY).0, ReplayDecision::Execute);
+        // No complete(): the dispatch "crashed".
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(cache.begin(KEY).0, ReplayDecision::Execute);
+    }
+
+    #[test]
+    fn byte_cap_evicts_oldest_completed_replies_first() {
+        let cache = ReplayCache::new(Duration::from_secs(30), 25);
+        let mut evicted = 0;
+        for seq in 0..3u64 {
+            let key = (1, seq);
+            assert_eq!(cache.begin(key).0, ReplayDecision::Execute);
+            evicted += cache.complete(key, &[0u8; 10]);
+        }
+        assert_eq!(evicted, 1, "third insert pushes 30 bytes past the 25-byte cap");
+        assert_eq!(cache.bytes(), 20);
+        // (1, 0) was evicted → re-executes; newer entries still replay.
+        assert_eq!(cache.begin((1, 0)).0, ReplayDecision::Execute);
+        assert!(matches!(cache.begin((1, 1)).0, ReplayDecision::Replay(_)));
+        assert!(matches!(cache.begin((1, 2)).0, ReplayDecision::Replay(_)));
+    }
+
+    #[test]
+    fn eviction_counts_are_reported() {
+        let cache = ReplayCache::new(Duration::from_secs(30), 25);
+        for seq in 0..2u64 {
+            let key = (1, seq);
+            cache.begin(key);
+            assert_eq!(cache.complete(key, &[0u8; 10]), 0);
+        }
+        cache.begin((1, 2));
+        assert_eq!(cache.complete((1, 2), &[0u8; 10]), 1, "third insert evicts the first");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn oversized_reply_is_evicted_by_the_hard_cap() {
+        let cache = ReplayCache::new(Duration::from_secs(30), 8);
+        cache.begin(KEY);
+        assert_eq!(cache.complete(KEY, &[0u8; 64]), 1, "cap is hard even for the newest reply");
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.begin(KEY).0, ReplayDecision::Execute, "evicted token re-executes");
+    }
+}

@@ -34,6 +34,15 @@ pub enum RetryClass {
     /// caller's deadline elapsed, or the failure is local and permanent
     /// (bad reference, protocol mismatch, marshal error).
     Never,
+    /// Retry under server-side deduplication: the call is stamped with an
+    /// invocation token (`"~tok"` suffix) and the server's reply cache
+    /// guarantees a retried token is never re-executed — the cached reply
+    /// is replayed instead. This upgrades the ambiguous
+    /// [`RetryClass::IfIdempotent`] failures to safely retryable without
+    /// requiring the operation itself to be idempotent. Declared via the
+    /// `@exactly_once` IDL annotation or
+    /// `CallOptions::builder().retry_class(RetryClass::ExactlyOnce)`.
+    ExactlyOnce,
 }
 
 /// Classifies an invocation error for retry safety.
@@ -64,15 +73,22 @@ pub fn classify(err: &RmiError) -> RetryClass {
 }
 
 /// Whether `err` may be retried (or failed over to another endpoint)
-/// under the caller's idempotency declaration. This is the single gate
+/// under the caller's resend-safety declaration. This is the single gate
 /// every retry site — the policy loop *and* the stale-cached-connection
 /// fast path — must pass, so a non-idempotent call is never re-sent
 /// after request bytes may have reached a server.
-pub fn may_retry(err: &RmiError, idempotent: bool) -> bool {
+///
+/// `resend_safe` is true when the operation is idempotent **or** the call
+/// carries an invocation token (exactly-once): either way a duplicate
+/// delivery cannot duplicate work, so the ambiguous mid-call failures
+/// become retryable.
+pub fn may_retry(err: &RmiError, resend_safe: bool) -> bool {
     match classify(err) {
         RetryClass::Safe => true,
-        RetryClass::IfIdempotent => idempotent,
-        RetryClass::Never => false,
+        RetryClass::IfIdempotent => resend_safe,
+        // `classify` never produces the declaration-only classes, but the
+        // match stays exhaustive for when it grows.
+        RetryClass::Never | RetryClass::ExactlyOnce => false,
     }
 }
 

@@ -26,7 +26,8 @@
 //! object (well-known id `0`) reports the resulting counters.
 
 use crate::call::{
-    extract_call_context, peek_reply_id, peek_route, IncomingCall, ReplyBuilder, ReplyStatus,
+    extract_call_context, extract_invocation_token, peek_reply_id, peek_route, IncomingCall,
+    ReplyBuilder, ReplyStatus,
 };
 use crate::communicator::{write_framed, ObjectCommunicator};
 use crate::error::{RmiError, RmiResult};
@@ -34,6 +35,7 @@ use crate::metrics::{Counter, Metrics};
 use crate::objref::Endpoint;
 use crate::orb::Orb;
 use crate::policy::{ServerHealth, ServerPolicy};
+use crate::replay::{ReplayCache, ReplayDecision};
 use crate::skeleton::{DispatchOutcome, Skeleton};
 use crate::trace::{self, TraceLevel};
 use crate::transport::{TcpTransport, Transport};
@@ -85,10 +87,14 @@ pub(crate) struct ServerShared {
     /// The owning ORB's metrics registry: the shed counters below are
     /// mirrored into it exactly once per event (see [`Self::shed_request`]).
     metrics: Arc<Metrics>,
+    /// Exactly-once dedup table + reply cache: a retried invocation token
+    /// is answered from here instead of re-executing the servant.
+    replay: ReplayCache,
 }
 
 impl ServerShared {
     fn new(policy: ServerPolicy, metrics: Arc<Metrics>) -> ServerShared {
+        let replay = ReplayCache::new(policy.reply_cache_ttl, policy.reply_cache_max_bytes);
         ServerShared {
             policy,
             draining: AtomicBool::new(false),
@@ -99,6 +105,7 @@ impl ServerShared {
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
             metrics,
+            replay,
         }
     }
 
@@ -430,6 +437,18 @@ impl ReplyWriter {
     /// the one choke point every reply passes through — so a connection
     /// torn down mid-reply never vanishes silently.
     fn send(&self, body: Vec<u8>) -> RmiResult<()> {
+        self.send_with_accounting(body, true)
+    }
+
+    /// As [`Self::send`] but without touching the byte counters: replies
+    /// to the built-in `_health`/`_metrics` objects — including heartbeat
+    /// pings — are runtime chatter, not application traffic, and must not
+    /// skew `_metrics` byte totals.
+    fn send_unmetered(&self, body: Vec<u8>) -> RmiResult<()> {
+        self.send_with_accounting(body, false)
+    }
+
+    fn send_with_accounting(&self, body: Vec<u8>, metered: bool) -> RmiResult<()> {
         let len = body.len();
         let result = {
             let mut transport = self.transport.lock();
@@ -437,7 +456,8 @@ impl ReplyWriter {
         };
         heidl_wire::pool::recycle(body);
         match &result {
-            Ok(()) => self.metrics.add(Counter::BytesOut, len as u64),
+            Ok(()) if metered => self.metrics.add(Counter::BytesOut, len as u64),
+            Ok(()) => {}
             Err(e) => trace::emit_with(TraceLevel::Warn, "server", || {
                 format!("reply write failed; dropping connection: {e}")
             }),
@@ -471,17 +491,19 @@ fn connection_loop(
     let per_conn = Arc::new(AtomicUsize::new(0));
     let mut comm = ObjectCommunicator::with_limits(read_half, Arc::clone(&protocol), limits);
     while let Ok(Some(body)) = comm.recv() {
-        shared.metrics.add(Counter::BytesIn, body.len() as u64);
+        let body_len = body.len() as u64;
         // One borrowed decode pass yields everything routing needs: the
         // id, the reply-expected flag, and the target object id.
         match peek_route(&body, protocol.as_ref(), &limits) {
             // `_health` probes and `_metrics` reads bypass admission
             // control and dispatch inline on the reader (they are cheap
             // and run no servant code): overload or drain must never
-            // blind observability.
+            // blind observability. They also stay out of the byte
+            // counters — a client heartbeating through a quiet period
+            // must not read back as application traffic.
             Ok((_, _, Some(HEALTH_OBJECT_ID | METRICS_OBJECT_ID))) => {
                 if let Some(reply) = handle_request(body.into(), &orb, &shared) {
-                    if writer.send(reply).is_err() {
+                    if writer.send_unmetered(reply).is_err() {
                         break;
                     }
                 }
@@ -489,51 +511,58 @@ fn connection_loop(
             // oneway: dispatch inline so a client's oneway-then-call
             // sequence executes in order; there is no reply to write, so
             // an overload shed is silent (but counted).
-            Ok((_, false, _)) => match shared.try_admit(&per_conn) {
-                Ok(guard) => {
-                    let _ = handle_request(body.into(), &orb, &shared);
-                    drop(guard);
+            Ok((_, false, _)) => {
+                shared.metrics.add(Counter::BytesIn, body_len);
+                match shared.try_admit(&per_conn) {
+                    Ok(guard) => {
+                        let _ = handle_request(body.into(), &orb, &shared);
+                        drop(guard);
+                    }
+                    Err(_) => shared.shed_request(),
                 }
-                Err(_) => shared.shed_request(),
-            },
-            Ok((request_id, true, _)) => match shared.try_admit(&per_conn) {
-                Ok(guard) => {
-                    let job_orb = orb.clone();
-                    let job_writer = Arc::clone(&writer);
-                    let job_shared = Arc::clone(&shared);
-                    let job_body: Vec<u8> = body.into();
-                    let accepted = workers.submit(Box::new(move || {
-                        // The guard lives until the reply is on the wire.
-                        let _guard = guard;
-                        if let Some(reply) = handle_request(job_body, &job_orb, &job_shared) {
-                            let _ = job_writer.send(reply);
+            }
+            Ok((request_id, true, _)) => {
+                shared.metrics.add(Counter::BytesIn, body_len);
+                match shared.try_admit(&per_conn) {
+                    Ok(guard) => {
+                        let job_orb = orb.clone();
+                        let job_writer = Arc::clone(&writer);
+                        let job_shared = Arc::clone(&shared);
+                        let job_body: Vec<u8> = body.into();
+                        let accepted = workers.submit(Box::new(move || {
+                            // The guard lives until the reply is on the wire.
+                            let _guard = guard;
+                            if let Some(reply) = handle_request(job_body, &job_orb, &job_shared) {
+                                let _ = job_writer.send(reply);
+                            }
+                        }));
+                        if !accepted {
+                            // The dropped job released its guard; tell the
+                            // client to back off.
+                            shared.shed_request();
+                            let busy = ReplyBuilder::busy(
+                                protocol.as_ref(),
+                                request_id,
+                                "worker pool overflow cap reached",
+                            );
+                            if writer.send(busy).is_err() {
+                                break;
+                            }
                         }
-                    }));
-                    if !accepted {
-                        // The dropped job released its guard; tell the
-                        // client to back off.
+                    }
+                    Err(reason) => {
                         shared.shed_request();
-                        let busy = ReplyBuilder::busy(
-                            protocol.as_ref(),
-                            request_id,
-                            "worker pool overflow cap reached",
-                        );
+                        let busy = ReplyBuilder::busy(protocol.as_ref(), request_id, &reason);
                         if writer.send(busy).is_err() {
                             break;
                         }
                     }
                 }
-                Err(reason) => {
-                    shared.shed_request();
-                    let busy = ReplyBuilder::busy(protocol.as_ref(), request_id, &reason);
-                    if writer.send(busy).is_err() {
-                        break;
-                    }
-                }
-            },
+            }
             // Unparsable header — diagnose inline (a telnet user who
             // mistyped wants the error back immediately).
             Err(_) => {
+                shared.metrics.add(Counter::BytesIn, body_len);
                 if let Some(reply) = handle_request(body.into(), &orb, &shared) {
                     if writer.send(reply).is_err() {
                         break;
@@ -563,6 +592,9 @@ pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb, shared: &ServerShared) ->
     // Best-effort id for diagnostics on unparsable requests: both message
     // kinds lead with the id, so the reply-peek works on requests too.
     let fallback_id = peek_reply_id(&body, protocol.as_ref()).unwrap_or(0);
+    // Exactly-once: the invocation token rides the body's tail, so it must
+    // be read before parsing consumes the bytes.
+    let token = extract_invocation_token(&body, protocol.as_ref());
     let mut incoming =
         match IncomingCall::parse_limited(body, protocol.as_ref(), &shared.policy.decode_limits) {
             Ok(c) => c,
@@ -578,6 +610,37 @@ pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb, shared: &ServerShared) ->
                 ));
             }
         };
+    if let (Some(token), true) = (token, incoming.response_expected) {
+        let key = (token.session, token.seq);
+        let (decision, purged) = shared.replay.begin(key);
+        if purged > 0 {
+            shared.metrics.add(Counter::ReplyCacheEvictions, purged);
+        }
+        return Some(match decision {
+            ReplayDecision::Execute => {
+                let reply_body = dispatch_request(&mut incoming, orb, shared, &protocol);
+                let evicted = shared.replay.complete(key, &reply_body);
+                if evicted > 0 {
+                    shared.metrics.add(Counter::ReplyCacheEvictions, evicted);
+                }
+                reply_body
+            }
+            // A duplicate of a completed invocation: replay the reply
+            // byte-for-byte (a retry reuses its request id, so the
+            // embedded id already matches) — the servant never re-runs.
+            ReplayDecision::Replay(reply_body) => {
+                shared.metrics.inc(Counter::DedupReplays);
+                reply_body
+            }
+            // A duplicate racing the first execution: Busy is Safe to
+            // retry, so the client backs off and replays once complete.
+            ReplayDecision::InFlight => ReplyBuilder::busy(
+                protocol.as_ref(),
+                incoming.request_id,
+                "retry of an in-flight invocation",
+            ),
+        });
+    }
     let reply_body = dispatch_request(&mut incoming, orb, shared, &protocol);
     incoming.response_expected.then_some(reply_body)
 }

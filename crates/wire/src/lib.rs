@@ -46,6 +46,6 @@ pub use plan::{CdrStructPlan, FieldKind, PlanValue};
 pub use pool::{BufPool, FrameBuf, PooledBuf};
 pub use protocol::{
     by_name, CdrProtocol, Protocol, TextProtocol, CDR_CONTEXT_LEN, CDR_CONTEXT_MAGIC,
-    MAX_FRAME_HEADER, TEXT_CONTEXT_MARKER,
+    CDR_TOKEN_LEN, CDR_TOKEN_MAGIC, MAX_FRAME_HEADER, TEXT_CONTEXT_MARKER, TEXT_TOKEN_MARKER,
 };
 pub use text::{TextDecoder, TextEncoder};

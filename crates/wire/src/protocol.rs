@@ -47,6 +47,26 @@ pub const CDR_CONTEXT_MAGIC: &[u8; 4] = b"HCX1";
 /// closing magic).
 pub const CDR_CONTEXT_LEN: usize = 20;
 
+/// Marker token opening the optional trailing invocation-token section on
+/// the text protocol: a request line may carry `"~tok" <session> <seq>`
+/// after its declared arguments. Like [`TEXT_CONTEXT_MARKER`], `~` cannot
+/// start any ordinary text token, so positional old readers never see it,
+/// and a human can retype the same token over telnet to exercise the
+/// server's exactly-once replay path.
+pub const TEXT_TOKEN_MARKER: &str = "~tok";
+
+/// Magic closing the optional trailing invocation-token section on the CDR
+/// protocol: the section is `session (u64 LE) · seq (u64 LE) · pad (u32) ·
+/// "HTK1"`. Old readers never look past the declared arguments, so the
+/// section is invisible to them.
+pub const CDR_TOKEN_MAGIC: &[u8; 4] = b"HTK1";
+
+/// Byte length of the CDR trailing invocation-token section (two `u64`
+/// ids, a `u32` pad, and the closing magic). The pad keeps the section end
+/// 8-aligned, so a context section appended after it starts unpadded and
+/// both sections sit at fixed offsets from the end of the body.
+pub const CDR_TOKEN_LEN: usize = 24;
+
 /// A wire protocol: codec factory + request demarcation.
 pub trait Protocol: Send + Sync + fmt::Debug {
     /// Short protocol name used in stringified object references
@@ -191,6 +211,31 @@ pub trait Protocol: Send + Sync + fmt::Debug {
     /// declared fields decode, and a body without the section is left
     /// byte-identical to a pre-context peer's view.
     fn extract_context(&self, body: &[u8]) -> Option<(u64, u64)> {
+        let _ = body;
+        None
+    }
+
+    /// Appends an optional **trailing invocation-token section** (session
+    /// id + per-session sequence number) to a message being encoded. Same
+    /// backward-compatibility contract as [`Protocol::encode_context`]:
+    /// old readers are positional and never look past the declared fields.
+    ///
+    /// When a message carries both suffixes the token section comes
+    /// *first* and the context section *last*, so each stays at a fixed
+    /// position from the end of the body. Returns `false` (and encodes
+    /// nothing) for protocols without a token encoding — the default.
+    fn encode_token(&self, enc: &mut dyn Encoder, session: u64, seq: u64) -> bool {
+        let _ = (enc, session, seq);
+        false
+    }
+
+    /// Extracts the trailing invocation-token section from a received
+    /// body, if present, as `(session, seq)`. `None` when the body carries
+    /// no token (or the protocol has no token encoding — the default).
+    ///
+    /// Like [`Protocol::extract_context`] this is a tail inspection only;
+    /// it tolerates a context section appended after the token.
+    fn extract_token(&self, body: &[u8]) -> Option<(u64, u64)> {
         let _ = body;
         None
     }
@@ -352,6 +397,43 @@ impl Protocol for TextProtocol {
             return None;
         }
         Some((call_id, parent_id))
+    }
+
+    fn encode_token(&self, enc: &mut dyn Encoder, session: u64, seq: u64) -> bool {
+        // Three ordinary tokens, just like the context section: the line
+        // stays printable and a telnet user can append ` "~tok" 12345 1`
+        // to a hand-typed request (and retype it to trigger a replay).
+        enc.put_string(TEXT_TOKEN_MARKER);
+        enc.put_ulonglong(session);
+        enc.put_ulonglong(seq);
+        true
+    }
+
+    fn extract_token(&self, body: &[u8]) -> Option<(u64, u64)> {
+        let s = std::str::from_utf8(body).ok()?;
+        // The marker is the *last* `"~tok"` token. After it come exactly
+        // two unsigned integers, followed either by end-of-line or by a
+        // complete context section (`"~ctx" <id> <id>`) — the one suffix
+        // allowed after a token. A string argument containing the marker
+        // bytes encodes with escaped quotes, so the token-boundary check
+        // rejects it.
+        let needle = "\"~tok\"";
+        let idx = s.rfind(needle)?;
+        if idx > 0 && !s.as_bytes()[idx - 1].is_ascii_whitespace() {
+            return None;
+        }
+        let mut tail = s[idx + needle.len()..].split_ascii_whitespace();
+        let session = tail.next()?.parse().ok()?;
+        let seq = tail.next()?.parse().ok()?;
+        match tail.next() {
+            None => Some((session, seq)),
+            Some(tok) if tok == format!("\"{TEXT_CONTEXT_MARKER}\"") => {
+                let _: u64 = tail.next()?.parse().ok()?;
+                let _: u64 = tail.next()?.parse().ok()?;
+                tail.next().is_none().then_some((session, seq))
+            }
+            Some(_) => None,
+        }
     }
 }
 
@@ -531,6 +613,40 @@ impl Protocol for CdrProtocol {
         let call_id = u64::from_le_bytes(body[n - 20..n - 12].try_into().expect("8 bytes"));
         let parent_id = u64::from_le_bytes(body[n - 12..n - 4].try_into().expect("8 bytes"));
         Some((call_id, parent_id))
+    }
+
+    fn encode_token(&self, enc: &mut dyn Encoder, session: u64, seq: u64) -> bool {
+        // Two aligned u64s, a pad word, then the u32 magic. The first id
+        // 8-aligns the cursor, so the section is 24 contiguous bytes
+        // ending 8-aligned — a context section encoded after it needs no
+        // alignment padding, keeping both tails at fixed offsets from the
+        // end of the body.
+        enc.put_ulonglong(session);
+        enc.put_ulonglong(seq);
+        enc.put_ulong(0);
+        enc.put_ulong(u32::from_le_bytes(*CDR_TOKEN_MAGIC));
+        true
+    }
+
+    fn extract_token(&self, body: &[u8]) -> Option<(u64, u64)> {
+        let n = body.len();
+        // Token alone: the section is the last CDR_TOKEN_LEN bytes. Token
+        // + context: the context section occupies the last CDR_CONTEXT_LEN
+        // bytes and the token section sits immediately before it.
+        let magic_end = if n >= CDR_TOKEN_LEN && &body[n - 4..] == CDR_TOKEN_MAGIC {
+            n
+        } else if n >= CDR_CONTEXT_LEN + CDR_TOKEN_LEN
+            && &body[n - 4..] == CDR_CONTEXT_MAGIC
+            && &body[n - CDR_CONTEXT_LEN - 4..n - CDR_CONTEXT_LEN] == CDR_TOKEN_MAGIC
+        {
+            n - CDR_CONTEXT_LEN
+        } else {
+            return None;
+        };
+        let start = magic_end - CDR_TOKEN_LEN;
+        let session = u64::from_le_bytes(body[start..start + 8].try_into().expect("8 bytes"));
+        let seq = u64::from_le_bytes(body[start + 8..start + 16].try_into().expect("8 bytes"));
+        Some((session, seq))
     }
 }
 
@@ -827,5 +943,105 @@ mod tests {
         assert_eq!(TextProtocol.extract_context(b"1 \"a\\\"~ctx\" 2 3"), None);
         // Non-numeric ids.
         assert_eq!(TextProtocol.extract_context(b"1 \"~ctx\" x y"), None);
+    }
+
+    /// The golden with-token text line: printable and hand-typeable, with
+    /// the token section before the context section when both are present.
+    #[test]
+    fn golden_text_frame_with_token() {
+        let mut enc = TextProtocol.encoder();
+        enc.put_string("ping");
+        enc.put_long(-7);
+        assert!(TextProtocol.encode_token(&mut *enc, 12345, 2));
+        let body = enc.finish();
+        assert_eq!(body, b"\"ping\" -7 \"~tok\" 12345 2");
+        assert_eq!(TextProtocol.extract_token(&body), Some((12345, 2)));
+        assert_eq!(TextProtocol.extract_context(&body), None);
+    }
+
+    /// Both suffixes compose: token first, context last, and each
+    /// extractor finds its own section without disturbing the other.
+    #[test]
+    fn token_and_context_sections_compose_on_both_protocols() {
+        for p in [&TextProtocol as &dyn Protocol, &CdrProtocol] {
+            let plain = {
+                let mut enc = p.encoder();
+                enc.put_string("echo");
+                enc.put_ulonglong(u64::MAX);
+                enc.finish()
+            };
+            let both = {
+                let mut enc = p.encoder();
+                enc.put_string("echo");
+                enc.put_ulonglong(u64::MAX);
+                assert!(p.encode_token(&mut *enc, 0xABCD, 9));
+                assert!(p.encode_context(&mut *enc, 1, u64::MAX));
+                enc.finish()
+            };
+            assert!(both.starts_with(&plain), "{}", p.name());
+            assert_eq!(p.extract_token(&both), Some((0xABCD, 9)), "{}", p.name());
+            assert_eq!(p.extract_context(&both), Some((1, u64::MAX)), "{}", p.name());
+            // Old-reader view: the declared fields decode identically.
+            let mut dec = p.decoder(both).unwrap();
+            assert_eq!(dec.get_string().unwrap(), "echo");
+            assert_eq!(dec.get_ulonglong().unwrap(), u64::MAX);
+        }
+    }
+
+    /// The CDR token section is a fixed-size tail regardless of argument
+    /// alignment, alone or with a context section after it.
+    #[test]
+    fn cdr_token_tail_layout() {
+        for misalign in 0..8usize {
+            let mut enc = CdrProtocol.encoder();
+            for _ in 0..misalign {
+                enc.put_octet(0xEE);
+            }
+            assert!(CdrProtocol.encode_token(&mut *enc, 0x0A0B, 0x0C0D));
+            let body = enc.finish();
+            let n = body.len();
+            assert_eq!(&body[n - 4..], CDR_TOKEN_MAGIC);
+            assert_eq!(CdrProtocol.extract_token(&body), Some((0x0A0B, 0x0C0D)));
+
+            let mut enc = CdrProtocol.encoder();
+            for _ in 0..misalign {
+                enc.put_octet(0xEE);
+            }
+            assert!(CdrProtocol.encode_token(&mut *enc, 0x0A0B, 0x0C0D));
+            assert!(CdrProtocol.encode_context(&mut *enc, 42, 7));
+            let body = enc.finish();
+            let n = body.len();
+            assert_eq!(&body[n - 4..], CDR_CONTEXT_MAGIC);
+            assert_eq!(&body[n - CDR_CONTEXT_LEN - 4..n - CDR_CONTEXT_LEN], CDR_TOKEN_MAGIC);
+            assert_eq!(CdrProtocol.extract_token(&body), Some((0x0A0B, 0x0C0D)));
+            assert_eq!(CdrProtocol.extract_context(&body), Some((42, 7)));
+        }
+    }
+
+    /// A hand-typed telnet line carries a token — retyping the same line is
+    /// the manual replay experiment from the README.
+    #[test]
+    fn text_token_is_hand_typable() {
+        let line = b"7 \"@tcp:h:1#1#IDL:X:1.0\" \"echo\" T \"hi\" \"~tok\" 12345 1";
+        assert_eq!(TextProtocol.extract_token(line), Some((12345, 1)));
+        let with_ctx =
+            b"7 \"@tcp:h:1#1#IDL:X:1.0\" \"echo\" T \"hi\" \"~tok\" 12345 1 \"~ctx\" 42 7";
+        assert_eq!(TextProtocol.extract_token(with_ctx), Some((12345, 1)));
+        assert_eq!(TextProtocol.extract_context(with_ctx), Some((42, 7)));
+    }
+
+    /// Malformed or mid-line token marker bytes never parse as a token.
+    #[test]
+    fn text_token_rejects_lookalikes() {
+        // Trailing junk that is not a complete context section.
+        assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" 2 3 4"), None);
+        assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" 2 3 \"~ctx\" 4"), None);
+        assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" 2 3 \"~ctx\" 4 5 6"), None);
+        // Marker with only one id.
+        assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" 2"), None);
+        // Marker glued to a preceding token (e.g. inside an escaped string).
+        assert_eq!(TextProtocol.extract_token(b"1 \"a\\\"~tok\" 2 3"), None);
+        // Non-numeric ids.
+        assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" x y"), None);
     }
 }

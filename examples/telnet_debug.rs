@@ -106,6 +106,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     type_line(format!("5 \"{objref}\" \"no_such_method\" T"))?;
     type_line("\"garbage\" \"x\" T".to_owned())?;
 
+    // Exactly-once by hand: stamp an invocation token — three extra
+    // printable tokens after the declared arguments — then retype the
+    // identical line, exactly what a client replaying after a dead
+    // connection would send. The servant runs ONCE (one `[server] play`
+    // line above); the retry is answered from the reply cache.
+    let tokened = format!("6 \"{objref}\" \"play\" T \"finale.mpg\" 9 \"~tok\" 12345 1");
+    let first = type_line(tokened.clone())?;
+    let retry = type_line(tokened)?;
+    println!("   replies byte-identical: {} (servant executed once)", first == retry);
+    let metrics =
+        format!("@tcp:{}:{}#{}#IDL:heidl/Metrics:1.0", endpoint.host, endpoint.port, u64::MAX);
+    type_line(format!("7 \"{metrics}\" \"dump\" T"))?; // shows dedup_replays 1
+
     println!("every byte of that exchange was printable text -- that is the");
     println!("debuggability the paper traded protocol generality for (E8).");
     orb.shutdown();

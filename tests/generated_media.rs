@@ -153,6 +153,10 @@ impl LibraryServant for ClipLibrary {
             .clone()
             .ok_or_else(|| RmiError::Protocol("no command yet".to_owned()))
     }
+
+    fn purchase(&self, _name: String) -> RmiResult<i32> {
+        Ok(self.clips.lock().unwrap().len() as i32)
+    }
 }
 
 fn start_player(kind: DispatchKind) -> (Orb, Arc<MediaPlayer>, PlayerStub) {

@@ -80,10 +80,13 @@ impl PlayerServant for CountingPlayer {
 }
 
 /// A Library whose `durations()` counts servant-side executions — the
-/// observable the `@cached(200)` tests key on.
+/// observable the `@cached(200)` tests key on — and whose `purchase()`
+/// counts executions AND returns a per-execution receipt number, so the
+/// `@exactly_once` tests can tell a replayed reply from a re-execution.
 #[derive(Default)]
 struct CountingLibrary {
     duration_calls: AtomicUsize,
+    purchases: AtomicUsize,
     clips: Mutex<Vec<i32>>,
 }
 
@@ -114,6 +117,12 @@ impl LibraryServant for CountingLibrary {
 
     fn last_command(&self) -> RmiResult<Command> {
         Ok(Command::Frame(0))
+    }
+
+    fn purchase(&self, _name: String) -> RmiResult<i32> {
+        // A fresh receipt number per execution: a *replayed* reply
+        // carries the old receipt, a *re-execution* mints a new one.
+        Ok(self.purchases.fetch_add(1, Ordering::SeqCst) as i32 + 100)
     }
 }
 
@@ -222,6 +231,99 @@ fn cached_durations_serve_from_cache_within_ttl() {
     stub.register_clip(ClipInfo { title: "outro".to_owned(), frames: 120, status: Status::Paused })
         .unwrap();
     assert_eq!(stub.durations().unwrap(), vec![240], "stale within the 200 ms budget");
+
+    server.shutdown();
+}
+
+// ---- @exactly_once: generated stubs retry under token dedup -----------
+
+/// A server ORB with a CountingLibrary, plus a *faulty* client ORB.
+#[allow(clippy::type_complexity)]
+fn faulty_library(
+) -> (Orb, Orb, Arc<CountingLibrary>, LibraryStub, Arc<FaultPlan>, heidl::rmi::ObjectRef) {
+    let server = Orb::new();
+    server.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(CountingLibrary::default());
+    let skel = LibrarySkel::new(Arc::clone(&servant) as _, server.clone(), DispatchKind::Hash);
+    let objref = server.export(skel).unwrap();
+
+    let plan = Arc::new(FaultPlan::new(23));
+    let client = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan))))
+        .retry_policy(
+            RetryPolicy::default()
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(2))
+                .with_jitter_seed(9),
+        )
+        .build();
+    let stub = LibraryStub::new(client.clone(), objref.clone());
+    (server, client, servant, stub, plan, objref)
+}
+
+#[test]
+fn exactly_once_purchase_rides_out_a_midcall_drop() {
+    let (server, client, servant, stub, plan, objref) = faulty_library();
+    let addr = objref.endpoint.socket_addr();
+
+    // Warm the pooled connection, then script one mid-call drop on the
+    // next frame — the ambiguous shape that untokened non-idempotent
+    // calls must surface as an error.
+    assert_eq!(stub.purchase("intro".to_owned()).unwrap(), 100);
+    plan.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection).when(Trigger::Nth(1)).at(&addr),
+    );
+
+    // `purchase()` is declared `@exactly_once` in media.idl: the stub
+    // stamps an invocation token, the mid-call drop is retried
+    // transparently, and the servant ran exactly once for this call.
+    assert_eq!(stub.purchase("outro".to_owned()).unwrap(), 101, "second receipt, not a third");
+    assert_eq!(servant.purchases.load(Ordering::SeqCst), 2, "no duplicate execution");
+    assert!(client.metrics().get(Counter::Retries) >= 1, "the recovery used the retry path");
+
+    server.shutdown();
+}
+
+#[test]
+fn retried_token_replays_the_original_reply_without_reexecuting() {
+    let (server, _client, servant, stub, _plan, objref) = faulty_library();
+    let addr = objref.endpoint.socket_addr();
+
+    // Drive one purchase through the generated stub so the servant's
+    // receipt counter is live.
+    assert_eq!(stub.purchase("intro".to_owned()).unwrap(), 100);
+
+    // Now send a byte-identical tokened request twice — exactly what a
+    // client retry puts on the wire after a reply was lost mid-call. The
+    // server must execute once, then recognize the token and replay the
+    // cached receipt instead of executing the servant again.
+    let orb = Orb::new();
+    let mut call = orb.call(&objref, "purchase");
+    call.args().put_string("intro");
+    let token = heidl::rmi::InvocationToken { session: 42, seq: 7 };
+    call.attach_token(orb.protocol().as_ref(), token);
+    let body = call.into_body();
+
+    let send = |body: &[u8]| {
+        use std::io::{Read, Write};
+        let mut sock = std::net::TcpStream::connect(&addr).unwrap();
+        sock.write_all(body).unwrap();
+        sock.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        let mut b = [0u8; 1];
+        while sock.read(&mut b).unwrap() == 1 && b[0] != b'\n' {
+            reply.push(b[0] as char);
+        }
+        reply
+    };
+    let first = send(&body);
+    let retry = send(&body);
+    assert_eq!(first, retry, "the retried token replayed the original reply byte-for-byte");
+    assert_eq!(
+        servant.purchases.load(Ordering::SeqCst),
+        2,
+        "one stub purchase + one manual purchase — the retry never reached the servant"
+    );
+    assert!(server.metrics().get(Counter::DedupReplays) >= 1, "the replay was counted");
 
     server.shutdown();
 }

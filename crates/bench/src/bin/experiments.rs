@@ -5,9 +5,9 @@
 //! cargo run -p heidl-bench --bin experiments --release [-- ID...]
 //! ```
 //!
-//! IDs: `t1 t2 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10` (default: all). Numbers are
-//! medians of quick in-process timing loops — for rigorous statistics run
-//! `cargo bench`.
+//! IDs: `t1 t2 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11` (default: all). Numbers
+//! are medians of quick in-process timing loops — for rigorous statistics
+//! run `cargo bench`.
 
 use heidl_bench::{method_names, module_idl, rng, NameStyle, Payload};
 use heidl_rmi::{
@@ -100,6 +100,9 @@ fn main() {
     }
     if want("e10") {
         e10();
+    }
+    if want("e11") {
+        e11(quick);
     }
     if want("roundtrip") || want("perf") {
         roundtrip(quick);
@@ -742,6 +745,221 @@ fn e10() {
     println!("work, so the plan wins and the gap widens with field count.");
 }
 
+// ---- E11 -------------------------------------------------------------------
+
+/// Execution-recording servant for the multi-node scenario: `put` bumps
+/// the cluster-wide per-argument ledger and this incarnation's own
+/// dispatch counter.
+struct RecordingSkel {
+    base: SkeletonBase,
+    ledger: Arc<std::sync::Mutex<std::collections::HashMap<i64, u64>>>,
+    executed: Arc<AtomicU64>,
+}
+
+impl Skeleton for RecordingSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let arg = args.get_longlong()?;
+                *self.ledger.lock().unwrap().entry(arg).or_insert(0) += 1;
+                self.executed.fetch_add(1, Ordering::SeqCst);
+                reply.put_longlong(arg);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+/// The multi-node tier in one table: three backends behind a [`Router`],
+/// backend 0's legs partitioned with seeded probability, backends 1 and 2
+/// rolled (leave membership, drain, restart on a fresh port, re-join)
+/// while client threads push tokened calls through the routed reference.
+/// The printed ledger balance is the exactly-once claim as data.
+fn e11(quick: bool) {
+    use heidl_rmi::fault::{Fault, FaultOp, FaultPlan, FaultRule, FaultyConnector};
+    use heidl_rmi::{
+        BackendSource, BreakerConfig, CallOptions, Counter, Endpoint, RetryClass, RetryPolicy,
+        Router, SharedBackends, Trigger,
+    };
+    use std::sync::atomic::AtomicBool;
+
+    type Ledger = Arc<std::sync::Mutex<std::collections::HashMap<i64, u64>>>;
+    let seed: u64 =
+        std::env::var("HEIDL_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let clients: usize = if quick { 2 } else { 4 };
+    let puts_per_client: i64 = if quick { 20 } else { 60 };
+
+    println!("\n[E11] multi-node tier: rolling restarts + partition vs the exactly-once ledger");
+    println!("      seed {seed}: backend 0 partitioned (recv p=0.25, send p=0.10, never");
+    println!("      restarted); backends 1-2 rolled gracefully; {clients} client threads");
+
+    let ledger: Ledger = Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()));
+    let spawn_backend = |ledger: &Ledger| -> (Orb, Endpoint, Arc<AtomicU64>) {
+        let orb = Orb::new();
+        let endpoint = orb.serve("127.0.0.1:0").unwrap();
+        let executed = Arc::new(AtomicU64::new(0));
+        orb.export(Arc::new(RecordingSkel {
+            base: SkeletonBase::new("IDL:Bench/Recorder:1.0", DispatchKind::Hash, ["put"], vec![]),
+            ledger: Arc::clone(ledger),
+            executed: Arc::clone(&executed),
+        }))
+        .unwrap();
+        (orb, endpoint, executed)
+    };
+
+    let (backend0, ep0, executed0) = spawn_backend(&ledger);
+    let (backend1, ep1, _) = spawn_backend(&ledger);
+    let (backend2, ep2, _) = spawn_backend(&ledger);
+    let source = Arc::new(SharedBackends::with_endpoints([ep0.clone(), ep1.clone(), ep2.clone()]));
+
+    let plan = Arc::new(FaultPlan::new(seed));
+    plan.add_rule(
+        FaultRule::always(FaultOp::Recv, Fault::DropConnection)
+            .at(ep0.socket_addr())
+            .when(Trigger::Probability(0.25)),
+    );
+    plan.add_rule(
+        FaultRule::always(FaultOp::Send, Fault::DropConnection)
+            .at(ep0.socket_addr())
+            .when(Trigger::Probability(0.10)),
+    );
+    let router = Router::builder(Arc::clone(&source) as Arc<dyn BackendSource>)
+        .connector(Arc::new(FaultyConnector::over_tcp(plan)))
+        .breaker_config(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(150),
+            probe_budget: 1,
+            success_threshold: 1,
+        })
+        .start("127.0.0.1:0")
+        .unwrap();
+    let target = router.service_ref(1, "IDL:Bench/Recorder:1.0");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let roller = {
+        let source = Arc::clone(&source);
+        let ledger = Arc::clone(&ledger);
+        let stop = Arc::clone(&stop);
+        let mut slots = vec![(backend1, ep1), (backend2, ep2)];
+        std::thread::spawn(move || {
+            let mut which = 0usize;
+            let mut rolls = 0u32;
+            while !stop.load(Ordering::SeqCst) {
+                let (old_orb, old_ep) = slots[which].clone();
+                source.remove(&old_ep);
+                std::thread::sleep(Duration::from_millis(120));
+                old_orb.shutdown_and_drain();
+                let orb = Orb::new();
+                let endpoint = orb.serve("127.0.0.1:0").unwrap();
+                orb.export(Arc::new(RecordingSkel {
+                    base: SkeletonBase::new(
+                        "IDL:Bench/Recorder:1.0",
+                        DispatchKind::Hash,
+                        ["put"],
+                        vec![],
+                    ),
+                    ledger: Arc::clone(&ledger),
+                    executed: Arc::new(AtomicU64::new(0)),
+                }))
+                .unwrap();
+                source.add(endpoint.clone());
+                slots[which] = (orb, endpoint);
+                which = 1 - which;
+                rolls += 1;
+                std::thread::sleep(Duration::from_millis(80));
+            }
+            (slots, rolls)
+        })
+    };
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let target = target.clone();
+                scope.spawn(move || {
+                    let orb = Orb::builder()
+                        .retry_policy(
+                            RetryPolicy::default()
+                                .with_max_attempts(40)
+                                .with_backoff(Duration::from_millis(2), Duration::from_millis(25))
+                                .with_jitter_seed(seed ^ c as u64),
+                        )
+                        .build();
+                    let options =
+                        CallOptions::builder().retry_class(RetryClass::ExactlyOnce).build();
+                    let mut lat = Vec::new();
+                    for i in 0..puts_per_client {
+                        let arg = (c as i64 + 1) * 1_000_000 + i;
+                        let started = Instant::now();
+                        let mut call = orb.call(&target, "put");
+                        call.args().put_longlong(arg);
+                        let mut reply = orb.invoke_with(call, options.clone()).unwrap();
+                        assert_eq!(reply.results().get_longlong().unwrap(), arg);
+                        lat.push(started.elapsed());
+                    }
+                    orb.shutdown();
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().unwrap());
+        }
+    });
+    stop.store(true, Ordering::SeqCst);
+    let (slots, rolls) = roller.join().unwrap();
+
+    let issued = clients as u64 * puts_per_client as u64;
+    let counts = ledger.lock().unwrap();
+    let unique = counts.len() as u64;
+    let max_count = counts.values().copied().max().unwrap_or(0);
+    latencies.sort();
+    let p50 = latencies[latencies.len() / 2];
+    let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    let dedups = backend0.metrics().get(Counter::DedupReplays);
+    let recovered =
+        router.metrics().get(Counter::Retries) + router.metrics().get(Counter::Reconnects);
+
+    println!("{:<44} {:>10}", "tokened calls issued (all returned Ok)", issued);
+    println!("{:<44} {:>10}", "unique invocations executed", unique);
+    println!("{:<44} {:>10}", "max executions of any invocation", max_count);
+    println!("{:<44} {:>10}", "replays answered from backend 0's cache", dedups);
+    println!("{:<44} {:>10}", "router mid-call retries + redials", recovered);
+    println!("{:<44} {:>10}", "rolling restarts completed", rolls);
+    println!(
+        "{:<44} {:>10}",
+        "backend 0 dispatches (partition survivor)",
+        executed0.load(Ordering::SeqCst)
+    );
+    println!(
+        "{:<44} {:>10} / {:>8}",
+        "call latency p50 / p99",
+        fmt_ns(p50.as_nanos() as f64),
+        fmt_ns(p99.as_nanos() as f64)
+    );
+    println!(
+        "exactly-once held: {} (every invocation executed once, none lost, none doubled)",
+        unique == issued && max_count == 1
+    );
+
+    router.shutdown();
+    backend0.shutdown();
+    for (orb, _) in slots {
+        orb.shutdown();
+    }
+}
+
 // ---- roundtrip perf baseline ----------------------------------------------
 
 /// A skeleton that echoes a string back, so the hot path exercises string
@@ -946,13 +1164,14 @@ fn json_stat(name: &str, s: &WorkloadStat) -> String {
     out
 }
 
-/// Pulls `"<workload>": {... "allocs_per_call": X ...}` out of a baseline
-/// JSON blob without a JSON parser (the file is our own output).
-fn baseline_allocs_per_call(json: &str, workload: &str) -> Option<f64> {
+/// Pulls `"<workload>": {... "<field>": X ...}` out of a baseline JSON
+/// blob without a JSON parser (the file is our own output).
+fn baseline_field(json: &str, workload: &str, field: &str) -> Option<f64> {
     let start = json.find(&format!("\"{workload}\":"))?;
     let obj = &json[start..start + json[start..].find('}')?];
-    let field = obj.find("\"allocs_per_call\":")?;
-    let rest = obj[field + "\"allocs_per_call\":".len()..].trim_start();
+    let key = format!("\"{field}\":");
+    let pos = obj.find(&key)?;
+    let rest = obj[pos + key.len()..].trim_start();
     let end =
         rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
     rest[..end].parse().ok()
@@ -1048,7 +1267,7 @@ fn roundtrip(quick: bool) {
         let base = std::env::var("HEIDL_BENCH_BASELINE")
             .ok()
             .and_then(|p| std::fs::read_to_string(p).ok())
-            .and_then(|prev| baseline_allocs_per_call(&prev, "echo_cdr"));
+            .and_then(|prev| baseline_field(&prev, "echo_cdr", "allocs_per_call"));
         match base {
             Some(base) => {
                 let measured = echo_cdr.allocs_per_call;
@@ -1066,6 +1285,36 @@ fn roundtrip(quick: bool) {
                 );
             }
             None => println!("alloc gate skipped: no parsable HEIDL_BENCH_BASELINE"),
+        }
+    }
+
+    // CI throughput ratchet (HEIDL_BENCH_ASSERT_CPS=1): CDR echo round-trip
+    // throughput must stay within 15% of the checked-in baseline. The
+    // margin is generous because shared runners are noisy — this trips on
+    // real regressions (a lock or allocation storm on the hot path), not
+    // on scheduler jitter.
+    if std::env::var("HEIDL_BENCH_ASSERT_CPS").is_ok() {
+        let base = std::env::var("HEIDL_BENCH_BASELINE")
+            .ok()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|prev| baseline_field(&prev, "echo_cdr", "calls_per_sec"));
+        match base {
+            Some(base) if base > 0.0 => {
+                let measured = echo_cdr.calls_per_sec;
+                let floor = base * 0.85;
+                if measured < floor {
+                    eprintln!(
+                        "throughput regression: echo_cdr {measured:.0} calls/sec < floor \
+                         {floor:.0} (baseline {base:.0}, 15% margin)"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "cps gate ok: echo_cdr {measured:.0} calls/sec \
+                     (baseline {base:.0}, floor {floor:.0})"
+                );
+            }
+            _ => println!("cps gate skipped: no parsable HEIDL_BENCH_BASELINE"),
         }
     }
 }

@@ -19,7 +19,7 @@
 //! uses a sharded pending table, so concurrent callers on one connection
 //! do not serialize on a single registration lock.
 
-use crate::breaker::{BreakerConfig, BreakerObserver, CircuitBreaker};
+use crate::breaker::{BreakerConfig, BreakerObserver, BreakerState, CircuitBreaker};
 use crate::call::peek_reply_id;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
@@ -631,6 +631,47 @@ pub struct ConnectionPool {
     /// Observer attached to breakers as they are created (the owning
     /// ORB's metrics registry counts their transitions).
     breaker_observer: Mutex<Option<Arc<dyn BreakerObserver>>>,
+    /// Endpoint-aware transition listeners (see
+    /// [`ConnectionPool::add_breaker_listener`]). Shared with the adapter
+    /// observer wrapped around every breaker, so listeners registered
+    /// *after* a breaker was created still hear its transitions.
+    breaker_listeners: Arc<Mutex<Vec<Arc<dyn BreakerListener>>>>,
+}
+
+/// Endpoint-aware circuit-breaker transition notifications.
+///
+/// [`BreakerObserver`] deliberately carries no endpoint (a breaker does
+/// not know what it guards); the pool does, so it wraps every breaker it
+/// creates with an adapter that forwards transitions here *with* the
+/// endpoint attached. Resolver caches use this to invalidate cached
+/// `resolve` results the moment a failover leg trips [`BreakerState::Open`]
+/// — rather than dialing a dead backend for a full cache TTL.
+pub trait BreakerListener: Send + Sync {
+    /// Called once per state transition of the breaker guarding
+    /// `endpoint`, outside the breaker's lock (listeners may call back
+    /// into the pool).
+    fn on_breaker_transition(&self, endpoint: &Endpoint, from: BreakerState, to: BreakerState);
+}
+
+/// The pool's per-breaker observer: forwards to the ORB-level observer
+/// (metrics) and fans out to the endpoint-aware listeners.
+struct EndpointObserver {
+    endpoint: Endpoint,
+    inner: Option<Arc<dyn BreakerObserver>>,
+    listeners: Arc<Mutex<Vec<Arc<dyn BreakerListener>>>>,
+}
+
+impl BreakerObserver for EndpointObserver {
+    fn on_transition(&self, from: BreakerState, to: BreakerState) {
+        if let Some(obs) = &self.inner {
+            obs.on_transition(from, to);
+        }
+        // Snapshot under the lock, notify outside it.
+        let listeners = self.listeners.lock().clone();
+        for listener in listeners {
+            listener.on_breaker_transition(&self.endpoint, from, to);
+        }
+    }
 }
 
 impl std::fmt::Debug for ConnectionPool {
@@ -662,6 +703,7 @@ impl ConnectionPool {
             breakers: Mutex::new(HashMap::new()),
             breaker_config: Mutex::new(BreakerConfig::disabled()),
             breaker_observer: Mutex::new(None),
+            breaker_listeners: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -694,6 +736,14 @@ impl ConnectionPool {
         *self.breaker_observer.lock() = Some(observer);
     }
 
+    /// Registers an endpoint-aware [`BreakerListener`]. Unlike
+    /// [`ConnectionPool::set_breaker_observer`], listeners take effect for
+    /// *already-created* breakers too — every breaker's adapter observer
+    /// reads the shared listener list at notification time.
+    pub fn add_breaker_listener(&self, listener: Arc<dyn BreakerListener>) {
+        self.breaker_listeners.lock().push(listener);
+    }
+
     /// The circuit breaker guarding `endpoint`, created on first use.
     ///
     /// Breakers are deliberately *not* evicted with their connections
@@ -708,10 +758,12 @@ impl ConnectionPool {
             return Arc::clone(b);
         }
         let config = *self.breaker_config.lock();
-        let b = Arc::new(match self.breaker_observer.lock().clone() {
-            Some(obs) => CircuitBreaker::with_observer(config, obs),
-            None => CircuitBreaker::new(config),
+        let adapter = Arc::new(EndpointObserver {
+            endpoint: endpoint.clone(),
+            inner: self.breaker_observer.lock().clone(),
+            listeners: Arc::clone(&self.breaker_listeners),
         });
+        let b = Arc::new(CircuitBreaker::with_observer(config, adapter));
         breakers.insert(endpoint.clone(), Arc::clone(&b));
         b
     }

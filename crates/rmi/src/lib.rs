@@ -36,6 +36,12 @@
 //!   re-executing the servant), and mux-level liveness via
 //!   `OrbBuilder::heartbeat` (idle pooled connections are pinged; dead
 //!   peers are evicted and tokened calls reconnect transparently);
+//! * a **multi-node tier** — a [`Router`](router) fronting many backends
+//!   behind one reference (bodies forwarded verbatim so tokens, trace
+//!   context and request ids survive the hop; untokened calls
+//!   round-robin, tokened calls pin to one backend's replay cache;
+//!   membership comes from a live [`BackendSource`](router::BackendSource)
+//!   such as the `heidl-router` crate's directory-backed resolver);
 //! * swappable wire protocols (text or CDR/GIOP-lite) from `heidl-wire`.
 //!
 //! ## A complete round trip
@@ -102,6 +108,7 @@ pub mod policy;
 mod replay;
 mod result_cache;
 pub mod retry;
+pub mod router;
 pub mod serialize;
 mod server;
 pub mod skeleton;
@@ -114,7 +121,9 @@ pub use call::{
     peek_reply_status, peek_request_header, peek_request_header_limited, Call, IncomingCall,
     InvocationToken, Reply, ReplyBuilder, ReplyStatus, BUSY_REPO_ID,
 };
-pub use communicator::{CheckedOut, ConnectionPool, MuxConnection, ObjectCommunicator};
+pub use communicator::{
+    BreakerListener, CheckedOut, ConnectionPool, MuxConnection, ObjectCommunicator,
+};
 pub use dispatch::{DispatchKind, DispatchStrategy, MethodTable};
 pub use dynamic::{DynCall, DynResults, DynValue};
 pub use error::{RmiError, RmiResult};
@@ -122,9 +131,12 @@ pub use fault::{Fault, FaultInjector, FaultOp, FaultPlan, FaultRule, FaultyConne
 pub use interceptor::{CallInfo, CallPhase, FnInterceptor, Interceptor};
 pub use metrics::{Counter, Histogram, Metrics, MetricsSnapshot, OpSnapshot, OpStats};
 pub use objref::{Endpoint, ObjectRef};
-pub use orb::{CallOptions, CallOptionsBuilder, Orb, OrbBuilder};
+pub use orb::{live_heartbeat_threads, CallOptions, CallOptionsBuilder, Orb, OrbBuilder};
 pub use policy::{ServerHealth, ServerPolicy};
 pub use retry::{classify, Backoff, RetryClass, RetryPolicy};
+pub use router::{
+    BackendSource, Router, RouterBuilder, RouterPolicy, SharedBackends, ROUTER_FORWARD_REPO_ID,
+};
 pub use serialize::{
     marshal_reference, marshal_value, unmarshal_incopy, IncopyArg, RemoteObject, ValueRegistry,
     ValueSerialize,

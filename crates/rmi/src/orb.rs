@@ -35,7 +35,7 @@ use crate::skeleton::Skeleton;
 use crate::trace::{self, CallContext, TraceLevel};
 use crate::transport::Connector;
 use heidl_wire::{pool, Encoder, PooledBuf, Protocol, TextProtocol};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -357,18 +357,103 @@ impl OrbBuilder {
                 result_cache: ResultCache::default(),
                 session_id: fresh_session_id(),
                 token_seq: AtomicU64::new(1),
+                heartbeat: Mutex::new(None),
             }),
         };
         if let Some(interval) = self.heartbeat_interval {
             // The loop holds only a `Weak`: dropping the last ORB handle
-            // lets the thread notice and exit on its next tick.
+            // lets the thread notice and exit on its next tick. The join
+            // handle lives in `OrbInner` so shutdown (and drop) can stop
+            // the prober *and wait for it* — no detached thread outlives
+            // the ORB.
             let weak = Arc::downgrade(&orb.inner);
-            std::thread::Builder::new()
+            let stop = Arc::new(StopSignal::default());
+            let thread_stop = Arc::clone(&stop);
+            let thread = std::thread::Builder::new()
                 .name("heidl-heartbeat".to_owned())
-                .spawn(move || heartbeat_loop(weak, interval))
+                .spawn(move || heartbeat_loop(weak, interval, thread_stop))
                 .expect("spawn heartbeat thread");
+            *orb.inner.heartbeat.lock() = Some(HeartbeatHandle { stop, thread: Some(thread) });
         }
         orb
+    }
+}
+
+/// A settable flag threads can wait on with a timeout: the heartbeat
+/// prober parks here between ticks, so a shutdown wakes it immediately
+/// instead of waiting out the tick.
+#[derive(Default)]
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    /// Requests a stop and wakes every waiter.
+    fn request(&self) {
+        *self.stopped.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `timeout` for a stop request. Returns `true` when the
+    /// stop was requested (spurious wakeups re-check the flag).
+    fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stopped = self.stopped.lock();
+        while !*stopped {
+            let Some(remaining) =
+                deadline.checked_duration_since(Instant::now()).filter(|r| !r.is_zero())
+            else {
+                return *stopped;
+            };
+            self.cv.wait_for(&mut stopped, remaining);
+        }
+        true
+    }
+}
+
+/// Stop signal plus join handle for the heartbeat prober thread.
+struct HeartbeatHandle {
+    stop: Arc<StopSignal>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatHandle {
+    /// Signals the prober to exit and joins it. Idempotent.
+    fn stop_and_join(&mut self) {
+        self.stop.request();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Number of heartbeat prober threads currently running in this process.
+///
+/// Diagnostics for shutdown correctness: after `Orb::shutdown` (or drop
+/// of the last handle) of every heartbeating ORB, this returns to zero —
+/// the regression test for "no detached threads outlive the ORB" asserts
+/// exactly that.
+pub fn live_heartbeat_threads() -> usize {
+    LIVE_HEARTBEATS.load(Ordering::SeqCst) as usize
+}
+
+static LIVE_HEARTBEATS: AtomicU64 = AtomicU64::new(0);
+
+/// RAII increment of [`LIVE_HEARTBEATS`] for the prober's whole lifetime,
+/// so a panicking scan still decrements on unwind.
+struct HeartbeatAlive;
+
+impl HeartbeatAlive {
+    fn enter() -> HeartbeatAlive {
+        LIVE_HEARTBEATS.fetch_add(1, Ordering::SeqCst);
+        HeartbeatAlive
+    }
+}
+
+impl Drop for HeartbeatAlive {
+    fn drop(&mut self) {
+        LIVE_HEARTBEATS.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -389,10 +474,13 @@ fn fresh_session_id() -> u64 {
 /// the interval so a connection is probed within ~1.5 intervals of going
 /// idle; each tick scans a pool snapshot and pings only connections that
 /// are alive, unborrowed, quiescent, and idle past the interval.
-fn heartbeat_loop(orb: Weak<OrbInner>, interval: Duration) {
+fn heartbeat_loop(orb: Weak<OrbInner>, interval: Duration, stop: Arc<StopSignal>) {
+    let _alive = HeartbeatAlive::enter();
     let tick = (interval / 2).clamp(Duration::from_millis(5), Duration::from_millis(500));
     loop {
-        std::thread::sleep(tick);
+        if stop.wait(tick) {
+            return;
+        }
         let Some(inner) = orb.upgrade() else { return };
         for (endpoint, conns) in inner.pool.scan() {
             for conn in conns {
@@ -462,6 +550,11 @@ pub(crate) struct OrbInner {
     /// original token — the sequence advances once per *invocation*, not
     /// per attempt.
     token_seq: AtomicU64,
+    /// The heartbeat prober's stop signal and join handle (`None` when
+    /// heartbeats are off, or once the prober has been joined). Shutdown
+    /// and drop both stop-and-join through this, so the prober can never
+    /// outlive the ORB.
+    heartbeat: Mutex<Option<HeartbeatHandle>>,
 }
 
 impl std::fmt::Debug for Orb {
@@ -549,7 +642,9 @@ impl Orb {
     }
 
     /// Stops accepting connections. Existing connections drain naturally.
+    /// Also stops and joins the heartbeat prober, if one is running.
     pub fn shutdown(&self) {
+        self.stop_heartbeat();
         if let Some(handle) = self.inner.server.lock().take() {
             handle.stop();
         }
@@ -562,6 +657,7 @@ impl Orb {
     /// the budget (`false` = some dispatch was cut off), and `true` when
     /// the ORB was not serving.
     pub fn shutdown_and_drain(&self) -> bool {
+        self.stop_heartbeat();
         // Take the handle *then* release the server lock: draining can
         // take up to `drain_timeout`, and in-flight dispatches may read
         // ORB state that must not deadlock behind this mutex.
@@ -569,6 +665,22 @@ impl Orb {
         match handle {
             Some(h) => h.stop_and_drain(),
             None => true,
+        }
+    }
+
+    /// Stops and joins the heartbeat prober (idempotent; no-op when
+    /// heartbeats were never enabled). The join is bounded: the prober
+    /// parks on the stop signal between ticks, and a mid-scan prober
+    /// finishes its current probe (itself deadline-bounded) before it
+    /// re-checks.
+    fn stop_heartbeat(&self) {
+        // Take the handle *then* release the lock: joining can block for
+        // the tail of an in-flight probe, and the prober never takes this
+        // lock, but keeping join outside the critical section is cheap
+        // insurance against future lock-order knots.
+        let handle = self.inner.heartbeat.lock().take();
+        if let Some(mut h) = handle {
+            h.stop_and_join();
         }
     }
 
@@ -1121,6 +1233,13 @@ impl Orb {
 
 impl Drop for OrbInner {
     fn drop(&mut self) {
+        // Join the heartbeat prober first: it holds only a `Weak` to this
+        // inner (upgrade now fails), so the join is bounded by one tick
+        // plus the tail of an in-flight probe.
+        if let Some(handle) = self.heartbeat.get_mut().take() {
+            let mut handle = handle;
+            handle.stop_and_join();
+        }
         if let Some(handle) = self.server.get_mut().take() {
             handle.stop();
         }

@@ -137,14 +137,15 @@ impl ReplayCache {
         evicted
     }
 
-    /// Number of live entries (in-flight + completed).
-    #[cfg(test)]
+    /// Number of live entries (in-flight + completed). Sampled as a gauge
+    /// by the server's `_metrics.dump`, so cache occupancy is observable
+    /// remotely (the multi-session churn test asserts boundedness here).
     pub(crate) fn len(&self) -> usize {
         self.inner.lock().expect("replay cache poisoned").entries.len()
     }
 
-    /// Bytes of cached reply bodies currently held.
-    #[cfg(test)]
+    /// Bytes of cached reply bodies currently held (same gauge role as
+    /// [`ReplayCache::len`]).
     pub(crate) fn bytes(&self) -> usize {
         self.inner.lock().expect("replay cache poisoned").bytes
     }

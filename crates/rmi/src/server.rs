@@ -733,6 +733,8 @@ fn dispatch_metrics(
                 ("pool_opened", pool.opened_count()),
                 ("pool_pooled", pool.pooled_count() as u64),
                 ("pool_pending", pool.pending_total() as u64),
+                ("reply_cache_entries", shared.replay.len() as u64),
+                ("reply_cache_bytes", shared.replay.bytes() as u64),
             ];
             let rows = metrics.dump_rows(&gauges);
             let enc = reply.results();

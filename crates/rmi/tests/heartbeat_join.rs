@@ -1,0 +1,66 @@
+//! Regression: the heartbeat scan thread is *joined* — never abandoned —
+//! when its ORB shuts down or is dropped, and the join completes within
+//! the drain timeout even when the heartbeat interval is hours long (the
+//! stop signal interrupts the sleep; the join does not wait out a tick).
+//!
+//! These assertions read [`live_heartbeat_threads`], a process-global
+//! gauge, so they live in their own test binary as a single sequential
+//! test: parallel tests elsewhere that build heartbeat ORBs would make
+//! exact counts racy.
+
+use heidl_rmi::{live_heartbeat_threads, Orb, ServerPolicy};
+use std::time::{Duration, Instant};
+
+/// The spawned thread bumps the gauge from inside its own stack frame, so
+/// right after `build()` the count may still be catching up — wait for
+/// the increment. (Decrements need no such grace: a join returning
+/// guarantees the thread, and its RAII guard, are gone.)
+fn wait_for_spawn(expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while live_heartbeat_threads() != expected {
+        assert!(
+            Instant::now() < deadline,
+            "scan thread never started: gauge stuck at {}",
+            live_heartbeat_threads()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn heartbeat_threads_join_on_shutdown_and_on_drop() {
+    assert_eq!(live_heartbeat_threads(), 0, "fresh process: no scan threads yet");
+
+    // Explicit shutdown joins the thread, fast, despite a 1-hour interval.
+    let client = Orb::builder().heartbeat(Duration::from_secs(3600)).build();
+    wait_for_spawn(1);
+    let started = Instant::now();
+    client.shutdown();
+    assert_eq!(
+        live_heartbeat_threads(),
+        0,
+        "shutdown() must join the heartbeat thread, not abandon it"
+    );
+    assert!(
+        started.elapsed() < ServerPolicy::default().drain_timeout,
+        "join took {:?}, longer than the drain timeout, despite the stop signal",
+        started.elapsed()
+    );
+
+    // Shutdown is idempotent about the (now absent) thread.
+    client.shutdown();
+    assert_eq!(live_heartbeat_threads(), 0);
+
+    // Dropping the last handle without an explicit shutdown also joins —
+    // no thread may outlive its ORB.
+    let dropped = Orb::builder().heartbeat(Duration::from_secs(3600)).build();
+    wait_for_spawn(1);
+    drop(dropped);
+    assert_eq!(live_heartbeat_threads(), 0, "drop must join the heartbeat thread");
+
+    // A shutdown-then-drain ORB (the graceful server path) joins too.
+    let drained = Orb::builder().heartbeat(Duration::from_millis(50)).build();
+    wait_for_spawn(1);
+    drained.shutdown_and_drain();
+    assert_eq!(live_heartbeat_threads(), 0, "shutdown_and_drain must join the heartbeat thread");
+}

@@ -1,0 +1,194 @@
+//! Reply-cache churn under many short-lived client sessions.
+//!
+//! One server with a deliberately tiny reply cache (short TTL, small byte
+//! cap) serves a parade of fresh client ORBs — each a new session id, so
+//! each call is a new `(session, seq)` token. The cache must stay bounded
+//! through the churn (TTL purge first, byte-cap eviction as backstop),
+//! dedup must still work while entries are live, and the accounting must
+//! balance: every completed call's entry is either still cached or was
+//! counted in `ReplyCacheEvictions` — observed via the remote `_metrics`
+//! object's gauges, not by peeking at server internals.
+
+use heidl_rmi::fault::{Fault, FaultOp, FaultPlan, FaultRule, FaultyConnector};
+use heidl_rmi::retry::RetryPolicy;
+use heidl_rmi::*;
+use heidl_wire::{Decoder, Encoder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reply payload size: big enough that a handful of replies cross the
+/// byte cap.
+const PAYLOAD: usize = 128;
+const CACHE_BYTES: usize = 1024;
+const CACHE_TTL: Duration = Duration::from_millis(400);
+
+struct PayloadSkel {
+    base: SkeletonBase,
+    executions: Arc<AtomicU64>,
+}
+
+impl Skeleton for PayloadSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let tag = args.get_long()?;
+                self.executions.fetch_add(1, Ordering::SeqCst);
+                reply.put_long(tag);
+                reply.put_string(&"x".repeat(PAYLOAD));
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn spawn_small_cache_server() -> (Orb, ObjectRef, Arc<AtomicU64>) {
+    let orb = Orb::builder()
+        .server_policy(
+            ServerPolicy::default()
+                .with_reply_cache_ttl(CACHE_TTL)
+                .with_reply_cache_max_bytes(CACHE_BYTES),
+        )
+        .build();
+    orb.serve("127.0.0.1:0").unwrap();
+    let executions = Arc::new(AtomicU64::new(0));
+    let objref = orb
+        .export(Arc::new(PayloadSkel {
+            base: SkeletonBase::new("IDL:Test/Payload:1.0", DispatchKind::Hash, ["get"], vec![]),
+            executions: Arc::clone(&executions),
+        }))
+        .unwrap();
+    (orb, objref, executions)
+}
+
+fn get(orb: &Orb, objref: &ObjectRef, tag: i32) -> RmiResult<i32> {
+    let mut call = orb.call(objref, "get");
+    call.args().put_long(tag);
+    let options = CallOptions::builder().retry_class(RetryClass::ExactlyOnce).build();
+    let mut reply = orb.invoke_with(call, options)?;
+    let echoed = reply.results().get_long()?;
+    assert_eq!(reply.results().get_string()?.len(), PAYLOAD);
+    Ok(echoed)
+}
+
+/// Reads the `reply_cache_entries` / `reply_cache_bytes` gauges through
+/// the server's own `_metrics.dump` — the remote observer's view.
+fn remote_cache_gauges(client: &Orb, metrics_ref: &ObjectRef) -> (u64, u64) {
+    let mut res = DynCall::new(client, metrics_ref, "dump").invoke().unwrap();
+    let rows = res.next_ulong().unwrap();
+    let (mut entries, mut bytes) = (None, None);
+    for _ in 0..rows {
+        let row = res.next_string().unwrap();
+        let mut fields = row.split_whitespace();
+        match (fields.next(), fields.next()) {
+            (Some("reply_cache_entries"), Some(v)) => entries = v.parse().ok(),
+            (Some("reply_cache_bytes"), Some(v)) => bytes = v.parse().ok(),
+            _ => {}
+        }
+    }
+    (entries.expect("entries gauge in dump"), bytes.expect("bytes gauge in dump"))
+}
+
+#[test]
+fn multi_session_churn_keeps_the_reply_cache_bounded() {
+    let (server, objref, executions) = spawn_small_cache_server();
+    let metrics_ref = server.metrics_ref().unwrap();
+    let probe = Orb::new();
+    let mut issued: u64 = 0;
+
+    // Phase 1 — dedup still works while churn is underway: a faulty
+    // client loses replies after the server executed, and every retry
+    // replays from the cache instead of re-executing.
+    let seed: u64 =
+        std::env::var("HEIDL_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let plan = Arc::new(FaultPlan::new(seed));
+    plan.add_rule(
+        FaultRule::always(FaultOp::Recv, Fault::DropConnection)
+            .at(&objref.endpoint.socket_addr())
+            .when(fault::Trigger::Probability(0.3)),
+    );
+    let faulty = Orb::builder()
+        .connector(Arc::new(FaultyConnector::over_tcp(Arc::clone(&plan))))
+        .retry_policy(
+            RetryPolicy::default()
+                .with_max_attempts(10)
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(5))
+                .with_jitter_seed(seed),
+        )
+        .build();
+    for i in 0..25 {
+        assert_eq!(get(&faulty, &objref, i).unwrap(), i, "call {i} under reply drops");
+        issued += 1;
+    }
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        issued,
+        "lost replies were replayed, never re-executed"
+    );
+    assert!(faulty.metrics().get(Counter::Retries) >= 1, "the fault plan actually bit");
+    assert!(
+        server.metrics().get(Counter::DedupReplays) >= 1,
+        "at least one retry was answered from the reply cache"
+    );
+    faulty.shutdown();
+
+    // Phase 2 — session churn: a parade of short-lived ORBs, each its own
+    // session id, each call a fresh token. Total reply bytes are several
+    // times the cap, so the byte cap must evict; the cache stays bounded.
+    for session in 0..10 {
+        let client = Orb::new();
+        for i in 0..5 {
+            let tag = 1000 + session * 10 + i;
+            assert_eq!(get(&client, &objref, tag).unwrap(), tag);
+            issued += 1;
+        }
+        client.shutdown();
+        let (entries, bytes) = remote_cache_gauges(&probe, &metrics_ref);
+        assert!(
+            bytes <= CACHE_BYTES as u64,
+            "session {session}: cache bytes {bytes} above the {CACHE_BYTES}-byte cap"
+        );
+        assert!(entries <= issued, "gauge can never exceed completed calls");
+    }
+    let evictions_after_churn = server.metrics().get(Counter::ReplyCacheEvictions);
+    assert!(
+        evictions_after_churn > 0,
+        "several KB of replies against a {CACHE_BYTES}-byte cap must evict"
+    );
+
+    // Phase 3 — TTL is the first line of defense: after an idle window
+    // longer than the TTL, the next tokened call purges the leftovers, so
+    // occupancy collapses to (about) that one call regardless of the cap.
+    std::thread::sleep(CACHE_TTL + Duration::from_millis(150));
+    let late = Orb::new();
+    assert_eq!(get(&late, &objref, 9999).unwrap(), 9999);
+    issued += 1;
+    let (entries, bytes) = remote_cache_gauges(&probe, &metrics_ref);
+    assert!(entries <= 2, "TTL purge on next begin(): {entries} entries survived the idle window");
+    assert!(bytes <= 2 * (PAYLOAD as u64 + 64), "stale bytes were purged: {bytes}");
+    late.shutdown();
+
+    // Conservation: every completed call made exactly one cache entry,
+    // and entries only leave through the (counted) TTL purge or byte-cap
+    // eviction — so live + evicted = issued, with the dedup replays
+    // accounted separately.
+    let evicted = server.metrics().get(Counter::ReplyCacheEvictions);
+    assert_eq!(
+        entries + evicted,
+        issued,
+        "cache accounting must balance: {entries} live + {evicted} evicted vs {issued} issued"
+    );
+
+    probe.shutdown();
+    server.shutdown();
+}

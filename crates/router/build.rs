@@ -1,0 +1,21 @@
+//! Build script: compiles `idl/discovery.idl` — the discovery tier's own
+//! interface, written in heidl IDL — with the `rust` backend. The
+//! directory service is defined by the same compiler it serves: its
+//! stubs and skeletons are generated, not hand-written.
+
+use std::path::PathBuf;
+
+fn main() {
+    let idl_path = "../../idl/discovery.idl";
+    println!("cargo:rerun-if-changed={idl_path}");
+    let idl = std::fs::read_to_string(idl_path).expect("read idl/discovery.idl");
+    let files = heidl_codegen::compile("rust", &idl, "discovery")
+        .unwrap_or_else(|e| panic!("heidlc failed on idl/discovery.idl: {e}"));
+    let out_dir = PathBuf::from(std::env::var("OUT_DIR").expect("OUT_DIR"));
+    files.write_to(&out_dir).expect("write generated code");
+    assert!(
+        files.file("discovery.rs").is_some(),
+        "rust backend should emit discovery.rs, got {:?}",
+        files.names()
+    );
+}

@@ -1,0 +1,253 @@
+//! `heidl-node` — one binary, three cluster roles.
+//!
+//! ```text
+//! heidl-node directory --listen 127.0.0.1:7001
+//! heidl-node backend   --listen 127.0.0.1:7101 --directory <REF> --name echo
+//! heidl-node router    --listen 127.0.0.1:7201 --directory <REF> --name echo
+//! ```
+//!
+//! `<REF>` is the stringified reference a `directory` node prints on
+//! startup; for a replicated directory, join the replicas' endpoints into
+//! one failover reference (`@tcp:h:7001,tcp:h:7002,tcp:h:7003#1#...`).
+//!
+//! Every role runs until stdin closes (or a `quit` line), then shuts down
+//! cleanly — backends deregister their lease first. See README, "Running a
+//! multi-node cluster over telnet", for a full walkthrough.
+
+use heidl_rmi::{
+    DispatchKind, DispatchOutcome, ObjectRef, Orb, RmiResult, Router, Skeleton, SkeletonBase,
+};
+use heidl_router::{DirectoryClient, DirectoryServer, Resolver};
+use heidl_wire::{Decoder, Encoder};
+use std::io::BufRead;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Repository id of the demo service every `backend` node serves.
+const ECHO_REPO_ID: &str = "IDL:heidl/Echo:1.0";
+
+/// Lease TTL backends register with (renewed at a third of this).
+const DEFAULT_TTL_MS: i32 = 3000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((role, rest)) = args.split_first() else {
+        usage_and_exit(None);
+    };
+    let opts = Opts::parse(rest).unwrap_or_else(|e| usage_and_exit(Some(&e)));
+    let result = match role.as_str() {
+        "directory" => run_directory(&opts),
+        "backend" => run_backend(&opts),
+        "router" => run_router(&opts),
+        other => usage_and_exit(Some(&format!("unknown role `{other}`"))),
+    };
+    if let Err(e) = result {
+        eprintln!("heidl-node: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Parsed `--flag value` pairs; every role uses a subset.
+struct Opts {
+    listen: String,
+    directory: Option<ObjectRef>,
+    name: String,
+    ttl_ms: i32,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut opts = Opts {
+            listen: "127.0.0.1:0".to_owned(),
+            directory: None,
+            name: "echo".to_owned(),
+            ttl_ms: DEFAULT_TTL_MS,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value =
+                || it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"));
+            match flag.as_str() {
+                "--listen" => opts.listen = value()?,
+                "--directory" => {
+                    let text = value()?;
+                    opts.directory =
+                        Some(text.parse().map_err(|e| format!("bad --directory ref: {e}"))?);
+                }
+                "--name" => opts.name = value()?,
+                "--ttl-ms" => {
+                    opts.ttl_ms = value()?.parse().map_err(|e| format!("bad --ttl-ms: {e}"))?;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn directory(&self) -> Result<&ObjectRef, String> {
+        self.directory.as_ref().ok_or_else(|| "--directory <REF> is required".to_owned())
+    }
+}
+
+fn usage_and_exit(error: Option<&str>) -> ! {
+    if let Some(e) = error {
+        eprintln!("heidl-node: {e}\n");
+    }
+    eprintln!(
+        "usage: heidl-node <role> [flags]\n\
+         \n\
+         roles:\n\
+         \x20 directory --listen HOST:PORT\n\
+         \x20 backend   --listen HOST:PORT --directory REF [--name SVC] [--ttl-ms N]\n\
+         \x20 router    --listen HOST:PORT --directory REF [--name SVC]\n\
+         \n\
+         REF is the reference a directory node prints; comma-join endpoints\n\
+         for a replicated directory. Each role runs until stdin closes or a\n\
+         `quit` line arrives, then shuts down cleanly."
+    );
+    std::process::exit(2);
+}
+
+/// Blocks until stdin reaches EOF or a line says `quit` / `exit`.
+fn wait_for_quit() {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if matches!(l.trim(), "quit" | "exit") => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn run_directory(opts: &Opts) -> Result<(), String> {
+    let server = DirectoryServer::start(&opts.listen).map_err(|e| e.to_string())?;
+    println!("directory ready");
+    println!("  ref: {}", server.object_ref());
+    println!("  (join replica endpoints into one REF for failover)");
+    wait_for_quit();
+    server.shutdown();
+    println!("directory stopped");
+    Ok(())
+}
+
+/// The demo servant: `echo` returns its argument unchanged, `whoami`
+/// names the node that served the call — telnet to the router, call
+/// `whoami` a few times, and watch it hop between backends.
+struct EchoNode {
+    base: SkeletonBase,
+    identity: String,
+}
+
+impl Skeleton for EchoNode {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let text = args.get_string()?;
+                reply.put_string(&text);
+                Ok(DispatchOutcome::Handled)
+            }
+            Some(1) => {
+                reply.put_string(&self.identity);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn run_backend(opts: &Opts) -> Result<(), String> {
+    let directory_ref = opts.directory()?.clone();
+    let orb = Orb::new();
+    let endpoint = orb.serve(&opts.listen).map_err(|e| e.to_string())?;
+    let objref = orb
+        .export(Arc::new(EchoNode {
+            base: SkeletonBase::new(ECHO_REPO_ID, DispatchKind::Hash, ["echo", "whoami"], vec![]),
+            identity: endpoint.socket_addr(),
+        }))
+        .map_err(|e| e.to_string())?;
+
+    let client = DirectoryClient::new(orb.clone(), directory_ref);
+    let provider = objref.to_string();
+    client
+        .register(&opts.name, &provider, opts.ttl_ms)
+        .map_err(|e| format!("initial register failed: {e}"))?;
+    println!("backend ready");
+    println!("  ref: {provider}");
+    println!("  registered as `{}`, lease {} ms", opts.name, opts.ttl_ms);
+
+    // Renew the lease at a third of its TTL until told to stop; a renewal
+    // that reaches any replica keeps the lease alive, and renewals repair
+    // replicas that missed earlier writes.
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let renew_every = Duration::from_millis((opts.ttl_ms as u64 / 3).max(1));
+    let renewer = {
+        let name = opts.name.clone();
+        let provider = provider.clone();
+        let ttl_ms = opts.ttl_ms;
+        std::thread::Builder::new()
+            .name("heidl-lease-renew".to_owned())
+            .spawn(move || {
+                while stop_rx.recv_timeout(renew_every) == Err(mpsc::RecvTimeoutError::Timeout) {
+                    if let Err(e) = client.register(&name, &provider, ttl_ms) {
+                        eprintln!("lease renewal failed (will retry): {e}");
+                    }
+                }
+                // Departing gracefully: drop the lease instead of letting
+                // it age out.
+                let _ = client.deregister(&name, &provider);
+            })
+            .expect("spawn renewer")
+    };
+
+    wait_for_quit();
+    drop(stop_tx);
+    let _ = renewer.join();
+    orb.shutdown_and_drain();
+    println!("backend stopped");
+    Ok(())
+}
+
+fn run_router(opts: &Opts) -> Result<(), String> {
+    let directory_ref = opts.directory()?.clone();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), directory_ref);
+    let resolver = Resolver::new(client, opts.name.clone());
+    let router =
+        Router::builder(resolver.clone()).start(&opts.listen).map_err(|e| e.to_string())?;
+    // Satellite: a breaker tripping open on any backend leg drops the
+    // cached resolution, so the next call re-reads the directory.
+    router.pool().add_breaker_listener(resolver.clone());
+
+    println!("router ready on {}", router.endpoint());
+    match resolver.resolved_ref() {
+        Some(backend) => {
+            println!("  service `{}` -> {}", opts.name, backend);
+            println!("  clients call: {}", router.service_ref(backend.object_id, &backend.type_id));
+        }
+        None => {
+            println!(
+                "  service `{}` has no providers yet; clients call \
+                 {} once backends register",
+                opts.name,
+                router.service_ref(1, ECHO_REPO_ID)
+            );
+        }
+    }
+
+    wait_for_quit();
+    router.shutdown();
+    orb.shutdown();
+    println!("router stopped");
+    Ok(())
+}

@@ -1,0 +1,374 @@
+//! The directory service: TTL-leased name registrations behind the
+//! IDL-defined [`Directory`](crate::discovery) interface, replicated by
+//! running N independent [`DirectoryServer`]s.
+//!
+//! Replication is deliberately coordination-free (write-all/read-any):
+//! registrars write every replica they can reach, resolvers read any one
+//! through a failover reference, and the TTL lease renewal loop repairs
+//! replicas that missed a write — a replica that was partitioned during a
+//! `register` converges on the next renewal, and one that missed a
+//! `deregister` converges when the lease expires. Generations are
+//! per-replica (they order one replica's answers, not the cluster's).
+
+use crate::discovery::{DirectorySkel, Directory_REPO_ID, Membership, NotFound};
+use heidl_rmi::{DispatchKind, Endpoint, ObjectRef, Orb, RmiResult, ServerPolicy};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One name's lease table: provider ref string → lease expiry.
+type Leases = HashMap<String, Instant>;
+
+#[derive(Default)]
+struct CoreState {
+    names: HashMap<String, Leases>,
+    generation: i64,
+}
+
+/// The directory's lease table and generation counter — the servant
+/// state behind one replica, shared with its lease reaper.
+#[derive(Default)]
+pub struct DirectoryCore {
+    state: Mutex<CoreState>,
+}
+
+impl DirectoryCore {
+    /// An empty directory at generation 0.
+    pub fn new() -> DirectoryCore {
+        DirectoryCore::default()
+    }
+
+    /// Grants or renews `provider`'s lease under `name` for `ttl_ms`.
+    /// Renewals do not bump the generation (membership did not change);
+    /// new leases do. Returns the generation after the change.
+    pub fn register(&self, name: &str, provider: &str, ttl_ms: i32) -> i64 {
+        let ttl = Duration::from_millis(u64::from(ttl_ms.max(1).unsigned_abs()));
+        let mut state = self.state.lock();
+        let leases = state.names.entry(name.to_owned()).or_default();
+        let fresh = leases.insert(provider.to_owned(), Instant::now() + ttl).is_none();
+        if fresh {
+            state.generation += 1;
+        }
+        state.generation
+    }
+
+    /// Drops `provider`'s lease under `name` (a no-op when absent).
+    /// Returns the generation after the change.
+    pub fn deregister(&self, name: &str, provider: &str) -> i64 {
+        let mut state = self.state.lock();
+        if let Some(leases) = state.names.get_mut(name) {
+            if leases.remove(provider).is_some() {
+                state.generation += 1;
+            }
+            if state.names.get(name).is_some_and(Leases::is_empty) {
+                state.names.remove(name);
+            }
+        }
+        state.generation
+    }
+
+    /// The membership of `name`: generation, combined failover ref (empty
+    /// string when no live providers), and live provider count. Expired
+    /// leases are purged first, so a crashed backend ages out of answers
+    /// even between reaper ticks.
+    pub fn membership(&self, name: &str) -> (i64, String, i32) {
+        let mut state = self.state.lock();
+        purge(&mut state, Instant::now());
+        let Some(leases) = state.names.get(name) else {
+            return (state.generation, String::new(), 0);
+        };
+        // Deterministic provider order (registration timestamps are not
+        // reproducible) so every replica builds the same combined ref
+        // from the same lease set.
+        let mut providers: Vec<&String> = leases.keys().collect();
+        providers.sort();
+        let combined = combine_refs(&providers);
+        (state.generation, combined, providers.len() as i32)
+    }
+
+    /// Current generation (expired leases purged first, so the counter
+    /// reflects ages-outs promptly).
+    pub fn generation(&self) -> i64 {
+        let mut state = self.state.lock();
+        purge(&mut state, Instant::now());
+        state.generation
+    }
+
+    /// Drops every expired lease; returns how many were reaped.
+    pub fn reap(&self) -> usize {
+        purge(&mut self.state.lock(), Instant::now())
+    }
+
+    /// Raw lease count for `name`, **without** purging expired entries —
+    /// observes what the background reaper (as opposed to the read path,
+    /// which purges inline) has actually done.
+    pub fn lease_count(&self, name: &str) -> usize {
+        self.state.lock().names.get(name).map_or(0, Leases::len)
+    }
+}
+
+/// Lock-held purge of expired leases; bumps the generation when any go.
+fn purge(state: &mut CoreState, now: Instant) -> usize {
+    let mut reaped = 0;
+    state.names.retain(|_, leases| {
+        let before = leases.len();
+        leases.retain(|_, expiry| *expiry > now);
+        reaped += before - leases.len();
+        !leases.is_empty()
+    });
+    if reaped > 0 {
+        state.generation += 1;
+    }
+    reaped
+}
+
+/// Folds provider ref strings into one failover reference: the first
+/// parsable provider contributes the primary endpoint, object id and
+/// type; every further provider contributes its primary endpoint as a
+/// fallback. Providers of one name must therefore export their servant
+/// under the same object id — true by construction when each backend is
+/// a fresh ORB exporting its service first (ids start at 1).
+fn combine_refs(providers: &[&String]) -> String {
+    let mut parsed = providers.iter().filter_map(|p| p.parse::<ObjectRef>().ok());
+    let Some(first) = parsed.next() else { return String::new() };
+    let fallbacks: Vec<Endpoint> =
+        parsed.map(|r| r.endpoint).filter(|e| *e != first.endpoint).collect();
+    ObjectRef::with_fallbacks(first.endpoint.clone(), fallbacks, first.object_id, first.type_id)
+        .to_string()
+}
+
+/// The servant adapter: implements the *generated*
+/// [`DirectoryServant`](crate::discovery::DirectoryServant) trait over a
+/// [`DirectoryCore`] — the dogfooding seam where our own compiler's
+/// output serves our own infrastructure.
+struct CoreServant {
+    core: Arc<DirectoryCore>,
+}
+
+impl heidl_rmi::RemoteObject for CoreServant {
+    fn type_id(&self) -> &str {
+        Directory_REPO_ID
+    }
+}
+
+impl crate::discovery::DirectoryServant for CoreServant {
+    fn register(&self, name: String, provider: String, ttl_ms: i32) -> RmiResult<i64> {
+        Ok(self.core.register(&name, &provider, ttl_ms))
+    }
+
+    fn deregister(&self, name: String, provider: String) -> RmiResult<i64> {
+        Ok(self.core.deregister(&name, &provider))
+    }
+
+    fn resolve(&self, name: String) -> RmiResult<String> {
+        let (_, combined, providers) = self.core.membership(&name);
+        if providers == 0 {
+            return Err(NotFound { detail: name }.to_error());
+        }
+        Ok(combined)
+    }
+
+    fn poll(&self, name: String, _known_generation: i64) -> RmiResult<Membership> {
+        let (generation, combined_ref, providers) = self.core.membership(&name);
+        Ok(Membership { generation, combined_ref, providers })
+    }
+
+    fn generation(&self) -> RmiResult<i64> {
+        Ok(self.core.generation())
+    }
+}
+
+/// How often a replica's reaper sweeps for expired leases.
+const REAP_INTERVAL: Duration = Duration::from_millis(25);
+
+/// One directory replica: its own ORB serving the generated
+/// [`DirectorySkel`], plus a lease-reaper thread that ages out providers
+/// which stopped renewing. The reaper is stop-signalled and **joined** on
+/// [`DirectoryServer::shutdown`] and on drop — it can never outlive the
+/// server (the same discipline as the ORB's heartbeat prober).
+pub struct DirectoryServer {
+    orb: Orb,
+    core: Arc<DirectoryCore>,
+    objref: ObjectRef,
+    reaper: Mutex<Option<ReaperHandle>>,
+}
+
+struct ReaperHandle {
+    stop: Arc<ReaperStop>,
+    thread: JoinHandle<()>,
+}
+
+#[derive(Default)]
+struct ReaperStop {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ReaperStop {
+    fn request(&self) {
+        *self.stopped.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `timeout`; `true` means stop was requested.
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut stopped = self.stopped.lock();
+        if !*stopped {
+            self.cv.wait_for(&mut stopped, timeout);
+        }
+        *stopped
+    }
+}
+
+impl DirectoryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`), exports the directory, and
+    /// starts the lease reaper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/export failures from the ORB.
+    pub fn start(addr: &str) -> RmiResult<DirectoryServer> {
+        // Directories answer tiny requests and must stay responsive while
+        // application traffic storms elsewhere; a short drain keeps
+        // cluster teardown snappy.
+        let policy = ServerPolicy::default().with_drain_timeout(Duration::from_secs(1));
+        DirectoryServer::start_with_policy(addr, policy)
+    }
+
+    /// As [`DirectoryServer::start`] with an explicit server policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/export failures from the ORB.
+    pub fn start_with_policy(addr: &str, policy: ServerPolicy) -> RmiResult<DirectoryServer> {
+        let orb = Orb::builder().server_policy(policy).build();
+        orb.serve(addr)?;
+        let core = Arc::new(DirectoryCore::new());
+        let servant = Arc::new(CoreServant { core: Arc::clone(&core) });
+        let skel = DirectorySkel::new(servant, orb.clone(), DispatchKind::Hash);
+        let objref = orb.export(skel)?;
+        let stop = Arc::new(ReaperStop::default());
+        let reaper_core = Arc::clone(&core);
+        let reaper_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("heidl-lease-reaper".to_owned())
+            .spawn(move || {
+                while !reaper_stop.wait(REAP_INTERVAL) {
+                    reaper_core.reap();
+                }
+            })
+            .map_err(heidl_rmi::RmiError::Io)?;
+        Ok(DirectoryServer {
+            orb,
+            core,
+            objref,
+            reaper: Mutex::new(Some(ReaperHandle { stop, thread })),
+        })
+    }
+
+    /// The reference clients talk to this replica with.
+    pub fn object_ref(&self) -> &ObjectRef {
+        &self.objref
+    }
+
+    /// This replica's bound endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.objref.endpoint.clone()
+    }
+
+    /// Direct access to the lease table (in-process observability).
+    pub fn core(&self) -> &Arc<DirectoryCore> {
+        &self.core
+    }
+
+    /// This replica's ORB (tests probe `_metrics` through it).
+    pub fn orb(&self) -> &Orb {
+        &self.orb
+    }
+
+    /// Stops the reaper (joining it) and drains the ORB. Idempotent.
+    /// Returns `true` when in-flight requests finished within the drain
+    /// budget.
+    pub fn shutdown(&self) -> bool {
+        if let Some(handle) = self.reaper.lock().take() {
+            handle.stop.request();
+            let _ = handle.thread.join();
+        }
+        self.orb.shutdown_and_drain()
+    }
+}
+
+impl Drop for DirectoryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for DirectoryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectoryServer").field("objref", &self.objref.to_string()).finish()
+    }
+}
+
+/// N directory replicas plus the failover reference spanning them —
+/// what a client hands its [`DirectoryClient`](crate::DirectoryClient).
+pub struct DirectoryCluster {
+    replicas: Vec<DirectoryServer>,
+}
+
+impl DirectoryCluster {
+    /// Starts `n` replicas on loopback ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first replica start failure (already-started
+    /// replicas shut down on drop).
+    pub fn start(n: usize) -> RmiResult<DirectoryCluster> {
+        let mut replicas = Vec::with_capacity(n);
+        for _ in 0..n {
+            replicas.push(DirectoryServer::start("127.0.0.1:0")?);
+        }
+        Ok(DirectoryCluster { replicas })
+    }
+
+    /// The replicas, in start order.
+    pub fn replicas(&self) -> &[DirectoryServer] {
+        &self.replicas
+    }
+
+    /// A failover reference across every replica: reads try replica 0
+    /// first and fail over down the list. Directory skeletons are each
+    /// replica's first export, so the shared object id holds by
+    /// construction.
+    pub fn client_ref(&self) -> ObjectRef {
+        let first = self.replicas[0].object_ref();
+        let fallbacks =
+            self.replicas[1..].iter().map(|r| r.object_ref().endpoint.clone()).collect();
+        ObjectRef::with_fallbacks(
+            first.endpoint.clone(),
+            fallbacks,
+            first.object_id,
+            first.type_id.clone(),
+        )
+    }
+
+    /// Every replica's individual reference (the write-all set).
+    pub fn replica_refs(&self) -> Vec<ObjectRef> {
+        self.replicas.iter().map(|r| r.object_ref().clone()).collect()
+    }
+
+    /// Shuts every replica down (reaper joined, ORB drained).
+    pub fn shutdown(&self) {
+        for replica in &self.replicas {
+            replica.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for DirectoryCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectoryCluster").field("replicas", &self.replicas.len()).finish()
+    }
+}

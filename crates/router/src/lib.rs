@@ -1,0 +1,44 @@
+//! # heidl-router — the multi-node tier: discovery + gateway
+//!
+//! The paper's thesis is that stubs stay fixed while the machinery
+//! underneath them is swapped; RAFDA (PAPERS.md) pushes the separation one
+//! level up — *where* an object lives and *which* replica serves it is
+//! distribution policy, not application code. This crate supplies that
+//! policy layer for HeidiRMI:
+//!
+//! * a **[`Directory`](discovery) service** defined in heidl IDL
+//!   (`idl/discovery.idl`) and compiled by our own code generator at build
+//!   time — registrations are TTL leases, membership changes bump a
+//!   generation counter, and `subscribe` is poll-based;
+//! * a **replicated in-process implementation** ([`DirectoryServer`],
+//!   [`DirectoryCluster`]): N replicas, each its own ORB with its own
+//!   lease-reaper thread (joined on shutdown — no thread outlives its
+//!   server), written to with client-side write-all and read through a
+//!   failover reference spanning all replicas;
+//! * a **directory-backed [`Resolver`]** implementing the router's
+//!   [`BackendSource`](heidl_rmi::BackendSource): resolve results are
+//!   cached with a TTL *and* invalidated the moment a failover leg's
+//!   circuit breaker trips open, so clients stop dialing a dead backend
+//!   long before the TTL expires;
+//! * the **`heidl-node` binary** — `directory`, `backend`, and `router`
+//!   roles in one executable, enough to run a whole cluster from a few
+//!   shells (see README, "Running a multi-node cluster over telnet").
+//!
+//! The gateway fabric itself ([`heidl_rmi::Router`]) lives in the runtime
+//! crate: it forwards request bodies verbatim (tokens, trace contexts and
+//! request ids survive the hop) and needs nothing from codegen.
+
+#![warn(missing_docs)]
+
+/// Code generated at build time by the `rust` backend from
+/// `idl/discovery.idl` — the discovery tier's own IDL-defined surface.
+#[allow(missing_docs, unused_imports, non_upper_case_globals, clippy::all)]
+pub mod discovery {
+    include!(concat!(env!("OUT_DIR"), "/discovery.rs"));
+}
+
+pub mod directory;
+pub mod resolver;
+
+pub use directory::{DirectoryCluster, DirectoryCore, DirectoryServer};
+pub use resolver::{DirectoryClient, Resolver};

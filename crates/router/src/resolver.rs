@@ -1,0 +1,247 @@
+//! Client-side discovery: write-all registration, read-any resolution,
+//! and the cached, breaker-invalidated [`Resolver`] that feeds a
+//! [`Router`](heidl_rmi::Router) its backend membership.
+
+use crate::discovery::{DirectoryStub, Membership, NotFound};
+use heidl_rmi::{
+    BackendSource, BreakerListener, BreakerState, Endpoint, ObjectRef, Orb, RmiError, RmiResult,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A client of the replicated directory.
+///
+/// Reads (`resolve`, `poll`) go through the failover reference spanning
+/// all replicas — the ORB's multi-endpoint invocation tries them in
+/// order, and both methods are `@idempotent` in the IDL, so mid-call
+/// failover is safe. Writes (`register`, `deregister`) fan out to
+/// **every** replica individually: a write that reaches at least one
+/// replica succeeds, and lease renewal repairs the replicas it missed.
+pub struct DirectoryClient {
+    orb: Orb,
+    /// The read path: one stub over the combined failover ref.
+    read: DirectoryStub,
+    /// The write-all set: each replica addressed individually.
+    replicas: Vec<ObjectRef>,
+}
+
+impl DirectoryClient {
+    /// Builds a client over the replicas of `combined` (its primary
+    /// endpoint plus every fallback — [`DirectoryCluster::client_ref`]
+    /// produces exactly this shape).
+    ///
+    /// [`DirectoryCluster::client_ref`]: crate::DirectoryCluster::client_ref
+    pub fn new(orb: Orb, combined: ObjectRef) -> DirectoryClient {
+        let replicas = combined.endpoints().map(|e| combined.at_endpoint(e)).collect();
+        let read = DirectoryStub::new(orb.clone(), combined);
+        DirectoryClient { orb, read, replicas }
+    }
+
+    /// The replica references writes fan out to.
+    pub fn replicas(&self) -> &[ObjectRef] {
+        &self.replicas
+    }
+
+    /// Registers (or renews) `provider`'s lease under `name` on every
+    /// reachable replica.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when **no** replica accepted the write (the last
+    /// error is returned); partial success is success — renewal repairs
+    /// the rest.
+    pub fn register(&self, name: &str, provider: &str, ttl_ms: i32) -> RmiResult<i64> {
+        self.write_all(|stub| stub.register(name.to_owned(), provider.to_owned(), ttl_ms))
+    }
+
+    /// Drops `provider`'s lease under `name` on every reachable replica.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when no replica accepted the write. A replica missed
+    /// here converges when the lease expires.
+    pub fn deregister(&self, name: &str, provider: &str) -> RmiResult<i64> {
+        self.write_all(|stub| stub.deregister(name.to_owned(), provider.to_owned()))
+    }
+
+    fn write_all(&self, write: impl Fn(&DirectoryStub) -> RmiResult<i64>) -> RmiResult<i64> {
+        let mut generation = None;
+        let mut last_err = None;
+        for replica in &self.replicas {
+            let stub = DirectoryStub::new(self.orb.clone(), replica.clone());
+            match write(&stub) {
+                Ok(g) => generation = Some(generation.map_or(g, |prev: i64| prev.max(g))),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match (generation, last_err) {
+            (Some(g), _) => Ok(g),
+            (None, Some(e)) => Err(e),
+            (None, None) => Err(RmiError::Protocol("directory has no replicas".to_owned())),
+        }
+    }
+
+    /// Resolves `name` to its combined failover reference, failing over
+    /// across replicas. `Ok(None)` when no provider holds a live lease.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure of every replica.
+    pub fn resolve(&self, name: &str) -> RmiResult<Option<ObjectRef>> {
+        match self.read.resolve(name.to_owned()) {
+            Ok(combined) => Ok(combined.parse().ok()),
+            Err(ref e) if NotFound::matches(e) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The current membership of `name` (see the IDL's `poll`).
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure of every replica.
+    pub fn poll(&self, name: &str, known_generation: i64) -> RmiResult<Membership> {
+        self.read.poll(name.to_owned(), known_generation)
+    }
+}
+
+/// How stale a cached resolution may be before the next read re-polls.
+const DEFAULT_CACHE_TTL: Duration = Duration::from_millis(500);
+
+#[derive(Clone)]
+struct Cached {
+    objref: Option<ObjectRef>,
+    generation: i64,
+    at: Instant,
+}
+
+/// A caching resolver for one service name — the [`BackendSource`] a
+/// router (or a direct client) plugs in.
+///
+/// Resolutions are cached for a TTL; within it, `backends()` costs a
+/// mutex lock. The cache is dropped early in two cases: the source's
+/// `invalidate()` hint (a forward found every candidate unusable), and —
+/// the satellite fix this type exists for — a **breaker-open
+/// notification** for any endpoint in the cached membership. Register
+/// the resolver on the pool whose breakers guard the backends
+/// (`router.pool().add_breaker_listener(...)`): the moment a leg trips
+/// open, the cached ref is invalidated and the next call re-resolves,
+/// instead of dialing a dead backend until the TTL runs out.
+pub struct Resolver {
+    client: DirectoryClient,
+    name: String,
+    ttl: Duration,
+    cache: Mutex<Option<Cached>>,
+}
+
+impl Resolver {
+    /// A resolver for `name` with the default cache TTL.
+    pub fn new(client: DirectoryClient, name: impl Into<String>) -> Arc<Resolver> {
+        Resolver::with_ttl(client, name, DEFAULT_CACHE_TTL)
+    }
+
+    /// A resolver for `name` caching resolutions for `ttl`.
+    pub fn with_ttl(
+        client: DirectoryClient,
+        name: impl Into<String>,
+        ttl: Duration,
+    ) -> Arc<Resolver> {
+        Arc::new(Resolver { client, name: name.into(), ttl, cache: Mutex::new(None) })
+    }
+
+    /// The service name this resolver tracks.
+    pub fn service(&self) -> &str {
+        &self.name
+    }
+
+    /// The resolved failover reference (cached), `None` when no provider
+    /// is live or the directory is unreachable.
+    pub fn resolved_ref(&self) -> Option<ObjectRef> {
+        self.fresh().objref
+    }
+
+    /// Whether a resolution is currently cached (tests).
+    pub fn is_cached(&self) -> bool {
+        self.cache.lock().is_some()
+    }
+
+    fn fresh(&self) -> Cached {
+        {
+            let cache = self.cache.lock();
+            if let Some(cached) = cache.as_ref() {
+                if cached.at.elapsed() < self.ttl {
+                    return cached.clone();
+                }
+            }
+        }
+        // Resolve outside the cache lock (a wire round trip may block on
+        // failover timeouts); concurrent misses race harmlessly — last
+        // writer wins with an equally-fresh answer.
+        let known = self.cache.lock().as_ref().map_or(0, |c| c.generation);
+        let polled = self.client.poll(&self.name, known);
+        let cached = match polled {
+            Ok(membership) => Cached {
+                objref: if membership.providers > 0 {
+                    membership.combined_ref.parse().ok()
+                } else {
+                    None
+                },
+                generation: membership.generation,
+                at: Instant::now(),
+            },
+            // Directory unreachable: cache the miss briefly so a storm of
+            // calls does not hammer a dead directory, but keep the old
+            // generation so recovery is detected.
+            Err(_) => Cached { objref: None, generation: known, at: Instant::now() },
+        };
+        *self.cache.lock() = Some(cached.clone());
+        cached
+    }
+}
+
+impl BackendSource for Resolver {
+    fn generation(&self) -> u64 {
+        self.fresh().generation.max(0) as u64
+    }
+
+    fn backends(&self) -> Vec<Endpoint> {
+        match self.fresh().objref {
+            Some(objref) => objref.endpoints().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn invalidate(&self) {
+        *self.cache.lock() = None;
+    }
+}
+
+impl BreakerListener for Resolver {
+    fn on_breaker_transition(&self, endpoint: &Endpoint, _from: BreakerState, to: BreakerState) {
+        if to != BreakerState::Open {
+            return;
+        }
+        // Only a leg of *our* cached membership invalidates the cache;
+        // other endpoints' breakers (the pool is shared) are none of our
+        // business.
+        let in_membership = {
+            let cache = self.cache.lock();
+            cache.as_ref().is_some_and(|c| {
+                c.objref.as_ref().is_some_and(|r| r.endpoints().any(|e| e == endpoint))
+            })
+        };
+        if in_membership {
+            self.invalidate();
+        }
+    }
+}
+
+impl std::fmt::Debug for Resolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resolver")
+            .field("service", &self.name)
+            .field("cached", &self.is_cached())
+            .finish()
+    }
+}

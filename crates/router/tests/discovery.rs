@@ -1,0 +1,252 @@
+//! Integration tests for the discovery tier: lease expiry, write-all
+//! replication with read-side failover, generation counting, and the
+//! breaker-driven invalidation of cached resolutions.
+
+use heidl_rmi::breaker::BreakerConfig;
+use heidl_rmi::{BackendSource, ConnectionPool, Endpoint, Orb};
+use heidl_router::discovery::DirectoryStub;
+use heidl_router::{DirectoryClient, DirectoryCluster, DirectoryServer, Resolver};
+use std::time::{Duration, Instant};
+
+fn provider(port: u16) -> String {
+    format!("@tcp:127.0.0.1:{port}#1#IDL:heidl/Echo:1.0")
+}
+
+#[test]
+fn register_resolve_deregister_round_trip() {
+    let server = DirectoryServer::start("127.0.0.1:0").unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), server.object_ref().clone());
+
+    assert_eq!(client.resolve("echo").unwrap(), None, "empty directory");
+
+    let g1 = client.register("echo", &provider(9101), 5_000).unwrap();
+    let resolved = client.resolve("echo").unwrap().expect("one provider");
+    assert_eq!(resolved.endpoint.port, 9101);
+    assert_eq!(resolved.type_id, "IDL:heidl/Echo:1.0");
+
+    // A second provider joins: the combined ref gains a fallback profile
+    // and the generation moves.
+    let g2 = client.register("echo", &provider(9102), 5_000).unwrap();
+    assert!(g2 > g1, "fresh lease bumps the generation ({g1} -> {g2})");
+    let resolved = client.resolve("echo").unwrap().expect("two providers");
+    assert_eq!(resolved.endpoints().count(), 2);
+
+    // Renewal is not a membership change.
+    let g3 = client.register("echo", &provider(9102), 5_000).unwrap();
+    assert_eq!(g3, g2, "renewing an existing lease must not bump the generation");
+
+    let g4 = client.deregister("echo", &provider(9101)).unwrap();
+    assert!(g4 > g3);
+    let resolved = client.resolve("echo").unwrap().expect("one provider left");
+    assert_eq!(resolved.endpoint.port, 9102);
+    assert_eq!(resolved.endpoints().count(), 1);
+
+    orb.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn leases_age_out_crashed_providers() {
+    let server = DirectoryServer::start("127.0.0.1:0").unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), server.object_ref().clone());
+
+    client.register("echo", &provider(9111), 80).unwrap();
+    assert!(client.resolve("echo").unwrap().is_some());
+
+    // No renewal: the reaper (or the next read) must expire the lease.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if client.resolve("echo").unwrap().is_none() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "expired lease never aged out");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    orb.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn write_all_replication_survives_replica_failure() {
+    let cluster = DirectoryCluster::start(3).unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), cluster.client_ref());
+
+    client.register("echo", &provider(9121), 10_000).unwrap();
+
+    // Every replica holds the lease independently.
+    for replica in cluster.replicas() {
+        let (_, _, count) = replica.core().membership("echo");
+        assert_eq!(count, 1, "write-all must reach every replica");
+    }
+
+    // The primary read replica goes down; the failover ref reads from the
+    // survivors without the registration being replayed.
+    cluster.replicas()[0].shutdown();
+    let resolved = client.resolve("echo").unwrap().expect("survivors still answer");
+    assert_eq!(resolved.endpoint.port, 9121);
+
+    // Writes also keep working while a replica is down (partial success).
+    client.register("echo", &provider(9122), 10_000).unwrap();
+    let resolved = client.resolve("echo").unwrap().unwrap();
+    assert_eq!(resolved.endpoints().count(), 2);
+
+    orb.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn poll_reports_generation_and_membership() {
+    let server = DirectoryServer::start("127.0.0.1:0").unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), server.object_ref().clone());
+
+    let m0 = client.poll("echo", 0).unwrap();
+    assert_eq!(m0.providers, 0);
+    assert_eq!(m0.combined_ref, "");
+
+    let gen = client.register("echo", &provider(9131), 5_000).unwrap();
+    let m1 = client.poll("echo", m0.generation).unwrap();
+    assert_eq!(m1.generation, gen);
+    assert_eq!(m1.providers, 1);
+    assert!(m1.combined_ref.contains("9131"), "combined ref carries the provider");
+
+    orb.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn generated_stub_speaks_to_the_directory_directly() {
+    // The directory is an ordinary heidl object: its generated stub works
+    // like any other, including the raised NotFound exception.
+    let server = DirectoryServer::start("127.0.0.1:0").unwrap();
+    let orb = Orb::new();
+    let stub = DirectoryStub::new(orb.clone(), server.object_ref().clone());
+
+    let err = stub.resolve("missing".to_owned()).unwrap_err();
+    assert!(
+        heidl_router::discovery::NotFound::matches(&err),
+        "resolve of an unknown name raises Discovery::NotFound, got {err:?}"
+    );
+    stub.register("echo".to_owned(), provider(9141), 5_000).unwrap();
+    let combined = stub.resolve("echo".to_owned()).unwrap();
+    assert!(combined.contains("9141"));
+    assert!(stub.generation().unwrap() >= 1);
+
+    orb.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn resolver_caches_within_ttl_and_refreshes_after() {
+    let server = DirectoryServer::start("127.0.0.1:0").unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), server.object_ref().clone());
+    client.register("echo", &provider(9151), 10_000).unwrap();
+
+    let resolver = Resolver::with_ttl(
+        DirectoryClient::new(orb.clone(), server.object_ref().clone()),
+        "echo",
+        Duration::from_millis(60),
+    );
+    assert_eq!(resolver.backends().len(), 1);
+    assert!(resolver.is_cached());
+
+    // A membership change within the TTL is invisible (cached)...
+    client.register("echo", &provider(9152), 10_000).unwrap();
+    assert_eq!(resolver.backends().len(), 1, "TTL cache hides the new provider");
+
+    // ...and visible once the TTL lapses.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if resolver.backends().len() == 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "resolver never refreshed after TTL");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    orb.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn breaker_open_invalidates_cached_resolution() {
+    let server = DirectoryServer::start("127.0.0.1:0").unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), server.object_ref().clone());
+    client.register("echo", &provider(9161), 10_000).unwrap();
+
+    // A long TTL: without the breaker hook, the stale entry would be
+    // served for an hour.
+    let resolver = Resolver::with_ttl(
+        DirectoryClient::new(orb.clone(), server.object_ref().clone()),
+        "echo",
+        Duration::from_secs(3600),
+    );
+    assert_eq!(resolver.backends().len(), 1);
+    assert!(resolver.is_cached());
+
+    // The pool the router would use: the resolver listens for breaker
+    // transitions on it.
+    let pool = ConnectionPool::new();
+    pool.set_breaker_config(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: Duration::from_secs(60),
+        ..BreakerConfig::default()
+    });
+    pool.add_breaker_listener(resolver.clone());
+
+    // Trip the breaker guarding the cached backend leg.
+    let backend = Endpoint::new("tcp", "127.0.0.1", 9161);
+    let breaker = pool.breaker(&backend);
+    for _ in 0..2 {
+        let token = breaker.try_admit().expect("closed breaker admits");
+        breaker.record_outcome(token, false);
+    }
+
+    assert!(!resolver.is_cached(), "breaker tripping open must invalidate the cached resolution");
+
+    // An unrelated endpoint's breaker must NOT invalidate the fresh cache.
+    assert_eq!(resolver.backends().len(), 1, "re-resolve after invalidation");
+    let stranger = Endpoint::new("tcp", "127.0.0.1", 9162);
+    let other = pool.breaker(&stranger);
+    for _ in 0..2 {
+        let token = other.try_admit().expect("closed breaker admits");
+        other.record_outcome(token, false);
+    }
+    assert!(resolver.is_cached(), "unrelated breaker must not evict the cache");
+
+    orb.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn reaper_thread_stops_with_the_server() {
+    let server = DirectoryServer::start("127.0.0.1:0").unwrap();
+    let core = server.core().clone();
+    core.register("echo", &provider(9171), 40);
+
+    // While the server runs, the background reaper expires the lease on
+    // its own — observed through the non-purging lease_count, so the
+    // read path cannot do the reaper's work for it.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if core.lease_count("echo") == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "reaper never expired the lease");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // shutdown() joins the reaper. Register an already-doomed lease
+    // directly on the core: with no reaper left alive (and no reads to
+    // purge inline), it just sits there expired.
+    assert!(server.shutdown(), "clean shutdown joins reaper and drains");
+    core.register("echo", &provider(9172), 1);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(core.lease_count("echo"), 1, "no reaper left running after shutdown");
+}

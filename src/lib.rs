@@ -20,6 +20,9 @@
 //!   `corba-cpp`, `java`, `tcl`, `rust`) and the `heidlc` CLI;
 //! * [`wire`] — the text and CDR wire protocols;
 //! * [`rmi`] — the HeidiRMI runtime ORB;
+//! * [`router`] — the multi-node tier: a replicated TTL-lease discovery
+//!   service defined in heidl IDL, directory-backed resolvers, and the
+//!   `heidl-node` cluster binary (directory / backend / router roles);
 //! * [`media`] — code generated *at build time* by the `rust` backend
 //!   from [`idl/media.idl`](https://example.invalid), proving the
 //!   pipeline end to end.
@@ -72,6 +75,7 @@ pub use heidl_codegen as codegen;
 pub use heidl_est as est;
 pub use heidl_idl as idl;
 pub use heidl_rmi as rmi;
+pub use heidl_router as router;
 pub use heidl_template as template;
 pub use heidl_wire as wire;
 

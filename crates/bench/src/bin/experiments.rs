@@ -12,7 +12,8 @@
 use heidl_bench::{method_names, module_idl, rng, NameStyle, Payload};
 use heidl_rmi::{
     marshal_reference, marshal_value, unmarshal_incopy, DispatchKind, DispatchOutcome, IncopyArg,
-    MethodTable, ObjectRef, Orb, RmiResult, Skeleton, SkeletonBase, ValueSerialize,
+    MethodTable, ObjectRef, Orb, RmiResult, ServerPolicy, Skeleton, SkeletonBase, TransportMode,
+    ValueSerialize,
 };
 use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -106,6 +107,11 @@ fn main() {
     }
     if want("roundtrip") || want("perf") {
         roundtrip(quick);
+    }
+    // Opt-in only (`c10k` on the command line): holding thousands of
+    // sockets is meaningless noise for the default table sweep.
+    if args.iter().any(|a| a == "c10k") {
+        c10k(quick);
     }
 }
 
@@ -1316,5 +1322,202 @@ fn roundtrip(quick: bool) {
             }
             _ => println!("cps gate skipped: no parsable HEIDL_BENCH_BASELINE"),
         }
+    }
+}
+
+// ---- c10k ----------------------------------------------------------------
+
+/// This process's soft "max open files" limit, read from `/proc` (the
+/// bench crate deliberately links no libc bindings).
+fn nofile_limit() -> u64 {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|limits| {
+            limits
+                .lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(1024)
+}
+
+/// Reads one numeric field (`Threads`, `VmRSS` in kB, …) from
+/// `/proc/self/status`.
+fn proc_status(field: &str) -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with(field))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+struct C10kStat {
+    conns: usize,
+    /// Threads the *idle* connections added (callers come later, so this
+    /// is the per-connection thread cost in isolation).
+    thread_delta: u64,
+    rss_delta_kb: u64,
+    calls_per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    p999_ns: f64,
+}
+
+/// One engine's run: park `conns` idle connections on the server, then
+/// drive echo traffic from `callers` threads through the crowd and report
+/// what the idle mass cost (threads, RSS) and what it did to tail latency.
+fn measure_c10k(mode: TransportMode, conns: usize, callers: usize, calls: usize) -> C10kStat {
+    let orb = Orb::builder()
+        .transport_mode(mode)
+        .protocol(Arc::new(CdrProtocol))
+        .server_policy(ServerPolicy::default().with_max_connections(conns + callers + 64))
+        .build();
+    let endpoint = orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(EchoStrSkel::new()).unwrap();
+    let payload = echo_payload();
+    // Warm the client connection and every lazily-spawned helper thread
+    // before the baseline readings.
+    for _ in 0..64 {
+        echo_once(&orb, &objref, &payload);
+    }
+    let threads0 = proc_status("Threads");
+    let rss0 = proc_status("VmRSS");
+    let mut idle = Vec::with_capacity(conns);
+    while idle.len() < conns {
+        match std::net::TcpStream::connect((endpoint.host.as_str(), endpoint.port)) {
+            Ok(stream) => idle.push(stream),
+            Err(e) => {
+                // Backlog pressure: let the acceptor catch up, then retry.
+                println!("  connect stalled at {} conns ({e}); retrying", idle.len());
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    // Wait for the server to register the whole crowd (plus the warmed
+    // client connection) so the readings below include every one.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while orb.server_health().map_or(0, |h| h.connections) < (conns + 1) as u64 {
+        assert!(Instant::now() < deadline, "server never registered all {conns} connections");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let thread_delta = proc_status("Threads").saturating_sub(threads0);
+    let rss_delta_kb = proc_status("VmRSS").saturating_sub(rss0);
+    // Tail latency through the parked crowd.
+    let lat = std::sync::Mutex::new(Vec::with_capacity(calls));
+    let per_caller = calls / callers;
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..callers {
+            let orb = orb.clone();
+            let objref = objref.clone();
+            let payload = payload.clone();
+            let lat = &lat;
+            scope.spawn(move || {
+                let mut mine = Vec::with_capacity(per_caller);
+                for _ in 0..per_caller {
+                    let t = Instant::now();
+                    echo_once(&orb, &objref, &payload);
+                    mine.push(t.elapsed().as_nanos() as u64);
+                }
+                lat.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let elapsed = wall.elapsed();
+    drop(idle);
+    orb.shutdown();
+    let mut lat = lat.into_inner().unwrap();
+    lat.sort_unstable();
+    let pct = |q: f64| lat[((lat.len() as f64 * q) as usize).min(lat.len() - 1)] as f64;
+    C10kStat {
+        conns,
+        thread_delta,
+        rss_delta_kb,
+        calls_per_sec: (per_caller * callers) as f64 / elapsed.as_secs_f64(),
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        p999_ns: pct(0.999),
+    }
+}
+
+/// The c10k scenario: can the server hold ten thousand mostly-idle
+/// connections and still serve traffic? The reactor engine runs at full
+/// scale (clamped only by the fd rlimit — both socket ends live in this
+/// process); the thread-per-connection engine runs a reduced-scale
+/// comparison point, since its cost per connection is a whole thread.
+fn c10k(quick: bool) {
+    println!("\n[c10k] idle-connection scaling: reactor vs thread-per-connection");
+    // Three fds per in-process connection: the client socket, the
+    // server-accepted socket, and the server's `try_clone` of it (the
+    // transport split hands the reader and writer separate owners).
+    let budget = (nofile_limit().saturating_sub(512) / 3) as usize;
+    let target: usize = std::env::var("HEIDL_BENCH_C10K_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1_000 } else { 10_000 });
+    let reactor_conns = target.min(budget);
+    if reactor_conns < target {
+        println!(
+            "  fd rlimit clamps the run: {target} requested, {reactor_conns} possible \
+             (nofile {}, three fds per in-process connection)",
+            nofile_limit()
+        );
+    }
+    let threaded_conns = reactor_conns.min(if quick { 128 } else { 512 });
+    let (callers, calls) = if quick { (4, 2_000) } else { (8, 16_000) };
+
+    let reactor = measure_c10k(TransportMode::Reactor, reactor_conns, callers, calls);
+    // Structural acceptance, not a perf number: parking the idle crowd
+    // must not have spawned per-connection threads — the whole server
+    // stays within its worker pool plus the reactor loop.
+    assert!(
+        reactor.thread_delta <= 2,
+        "reactor mode spawned {} threads for {} idle connections",
+        reactor.thread_delta,
+        reactor.conns
+    );
+    let threaded = measure_c10k(TransportMode::Threaded, threaded_conns, callers, calls);
+
+    println!(
+        "{:<16} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "engine", "conns", "+threads", "+rss", "calls/sec", "p50", "p99", "p99.9"
+    );
+    for (name, s) in [("reactor", &reactor), ("threaded", &threaded)] {
+        println!(
+            "{:<16} {:>8} {:>10} {:>11}K {:>12.0} {:>10} {:>10} {:>10}",
+            name,
+            s.conns,
+            s.thread_delta,
+            s.rss_delta_kb,
+            s.calls_per_sec,
+            fmt_ns(s.p50_ns),
+            fmt_ns(s.p99_ns),
+            fmt_ns(s.p999_ns)
+        );
+    }
+
+    let json_c10k = |name: &str, s: &C10kStat| {
+        format!(
+            "    \"{name}\": {{\"conns\": {}, \"thread_delta\": {}, \"rss_delta_kb\": {}, \
+             \"calls_per_sec\": {:.0}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"p999_ns\": {:.0}}}",
+            s.conns, s.thread_delta, s.rss_delta_kb, s.calls_per_sec, s.p50_ns, s.p99_ns, s.p999_ns
+        )
+    };
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"heidl-bench-c10k/v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"results\": {\n");
+    out.push_str(&json_c10k("c10k_reactor", &reactor));
+    out.push_str(",\n");
+    out.push_str(&json_c10k("c10k_threaded", &threaded));
+    out.push_str("\n  }\n}\n");
+    let path = std::env::var("BENCH_C10K_OUT").unwrap_or_else(|_| "BENCH_c10k.json".to_string());
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
     }
 }

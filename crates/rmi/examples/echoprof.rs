@@ -1,0 +1,137 @@
+//! Per-thread wake profiler: runs sequential echo calls under the
+//! transport mode named by `HEIDL_TRANSPORT` and prints each thread's CPU
+//! time and context-switch deltas for the timed window.
+//!
+//! A healthy engine blocks each hot thread exactly once per call
+//! (`d_vol` ≈ calls). This is the tool that caught the reactor's reply
+//! writer sending header and body as separate syscalls — the client-side
+//! loop showed ~1.85 voluntary switches per call, woken once for a header
+//! it could not deframe and again for the body.
+//!
+//! ```text
+//! HEIDL_TRANSPORT=reactor cargo run --release -p heidl-rmi --example echoprof
+//! ```
+
+use heidl_rmi::*;
+use heidl_wire::{CdrProtocol, Decoder, Encoder};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct EchoSkel {
+    base: SkeletonBase,
+}
+
+impl Skeleton for EchoSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let text = args.get_string()?;
+                reply.put_string(&text);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ThreadStat {
+    name: String,
+    utime: u64,
+    stime: u64,
+    vol: u64,
+    nonvol: u64,
+}
+
+fn thread_stats() -> Vec<ThreadStat> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir("/proc/self/task").unwrap() {
+        let path = entry.unwrap().path();
+        let Ok(stat) = std::fs::read_to_string(path.join("stat")) else { continue };
+        let Ok(status) = std::fs::read_to_string(path.join("status")) else { continue };
+        let name = stat.split('(').nth(1).and_then(|s| s.split(')').next()).unwrap_or("?");
+        let after = stat.rsplit(')').next().unwrap_or("");
+        let fields: Vec<&str> = after.split_whitespace().collect();
+        let utime: u64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let stime: u64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let grab = |key: &str| -> u64 {
+            status
+                .lines()
+                .find(|l| l.starts_with(key))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        };
+        out.push(ThreadStat {
+            name: name.to_owned(),
+            utime,
+            stime,
+            vol: grab("voluntary_ctxt_switches"),
+            nonvol: grab("nonvoluntary_ctxt_switches"),
+        });
+    }
+    out
+}
+
+fn main() {
+    let calls: usize = std::env::var("CALLS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let orb = Orb::builder().protocol(Arc::new(CdrProtocol)).build();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb
+        .export(Arc::new(EchoSkel {
+            base: SkeletonBase::new("IDL:Prof/Echo:1.0", DispatchKind::Hash, ["echo"], vec![]),
+        }))
+        .unwrap();
+    let payload = "x".repeat(96);
+    for _ in 0..512 {
+        let mut call = orb.call(&objref, "echo");
+        call.args().put_string(&payload);
+        orb.invoke(call).unwrap();
+    }
+    let before = thread_stats();
+    let start = Instant::now();
+    for _ in 0..calls {
+        let mut call = orb.call(&objref, "echo");
+        call.args().put_string(&payload);
+        orb.invoke(call).unwrap();
+    }
+    let elapsed = start.elapsed();
+    let after = thread_stats();
+    println!(
+        "{:?}: {} calls in {:?} = {:.0} ns/call",
+        orb.transport_mode(),
+        calls,
+        elapsed,
+        elapsed.as_nanos() as f64 / calls as f64
+    );
+    println!(
+        "{:<24} {:>8} {:>8} {:>10} {:>10}",
+        "thread", "d_utime", "d_stime", "d_vol", "d_nonvol"
+    );
+    for a in &after {
+        let b = before.iter().find(|b| b.name == a.name);
+        let (u0, s0, v0, n0) =
+            b.map(|b| (b.utime, b.stime, b.vol, b.nonvol)).unwrap_or((0, 0, 0, 0));
+        let dv = a.vol - v0;
+        if dv == 0 && a.utime == u0 && a.stime == s0 {
+            continue;
+        }
+        println!(
+            "{:<24} {:>8} {:>8} {:>10} {:>10}",
+            a.name,
+            a.utime - u0,
+            a.stime - s0,
+            dv,
+            a.nonvol - n0
+        );
+    }
+}

@@ -23,8 +23,9 @@ use crate::breaker::{BreakerConfig, BreakerObserver, BreakerState, CircuitBreake
 use crate::call::peek_reply_id;
 use crate::error::{RmiError, RmiResult};
 use crate::objref::Endpoint;
+use crate::reactor::{self, Action, ReactorHandle, Source, EPOLLERR, EPOLLIN, EPOLLRDHUP};
 use crate::trace::{self, TraceLevel};
-use crate::transport::{Connector, TcpConnector, Transport};
+use crate::transport::{Connector, TcpConnector, Transport, TransportMode, RECV_CHUNK};
 use heidl_wire::{pool, DecodeLimits, FrameBuf, PooledBuf, Protocol, MAX_FRAME_HEADER};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -344,10 +345,25 @@ impl MuxConnection {
         endpoint: &Endpoint,
         protocol: &Arc<dyn Protocol>,
     ) -> RmiResult<Arc<MuxConnection>> {
+        MuxConnection::via_mode(connector, endpoint, protocol, TransportMode::Threaded)
+    }
+
+    /// As [`MuxConnection::via`] but demultiplexing replies on the engine
+    /// `mode` selects (see [`MuxConnection::over_mode`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::ConnectFailed`] naming the endpoint that refused.
+    pub fn via_mode(
+        connector: &dyn Connector,
+        endpoint: &Endpoint,
+        protocol: &Arc<dyn Protocol>,
+        mode: TransportMode,
+    ) -> RmiResult<Arc<MuxConnection>> {
         let transport = connector
             .connect(endpoint)
             .map_err(|source| RmiError::ConnectFailed { endpoint: endpoint.to_string(), source })?;
-        MuxConnection::over(transport, Arc::clone(protocol))
+        MuxConnection::over_mode(transport, Arc::clone(protocol), mode)
     }
 
     /// Wraps an arbitrary transport (tests use in-process pipes), splitting
@@ -360,17 +376,57 @@ impl MuxConnection {
         transport: Box<dyn Transport>,
         protocol: Arc<dyn Protocol>,
     ) -> RmiResult<Arc<MuxConnection>> {
+        MuxConnection::over_mode(transport, protocol, TransportMode::Threaded)
+    }
+
+    /// As [`MuxConnection::over`] but selecting the demux engine: in
+    /// [`TransportMode::Reactor`], a transport that exposes a raw fd gets
+    /// its read half registered as a [`DemuxSource`] on the process-wide
+    /// client reactor — one `heidl-reactor-client` thread demultiplexes
+    /// every pooled connection, instead of one `heidl-demux-*` thread
+    /// each. Transports without an fd (in-process pipes, fault injectors)
+    /// and non-epoll targets fall back to the demux thread transparently.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport cannot be split or the thread not spawned.
+    pub fn over_mode(
+        transport: Box<dyn Transport>,
+        protocol: Arc<dyn Protocol>,
+        mode: TransportMode,
+    ) -> RmiResult<Arc<MuxConnection>> {
         let peer = transport.peer();
+        let use_reactor = mode.reactor_enabled() && transport.raw_fd().is_some();
         let (writer, reader) = transport.split()?;
         let pending = Arc::new(PendingTable::new());
         let alive = Arc::new(AtomicBool::new(true));
-        let comm = ObjectCommunicator::new(reader, Arc::clone(&protocol));
-        let demux_pending = Arc::clone(&pending);
-        let demux_alive = Arc::clone(&alive);
-        std::thread::Builder::new()
-            .name(format!("heidl-demux-{peer}"))
-            .spawn(move || demux_loop(comm, demux_pending, demux_alive))
-            .map_err(RmiError::Io)?;
+        let mut reader = Some(reader);
+        if use_reactor && reader.as_ref().is_some_and(|r| r.raw_fd().is_some()) {
+            if let Some(handle) = reactor::client_reactor() {
+                let token = handle.alloc_id();
+                handle.register(
+                    token,
+                    EPOLLIN | EPOLLRDHUP,
+                    Box::new(DemuxSource {
+                        transport: reader.take().expect("reader present"),
+                        buf: FrameBuf::new(),
+                        protocol: Arc::clone(&protocol),
+                        pending: Arc::clone(&pending),
+                        alive: Arc::clone(&alive),
+                        peer: peer.clone(),
+                    }),
+                );
+            }
+        }
+        if let Some(reader) = reader {
+            let comm = ObjectCommunicator::new(reader, Arc::clone(&protocol));
+            let demux_pending = Arc::clone(&pending);
+            let demux_alive = Arc::clone(&alive);
+            std::thread::Builder::new()
+                .name(format!("heidl-demux-{peer}"))
+                .spawn(move || demux_loop(comm, demux_pending, demux_alive))
+                .map_err(RmiError::Io)?;
+        }
         Ok(Arc::new(MuxConnection {
             writer: Mutex::new(writer),
             protocol,
@@ -481,6 +537,39 @@ impl MuxConnection {
         write_framed(writer.as_mut(), self.protocol.as_ref(), body)
     }
 
+    /// Sends a fire-and-forget liveness ping: the request goes out with a
+    /// throwaway mailbox registered under `request_id`, and nobody parks
+    /// for the pong — the timer-mode heartbeat checks back one tick later
+    /// with [`MuxConnection::ping_unanswered`]. (A parked wait would stall
+    /// the reactor loop the timer runs on.)
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`RmiError::Disconnected`] when the demux side
+    /// is already gone.
+    pub(crate) fn send_ping(&self, request_id: u64, body: &[u8]) -> RmiResult<()> {
+        self.pending.insert(request_id, Arc::new(ReplySlot::new()));
+        // Same registration race as `call`: the demux side drains
+        // `pending` when it dies, so re-check liveness after registering.
+        if !self.is_alive() {
+            self.pending.remove(request_id);
+            return Err(RmiError::Disconnected);
+        }
+        if let Err(e) = self.send_framed(body) {
+            self.pending.remove(request_id);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Settles a [`MuxConnection::send_ping`]: `true` when no pong has
+    /// arrived (the registration is still pending — a dead peer), `false`
+    /// when the demux side consumed the pong. Either way the registration
+    /// is gone afterwards.
+    pub(crate) fn ping_unanswered(&self, request_id: u64) -> bool {
+        self.pending.remove(request_id).is_some()
+    }
+
     fn borrow(&self) {
         self.borrowed.fetch_add(1, Ordering::SeqCst);
     }
@@ -557,6 +646,108 @@ fn demux_loop(mut comm: ObjectCommunicator, pending: Arc<PendingTable>, alive: A
     }
 }
 
+/// The reactor-mode reply demultiplexer: [`demux_loop`]'s state machine,
+/// registered on the process-wide client reactor instead of running on a
+/// per-connection thread. Every readiness event deframes what arrived and
+/// wakes the matching parked caller; EOF or any failure drops the source,
+/// whose teardown (the `Drop` impl) disconnects pending callers exactly
+/// like the thread's exit path.
+struct DemuxSource {
+    transport: Box<dyn Transport>,
+    buf: FrameBuf,
+    protocol: Arc<dyn Protocol>,
+    pending: Arc<PendingTable>,
+    alive: Arc<AtomicBool>,
+    peer: String,
+}
+
+impl Drop for DemuxSource {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::SeqCst);
+        let slots = self.pending.drain();
+        if !slots.is_empty() {
+            trace::emit_with(TraceLevel::Warn, "demux", || {
+                format!("disconnecting {} pending caller(s) on {}", slots.len(), self.peer)
+            });
+        }
+        for slot in slots {
+            slot.deliver(Err(RmiError::Disconnected));
+        }
+    }
+}
+
+impl Source for DemuxSource {
+    fn fd(&self) -> i32 {
+        self.transport.raw_fd().unwrap_or(-1)
+    }
+
+    fn on_ready(&mut self, events: u32, _reactor: &ReactorHandle) -> Action {
+        if events & EPOLLERR != 0 {
+            return Action::Drop;
+        }
+        let limits = DecodeLimits::default();
+        let mut drained = false;
+        loop {
+            // Deliver every complete reply already buffered...
+            loop {
+                match self.protocol.deframe_pooled(&mut self.buf, &limits) {
+                    Ok(Some(body)) => {
+                        self.buf.maybe_shrink();
+                        match peek_reply_id(&body, self.protocol.as_ref()) {
+                            Ok(id) => {
+                                if let Some(slot) = self.pending.remove(id) {
+                                    slot.deliver(Ok(body));
+                                } else {
+                                    trace::emit_with(TraceLevel::Debug, "demux", || {
+                                        format!("dropping late reply from {}", self.peer)
+                                    });
+                                }
+                            }
+                            Err(e) => {
+                                trace::emit_with(TraceLevel::Warn, "demux", || {
+                                    format!("unintelligible reply from {}: {e}", self.peer)
+                                });
+                                return Action::Drop;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        trace::emit_with(TraceLevel::Warn, "demux", || {
+                            format!("corrupt reply stream from {}: {e}", self.peer)
+                        });
+                        return Action::Drop;
+                    }
+                }
+            }
+            if drained {
+                return Action::Keep;
+            }
+            // ...then pull more until the socket runs dry. A read shorter
+            // than `RECV_CHUNK` emptied the kernel buffer: deliver what it
+            // returned, then stop without paying the `EWOULDBLOCK`
+            // confirmation syscall (level-triggered epoll re-reports the
+            // fd if more bytes race in).
+            match self.transport.try_recv_into(self.buf.input()) {
+                Ok(Some(0)) => {
+                    trace::emit_with(TraceLevel::Debug, "demux", || {
+                        format!("connection to {} closed by peer", self.peer)
+                    });
+                    return Action::Drop;
+                }
+                Ok(Some(n)) => drained = n < RECV_CHUNK,
+                Ok(None) => return Action::Keep,
+                Err(e) => {
+                    trace::emit_with(TraceLevel::Warn, "demux", || {
+                        format!("read failure on connection to {}: {e}", self.peer)
+                    });
+                    return Action::Drop;
+                }
+            }
+        }
+    }
+}
+
 /// A checked-out connection: an RAII guard around the shared
 /// [`MuxConnection`], recording whether it came from the cache (the input
 /// to the stale-connection retry heuristic). Dropping the guard checks the
@@ -623,6 +814,9 @@ pub struct ConnectionPool {
     /// How fresh connections are dialed; [`TcpConnector`] by default,
     /// swappable for fault injection.
     connector: Mutex<Arc<dyn Connector>>,
+    /// Which demux engine fresh connections use (see
+    /// [`MuxConnection::over_mode`]).
+    transport_mode: Mutex<TransportMode>,
     /// One circuit breaker per endpoint, created on demand with
     /// `breaker_config`.
     breakers: Mutex<HashMap<Endpoint, Arc<CircuitBreaker>>>,
@@ -700,6 +894,7 @@ impl ConnectionPool {
             caching: AtomicBool::new(true),
             max_per_endpoint: AtomicUsize::new(1),
             connector: Mutex::new(Arc::new(TcpConnector)),
+            transport_mode: Mutex::new(TransportMode::Threaded),
             breakers: Mutex::new(HashMap::new()),
             breaker_config: Mutex::new(BreakerConfig::disabled()),
             breaker_observer: Mutex::new(None),
@@ -715,6 +910,18 @@ impl ConnectionPool {
     /// The connector fresh connections are dialed through.
     pub fn connector(&self) -> Arc<dyn Connector> {
         Arc::clone(&self.connector.lock())
+    }
+
+    /// Selects the demux engine for connections opened from now on (see
+    /// [`MuxConnection::over_mode`]); already-pooled connections keep
+    /// whichever engine they were opened with.
+    pub fn set_transport_mode(&self, mode: TransportMode) {
+        *self.transport_mode.lock() = mode;
+    }
+
+    /// The demux engine fresh connections will use.
+    pub fn transport_mode(&self) -> TransportMode {
+        *self.transport_mode.lock()
     }
 
     /// Sets the tuning for breakers created from now on. Already-created
@@ -818,8 +1025,9 @@ impl ConnectionPool {
         protocol: &Arc<dyn Protocol>,
     ) -> RmiResult<CheckedOut> {
         let connector = self.connector();
+        let mode = self.transport_mode();
         if !self.caching_enabled() {
-            let conn = MuxConnection::via(connector.as_ref(), endpoint, protocol)?;
+            let conn = MuxConnection::via_mode(connector.as_ref(), endpoint, protocol, mode)?;
             self.opened.fetch_add(1, Ordering::Relaxed);
             conn.borrow();
             return Ok(CheckedOut { conn, from_cache: false });
@@ -839,7 +1047,7 @@ impl ConnectionPool {
                 return Ok(CheckedOut { conn, from_cache: true });
             }
         }
-        let conn = MuxConnection::via(connector.as_ref(), endpoint, protocol)?;
+        let conn = MuxConnection::via_mode(connector.as_ref(), endpoint, protocol, mode)?;
         self.opened.fetch_add(1, Ordering::Relaxed);
         conn.borrow();
         list.push(Arc::clone(&conn));

@@ -80,6 +80,10 @@ where
 #[derive(Default)]
 pub(crate) struct InterceptorChain {
     items: parking_lot::RwLock<Vec<Arc<dyn Interceptor>>>,
+    /// Mirror of `!items.is_empty()`: lets the per-call [`fire`] sites
+    /// skip the lock entirely in the overwhelmingly common case of no
+    /// registered interceptors (`InterceptorChain::fire`).
+    armed: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for InterceptorChain {
@@ -90,10 +94,18 @@ impl std::fmt::Debug for InterceptorChain {
 
 impl InterceptorChain {
     pub(crate) fn add(&self, i: Arc<dyn Interceptor>) {
-        self.items.write().push(i);
+        let mut items = self.items.write();
+        items.push(i);
+        // Publish under the write lock so a concurrent `fire` that loads
+        // `armed == true` is guaranteed to see the new item once it
+        // acquires the read lock.
+        self.armed.store(true, std::sync::atomic::Ordering::Release);
     }
 
     pub(crate) fn fire(&self, phase: CallPhase, target: &ObjectRef, method: &str, ok: bool) {
+        if !self.armed.load(std::sync::atomic::Ordering::Acquire) {
+            return;
+        }
         let items = self.items.read();
         if items.is_empty() {
             return;

@@ -105,6 +105,7 @@ pub mod metrics;
 pub mod objref;
 pub mod orb;
 pub mod policy;
+mod reactor;
 mod replay;
 mod result_cache;
 pub mod retry;
@@ -147,4 +148,6 @@ pub use trace::{
     CallContext, ContextGuard, RingSink, StderrSink, TraceEvent, TraceInterceptor, TraceLevel,
     TraceSink,
 };
-pub use transport::{Connector, InProcTransport, TcpConnector, TcpTransport, Transport};
+pub use transport::{
+    Connector, InProcTransport, TcpConnector, TcpTransport, Transport, TransportMode,
+};

@@ -19,12 +19,13 @@
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, ProbeToken};
 use crate::call::{peek_reply_status, Call, InvocationToken, Reply, ReplyStatus};
-use crate::communicator::ConnectionPool;
+use crate::communicator::{ConnectionPool, MuxConnection};
 use crate::error::{RmiError, RmiResult};
 use crate::interceptor::{CallPhase, Interceptor, InterceptorChain};
 use crate::metrics::{Counter, Metrics};
 use crate::objref::{Endpoint, ObjectRef};
 use crate::policy::{ServerHealth, ServerPolicy};
+use crate::reactor::{self, ReactorHandle};
 use crate::result_cache::{CacheKey, ResultCache};
 use crate::retry::{may_retry, Backoff, RetryClass, RetryPolicy};
 use crate::serialize::{self, RemoteObject, ValueRegistry};
@@ -33,7 +34,7 @@ use crate::server::{
 };
 use crate::skeleton::Skeleton;
 use crate::trace::{self, CallContext, TraceLevel};
-use crate::transport::Connector;
+use crate::transport::{Connector, TransportMode};
 use heidl_wire::{pool, Encoder, PooledBuf, Protocol, TextProtocol};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::any::Any;
@@ -243,6 +244,7 @@ pub struct OrbBuilder {
     connector: Option<Arc<dyn Connector>>,
     server_policy: ServerPolicy,
     heartbeat_interval: Option<Duration>,
+    transport_mode: TransportMode,
 }
 
 impl Default for OrbBuilder {
@@ -256,6 +258,7 @@ impl Default for OrbBuilder {
             connector: None,
             server_policy: ServerPolicy::default(),
             heartbeat_interval: None,
+            transport_mode: TransportMode::from_env(),
         }
     }
 }
@@ -325,6 +328,19 @@ impl OrbBuilder {
         self
     }
 
+    /// Selects the I/O engine for this ORB's sockets (default: the
+    /// `HEIDL_TRANSPORT` environment variable, i.e.
+    /// [`TransportMode::from_env`]). [`TransportMode::Reactor`] runs the
+    /// server's accept/read/write paths and the client's reply
+    /// demultiplexers on one epoll readiness loop per server (plus one
+    /// shared client loop) instead of a thread per connection; on targets
+    /// without epoll it silently falls back to the threaded engine. Wire
+    /// behavior is byte-identical between the two.
+    pub fn transport_mode(mut self, mode: TransportMode) -> OrbBuilder {
+        self.transport_mode = mode;
+        self
+    }
+
     /// Builds the ORB.
     pub fn build(self) -> Orb {
         let pool = ConnectionPool::new();
@@ -338,6 +354,7 @@ impl OrbBuilder {
         // breaker state transitions are observed as counter bumps.
         let metrics = Arc::new(Metrics::new());
         pool.set_breaker_observer(Arc::clone(&metrics) as _);
+        pool.set_transport_mode(self.transport_mode);
         let orb = Orb {
             inner: Arc::new(OrbInner {
                 protocol: self.protocol,
@@ -358,22 +375,50 @@ impl OrbBuilder {
                 session_id: fresh_session_id(),
                 token_seq: AtomicU64::new(1),
                 heartbeat: Mutex::new(None),
+                transport_mode: self.transport_mode,
             }),
         };
         if let Some(interval) = self.heartbeat_interval {
-            // The loop holds only a `Weak`: dropping the last ORB handle
-            // lets the thread notice and exit on its next tick. The join
-            // handle lives in `OrbInner` so shutdown (and drop) can stop
-            // the prober *and wait for it* — no detached thread outlives
-            // the ORB.
+            // The prober holds only a `Weak`: dropping the last ORB handle
+            // lets it notice and stop itself. Under the reactor engine the
+            // prober is a timer on the shared client reactor (no dedicated
+            // thread, fire-and-forget pings settled one tick later);
+            // otherwise it is the classic blocking-ping thread, whose join
+            // handle lives in `OrbInner` so shutdown can wait for it.
             let weak = Arc::downgrade(&orb.inner);
-            let stop = Arc::new(StopSignal::default());
-            let thread_stop = Arc::clone(&stop);
-            let thread = std::thread::Builder::new()
-                .name("heidl-heartbeat".to_owned())
-                .spawn(move || heartbeat_loop(weak, interval, thread_stop))
-                .expect("spawn heartbeat thread");
-            *orb.inner.heartbeat.lock() = Some(HeartbeatHandle { stop, thread: Some(thread) });
+            let client_reactor = if self.transport_mode.reactor_enabled() {
+                reactor::client_reactor()
+            } else {
+                None
+            };
+            let handle = match client_reactor {
+                Some(reactor) => {
+                    let timer_id = reactor.alloc_id();
+                    let tick =
+                        (interval / 2).clamp(Duration::from_millis(5), Duration::from_millis(500));
+                    reactor.add_timer(timer_id, tick, heartbeat_tick(weak, interval, timer_id));
+                    // The liveness token is owned by the *handle*, not the
+                    // callback: stopping must decrement synchronously even
+                    // though the cancel itself is only a queued command
+                    // (the last ORB handle can die on the reactor thread,
+                    // where waiting for the loop would deadlock).
+                    HeartbeatHandle::Timer {
+                        reactor,
+                        timer_id,
+                        alive: Some(HeartbeatAlive::enter()),
+                    }
+                }
+                None => {
+                    let stop = Arc::new(StopSignal::default());
+                    let thread_stop = Arc::clone(&stop);
+                    let thread = std::thread::Builder::new()
+                        .name("heidl-heartbeat".to_owned())
+                        .spawn(move || heartbeat_loop(weak, interval, thread_stop))
+                        .expect("spawn heartbeat thread");
+                    HeartbeatHandle::Thread { stop, thread: Some(thread) }
+                }
+            };
+            *orb.inner.heartbeat.lock() = Some(handle);
         }
         orb
     }
@@ -412,18 +457,35 @@ impl StopSignal {
     }
 }
 
-/// Stop signal plus join handle for the heartbeat prober thread.
-struct HeartbeatHandle {
-    stop: Arc<StopSignal>,
-    thread: Option<std::thread::JoinHandle<()>>,
+/// Handle to the heartbeat prober, in whichever shape it runs.
+enum HeartbeatHandle {
+    /// Dedicated `heidl-heartbeat` thread (threaded engine, or reactor
+    /// unavailable): stop signal plus join handle.
+    Thread { stop: Arc<StopSignal>, thread: Option<std::thread::JoinHandle<()>> },
+    /// Periodic timer on the shared client reactor (reactor engine). The
+    /// [`HeartbeatAlive`] token lives *here* rather than in the timer
+    /// callback so stopping decrements the live count synchronously.
+    Timer { reactor: ReactorHandle, timer_id: u64, alive: Option<HeartbeatAlive> },
 }
 
 impl HeartbeatHandle {
-    /// Signals the prober to exit and joins it. Idempotent.
+    /// Stops the prober. Idempotent. The thread variant joins; the timer
+    /// variant only *queues* the cancel — it must never wait for the
+    /// reactor loop, because the last ORB handle (and hence this call)
+    /// can drop on the reactor thread itself, inside the very callback a
+    /// wait would be waiting on.
     fn stop_and_join(&mut self) {
-        self.stop.request();
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
+        match self {
+            HeartbeatHandle::Thread { stop, thread } => {
+                stop.request();
+                if let Some(thread) = thread.take() {
+                    let _ = thread.join();
+                }
+            }
+            HeartbeatHandle::Timer { reactor, timer_id, alive } => {
+                reactor.cancel_timer(*timer_id);
+                drop(alive.take());
+            }
         }
     }
 }
@@ -516,6 +578,66 @@ fn heartbeat_loop(orb: Weak<OrbInner>, interval: Duration, stop: Arc<StopSignal>
 /// Upper bound on how long a heartbeat ping waits for its pong.
 const PING_TIMEOUT: Duration = Duration::from_secs(1);
 
+/// Builds the reactor-timer variant of the prober (see
+/// [`OrbBuilder::heartbeat`]). Same pool scan and skip conditions as
+/// [`heartbeat_loop`], but nothing blocks the shared client reactor:
+/// pings are fire-and-forget ([`MuxConnection::send_ping`]) and each tick
+/// begins by settling the previous round — a ping still unanswered after
+/// a whole tick means the peer is gone, so the connection is evicted and
+/// its breaker charged, exactly like a timed-out blocking ping.
+fn heartbeat_tick(
+    orb: Weak<OrbInner>,
+    interval: Duration,
+    timer_id: u64,
+) -> Box<dyn FnMut(&ReactorHandle) + Send> {
+    let mut outstanding: Vec<(Endpoint, Arc<MuxConnection>, u64)> = Vec::new();
+    Box::new(move |handle| {
+        let Some(inner) = orb.upgrade() else {
+            // Last ORB handle is gone. `stop_and_join` already queued a
+            // cancel; self-cancel too in case the inner died without it
+            // (the handle was `mem::forget`-ed, say) — double cancel is a
+            // no-op.
+            outstanding.clear();
+            handle.cancel_timer(timer_id);
+            return;
+        };
+        // Settle first so `in_flight` is accurate for this tick's scan: a
+        // pong (or a demux-side death) removed the pending entry, so a
+        // still-pending ping is a silent peer.
+        for (endpoint, conn, request_id) in outstanding.drain(..) {
+            if conn.ping_unanswered(request_id) {
+                inner.pool.discard(&endpoint, &conn);
+                inner.pool.breaker(&endpoint).record_failure();
+            }
+        }
+        for (endpoint, conns) in inner.pool.scan() {
+            for conn in conns {
+                if !conn.is_alive() {
+                    inner.pool.discard(&endpoint, &conn);
+                    continue;
+                }
+                if conn.borrow_count() > 0 || conn.in_flight() > 0 || conn.idle_for() < interval {
+                    continue;
+                }
+                let health = ObjectRef::new(endpoint.clone(), HEALTH_OBJECT_ID, HEALTH_TYPE_ID);
+                let call = Call::request(&health, "ping", inner.protocol.as_ref());
+                let request_id = call.request_id();
+                let body = call.into_body();
+                inner.metrics.inc(Counter::HeartbeatsSent);
+                let outcome = conn.send_ping(request_id, &body);
+                pool::recycle(body);
+                match outcome {
+                    Ok(()) => outstanding.push((endpoint.clone(), conn, request_id)),
+                    Err(_) => {
+                        inner.pool.discard(&endpoint, &conn);
+                        inner.pool.breaker(&endpoint).record_failure();
+                    }
+                }
+            }
+        }
+    })
+}
+
 /// A handle to the per-address-space ORB state. Cheap to clone.
 #[derive(Clone)]
 pub struct Orb {
@@ -555,6 +677,9 @@ pub(crate) struct OrbInner {
     /// and drop both stop-and-join through this, so the prober can never
     /// outlive the ORB.
     heartbeat: Mutex<Option<HeartbeatHandle>>,
+    /// Which I/O engine this ORB's sockets run on (see
+    /// [`OrbBuilder::transport_mode`]).
+    transport_mode: TransportMode,
 }
 
 impl std::fmt::Debug for Orb {
@@ -639,6 +764,12 @@ impl Orb {
     /// The server-side overload policy this ORB was built with.
     pub(crate) fn server_policy(&self) -> &ServerPolicy {
         &self.inner.server_policy
+    }
+
+    /// The I/O engine this ORB was built with (see
+    /// [`OrbBuilder::transport_mode`]).
+    pub fn transport_mode(&self) -> TransportMode {
+        self.inner.transport_mode
     }
 
     /// Stops accepting connections. Existing connections drain naturally.
@@ -836,8 +967,6 @@ impl Orb {
     /// As [`Orb::invoke`], plus [`RmiError::DeadlineExceeded`].
     pub fn invoke_with(&self, mut call: Call, options: CallOptions) -> RmiResult<Reply> {
         self.check_protocol(call.target())?;
-        let target = call.target().clone();
-        let method = call.method().to_owned();
         let request_id = call.request_id();
         // Exactly-once: stamp the request with this ORB's invocation
         // token. Attached *before* any trace context — the wire layout is
@@ -866,7 +995,10 @@ impl Orb {
             None
         };
         let args_span = call.args_span();
-        let body = call.into_body();
+        // Take ownership of the target and method along with the body:
+        // the call is done with them, and moving spares an `ObjectRef`
+        // clone plus a `String` allocation on every invocation.
+        let (target, method, body) = call.into_parts();
         // `@cached` consult: key on the argument bytes only — the header
         // embeds the per-call request id, which never repeats.
         let cache_key = options.cached_ttl.map(|_| CacheKey {
@@ -885,13 +1017,18 @@ impl Orb {
         let deadline = options.deadline.or(self.inner.default_deadline);
         self.inner.metrics.add(Counter::BytesOut, body.len() as u64);
 
-        let started = Instant::now();
+        // The latency clock is read only when per-op detail is on:
+        // `record_client_call` ignores the nanos otherwise, and two
+        // `Instant::now()` reads per call are measurable on the
+        // sub-microsecond echo path. (Flipping detail on mid-call records
+        // that one call as 0ns — harmless for a monitoring histogram.)
+        let started = self.inner.metrics.detail_enabled().then(Instant::now);
         let result =
             self.invoke_fault_tolerant(&target, &method, request_id, &body, deadline, &options);
         // The request body is done with the wire on every path; give its
         // storage back for the next call's encoder.
         pool::recycle(body);
-        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        let elapsed_ns = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
         let reply_body = match result {
             Ok(b) => b,
             Err(e) => {

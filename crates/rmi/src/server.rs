@@ -24,6 +24,25 @@
 //! any servant runs, and everything the server reads is deframed and
 //! decoded under the policy's `DecodeLimits`. The built-in `_health`
 //! object (well-known id `0`) reports the resulting counters.
+//!
+//! ## Two I/O engines, one routing path
+//!
+//! The server runs its sockets on one of two engines, selected by
+//! [`TransportMode`](crate::TransportMode) (`HEIDL_TRANSPORT` or
+//! `OrbBuilder::transport_mode`):
+//!
+//! * **threaded** (the historical engine): a blocking accept loop plus one
+//!   `heidl-conn` reader thread per connection;
+//! * **reactor**: a single `heidl-reactor-{port}` epoll readiness loop
+//!   owns the listener and every connection — accepted sockets become
+//!   per-connection state machines ([`ConnSource`]/[`ConnWriter`]) that
+//!   deframe with `MSG_DONTWAIT` reads and continue partial reply writes
+//!   when `EPOLLOUT` says the peer caught up, so ten thousand idle
+//!   connections cost zero threads instead of ten thousand.
+//!
+//! Both engines deframe into the same [`route_frame`] routing path and
+//! dispatch on the same worker pool, so policy enforcement and wire
+//! behavior are byte-identical; only the thread economics differ.
 
 use crate::call::{
     extract_call_context, extract_invocation_token, peek_reply_id, peek_route, IncomingCall,
@@ -35,12 +54,17 @@ use crate::metrics::{Counter, Metrics};
 use crate::objref::Endpoint;
 use crate::orb::Orb;
 use crate::policy::{ServerHealth, ServerPolicy};
+use crate::reactor::{
+    self, Action, ReactorHandle, Source, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
 use crate::replay::{ReplayCache, ReplayDecision};
 use crate::skeleton::{DispatchOutcome, Skeleton};
 use crate::trace::{self, TraceLevel};
-use crate::transport::{TcpTransport, Transport};
+use crate::transport::{TcpTransport, Transport, RECV_CHUNK};
+use heidl_wire::{pool, FrameBuf, PooledBuf, MAX_FRAME_HEADER};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::io::IoSlice;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -81,8 +105,9 @@ pub(crate) struct ServerShared {
     shed_requests: AtomicU64,
     /// Connections refused at accept time since start.
     shed_connections: AtomicU64,
-    /// Live connections' write halves, for force-close at drain timeout.
-    conns: Mutex<HashMap<u64, Weak<ReplyWriter>>>,
+    /// Live connections' write halves, for force-close at drain timeout
+    /// and the reactor's idle/stall sweep.
+    conns: Mutex<HashMap<u64, Weak<dyn ReplySink>>>,
     next_conn_id: AtomicU64,
     /// The owning ORB's metrics registry: the shed counters below are
     /// mirrored into it exactly once per event (see [`Self::shed_request`]).
@@ -187,15 +212,43 @@ impl Drop for ConnGuard {
 pub(crate) struct ServerHandle {
     endpoint: Endpoint,
     local: SocketAddr,
-    running: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    engine: Engine,
     shared: Arc<ServerShared>,
 }
 
+/// Which I/O engine is serving the sockets (see the module docs).
+enum Engine {
+    Threaded {
+        running: Arc<AtomicBool>,
+        acceptor: Option<JoinHandle<()>>,
+    },
+    Reactor {
+        reactor: ReactorHandle,
+        accept_token: u64,
+        /// Set by [`AcceptSource`]'s drop, so stopping can wait until the
+        /// listener is actually closed (threaded `stop` joins the accept
+        /// thread; this is the readiness-loop equivalent).
+        accept_closed: Arc<AtomicBool>,
+    },
+}
+
 impl ServerHandle {
-    /// Binds `addr` and starts the accept loop under the ORB's
-    /// `ServerPolicy`.
+    /// Binds `addr` and starts serving under the ORB's `ServerPolicy`, on
+    /// the engine its `TransportMode` selects. The reactor engine requires
+    /// raw socket fds, so a `HEIDL_FAULT_PLAN` run (every accepted
+    /// transport wrapped in a fd-less fault injector) falls back to the
+    /// threaded engine.
     pub(crate) fn start(addr: &str, orb: Orb) -> RmiResult<ServerHandle> {
+        if orb.transport_mode().reactor_enabled() && crate::fault::FaultPlan::from_env().is_none() {
+            ServerHandle::start_reactor(addr, orb)
+        } else {
+            ServerHandle::start_threaded(addr, orb)
+        }
+    }
+
+    /// The historical engine: a blocking accept loop plus one reader
+    /// thread per accepted connection.
+    fn start_threaded(addr: &str, orb: Orb) -> RmiResult<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let endpoint = Endpoint::new(orb.protocol().name(), local.ip().to_string(), local.port());
@@ -209,7 +262,72 @@ impl ServerHandle {
             .name(format!("heidl-accept-{}", local.port()))
             .spawn(move || accept_loop(listener, orb, flag, workers, loop_shared))
             .map_err(RmiError::Io)?;
-        Ok(ServerHandle { endpoint, local, running, acceptor: Some(acceptor), shared })
+        Ok(ServerHandle {
+            endpoint,
+            local,
+            engine: Engine::Threaded { running, acceptor: Some(acceptor) },
+            shared,
+        })
+    }
+
+    /// The readiness-loop engine: one epoll thread owns the listener and
+    /// every connection; dispatch still runs on the shared worker pool.
+    fn start_reactor(addr: &str, orb: Orb) -> RmiResult<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let endpoint = Endpoint::new(orb.protocol().name(), local.ip().to_string(), local.port());
+        let policy = orb.server_policy().clone();
+        let workers = Arc::new(WorkerPool::new(WORKER_THREADS, policy.max_overflow_threads));
+        let shared = Arc::new(ServerShared::new(policy, Arc::clone(orb.metrics())));
+        let handle =
+            reactor::spawn(&format!("heidl-reactor-{}", local.port())).map_err(RmiError::Io)?;
+        let accept_closed = Arc::new(AtomicBool::new(false));
+        let accept_token = handle.alloc_id();
+        handle.register(
+            accept_token,
+            EPOLLIN,
+            Box::new(AcceptSource {
+                listener,
+                orb,
+                workers,
+                shared: Arc::clone(&shared),
+                closed: Arc::clone(&accept_closed),
+            }),
+        );
+        // The socket timeouts the threaded engine sets are meaningless for
+        // MSG_DONTWAIT I/O, so a sweep timer polices them instead: idle
+        // peers (read_idle_timeout) and peers too slow to take their
+        // replies (write_timeout) get force-closed, which surfaces as an
+        // EOF event on their source.
+        let idle = shared.policy.read_idle_timeout;
+        let stall = shared.policy.write_timeout;
+        if idle.is_some() || stall.is_some() {
+            let tightest = [idle, stall].into_iter().flatten().min().unwrap_or_default();
+            let period =
+                (tightest / 4).clamp(Duration::from_millis(10), Duration::from_millis(1000));
+            let sweep_shared = Arc::clone(&shared);
+            handle.add_timer(
+                handle.alloc_id(),
+                period,
+                Box::new(move |_| {
+                    let sinks: Vec<_> = sweep_shared.conns.lock().values().cloned().collect();
+                    for weak in sinks {
+                        if let Some(sink) = weak.upgrade() {
+                            if sink.stalled(idle, stall) {
+                                sink.force_close();
+                            }
+                        }
+                    }
+                }),
+            );
+        }
+        Ok(ServerHandle {
+            endpoint,
+            local,
+            engine: Engine::Reactor { reactor: handle, accept_token, accept_closed },
+            shared,
+        })
     }
 
     pub(crate) fn endpoint(&self) -> &Endpoint {
@@ -222,8 +340,16 @@ impl ServerHandle {
 
     /// Stops the accept loop immediately; in-flight dispatches race the
     /// process teardown (the historical `shutdown()` semantics).
+    /// Established connections keep being served on both engines until
+    /// their peers disconnect.
     pub(crate) fn stop(mut self) {
         self.halt_accepting();
+        if let Engine::Reactor { reactor, .. } = &self.engine {
+            // Exit once the last connection's source is gone — the
+            // reactor-thread analogue of `heidl-conn` threads outliving
+            // the acceptor.
+            reactor.retire();
+        }
     }
 
     /// Graceful drain: stop accepting, shed new requests with `Busy`,
@@ -245,8 +371,8 @@ impl ServerHandle {
         };
         // Force-close whatever is left (all connections when drained — the
         // readers are idle-blocked — plus any overrunning dispatch's):
-        // shutting the socket down gives each reader EOF, so every
-        // `heidl-conn` thread exits promptly.
+        // shutting the socket down gives each reader EOF, so every reader
+        // (thread or reactor source) exits promptly.
         let writers: Vec<_> = self.shared.conns.lock().drain().collect();
         for (conn_id, weak) in writers {
             if let Some(writer) = weak.upgrade() {
@@ -255,34 +381,56 @@ impl ServerHandle {
                         format!("drain timeout: force-closing connection {conn_id}")
                     });
                 }
-                writer.transport.lock().shutdown();
+                writer.force_close();
             }
+        }
+        if let Engine::Reactor { reactor, .. } = &self.engine {
+            reactor.retire();
         }
         drained
     }
 
     fn halt_accepting(&mut self) {
-        self.running.store(false, Ordering::SeqCst);
-        // Nudge the blocking accept() so it observes the flag. Connect via
-        // loopback: the bind address may be unroutable as a *destination*
-        // (`0.0.0.0` / `::`), but the listener is always reachable on the
-        // loopback of its own address family.
-        let _ = TcpStream::connect_timeout(&self.nudge_addr(), Duration::from_millis(250));
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        match &mut self.engine {
+            Engine::Threaded { running, acceptor } => {
+                running.store(false, Ordering::SeqCst);
+                // Nudge the blocking accept() so it observes the flag.
+                // Connect via loopback: the bind address may be unroutable
+                // as a *destination* (`0.0.0.0` / `::`), but the listener
+                // is always reachable on the loopback of its own address
+                // family.
+                let addr = nudge_addr(self.local);
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+                if let Some(h) = acceptor.take() {
+                    let _ = h.join();
+                }
+            }
+            Engine::Reactor { reactor, accept_token, accept_closed } => {
+                reactor.close(*accept_token);
+                // Wait (bounded) until the listener has actually dropped,
+                // so the port is free when we return — same guarantee the
+                // threaded engine gets from joining its accept thread.
+                let deadline = Instant::now() + Duration::from_secs(1);
+                while !accept_closed.load(Ordering::SeqCst) && Instant::now() < deadline {
+                    if !reactor.is_live() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
         }
     }
+}
 
-    fn nudge_addr(&self) -> SocketAddr {
-        let mut addr = self.local;
-        if addr.ip().is_unspecified() {
-            addr.set_ip(match self.local {
-                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
-        }
-        addr
+fn nudge_addr(local: SocketAddr) -> SocketAddr {
+    let mut addr = local;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match local {
+            SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
     }
+    addr
 }
 
 type Job = Box<dyn FnOnce() + Send>;
@@ -423,6 +571,35 @@ fn accept_loop(
     }
 }
 
+/// A connection's write half, as every dispatch job (and the drain and
+/// sweep paths) sees it: the threaded engine's blocking [`ReplyWriter`]
+/// and the reactor's queueing non-blocking [`ConnWriter`] both implement
+/// it, so [`route_frame`] and the worker pool are engine-agnostic.
+pub(crate) trait ReplySink: Send + Sync {
+    /// Writes one framed reply, recycling the (pooled) body storage once
+    /// the bytes are on the wire (or queued for it).
+    fn send(&self, body: Vec<u8>) -> RmiResult<()>;
+
+    /// As [`Self::send`] but without touching the byte counters: replies
+    /// to the built-in `_health`/`_metrics` objects — including heartbeat
+    /// pings — are runtime chatter, not application traffic, and must not
+    /// skew `_metrics` byte totals.
+    fn send_unmetered(&self, body: Vec<u8>) -> RmiResult<()>;
+
+    /// Tears the connection down: shuts the socket down so the read side
+    /// (blocked thread or reactor source) observes EOF and cleans up.
+    fn force_close(&self);
+
+    /// Whether the connection has gone idle past `idle_after` or has had
+    /// reply bytes queued without progress past `write_stall`. Only the
+    /// reactor writer reports either — the threaded engine's socket
+    /// timeouts already police both.
+    fn stalled(&self, idle_after: Option<Duration>, write_stall: Option<Duration>) -> bool {
+        let _ = (idle_after, write_stall);
+        false
+    }
+}
+
 /// The write half of a connection, shared by every dispatch that answers
 /// on it. Frames under a brief lock so interleaved replies stay whole.
 struct ReplyWriter {
@@ -436,18 +613,6 @@ impl ReplyWriter {
     /// once the bytes are on the wire. A write failure is traced here —
     /// the one choke point every reply passes through — so a connection
     /// torn down mid-reply never vanishes silently.
-    fn send(&self, body: Vec<u8>) -> RmiResult<()> {
-        self.send_with_accounting(body, true)
-    }
-
-    /// As [`Self::send`] but without touching the byte counters: replies
-    /// to the built-in `_health`/`_metrics` objects — including heartbeat
-    /// pings — are runtime chatter, not application traffic, and must not
-    /// skew `_metrics` byte totals.
-    fn send_unmetered(&self, body: Vec<u8>) -> RmiResult<()> {
-        self.send_with_accounting(body, false)
-    }
-
     fn send_with_accounting(&self, body: Vec<u8>, metered: bool) -> RmiResult<()> {
         let len = body.len();
         let result = {
@@ -464,6 +629,116 @@ impl ReplyWriter {
         }
         result
     }
+}
+
+impl ReplySink for ReplyWriter {
+    fn send(&self, body: Vec<u8>) -> RmiResult<()> {
+        self.send_with_accounting(body, true)
+    }
+
+    fn send_unmetered(&self, body: Vec<u8>) -> RmiResult<()> {
+        self.send_with_accounting(body, false)
+    }
+
+    fn force_close(&self) {
+        self.transport.lock().shutdown();
+    }
+}
+
+/// Routes one deframed request — the single path both engines feed. The
+/// read side (a `heidl-conn` thread or a reactor [`ConnSource`]) calls
+/// this once per frame; returns `false` when the reply sink failed and
+/// the connection should be torn down.
+fn route_frame(
+    body: PooledBuf,
+    orb: &Orb,
+    workers: &WorkerPool,
+    shared: &Arc<ServerShared>,
+    per_conn: &Arc<AtomicUsize>,
+    sink: &Arc<dyn ReplySink>,
+) -> bool {
+    let protocol = orb.protocol();
+    let limits = &shared.policy.decode_limits;
+    let body_len = body.len() as u64;
+    // One borrowed decode pass yields everything routing needs: the
+    // id, the reply-expected flag, and the target object id.
+    match peek_route(&body, protocol.as_ref(), limits) {
+        // `_health` probes and `_metrics` reads bypass admission
+        // control and dispatch inline on the reader (they are cheap
+        // and run no servant code): overload or drain must never
+        // blind observability. They also stay out of the byte
+        // counters — a client heartbeating through a quiet period
+        // must not read back as application traffic.
+        Ok((_, _, Some(HEALTH_OBJECT_ID | METRICS_OBJECT_ID))) => {
+            if let Some(reply) = handle_request(body.into(), orb, shared) {
+                if sink.send_unmetered(reply).is_err() {
+                    return false;
+                }
+            }
+        }
+        // oneway: dispatch inline so a client's oneway-then-call
+        // sequence executes in order; there is no reply to write, so
+        // an overload shed is silent (but counted).
+        Ok((_, false, _)) => {
+            shared.metrics.add(Counter::BytesIn, body_len);
+            match shared.try_admit(per_conn) {
+                Ok(guard) => {
+                    let _ = handle_request(body.into(), orb, shared);
+                    drop(guard);
+                }
+                Err(_) => shared.shed_request(),
+            }
+        }
+        Ok((request_id, true, _)) => {
+            shared.metrics.add(Counter::BytesIn, body_len);
+            match shared.try_admit(per_conn) {
+                Ok(guard) => {
+                    let job_orb = orb.clone();
+                    let job_sink = Arc::clone(sink);
+                    let job_shared = Arc::clone(shared);
+                    let job_body: Vec<u8> = body.into();
+                    let accepted = workers.submit(Box::new(move || {
+                        // The guard lives until the reply is on the wire.
+                        let _guard = guard;
+                        if let Some(reply) = handle_request(job_body, &job_orb, &job_shared) {
+                            let _ = job_sink.send(reply);
+                        }
+                    }));
+                    if !accepted {
+                        // The dropped job released its guard; tell the
+                        // client to back off.
+                        shared.shed_request();
+                        let busy = ReplyBuilder::busy(
+                            protocol.as_ref(),
+                            request_id,
+                            "worker pool overflow cap reached",
+                        );
+                        if sink.send(busy).is_err() {
+                            return false;
+                        }
+                    }
+                }
+                Err(reason) => {
+                    shared.shed_request();
+                    let busy = ReplyBuilder::busy(protocol.as_ref(), request_id, &reason);
+                    if sink.send(busy).is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Unparsable header — diagnose inline (a telnet user who
+        // mistyped wants the error back immediately).
+        Err(_) => {
+            shared.metrics.add(Counter::BytesIn, body_len);
+            if let Some(reply) = handle_request(body.into(), orb, shared) {
+                if sink.send(reply).is_err() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Serves one connection until the peer closes it: the reader thread
@@ -484,91 +759,16 @@ fn connection_loop(
         protocol: Arc::clone(&protocol),
         metrics: Arc::clone(&shared.metrics),
     });
+    let sink: Arc<dyn ReplySink> = Arc::clone(&writer) as Arc<dyn ReplySink>;
     // Register for force-close at drain timeout; deregister on exit.
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
-    shared.conns.lock().insert(conn_id, Arc::downgrade(&writer));
+    shared.conns.lock().insert(conn_id, Arc::downgrade(&sink));
     // This connection's share of the in-flight budget.
     let per_conn = Arc::new(AtomicUsize::new(0));
     let mut comm = ObjectCommunicator::with_limits(read_half, Arc::clone(&protocol), limits);
     while let Ok(Some(body)) = comm.recv() {
-        let body_len = body.len() as u64;
-        // One borrowed decode pass yields everything routing needs: the
-        // id, the reply-expected flag, and the target object id.
-        match peek_route(&body, protocol.as_ref(), &limits) {
-            // `_health` probes and `_metrics` reads bypass admission
-            // control and dispatch inline on the reader (they are cheap
-            // and run no servant code): overload or drain must never
-            // blind observability. They also stay out of the byte
-            // counters — a client heartbeating through a quiet period
-            // must not read back as application traffic.
-            Ok((_, _, Some(HEALTH_OBJECT_ID | METRICS_OBJECT_ID))) => {
-                if let Some(reply) = handle_request(body.into(), &orb, &shared) {
-                    if writer.send_unmetered(reply).is_err() {
-                        break;
-                    }
-                }
-            }
-            // oneway: dispatch inline so a client's oneway-then-call
-            // sequence executes in order; there is no reply to write, so
-            // an overload shed is silent (but counted).
-            Ok((_, false, _)) => {
-                shared.metrics.add(Counter::BytesIn, body_len);
-                match shared.try_admit(&per_conn) {
-                    Ok(guard) => {
-                        let _ = handle_request(body.into(), &orb, &shared);
-                        drop(guard);
-                    }
-                    Err(_) => shared.shed_request(),
-                }
-            }
-            Ok((request_id, true, _)) => {
-                shared.metrics.add(Counter::BytesIn, body_len);
-                match shared.try_admit(&per_conn) {
-                    Ok(guard) => {
-                        let job_orb = orb.clone();
-                        let job_writer = Arc::clone(&writer);
-                        let job_shared = Arc::clone(&shared);
-                        let job_body: Vec<u8> = body.into();
-                        let accepted = workers.submit(Box::new(move || {
-                            // The guard lives until the reply is on the wire.
-                            let _guard = guard;
-                            if let Some(reply) = handle_request(job_body, &job_orb, &job_shared) {
-                                let _ = job_writer.send(reply);
-                            }
-                        }));
-                        if !accepted {
-                            // The dropped job released its guard; tell the
-                            // client to back off.
-                            shared.shed_request();
-                            let busy = ReplyBuilder::busy(
-                                protocol.as_ref(),
-                                request_id,
-                                "worker pool overflow cap reached",
-                            );
-                            if writer.send(busy).is_err() {
-                                break;
-                            }
-                        }
-                    }
-                    Err(reason) => {
-                        shared.shed_request();
-                        let busy = ReplyBuilder::busy(protocol.as_ref(), request_id, &reason);
-                        if writer.send(busy).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-            // Unparsable header — diagnose inline (a telnet user who
-            // mistyped wants the error back immediately).
-            Err(_) => {
-                shared.metrics.add(Counter::BytesIn, body_len);
-                if let Some(reply) = handle_request(body.into(), &orb, &shared) {
-                    if writer.send(reply).is_err() {
-                        break;
-                    }
-                }
-            }
+        if !route_frame(body, &orb, &workers, &shared, &per_conn, &sink) {
+            break;
         }
     }
     shared.conns.lock().remove(&conn_id);
@@ -838,5 +1038,432 @@ fn dispatch_request(
             "IDL:heidl/DispatchFailed:1.0",
             &other.to_string(),
         ),
+    }
+}
+
+// ---- reactor engine -----------------------------------------------------
+
+/// The listener as a reactor source: each readiness event drains the
+/// accept queue (nonblocking listener) and registers every admitted
+/// connection as a [`ConnSource`]/[`ConnWriter`] pair on the same loop.
+struct AcceptSource {
+    listener: TcpListener,
+    orb: Orb,
+    workers: Arc<WorkerPool>,
+    shared: Arc<ServerShared>,
+    closed: Arc<AtomicBool>,
+}
+
+impl Drop for AcceptSource {
+    fn drop(&mut self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Source for AcceptSource {
+    fn fd(&self) -> i32 {
+        use std::os::fd::AsRawFd;
+        self.listener.as_raw_fd()
+    }
+
+    fn on_ready(&mut self, _events: u32, reactor: &ReactorHandle) -> Action {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    register_reactor_conn(stream, &self.orb, &self.workers, &self.shared, reactor);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // The aborted connection is gone; the next queue entry
+                // may be fine.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                // Resource exhaustion (EMFILE/ENFILE/ENOMEM) and other
+                // persistent failures must not kill the server — but
+                // under level-triggered epoll the listener stays readable
+                // while the queue entry we cannot accept is pending, so
+                // breaking bare would spin the loop hot. A short sleep
+                // bounds that: degraded, not burning a core.
+                Err(e) => {
+                    trace::emit_with(TraceLevel::Warn, "server", || format!("accept failed: {e}"));
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
+                }
+            }
+        }
+        Action::Keep
+    }
+}
+
+/// Admission + registration for one reactor-accepted connection: the
+/// readiness-loop counterpart of the tail of [`accept_loop`].
+fn register_reactor_conn(
+    stream: TcpStream,
+    orb: &Orb,
+    workers: &Arc<WorkerPool>,
+    shared: &Arc<ServerShared>,
+    reactor: &ReactorHandle,
+) {
+    // Connection admission: over the cap (or draining), close
+    // immediately — cheaper than a registered source per rejected peer.
+    if shared.connections.load(Ordering::SeqCst) >= shared.policy.max_connections
+        || shared.draining.load(Ordering::SeqCst)
+    {
+        shared.shed_connection();
+        drop(stream);
+        return;
+    }
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    let conn_guard = ConnGuard { shared: Arc::clone(shared) };
+    let Ok(transport) = TcpTransport::from_stream(stream) else { return };
+    // No socket timeouts here: MSG_DONTWAIT I/O never blocks on them, and
+    // the sweep timer polices idle/stalled peers instead.
+    let transport: Box<dyn Transport> = Box::new(transport);
+    let Ok((write_half, read_half)) = transport.split() else { return };
+    let token = reactor.alloc_id();
+    let writer = Arc::new(ConnWriter {
+        inner: Mutex::new(WriterInner {
+            transport: write_half,
+            queue: Vec::new(),
+            pos: 0,
+            queued_since: None,
+            dead: false,
+        }),
+        reactor: reactor.clone(),
+        token,
+        protocol: Arc::clone(orb.protocol()),
+        metrics: Arc::clone(&shared.metrics),
+        last_activity: Mutex::new(Instant::now()),
+    });
+    let sink: Arc<dyn ReplySink> = Arc::clone(&writer) as Arc<dyn ReplySink>;
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    shared.conns.lock().insert(conn_id, Arc::downgrade(&sink));
+    let source = ConnSource {
+        transport: read_half,
+        buf: FrameBuf::new(),
+        writer,
+        sink,
+        orb: orb.clone(),
+        workers: Arc::clone(workers),
+        shared: Arc::clone(shared),
+        per_conn: Arc::new(AtomicUsize::new(0)),
+        conn_id,
+        _conn: conn_guard,
+    };
+    reactor.register(token, EPOLLIN | EPOLLRDHUP, Box::new(source));
+}
+
+/// What [`ConnWriter::flush`] left behind.
+enum FlushState {
+    /// Queue fully drained; `EPOLLOUT` can be disarmed.
+    Idle,
+    /// Kernel buffer filled again mid-queue; keep `EPOLLOUT` armed.
+    Pending,
+    /// The socket failed; tear the connection down.
+    Dead,
+}
+
+/// State behind the [`ConnWriter`] lock: the write-half transport plus
+/// the pending-bytes queue a partial write leaves behind.
+struct WriterInner {
+    transport: Box<dyn Transport>,
+    /// Reply bytes accepted but not yet written (`pos..` is pending);
+    /// non-empty exactly while `EPOLLOUT` is armed for this connection.
+    queue: Vec<u8>,
+    pos: usize,
+    /// When the oldest still-queued byte last made progress — the input
+    /// to the sweep timer's `write_timeout` stall check.
+    queued_since: Option<Instant>,
+    dead: bool,
+}
+
+/// The reactor engine's reply writer: framing and accounting match
+/// [`ReplyWriter`] byte-for-byte, but writes are `MSG_DONTWAIT` — when
+/// the kernel buffer fills, the remainder queues here and the connection
+/// arms `EPOLLOUT`; the loop continues the write when the peer catches
+/// up, so a slow reader stalls *its own* replies, never a worker thread.
+struct ConnWriter {
+    inner: Mutex<WriterInner>,
+    reactor: ReactorHandle,
+    /// The connection's source token — `EPOLLOUT` (re)arms target it.
+    token: u64,
+    protocol: Arc<dyn heidl_wire::Protocol>,
+    metrics: Arc<Metrics>,
+    /// Last inbound activity, touched by the read source; the sweep
+    /// timer's `read_idle_timeout` check reads it.
+    last_activity: Mutex<Instant>,
+}
+
+impl ConnWriter {
+    fn send_with_accounting(&self, body: Vec<u8>, metered: bool) -> RmiResult<()> {
+        let len = body.len();
+        let result = self.write_frame(&body);
+        pool::recycle(body);
+        match &result {
+            Ok(()) if metered => self.metrics.add(Counter::BytesOut, len as u64),
+            Ok(()) => {}
+            Err(e) => trace::emit_with(TraceLevel::Warn, "server", || {
+                format!("reply write failed; dropping connection: {e}")
+            }),
+        }
+        result
+    }
+
+    /// Frames and writes one reply body. Runs on a worker thread: the
+    /// frame goes straight to the socket when nothing is queued (the hot
+    /// path touches the reactor not at all); otherwise — or when the
+    /// kernel buffer fills mid-write — the remainder is queued and
+    /// `EPOLLOUT` armed for continuation.
+    fn write_frame(&self, body: &[u8]) -> RmiResult<()> {
+        let mut header = [0u8; MAX_FRAME_HEADER];
+        let arm = {
+            let mut inner = self.inner.lock();
+            if let Some((header_len, trailer)) = self.protocol.frame_parts(body.len(), &mut header)
+            {
+                inner.write_parts(&[&header[..header_len], body, trailer])?
+            } else {
+                let mut framed = pool::global().get();
+                framed.reserve(body.len() + MAX_FRAME_HEADER);
+                self.protocol.frame(body, &mut framed);
+                inner.write_parts(&[&framed])?
+            }
+        };
+        if arm {
+            // Queue transitioned (or stayed) non-empty: make sure the loop
+            // watches for writability. Redundant re-arms are harmless —
+            // the source itself disarms once the queue drains.
+            self.reactor.rearm(self.token, EPOLLIN | EPOLLOUT | EPOLLRDHUP);
+        }
+        Ok(())
+    }
+
+    /// Continues the queued write (reactor thread, `EPOLLOUT`).
+    fn flush(&self) -> FlushState {
+        let mut inner = self.inner.lock();
+        let WriterInner { transport, queue, pos, queued_since, dead } = &mut *inner;
+        if *dead {
+            return FlushState::Dead;
+        }
+        while *pos < queue.len() {
+            match transport.try_send(&queue[*pos..]) {
+                Ok(Some(n)) if n > 0 => {
+                    *pos += n;
+                    *queued_since = Some(Instant::now());
+                }
+                Ok(None) => return FlushState::Pending,
+                Ok(Some(_)) | Err(_) => {
+                    *dead = true;
+                    return FlushState::Dead;
+                }
+            }
+        }
+        queue.clear();
+        *pos = 0;
+        *queued_since = None;
+        FlushState::Idle
+    }
+
+    /// Whether reply bytes are still queued (drives `EPOLLOUT` interest).
+    fn has_backlog(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.pos < inner.queue.len()
+    }
+
+    fn touch(&self) {
+        *self.last_activity.lock() = Instant::now();
+    }
+
+    /// Marks the writer unusable and drops queued bytes: called when the
+    /// read source goes away (peer EOF or reactor teardown) — nothing
+    /// will ever flush the queue again, so later sends fail fast.
+    fn mark_dead(&self) {
+        let mut inner = self.inner.lock();
+        inner.dead = true;
+        inner.queue.clear();
+        inner.pos = 0;
+        inner.queued_since = None;
+    }
+}
+
+impl WriterInner {
+    /// Writes `parts` in order: appended to the queue when one exists
+    /// (strict FIFO — replies must hit the wire in acceptance order),
+    /// otherwise written directly until done or `EWOULDBLOCK` stashes the
+    /// remainder. Returns whether `EPOLLOUT` should be armed.
+    fn write_parts(&mut self, parts: &[&[u8]]) -> RmiResult<bool> {
+        if self.dead {
+            return Err(RmiError::Disconnected);
+        }
+        if self.pos < self.queue.len() {
+            for part in parts {
+                self.queue.extend_from_slice(part);
+            }
+            return Ok(true);
+        }
+        self.queue.clear();
+        self.pos = 0;
+        // One gathered `sendmsg` per attempt: the framed reply reaches the
+        // wire whole, so the client's readiness loop wakes once per reply
+        // instead of once per part (header, body, ...).
+        debug_assert!(parts.len() <= 3, "frame has at most header, body, trailer");
+        let mut storage = [IoSlice::new(&[]); 3];
+        for (slot, part) in storage.iter_mut().zip(parts) {
+            *slot = IoSlice::new(part);
+        }
+        let mut bufs = &mut storage[..parts.len()];
+        while bufs.iter().any(|b| !b.is_empty()) {
+            match self.transport.try_send_vectored(bufs) {
+                Ok(Some(n)) if n > 0 => IoSlice::advance_slices(&mut bufs, n),
+                Ok(None) => {
+                    // Kernel buffer full: stash everything unwritten.
+                    for part in bufs.iter() {
+                        self.queue.extend_from_slice(part);
+                    }
+                    self.queued_since = Some(Instant::now());
+                    return Ok(true);
+                }
+                Ok(Some(_)) => {
+                    self.dead = true;
+                    return Err(RmiError::Disconnected);
+                }
+                Err(e) => {
+                    self.dead = true;
+                    return Err(RmiError::Io(e));
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl ReplySink for ConnWriter {
+    fn send(&self, body: Vec<u8>) -> RmiResult<()> {
+        self.send_with_accounting(body, true)
+    }
+
+    fn send_unmetered(&self, body: Vec<u8>) -> RmiResult<()> {
+        self.send_with_accounting(body, false)
+    }
+
+    fn force_close(&self) {
+        // SHUT_RDWR on the write half reaches the shared file
+        // description, so the read half reports EOF to the loop and the
+        // source drops naturally — no token bookkeeping here.
+        let mut inner = self.inner.lock();
+        inner.dead = true;
+        inner.transport.shutdown();
+    }
+
+    fn stalled(&self, idle_after: Option<Duration>, write_stall: Option<Duration>) -> bool {
+        if let (Some(stall), Some(since)) = (write_stall, self.inner.lock().queued_since) {
+            if since.elapsed() >= stall {
+                return true;
+            }
+        }
+        match idle_after {
+            Some(idle) => self.last_activity.lock().elapsed() >= idle,
+            None => false,
+        }
+    }
+}
+
+/// One connection's read-side state machine on the reactor: deframes
+/// everything a readiness event made available and feeds each frame to
+/// [`route_frame`] — exactly what a `heidl-conn` thread does, minus the
+/// thread.
+struct ConnSource {
+    transport: Box<dyn Transport>,
+    buf: FrameBuf,
+    writer: Arc<ConnWriter>,
+    /// `writer`, pre-coerced once so routing does not re-coerce per frame.
+    sink: Arc<dyn ReplySink>,
+    orb: Orb,
+    workers: Arc<WorkerPool>,
+    shared: Arc<ServerShared>,
+    per_conn: Arc<AtomicUsize>,
+    conn_id: u64,
+    _conn: ConnGuard,
+}
+
+impl Drop for ConnSource {
+    fn drop(&mut self) {
+        self.shared.conns.lock().remove(&self.conn_id);
+        self.writer.mark_dead();
+    }
+}
+
+impl Source for ConnSource {
+    fn fd(&self) -> i32 {
+        self.transport.raw_fd().unwrap_or(-1)
+    }
+
+    fn on_ready(&mut self, events: u32, _reactor: &ReactorHandle) -> Action {
+        if events & EPOLLERR != 0 {
+            return Action::Drop;
+        }
+        let mut out_pending = false;
+        if events & EPOLLOUT != 0 {
+            match self.writer.flush() {
+                FlushState::Dead => return Action::Drop,
+                FlushState::Pending => out_pending = true,
+                FlushState::Idle => {}
+            }
+        }
+        if events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
+            self.writer.touch();
+            let mut drained = false;
+            loop {
+                // Drain every complete frame already buffered...
+                loop {
+                    match self
+                        .orb
+                        .protocol()
+                        .deframe_pooled(&mut self.buf, &self.shared.policy.decode_limits)
+                    {
+                        Ok(Some(body)) => {
+                            self.buf.maybe_shrink();
+                            if !route_frame(
+                                body,
+                                &self.orb,
+                                &self.workers,
+                                &self.shared,
+                                &self.per_conn,
+                                &self.sink,
+                            ) {
+                                return Action::Drop;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => return Action::Drop,
+                    }
+                }
+                if drained {
+                    break;
+                }
+                // ...then pull more until the socket runs dry. A read
+                // shorter than `RECV_CHUNK` emptied the kernel buffer:
+                // deframe what it returned, then stop without paying the
+                // `EWOULDBLOCK` confirmation syscall (level-triggered
+                // epoll re-reports the fd if more bytes race in).
+                match self.transport.try_recv_into(self.buf.input()) {
+                    Ok(Some(0)) => return Action::Drop,
+                    Ok(Some(n)) => drained = n < RECV_CHUNK,
+                    Ok(None) => break,
+                    Err(_) => return Action::Drop,
+                }
+            }
+        }
+        // Interest management: `EPOLLOUT` stays armed only while replies
+        // are queued. The hot path (readable-only event, no backlog)
+        // keeps the registration untouched — zero `epoll_ctl` per
+        // request. Any event involving `EPOLLOUT` re-MODs explicitly:
+        // worker-side arms race this decision, and an explicit MOD can
+        // never leave a drained connection busy-looping on writability.
+        let want_out = out_pending || self.writer.has_backlog();
+        if events & EPOLLOUT != 0 || want_out {
+            let interest =
+                if want_out { EPOLLIN | EPOLLOUT | EPOLLRDHUP } else { EPOLLIN | EPOLLRDHUP };
+            Action::Rearm(interest)
+        } else {
+            Action::Keep
+        }
     }
 }

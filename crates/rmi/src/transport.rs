@@ -8,6 +8,12 @@ use crate::objref::Endpoint;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 
+/// Bytes pulled per [`Transport::try_recv_into`] call. Part of that
+/// method's contract: a read returning fewer bytes than this emptied the
+/// socket buffer, so a level-triggered source may stop draining without a
+/// confirming `EWOULDBLOCK` syscall.
+pub(crate) const RECV_CHUNK: usize = 16 * 1024;
+
 /// A bidirectional byte stream.
 pub trait Transport: Send {
     /// Writes all of `bytes`.
@@ -63,6 +69,97 @@ pub trait Transport: Send {
     /// Tears the stream down in both directions so a reader blocked in
     /// `recv_into` (possibly on a split-off half) observes end-of-stream.
     fn shutdown(&mut self) {}
+
+    /// The OS-level file descriptor, when this transport is backed by one.
+    /// `None` (the default, and the answer for in-process pipes and
+    /// fault-injecting decorators) means the transport cannot be driven by
+    /// the reactor and falls back to its own blocking thread.
+    fn raw_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Nonblocking read for reactor use: appends whatever is immediately
+    /// available, `Ok(None)` when nothing is (`EWOULDBLOCK`), `Ok(Some(0))`
+    /// on orderly EOF. Must not disturb the blocking behavior of other
+    /// handles sharing the file description (implemented with per-call
+    /// `MSG_DONTWAIT`, not `O_NONBLOCK`).
+    ///
+    /// Implementations pull at most [`RECV_CHUNK`] bytes per call; a
+    /// shorter return means the kernel buffer was emptied, which
+    /// level-triggered sources use to skip the `EWOULDBLOCK`
+    /// confirmation syscall (epoll re-reports the fd if more arrives).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport read failures; `Unsupported` when the
+    /// transport has no nonblocking path (the default).
+    fn try_recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
+        let _ = buf;
+        Err(io::Error::new(io::ErrorKind::Unsupported, "no nonblocking read"))
+    }
+
+    /// Nonblocking write for reactor use: writes as much of `bytes` as the
+    /// socket buffer accepts and returns the count; `Ok(None)` when the
+    /// buffer is full and the caller should wait for writability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures; `Unsupported` when the
+    /// transport has no nonblocking path (the default).
+    fn try_send(&mut self, bytes: &[u8]) -> io::Result<Option<usize>> {
+        let _ = bytes;
+        Err(io::Error::new(io::ErrorKind::Unsupported, "no nonblocking write"))
+    }
+
+    /// Nonblocking gathered write: like [`Transport::try_send`] but the
+    /// slices go out as one `sendmsg`, so a framed reply (header + body)
+    /// hits the wire — and wakes the peer's readiness loop — once instead
+    /// of once per part.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures; `Unsupported` when the
+    /// transport has no nonblocking path (the default).
+    fn try_send_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<Option<usize>> {
+        let _ = bufs;
+        Err(io::Error::new(io::ErrorKind::Unsupported, "no nonblocking write"))
+    }
+}
+
+/// Which concurrency model the ORB's transports run under.
+///
+/// `Threaded` is the historical model: one reader thread per accepted
+/// connection, one demux thread per pooled client connection, one
+/// heartbeat scan thread. `Reactor` moves all of those onto a single
+/// epoll readiness loop per server (plus one shared client-side loop);
+/// only the dispatch worker pool keeps its threads. Transports without a
+/// file descriptor (in-process pipes, fault injectors) always use the
+/// threaded path regardless of mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// Thread-per-connection blocking I/O (the default).
+    #[default]
+    Threaded,
+    /// Shared epoll readiness loop; falls back to `Threaded` on targets
+    /// without epoll support.
+    Reactor,
+}
+
+impl TransportMode {
+    /// Resolves the mode from the `HEIDL_TRANSPORT` environment variable
+    /// (`reactor` or `threaded`, default threaded) — the switch the CI
+    /// parity lane flips to run the whole test suite under the reactor.
+    pub fn from_env() -> TransportMode {
+        match std::env::var("HEIDL_TRANSPORT").as_deref() {
+            Ok("reactor") => TransportMode::Reactor,
+            _ => TransportMode::Threaded,
+        }
+    }
+
+    /// True when this mode should drive fd-backed sockets on the reactor.
+    pub(crate) fn reactor_enabled(self) -> bool {
+        self == TransportMode::Reactor && epoll_shim::available()
+    }
 }
 
 /// Opens outbound transports to endpoints: the pluggable seam the
@@ -187,6 +284,46 @@ impl Transport for TcpTransport {
 
     fn shutdown(&mut self) {
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn raw_fd(&self) -> Option<i32> {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            Some(self.stream.as_raw_fd())
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+
+    fn try_recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
+        let Some(fd) = self.raw_fd() else {
+            return Err(io::Error::new(io::ErrorKind::Unsupported, "no raw fd"));
+        };
+        let mut chunk = [0u8; RECV_CHUNK];
+        match epoll_shim::recv_nonblocking(fd, &mut chunk)? {
+            Some(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                Ok(Some(n))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn try_send(&mut self, bytes: &[u8]) -> io::Result<Option<usize>> {
+        let Some(fd) = self.raw_fd() else {
+            return Err(io::Error::new(io::ErrorKind::Unsupported, "no raw fd"));
+        };
+        epoll_shim::send_nonblocking(fd, bytes)
+    }
+
+    fn try_send_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<Option<usize>> {
+        let Some(fd) = self.raw_fd() else {
+            return Err(io::Error::new(io::ErrorKind::Unsupported, "no raw fd"));
+        };
+        epoll_shim::send_vectored_nonblocking(fd, bufs)
     }
 }
 

@@ -1,0 +1,370 @@
+//! Transport-engine parity suite: every externally observable behavior —
+//! call results, mux correlation, overload shedding, graceful drain —
+//! must be identical whether the ORB runs the classic thread-per-
+//! connection engine or the epoll reactor, because the two share one wire
+//! format and one routing path. The second half of the file then leans on
+//! the reactor specifically: dribbled partial reads, partial writes to a
+//! slow reader, slow-loris eviction by the sweep timer, and the headline
+//! scaling property (no per-connection threads).
+
+use heidl_rmi::*;
+use heidl_wire::{CdrProtocol, Decoder, Encoder, Protocol, TextProtocol};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Both engines, in the order "baseline first".
+const MODES: [TransportMode; 2] = [TransportMode::Threaded, TransportMode::Reactor];
+
+// ---- `interface Echo { string shout(in string t); string blob(in long n); }`
+
+struct EchoSkel {
+    base: SkeletonBase,
+}
+
+impl EchoSkel {
+    fn spawn() -> Arc<dyn Skeleton> {
+        Arc::new(EchoSkel {
+            base: SkeletonBase::new(
+                "IDL:Parity/Echo:1.0",
+                DispatchKind::Hash,
+                ["shout", "blob", "nap"],
+                vec![],
+            ),
+        })
+    }
+}
+
+impl Skeleton for EchoSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let text = args.get_string()?;
+                reply.put_string(&text.to_uppercase());
+                Ok(DispatchOutcome::Handled)
+            }
+            Some(1) => {
+                let n = args.get_long()?;
+                reply.put_string(&"x".repeat(n as usize));
+                Ok(DispatchOutcome::Handled)
+            }
+            Some(2) => {
+                let ms = args.get_long()?;
+                std::thread::sleep(Duration::from_millis(ms as u64));
+                reply.put_long(ms);
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+fn serve(
+    mode: TransportMode,
+    protocol: Arc<dyn Protocol>,
+    policy: ServerPolicy,
+) -> (Orb, ObjectRef) {
+    let orb = Orb::builder().transport_mode(mode).protocol(protocol).server_policy(policy).build();
+    orb.serve("127.0.0.1:0").unwrap();
+    let objref = orb.export(EchoSkel::spawn()).unwrap();
+    (orb, objref)
+}
+
+fn client(mode: TransportMode, protocol: Arc<dyn Protocol>) -> Orb {
+    Orb::builder().transport_mode(mode).protocol(protocol).build()
+}
+
+fn shout(orb: &Orb, target: &ObjectRef, text: &str) -> RmiResult<String> {
+    let mut call = orb.call(target, "shout");
+    call.args().put_string(text);
+    let mut reply = orb.invoke(call)?;
+    Ok(reply.results().get_string()?)
+}
+
+// ---- parity: identical observable behavior under both engines ----------
+
+#[test]
+fn echo_results_identical_across_modes_and_protocols() {
+    let protocols: [Arc<dyn Protocol>; 2] = [Arc::new(TextProtocol), Arc::new(CdrProtocol)];
+    for protocol in protocols {
+        for mode in MODES {
+            let (server, objref) = serve(mode, Arc::clone(&protocol), ServerPolicy::default());
+            let client = client(mode, Arc::clone(&protocol));
+            assert_eq!(server.transport_mode(), mode);
+            for i in 0..32 {
+                let text = format!("hello {i} over {mode:?}/{}", protocol.name());
+                assert_eq!(
+                    shout(&client, &objref, &text).unwrap(),
+                    text.to_uppercase(),
+                    "mode {mode:?} protocol {}",
+                    protocol.name()
+                );
+            }
+            client.shutdown();
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn concurrent_calls_stay_correlated_in_both_modes() {
+    for mode in MODES {
+        let (server, objref) = serve(mode, Arc::new(TextProtocol), ServerPolicy::default());
+        let client_orb = client(mode, Arc::new(TextProtocol));
+        let mut threads = Vec::new();
+        for t in 0..8 {
+            let client_orb = client_orb.clone();
+            let objref = objref.clone();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let text = format!("worker {t} call {i}");
+                    assert_eq!(
+                        shout(&client_orb, &objref, &text).unwrap(),
+                        text.to_uppercase(),
+                        "mode {mode:?}: reply crossed wires"
+                    );
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        client_orb.shutdown();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn overload_sheds_with_busy_in_both_modes() {
+    const CAP: usize = 2;
+    const CALLS: usize = 4 * CAP;
+    for mode in MODES {
+        let (server, objref) = serve(
+            mode,
+            Arc::new(TextProtocol),
+            ServerPolicy::default().with_max_in_flight(CAP).with_max_overflow_threads(64),
+        );
+        let client_orb = client(mode, Arc::new(TextProtocol));
+        let barrier = Arc::new(std::sync::Barrier::new(CALLS));
+        let mut threads = Vec::new();
+        for _ in 0..CALLS {
+            let client_orb = client_orb.clone();
+            let objref = objref.clone();
+            let barrier = Arc::clone(&barrier);
+            threads.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut call = client_orb.call(&objref, "nap");
+                call.args().put_long(150);
+                client_orb
+                    .invoke_with(
+                        call,
+                        CallOptions::builder().retry_policy(RetryPolicy::none()).build(),
+                    )
+                    .map(|mut r| r.results().get_long().unwrap())
+            }));
+        }
+        let (mut ok, mut busy) = (0, 0);
+        for t in threads {
+            match t.join().unwrap() {
+                Ok(ms) => {
+                    assert_eq!(ms, 150);
+                    ok += 1;
+                }
+                Err(RmiError::ServerBusy { .. }) => busy += 1,
+                Err(other) => panic!("mode {mode:?}: storm produced non-shed failure: {other}"),
+            }
+        }
+        assert_eq!(ok + busy, CALLS, "mode {mode:?}");
+        assert!(busy > 0, "mode {mode:?}: a 4x-cap storm must shed");
+        // Still live afterward.
+        assert_eq!(shout(&client_orb, &objref, "after").unwrap(), "AFTER");
+        client_orb.shutdown();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_work_in_both_modes() {
+    for mode in MODES {
+        let (server, objref) = serve(mode, Arc::new(TextProtocol), ServerPolicy::default());
+        let client_orb = client(mode, Arc::new(TextProtocol));
+        // Park one slow call in flight, then drain under it.
+        let slow = {
+            let client_orb = client_orb.clone();
+            let objref = objref.clone();
+            std::thread::spawn(move || {
+                let mut call = client_orb.call(&objref, "nap");
+                call.args().put_long(300);
+                client_orb.invoke(call).map(|mut r| r.results().get_long().unwrap())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(server.shutdown_and_drain(), "mode {mode:?}: drain must beat its timeout");
+        assert_eq!(slow.join().unwrap().unwrap(), 300, "mode {mode:?}: in-flight call must finish");
+        client_orb.shutdown();
+    }
+}
+
+// ---- reactor-specific behavior ------------------------------------------
+
+/// Frames `call`'s body the way a conforming peer would put it on the wire.
+fn raw_request(protocol: &dyn Protocol, target: &ObjectRef, method: &str, arg: &str) -> Vec<u8> {
+    let mut call = Call::request(target, method, protocol);
+    call.args().put_string(arg);
+    let body = call.into_body();
+    let mut framed = Vec::new();
+    protocol.frame(&body, &mut framed);
+    framed
+}
+
+/// Reads frames off `stream` until one deframes, then parses it as a reply.
+fn read_reply(stream: &mut TcpStream, protocol: &dyn Protocol) -> Reply {
+    let mut acc = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match protocol.deframe(&mut acc).unwrap() {
+            Some(body) => return Reply::parse(body, protocol).unwrap(),
+            None => {
+                let n = stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "peer closed before a full reply arrived");
+                acc.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+}
+
+fn connect_raw(server: &Orb) -> TcpStream {
+    let endpoint = server.endpoint().unwrap();
+    TcpStream::connect((endpoint.host.as_str(), endpoint.port)).unwrap()
+}
+
+#[test]
+fn reactor_reassembles_dribbled_request_bytes() {
+    let protocol: Arc<dyn Protocol> = Arc::new(TextProtocol);
+    let (server, objref) =
+        serve(TransportMode::Reactor, Arc::clone(&protocol), ServerPolicy::default());
+    let mut stream = connect_raw(&server);
+    let framed = raw_request(protocol.as_ref(), &objref, "shout", "dribble");
+    // One byte per write, with pauses: the reactor sees dozens of partial
+    // reads and must keep per-connection deframe state across them.
+    for byte in &framed {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut reply = read_reply(&mut stream, protocol.as_ref());
+    assert_eq!(reply.results().get_string().unwrap(), "DRIBBLE");
+    server.shutdown();
+}
+
+#[test]
+fn reactor_finishes_partial_writes_to_slow_reader() {
+    let protocol: Arc<dyn Protocol> = Arc::new(TextProtocol);
+    let (server, objref) =
+        serve(TransportMode::Reactor, Arc::clone(&protocol), ServerPolicy::default());
+    let mut stream = connect_raw(&server);
+    // Ask for a reply far larger than loopback socket buffers, then
+    // refuse to read for a while: the reactor's first write returns
+    // short, the remainder parks in the connection's backlog, and
+    // EPOLLOUT continuation must deliver every byte once we drain.
+    const BLOB: usize = 16 * 1024 * 1024;
+    let mut call = Call::request(&objref, "blob", protocol.as_ref());
+    call.args().put_long(BLOB as i32);
+    let body = call.into_body();
+    let mut framed = Vec::new();
+    protocol.frame(&body, &mut framed);
+    stream.write_all(&framed).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let mut reply = read_reply(&mut stream, protocol.as_ref());
+    let blob = reply.results().get_string().unwrap();
+    assert_eq!(blob.len(), BLOB);
+    assert!(blob.bytes().all(|b| b == b'x'));
+    server.shutdown();
+}
+
+#[test]
+fn reactor_sweep_timer_cuts_slow_loris_connections() {
+    let protocol: Arc<dyn Protocol> = Arc::new(TextProtocol);
+    let (server, objref) = serve(
+        TransportMode::Reactor,
+        Arc::clone(&protocol),
+        ServerPolicy::default().with_read_idle_timeout(Some(Duration::from_millis(100))),
+    );
+    let mut stream = connect_raw(&server);
+    // Half a frame, then silence: a slow-loris peer holding a connection
+    // (and its deframe buffer) open forever. The sweep timer must cut it.
+    let framed = raw_request(protocol.as_ref(), &objref, "shout", "loris");
+    stream.write_all(&framed[..framed.len() / 2]).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let start = Instant::now();
+    let mut chunk = [0u8; 1024];
+    // EOF (Ok(0)) or reset — either way the server hung up on us.
+    let cut = matches!(stream.read(&mut chunk), Ok(0) | Err(_));
+    assert!(cut, "server kept a stalled half-frame connection open");
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "eviction took longer than the sweep should allow"
+    );
+    server.shutdown();
+}
+
+/// Threads currently live in this process.
+fn process_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+/// Whether any live thread's name starts with `prefix` (`comm` truncates
+/// names to 15 bytes, so keep prefixes shorter than that).
+fn has_thread_named(prefix: &str) -> bool {
+    std::fs::read_dir("/proc/self/task").unwrap().flatten().any(|t| {
+        std::fs::read_to_string(t.path().join("comm"))
+            .map(|name| name.trim_end().starts_with(prefix))
+            .unwrap_or(false)
+    })
+}
+
+#[test]
+fn reactor_does_not_spawn_per_connection_threads() {
+    const CONNS: usize = 32;
+    let (server, objref) =
+        serve(TransportMode::Reactor, Arc::new(TextProtocol), ServerPolicy::default());
+    // Prove the engine actually engaged: the per-server reactor thread
+    // exists (silent fallback would make this whole test vacuous).
+    assert!(has_thread_named("heidl-reactor-"), "reactor thread missing: engine fell back?");
+    // One real call first so every lazily-spawned helper thread exists
+    // before the baseline count is taken.
+    let client_orb = client(TransportMode::Reactor, Arc::new(TextProtocol));
+    assert_eq!(shout(&client_orb, &objref, "warm").unwrap(), "WARM");
+    let before = process_threads();
+    let mut idle = Vec::new();
+    for _ in 0..CONNS {
+        idle.push(connect_raw(&server));
+    }
+    // Give the acceptor time to register every connection.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.server_health().map_or(0, |h| h.connections) < CONNS as u64 {
+        assert!(Instant::now() < deadline, "acceptor never saw all {CONNS} connections");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let during = process_threads();
+    assert!(
+        during <= before + 2,
+        "{CONNS} idle connections grew the thread count {before} -> {during}: \
+         the reactor must not spawn per-connection threads"
+    );
+    // The existing connections still work while the idle crowd is parked.
+    assert_eq!(shout(&client_orb, &objref, "busy").unwrap(), "BUSY");
+    drop(idle);
+    client_orb.shutdown();
+    server.shutdown();
+}

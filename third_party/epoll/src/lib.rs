@@ -1,0 +1,470 @@
+//! Minimal epoll + eventfd shim over raw syscalls.
+//!
+//! The build environment has no crates.io access, so instead of the `libc`
+//! or `mio` crates this declares the half-dozen C entry points it needs as
+//! `extern "C"` against the libc that `std` already links. Only the Linux
+//! surface the heidl reactor uses is covered: `epoll_create1` / `epoll_ctl`
+//! / `epoll_wait`, `eventfd` for cross-thread wakeups, and `MSG_DONTWAIT`
+//! send/recv so sockets whose file description is shared with a blocking
+//! writer (via `try_clone`) can still be read without blocking.
+//!
+//! On non-Linux targets [`available`] returns `false` and every call fails
+//! with `Unsupported`; callers fall back to the threaded transport.
+
+use std::io;
+
+/// Readiness flags (Linux ABI values).
+pub const EPOLLIN: u32 = 0x1;
+pub const EPOLLOUT: u32 = 0x4;
+pub const EPOLLERR: u32 = 0x8;
+pub const EPOLLHUP: u32 = 0x10;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness event. On x86/x86-64 the kernel ABI packs this struct
+/// (no padding between `events` and `data`); elsewhere it is naturally
+/// aligned. Getting this wrong corrupts the token in `data`.
+#[cfg_attr(
+    all(target_os = "linux", any(target_arch = "x86_64", target_arch = "x86")),
+    repr(C, packed)
+)]
+#[cfg_attr(
+    not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "x86"))),
+    repr(C)
+)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Event {
+    pub events: u32,
+    pub data: u64,
+}
+
+/// True when the current target supports this shim (Linux only).
+pub const fn available() -> bool {
+    cfg!(target_os = "linux")
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    const EFD_CLOEXEC: c_int = 0x80000;
+    const EFD_NONBLOCK: c_int = 0x800;
+    const MSG_DONTWAIT: c_int = 0x40;
+    const MSG_NOSIGNAL: c_int = 0x4000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut Event) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut Event, maxevents: c_int, timeout: c_int) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn recv(fd: c_int, buf: *mut c_void, len: usize, flags: c_int) -> isize;
+        fn send(fd: c_int, buf: *const c_void, len: usize, flags: c_int) -> isize;
+        fn sendmsg(fd: c_int, msg: *const MsgHdr, flags: c_int) -> isize;
+    }
+
+    /// `struct msghdr` as glibc and musl lay it out on 64-bit Linux:
+    /// `msg_iovlen`/`msg_controllen` are `size_t` (the kernel truncates to
+    /// what it needs), and `repr(C)` reproduces the padding after the
+    /// 32-bit `msg_namelen`. `std::io::IoSlice` is documented to be
+    /// ABI-compatible with `struct iovec`, so a slice of them can be
+    /// passed as `msg_iov` directly.
+    #[repr(C)]
+    pub struct MsgHdr {
+        msg_name: *mut c_void,
+        msg_namelen: c_uint,
+        msg_iov: *const c_void,
+        msg_iovlen: usize,
+        msg_control: *mut c_void,
+        msg_controllen: usize,
+        msg_flags: c_int,
+    }
+
+    pub fn create() -> io::Result<i32> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn ctl(epfd: i32, op: c_int, fd: i32, mut ev: Event) -> io::Result<()> {
+        let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn wait(epfd: i32, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+
+    pub fn eventfd_new() -> io::Result<i32> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe {
+            close(fd);
+        }
+    }
+
+    pub fn eventfd_signal(fd: i32) {
+        let one: u64 = 1;
+        unsafe {
+            write(fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    pub fn eventfd_drain(fd: i32) {
+        let mut buf = 0u64;
+        unsafe {
+            read(fd, (&mut buf as *mut u64).cast(), 8);
+        }
+    }
+
+    pub fn recv_nb(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+        let n = unsafe { recv(fd, buf.as_mut_ptr().cast(), buf.len(), MSG_DONTWAIT) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    pub fn send_nb(fd: i32, buf: &[u8]) -> io::Result<usize> {
+        let n = unsafe { send(fd, buf.as_ptr().cast(), buf.len(), MSG_DONTWAIT | MSG_NOSIGNAL) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    pub fn sendmsg_nb(fd: i32, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let msg = MsgHdr {
+            msg_name: std::ptr::null_mut(),
+            msg_namelen: 0,
+            msg_iov: bufs.as_ptr().cast(),
+            msg_iovlen: bufs.len(),
+            msg_control: std::ptr::null_mut(),
+            msg_controllen: 0,
+            msg_flags: 0,
+        };
+        let n = unsafe { sendmsg(fd, &msg, MSG_DONTWAIT | MSG_NOSIGNAL) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+fn unsupported() -> io::Error {
+    io::Error::new(io::ErrorKind::Unsupported, "epoll shim: not supported on this target")
+}
+
+/// Owned epoll instance. All registration ops are level-triggered unless
+/// the caller passes edge flags explicitly in `events`.
+#[derive(Debug)]
+pub struct Epoll {
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    fd: i32,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Epoll { fd: sys::create()? })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Err(unsupported())
+        }
+    }
+
+    pub fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::ctl(self.fd, sys::EPOLL_CTL_ADD, fd, Event { events, data: token })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = (fd, events, token);
+            Err(unsupported())
+        }
+    }
+
+    pub fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::ctl(self.fd, sys::EPOLL_CTL_MOD, fd, Event { events, data: token })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = (fd, events, token);
+            Err(unsupported())
+        }
+    }
+
+    pub fn del(&self, fd: i32) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::ctl(self.fd, sys::EPOLL_CTL_DEL, fd, Event::default())
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = fd;
+            Err(unsupported())
+        }
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) and fills `events`.
+    /// EINTR is swallowed and reported as zero events.
+    pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::wait(self.fd, events, timeout_ms)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = (events, timeout_ms);
+            Err(unsupported())
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        sys::close_fd(self.fd);
+    }
+}
+
+/// Nonblocking eventfd used to wake an `Epoll::wait` from another thread.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: i32,
+}
+
+impl EventFd {
+    pub fn new() -> io::Result<EventFd> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(EventFd { fd: sys::eventfd_new()? })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Err(unsupported())
+        }
+    }
+
+    pub fn raw_fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Wake any waiter; safe to call from any thread, never blocks.
+    pub fn signal(&self) {
+        #[cfg(target_os = "linux")]
+        sys::eventfd_signal(self.fd);
+    }
+
+    /// Reset the counter so the fd stops reading as ready.
+    pub fn drain(&self) {
+        #[cfg(target_os = "linux")]
+        sys::eventfd_drain(self.fd);
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        sys::close_fd(self.fd);
+    }
+}
+
+/// `recv(MSG_DONTWAIT)`: `Ok(None)` when the socket has no bytes ready,
+/// `Ok(Some(0))` on orderly EOF. Leaves the socket's file-status flags
+/// untouched, so a blocking writer sharing the description keeps working.
+pub fn recv_nonblocking(fd: i32, buf: &mut [u8]) -> io::Result<Option<usize>> {
+    #[cfg(target_os = "linux")]
+    {
+        match sys::recv_nb(fd, buf) {
+            Ok(n) => Ok(Some(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (fd, buf);
+        Err(unsupported())
+    }
+}
+
+/// `send(MSG_DONTWAIT | MSG_NOSIGNAL)`: `Ok(None)` when the socket buffer
+/// is full and the caller should wait for writability.
+pub fn send_nonblocking(fd: i32, buf: &[u8]) -> io::Result<Option<usize>> {
+    #[cfg(target_os = "linux")]
+    {
+        match sys::send_nb(fd, buf) {
+            Ok(n) => Ok(Some(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (fd, buf);
+        Err(unsupported())
+    }
+}
+
+/// `sendmsg(MSG_DONTWAIT | MSG_NOSIGNAL)`: writes the slices as one
+/// gathered send so a framed message hits the wire (and wakes the peer's
+/// epoll) once instead of per part. `Ok(None)` when the socket buffer is
+/// full and the caller should wait for writability.
+pub fn send_vectored_nonblocking(fd: i32, bufs: &[io::IoSlice<'_>]) -> io::Result<Option<usize>> {
+    #[cfg(target_os = "linux")]
+    {
+        match sys::sendmsg_nb(fd, bufs) {
+            Ok(n) => Ok(Some(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (fd, bufs);
+        Err(unsupported())
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn eventfd_wakes_epoll_wait() {
+        let ep = Epoll::new().unwrap();
+        let efd = EventFd::new().unwrap();
+        ep.add(efd.raw_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [Event::default(); 4];
+        // Nothing signalled yet: a zero-timeout wait sees no events.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        efd.signal();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 7);
+
+        efd.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readiness_and_nonblocking_io() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42).unwrap();
+
+        // Not readable yet.
+        let mut buf = [0u8; 64];
+        assert_eq!(recv_nonblocking(server.as_raw_fd(), &mut buf).unwrap(), None);
+
+        client.write_all(b"ping").unwrap();
+        let mut events = [Event::default(); 4];
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 42);
+
+        let got = recv_nonblocking(server.as_raw_fd(), &mut buf).unwrap();
+        assert_eq!(got, Some(4));
+        assert_eq!(&buf[..4], b"ping");
+
+        // Nonblocking send on the server side reaches the client.
+        let sent = send_nonblocking(server.as_raw_fd(), b"pong").unwrap();
+        assert_eq!(sent, Some(4));
+        let mut reply = [0u8; 4];
+        client.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"pong");
+
+        // Peer close shows up as readable EOF.
+        drop(client);
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert!(n >= 1);
+        assert_eq!(recv_nonblocking(server.as_raw_fd(), &mut buf).unwrap(), Some(0));
+
+        ep.del(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn vectored_send_gathers_parts_into_one_message() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let parts =
+            [io::IoSlice::new(b"hea"), io::IoSlice::new(b"der+"), io::IoSlice::new(b"body")];
+        let sent = send_vectored_nonblocking(server.as_raw_fd(), &parts).unwrap();
+        assert_eq!(sent, Some(11));
+        let mut got = [0u8; 11];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"header+body");
+    }
+
+    #[test]
+    fn modify_switches_interest_to_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(client.as_raw_fd(), EPOLLIN, 1).unwrap();
+        let mut events = [Event::default(); 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        // An idle socket with buffer space is immediately writable.
+        ep.modify(client.as_raw_fd(), EPOLLOUT, 2).unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 2);
+        let flags = events[0].events;
+        assert_ne!(flags & EPOLLOUT, 0);
+    }
+}

@@ -22,7 +22,7 @@ struct EchoSkel {
 }
 
 impl EchoSkel {
-    fn new() -> Arc<dyn Skeleton> {
+    fn shared() -> Arc<dyn Skeleton> {
         Arc::new(EchoSkel {
             base: SkeletonBase::new("IDL:Bench/Echo:1.0", DispatchKind::Hash, ["ping"], vec![]),
         })
@@ -63,7 +63,7 @@ fn bench_connection_cache(c: &mut Criterion) {
     group.sample_size(30);
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
 
     orb.connections().set_caching(true);
     ping(&orb, &objref); // warm the cache
@@ -85,7 +85,7 @@ fn bench_protocols_end_to_end(c: &mut Criterion) {
         let name = proto.name();
         let orb = Orb::with_protocol(proto);
         orb.serve("127.0.0.1:0").unwrap();
-        let objref = orb.export(EchoSkel::new()).unwrap();
+        let objref = orb.export(EchoSkel::shared()).unwrap();
         ping(&orb, &objref);
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| black_box(ping(&orb, &objref)))

@@ -5,7 +5,7 @@
 //! cargo run -p heidl-bench --bin experiments --release [-- ID...]
 //! ```
 //!
-//! IDs: `t1 t2 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11` (default: all). Numbers
+//! IDs: `t1 t2 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12` (default: all). Numbers
 //! are medians of quick in-process timing loops — for rigorous statistics
 //! run `cargo bench`.
 
@@ -105,6 +105,9 @@ fn main() {
     if want("e11") {
         e11(quick);
     }
+    if want("e12") {
+        e12(quick);
+    }
     if want("roundtrip") || want("perf") {
         roundtrip(quick);
     }
@@ -156,7 +159,7 @@ fn fmt_ns(ns: f64) -> String {
 
 fn t1() {
     println!("\n[T1] Table 1: IDL to C++ type mappings");
-    println!("{:<12} {:<20} {}", "IDL Type", "Prescribed C++ Type", "Alternate C++ Mapping");
+    println!("{:<12} {:<20} Alternate C++ Mapping", "IDL Type", "Prescribed C++ Type");
     for row in heidl_codegen::TABLE1 {
         println!("{:<12} {:<20} {}", row.idl, row.prescribed_cpp, row.alternate_cpp);
     }
@@ -169,9 +172,9 @@ fn t2() {
     let idl = "interface A { void f(in A r); };";
     let corba = heidl_codegen::compile("corba-cpp", idl, "a").unwrap();
     let heidi = heidl_codegen::compile("heidi-cpp", idl, "a").unwrap();
-    println!("{:<28} {}", "CORBA-prescribed", "Legacy (heidi-cpp output)");
-    println!("{:<28} {}", "A_var a;", "HdA a;   (plain class)");
-    println!("{:<28} {}", "A_ptr p;", "HdA* p;  (plain pointer)");
+    println!("{:<28} Legacy (heidi-cpp output)", "CORBA-prescribed");
+    println!("{:<28} HdA a;   (plain class)", "A_var a;");
+    println!("{:<28} HdA* p;  (plain pointer)", "A_ptr p;");
     let c = corba.file("a_corba.hh").unwrap();
     let h = heidi.file("HdA.hh").unwrap();
     println!(
@@ -259,7 +262,7 @@ struct EchoSkel {
 }
 
 impl EchoSkel {
-    fn new() -> Arc<dyn Skeleton> {
+    fn shared() -> Arc<dyn Skeleton> {
         Arc::new(EchoSkel {
             base: SkeletonBase::new("IDL:Bench/Echo:1.0", DispatchKind::Hash, ["ping"], vec![]),
         })
@@ -301,7 +304,7 @@ fn e3() {
     println!("\n[E3] connection caching: call latency over TCP loopback");
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
 
     orb.connections().set_caching(true);
     ping(&orb, &objref);
@@ -325,7 +328,7 @@ fn e3() {
         let name = proto.name();
         let orb = Orb::with_protocol(proto);
         orb.serve("127.0.0.1:0").unwrap();
-        let objref = orb.export(EchoSkel::new()).unwrap();
+        let objref = orb.export(EchoSkel::shared()).unwrap();
         ping(&orb, &objref);
         let t = time_ns(|| ping(&orb, &objref));
         println!("      {:<10} {:>12}", name, fmt_ns(t));
@@ -340,14 +343,14 @@ fn e4() {
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
     println!("skeletons after serve():                      {}", orb.skeleton_count());
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
     println!("skeletons after exporting one object:         {}", orb.skeleton_count());
 
     // Lazy export: the same identity never creates a second skeleton.
     let identity = 0xBEEF;
-    let r1 = orb.export_once(identity, EchoSkel::new).unwrap();
+    let r1 = orb.export_once(identity, EchoSkel::shared).unwrap();
     let c1 = orb.skeleton_count();
-    let r2 = orb.export_once(identity, EchoSkel::new).unwrap();
+    let r2 = orb.export_once(identity, EchoSkel::shared).unwrap();
     let c2 = orb.skeleton_count();
     println!(
         "after export_once twice (same identity):      {c1} then {c2} (refs equal: {})",
@@ -636,7 +639,7 @@ fn e8() {
     use std::io::{BufRead, BufReader, Write};
     let orb = Orb::new();
     let endpoint = orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
     let mut session = BufReader::new(std::net::TcpStream::connect(endpoint.socket_addr()).unwrap());
     let typed = format!("\"{objref}\" \"ping\" T 41");
     session.get_mut().write_all(typed.as_bytes()).unwrap();
@@ -910,7 +913,7 @@ fn e11(quick: bool) {
                         let started = Instant::now();
                         let mut call = orb.call(&target, "put");
                         call.args().put_longlong(arg);
-                        let mut reply = orb.invoke_with(call, options.clone()).unwrap();
+                        let mut reply = orb.invoke_with(call, options).unwrap();
                         assert_eq!(reply.results().get_longlong().unwrap(), arg);
                         lat.push(started.elapsed());
                     }
@@ -966,6 +969,305 @@ fn e11(quick: bool) {
     }
 }
 
+// ---- e12: bulk transfer + pipelined storm ---------------------------------
+
+/// Streams `total` bytes of repeating alphabet without materializing them:
+/// the producer hands out slices of one pre-built block.
+struct BlockStreamer {
+    total: usize,
+}
+
+impl heidl_rmi::StreamServant for BlockStreamer {
+    fn type_id(&self) -> &str {
+        "IDL:Bench/Blob:1.0"
+    }
+
+    fn open(&self, method: &str, _args: &mut dyn Decoder) -> RmiResult<heidl_rmi::StreamBody> {
+        if method != "pour" {
+            return Err(heidl_rmi::RmiError::UnknownMethod {
+                method: method.to_owned(),
+                type_id: "IDL:Bench/Blob:1.0".to_owned(),
+            });
+        }
+        let total = self.total;
+        let block: String = "abcdefghijklmnopqrstuvwxyz".repeat(256 * 1024 / 26 + 1);
+        let mut sent = 0usize;
+        Ok(heidl_rmi::StreamBody::from_fn(move |max| {
+            if sent >= total {
+                return None;
+            }
+            let take = max.min(total - sent).min(block.len());
+            sent += take;
+            Some(block[..take].to_owned())
+        }))
+    }
+}
+
+/// One streamed bulk pull: returns (MB/s, client high-water bytes).
+fn measure_stream(mode: TransportMode, total: usize, window: usize, chunk: usize) -> (f64, usize) {
+    let policy =
+        ServerPolicy::default().with_stream_chunk_bytes(chunk).with_stream_window_bytes(window);
+    let server = Orb::builder()
+        .transport_mode(mode)
+        .protocol(Arc::new(CdrProtocol))
+        .server_policy(policy.clone())
+        .build();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export_stream(Arc::new(BlockStreamer { total })).unwrap();
+    // The client's ServerPolicy doubles as its stream tuning: the
+    // requested credit window rides in the request's chunk tail.
+    let client = Orb::builder()
+        .transport_mode(mode)
+        .protocol(Arc::new(CdrProtocol))
+        .server_policy(policy)
+        .build();
+    let started = Instant::now();
+    let call = client.call(&objref, "pour");
+    let mut stream = client.invoke_stream(call).unwrap();
+    let mut received = 0usize;
+    while let Some(fragment) = stream.next_chunk().unwrap() {
+        received += fragment.len();
+    }
+    let elapsed = started.elapsed();
+    assert_eq!(received, total, "stream transfer truncated");
+    let high_water = stream.high_water_bytes();
+    client.shutdown();
+    server.shutdown();
+    (total as f64 / (1 << 20) as f64 / elapsed.as_secs_f64(), high_water)
+}
+
+/// The mux storm from `roundtrip`, with client-side pipelining on or off:
+/// many threads, tiny echo calls, one pooled connection. Returns calls/sec.
+fn measure_pipeline_storm(pipelined: bool, threads: usize, per_thread: usize) -> f64 {
+    let server = Orb::builder().protocol(Arc::new(CdrProtocol)).build();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server.export(EchoStrSkel::shared()).unwrap();
+    let client = Orb::builder().protocol(Arc::new(CdrProtocol)).pipelining(pipelined).build();
+    for _ in 0..64 {
+        echo_once(&client, &objref, "x");
+    }
+    let calls = threads * per_thread;
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let client = client.clone();
+            let objref = objref.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    echo_once(&client, &objref, "x");
+                }
+            });
+        }
+    });
+    let elapsed = wall.elapsed();
+    client.shutdown();
+    server.shutdown();
+    calls as f64 / elapsed.as_secs_f64()
+}
+
+/// A servant for the oneway burst: `fire` is replyless, `sync` replies
+/// with how many fires have landed (per-connection frame order makes one
+/// trailing sync a delivery barrier for every earlier oneway).
+struct BurstSkel {
+    base: SkeletonBase,
+    fired: AtomicU64,
+}
+
+impl Skeleton for BurstSkel {
+    fn type_id(&self) -> &str {
+        self.base.type_id()
+    }
+
+    fn dispatch(
+        &self,
+        method: &str,
+        args: &mut dyn Decoder,
+        reply: &mut dyn Encoder,
+    ) -> RmiResult<DispatchOutcome> {
+        match self.base.find(method) {
+            Some(0) => {
+                let _ = args.get_string()?;
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                Ok(DispatchOutcome::Handled)
+            }
+            Some(1) => {
+                reply.put_ulonglong(self.fired.load(Ordering::Relaxed));
+                Ok(DispatchOutcome::Handled)
+            }
+            _ => self.base.dispatch_parents(method, args, reply),
+        }
+    }
+}
+
+/// Oneway burst: many threads fire replyless calls as fast as they can.
+/// With no reply wait the writer lock is genuinely contended, so this is
+/// where write-combining pays — batches of frames per syscall instead of
+/// one each. Returns oneways/sec including the trailing delivery barrier.
+fn measure_oneway_burst(pipelined: bool, threads: usize, per_thread: usize) -> f64 {
+    let server = Orb::builder().protocol(Arc::new(CdrProtocol)).build();
+    server.serve("127.0.0.1:0").unwrap();
+    let objref = server
+        .export(Arc::new(BurstSkel {
+            base: SkeletonBase::new(
+                "IDL:Bench/Burst:1.0",
+                DispatchKind::Hash,
+                ["fire", "sync"],
+                vec![],
+            ),
+            fired: AtomicU64::new(0),
+        }))
+        .unwrap();
+    let client = Orb::builder().protocol(Arc::new(CdrProtocol)).pipelining(pipelined).build();
+    let sync = |client: &Orb| -> u64 {
+        let call = client.call(&objref, "sync");
+        let mut reply = client.invoke(call).unwrap();
+        reply.results().get_ulonglong().unwrap()
+    };
+    sync(&client);
+    let calls = (threads * per_thread) as u64;
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let client = client.clone();
+            let objref = objref.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    let mut call = client.call_oneway(&objref, "fire");
+                    call.args().put_string("x");
+                    client.invoke_oneway(call).unwrap();
+                }
+            });
+        }
+    });
+    let landed = sync(&client);
+    let elapsed = wall.elapsed();
+    assert_eq!(landed, calls, "oneway burst lost frames");
+    client.shutdown();
+    server.shutdown();
+    calls as f64 / elapsed.as_secs_f64()
+}
+
+fn e12(quick: bool) {
+    let total: usize = if quick { 8 << 20 } else { 64 << 20 };
+    let window: usize = 1 << 20;
+    let chunk: usize = 256 << 10;
+    let threads = 16;
+    let per_thread = if quick { 400 } else { 1500 };
+
+    println!("\n[E12] bulk transfer: chunked streaming under a credit window, then a");
+    println!("      pipelined small-call storm against the same storm un-pipelined");
+
+    let (mbps_threaded, hw_threaded) =
+        measure_stream(TransportMode::Threaded, total, window, chunk);
+    let (mbps_reactor, hw_reactor) = measure_stream(TransportMode::Reactor, total, window, chunk);
+    // Interleaved best-of-N: single storm runs swing with scheduler noise
+    // far more than the pipelining delta, and alternating the two arms
+    // keeps slow-machine drift from favoring either side.
+    let rounds = if quick { 3 } else { 5 };
+    let mut plain_cps: f64 = 0.0;
+    let mut pipelined_cps: f64 = 0.0;
+    let mut plain_burst: f64 = 0.0;
+    let mut pipelined_burst: f64 = 0.0;
+    for _ in 0..rounds {
+        plain_cps = plain_cps.max(measure_pipeline_storm(false, threads, per_thread));
+        pipelined_cps = pipelined_cps.max(measure_pipeline_storm(true, threads, per_thread));
+        plain_burst = plain_burst.max(measure_oneway_burst(false, threads, per_thread));
+        pipelined_burst = pipelined_burst.max(measure_oneway_burst(true, threads, per_thread));
+    }
+
+    let mib = total / (1 << 20);
+    println!(
+        "{:<44} {:>7.0} MB/s  (peak buffer {} KiB)",
+        format!("streamed {mib} MiB, threaded engine"),
+        mbps_threaded,
+        hw_threaded / 1024
+    );
+    println!(
+        "{:<44} {:>7.0} MB/s  (peak buffer {} KiB)",
+        format!("streamed {mib} MiB, reactor engine"),
+        mbps_reactor,
+        hw_reactor / 1024
+    );
+    println!(
+        "{:<44} {:>10.0}",
+        format!("storm {threads}x{per_thread} un-pipelined calls/sec"),
+        plain_cps
+    );
+    println!(
+        "{:<44} {:>10.0}  ({:.2}x)",
+        format!("storm {threads}x{per_thread} pipelined calls/sec"),
+        pipelined_cps,
+        pipelined_cps / plain_cps
+    );
+    println!(
+        "{:<44} {:>10.0}",
+        format!("oneway burst {threads}x{per_thread} un-pipelined/sec"),
+        plain_burst
+    );
+    println!(
+        "{:<44} {:>10.0}  ({:.2}x)",
+        format!("oneway burst {threads}x{per_thread} pipelined/sec"),
+        pipelined_burst,
+        pipelined_burst / plain_burst
+    );
+    println!(
+        "bounded buffering held: {} (peak <= window {} KiB + chunk {} KiB)",
+        hw_threaded <= window + chunk && hw_reactor <= window + chunk,
+        window / 1024,
+        chunk / 1024
+    );
+
+    let out = format!(
+        "{{\n  \"schema\": \"heidl-bench-stream/v1\",\n  \"quick\": {quick},\n  \"results\": {{\n    \
+         \"stream_threaded\": {{\"mbps\": {mbps_threaded:.0}, \"high_water_bytes\": {hw_threaded}}},\n    \
+         \"stream_reactor\": {{\"mbps\": {mbps_reactor:.0}, \"high_water_bytes\": {hw_reactor}}},\n    \
+         \"storm_plain\": {{\"calls_per_sec\": {plain_cps:.0}}},\n    \
+         \"storm_pipelined\": {{\"calls_per_sec\": {pipelined_cps:.0}}},\n    \
+         \"burst_plain\": {{\"calls_per_sec\": {plain_burst:.0}}},\n    \
+         \"burst_pipelined\": {{\"calls_per_sec\": {pipelined_burst:.0}}},\n    \
+         \"config\": {{\"total_bytes\": {total}, \"window_bytes\": {window}, \"chunk_bytes\": {chunk}}}\n  }}\n}}\n"
+    );
+    let path =
+        std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_string());
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+
+    // CI gate (HEIDL_BENCH_ASSERT_STREAM=1): the buffering bound is a hard
+    // invariant; the pipelining win gets a noise margin because shared
+    // runners jitter but a write-combined storm must never be plainly slower.
+    if std::env::var("HEIDL_BENCH_ASSERT_STREAM").is_ok() {
+        if hw_threaded > window + chunk || hw_reactor > window + chunk {
+            eprintln!(
+                "stream buffering regression: peak {} / {} exceeds window {} + chunk {}",
+                hw_threaded, hw_reactor, window, chunk
+            );
+            std::process::exit(1);
+        }
+        if pipelined_cps < plain_cps * 0.9 {
+            eprintln!(
+                "pipelining regression: {pipelined_cps:.0} calls/sec < 0.9x un-pipelined \
+                 {plain_cps:.0}"
+            );
+            std::process::exit(1);
+        }
+        if pipelined_burst < plain_burst * 0.95 {
+            eprintln!(
+                "oneway coalescing regression: {pipelined_burst:.0}/sec < 0.95x un-pipelined \
+                 {plain_burst:.0}"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "stream gate ok: peaks {hw_threaded}/{hw_reactor} bounded, \
+             pipelined {:.2}x, oneway burst {:.2}x",
+            pipelined_cps / plain_cps,
+            pipelined_burst / plain_burst
+        );
+    }
+}
+
 // ---- roundtrip perf baseline ----------------------------------------------
 
 /// A skeleton that echoes a string back, so the hot path exercises string
@@ -975,7 +1277,7 @@ struct EchoStrSkel {
 }
 
 impl EchoStrSkel {
-    fn new() -> Arc<dyn Skeleton> {
+    fn shared() -> Arc<dyn Skeleton> {
         Arc::new(EchoStrSkel {
             base: SkeletonBase::new("IDL:Bench/EchoStr:1.0", DispatchKind::Hash, ["echo"], vec![]),
         })
@@ -1048,7 +1350,7 @@ fn measure_echo(protocol: Arc<dyn Protocol>, calls: usize) -> WorkloadStat {
     let payload = echo_payload();
     let orb = bench_orb(protocol);
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoStrSkel::new()).unwrap();
+    let objref = orb.export(EchoStrSkel::shared()).unwrap();
     for _ in 0..calls.min(64) {
         echo_once(&orb, &objref, &payload);
     }
@@ -1090,7 +1392,7 @@ fn measure_storm(protocol: Arc<dyn Protocol>, threads: usize, per_thread: usize)
     let payload = echo_payload();
     let orb = bench_orb(protocol);
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoStrSkel::new()).unwrap();
+    let objref = orb.export(EchoStrSkel::shared()).unwrap();
     for _ in 0..64 {
         echo_once(&orb, &objref, &payload);
     }
@@ -1270,27 +1572,35 @@ fn roundtrip(quick: bool) {
     // than the recorded baseline, within a small noise budget. This is
     // what keeps the observability layer honest about "zero cost off".
     if std::env::var("HEIDL_BENCH_ASSERT_ALLOCS").is_ok() {
-        let base = std::env::var("HEIDL_BENCH_BASELINE")
+        let baseline_json = std::env::var("HEIDL_BENCH_BASELINE")
             .ok()
-            .and_then(|p| std::fs::read_to_string(p).ok())
-            .and_then(|prev| baseline_field(&prev, "echo_cdr", "allocs_per_call"));
-        match base {
-            Some(base) => {
-                let measured = echo_cdr.allocs_per_call;
-                let budget = base + 5.0;
-                if measured > budget {
-                    eprintln!(
-                        "allocs/call regression: echo_cdr measured {measured:.1} > budget \
-                         {budget:.1} (baseline {base:.1})"
+            .and_then(|p| std::fs::read_to_string(p).ok());
+        // Both protocols are gated: the text tokenizer's scratch reuse is
+        // as load-bearing as the CDR encoder pool, and only a per-workload
+        // ratchet notices one of them regressing.
+        for (name, measured) in
+            [("echo_cdr", echo_cdr.allocs_per_call), ("echo_text", echo_text.allocs_per_call)]
+        {
+            let base = baseline_json
+                .as_deref()
+                .and_then(|prev| baseline_field(prev, name, "allocs_per_call"));
+            match base {
+                Some(base) => {
+                    let budget = base + 5.0;
+                    if measured > budget {
+                        eprintln!(
+                            "allocs/call regression: {name} measured {measured:.1} > budget \
+                             {budget:.1} (baseline {base:.1})"
+                        );
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "alloc gate ok: {name} {measured:.1} allocs/call \
+                         (baseline {base:.1}, budget {budget:.1})"
                     );
-                    std::process::exit(1);
                 }
-                println!(
-                    "alloc gate ok: echo_cdr {measured:.1} allocs/call \
-                     (baseline {base:.1}, budget {budget:.1})"
-                );
+                None => println!("alloc gate skipped for {name}: no parsable baseline"),
             }
-            None => println!("alloc gate skipped: no parsable HEIDL_BENCH_BASELINE"),
         }
     }
 
@@ -1377,7 +1687,7 @@ fn measure_c10k(mode: TransportMode, conns: usize, callers: usize, calls: usize)
         .server_policy(ServerPolicy::default().with_max_connections(conns + callers + 64))
         .build();
     let endpoint = orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoStrSkel::new()).unwrap();
+    let objref = orb.export(EchoStrSkel::shared()).unwrap();
     let payload = echo_payload();
     // Warm the client connection and every lazily-spawned helper thread
     // before the baseline readings.

@@ -312,7 +312,7 @@ mod tests {
             .unwrap();
         c.register_map("CPP::MapClassName", |s| format!("My{}", s));
         let out = c.compile_source("interface A {};", "a").unwrap();
-        assert_eq!(out.file("t").is_none(), true, "no openfile: default output discarded");
+        assert!(out.file("t").is_none(), "no openfile: default output discarded");
         // default output is not captured as a file; use a template with openfile
         let template2 = concat!(
             "@foreach interfaceList -map interfaceName CPP::MapClassName\n",
@@ -351,7 +351,8 @@ mod tests {
             "@foreach methodList\n",
             "${methodName} idem=${idempotent} once=${exactlyOnce} ",
             "dl=${deadlineMs} ttl=${cachedTtlMs} ",
-            "qos=${hasQos} oneway=${oneway}\n",
+            "qos=${hasQos} oneway=${oneway} ",
+            "stream=${stream} chunk=${chunkedBytes}\n",
             "@foreach annotationList\n",
             "  ann ${annotationName}=${annotationValue}\n",
             "@end annotationList\n",
@@ -363,6 +364,7 @@ mod tests {
             "  @idempotent @deadline(50) long state();\n",
             "  @cached(200) long total();\n",
             "  @exactly_once long charge();\n",
+            "  @stream @chunked(8192) string dump();\n",
             "  @oneway void fire();\n",
             "  void plain();\n",
             "};\n",
@@ -391,6 +393,9 @@ mod tests {
             qos.contains("plain idem=false once=false dl=0 ttl=0 qos=false oneway=false"),
             "{qos}"
         );
+        // `@stream`/`@chunked` surface the same way; streaming is not QoS.
+        assert!(qos.contains("dump idem=false once=false dl=0 ttl=0 qos=false oneway=false stream=true chunk=8192"), "{qos}");
+        assert!(qos.contains("plain idem=false once=false dl=0 ttl=0 qos=false oneway=false stream=false chunk=0"), "{qos}");
         assert!(qos.contains("  ann idempotent=0\n  ann deadline=50"), "{qos}");
         assert!(qos.contains("  ann cached=200"), "{qos}");
         assert!(qos.contains("  ann exactly_once=0"), "{qos}");
@@ -405,6 +410,7 @@ mod tests {
             "interface Sensor {\n",
             "  @idempotent @deadline(25) long read();\n",
             "  @cached(100) string unit();\n",
+            "  @stream @chunked(4096) string dump();\n",
             "  @oneway void ping();\n",
             "  @idempotent readonly attribute long last;\n",
             "};\n",

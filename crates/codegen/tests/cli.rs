@@ -2,7 +2,7 @@
 //! stdout/stderr shapes, file emission, the IR workflow, and custom
 //! templates — the tool a downstream user actually runs.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 fn heidlc(args: &[&str]) -> Output {
@@ -16,7 +16,7 @@ fn tmpdir(tag: &str) -> PathBuf {
     dir
 }
 
-fn write_idl(dir: &PathBuf, name: &str, text: &str) -> PathBuf {
+fn write_idl(dir: &Path, name: &str, text: &str) -> PathBuf {
     let p = dir.join(name);
     std::fs::write(&p, text).unwrap();
     p

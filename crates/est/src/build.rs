@@ -374,6 +374,10 @@ impl Builder {
     /// - `exactlyOnce` (Bool): `@exactly_once` present.
     /// - `deadlineMs` (Int): `@deadline(ms)` argument, `0` = none.
     /// - `cachedTtlMs` (Int): `@cached(ttl_ms)` argument, `0` = none.
+    /// - `stream` (Bool): `@stream` present — the stub maps the result to
+    ///   an incrementally consumed reply stream.
+    /// - `chunkedBytes` (Int): `@chunked(bytes)` argument, `0` = the
+    ///   server policy's default chunk size.
     /// - `hasQos` (Bool): any reply-oriented QoS annotation present —
     ///   gates per-call option emission in stub templates.
     /// - `hasSetQos` (Bool): QoS applicable to an attribute *setter*
@@ -391,10 +395,14 @@ impl Builder {
         };
         let deadline_ms = arg("deadline");
         let cached_ttl_ms = arg("cached");
+        let stream = annotations.iter().any(|a| a.name.text == "stream");
+        let chunked_bytes = arg("chunked");
         self.est.add_prop(n, "idempotent", idempotent);
         self.est.add_prop(n, "exactlyOnce", exactly_once);
         self.est.add_prop(n, "deadlineMs", deadline_ms);
         self.est.add_prop(n, "cachedTtlMs", cached_ttl_ms);
+        self.est.add_prop(n, "stream", stream);
+        self.est.add_prop(n, "chunkedBytes", chunked_bytes);
         self.est.add_prop(
             n,
             "hasQos",
@@ -771,6 +779,39 @@ mod tests {
         let fire = op("fire");
         assert_eq!(est.prop(fire, "oneway").unwrap(), PropValue::Bool(true));
         assert_eq!(est.prop(fire, "hasQos").unwrap(), PropValue::Bool(false));
+    }
+
+    #[test]
+    fn stream_props_propagate_to_operations() {
+        let src = "interface I {
+            @stream @chunked(65536) string pull();
+            @stream string tail();
+            long f();
+        };";
+        let est = build(&parse(src).unwrap()).unwrap();
+        let i = est.find("Interface", "I").unwrap();
+        let op = |name: &str| {
+            est.children_of_kind(i, "Operation")
+                .into_iter()
+                .find(|&o| est.node(o).name == name)
+                .unwrap()
+        };
+
+        let pull = op("pull");
+        assert_eq!(est.prop(pull, "stream").unwrap(), PropValue::Bool(true));
+        assert_eq!(est.prop(pull, "chunkedBytes").unwrap(), PropValue::Int(65536));
+        // Streaming shapes the reply wire format, not the retry/QoS options
+        // block, so it must not flip `hasQos`.
+        assert_eq!(est.prop(pull, "hasQos").unwrap(), PropValue::Bool(false));
+
+        // `@stream` without `@chunked` leaves the chunk size to the server.
+        let tail = op("tail");
+        assert_eq!(est.prop(tail, "stream").unwrap(), PropValue::Bool(true));
+        assert_eq!(est.prop(tail, "chunkedBytes").unwrap(), PropValue::Int(0));
+
+        let f = op("f");
+        assert_eq!(est.prop(f, "stream").unwrap(), PropValue::Bool(false));
+        assert_eq!(est.prop(f, "chunkedBytes").unwrap(), PropValue::Int(0));
     }
 
     #[test]

@@ -293,6 +293,32 @@ impl Checker {
                 a.span,
             );
         }
+        if let Some(s) = op.annotation("stream") {
+            // Chunk frames each carry one string fragment, so the mapping
+            // only streams string results.
+            if !matches!(op.return_type, Type::String(_)) {
+                self.error(format!("`@stream` operation `{}` must return string", op.name), s.span);
+            }
+            if op.oneway || op.annotation("oneway").is_some() {
+                self.error(
+                    format!("oneway operation `{}` cannot carry `@stream`", op.name),
+                    s.span,
+                );
+            }
+            // A streamed reply is consumed incrementally; there is no
+            // whole result to put in the client-side cache.
+            if let Some(c) = op.annotation("cached") {
+                self.error(
+                    format!("`@stream` operation `{}` cannot also be `@cached`", op.name),
+                    c.span,
+                );
+            }
+        }
+        if let Some(c) = op.annotation("chunked") {
+            if op.annotation("stream").is_none() {
+                self.error(format!("`@chunked` on `{}` requires `@stream`", op.name), c.span);
+            }
+        }
 
         let mut seen = HashSet::new();
         let mut defaults_started = false;
@@ -348,6 +374,12 @@ impl Checker {
                 ),
                 x.span,
             );
+        }
+        // Accessors move one value; streaming is an operation concern.
+        for streamy in ["stream", "chunked"] {
+            if let Some(ann) = a.annotation(streamy) {
+                self.error(format!("attribute `{}` cannot carry `@{streamy}`", a.name), ann.span);
+            }
         }
     }
 
@@ -486,6 +518,24 @@ mod tests {
         assert_clean(
             "interface I { @idempotent @deadline(50) @cached(1000) sequence<long> all(); };",
         );
+    }
+
+    #[test]
+    fn stream_rules() {
+        assert_clean("interface I { @stream string pull(); };");
+        assert_clean("interface I { @stream @chunked(65536) string pull(); };");
+        // Chunk frames carry string fragments only.
+        assert_error("interface I { @stream long pull(); };", "must return string");
+        // A oneway call has no reply to stream.
+        assert_error("interface I { @stream oneway string f(); };", "cannot carry `@stream`");
+        assert_error("interface I { @stream @oneway string f(); };", "cannot carry `@stream`");
+        // The stream is consumed incrementally; nothing whole to cache.
+        assert_error("interface I { @stream @cached(5) string f(); };", "cannot also be `@cached`");
+        // `@chunked` only tunes an already-streamed reply.
+        assert_error("interface I { @chunked(1024) string f(); };", "requires `@stream`");
+        // Attributes move one value.
+        assert_error("interface I { @stream attribute string x; };", "cannot carry `@stream`");
+        assert_error("interface I { @chunked(8) attribute string x; };", "cannot carry `@chunked`");
     }
 
     #[test]

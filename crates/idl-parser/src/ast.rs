@@ -312,8 +312,8 @@ pub struct Param {
 }
 
 /// A QoS annotation on an operation or attribute (HeidiRMI extension):
-/// `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`, or
-/// `@exactly_once`.
+/// `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`,
+/// `@exactly_once`, `@stream`, or `@chunked(bytes)`.
 ///
 /// Annotations declare per-call policy where the contract lives — in the
 /// IDL — so the mapping, not the call site, wires retry class, deadlines,
@@ -331,12 +331,12 @@ pub struct Annotation {
 
 impl Annotation {
     /// The annotation names the parser accepts.
-    pub const KNOWN: [&'static str; 5] =
-        ["idempotent", "oneway", "deadline", "cached", "exactly_once"];
+    pub const KNOWN: [&'static str; 7] =
+        ["idempotent", "oneway", "deadline", "cached", "exactly_once", "stream", "chunked"];
 
     /// True when this annotation requires an integer argument.
     pub fn takes_argument(name: &str) -> bool {
-        matches!(name, "deadline" | "cached")
+        matches!(name, "deadline" | "cached" | "chunked")
     }
 }
 

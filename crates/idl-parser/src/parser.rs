@@ -232,7 +232,7 @@ impl Parser {
             if !Annotation::KNOWN.contains(&name.text.as_str()) {
                 return Err(ParseError::new(
                     format!(
-                        "unknown annotation `@{}` (expected one of `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`, `@exactly_once`)",
+                        "unknown annotation `@{}` (expected one of `@idempotent`, `@oneway`, `@deadline(ms)`, `@cached(ttl_ms)`, `@exactly_once`, `@stream`, `@chunked(bytes)`)",
                         name.text
                     ),
                     start.merge(name.span),

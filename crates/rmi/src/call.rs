@@ -197,6 +197,19 @@ impl Call {
         protocol.encode_token(self.enc.as_mut(), token.session, token.seq)
     }
 
+    /// Appends the wire-level trailing chunk section to this call, marking
+    /// it as a **stream request**: the chunk `index` carries the client's
+    /// requested credit window in bytes and `last` is always `false`. Must
+    /// be called after every argument and after any token/context suffix —
+    /// the chunk section is the outermost. Returns `false` when `protocol`
+    /// has no chunk encoding.
+    pub fn attach_stream_request(&mut self, protocol: &dyn Protocol, window_bytes: u64) -> bool {
+        if self.args_end.is_none() {
+            self.args_end = Some(self.enc.position());
+        }
+        protocol.encode_chunk(self.enc.as_mut(), window_bytes, false)
+    }
+
     /// The byte range of the marshaled arguments within the body that
     /// [`Call::into_body`] will produce. Excludes the request header —
     /// which embeds the per-call request id — and any trailing token or

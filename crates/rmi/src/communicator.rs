@@ -241,6 +241,178 @@ thread_local! {
     static REPLY_SLOT: Arc<ReplySlot> = Arc::new(ReplySlot::new());
 }
 
+/// A streamed reply's mailbox: unlike a [`ReplySlot`], it accepts *many*
+/// deliveries (one per chunk frame) and tracks the high-water mark of
+/// bytes buffered between arrival and consumption — the client half of
+/// the bounded-buffering guarantee the per-stream window provides.
+pub(crate) struct StreamSlot {
+    state: Mutex<StreamSlotState>,
+    cv: Condvar,
+}
+
+struct StreamSlotState {
+    queue: std::collections::VecDeque<PooledBuf>,
+    /// Terminal failure, delivered once to the consumer.
+    error: Option<RmiError>,
+    closed: bool,
+    buffered: usize,
+    high_water: usize,
+}
+
+impl StreamSlot {
+    fn new() -> StreamSlot {
+        StreamSlot {
+            state: Mutex::new(StreamSlotState {
+                queue: std::collections::VecDeque::new(),
+                error: None,
+                closed: false,
+                buffered: 0,
+                high_water: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one chunk frame and wakes the consumer.
+    fn push(&self, body: PooledBuf) {
+        let mut st = self.state.lock();
+        st.buffered += body.len();
+        st.high_water = st.high_water.max(st.buffered);
+        st.queue.push_back(body);
+        self.cv.notify_one();
+    }
+
+    /// Terminates the stream with `err` (connection teardown).
+    fn fail(&self, err: RmiError) {
+        let mut st = self.state.lock();
+        if st.error.is_none() {
+            st.error = Some(err);
+        }
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// True when no frame is queued — the consumer is about to block.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.state.lock().queue.is_empty()
+    }
+
+    /// Peak bytes ever queued between arrival and consumption.
+    pub(crate) fn high_water(&self) -> usize {
+        self.state.lock().high_water
+    }
+
+    /// Blocks for the next frame.
+    pub(crate) fn wait(&self) -> RmiResult<PooledBuf> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(body) = st.queue.pop_front() {
+                st.buffered -= body.len();
+                return Ok(body);
+            }
+            if let Some(e) = st.error.take() {
+                return Err(e);
+            }
+            if st.closed {
+                return Err(RmiError::Disconnected);
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Blocks at most `limit` for the next frame.
+    pub(crate) fn wait_for(&self, limit: Duration) -> RmiResult<PooledBuf> {
+        let deadline = Instant::now() + limit;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(body) = st.queue.pop_front() {
+                st.buffered -= body.len();
+                return Ok(body);
+            }
+            if let Some(e) = st.error.take() {
+                return Err(e);
+            }
+            if st.closed {
+                return Err(RmiError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RmiError::DeadlineExceeded { after: limit });
+            }
+            self.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+}
+
+/// The registry of in-progress streamed replies on one connection, keyed
+/// by request id. Checked *before* the pending table on every delivery, so
+/// a chunk frame can never wake a one-shot caller.
+struct StreamTable {
+    streams: Mutex<HashMap<u64, Arc<StreamSlot>>>,
+}
+
+impl StreamTable {
+    fn new() -> StreamTable {
+        StreamTable { streams: Mutex::new(HashMap::new()) }
+    }
+
+    fn insert(&self, id: u64, slot: Arc<StreamSlot>) {
+        self.streams.lock().insert(id, slot);
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<StreamSlot>> {
+        self.streams.lock().get(&id).cloned()
+    }
+
+    fn remove(&self, id: u64) -> Option<Arc<StreamSlot>> {
+        self.streams.lock().remove(&id)
+    }
+
+    fn drain(&self) -> Vec<Arc<StreamSlot>> {
+        self.streams.lock().drain().map(|(_, s)| s).collect()
+    }
+}
+
+/// Routes one received reply body: a registered stream gets the frame
+/// queued (unregistering on the final chunk or an unchunked envelope), a
+/// pending one-shot caller gets woken, and anything else is a late reply,
+/// dropped. Returns `false` when the body is unintelligible — the caller
+/// gives up on the connection.
+fn deliver_reply(
+    body: PooledBuf,
+    protocol: &dyn Protocol,
+    streams: &StreamTable,
+    pending: &PendingTable,
+    peer: &str,
+) -> bool {
+    match peek_reply_id(&body, protocol) {
+        Ok(id) => {
+            if let Some(slot) = streams.get(id) {
+                // The final chunk — or an unchunked reply, which ends a
+                // stream in one envelope — retires the registration.
+                let last = protocol.extract_chunk(&body).is_none_or(|(_, last)| last);
+                slot.push(body);
+                if last {
+                    streams.remove(id);
+                }
+            } else if let Some(slot) = pending.remove(id) {
+                slot.deliver(Ok(body));
+            } else {
+                trace::emit_with(TraceLevel::Debug, "demux", || {
+                    format!("dropping late reply from {peer}")
+                });
+            }
+            true
+        }
+        Err(e) => {
+            trace::emit_with(TraceLevel::Warn, "demux", || {
+                format!("unintelligible reply from {peer}: {e}")
+            });
+            false
+        }
+    }
+}
+
 /// How many independent locks the pending-reply table is split across.
 const PENDING_SHARDS: usize = 8;
 
@@ -281,6 +453,53 @@ impl PendingTable {
     }
 }
 
+/// Bodies at or below this size are eligible for pipelined coalescing;
+/// larger frames take the writer lock directly (flushing the queue first
+/// so the wire order matches the append order).
+const PIPELINE_MAX_BODY: usize = 4096;
+
+/// Write-combining state for opt-in call pipelining: concurrent small
+/// frames append to one staging buffer, and whichever sender wins the
+/// writer lock flushes the whole batch as a single `send` — one syscall
+/// for N calls under concurrency, instead of N syscalls. A sender whose
+/// frame rides in someone else's batch still blocks on the writer lock
+/// (exactly like the un-pipelined path), but by the time it acquires it
+/// usually finds its frame already settled and returns without writing.
+struct PipelineState {
+    enabled: AtomicBool,
+    queue: Mutex<PipelineQueue>,
+}
+
+struct PipelineQueue {
+    /// Framed bytes awaiting a flusher, in append order.
+    buf: Vec<u8>,
+    /// Sequence number stamped on the most recently appended frame.
+    tail_seq: u64,
+    /// Frames settled (written or failed) through this sequence number.
+    settled_seq: u64,
+    /// Frames successfully written through this sequence number; a
+    /// settled frame past this mark was lost to a transport error.
+    wrote_seq: u64,
+    /// Sticky after any batched write fails: later senders bail out
+    /// immediately instead of queueing onto a dead transport.
+    failed: bool,
+}
+
+impl PipelineState {
+    fn new() -> PipelineState {
+        PipelineState {
+            enabled: AtomicBool::new(false),
+            queue: Mutex::new(PipelineQueue {
+                buf: Vec::new(),
+                tail_seq: 0,
+                settled_seq: 0,
+                wrote_seq: 0,
+                failed: false,
+            }),
+        }
+    }
+}
+
 /// A shared, multiplexed connection to one endpoint.
 ///
 /// Any number of threads may have calls in flight concurrently; each call
@@ -294,6 +513,7 @@ pub struct MuxConnection {
     writer: Mutex<Box<dyn Transport>>,
     protocol: Arc<dyn Protocol>,
     pending: Arc<PendingTable>,
+    streams: Arc<StreamTable>,
     alive: Arc<AtomicBool>,
     /// Outstanding `CheckedOut` guards (pool observability, not a limit).
     borrowed: AtomicUsize,
@@ -302,6 +522,8 @@ pub struct MuxConnection {
     /// connection — what the heartbeat scan calls "activity". Coarse on
     /// purpose: one relaxed store per call keeps the hot path unburdened.
     last_used: AtomicU64,
+    /// Opt-in small-call write combining (see [`PipelineState`]).
+    pipeline: PipelineState,
 }
 
 /// Milliseconds elapsed since the first time any connection asked — a
@@ -399,6 +621,7 @@ impl MuxConnection {
         let use_reactor = mode.reactor_enabled() && transport.raw_fd().is_some();
         let (writer, reader) = transport.split()?;
         let pending = Arc::new(PendingTable::new());
+        let streams = Arc::new(StreamTable::new());
         let alive = Arc::new(AtomicBool::new(true));
         let mut reader = Some(reader);
         if use_reactor && reader.as_ref().is_some_and(|r| r.raw_fd().is_some()) {
@@ -412,6 +635,7 @@ impl MuxConnection {
                         buf: FrameBuf::new(),
                         protocol: Arc::clone(&protocol),
                         pending: Arc::clone(&pending),
+                        streams: Arc::clone(&streams),
                         alive: Arc::clone(&alive),
                         peer: peer.clone(),
                     }),
@@ -421,20 +645,23 @@ impl MuxConnection {
         if let Some(reader) = reader {
             let comm = ObjectCommunicator::new(reader, Arc::clone(&protocol));
             let demux_pending = Arc::clone(&pending);
+            let demux_streams = Arc::clone(&streams);
             let demux_alive = Arc::clone(&alive);
             std::thread::Builder::new()
                 .name(format!("heidl-demux-{peer}"))
-                .spawn(move || demux_loop(comm, demux_pending, demux_alive))
+                .spawn(move || demux_loop(comm, demux_pending, demux_streams, demux_alive))
                 .map_err(RmiError::Io)?;
         }
         Ok(Arc::new(MuxConnection {
             writer: Mutex::new(writer),
             protocol,
             pending,
+            streams,
             alive,
             borrowed: AtomicUsize::new(0),
             peer,
             last_used: AtomicU64::new(epoch_millis()),
+            pipeline: PipelineState::new(),
         }))
     }
 
@@ -524,17 +751,186 @@ impl MuxConnection {
 
     /// Sends a request that expects no reply.
     ///
+    /// With pipelining enabled, small oneway frames coalesce Nagle-style:
+    /// the frame is staged and the call returns immediately, and the
+    /// batch goes out when staged bytes cross the flush threshold or when
+    /// the next two-way call on this connection flushes ahead of itself
+    /// (two-way sends always drain staged frames first, so per-thread
+    /// program order is preserved on the wire).
+    ///
     /// # Errors
     ///
-    /// Propagates transport failures.
+    /// Propagates transport failures. A coalesced frame whose batch later
+    /// fails surfaces as [`RmiError::Disconnected`] on the *next* send.
     pub fn send_oneway(&self, body: &[u8]) -> RmiResult<()> {
+        if self.pipelining_enabled() && body.len() <= PIPELINE_MAX_BODY {
+            self.last_used.store(epoch_millis(), Ordering::Relaxed);
+            return self.send_coalesced(body);
+        }
         self.send_framed(body)
+    }
+
+    /// Sends a request whose reply will arrive as a *stream* of chunk
+    /// frames sharing `request_id`: registers a [`StreamSlot`] the demux
+    /// side routes every matching frame into, then writes the request.
+    /// The returned slot is what a `ReplyStream` consumes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`RmiError::Disconnected`] when the demux side
+    /// is already gone.
+    pub(crate) fn call_streamed(&self, request_id: u64, body: &[u8]) -> RmiResult<Arc<StreamSlot>> {
+        let slot = Arc::new(StreamSlot::new());
+        self.streams.insert(request_id, Arc::clone(&slot));
+        // Same registration race as `call`: the demux side drains the
+        // stream table when it dies, so re-check liveness after.
+        if !self.is_alive() {
+            self.streams.remove(request_id);
+            return Err(RmiError::Disconnected);
+        }
+        if let Err(e) = self.send_framed(body) {
+            self.streams.remove(request_id);
+            return Err(e);
+        }
+        Ok(slot)
+    }
+
+    /// Retires a stream registration; frames still in flight for it are
+    /// then dropped exactly like late replies.
+    pub(crate) fn unregister_stream(&self, request_id: u64) {
+        self.streams.remove(request_id);
+    }
+
+    /// Opts this connection into pipelined small-call coalescing:
+    /// concurrent frames up to 4 KiB batch into single writes instead of
+    /// serializing on the writer lock one syscall each. Two-way sends
+    /// keep their semantics — the call returns only after its bytes hit
+    /// the transport (or the batch carrying them failed). Small *oneway*
+    /// sends return once staged; see [`MuxConnection::send_oneway`].
+    pub fn enable_pipelining(&self) {
+        self.pipeline.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether pipelined coalescing is on (see
+    /// [`MuxConnection::enable_pipelining`]).
+    pub fn pipelining_enabled(&self) -> bool {
+        self.pipeline.enabled.load(Ordering::Relaxed)
     }
 
     fn send_framed(&self, body: &[u8]) -> RmiResult<()> {
         self.last_used.store(epoch_millis(), Ordering::Relaxed);
+        if self.pipelining_enabled() {
+            if body.len() <= PIPELINE_MAX_BODY {
+                return self.send_pipelined(body);
+            }
+            // Large frame: write it directly, but drain the queue first so
+            // the wire never reorders a big frame ahead of small frames
+            // already accepted for sending.
+            let mut writer = self.writer.lock();
+            self.flush_pipeline(writer.as_mut());
+            return write_framed(writer.as_mut(), self.protocol.as_ref(), body);
+        }
         let mut writer = self.writer.lock();
         write_framed(writer.as_mut(), self.protocol.as_ref(), body)
+    }
+
+    /// Stages a small oneway frame and returns without waiting for the
+    /// wire (the pipelining "flush window"): the batch goes out when
+    /// staged bytes cross [`PIPELINE_MAX_BODY`], or earlier when any
+    /// two-way send drains the queue ahead of itself. Transport failures
+    /// surface on the next send via the sticky `failed` flag — a oneway
+    /// never had a delivery guarantee to lose.
+    fn send_coalesced(&self, body: &[u8]) -> RmiResult<()> {
+        let flush_due = {
+            let mut q = self.pipeline.queue.lock();
+            if q.failed {
+                return Err(RmiError::Disconnected);
+            }
+            self.protocol.frame(body, &mut q.buf);
+            q.tail_seq += 1;
+            q.buf.len() >= PIPELINE_MAX_BODY
+        };
+        if flush_due {
+            // Contended try_lock is fine: the holder is a two-way sender
+            // whose own flush precedes its write, or a threshold flusher
+            // already draining; either way the batch is on its way.
+            if let Some(mut writer) = self.writer.try_lock() {
+                self.flush_pipeline(writer.as_mut());
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the frame directly when the writer lock is free (the
+    /// uncontended cost is one flush check plus the same single vectored
+    /// write as the un-pipelined path). When the writer is busy, stages
+    /// the frame and then blocks on the writer lock exactly like the
+    /// un-pipelined path would — on acquiring it, either the current
+    /// holder already flushed our frame inside a combined batch (the
+    /// common case: return without a syscall), or we flush the batch
+    /// ourselves. Staged frames always drain *before* a direct write, so
+    /// the wire order matches each thread's program order.
+    fn send_pipelined(&self, body: &[u8]) -> RmiResult<()> {
+        if let Some(mut writer) = self.writer.try_lock() {
+            self.flush_pipeline(writer.as_mut());
+            return write_framed(writer.as_mut(), self.protocol.as_ref(), body);
+        }
+        let my_seq = {
+            let mut q = self.pipeline.queue.lock();
+            if q.failed {
+                return Err(RmiError::Disconnected);
+            }
+            self.protocol.frame(body, &mut q.buf);
+            q.tail_seq += 1;
+            q.tail_seq
+        };
+        let mut writer = self.writer.lock();
+        {
+            let q = self.pipeline.queue.lock();
+            if q.settled_seq >= my_seq {
+                return if q.wrote_seq >= my_seq { Ok(()) } else { Err(RmiError::Disconnected) };
+            }
+        }
+        self.flush_pipeline(writer.as_mut());
+        let q = self.pipeline.queue.lock();
+        debug_assert!(q.settled_seq >= my_seq, "flush must settle every staged frame");
+        if q.wrote_seq >= my_seq {
+            Ok(())
+        } else {
+            Err(RmiError::Disconnected)
+        }
+    }
+
+    /// Drains the pipeline staging buffer through `writer` (whose lock the
+    /// caller holds), batch by batch, until a look at the queue finds it
+    /// empty. Each batch settles — advancing `settled_seq` — whether the
+    /// write succeeded or not; a failure leaves `wrote_seq` behind so the
+    /// affected senders see the error.
+    fn flush_pipeline(&self, writer: &mut dyn Transport) {
+        loop {
+            let (batch, batch_seq) = {
+                let mut q = self.pipeline.queue.lock();
+                if q.buf.is_empty() {
+                    return;
+                }
+                (std::mem::take(&mut q.buf), q.tail_seq)
+            };
+            let result = writer.send(&batch);
+            let mut q = self.pipeline.queue.lock();
+            if result.is_ok() {
+                q.wrote_seq = batch_seq;
+            } else {
+                q.failed = true;
+            }
+            q.settled_seq = batch_seq;
+            if q.buf.is_empty() {
+                // Hand the batch allocation back as the next staging
+                // buffer — steady state appends into warm capacity.
+                let mut spare = batch;
+                spare.clear();
+                q.buf = spare;
+            }
+        }
     }
 
     /// Sends a fire-and-forget liveness ping: the request goes out with a
@@ -597,27 +993,19 @@ impl Drop for MuxConnection {
 /// failure every parked caller is woken with `Disconnected` — and every
 /// exit path, which used to vanish silently, emits a traced event saying
 /// why the thread died.
-fn demux_loop(mut comm: ObjectCommunicator, pending: Arc<PendingTable>, alive: Arc<AtomicBool>) {
+fn demux_loop(
+    mut comm: ObjectCommunicator,
+    pending: Arc<PendingTable>,
+    streams: Arc<StreamTable>,
+    alive: Arc<AtomicBool>,
+) {
     loop {
         match comm.recv() {
             Ok(Some(body)) => {
-                match peek_reply_id(&body, comm.protocol().as_ref()) {
-                    Ok(id) => {
-                        if let Some(slot) = pending.remove(id) {
-                            slot.deliver(Ok(body));
-                        } else {
-                            trace::emit_with(TraceLevel::Debug, "demux", || {
-                                format!("dropping late reply from {}", comm.peer())
-                            });
-                        }
-                    }
-                    Err(e) => {
-                        // Unintelligible reply stream: give up on the connection.
-                        trace::emit_with(TraceLevel::Warn, "demux", || {
-                            format!("unintelligible reply from {}: {e}", comm.peer())
-                        });
-                        break;
-                    }
+                // Unintelligible reply stream: give up on the connection.
+                if !deliver_reply(body, comm.protocol().as_ref(), &streams, &pending, &comm.peer())
+                {
+                    break;
                 }
             }
             Ok(None) => {
@@ -644,6 +1032,9 @@ fn demux_loop(mut comm: ObjectCommunicator, pending: Arc<PendingTable>, alive: A
     for slot in slots {
         slot.deliver(Err(RmiError::Disconnected));
     }
+    for slot in streams.drain() {
+        slot.fail(RmiError::Disconnected);
+    }
 }
 
 /// The reactor-mode reply demultiplexer: [`demux_loop`]'s state machine,
@@ -657,6 +1048,7 @@ struct DemuxSource {
     buf: FrameBuf,
     protocol: Arc<dyn Protocol>,
     pending: Arc<PendingTable>,
+    streams: Arc<StreamTable>,
     alive: Arc<AtomicBool>,
     peer: String,
 }
@@ -672,6 +1064,9 @@ impl Drop for DemuxSource {
         }
         for slot in slots {
             slot.deliver(Err(RmiError::Disconnected));
+        }
+        for slot in self.streams.drain() {
+            slot.fail(RmiError::Disconnected);
         }
     }
 }
@@ -693,22 +1088,14 @@ impl Source for DemuxSource {
                 match self.protocol.deframe_pooled(&mut self.buf, &limits) {
                     Ok(Some(body)) => {
                         self.buf.maybe_shrink();
-                        match peek_reply_id(&body, self.protocol.as_ref()) {
-                            Ok(id) => {
-                                if let Some(slot) = self.pending.remove(id) {
-                                    slot.deliver(Ok(body));
-                                } else {
-                                    trace::emit_with(TraceLevel::Debug, "demux", || {
-                                        format!("dropping late reply from {}", self.peer)
-                                    });
-                                }
-                            }
-                            Err(e) => {
-                                trace::emit_with(TraceLevel::Warn, "demux", || {
-                                    format!("unintelligible reply from {}: {e}", self.peer)
-                                });
-                                return Action::Drop;
-                            }
+                        if !deliver_reply(
+                            body,
+                            self.protocol.as_ref(),
+                            &self.streams,
+                            &self.pending,
+                            &self.peer,
+                        ) {
+                            return Action::Drop;
                         }
                     }
                     Ok(None) => break,
@@ -817,6 +1204,9 @@ pub struct ConnectionPool {
     /// Which demux engine fresh connections use (see
     /// [`MuxConnection::over_mode`]).
     transport_mode: Mutex<TransportMode>,
+    /// When set, fresh connections opt into pipelined small-call
+    /// coalescing (see [`MuxConnection::enable_pipelining`]).
+    pipelining: AtomicBool,
     /// One circuit breaker per endpoint, created on demand with
     /// `breaker_config`.
     breakers: Mutex<HashMap<Endpoint, Arc<CircuitBreaker>>>,
@@ -895,6 +1285,7 @@ impl ConnectionPool {
             max_per_endpoint: AtomicUsize::new(1),
             connector: Mutex::new(Arc::new(TcpConnector)),
             transport_mode: Mutex::new(TransportMode::Threaded),
+            pipelining: AtomicBool::new(false),
             breakers: Mutex::new(HashMap::new()),
             breaker_config: Mutex::new(BreakerConfig::disabled()),
             breaker_observer: Mutex::new(None),
@@ -922,6 +1313,17 @@ impl ConnectionPool {
     /// The demux engine fresh connections will use.
     pub fn transport_mode(&self) -> TransportMode {
         *self.transport_mode.lock()
+    }
+
+    /// Turns pipelined small-call coalescing on or off for connections
+    /// opened from now on; already-pooled connections are unaffected.
+    pub fn set_pipelining(&self, on: bool) {
+        self.pipelining.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether fresh connections opt into pipelined coalescing.
+    pub fn pipelining(&self) -> bool {
+        self.pipelining.load(Ordering::Relaxed)
     }
 
     /// Sets the tuning for breakers created from now on. Already-created
@@ -1028,6 +1430,9 @@ impl ConnectionPool {
         let mode = self.transport_mode();
         if !self.caching_enabled() {
             let conn = MuxConnection::via_mode(connector.as_ref(), endpoint, protocol, mode)?;
+            if self.pipelining() {
+                conn.enable_pipelining();
+            }
             self.opened.fetch_add(1, Ordering::Relaxed);
             conn.borrow();
             return Ok(CheckedOut { conn, from_cache: false });
@@ -1048,6 +1453,9 @@ impl ConnectionPool {
             }
         }
         let conn = MuxConnection::via_mode(connector.as_ref(), endpoint, protocol, mode)?;
+        if self.pipelining() {
+            conn.enable_pipelining();
+        }
         self.opened.fetch_add(1, Ordering::Relaxed);
         conn.borrow();
         list.push(Arc::clone(&conn));
@@ -1372,6 +1780,171 @@ mod tests {
         // Reset rebuilds fresh Closed breakers.
         pool.reset_breakers();
         assert_eq!(pool.breaker(&ep).state(), crate::breaker::BreakerState::Closed);
+    }
+
+    #[test]
+    fn pipelined_burst_correlates_every_reply() {
+        let port = spawn_echo_server();
+        let ep = Endpoint::new("tcp", "127.0.0.1", port);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+        let conn = MuxConnection::connect(&ep, &proto).unwrap();
+        conn.enable_pipelining();
+        assert!(conn.pipelining_enabled());
+
+        // A storm of concurrent small calls: frames coalesce into shared
+        // batches, yet every caller must get exactly its own reply back.
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&conn);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let id = next_request_id();
+                    let payload = format!("t{t}-call{i}");
+                    let body = tagged_body(id, &payload);
+                    let reply = c.call(id, &body, Some(Duration::from_secs(10))).unwrap();
+                    assert_eq!(&*reply, &body[..], "caller got someone else's frame");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pipelined_large_frames_bypass_and_stay_ordered() {
+        let port = spawn_echo_server();
+        let ep = Endpoint::new("tcp", "127.0.0.1", port);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+        let conn = MuxConnection::connect(&ep, &proto).unwrap();
+        conn.enable_pipelining();
+
+        // Interleave coalesced small calls with >4 KiB bodies that take
+        // the direct writer path; each must still round-trip intact.
+        let big_payload = "x".repeat(PIPELINE_MAX_BODY * 2);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = Arc::clone(&conn);
+            let big = big_payload.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let id = next_request_id();
+                    let payload = if i % 2 == 0 { format!("t{t}-small{i}") } else { big.clone() };
+                    let body = tagged_body(id, &payload);
+                    let reply = c.call(id, &body, Some(Duration::from_secs(10))).unwrap();
+                    assert_eq!(&*reply, &body[..]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pipelined_send_fails_after_transport_death() {
+        let (a, b) = InProcTransport::pair();
+        let conn = MuxConnection::over(Box::new(a), text()).unwrap();
+        conn.enable_pipelining();
+        drop(b);
+        // Give the demux thread a beat to notice the close.
+        std::thread::sleep(Duration::from_millis(30));
+        let id = next_request_id();
+        let err = conn.call(id, &tagged_body(id, "x"), None).unwrap_err();
+        assert!(
+            matches!(err, RmiError::Disconnected | RmiError::Io(_)),
+            "expected a dead-connection error, got {err}"
+        );
+    }
+
+    /// A server that records every received frame and echoes back only
+    /// those whose payload contains `"sync"` — lets tests observe oneway
+    /// delivery and wire order without a reply correlating to them.
+    fn spawn_recording_server() -> (u16, Arc<Mutex<Vec<Vec<u8>>>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let received: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&received);
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    let t = TcpTransport::from_stream(stream).unwrap();
+                    let mut c = ObjectCommunicator::new(Box::new(t), Arc::new(TextProtocol));
+                    while let Ok(Some(m)) = c.recv() {
+                        sink.lock().push(m.clone());
+                        if String::from_utf8_lossy(&m).contains("sync") {
+                            let _ = c.send(&m);
+                        }
+                    }
+                });
+            }
+        });
+        (port, received)
+    }
+
+    #[test]
+    fn coalesced_oneways_flush_before_the_next_twoway() {
+        let (port, received) = spawn_recording_server();
+        let ep = Endpoint::new("tcp", "127.0.0.1", port);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+        let conn = MuxConnection::connect(&ep, &proto).unwrap();
+        conn.enable_pipelining();
+
+        // Small oneways stage in the flush window and return immediately.
+        for i in 0..5 {
+            conn.send_oneway(&tagged_body(next_request_id(), &format!("ow{i}"))).unwrap();
+        }
+        // The next two-way send must drain them ahead of itself.
+        let id = next_request_id();
+        let body = tagged_body(id, "sync");
+        let reply = conn.call(id, &body, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(&*reply, &body[..]);
+
+        let got = received.lock();
+        assert_eq!(got.len(), 6, "five oneways plus the sync must have landed");
+        for (i, frame) in got[..5].iter().enumerate() {
+            assert!(
+                String::from_utf8_lossy(frame).contains(&format!("ow{i}")),
+                "oneway {i} out of order: {:?}",
+                String::from_utf8_lossy(frame)
+            );
+        }
+        assert_eq!(&got[5][..], &body[..], "sync overtook a staged oneway");
+    }
+
+    #[test]
+    fn coalesced_oneways_flush_at_the_byte_threshold() {
+        let (port, received) = spawn_recording_server();
+        let ep = Endpoint::new("tcp", "127.0.0.1", port);
+        let proto: Arc<dyn Protocol> = Arc::new(TextProtocol);
+        let conn = MuxConnection::connect(&ep, &proto).unwrap();
+        conn.enable_pipelining();
+
+        // ~1 KiB frames: the fourth crosses PIPELINE_MAX_BODY staged
+        // bytes, so its sender flushes the whole batch; the fifth stays
+        // staged until further traffic.
+        let filler = "y".repeat(1024);
+        for i in 0..5 {
+            conn.send_oneway(&tagged_body(next_request_id(), &format!("ow{i}-{filler}"))).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if received.lock().len() >= 4 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "threshold flush never happened");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(received.lock().len(), 4, "under-threshold tail flushed too early");
+
+        // The lingering fifth frame rides out ahead of the next two-way.
+        let id = next_request_id();
+        let body = tagged_body(id, "sync");
+        conn.call(id, &body, Some(Duration::from_secs(10))).unwrap();
+        let got = received.lock();
+        assert_eq!(got.len(), 6);
+        assert!(String::from_utf8_lossy(&got[4]).contains("ow4"));
     }
 
     #[test]

@@ -200,7 +200,7 @@ mod tests {
     fn conversions_preserve_source() {
         let e: RmiError = WireError::UnexpectedEnd { what: "long" }.into();
         assert!(e.source().is_some());
-        let e: RmiError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: RmiError = std::io::Error::other("x").into();
         assert!(e.source().is_some());
         let e = RmiError::ConnectFailed {
             endpoint: "@tcp:h:1".into(),

@@ -113,6 +113,7 @@ pub mod router;
 pub mod serialize;
 mod server;
 pub mod skeleton;
+pub mod stream;
 pub mod trace;
 pub mod transport;
 
@@ -144,6 +145,10 @@ pub use serialize::{
 };
 pub use server::{HEALTH_OBJECT_ID, HEALTH_TYPE_ID, METRICS_OBJECT_ID, METRICS_TYPE_ID};
 pub use skeleton::{DispatchOutcome, Skeleton, SkeletonBase};
+pub use stream::{
+    ReplyStream, StreamBody, StreamServant, StreamWindow, TokenBucket, STREAM_ACK_OBJECT_ID,
+    STREAM_ACK_TYPE_ID, STREAM_EXPIRED_REPO_ID,
+};
 pub use trace::{
     CallContext, ContextGuard, RingSink, StderrSink, TraceEvent, TraceInterceptor, TraceLevel,
     TraceSink,

@@ -33,6 +33,7 @@ use crate::server::{
     ServerHandle, HEALTH_OBJECT_ID, HEALTH_TYPE_ID, METRICS_OBJECT_ID, METRICS_TYPE_ID,
 };
 use crate::skeleton::Skeleton;
+use crate::stream::{ReplyStream, StreamServant, STREAM_ACK_OBJECT_ID, STREAM_ACK_TYPE_ID};
 use crate::trace::{self, CallContext, TraceLevel};
 use crate::transport::{Connector, TransportMode};
 use heidl_wire::{pool, Encoder, PooledBuf, Protocol, TextProtocol};
@@ -245,6 +246,7 @@ pub struct OrbBuilder {
     server_policy: ServerPolicy,
     heartbeat_interval: Option<Duration>,
     transport_mode: TransportMode,
+    pipelining: bool,
 }
 
 impl Default for OrbBuilder {
@@ -259,6 +261,7 @@ impl Default for OrbBuilder {
             server_policy: ServerPolicy::default(),
             heartbeat_interval: None,
             transport_mode: TransportMode::from_env(),
+            pipelining: false,
         }
     }
 }
@@ -341,6 +344,17 @@ impl OrbBuilder {
         self
     }
 
+    /// Opts outgoing connections into pipelined small-call coalescing:
+    /// concurrent frames up to 4 KiB batch into single transport writes
+    /// instead of serializing on the writer lock one syscall each. Every
+    /// call keeps its blocking semantics — the win is throughput under
+    /// concurrency (many client threads sharing a pooled connection), not
+    /// latency of a lone caller. Off by default.
+    pub fn pipelining(mut self, on: bool) -> OrbBuilder {
+        self.pipelining = on;
+        self
+    }
+
     /// Builds the ORB.
     pub fn build(self) -> Orb {
         let pool = ConnectionPool::new();
@@ -355,11 +369,13 @@ impl OrbBuilder {
         let metrics = Arc::new(Metrics::new());
         pool.set_breaker_observer(Arc::clone(&metrics) as _);
         pool.set_transport_mode(self.transport_mode);
+        pool.set_pipelining(self.pipelining);
         let orb = Orb {
             inner: Arc::new(OrbInner {
                 protocol: self.protocol,
                 metrics,
                 objects: RwLock::new(HashMap::new()),
+                streams: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
                 pool,
                 default_deadline: self.default_deadline,
@@ -649,6 +665,11 @@ pub(crate) struct OrbInner {
     /// Per-ORB metrics registry (counters + latency histograms).
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) objects: RwLock<HashMap<u64, Arc<dyn Skeleton>>>,
+    /// Stream-servant registry (object id → servant), separate from
+    /// `objects`: a skeleton marshals one whole reply, a stream servant's
+    /// reply is pumped out as chunked frames. Ids come from the same
+    /// `next_id` counter, so the two registries can never collide.
+    streams: RwLock<HashMap<u64, Arc<dyn StreamServant>>>,
     next_id: AtomicU64,
     pool: ConnectionPool,
     default_deadline: Option<Duration>,
@@ -897,6 +918,34 @@ impl Orb {
         Ok(objref)
     }
 
+    /// Registers a [`StreamServant`], returning its reference. Stream
+    /// servants live in their own registry: their replies leave the
+    /// server as chunked frames pumped under flow control, not as one
+    /// marshaled body. Invoke the reference with [`Orb::invoke_stream`]
+    /// (a plain [`Orb::invoke`] works too — the server then materializes
+    /// the whole payload into one ordinary reply).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the ORB is not serving.
+    pub fn export_stream(&self, servant: Arc<dyn StreamServant>) -> RmiResult<ObjectRef> {
+        let endpoint = self.endpoint().ok_or_else(|| {
+            RmiError::Protocol("cannot export: ORB is not serving (call serve() first)".to_owned())
+        })?;
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // Fully qualified: `std::any::Any` is in scope and would otherwise
+        // capture `.type_id()` on the `Arc` itself.
+        let type_id = StreamServant::type_id(servant.as_ref()).to_owned();
+        self.inner.streams.write().insert(id, servant);
+        Ok(ObjectRef::new(endpoint, id, type_id))
+    }
+
+    /// The stream servant registered under `object_id`, if any — the
+    /// server's router consults this to pick the pump dispatch path.
+    pub(crate) fn stream_servant(&self, object_id: u64) -> Option<Arc<dyn StreamServant>> {
+        self.inner.streams.read().get(&object_id).cloned()
+    }
+
     /// Number of live skeletons (observability for E4's laziness tests).
     pub fn skeleton_count(&self) -> usize {
         self.inner.objects.read().len()
@@ -906,6 +955,7 @@ impl Orb {
     /// fail with [`RmiError::UnknownObject`].
     pub fn unexport(&self, objref: &ObjectRef) {
         self.inner.objects.write().remove(&objref.object_id);
+        self.inner.streams.write().remove(&objref.object_id);
     }
 
     // ---- client side ------------------------------------------------------
@@ -1053,6 +1103,105 @@ impl Orb {
         self.inner.metrics.record_client_call(&method, elapsed_ns, reply.is_ok());
         self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, reply.is_ok());
         reply
+    }
+
+    /// Invokes a call whose reply is **streamed**: the request carries the
+    /// trailing chunk section (the opt-in, with its `index` field naming
+    /// the requested credit window in bytes), and the returned
+    /// [`ReplyStream`] consumes the server's chunked frames incrementally
+    /// — never buffering more than about one window — while acking
+    /// consumed bytes to keep the server's credit turning.
+    ///
+    /// Sugar for [`Orb::invoke_stream_with`] with default options.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orb::invoke_stream_with`].
+    pub fn invoke_stream(&self, call: Call) -> RmiResult<ReplyStream> {
+        self.invoke_stream_with(call, CallOptions::default())
+    }
+
+    /// [`Orb::invoke_stream`] with explicit [`CallOptions`].
+    ///
+    /// **Single-attempt by design**: a stream consumed halfway cannot be
+    /// transparently re-sent, so there is no retry/failover loop here —
+    /// callers re-invoke on error. [`CallOptions::exactly_once`] still
+    /// attaches an invocation token; a retry landing *after* the stream
+    /// went out is answered by the server's stream-expired marker
+    /// ([`STREAM_EXPIRED_REPO_ID`](crate::STREAM_EXPIRED_REPO_ID)), which
+    /// surfaces as the always-safe-to-retry [`RmiError::ServerBusy`].
+    /// [`CallOptions::deadline`] (or the ORB default) bounds each
+    /// *chunk* wait, not the whole stream.
+    ///
+    /// The requested window is the ORB's own
+    /// [`ServerPolicy::stream_window_bytes`](crate::ServerPolicy) — the
+    /// serving side clamps it to *its* policy, and the ack protocol makes
+    /// the clamp transparent.
+    ///
+    /// # Errors
+    ///
+    /// Transport and marshal failures, as [`Orb::invoke`]; also rejects
+    /// oneway calls and protocols without a chunk encoding.
+    pub fn invoke_stream_with(
+        &self,
+        mut call: Call,
+        options: CallOptions,
+    ) -> RmiResult<ReplyStream> {
+        self.check_protocol(call.target())?;
+        if !call.response_expected() {
+            return Err(RmiError::Protocol(
+                "invoke_stream requires a two-way call built with call()".to_owned(),
+            ));
+        }
+        let request_id = call.request_id();
+        if options.exactly_once {
+            let token = InvocationToken {
+                session: self.inner.session_id,
+                seq: self.inner.token_seq.fetch_add(1, Ordering::Relaxed),
+            };
+            call.attach_token(self.inner.protocol.as_ref(), token);
+        }
+        let window = self.inner.server_policy.stream_window_bytes as u64;
+        if !call.attach_stream_request(self.inner.protocol.as_ref(), window) {
+            return Err(RmiError::Protocol(format!(
+                "protocol `{}` has no chunk encoding; streaming is unavailable",
+                self.inner.protocol.name()
+            )));
+        }
+        let endpoint = call.target().endpoint.clone();
+        let (target, method, body) = call.into_parts();
+        self.inner.interceptors.fire(CallPhase::ClientSend, &target, &method, true);
+        self.inner.metrics.add(Counter::BytesOut, body.len() as u64);
+        let checked = match self.inner.pool.checkout(&endpoint, &self.inner.protocol) {
+            Ok(c) => c,
+            Err(e) => {
+                pool::recycle(body);
+                self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
+                return Err(e);
+            }
+        };
+        let conn = Arc::clone(checked.connection());
+        let slot = conn.call_streamed(request_id, &body);
+        pool::recycle(body);
+        let slot = match slot {
+            Ok(s) => s,
+            Err(e) => {
+                self.inner.pool.discard(&endpoint, &conn);
+                self.inner.interceptors.fire(CallPhase::ClientReceive, &target, &method, false);
+                return Err(e);
+            }
+        };
+        let ack_target = ObjectRef::new(endpoint, STREAM_ACK_OBJECT_ID, STREAM_ACK_TYPE_ID);
+        Ok(ReplyStream::new(
+            conn,
+            slot,
+            Arc::clone(&self.inner.protocol),
+            request_id,
+            ack_target,
+            window,
+            self.inner.server_policy.decode_limits,
+            options.deadline.or(self.inner.default_deadline),
+        ))
     }
 
     /// Number of stale-connection retries performed (observability).

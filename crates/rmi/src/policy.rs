@@ -71,6 +71,25 @@ pub struct ServerPolicy {
     /// arriving after eviction re-executes — the client should keep its
     /// retry window well under both bounds).
     pub reply_cache_max_bytes: usize,
+    /// Payload bytes per chunk of a streamed reply. Smaller chunks pace
+    /// more smoothly; larger chunks cost fewer frames per megabyte.
+    pub stream_chunk_bytes: usize,
+    /// Upper bound on one stream's in-flight (sent but unacknowledged)
+    /// bytes. A client may request a smaller window in its chunk-suffix
+    /// opt-in; it never gets a larger one. This is what bounds peak
+    /// buffering on both sides of a streamed transfer, independent of the
+    /// total payload size.
+    pub stream_window_bytes: usize,
+    /// Server-wide pacing of streamed chunk emission, in payload bytes
+    /// per second through one shared token bucket. `None` (the default)
+    /// streams as fast as windows and sockets allow.
+    pub stream_rate_bytes_per_sec: Option<u64>,
+    /// Global budget on reply bytes queued (not yet written to sockets)
+    /// across *all* connections — the reactor engine's backstop against a
+    /// fleet of slow readers inflating RSS even though each connection is
+    /// individually under its queue cap. On exhaustion new two-way
+    /// requests are shed with `Busy` before dispatch.
+    pub max_reply_queue_bytes_global: usize,
 }
 
 impl Default for ServerPolicy {
@@ -86,6 +105,10 @@ impl Default for ServerPolicy {
             decode_limits: DecodeLimits::default(),
             reply_cache_ttl: Duration::from_secs(30),
             reply_cache_max_bytes: 4 * 1024 * 1024,
+            stream_chunk_bytes: 256 * 1024,
+            stream_window_bytes: 1024 * 1024,
+            stream_rate_bytes_per_sec: None,
+            max_reply_queue_bytes_global: usize::MAX,
         }
     }
 }
@@ -162,6 +185,37 @@ impl ServerPolicy {
         self.reply_cache_max_bytes = max.max(1);
         self
     }
+
+    /// Sets the payload bytes per streamed chunk (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_stream_chunk_bytes(mut self, bytes: usize) -> ServerPolicy {
+        self.stream_chunk_bytes = bytes.max(1);
+        self
+    }
+
+    /// Caps one stream's in-flight (unacknowledged) bytes (clamped to
+    /// ≥ 1; a window smaller than the chunk size still admits one chunk
+    /// at a time).
+    #[must_use]
+    pub fn with_stream_window_bytes(mut self, bytes: usize) -> ServerPolicy {
+        self.stream_window_bytes = bytes.max(1);
+        self
+    }
+
+    /// Paces streamed chunk emission server-wide (`None` = unpaced).
+    #[must_use]
+    pub fn with_stream_rate_bytes_per_sec(mut self, rate: Option<u64>) -> ServerPolicy {
+        self.stream_rate_bytes_per_sec = rate.map(|r| r.max(1));
+        self
+    }
+
+    /// Caps reply bytes queued across every connection (clamped to ≥ 1);
+    /// past it, new two-way requests are shed with `Busy`.
+    #[must_use]
+    pub fn with_max_reply_queue_bytes_global(mut self, max: usize) -> ServerPolicy {
+        self.max_reply_queue_bytes_global = max.max(1);
+        self
+    }
 }
 
 /// A point-in-time snapshot of one server's health, as reported by the
@@ -201,6 +255,9 @@ mod tests {
         assert!(p.read_idle_timeout.is_none());
         assert!(p.write_timeout.is_none());
         assert_eq!(p.decode_limits, DecodeLimits::default());
+        assert_eq!(p.max_reply_queue_bytes_global, usize::MAX);
+        assert!(p.stream_rate_bytes_per_sec.is_none());
+        assert!(p.stream_chunk_bytes <= p.stream_window_bytes);
     }
 
     #[test]
@@ -215,7 +272,11 @@ mod tests {
             .with_drain_timeout(Duration::from_millis(250))
             .with_decode_limits(DecodeLimits::strict())
             .with_reply_cache_ttl(Duration::from_secs(60))
-            .with_reply_cache_max_bytes(0);
+            .with_reply_cache_max_bytes(0)
+            .with_stream_chunk_bytes(0)
+            .with_stream_window_bytes(0)
+            .with_stream_rate_bytes_per_sec(Some(0))
+            .with_max_reply_queue_bytes_global(0);
         assert_eq!(p.max_connections, 1, "caps clamp to >= 1");
         assert_eq!(p.max_in_flight, 1);
         assert_eq!(p.max_in_flight_per_connection, 1);
@@ -226,6 +287,10 @@ mod tests {
         assert_eq!(p.decode_limits, DecodeLimits::strict());
         assert_eq!(p.reply_cache_ttl, Duration::from_secs(60));
         assert_eq!(p.reply_cache_max_bytes, 1, "byte cap clamps to >= 1");
+        assert_eq!(p.stream_chunk_bytes, 1);
+        assert_eq!(p.stream_window_bytes, 1);
+        assert_eq!(p.stream_rate_bytes_per_sec, Some(1), "zero rate clamps to >= 1");
+        assert_eq!(p.max_reply_queue_bytes_global, 1);
     }
 
     #[test]

@@ -376,12 +376,7 @@ mod tests {
         reactor.cancel_timer(id);
         // After cancellation the sender drops with the callback, so the
         // channel reports disconnect (possibly after in-flight ticks).
-        loop {
-            match rx.recv_timeout(Duration::from_millis(500)) {
-                Ok(()) => continue,
-                Err(_) => break,
-            }
-        }
+        while rx.recv_timeout(Duration::from_millis(500)).is_ok() {}
         reactor.shutdown();
     }
 

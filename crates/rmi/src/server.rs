@@ -59,6 +59,9 @@ use crate::reactor::{
 };
 use crate::replay::{ReplayCache, ReplayDecision};
 use crate::skeleton::{DispatchOutcome, Skeleton};
+use crate::stream::{
+    StreamServant, StreamWindow, TokenBucket, STREAM_ACK_OBJECT_ID, STREAM_EXPIRED_REPO_ID,
+};
 use crate::trace::{self, TraceLevel};
 use crate::transport::{TcpTransport, Transport, RECV_CHUNK};
 use heidl_wire::{pool, FrameBuf, PooledBuf, MAX_FRAME_HEADER};
@@ -115,11 +118,23 @@ pub(crate) struct ServerShared {
     /// Exactly-once dedup table + reply cache: a retried invocation token
     /// is answered from here instead of re-executing the servant.
     replay: ReplayCache,
+    /// Live per-stream credit windows, keyed by `(conn id, request id)`
+    /// (request ids are only unique per client): the reader thread's
+    /// inline ack handling grants credit into them.
+    streams: Mutex<HashMap<(u64, u64), Arc<StreamWindow>>>,
+    /// Pacing bucket shared by every stream on this server — the policy's
+    /// `stream_rate_bytes_per_sec` bounds *aggregate* emission.
+    stream_bucket: Option<TokenBucket>,
+    /// Global outstanding-reply-bytes budget across every connection
+    /// writer (see [`ReplyBudget`]).
+    reply_budget: Arc<ReplyBudget>,
 }
 
 impl ServerShared {
     fn new(policy: ServerPolicy, metrics: Arc<Metrics>) -> ServerShared {
         let replay = ReplayCache::new(policy.reply_cache_ttl, policy.reply_cache_max_bytes);
+        let stream_bucket = policy.stream_rate_bytes_per_sec.map(TokenBucket::new);
+        let reply_budget = Arc::new(ReplyBudget::new(policy.max_reply_queue_bytes_global));
         ServerShared {
             policy,
             draining: AtomicBool::new(false),
@@ -131,6 +146,9 @@ impl ServerShared {
             next_conn_id: AtomicU64::new(1),
             metrics,
             replay,
+            streams: Mutex::new(HashMap::new()),
+            stream_bucket,
+            reply_budget,
         }
     }
 
@@ -141,6 +159,17 @@ impl ServerShared {
     fn try_admit(self: &Arc<Self>, per_conn: &Arc<AtomicUsize>) -> Result<InFlightGuard, String> {
         if self.draining.load(Ordering::SeqCst) {
             return Err("draining for shutdown".to_owned());
+        }
+        // The global reply-queue byte budget: per-connection queue caps do
+        // not stop *many* slow readers from collectively growing RSS, so
+        // once the sum of queued reply bytes crosses the policy line, new
+        // work is shed until writers drain. (The threaded engine's
+        // blocking writes never queue, so its accounting stays at zero.)
+        if self.reply_budget.exhausted() {
+            return Err(format!(
+                "global reply-queue byte budget ({}) reached",
+                self.policy.max_reply_queue_bytes_global
+            ));
         }
         if per_conn.fetch_add(1, Ordering::SeqCst) >= self.policy.max_in_flight_per_connection {
             per_conn.fetch_sub(1, Ordering::SeqCst);
@@ -170,6 +199,39 @@ impl ServerShared {
     fn shed_connection(&self) {
         self.shed_connections.fetch_add(1, Ordering::SeqCst);
         self.metrics.inc(Counter::ShedConnections);
+    }
+
+    /// Registers a live stream's credit window so inbound acks can find it.
+    fn register_stream(&self, conn_id: u64, request_id: u64, window: Arc<StreamWindow>) {
+        self.streams.lock().insert((conn_id, request_id), window);
+    }
+
+    /// Removes a finished stream's window; late acks then fall on the floor.
+    fn unregister_stream(&self, conn_id: u64, request_id: u64) {
+        self.streams.lock().remove(&(conn_id, request_id));
+    }
+
+    /// Grants ack'd credit into a live stream's window (no-op for
+    /// unknown/finished streams — late acks are as harmless as late
+    /// replies).
+    fn grant_stream(&self, conn_id: u64, request_id: u64, bytes: u64) {
+        if let Some(window) = self.streams.lock().get(&(conn_id, request_id)) {
+            window.grant(bytes);
+        }
+    }
+
+    /// Closes (and drops) every stream window belonging to a dead
+    /// connection, so its pump threads stop waiting for acks that can
+    /// never arrive.
+    fn close_conn_streams(&self, conn_id: u64) {
+        self.streams.lock().retain(|(owner, _), window| {
+            if *owner == conn_id {
+                window.close();
+                false
+            } else {
+                true
+            }
+        });
     }
 
     pub(crate) fn snapshot(&self) -> ServerHealth {
@@ -205,6 +267,36 @@ struct ConnGuard {
 impl Drop for ConnGuard {
     fn drop(&mut self) {
         self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Server-wide accounting of reply bytes accepted but not yet written to
+/// any socket. Each [`ConnWriter`] settles its queue's byte count here
+/// after every mutation, and [`ServerShared::try_admit`] sheds new work
+/// with `Busy` while the total exceeds the policy budget — the backstop
+/// the per-connection caps cannot provide when *many* connections are
+/// slow at once.
+struct ReplyBudget {
+    queued: AtomicUsize,
+    max: usize,
+}
+
+impl ReplyBudget {
+    fn new(max: usize) -> ReplyBudget {
+        ReplyBudget { queued: AtomicUsize::new(0), max: max.max(1) }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.queued.load(Ordering::SeqCst) >= self.max
+    }
+
+    /// Moves this writer's accounted share from `before` to `after` bytes.
+    fn adjust(&self, before: usize, after: usize) {
+        if after > before {
+            self.queued.fetch_add(after - before, Ordering::SeqCst);
+        } else if before > after {
+            self.queued.fetch_sub(before - after, Ordering::SeqCst);
+        }
     }
 }
 
@@ -656,6 +748,7 @@ fn route_frame(
     shared: &Arc<ServerShared>,
     per_conn: &Arc<AtomicUsize>,
     sink: &Arc<dyn ReplySink>,
+    conn_id: u64,
 ) -> bool {
     let protocol = orb.protocol();
     let limits = &shared.policy.decode_limits;
@@ -676,6 +769,13 @@ fn route_frame(
                 }
             }
         }
+        // Stream-credit acks target the reserved ack object and are
+        // handled inline on the reader, unmetered and never queued
+        // behind servant work — a credit grant stuck in the worker
+        // queue would starve the very stream it is meant to unblock.
+        Ok((_, _, Some(STREAM_ACK_OBJECT_ID))) => {
+            handle_stream_ack(body.into(), orb, shared, conn_id);
+        }
         // oneway: dispatch inline so a client's oneway-then-call
         // sequence executes in order; there is no reply to write, so
         // an overload shed is silent (but counted).
@@ -689,7 +789,7 @@ fn route_frame(
                 Err(_) => shared.shed_request(),
             }
         }
-        Ok((request_id, true, _)) => {
+        Ok((request_id, true, object_id)) => {
             shared.metrics.add(Counter::BytesIn, body_len);
             match shared.try_admit(per_conn) {
                 Ok(guard) => {
@@ -697,13 +797,33 @@ fn route_frame(
                     let job_sink = Arc::clone(sink);
                     let job_shared = Arc::clone(shared);
                     let job_body: Vec<u8> = body.into();
-                    let accepted = workers.submit(Box::new(move || {
-                        // The guard lives until the reply is on the wire.
-                        let _guard = guard;
-                        if let Some(reply) = handle_request(job_body, &job_orb, &job_shared) {
-                            let _ = job_sink.send(reply);
-                        }
-                    }));
+                    // A target registered as a stream servant dispatches on
+                    // the pump path: same worker pool, same in-flight
+                    // guard, but the reply goes out as chunked frames.
+                    let streamer = object_id.and_then(|id| orb.stream_servant(id));
+                    let job: Job = match streamer {
+                        Some(servant) => Box::new(move || {
+                            // The guard lives until the final chunk is on
+                            // the wire — drains wait for whole streams.
+                            let _guard = guard;
+                            pump_stream(
+                                job_body,
+                                servant,
+                                &job_orb,
+                                &job_shared,
+                                &job_sink,
+                                conn_id,
+                            );
+                        }),
+                        None => Box::new(move || {
+                            // The guard lives until the reply is on the wire.
+                            let _guard = guard;
+                            if let Some(reply) = handle_request(job_body, &job_orb, &job_shared) {
+                                let _ = job_sink.send(reply);
+                            }
+                        }),
+                    };
+                    let accepted = workers.submit(job);
                     if !accepted {
                         // The dropped job released its guard; tell the
                         // client to back off.
@@ -767,11 +887,14 @@ fn connection_loop(
     let per_conn = Arc::new(AtomicUsize::new(0));
     let mut comm = ObjectCommunicator::with_limits(read_half, Arc::clone(&protocol), limits);
     while let Ok(Some(body)) = comm.recv() {
-        if !route_frame(body, &orb, &workers, &shared, &per_conn, &sink) {
+        if !route_frame(body, &orb, &workers, &shared, &per_conn, &sink, conn_id) {
             break;
         }
     }
     shared.conns.lock().remove(&conn_id);
+    // Streams pumping toward this connection can never be acked again;
+    // fail them fast instead of letting each wait out the credit timeout.
+    shared.close_conn_streams(conn_id);
 }
 
 /// Fig 5 (2)-(4): decode the request, select the skeleton by object id,
@@ -843,6 +966,240 @@ pub(crate) fn handle_request(body: Vec<u8>, orb: &Orb, shared: &ServerShared) ->
     }
     let reply_body = dispatch_request(&mut incoming, orb, shared, &protocol);
     incoming.response_expected.then_some(reply_body)
+}
+
+/// Handles one inbound flow-control ack (a oneway to the reserved
+/// [`STREAM_ACK_OBJECT_ID`]): `ulonglong stream-request-id · ulonglong
+/// consumed-bytes` grant straight into the stream's credit window.
+/// Malformed acks are dropped silently — they are runtime chatter, and a
+/// hostile one can at worst refill a window the policy already capped.
+fn handle_stream_ack(body: Vec<u8>, orb: &Orb, shared: &ServerShared, conn_id: u64) {
+    let protocol = orb.protocol();
+    let Ok(mut incoming) =
+        IncomingCall::parse_limited(body, protocol.as_ref(), &shared.policy.decode_limits)
+    else {
+        return;
+    };
+    let (Ok(stream_id), Ok(bytes)) = (incoming.args.get_ulonglong(), incoming.args.get_ulonglong())
+    else {
+        return;
+    };
+    shared.grant_stream(conn_id, stream_id, bytes);
+}
+
+/// Fallback credit-wait budget when the policy sets no `write_timeout`: a
+/// stream whose client stops acking for this long is aborted rather than
+/// parked forever on a worker thread.
+const STREAM_CREDIT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Dispatches one streamed invocation end to end on a worker thread:
+/// opens the servant's [`StreamBody`](crate::stream::StreamBody), then
+/// pumps fragments as chunk-tailed OK replies through the connection's
+/// sink — spending window credit per fragment, pacing through the shared
+/// bucket — until the body is exhausted or the stream aborts.
+///
+/// A request *without* the chunk tail (a plain caller) gets the whole
+/// payload accumulated into one ordinary reply instead: streaming is a
+/// client opt-in, not a wire break.
+fn pump_stream(
+    body: Vec<u8>,
+    servant: Arc<dyn StreamServant>,
+    orb: &Orb,
+    shared: &Arc<ServerShared>,
+    sink: &Arc<dyn ReplySink>,
+    conn_id: u64,
+) {
+    let protocol = Arc::clone(orb.protocol());
+    let _ctx_guard = if trace::enabled(TraceLevel::Debug) {
+        extract_call_context(&body, protocol.as_ref()).map(|ctx| ctx.enter())
+    } else {
+        None
+    };
+    let fallback_id = peek_reply_id(&body, protocol.as_ref()).unwrap_or(0);
+    // The client's opt-in rides the request's chunk tail; its index field
+    // carries the requested credit window in bytes.
+    let requested = protocol.extract_chunk(&body).map(|(window, _)| window);
+    let token = extract_invocation_token(&body, protocol.as_ref());
+    let mut incoming =
+        match IncomingCall::parse_limited(body, protocol.as_ref(), &shared.policy.decode_limits) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = sink.send(ReplyBuilder::exception(
+                    protocol.as_ref(),
+                    fallback_id,
+                    ReplyStatus::SystemException,
+                    "IDL:heidl/BadRequest:1.0",
+                    &e.to_string(),
+                ));
+                return;
+            }
+        };
+    let request_id = incoming.request_id;
+    // Exactly-once bookkeeping brackets the stream, but the reply cache
+    // never holds the chunks themselves (see the completion below).
+    let replay_key = token.map(|t| (t.session, t.seq));
+    if let Some(key) = replay_key {
+        let (decision, purged) = shared.replay.begin(key);
+        if purged > 0 {
+            shared.metrics.add(Counter::ReplyCacheEvictions, purged);
+        }
+        match decision {
+            ReplayDecision::Execute => {}
+            ReplayDecision::Replay(reply_body) => {
+                shared.metrics.inc(Counter::DedupReplays);
+                let _ = sink.send(reply_body);
+                return;
+            }
+            ReplayDecision::InFlight => {
+                let _ = sink.send(ReplyBuilder::busy(
+                    protocol.as_ref(),
+                    request_id,
+                    "retry of an in-flight invocation",
+                ));
+                return;
+            }
+        }
+    }
+    orb.inner.interceptors.fire(
+        crate::interceptor::CallPhase::ServerDispatch,
+        &incoming.target,
+        &incoming.method,
+        true,
+    );
+    let started = Instant::now();
+    let opened = servant.open(&incoming.method, incoming.args.as_mut());
+    shared.metrics.record_server_dispatch(
+        &incoming.method,
+        started.elapsed().as_nanos() as u64,
+        opened.is_ok(),
+    );
+    orb.inner.interceptors.fire(
+        crate::interceptor::CallPhase::ServerReply,
+        &incoming.target,
+        &incoming.method,
+        opened.is_ok(),
+    );
+    let mut stream_body = match opened {
+        Ok(b) => b,
+        Err(e) => {
+            // An `open` failure is an ordinary (bounded) exception reply;
+            // unlike chunks it is perfectly cacheable, so exactly-once
+            // retries replay it like any other dispatch failure.
+            let reply = match e {
+                RmiError::Remote { repo_id, detail } => ReplyBuilder::exception(
+                    protocol.as_ref(),
+                    request_id,
+                    ReplyStatus::UserException,
+                    &repo_id,
+                    &detail,
+                ),
+                other => ReplyBuilder::exception(
+                    protocol.as_ref(),
+                    request_id,
+                    ReplyStatus::SystemException,
+                    "IDL:heidl/DispatchFailed:1.0",
+                    &other.to_string(),
+                ),
+            };
+            complete_replay(shared, replay_key, &reply);
+            let _ = sink.send(reply);
+            return;
+        }
+    };
+    let Some(requested) = requested else {
+        // Compatibility path: no opt-in tail, so materialize the whole
+        // payload into one ordinary reply (bounded buffering is the
+        // opting client's reward, not a wire-level requirement).
+        let mut all = String::new();
+        while let Some(fragment) = stream_body.next_fragment(shared.policy.stream_chunk_bytes) {
+            all.push_str(&fragment);
+        }
+        let mut reply = ReplyBuilder::ok(protocol.as_ref(), request_id);
+        reply.results().put_string(&all);
+        let reply = reply.into_body();
+        complete_replay(shared, replay_key, &reply);
+        let _ = sink.send(reply);
+        return;
+    };
+    // The client asks, the policy caps: the effective window is the
+    // smaller of the two, and the client learns it implicitly by acking
+    // whatever arrives (its reader force-flushes pending acks before
+    // blocking, so a clamped window cannot deadlock).
+    let window_bytes = requested.clamp(1, shared.policy.stream_window_bytes as u64);
+    let chunk_max = shared.policy.stream_chunk_bytes.min(window_bytes as usize).max(1);
+    let window = Arc::new(StreamWindow::new(window_bytes));
+    shared.register_stream(conn_id, request_id, Arc::clone(&window));
+    let credit_timeout = shared.policy.write_timeout.unwrap_or(STREAM_CREDIT_TIMEOUT);
+    let mut index: u64 = 0;
+    let mut next = stream_body.next_fragment(chunk_max);
+    let aborted = loop {
+        // Look one fragment ahead so the final frame can say `last` —
+        // an empty body still sends one empty terminal chunk.
+        let mid_stream = next.is_some();
+        let fragment = next.unwrap_or_default();
+        let upcoming = if mid_stream { stream_body.next_fragment(chunk_max) } else { None };
+        let last = upcoming.is_none();
+        if !fragment.is_empty() && !window.consume(fragment.len() as u64, credit_timeout) {
+            break true;
+        }
+        if let Some(bucket) = &shared.stream_bucket {
+            bucket.pace(fragment.len() as u64);
+        }
+        let mut reply = ReplyBuilder::ok(protocol.as_ref(), request_id);
+        reply.results().put_string(&fragment);
+        let _ = protocol.encode_chunk(reply.results(), index, last);
+        if sink.send(reply.into_body()).is_err() {
+            break true;
+        }
+        if last {
+            break false;
+        }
+        index += 1;
+        next = upcoming;
+    };
+    shared.unregister_stream(conn_id, request_id);
+    if let Some(key) = replay_key {
+        // A streamed reply never enters the reply cache whole — one 64 MiB
+        // stream would evict everything else. A retry that lands after the
+        // stream went out replays this always-safe-to-retry marker instead
+        // and the caller re-invokes.
+        let marker = ReplyBuilder::exception(
+            protocol.as_ref(),
+            request_id,
+            ReplyStatus::Busy,
+            STREAM_EXPIRED_REPO_ID,
+            "streamed reply is not replayable; re-invoke",
+        );
+        let evicted = shared.replay.complete(key, &marker);
+        if evicted > 0 {
+            shared.metrics.add(Counter::ReplyCacheEvictions, evicted);
+        }
+    }
+    if aborted {
+        trace::emit_with(TraceLevel::Warn, "server", || {
+            format!("stream {request_id} aborted: credit window stalled or connection lost")
+        });
+        // Best-effort: a live-but-stalled client gets a terminal
+        // (unchunked) exception frame instead of hanging to its timeout.
+        let _ = sink.send(ReplyBuilder::exception(
+            protocol.as_ref(),
+            request_id,
+            ReplyStatus::SystemException,
+            "IDL:heidl/StreamAborted:1.0",
+            "stream aborted: credit window stalled",
+        ));
+    }
+}
+
+/// Completes an exactly-once invocation with `reply` when a token was
+/// attached, mirroring the eviction accounting on the skeleton path.
+fn complete_replay(shared: &ServerShared, key: Option<(u64, u64)>, reply: &[u8]) {
+    if let Some(key) = key {
+        let evicted = shared.replay.complete(key, reply);
+        if evicted > 0 {
+            shared.metrics.add(Counter::ReplyCacheEvictions, evicted);
+        }
+    }
 }
 
 /// Serves the built-in `_health` object: `ping` echoes liveness, `report`
@@ -1126,12 +1483,14 @@ fn register_reactor_conn(
             pos: 0,
             queued_since: None,
             dead: false,
+            accounted: 0,
         }),
         reactor: reactor.clone(),
         token,
         protocol: Arc::clone(orb.protocol()),
         metrics: Arc::clone(&shared.metrics),
         last_activity: Mutex::new(Instant::now()),
+        budget: Arc::clone(&shared.reply_budget),
     });
     let sink: Arc<dyn ReplySink> = Arc::clone(&writer) as Arc<dyn ReplySink>;
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
@@ -1173,6 +1532,9 @@ struct WriterInner {
     /// to the sweep timer's `write_timeout` stall check.
     queued_since: Option<Instant>,
     dead: bool,
+    /// This writer's share currently counted in the global [`ReplyBudget`];
+    /// [`WriterInner::settle`] reconciles it after every queue mutation.
+    accounted: usize,
 }
 
 /// The reactor engine's reply writer: framing and accounting match
@@ -1190,6 +1552,9 @@ struct ConnWriter {
     /// Last inbound activity, touched by the read source; the sweep
     /// timer's `read_idle_timeout` check reads it.
     last_activity: Mutex<Instant>,
+    /// The server-wide reply-byte budget this writer settles its queue
+    /// occupancy into.
+    budget: Arc<ReplyBudget>,
 }
 
 impl ConnWriter {
@@ -1216,15 +1581,18 @@ impl ConnWriter {
         let mut header = [0u8; MAX_FRAME_HEADER];
         let arm = {
             let mut inner = self.inner.lock();
-            if let Some((header_len, trailer)) = self.protocol.frame_parts(body.len(), &mut header)
+            let result = if let Some((header_len, trailer)) =
+                self.protocol.frame_parts(body.len(), &mut header)
             {
-                inner.write_parts(&[&header[..header_len], body, trailer])?
+                inner.write_parts(&[&header[..header_len], body, trailer])
             } else {
                 let mut framed = pool::global().get();
                 framed.reserve(body.len() + MAX_FRAME_HEADER);
                 self.protocol.frame(body, &mut framed);
-                inner.write_parts(&[&framed])?
-            }
+                inner.write_parts(&[&framed])
+            };
+            inner.settle(&self.budget);
+            result?
         };
         if arm {
             // Queue transitioned (or stayed) non-empty: make sure the loop
@@ -1238,27 +1606,9 @@ impl ConnWriter {
     /// Continues the queued write (reactor thread, `EPOLLOUT`).
     fn flush(&self) -> FlushState {
         let mut inner = self.inner.lock();
-        let WriterInner { transport, queue, pos, queued_since, dead } = &mut *inner;
-        if *dead {
-            return FlushState::Dead;
-        }
-        while *pos < queue.len() {
-            match transport.try_send(&queue[*pos..]) {
-                Ok(Some(n)) if n > 0 => {
-                    *pos += n;
-                    *queued_since = Some(Instant::now());
-                }
-                Ok(None) => return FlushState::Pending,
-                Ok(Some(_)) | Err(_) => {
-                    *dead = true;
-                    return FlushState::Dead;
-                }
-            }
-        }
-        queue.clear();
-        *pos = 0;
-        *queued_since = None;
-        FlushState::Idle
+        let state = inner.continue_write();
+        inner.settle(&self.budget);
+        state
     }
 
     /// Whether reply bytes are still queued (drives `EPOLLOUT` interest).
@@ -1280,10 +1630,45 @@ impl ConnWriter {
         inner.queue.clear();
         inner.pos = 0;
         inner.queued_since = None;
+        inner.settle(&self.budget);
     }
 }
 
 impl WriterInner {
+    /// Continues the pending write until drained, blocked, or dead — the
+    /// body of [`ConnWriter::flush`], split out so the caller can settle
+    /// the budget after it under the same lock hold.
+    fn continue_write(&mut self) -> FlushState {
+        if self.dead {
+            return FlushState::Dead;
+        }
+        while self.pos < self.queue.len() {
+            match self.transport.try_send(&self.queue[self.pos..]) {
+                Ok(Some(n)) if n > 0 => {
+                    self.pos += n;
+                    self.queued_since = Some(Instant::now());
+                }
+                Ok(None) => return FlushState::Pending,
+                Ok(Some(_)) | Err(_) => {
+                    self.dead = true;
+                    return FlushState::Dead;
+                }
+            }
+        }
+        self.queue.clear();
+        self.pos = 0;
+        self.queued_since = None;
+        FlushState::Idle
+    }
+
+    /// Reconciles this writer's queued-byte count into the global budget.
+    /// Called after every queue mutation, still under the writer lock.
+    fn settle(&mut self, budget: &ReplyBudget) {
+        let queued = self.queue.len() - self.pos;
+        budget.adjust(self.accounted, queued);
+        self.accounted = queued;
+    }
+
     /// Writes `parts` in order: appended to the queue when one exists
     /// (strict FIFO — replies must hit the wire in acceptance order),
     /// otherwise written directly until done or `EWOULDBLOCK` stashes the
@@ -1386,6 +1771,7 @@ struct ConnSource {
 impl Drop for ConnSource {
     fn drop(&mut self) {
         self.shared.conns.lock().remove(&self.conn_id);
+        self.shared.close_conn_streams(self.conn_id);
         self.writer.mark_dead();
     }
 }
@@ -1427,6 +1813,7 @@ impl Source for ConnSource {
                                 &self.shared,
                                 &self.per_conn,
                                 &self.sink,
+                                self.conn_id,
                             ) {
                                 return Action::Drop;
                             }

@@ -1,0 +1,557 @@
+//! Streaming replies with flow control: chunked frames, per-stream credit
+//! windows, and token-bucket pacing.
+//!
+//! A bulk payload does not fit the one-request/one-reply envelope without
+//! materializing the whole thing on both sides. This module streams it
+//! instead: the server pulls fragments from a [`StreamBody`] and sends each
+//! as an ordinary OK reply carrying the protocols' trailing **chunk
+//! section** (`index`, `last` — see
+//! [`Protocol::encode_chunk`](heidl_wire::Protocol::encode_chunk)), so
+//! every frame stays hand-typeable on the text protocol and
+//! old-reader-compatible on both. The client's demultiplexer routes the
+//! shared request id to a [`ReplyStream`], which reassembles fragments in
+//! order through a [`ChunkAssembler`].
+//!
+//! Flow control is per stream, not per connection: the server spends a
+//! credit [`StreamWindow`] as it emits and the client replenishes it with
+//! oneway acks as it consumes, so a slow reader backpressures *its own*
+//! stream without stalling the other calls multiplexed on the socket. An
+//! optional [`TokenBucket`] additionally paces emission to a byte rate
+//! (`ServerPolicy::with_stream_rate_bytes_per_sec`).
+
+use crate::call::{Call, Reply};
+use crate::communicator::{MuxConnection, StreamSlot};
+use crate::error::{RmiError, RmiResult};
+use crate::objref::ObjectRef;
+use heidl_wire::{pool, ChunkAssembler, DecodeLimits, Decoder, Protocol};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Object id the client's flow-control acks target — a reserved id (like
+/// the health and metrics objects) the server handles inline on its reader
+/// thread, so credit grants are never queued behind servant work.
+pub const STREAM_ACK_OBJECT_ID: u64 = u64::MAX - 1;
+
+/// Type id stamped on the references stream acks are addressed to.
+pub const STREAM_ACK_TYPE_ID: &str = "IDL:heidl/StreamAck:1.0";
+
+/// Repository id of the marker replayed when an exactly-once retry lands
+/// after its streamed reply already went out. Chunks are not cached (the
+/// reply cache is byte-bounded; a 64 MiB stream would evict everything
+/// else), so the retry gets this always-safe-to-retry busy marker and the
+/// caller re-invokes.
+pub const STREAM_EXPIRED_REPO_ID: &str = "IDL:heidl/StreamExpired:1.0";
+
+/// A token bucket pacing stream emission to a byte rate.
+///
+/// `pace(n)` debits `n` tokens, sleeping until the bucket (replenished at
+/// the configured rate, capped at a quarter-second of burst) covers them.
+/// One bucket is shared by every stream on a server, so the rate bounds
+/// aggregate emission, not per-stream emission.
+pub struct TokenBucket {
+    rate: f64,
+    capacity: f64,
+    state: Mutex<BucketState>,
+}
+
+struct BucketState {
+    available: f64,
+    last: Instant,
+}
+
+impl std::fmt::Debug for TokenBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenBucket").field("rate", &self.rate).finish_non_exhaustive()
+    }
+}
+
+impl TokenBucket {
+    /// Creates a bucket replenishing at `rate_bytes_per_sec` (minimum 1),
+    /// starting full with a quarter-second of burst capacity.
+    pub fn new(rate_bytes_per_sec: u64) -> TokenBucket {
+        let rate = rate_bytes_per_sec.max(1) as f64;
+        let capacity = (rate / 4.0).max(1.0);
+        TokenBucket {
+            rate,
+            capacity,
+            state: Mutex::new(BucketState { available: capacity, last: Instant::now() }),
+        }
+    }
+
+    /// Debits `bytes` tokens, sleeping as needed so sustained throughput
+    /// through this bucket never exceeds the configured rate.
+    pub fn pace(&self, bytes: u64) {
+        let mut remaining = bytes as f64;
+        while remaining > 0.0 {
+            // Debit in bucket-sized installments so a single jumbo chunk
+            // cannot demand more tokens than the bucket can ever hold.
+            let take = remaining.min(self.capacity);
+            loop {
+                let mut st = self.state.lock();
+                let now = Instant::now();
+                let refill = now.duration_since(st.last).as_secs_f64() * self.rate;
+                st.available = (st.available + refill).min(self.capacity);
+                st.last = now;
+                if st.available >= take {
+                    st.available -= take;
+                    break;
+                }
+                let deficit = take - st.available;
+                drop(st);
+                let wait = Duration::from_secs_f64(deficit / self.rate);
+                std::thread::sleep(
+                    wait.clamp(Duration::from_micros(200), Duration::from_millis(50)),
+                );
+            }
+            remaining -= take;
+        }
+    }
+}
+
+/// A per-stream credit window: the server consumes credit as it emits
+/// fragments, the client's acks grant it back as it consumes them.
+///
+/// The window is what bounds buffering on *both* sides: the server never
+/// has more than one window of unacknowledged bytes in flight, so a slow
+/// reader's stream parks its pump thread here instead of growing queues.
+pub struct StreamWindow {
+    state: Mutex<WindowState>,
+    cv: Condvar,
+}
+
+struct WindowState {
+    credit: u64,
+    closed: bool,
+}
+
+impl std::fmt::Debug for StreamWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("StreamWindow")
+            .field("credit", &st.credit)
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+impl StreamWindow {
+    /// Creates a window holding `initial` bytes of credit.
+    pub fn new(initial: u64) -> StreamWindow {
+        StreamWindow {
+            state: Mutex::new(WindowState { credit: initial, closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Spends `bytes` of credit, parking up to `timeout` for acks to
+    /// replenish it. Returns `false` when the window was closed or the
+    /// timeout elapsed first — the pump aborts the stream rather than
+    /// buffering past the window.
+    pub fn consume(&self, bytes: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.credit >= bytes {
+                st.credit -= bytes;
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Grants `bytes` of credit back (a client ack landed).
+    pub fn grant(&self, bytes: u64) {
+        let mut st = self.state.lock();
+        st.credit = st.credit.saturating_add(bytes);
+        self.cv.notify_all();
+    }
+
+    /// Closes the window: the consumer's next `consume` fails, aborting
+    /// the stream (connection teardown path).
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current unspent credit (observability for tests).
+    pub fn credit(&self) -> u64 {
+        self.state.lock().credit
+    }
+}
+
+/// An incremental source of stream fragments.
+///
+/// The pump pulls one bounded fragment at a time, so a servant can stream
+/// a payload it never materializes whole — the point of the per-stream
+/// window is lost if the producer buffers everything up front.
+pub struct StreamBody {
+    pull: Box<dyn FnMut(usize) -> Option<String> + Send>,
+}
+
+impl std::fmt::Debug for StreamBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamBody").finish_non_exhaustive()
+    }
+}
+
+impl StreamBody {
+    /// Wraps a pull function: called with a byte budget, it returns the
+    /// next fragment (at most about that many bytes) or `None` when the
+    /// stream is exhausted.
+    pub fn from_fn(pull: impl FnMut(usize) -> Option<String> + Send + 'static) -> StreamBody {
+        StreamBody { pull: Box::new(pull) }
+    }
+
+    /// Streams an already-built string, splitting it into budget-sized
+    /// fragments on `char` boundaries (a fragment may exceed the budget by
+    /// at most one multi-byte `char`).
+    pub fn from_string(payload: String) -> StreamBody {
+        let mut rest = payload;
+        StreamBody::from_fn(move |max| {
+            if rest.is_empty() {
+                return None;
+            }
+            let mut cut = max.min(rest.len());
+            while cut < rest.len() && !rest.is_char_boundary(cut) {
+                cut += 1;
+            }
+            if cut >= rest.len() {
+                Some(std::mem::take(&mut rest))
+            } else {
+                let tail = rest.split_off(cut);
+                Some(std::mem::replace(&mut rest, tail))
+            }
+        })
+    }
+
+    /// Pulls the next fragment, at most about `max_bytes` long; `None`
+    /// ends the stream.
+    pub fn next_fragment(&mut self, max_bytes: usize) -> Option<String> {
+        (self.pull)(max_bytes.max(1))
+    }
+}
+
+/// A servant whose replies are streamed instead of materialized.
+///
+/// Registered with [`Orb::export_stream`](crate::Orb::export_stream) —
+/// a separate registry from [`Skeleton`](crate::Skeleton), because a
+/// skeleton's contract is "marshal the whole result into one reply" and a
+/// stream's is the opposite. `open` unmarshals the arguments and returns
+/// the fragment source; the server's pump owns chunking, pacing, and
+/// windowing from there.
+pub trait StreamServant: Send + Sync {
+    /// The interface repository id, as in [`Skeleton`](crate::Skeleton).
+    fn type_id(&self) -> &str;
+
+    /// Begins one streamed invocation: unmarshal `args`, return the body.
+    ///
+    /// # Errors
+    ///
+    /// Unmarshaling failures and servant-level errors become exception
+    /// replies, exactly as on the skeleton path.
+    fn open(&self, method: &str, args: &mut dyn Decoder) -> RmiResult<StreamBody>;
+}
+
+/// A streamed reply being consumed incrementally on the client.
+///
+/// Produced by [`Orb::invoke_stream`](crate::Orb::invoke_stream). Each
+/// [`next_chunk`](ReplyStream::next_chunk) blocks for the next fragment;
+/// consumed bytes are acknowledged back to the server in batches (half a
+/// window, or whatever is pending whenever the reader is about to block),
+/// which is what keeps the server's credit window turning.
+pub struct ReplyStream {
+    conn: Arc<MuxConnection>,
+    slot: Arc<StreamSlot>,
+    protocol: Arc<dyn Protocol>,
+    request_id: u64,
+    ack_target: ObjectRef,
+    window: u64,
+    consumed_since_ack: u64,
+    asm: ChunkAssembler,
+    done: bool,
+    chunk_timeout: Option<Duration>,
+}
+
+impl std::fmt::Debug for ReplyStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplyStream")
+            .field("request_id", &self.request_id)
+            .field("chunks", &self.asm.accepted())
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplyStream {
+    #[allow(clippy::too_many_arguments)] // crate-internal; one call site in invoke_stream_with
+    pub(crate) fn new(
+        conn: Arc<MuxConnection>,
+        slot: Arc<StreamSlot>,
+        protocol: Arc<dyn Protocol>,
+        request_id: u64,
+        ack_target: ObjectRef,
+        window: u64,
+        limits: DecodeLimits,
+        chunk_timeout: Option<Duration>,
+    ) -> ReplyStream {
+        ReplyStream {
+            conn,
+            slot,
+            protocol,
+            request_id,
+            ack_target,
+            window: window.max(1),
+            consumed_since_ack: 0,
+            asm: ChunkAssembler::new(limits),
+            done: false,
+            chunk_timeout,
+        }
+    }
+
+    /// The request id the stream's frames are correlated by.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// True once the final fragment has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Number of chunk frames consumed so far.
+    pub fn chunks(&self) -> u64 {
+        self.asm.accepted()
+    }
+
+    /// Peak bytes ever buffered for this stream between arrival and
+    /// consumption — the client half of the "bounded by the window"
+    /// guarantee the transport-parity tests assert.
+    pub fn high_water_bytes(&self) -> usize {
+        self.slot.high_water()
+    }
+
+    /// Blocks for the next fragment; `Ok(None)` after the final one.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a hostile or corrupt chunk sequence
+    /// ([`RmiError::Wire`]), a remote exception carried by any frame, or
+    /// [`RmiError::DeadlineExceeded`] when a per-chunk deadline was set.
+    /// Every error ends the stream.
+    pub fn next_chunk(&mut self) -> RmiResult<Option<String>> {
+        if self.done {
+            return Ok(None);
+        }
+        // About to block: flush any pending ack first, whatever its size.
+        // This is what makes window clamping deadlock-free — if the server
+        // stalled on credit, everything delivered has been consumed here,
+        // so the flushed ack always restarts it.
+        if self.slot.is_empty() {
+            self.send_ack(true);
+        }
+        let body = match self.chunk_timeout {
+            None => self.slot.wait(),
+            Some(limit) => self.slot.wait_for(limit),
+        };
+        let body = match body {
+            Ok(b) => b,
+            Err(e) => {
+                self.finish();
+                return Err(e);
+            }
+        };
+        let tail = self.protocol.extract_chunk(&body);
+        let fragment = match self.consume_frame(body, tail) {
+            Ok(f) => f,
+            Err(e) => {
+                self.finish();
+                return Err(e);
+            }
+        };
+        self.consumed_since_ack = self.consumed_since_ack.saturating_add(fragment.len() as u64);
+        if self.done {
+            self.finish();
+        } else {
+            self.send_ack(false);
+        }
+        Ok(Some(fragment))
+    }
+
+    /// Drains the stream into one string (tests and small payloads; for a
+    /// payload worth streaming, prefer the [`next_chunk`] loop).
+    ///
+    /// [`next_chunk`]: ReplyStream::next_chunk
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplyStream::next_chunk`].
+    pub fn collect_string(&mut self) -> RmiResult<String> {
+        let mut out = String::new();
+        while let Some(fragment) = self.next_chunk()? {
+            out.push_str(&fragment);
+        }
+        Ok(out)
+    }
+
+    fn consume_frame(
+        &mut self,
+        body: heidl_wire::PooledBuf,
+        tail: Option<(u64, bool)>,
+    ) -> RmiResult<String> {
+        match tail {
+            Some((index, last)) => {
+                self.asm.accept(index, last).map_err(RmiError::Wire)?;
+                let mut reply = Reply::parse(body.into(), self.protocol.as_ref())?;
+                let fragment = reply.results().get_string()?;
+                if last {
+                    self.done = true;
+                }
+                Ok(fragment)
+            }
+            None => {
+                // An unchunked reply: the server answered the whole payload
+                // in one envelope (or with an exception). Either way the
+                // stream ends with this frame.
+                self.done = true;
+                let mut reply = Reply::parse(body.into(), self.protocol.as_ref())?;
+                Ok(reply.results().get_string()?)
+            }
+        }
+    }
+
+    /// Sends a credit ack when forced, or when half the window has been
+    /// consumed since the last one. Best-effort: a send failure leaves the
+    /// bytes pending and the next wait surfaces the dead connection.
+    fn send_ack(&mut self, force: bool) {
+        if self.consumed_since_ack == 0 {
+            return;
+        }
+        if !force && self.consumed_since_ack.saturating_mul(2) < self.window {
+            return;
+        }
+        let mut call = Call::oneway(&self.ack_target, "ack", self.protocol.as_ref());
+        call.args().put_ulonglong(self.request_id);
+        call.args().put_ulonglong(self.consumed_since_ack);
+        let body = call.into_body();
+        let sent = self.conn.send_oneway(&body).is_ok();
+        pool::recycle(body);
+        if sent {
+            self.consumed_since_ack = 0;
+        }
+    }
+
+    fn finish(&mut self) {
+        self.done = true;
+        self.conn.unregister_stream(self.request_id);
+    }
+}
+
+impl Drop for ReplyStream {
+    fn drop(&mut self) {
+        // An abandoned stream must stop routing frames to its slot; late
+        // chunks then drop exactly like late replies.
+        self.conn.unregister_stream(self.request_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_allows_initial_burst_then_paces() {
+        let bucket = TokenBucket::new(4_000_000);
+        let start = Instant::now();
+        bucket.pace(1_000_000); // the initial burst: free
+        assert!(start.elapsed() < Duration::from_millis(100));
+        bucket.pace(1_000_000); // must wait ~250ms for refill
+        assert!(start.elapsed() >= Duration::from_millis(150), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn bucket_handles_debits_larger_than_capacity() {
+        // Capacity is rate/4; a debit of a full second of rate must not
+        // wedge, it just takes installments.
+        let bucket = TokenBucket::new(40_000_000);
+        let start = Instant::now();
+        bucket.pace(20_000_000);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(100), "{elapsed:?}");
+        assert!(elapsed < Duration::from_secs(2), "{elapsed:?}");
+    }
+
+    #[test]
+    fn window_consumes_and_blocks_until_granted() {
+        let w = Arc::new(StreamWindow::new(10));
+        assert!(w.consume(10, Duration::from_millis(10)));
+        assert_eq!(w.credit(), 0);
+        // Exhausted: a consume now times out...
+        assert!(!w.consume(1, Duration::from_millis(20)));
+        // ...but a grant from another thread unblocks it.
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.grant(5);
+        });
+        assert!(w.consume(5, Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn window_close_fails_consumers() {
+        let w = Arc::new(StreamWindow::new(0));
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || w2.consume(1, Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        w.close();
+        assert!(!t.join().unwrap());
+        assert!(!w.consume(0, Duration::from_millis(1)), "closed window admits nothing");
+    }
+
+    #[test]
+    fn body_from_string_fragments_on_char_boundaries() {
+        // 'é' is 2 bytes; a 3-byte budget must not split it.
+        let mut body = StreamBody::from_string("aébéc".to_owned());
+        let mut out = String::new();
+        let mut fragments = 0;
+        while let Some(f) = body.next_fragment(3) {
+            assert!(f.len() <= 4, "fragment overshoots by more than one char: {f:?}");
+            out.push_str(&f);
+            fragments += 1;
+        }
+        assert_eq!(out, "aébéc");
+        assert!(fragments >= 2);
+        assert!(body.next_fragment(3).is_none(), "exhausted body stays exhausted");
+    }
+
+    #[test]
+    fn body_from_string_empty_is_immediately_exhausted() {
+        let mut body = StreamBody::from_string(String::new());
+        assert!(body.next_fragment(16).is_none());
+    }
+
+    #[test]
+    fn body_from_fn_respects_budget_clamp() {
+        let mut calls = 0;
+        let mut body = StreamBody::from_fn(move |max| {
+            calls += 1;
+            assert!(max >= 1, "budget is clamped to at least one byte");
+            if calls <= 2 {
+                Some("x".repeat(max.min(4)))
+            } else {
+                None
+            }
+        });
+        assert_eq!(body.next_fragment(0).unwrap(), "x");
+        assert_eq!(body.next_fragment(4).unwrap(), "xxxx");
+        assert!(body.next_fragment(4).is_none());
+    }
+}

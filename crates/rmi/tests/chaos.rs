@@ -16,7 +16,7 @@ struct EchoSkel {
 }
 
 impl EchoSkel {
-    fn new() -> Arc<dyn Skeleton> {
+    fn shared() -> Arc<dyn Skeleton> {
         Arc::new(EchoSkel {
             base: SkeletonBase::new("IDL:Test/Echo:1.0", DispatchKind::Hash, ["ping"], vec![]),
         })
@@ -51,7 +51,7 @@ impl Skeleton for EchoSkel {
 fn spawn_server() -> (Orb, ObjectRef) {
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
     (orb, objref)
 }
 

@@ -25,7 +25,7 @@ struct ReceiverSkel {
 }
 
 impl ReceiverSkel {
-    fn new(target: Arc<dyn ReceiverServant>, kind: DispatchKind) -> Arc<dyn Skeleton> {
+    fn shared(target: Arc<dyn ReceiverServant>, kind: DispatchKind) -> Arc<dyn Skeleton> {
         Arc::new(ReceiverSkel {
             base: SkeletonBase::new("IDL:Heidi/Receiver:1.0", kind, ["print", "count"], vec![]),
             target,
@@ -105,10 +105,10 @@ struct PlayerSkel {
 }
 
 impl PlayerSkel {
-    fn new(target: Arc<dyn PlayerServant>, orb: Orb, kind: DispatchKind) -> Arc<dyn Skeleton> {
+    fn shared(target: Arc<dyn PlayerServant>, orb: Orb, kind: DispatchKind) -> Arc<dyn Skeleton> {
         // The skeleton chain mirrors IDL inheritance: Player_skel
         // delegates to Receiver_skel (paper §3.1).
-        let parent = ReceiverSkel::new(Arc::clone(&target) as Arc<dyn ReceiverServant>, kind);
+        let parent = ReceiverSkel::shared(Arc::clone(&target) as Arc<dyn ReceiverServant>, kind);
         Arc::new(PlayerSkel {
             base: SkeletonBase::new(
                 "IDL:Heidi/Player:1.0",
@@ -292,7 +292,8 @@ fn start_server(kind: DispatchKind) -> (Orb, Arc<MediaPlayer>, ObjectRef) {
         Ok(Box::new(Clip { title: dec.get_string()?, frames: dec.get_long()? }))
     });
     let servant = Arc::new(MediaPlayer::default());
-    let skel = PlayerSkel::new(Arc::clone(&servant) as Arc<dyn PlayerServant>, orb.clone(), kind);
+    let skel =
+        PlayerSkel::shared(Arc::clone(&servant) as Arc<dyn PlayerServant>, orb.clone(), kind);
     let objref = orb.export(skel).expect("export");
     (orb, servant, objref)
 }
@@ -412,7 +413,7 @@ fn binary_protocol_serves_the_same_stubs() {
     let orb = Orb::with_protocol(Arc::new(CdrProtocol));
     orb.serve("127.0.0.1:0").unwrap();
     let servant = Arc::new(MediaPlayer::default());
-    let skel = PlayerSkel::new(
+    let skel = PlayerSkel::shared(
         Arc::clone(&servant) as Arc<dyn PlayerServant>,
         orb.clone(),
         DispatchKind::Hash,
@@ -432,7 +433,7 @@ fn text_protocol_also_works_explicitly() {
     let orb = Orb::with_protocol(Arc::new(TextProtocol));
     orb.serve("127.0.0.1:0").unwrap();
     let servant = Arc::new(MediaPlayer::default());
-    let skel = PlayerSkel::new(
+    let skel = PlayerSkel::shared(
         Arc::clone(&servant) as Arc<dyn PlayerServant>,
         orb.clone(),
         DispatchKind::Linear,
@@ -462,7 +463,7 @@ fn lazy_skeleton_created_once_per_servant() {
     let extra = Arc::new(MediaPlayer::default());
     let identity = Arc::as_ptr(&extra) as usize;
     let mk = || {
-        PlayerSkel::new(
+        PlayerSkel::shared(
             Arc::clone(&extra) as Arc<dyn PlayerServant>,
             orb.clone(),
             DispatchKind::Hash,
@@ -502,7 +503,7 @@ fn concurrent_clients_from_many_threads() {
 fn export_requires_running_server() {
     let orb = Orb::new();
     let servant = Arc::new(MediaPlayer::default());
-    let skel = PlayerSkel::new(
+    let skel = PlayerSkel::shared(
         Arc::clone(&servant) as Arc<dyn PlayerServant>,
         orb.clone(),
         DispatchKind::Hash,

@@ -11,7 +11,7 @@ struct EchoSkel {
 }
 
 impl EchoSkel {
-    fn new() -> Arc<dyn Skeleton> {
+    fn shared() -> Arc<dyn Skeleton> {
         Arc::new(EchoSkel {
             base: SkeletonBase::new("IDL:Test/Echo:1.0", DispatchKind::Hash, ["ping"], vec![]),
         })
@@ -66,7 +66,7 @@ fn poison_pool(orb: &Orb, endpoint: &Endpoint) {
 fn stale_cached_connection_is_evicted_at_checkout() {
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
 
     // Warm path works.
     assert_eq!(ping(&orb, &objref).unwrap(), 42);
@@ -90,7 +90,7 @@ fn stale_cached_connection_is_evicted_at_checkout() {
 fn repeated_poisoning_is_survived() {
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
     for i in 1..=5 {
         poison_pool(&orb, &objref.endpoint);
         assert_eq!(ping(&orb, &objref).unwrap(), 42, "round {i}");
@@ -103,7 +103,7 @@ fn repeated_poisoning_is_survived() {
 fn dead_server_reports_connect_error() {
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
     // A reference to a port where nothing listens.
     let dead = ObjectRef::new(
         Endpoint::new("tcp", "127.0.0.1", 1),
@@ -125,7 +125,7 @@ fn fresh_connection_failure_is_not_retried() {
     // stale-connection hypothesis; the error surfaces.
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
     // Ensure nothing is cached, then shut the server down between
     // connect and use: simplest deterministic variant is a poisoned
     // cache with caching disabled afterwards.
@@ -140,7 +140,7 @@ fn fresh_connection_failure_is_not_retried() {
 fn clear_drops_idle_connections() {
     let orb = Orb::new();
     orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
     ping(&orb, &objref).unwrap();
     assert_eq!(orb.connections().idle_count(&objref.endpoint), 1);
     orb.connections().clear();
@@ -155,7 +155,7 @@ fn server_survives_clients_that_disconnect_mid_stream() {
     use std::io::Write as _;
     let orb = Orb::new();
     let endpoint = orb.serve("127.0.0.1:0").unwrap();
-    let objref = orb.export(EchoSkel::new()).unwrap();
+    let objref = orb.export(EchoSkel::shared()).unwrap();
 
     // A few rude clients: connect, write half a message, vanish.
     for _ in 0..4 {

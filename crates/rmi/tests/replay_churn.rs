@@ -114,7 +114,7 @@ fn multi_session_churn_keeps_the_reply_cache_bounded() {
     let plan = Arc::new(FaultPlan::new(seed));
     plan.add_rule(
         FaultRule::always(FaultOp::Recv, Fault::DropConnection)
-            .at(&objref.endpoint.socket_addr())
+            .at(objref.endpoint.socket_addr())
             .when(fault::Trigger::Probability(0.3)),
     );
     let faulty = Orb::builder()

@@ -318,6 +318,84 @@ fn reactor_sweep_timer_cuts_slow_loris_connections() {
     server.shutdown();
 }
 
+#[test]
+fn reactor_global_reply_budget_sheds_busy_under_slow_readers() {
+    let protocol: Arc<dyn Protocol> = Arc::new(TextProtocol);
+    const BUDGET: usize = 2 * 1024 * 1024;
+    const BLOB: i32 = 8 * 1024 * 1024;
+    let (server, objref) = serve(
+        TransportMode::Reactor,
+        Arc::clone(&protocol),
+        ServerPolicy::default().with_max_reply_queue_bytes_global(BUDGET),
+    );
+    // Slow readers: each asks for a blob far larger than the global
+    // budget and then refuses to read. The reply parks in its
+    // connection's write backlog; the shared budget fills and stays full.
+    let mut stalled = Vec::new();
+    for _ in 0..4 {
+        let mut stream = connect_raw(&server);
+        let mut call = Call::request(&objref, "blob", protocol.as_ref());
+        call.args().put_long(BLOB);
+        let body = call.into_body();
+        let mut framed = Vec::new();
+        protocol.frame(&body, &mut framed);
+        stream.write_all(&framed).unwrap();
+        stalled.push(stream);
+    }
+    // A well-behaved caller must now be shed with Busy — not block, not
+    // grow the backlog further.
+    let client_orb = client(TransportMode::Reactor, Arc::clone(&protocol));
+    let no_retry = CallOptions::builder().retry_policy(RetryPolicy::none()).build();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut shed = false;
+    while Instant::now() < deadline {
+        let mut call = client_orb.call(&objref, "shout");
+        call.args().put_string("storm");
+        match client_orb.invoke_with(call, no_retry) {
+            Err(RmiError::ServerBusy { .. }) => {
+                shed = true;
+                break;
+            }
+            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    assert!(shed, "budget never tripped: slow readers should exhaust {BUDGET} queued bytes");
+    // Drain the stalled connections; the backlog flushes, the budget
+    // frees, and service recovers without a restart.
+    let drains: Vec<_> = stalled
+        .into_iter()
+        .map(|mut stream| {
+            // The timeout is how a drain thread learns it's done: after
+            // the blob is consumed the connection stays open and a
+            // further read would park forever.
+            stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            std::thread::spawn(move || {
+                let mut sink = [0u8; 64 * 1024];
+                while let Ok(n) = stream.read(&mut sink) {
+                    if n == 0 {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        if shout(&client_orb, &objref, "after").is_ok_and(|r| r == "AFTER") {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(recovered, "budget must free once the backlog drains");
+    for d in drains {
+        d.join().unwrap();
+    }
+    client_orb.shutdown();
+    server.shutdown();
+}
+
 /// Threads currently live in this process.
 fn process_threads() -> usize {
     std::fs::read_dir("/proc/self/task").unwrap().count()

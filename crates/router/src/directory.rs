@@ -8,7 +8,10 @@
 //! replicas that missed a write — a replica that was partitioned during a
 //! `register` converges on the next renewal, and one that missed a
 //! `deregister` converges when the lease expires. Generations are
-//! per-replica (they order one replica's answers, not the cluster's).
+//! per-replica (they order one replica's answers, not the cluster's),
+//! but `poll` max-merges the caller's known generation into the replica
+//! it lands on — so across failover a client's observed generation is
+//! monotonic even when it hops to a replica that missed writes.
 
 use crate::discovery::{DirectorySkel, Directory_REPO_ID, Membership, NotFound};
 use heidl_rmi::{DispatchKind, Endpoint, ObjectRef, Orb, RmiResult, ServerPolicy};
@@ -96,6 +99,18 @@ impl DirectoryCore {
         state.generation
     }
 
+    /// Max-merges a generation observed elsewhere into this replica's
+    /// counter. Generations are natively per-replica; a client that
+    /// failed over after seeing generation G on a partitioned peer
+    /// gossips G here via `poll`'s `known_generation`, and this replica
+    /// fast-forwards so its answers never appear to rewind history.
+    /// Returns the (possibly advanced) generation.
+    pub fn observe_generation(&self, known: i64) -> i64 {
+        let mut state = self.state.lock();
+        state.generation = state.generation.max(known);
+        state.generation
+    }
+
     /// Drops every expired lease; returns how many were reaped.
     pub fn reap(&self) -> usize {
         purge(&mut self.state.lock(), Instant::now())
@@ -170,7 +185,12 @@ impl crate::discovery::DirectoryServant for CoreServant {
         Ok(combined)
     }
 
-    fn poll(&self, name: String, _known_generation: i64) -> RmiResult<Membership> {
+    fn poll(&self, name: String, known_generation: i64) -> RmiResult<Membership> {
+        // A poller that failed over from a replica further ahead carries
+        // that history in `known_generation`; merge it first so this
+        // answer's generation can never rewind below what the client
+        // already saw.
+        self.core.observe_generation(known_generation);
         let (generation, combined_ref, providers) = self.core.membership(&name);
         Ok(Membership { generation, combined_ref, providers })
     }

@@ -187,7 +187,11 @@ impl Resolver {
                 } else {
                     None
                 },
-                generation: membership.generation,
+                // Floor at what we already saw: a replica that predates
+                // the server-side max-merge (mid-rollout) could still
+                // answer behind the generation a failed-over peer gave
+                // us, and `BackendSource::generation` must be monotonic.
+                generation: membership.generation.max(known),
                 at: Instant::now(),
             },
             // Directory unreachable: cache the miss briefly so a storm of

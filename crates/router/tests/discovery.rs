@@ -225,6 +225,85 @@ fn breaker_open_invalidates_cached_resolution() {
 }
 
 #[test]
+fn poll_generation_never_rewinds_across_failover() {
+    // The failover-rewind regression: replica 0 races ahead of replica 1
+    // during a partition; when replica 0 then dies, polls fail over to
+    // replica 1 — whose native generation is *behind* what the client
+    // already saw. `poll` must max-merge the caller's known generation so
+    // the observed sequence stays monotonic.
+    let cluster = DirectoryCluster::start(2).unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), cluster.client_ref());
+
+    // A healthy write reaches both replicas.
+    client.register("echo", &provider(9181), 10_000).unwrap();
+
+    // Partition: writes land only on replica 0 (applied straight to its
+    // core, as a registrar that can't reach replica 1 would), racing its
+    // generation several steps ahead.
+    let ahead = cluster.replicas()[0].core();
+    ahead.register("echo", &provider(9182), 10_000);
+    ahead.register("echo", &provider(9183), 10_000);
+    ahead.deregister("echo", &provider(9183));
+
+    // The client polls and observes replica 0's (higher) generation.
+    let seen = client.poll("echo", 0).unwrap();
+    let behind = cluster.replicas()[1].core().generation();
+    assert!(
+        seen.generation > behind,
+        "precondition: replica 0 ({}) must be ahead of replica 1 ({behind})",
+        seen.generation
+    );
+
+    // Heal-by-failover: replica 0 dies, the next poll lands on replica 1.
+    cluster.replicas()[0].shutdown();
+    let after = client.poll("echo", seen.generation).unwrap();
+    assert!(
+        after.generation >= seen.generation,
+        "generation rewound across failover: {} -> {}",
+        seen.generation,
+        after.generation
+    );
+
+    // And replica 1 itself fast-forwarded: later polls with a stale
+    // known generation still answer from the merged counter.
+    let again = client.poll("echo", 0).unwrap();
+    assert!(again.generation >= seen.generation, "merge did not stick on the survivor");
+
+    orb.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn resolver_generation_is_monotonic_across_failover() {
+    // Same scenario one layer up: the cached `Resolver` feeding a router
+    // its `BackendSource::generation` must never report a lower value
+    // after failing over to a lagging replica.
+    let cluster = DirectoryCluster::start(2).unwrap();
+    let orb = Orb::new();
+    let client = DirectoryClient::new(orb.clone(), cluster.client_ref());
+    client.register("echo", &provider(9191), 10_000).unwrap();
+
+    let ahead = cluster.replicas()[0].core();
+    ahead.register("echo", &provider(9192), 10_000);
+    ahead.deregister("echo", &provider(9192));
+
+    // TTL zero: every read re-polls, so the failover happens under us.
+    let resolver = Resolver::with_ttl(
+        DirectoryClient::new(orb.clone(), cluster.client_ref()),
+        "echo",
+        Duration::ZERO,
+    );
+    let seen = resolver.generation();
+    cluster.replicas()[0].shutdown();
+    let after = resolver.generation();
+    assert!(after >= seen, "resolver generation rewound across failover: {seen} -> {after}");
+
+    orb.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
 fn reaper_thread_stops_with_the_server() {
     let server = DirectoryServer::start("127.0.0.1:0").unwrap();
     let core = server.core().clone();

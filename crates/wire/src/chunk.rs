@@ -1,0 +1,142 @@
+//! Chunked-stream reassembly validation.
+//!
+//! A chunked transfer arrives as a sequence of ordinary frames, each
+//! carrying a trailing chunk section (`index`, `last`) — see
+//! [`Protocol::extract_chunk`](crate::Protocol::extract_chunk). The
+//! receiver must not trust those tails: a hostile peer can lie about
+//! `last` (stream never ends), claim absurd indices, or interleave two
+//! streams' counters. [`ChunkAssembler`] is the single validation point —
+//! it admits exactly the in-order prefix `0, 1, 2, …` up to
+//! [`DecodeLimits::max_stream_chunks`] and fails cleanly on anything
+//! else, *before* the caller buffers the chunk body.
+
+use crate::error::{WireError, WireResult};
+use crate::limits::DecodeLimits;
+
+/// Validates the chunk tails of one stream as they arrive.
+///
+/// ```
+/// use heidl_wire::{ChunkAssembler, DecodeLimits};
+///
+/// let mut asm = ChunkAssembler::new(DecodeLimits::default());
+/// assert!(!asm.accept(0, false).unwrap());
+/// assert!(asm.accept(1, true).unwrap()); // stream complete
+/// assert!(asm.accept(2, true).is_err()); // chunks after `last` are hostile
+/// ```
+#[derive(Debug)]
+pub struct ChunkAssembler {
+    next_index: u64,
+    done: bool,
+    poisoned: bool,
+    limits: DecodeLimits,
+}
+
+impl ChunkAssembler {
+    /// Creates an assembler enforcing `limits.max_stream_chunks`.
+    pub fn new(limits: DecodeLimits) -> Self {
+        ChunkAssembler { next_index: 0, done: false, poisoned: false, limits }
+    }
+
+    /// Validates the next chunk tail. Returns `Ok(true)` when this chunk
+    /// completes the stream, `Ok(false)` when more chunks are expected.
+    ///
+    /// One hostile tail poisons the stream: every subsequent `accept`
+    /// fails too, so a caller cannot be tricked into resuming a stream
+    /// that already lied once.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on an out-of-order index (a lying or
+    /// interleaved stream), a chunk arriving after `last`, or any chunk
+    /// on a poisoned stream; [`WireError::Bounds`] when the stream
+    /// exceeds [`DecodeLimits::max_stream_chunks`].
+    pub fn accept(&mut self, index: u64, last: bool) -> WireResult<bool> {
+        if self.poisoned {
+            return Err(WireError::Malformed {
+                what: "chunk stream",
+                detail: "stream already failed validation".into(),
+            });
+        }
+        if self.done {
+            self.poisoned = true;
+            return Err(WireError::Malformed {
+                what: "chunk stream",
+                detail: format!("chunk {index} after the final chunk"),
+            });
+        }
+        if index != self.next_index {
+            self.poisoned = true;
+            return Err(WireError::Malformed {
+                what: "chunk stream",
+                detail: format!("chunk index {index}, expected {}", self.next_index),
+            });
+        }
+        let count = index + 1;
+        if count > u64::from(self.limits.max_stream_chunks) {
+            self.poisoned = true;
+            return Err(WireError::Bounds {
+                what: "chunk stream",
+                len: count,
+                max: self.limits.max_stream_chunks.into(),
+            });
+        }
+        self.next_index = count;
+        self.done = last;
+        Ok(last)
+    }
+
+    /// True once the final chunk has been accepted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Number of chunks accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.next_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_completes() {
+        let mut asm = ChunkAssembler::new(DecodeLimits::default());
+        assert!(!asm.accept(0, false).unwrap());
+        assert!(!asm.accept(1, false).unwrap());
+        assert!(asm.accept(2, true).unwrap());
+        assert!(asm.is_done());
+        assert_eq!(asm.accepted(), 3);
+    }
+
+    #[test]
+    fn single_chunk_stream_completes() {
+        let mut asm = ChunkAssembler::new(DecodeLimits::default());
+        assert!(asm.accept(0, true).unwrap());
+    }
+
+    #[test]
+    fn out_of_order_and_oversized_indices_fail() {
+        let mut asm = ChunkAssembler::new(DecodeLimits::default());
+        assert!(matches!(asm.accept(1, false), Err(WireError::Malformed { .. })));
+        let mut asm = ChunkAssembler::new(DecodeLimits::default());
+        assert!(matches!(asm.accept(u64::MAX, true), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    fn stream_longer_than_the_bound_fails() {
+        let limits = DecodeLimits::default().with_max_stream_chunks(2);
+        let mut asm = ChunkAssembler::new(limits);
+        assert!(!asm.accept(0, false).unwrap());
+        assert!(!asm.accept(1, false).unwrap());
+        assert!(matches!(asm.accept(2, false), Err(WireError::Bounds { .. })));
+    }
+
+    #[test]
+    fn chunks_after_last_fail() {
+        let mut asm = ChunkAssembler::new(DecodeLimits::default());
+        assert!(asm.accept(0, true).unwrap());
+        assert!(asm.accept(1, false).is_err());
+    }
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cdr;
+pub mod chunk;
 pub mod codec;
 pub mod error;
 pub mod limits;
@@ -39,13 +40,15 @@ pub mod protocol;
 pub mod text;
 
 pub use cdr::{CdrDecoder, CdrEncoder};
+pub use chunk::ChunkAssembler;
 pub use codec::{Decoder, Encoder};
 pub use error::{WireError, WireResult};
 pub use limits::DecodeLimits;
 pub use plan::{CdrStructPlan, FieldKind, PlanValue};
 pub use pool::{BufPool, FrameBuf, PooledBuf};
 pub use protocol::{
-    by_name, CdrProtocol, Protocol, TextProtocol, CDR_CONTEXT_LEN, CDR_CONTEXT_MAGIC,
-    CDR_TOKEN_LEN, CDR_TOKEN_MAGIC, MAX_FRAME_HEADER, TEXT_CONTEXT_MARKER, TEXT_TOKEN_MARKER,
+    by_name, CdrProtocol, Protocol, TextProtocol, CDR_CHUNK_LEN, CDR_CHUNK_MAGIC, CDR_CONTEXT_LEN,
+    CDR_CONTEXT_MAGIC, CDR_TOKEN_LEN, CDR_TOKEN_MAGIC, MAX_FRAME_HEADER, TEXT_CHUNK_MARKER,
+    TEXT_CONTEXT_MARKER, TEXT_TOKEN_MARKER,
 };
 pub use text::{TextDecoder, TextEncoder};

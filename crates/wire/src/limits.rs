@@ -38,6 +38,12 @@ pub struct DecodeLimits {
     pub max_sequence_len: u32,
     /// Deepest `begin`/`end` nesting a decoder will follow.
     pub max_depth: u32,
+    /// Most chunk frames one chunked stream may carry. A lying peer can
+    /// otherwise keep a stream open forever (never sending `last = 1`) or
+    /// claim absurd chunk indices; reassembly rejects either before
+    /// buffering. Each individual chunk is already bounded by
+    /// `max_frame_bytes` at deframe time.
+    pub max_stream_chunks: u32,
 }
 
 /// The historical hard sanity bound (64 MiB) both codecs shipped with.
@@ -52,6 +58,7 @@ impl Default for DecodeLimits {
             max_string_bytes: LEGACY_MAX,
             max_sequence_len: LEGACY_MAX,
             max_depth: 256,
+            max_stream_chunks: 1 << 20,
         }
     }
 }
@@ -65,6 +72,7 @@ impl DecodeLimits {
             max_string_bytes: 256 * 1024,
             max_sequence_len: 64 * 1024,
             max_depth: 32,
+            max_stream_chunks: 4096,
         }
     }
 
@@ -95,6 +103,13 @@ impl DecodeLimits {
         self.max_depth = max.max(1);
         self
     }
+
+    /// Sets the per-stream chunk-count bound (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_stream_chunks(mut self, max: u32) -> DecodeLimits {
+        self.max_stream_chunks = max.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +123,7 @@ mod tests {
         assert_eq!(d.max_string_bytes, 64 * 1024 * 1024);
         assert_eq!(d.max_sequence_len, 64 * 1024 * 1024);
         assert!(d.max_depth >= 64);
+        assert_eq!(d.max_stream_chunks, 1 << 20);
     }
 
     #[test]
@@ -115,10 +131,12 @@ mod tests {
         let d = DecodeLimits::default()
             .with_max_frame_bytes(0)
             .with_max_string_bytes(0)
-            .with_max_depth(0);
+            .with_max_depth(0)
+            .with_max_stream_chunks(0);
         assert_eq!(d.max_frame_bytes, 64);
         assert_eq!(d.max_string_bytes, 1);
         assert_eq!(d.max_depth, 1);
+        assert_eq!(d.max_stream_chunks, 1);
     }
 
     #[test]
@@ -129,5 +147,6 @@ mod tests {
         assert!(s.max_string_bytes < d.max_string_bytes);
         assert!(s.max_sequence_len < d.max_sequence_len);
         assert!(s.max_depth < d.max_depth);
+        assert!(s.max_stream_chunks < d.max_stream_chunks);
     }
 }

@@ -67,6 +67,27 @@ pub const CDR_TOKEN_MAGIC: &[u8; 4] = b"HTK1";
 /// both sections sit at fixed offsets from the end of the body.
 pub const CDR_TOKEN_LEN: usize = 24;
 
+/// Marker token opening the optional trailing **chunk section** on the
+/// text protocol: a frame belonging to a chunked stream ends with
+/// `"~chunk" <n> <last>`, where `<n>` is the zero-based chunk index and
+/// `<last>` is `0` or `1`. Like the `~tok`/`~ctx` markers, `~` cannot
+/// start any ordinary text token, so positional old readers never see the
+/// section, and a human can hand-type a chunked transfer over telnet.
+pub const TEXT_CHUNK_MARKER: &str = "~chunk";
+
+/// Magic closing the optional trailing chunk section on the CDR protocol:
+/// the section is `index (u64 LE) · last (u32 LE, 0 or 1) · "HCH1"`. Old
+/// readers never look past the declared fields, so the section is
+/// invisible to them.
+pub const CDR_CHUNK_MAGIC: &[u8; 4] = b"HCH1";
+
+/// Byte length of the CDR trailing chunk section (a `u64` index, a `u32`
+/// last-flag, and the closing magic). The section is written as raw
+/// octets — never alignment-padded — so it is always exactly the last 16
+/// bytes of the frame and strips away cleanly to expose the token and
+/// context tails beneath it.
+pub const CDR_CHUNK_LEN: usize = 16;
+
 /// A wire protocol: codec factory + request demarcation.
 pub trait Protocol: Send + Sync + fmt::Debug {
     /// Short protocol name used in stringified object references
@@ -239,6 +260,64 @@ pub trait Protocol: Send + Sync + fmt::Debug {
         let _ = body;
         None
     }
+
+    /// Appends an optional **trailing chunk section** (`index`, `last`)
+    /// marking this frame as one piece of a chunked stream. Same
+    /// backward-compatibility contract as the token and context sections:
+    /// old positional readers never look past the declared fields. When a
+    /// frame carries several suffixes the chunk section is the
+    /// *outermost* — encode order is token, context, chunk. Returns
+    /// `false` (and encodes nothing) for protocols without a chunk
+    /// encoding — the default.
+    fn encode_chunk(&self, enc: &mut dyn Encoder, index: u64, last: bool) -> bool {
+        let _ = (enc, index, last);
+        false
+    }
+
+    /// Extracts the trailing chunk section from a received body, if
+    /// present, as `(index, last)`. `None` when the body carries no chunk
+    /// section (or the protocol has no chunk encoding — the default).
+    ///
+    /// A tail inspection only, like [`Protocol::extract_context`]; the
+    /// declared fields decode identically with or without the section.
+    fn extract_chunk(&self, body: &[u8]) -> Option<(u64, bool)> {
+        let _ = body;
+        None
+    }
+}
+
+/// Strips one trailing text chunk section (`"~chunk" <n> <last>`), if
+/// present and well-formed, so the token/context extractors can inspect
+/// the tail beneath it.
+fn strip_text_chunk(s: &str) -> &str {
+    let needle = "\"~chunk\"";
+    let Some(idx) = s.rfind(needle) else {
+        return s;
+    };
+    if idx > 0 && !s.as_bytes()[idx - 1].is_ascii_whitespace() {
+        return s;
+    }
+    let mut tail = s[idx + needle.len()..].split_ascii_whitespace();
+    let index_ok = tail.next().is_some_and(|t| t.parse::<u64>().is_ok());
+    let last_ok = matches!(tail.next(), Some("0" | "1"));
+    if index_ok && last_ok && tail.next().is_none() {
+        s[..idx].trim_end()
+    } else {
+        s
+    }
+}
+
+/// Strips one trailing CDR chunk section, if present, so the
+/// token/context extractors can inspect the tail beneath it.
+fn cdr_strip_chunk(body: &[u8]) -> &[u8] {
+    let n = body.len();
+    if n >= CDR_CHUNK_LEN && &body[n - 4..] == CDR_CHUNK_MAGIC {
+        let last = u32::from_le_bytes(body[n - 8..n - 4].try_into().expect("4 bytes"));
+        if last <= 1 {
+            return &body[..n - CDR_CHUNK_LEN];
+        }
+    }
+    body
 }
 
 /// The HeidiRMI text protocol: one newline-terminated line per message.
@@ -380,7 +459,8 @@ impl Protocol for TextProtocol {
     }
 
     fn extract_context(&self, body: &[u8]) -> Option<(u64, u64)> {
-        let s = std::str::from_utf8(body).ok()?;
+        // The chunk section is the outermost suffix; look beneath it.
+        let s = strip_text_chunk(std::str::from_utf8(body).ok()?);
         // The marker is the *last* `"~ctx"` token: anything after it must be
         // exactly two unsigned integers running to end-of-line. A string
         // argument containing the marker bytes encodes with escaped quotes
@@ -410,7 +490,8 @@ impl Protocol for TextProtocol {
     }
 
     fn extract_token(&self, body: &[u8]) -> Option<(u64, u64)> {
-        let s = std::str::from_utf8(body).ok()?;
+        // The chunk section is the outermost suffix; look beneath it.
+        let s = strip_text_chunk(std::str::from_utf8(body).ok()?);
         // The marker is the *last* `"~tok"` token. After it come exactly
         // two unsigned integers, followed either by end-of-line or by a
         // complete context section (`"~ctx" <id> <id>`) — the one suffix
@@ -434,6 +515,41 @@ impl Protocol for TextProtocol {
             }
             Some(_) => None,
         }
+    }
+
+    fn encode_chunk(&self, enc: &mut dyn Encoder, index: u64, last: bool) -> bool {
+        // Three ordinary tokens: the line stays printable, so a telnet user
+        // can hand-type a chunked transfer by ending each line with
+        // ` "~chunk" <n> 0` and the final one with ` "~chunk" <n> 1`.
+        enc.put_string(TEXT_CHUNK_MARKER);
+        enc.put_ulonglong(index);
+        enc.put_ulonglong(u64::from(last));
+        true
+    }
+
+    fn extract_chunk(&self, body: &[u8]) -> Option<(u64, bool)> {
+        let s = std::str::from_utf8(body).ok()?;
+        // The marker is the *last* `"~chunk"` token, and the section is the
+        // outermost suffix: exactly two integers run to end-of-line, with
+        // the last-flag restricted to 0 or 1. A string argument containing
+        // the marker bytes encodes with escaped quotes, so the
+        // token-boundary check rejects it.
+        let needle = "\"~chunk\"";
+        let idx = s.rfind(needle)?;
+        if idx > 0 && !s.as_bytes()[idx - 1].is_ascii_whitespace() {
+            return None;
+        }
+        let mut tail = s[idx + needle.len()..].split_ascii_whitespace();
+        let index = tail.next()?.parse().ok()?;
+        let last = match tail.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        if tail.next().is_some() {
+            return None;
+        }
+        Some((index, last))
     }
 }
 
@@ -606,6 +722,8 @@ impl Protocol for CdrProtocol {
     }
 
     fn extract_context(&self, body: &[u8]) -> Option<(u64, u64)> {
+        // The chunk section is the outermost suffix; look beneath it.
+        let body = cdr_strip_chunk(body);
         let n = body.len();
         if n < CDR_CONTEXT_LEN || &body[n - 4..] != CDR_CONTEXT_MAGIC {
             return None;
@@ -629,6 +747,8 @@ impl Protocol for CdrProtocol {
     }
 
     fn extract_token(&self, body: &[u8]) -> Option<(u64, u64)> {
+        // The chunk section is the outermost suffix; look beneath it.
+        let body = cdr_strip_chunk(body);
         let n = body.len();
         // Token alone: the section is the last CDR_TOKEN_LEN bytes. Token
         // + context: the context section occupies the last CDR_CONTEXT_LEN
@@ -647,6 +767,38 @@ impl Protocol for CdrProtocol {
         let session = u64::from_le_bytes(body[start..start + 8].try_into().expect("8 bytes"));
         let seq = u64::from_le_bytes(body[start + 8..start + 16].try_into().expect("8 bytes"));
         Some((session, seq))
+    }
+
+    fn encode_chunk(&self, enc: &mut dyn Encoder, index: u64, last: bool) -> bool {
+        // Raw octets, not aligned primitives: the context section ends
+        // 4 mod 8, so an aligned u64 here would pick up padding that
+        // depends on what the section follows — and stripping the chunk
+        // tail could no longer expose the token/context tails beneath it.
+        // Sixteen unpadded bytes keep the section at a fixed offset from
+        // the end no matter where the underlying body stopped.
+        for b in index.to_le_bytes() {
+            enc.put_octet(b);
+        }
+        for b in u32::from(last).to_le_bytes() {
+            enc.put_octet(b);
+        }
+        for b in *CDR_CHUNK_MAGIC {
+            enc.put_octet(b);
+        }
+        true
+    }
+
+    fn extract_chunk(&self, body: &[u8]) -> Option<(u64, bool)> {
+        let n = body.len();
+        if n < CDR_CHUNK_LEN || &body[n - 4..] != CDR_CHUNK_MAGIC {
+            return None;
+        }
+        let last = u32::from_le_bytes(body[n - 8..n - 4].try_into().expect("4 bytes"));
+        if last > 1 {
+            return None;
+        }
+        let index = u64::from_le_bytes(body[n - 16..n - 8].try_into().expect("8 bytes"));
+        Some((index, last == 1))
     }
 }
 
@@ -1043,5 +1195,124 @@ mod tests {
         assert_eq!(TextProtocol.extract_token(b"1 \"a\\\"~tok\" 2 3"), None);
         // Non-numeric ids.
         assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" x y"), None);
+    }
+
+    /// The golden chunked text line: printable, hand-typeable, and the
+    /// chunk section is the outermost suffix.
+    #[test]
+    fn golden_text_frame_with_chunk() {
+        let mut enc = TextProtocol.encoder();
+        enc.put_string("part");
+        enc.put_long(-7);
+        assert!(TextProtocol.encode_chunk(&mut *enc, 3, false));
+        let body = enc.finish();
+        assert_eq!(body, b"\"part\" -7 \"~chunk\" 3 0");
+        assert_eq!(TextProtocol.extract_chunk(&body), Some((3, false)));
+        assert_eq!(TextProtocol.extract_token(&body), None);
+        assert_eq!(TextProtocol.extract_context(&body), None);
+
+        let mut enc = TextProtocol.encoder();
+        enc.put_string("part");
+        assert!(TextProtocol.encode_chunk(&mut *enc, 4, true));
+        let body = enc.finish();
+        assert_eq!(body, b"\"part\" \"~chunk\" 4 1");
+        assert_eq!(TextProtocol.extract_chunk(&body), Some((4, true)));
+    }
+
+    /// All three suffixes compose — token, then context, then chunk — and
+    /// each extractor recovers its own section; an old reader still sees
+    /// the declared fields byte-identically.
+    #[test]
+    fn chunk_composes_with_token_and_context_on_both_protocols() {
+        for p in [&TextProtocol as &dyn Protocol, &CdrProtocol] {
+            let plain = {
+                let mut enc = p.encoder();
+                enc.put_string("echo");
+                enc.put_ulonglong(u64::MAX);
+                enc.finish()
+            };
+            let all = {
+                let mut enc = p.encoder();
+                enc.put_string("echo");
+                enc.put_ulonglong(u64::MAX);
+                assert!(p.encode_token(&mut *enc, 0xABCD, 9));
+                assert!(p.encode_context(&mut *enc, 1, u64::MAX));
+                assert!(p.encode_chunk(&mut *enc, 17, true));
+                enc.finish()
+            };
+            assert!(all.starts_with(&plain), "{}", p.name());
+            assert_eq!(p.extract_chunk(&all), Some((17, true)), "{}", p.name());
+            assert_eq!(p.extract_token(&all), Some((0xABCD, 9)), "{}", p.name());
+            assert_eq!(p.extract_context(&all), Some((1, u64::MAX)), "{}", p.name());
+            let mut dec = p.decoder(all).unwrap();
+            assert_eq!(dec.get_string().unwrap(), "echo");
+            assert_eq!(dec.get_ulonglong().unwrap(), u64::MAX);
+        }
+    }
+
+    /// The CDR chunk section is a fixed-size tail regardless of argument
+    /// alignment, alone or stacked on the other suffixes.
+    #[test]
+    fn cdr_chunk_tail_layout() {
+        for misalign in 0..8usize {
+            let mut enc = CdrProtocol.encoder();
+            for _ in 0..misalign {
+                enc.put_octet(0xEE);
+            }
+            assert!(CdrProtocol.encode_chunk(&mut *enc, 0x0A0B, false));
+            let body = enc.finish();
+            let n = body.len();
+            assert_eq!(&body[n - 4..], CDR_CHUNK_MAGIC);
+            assert_eq!(CdrProtocol.extract_chunk(&body), Some((0x0A0B, false)));
+
+            let mut enc = CdrProtocol.encoder();
+            for _ in 0..misalign {
+                enc.put_octet(0xEE);
+            }
+            assert!(CdrProtocol.encode_token(&mut *enc, 5, 6));
+            assert!(CdrProtocol.encode_context(&mut *enc, 42, 7));
+            assert!(CdrProtocol.encode_chunk(&mut *enc, 9, true));
+            let body = enc.finish();
+            let n = body.len();
+            assert_eq!(&body[n - 4..], CDR_CHUNK_MAGIC);
+            assert_eq!(CdrProtocol.extract_chunk(&body), Some((9, true)));
+            assert_eq!(CdrProtocol.extract_token(&body), Some((5, 6)));
+            assert_eq!(CdrProtocol.extract_context(&body), Some((42, 7)));
+        }
+    }
+
+    /// A hand-typed telnet line carries a chunk suffix — the README's
+    /// manual streaming walkthrough relies on this.
+    #[test]
+    fn text_chunk_is_hand_typable() {
+        let line = b"7 \"@tcp:h:1#1#IDL:X:1.0\" \"put\" \"hello \" \"~chunk\" 0 0";
+        assert_eq!(TextProtocol.extract_chunk(line), Some((0, false)));
+        let with_tok = b"7 \"put\" \"bytes\" \"~tok\" 12345 1 \"~chunk\" 2 1";
+        assert_eq!(TextProtocol.extract_chunk(with_tok), Some((2, true)));
+        assert_eq!(TextProtocol.extract_token(with_tok), Some((12345, 1)));
+    }
+
+    /// Malformed chunk tails never parse — and never confuse the other
+    /// tail extractors either.
+    #[test]
+    fn chunk_rejects_lookalikes() {
+        // Trailing junk, bad last-flag, missing fields.
+        assert_eq!(TextProtocol.extract_chunk(b"1 \"~chunk\" 2 0 9"), None);
+        assert_eq!(TextProtocol.extract_chunk(b"1 \"~chunk\" 2 5"), None);
+        assert_eq!(TextProtocol.extract_chunk(b"1 \"~chunk\" 2"), None);
+        assert_eq!(TextProtocol.extract_chunk(b"1 \"a\\\"~chunk\" 2 0"), None);
+        assert_eq!(TextProtocol.extract_chunk(b"1 \"~chunk\" x 1"), None);
+        // A malformed chunk tail does not hide a genuine token beneath it,
+        // but it is not stripped either (junk stays junk).
+        assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" 2 3 \"~chunk\" 2 5"), None);
+        assert_eq!(TextProtocol.extract_token(b"1 \"~tok\" 2 3 \"~chunk\" 2 1"), Some((2, 3)));
+        // CDR: a last-flag outside {0,1} is not a chunk section.
+        let mut enc = CdrProtocol.encoder();
+        enc.put_ulonglong(7);
+        enc.put_ulong(2);
+        enc.put_ulong(u32::from_le_bytes(*CDR_CHUNK_MAGIC));
+        let body = enc.finish();
+        assert_eq!(CdrProtocol.extract_chunk(&body), None);
+        assert_eq!(CdrProtocol.extract_chunk(b""), None);
     }
 }

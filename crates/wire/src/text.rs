@@ -179,13 +179,36 @@ impl Encoder for TextEncoder {
     }
 }
 
+/// One tokenized span into the decoder's normalized buffer. `quote`
+/// records the token class — `0` for bare tokens, `b'"'` for string
+/// tokens, `b'\''` for char tokens — which the getters check to detect
+/// type confusion (a quoted `"42"` must not parse as a number).
+#[derive(Debug, Clone, Copy)]
+struct TokSpan {
+    start: usize,
+    end: usize,
+    quote: u8,
+}
+
 /// Decoder for the text protocol.
+///
+/// Tokenization is span-based: escapes are normalized into one shared
+/// buffer and each token is a `(start, end, quote-class)` triple into it,
+/// so decoding a message costs two allocations (buffer + span table)
+/// instead of one `String` per token.
 #[derive(Debug)]
 pub struct TextDecoder {
-    tokens: Vec<String>,
+    buf: String,
+    spans: Vec<TokSpan>,
     pos: usize,
     depth: u32,
     limits: DecodeLimits,
+}
+
+impl Drop for TextDecoder {
+    fn drop(&mut self) {
+        crate::pool::recycle(std::mem::take(&mut self.buf).into_bytes());
+    }
 }
 
 impl TextDecoder {
@@ -212,40 +235,53 @@ impl TextDecoder {
             what: "text message",
             detail: format!("not valid UTF-8: {e}"),
         })?;
-        Ok(TextDecoder { tokens: tokenize(text, &limits)?, pos: 0, depth: 0, limits })
+        let (buf, spans) = tokenize(text, &limits)?;
+        Ok(TextDecoder { buf, spans, pos: 0, depth: 0, limits })
     }
 
-    fn next(&mut self, what: &'static str) -> WireResult<&str> {
-        let t = self.tokens.get(self.pos).ok_or(WireError::UnexpectedEnd { what })?;
+    fn next(&mut self, what: &'static str) -> WireResult<(&str, u8)> {
+        let sp = *self.spans.get(self.pos).ok_or(WireError::UnexpectedEnd { what })?;
         self.pos += 1;
-        Ok(t)
+        Ok((&self.buf[sp.start..sp.end], sp.quote))
     }
 
     fn parse_num<T: std::str::FromStr>(&mut self, what: &'static str) -> WireResult<T>
     where
         T::Err: std::fmt::Display,
     {
-        let t = self.next(what)?;
+        let (t, quote) = self.next(what)?;
+        if quote != 0 {
+            return Err(WireError::Malformed {
+                what,
+                detail: format!("expected bare token, got quoted `{t}`"),
+            });
+        }
         t.parse().map_err(|e| WireError::Malformed { what, detail: format!("`{t}`: {e}") })
     }
 }
 
-fn tokenize(text: &str, limits: &DecodeLimits) -> WireResult<Vec<String>> {
-    // The string bound is enforced here, while tokens accumulate, so a
-    // hostile message cannot make the tokenizer build a giant String (the
-    // `+ 1` mirrors CDR, whose string lengths include the NUL byte).
+fn tokenize(text: &str, limits: &DecodeLimits) -> WireResult<(String, Vec<TokSpan>)> {
+    // The string bound is enforced here, while a token accumulates, so a
+    // hostile message cannot grow the buffer by a giant token (`extra`
+    // preserves the historical count: quoted tokens carried their opening
+    // quote, and the `+ 1` mirrors CDR, whose string lengths include the
+    // NUL byte).
     let max_tok = limits.max_string_bytes as usize;
-    let over = |tok: &String| -> WireResult<()> {
-        if tok.len() + 1 > max_tok {
+    let over = |len: usize, extra: usize| -> WireResult<()> {
+        if len + extra > max_tok {
             return Err(WireError::Bounds {
                 what: "string",
-                len: tok.len() as u64 + 1,
+                len: (len + extra) as u64,
                 max: max_tok as u64,
             });
         }
         Ok(())
     };
-    let mut tokens = Vec::new();
+    // Pooled buffers are stored cleared, so reusing one as a String is
+    // free; the decoder's Drop recycles it.
+    let mut buf = String::from_utf8(crate::pool::global().take_vec()).unwrap_or_default();
+    debug_assert!(buf.is_empty());
+    let mut spans = Vec::new();
     let mut chars = text.chars().peekable();
     while let Some(&c) = chars.peek() {
         match c {
@@ -255,17 +291,15 @@ fn tokenize(text: &str, limits: &DecodeLimits) -> WireResult<Vec<String>> {
             '"' | '\'' => {
                 let quote = c;
                 chars.next();
-                // Keep the quote as a marker so the decoder can tell a
-                // quoted token from a bare one.
-                let mut tok = String::from(quote);
+                let start = buf.len();
                 let mut closed = false;
                 while let Some(c) = chars.next() {
                     match c {
                         '\\' => match chars.next() {
-                            Some('n') => tok.push('\n'),
-                            Some('r') => tok.push('\r'),
-                            Some('s') => tok.push(' '),
-                            Some(e) => tok.push(e),
+                            Some('n') => buf.push('\n'),
+                            Some('r') => buf.push('\r'),
+                            Some('s') => buf.push(' '),
+                            Some(e) => buf.push(e),
                             None => {
                                 return Err(WireError::Malformed {
                                     what: "quoted token",
@@ -277,9 +311,9 @@ fn tokenize(text: &str, limits: &DecodeLimits) -> WireResult<Vec<String>> {
                             closed = true;
                             break;
                         }
-                        c => tok.push(c),
+                        c => buf.push(c),
                     }
-                    over(&tok)?;
+                    over(buf.len() - start, 2)?;
                 }
                 if !closed {
                     return Err(WireError::Malformed {
@@ -287,31 +321,31 @@ fn tokenize(text: &str, limits: &DecodeLimits) -> WireResult<Vec<String>> {
                         detail: "unterminated quote".into(),
                     });
                 }
-                tokens.push(tok);
+                spans.push(TokSpan { start, end: buf.len(), quote: quote as u8 });
             }
             _ => {
-                let mut tok = String::new();
+                let start = buf.len();
                 while let Some(&c) = chars.peek() {
                     if c.is_whitespace() {
                         break;
                     }
-                    tok.push(c);
+                    buf.push(c);
                     chars.next();
-                    over(&tok)?;
+                    over(buf.len() - start, 1)?;
                 }
-                tokens.push(tok);
+                spans.push(TokSpan { start, end: buf.len(), quote: 0 });
             }
         }
     }
-    Ok(tokens)
+    Ok((buf, spans))
 }
 
 impl Decoder for TextDecoder {
     fn get_bool(&mut self) -> WireResult<bool> {
         match self.next("boolean")? {
-            "T" => Ok(true),
-            "F" => Ok(false),
-            other => Err(WireError::Malformed {
+            ("T", 0) => Ok(true),
+            ("F", 0) => Ok(false),
+            (other, _) => Err(WireError::Malformed {
                 what: "boolean",
                 detail: format!("expected T or F, got `{other}`"),
             }),
@@ -323,19 +357,19 @@ impl Decoder for TextDecoder {
     }
 
     fn get_char(&mut self) -> WireResult<char> {
-        let t = self.next("char")?;
-        let Some(body) = t.strip_prefix('\'') else {
+        let (t, quote) = self.next("char")?;
+        if quote != b'\'' {
             return Err(WireError::Malformed {
                 what: "char",
                 detail: format!("expected quoted char, got `{t}`"),
             });
-        };
-        let mut chars = body.chars();
+        }
+        let mut chars = t.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
             _ => Err(WireError::Malformed {
                 what: "char",
-                detail: format!("expected exactly one character, got `{body}`"),
+                detail: format!("expected exactly one character, got `{t}`"),
             }),
         }
     }
@@ -373,16 +407,20 @@ impl Decoder for TextDecoder {
     }
 
     fn get_string(&mut self) -> WireResult<String> {
-        let t = self.next("string")?;
-        t.strip_prefix('"').map(str::to_owned).ok_or_else(|| WireError::Malformed {
-            what: "string",
-            detail: format!("expected quoted string, got `{t}`"),
-        })
+        let (t, quote) = self.next("string")?;
+        if quote == b'"' {
+            Ok(t.to_owned())
+        } else {
+            Err(WireError::Malformed {
+                what: "string",
+                detail: format!("expected quoted string, got `{t}`"),
+            })
+        }
     }
 
     fn skip_string(&mut self) -> WireResult<()> {
-        let t = self.next("string")?;
-        if t.starts_with('"') {
+        let (t, quote) = self.next("string")?;
+        if quote == b'"' {
             Ok(())
         } else {
             Err(WireError::Malformed {
@@ -403,33 +441,36 @@ impl Decoder for TextDecoder {
 
     fn begin(&mut self) -> WireResult<()> {
         match self.next("begin marker")? {
-            "{" => {
-                if self.depth >= self.limits.max_depth {
-                    return Err(WireError::Bounds {
-                        what: "nesting depth",
-                        len: u64::from(self.depth) + 1,
-                        max: self.limits.max_depth.into(),
-                    });
-                }
-                self.depth += 1;
-                Ok(())
+            ("{", 0) => {}
+            (other, _) => {
+                return Err(WireError::Nesting { detail: format!("expected `{{`, got `{other}`") })
             }
-            other => Err(WireError::Nesting { detail: format!("expected `{{`, got `{other}`") }),
         }
+        if self.depth >= self.limits.max_depth {
+            return Err(WireError::Bounds {
+                what: "nesting depth",
+                len: u64::from(self.depth) + 1,
+                max: self.limits.max_depth.into(),
+            });
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn end(&mut self) -> WireResult<()> {
         match self.next("end marker")? {
-            "}" => {
+            ("}", 0) => {
                 self.depth = self.depth.saturating_sub(1);
                 Ok(())
             }
-            other => Err(WireError::Nesting { detail: format!("expected `}}`, got `{other}`") }),
+            (other, _) => {
+                Err(WireError::Nesting { detail: format!("expected `}}`, got `{other}`") })
+            }
         }
     }
 
     fn at_end(&self) -> bool {
-        self.pos >= self.tokens.len()
+        self.pos >= self.spans.len()
     }
 }
 

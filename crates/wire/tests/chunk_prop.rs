@@ -1,0 +1,233 @@
+//! Property tests for the trailing **chunk section**
+//! (`Protocol::encode_chunk` / `Protocol::extract_chunk`) and the
+//! [`ChunkAssembler`] that validates hostile chunk sequences.
+//!
+//! Same contract as the token and context sections: a chunked frame must
+//! look *byte-identical* to an old reader on its declared fields, an
+//! unchunked frame must never yield a phantom chunk tail, and all three
+//! suffixes must layer — token, context, chunk — with each extractor
+//! recovering its own section.
+
+use heidl_wire::{
+    CdrProtocol, ChunkAssembler, DecodeLimits, Decoder, Encoder, Protocol, TextProtocol, WireResult,
+};
+use proptest::prelude::*;
+
+/// One marshal-able value; a reduced palette is enough to exercise every
+/// alignment and token shape the tail parser can meet.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Bool(bool),
+    Octet(u8),
+    Long(i32),
+    ULongLong(u64),
+    Str(String),
+    Group(Vec<Val>),
+}
+
+fn val_strategy() -> impl Strategy<Value = Val> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Val::Bool),
+        any::<u8>().prop_map(Val::Octet),
+        any::<i32>().prop_map(Val::Long),
+        any::<u64>().prop_map(Val::ULongLong),
+        "\\PC{0,16}".prop_map(Val::Str),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        proptest::collection::vec(inner, 0..3).prop_map(Val::Group)
+    })
+}
+
+fn put(v: &Val, enc: &mut dyn Encoder) {
+    match v {
+        Val::Bool(x) => enc.put_bool(*x),
+        Val::Octet(x) => enc.put_octet(*x),
+        Val::Long(x) => enc.put_long(*x),
+        Val::ULongLong(x) => enc.put_ulonglong(*x),
+        Val::Str(x) => enc.put_string(x),
+        Val::Group(items) => {
+            enc.begin();
+            for i in items {
+                put(i, enc);
+            }
+            enc.end();
+        }
+    }
+}
+
+fn get(template: &Val, dec: &mut dyn Decoder) -> WireResult<Val> {
+    Ok(match template {
+        Val::Bool(_) => Val::Bool(dec.get_bool()?),
+        Val::Octet(_) => Val::Octet(dec.get_octet()?),
+        Val::Long(_) => Val::Long(dec.get_long()?),
+        Val::ULongLong(_) => Val::ULongLong(dec.get_ulonglong()?),
+        Val::Str(_) => Val::Str(dec.get_string()?),
+        Val::Group(items) => {
+            dec.begin()?;
+            let mut out = Vec::with_capacity(items.len());
+            for i in items {
+                out.push(get(i, dec)?);
+            }
+            dec.end()?;
+            Val::Group(out)
+        }
+    })
+}
+
+fn protocols() -> Vec<Box<dyn Protocol>> {
+    vec![Box::new(TextProtocol), Box::new(CdrProtocol)]
+}
+
+#[allow(clippy::fn_params_excessive_bools)]
+fn encode(
+    p: &dyn Protocol,
+    values: &[Val],
+    tok: Option<(u64, u64)>,
+    ctx: Option<(u64, u64)>,
+    chunk: Option<(u64, bool)>,
+) -> Vec<u8> {
+    let mut enc = p.encoder();
+    for v in values {
+        put(v, enc.as_mut());
+    }
+    if let Some((session, seq)) = tok {
+        assert!(p.encode_token(enc.as_mut(), session, seq), "{}", p.name());
+    }
+    if let Some((call, parent)) = ctx {
+        assert!(p.encode_context(enc.as_mut(), call, parent), "{}", p.name());
+    }
+    if let Some((index, last)) = chunk {
+        assert!(p.encode_chunk(enc.as_mut(), index, last), "{}", p.name());
+    }
+    enc.finish()
+}
+
+/// True when any string anywhere in `values` contains a tail marker —
+/// such an argument can legitimately look like a tail section to the
+/// parser (a documented, benign ambiguity), so the no-phantom property
+/// excludes it.
+fn mentions_marker(values: &[Val]) -> bool {
+    values.iter().any(|v| match v {
+        Val::Str(s) => s.contains("~tok") || s.contains("~ctx") || s.contains("~chunk"),
+        Val::Group(items) => mentions_marker(items),
+        _ => false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The chunk section is a pure suffix: the chunked frame begins with
+    /// the exact bytes of the unchunked frame, so an old reader (which
+    /// stops after the declared fields) sees an identical message.
+    #[test]
+    fn chunk_is_a_pure_suffix(
+        values in proptest::collection::vec(val_strategy(), 0..8),
+        index in any::<u64>(),
+        last in any::<bool>(),
+    ) {
+        for p in protocols() {
+            let plain = encode(p.as_ref(), &values, None, None, None);
+            let chunked = encode(p.as_ref(), &values, None, None, Some((index, last)));
+            prop_assert!(chunked.starts_with(&plain), "{}", p.name());
+            prop_assert!(chunked.len() > plain.len(), "{}", p.name());
+            prop_assert_eq!(p.extract_chunk(&chunked), Some((index, last)), "{}", p.name());
+        }
+    }
+
+    /// All three suffixes layered — token, then context, then chunk:
+    /// every declared field decodes identically and each extractor
+    /// recovers exactly its own section.
+    #[test]
+    fn declared_fields_decode_identically_with_all_suffixes(
+        values in proptest::collection::vec(val_strategy(), 0..8),
+        session in any::<u64>(),
+        seq in any::<u64>(),
+        call in any::<u64>(),
+        parent in any::<u64>(),
+        index in any::<u64>(),
+        last in any::<bool>(),
+    ) {
+        for p in protocols() {
+            let body = encode(
+                p.as_ref(),
+                &values,
+                Some((session, seq)),
+                Some((call, parent)),
+                Some((index, last)),
+            );
+            prop_assert_eq!(p.extract_chunk(&body), Some((index, last)), "{}", p.name());
+            prop_assert_eq!(p.extract_token(&body), Some((session, seq)), "{}", p.name());
+            prop_assert_eq!(p.extract_context(&body), Some((call, parent)), "{}", p.name());
+            let mut dec = p.decoder(body).unwrap();
+            for v in &values {
+                let got = get(v, dec.as_mut())
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e} for {v:?}", p.name())))?;
+                prop_assert_eq!(&got, v, "{}", p.name());
+            }
+        }
+    }
+
+    /// An unchunked frame never yields a phantom chunk tail — with or
+    /// without the other suffixes stacked (modulo the documented text
+    /// ambiguity when an argument string contains a marker).
+    #[test]
+    fn no_phantom_chunk_on_unchunked_frames(
+        values in proptest::collection::vec(val_strategy(), 0..8)
+            .prop_filter("args containing a marker are ambiguous by design", |vs| !mentions_marker(vs)),
+        session in any::<u64>(),
+        seq in any::<u64>(),
+        call in any::<u64>(),
+        parent in any::<u64>(),
+    ) {
+        for p in protocols() {
+            let plain = encode(p.as_ref(), &values, None, None, None);
+            prop_assert_eq!(p.extract_chunk(&plain), None, "{}", p.name());
+            let suffixed =
+                encode(p.as_ref(), &values, Some((session, seq)), Some((call, parent)), None);
+            prop_assert_eq!(p.extract_chunk(&suffixed), None, "{}", p.name());
+            prop_assert_eq!(p.extract_token(&suffixed), Some((session, seq)), "{}", p.name());
+        }
+    }
+
+    /// Chunk extraction never panics on arbitrary bytes.
+    #[test]
+    fn extract_chunk_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        for p in protocols() {
+            let _ = p.extract_chunk(&bytes);
+        }
+    }
+
+    /// Hostile chunk sequences die cleanly in the assembler before any
+    /// buffering: the only accepted stream is the in-order prefix
+    /// `0, 1, …` ending at the first `last = true`, bounded by
+    /// `max_stream_chunks` — lying `last` flags, oversized or interleaved
+    /// indices all fail.
+    #[test]
+    fn assembler_accepts_exactly_the_in_order_prefix(
+        tails in proptest::collection::vec((0u64..16, any::<bool>()), 1..24),
+        max_chunks in 1u32..16,
+    ) {
+        let limits = DecodeLimits::default().with_max_stream_chunks(max_chunks);
+        let mut asm = ChunkAssembler::new(limits);
+        let mut expected: u64 = 0;
+        let mut done = false;
+        for (index, last) in tails {
+            let verdict = asm.accept(index, last);
+            let legal = !done && index == expected && index < u64::from(max_chunks);
+            if legal {
+                prop_assert_eq!(verdict.unwrap(), last);
+                expected += 1;
+                done = last;
+            } else {
+                prop_assert!(verdict.is_err());
+                // One bad tail poisons the stream: nothing is accepted after,
+                // not even the index that would otherwise have been legal.
+                prop_assert!(asm.accept(expected, true).is_err());
+                break;
+            }
+        }
+        prop_assert_eq!(asm.is_done(), done);
+        prop_assert_eq!(asm.accepted(), expected);
+    }
+}

@@ -9,7 +9,11 @@
 //! real `telnet`/`nc` at the printed endpoint to drive it yourself.
 
 use heidl::media::{PlayerServant, PlayerSkel, ReceiverServant, Status};
-use heidl::rmi::{DispatchKind, Orb, RemoteObject, RmiResult};
+use heidl::rmi::{
+    DispatchKind, Orb, RemoteObject, RmiResult, StreamBody, StreamServant, STREAM_ACK_OBJECT_ID,
+    STREAM_ACK_TYPE_ID,
+};
+use heidl::wire::Decoder;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -60,6 +64,36 @@ impl PlayerServant for Demo {
     }
 }
 
+/// A streamed catalog: the server never materializes the whole reply —
+/// it pulls 32-byte fragments on demand, each going out as one `~chunk`
+/// frame under the client's credit window.
+struct Catalog;
+
+const CATALOG_TEXT: &str = "intro.mpg 1500 frames; trailer.mpg 800 frames; finale.mpg 2400 frames";
+
+impl StreamServant for Catalog {
+    fn type_id(&self) -> &str {
+        "IDL:Media/Catalog:1.0"
+    }
+    fn open(&self, method: &str, _args: &mut dyn Decoder) -> RmiResult<StreamBody> {
+        if method != "export_catalog" {
+            return Err(heidl::rmi::RmiError::UnknownMethod {
+                method: method.to_owned(),
+                type_id: StreamServant::type_id(self).to_owned(),
+            });
+        }
+        Ok(StreamBody::from_string(CATALOG_TEXT.to_owned()))
+    }
+}
+
+/// Types one line into the session without waiting for a reply (oneway
+/// acks never get one; a streamed request gets many).
+fn type_only(session: &mut BufReader<TcpStream>, line: &str) -> std::io::Result<()> {
+    println!("human types > {line}");
+    session.get_mut().write_all(line.as_bytes())?;
+    session.get_mut().write_all(b"\r\n")
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let orb = Orb::new();
     // Per-operation rows in `_metrics.dump` are pay-for-use; a debugging
@@ -72,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bind = std::env::args().nth(1);
     let endpoint = orb.serve(bind.as_deref().unwrap_or("127.0.0.1:0"))?;
     let objref = orb.export(PlayerSkel::new(Arc::new(Demo), orb.clone(), DispatchKind::Hash))?;
+    let streamref = orb.export_stream(Arc::new(Catalog))?;
 
     println!("server listening -- try it yourself with:");
     println!("  nc {} {}", endpoint.host, endpoint.port);
@@ -118,6 +153,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics =
         format!("@tcp:{}:{}#{}#IDL:heidl/Metrics:1.0", endpoint.host, endpoint.port, u64::MAX);
     type_line(format!("7 \"{metrics}\" \"dump\" T"))?; // shows dedup_replays 1
+
+    // A chunked transfer by hand: end the request with `"~chunk" <window> 0`
+    // to opt into a streamed reply with a 32-byte credit window. The server
+    // sends `~chunk`-tailed frames until the window is spent, then waits;
+    // each hand-typed ack (a oneway to the reserved StreamAck object,
+    // naming the stream's request id and the bytes consumed) buys the next
+    // window's worth. The final frame ends with `"~chunk" <n> 1`.
+    println!("-- a chunked transfer, typed by hand (32-byte credit window) --");
+    println!();
+    let ackref = format!(
+        "@tcp:{}:{}#{STREAM_ACK_OBJECT_ID}#{STREAM_ACK_TYPE_ID}",
+        endpoint.host, endpoint.port
+    );
+    type_only(&mut session, &format!("8 \"{streamref}\" \"export_catalog\" T \"~chunk\" 32 0"))?;
+    loop {
+        let mut frame = String::new();
+        session.read_line(&mut frame)?;
+        let frame = frame.trim_end();
+        println!("server says  < {frame}");
+        if frame.ends_with(" 1") {
+            break; // `"~chunk" <n> 1`: the final chunk
+        }
+        // Window spent -- grant 32 bytes back so the next chunk flows.
+        type_only(&mut session, &format!("9 \"{ackref}\" \"ack\" F 8 32"))?;
+    }
+    println!();
 
     println!("every byte of that exchange was printable text -- that is the");
     println!("debuggability the paper traded protocol generality for (E8).");

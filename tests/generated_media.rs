@@ -157,6 +157,17 @@ impl LibraryServant for ClipLibrary {
     fn purchase(&self, _name: String) -> RmiResult<i32> {
         Ok(self.clips.lock().unwrap().len() as i32)
     }
+
+    fn export_catalog(&self) -> RmiResult<String> {
+        let lines: Vec<String> = self
+            .clips
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|c| format!("{}\t{}", c.title, c.frames))
+            .collect();
+        Ok(lines.join("\n"))
+    }
 }
 
 fn start_player(kind: DispatchKind) -> (Orb, Arc<MediaPlayer>, PlayerStub) {
@@ -299,6 +310,32 @@ fn struct_round_trip_through_library() {
 
     let err = stub.info("missing".to_owned()).unwrap_err();
     assert!(matches!(err, RmiError::Remote { .. }));
+    orb.shutdown();
+}
+
+#[test]
+fn stream_annotated_method_returns_a_reply_stream() {
+    // `@stream string export_catalog()` maps the stub to a ReplyStream.
+    // The generated skeleton materializes the whole string (the compat
+    // path), so the unchunked reply must still terminate the stream.
+    let orb = Orb::new();
+    orb.serve("127.0.0.1:0").unwrap();
+    let servant = Arc::new(ClipLibrary::default());
+    let skel = LibrarySkel::new(Arc::clone(&servant) as _, orb.clone(), DispatchKind::Hash);
+    let stub = LibraryStub::new(orb.clone(), orb.export(skel).unwrap());
+
+    for (i, frames) in [240, 120, 360].into_iter().enumerate() {
+        stub.register_clip(ClipInfo {
+            title: format!("clip-{i}"),
+            frames,
+            status: Status::Stopped,
+        })
+        .unwrap();
+    }
+
+    let mut stream = stub.export_catalog().unwrap();
+    let catalog = stream.collect_string().unwrap();
+    assert_eq!(catalog, "clip-0\t240\nclip-1\t120\nclip-2\t360");
     orb.shutdown();
 }
 

@@ -124,6 +124,10 @@ impl LibraryServant for CountingLibrary {
         // carries the old receipt, a *re-execution* mints a new one.
         Ok(self.purchases.fetch_add(1, Ordering::SeqCst) as i32 + 100)
     }
+
+    fn export_catalog(&self) -> RmiResult<String> {
+        Ok("catalog".to_owned())
+    }
 }
 
 /// A server ORB with a CountingPlayer, plus a *faulty* client ORB whose

@@ -64,6 +64,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
     pub fn finish(self) {}
 }
 

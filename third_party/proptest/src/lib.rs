@@ -948,6 +948,7 @@ mod tests {
 
     #[derive(Debug, Clone)]
     enum Tree {
+        #[allow(dead_code)] // the payload only proves leaves carry generated data
         Leaf(u8),
         Node(Vec<Tree>),
     }
